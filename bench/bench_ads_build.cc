@@ -1,0 +1,155 @@
+// CLAIM-BUILD: ADS construction cost (Section 3, Appendix B). Expected
+// O(km log n) edge relaxations for PrunedDijkstra and DP; LocalUpdates pays
+// extra churn on weighted graphs which the (1+eps)-approximate mode caps.
+// google-benchmark timings plus relaxation/insertion counters; the
+// "relax/(km ln n)" counter should stay O(1) across scales.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "ads/builders.h"
+#include "ads/hip.h"
+#include "graph/generators.h"
+
+namespace hipads {
+namespace {
+
+Graph MakeEr(uint32_t n, uint64_t degree, bool weighted) {
+  Graph g = ErdosRenyi(n, n * degree / 2, /*undirected=*/true, 42);
+  if (weighted) g = RandomizeWeights(g, 0.5, 2.0, 7);
+  return g;
+}
+
+void Counters(benchmark::State& state, const Graph& g, uint32_t k,
+              const AdsBuildStats& stats) {
+  double m = static_cast<double>(g.num_arcs());
+  double kmlogn = k * m * std::log(static_cast<double>(g.num_nodes()));
+  state.counters["relaxations"] =
+      benchmark::Counter(static_cast<double>(stats.relaxations));
+  state.counters["insertions"] =
+      benchmark::Counter(static_cast<double>(stats.insertions));
+  state.counters["deletions"] =
+      benchmark::Counter(static_cast<double>(stats.deletions));
+  state.counters["relax/(km ln n)"] =
+      benchmark::Counter(static_cast<double>(stats.relaxations) / kmlogn);
+}
+
+void BM_PrunedDijkstra(benchmark::State& state) {
+  uint32_t n = static_cast<uint32_t>(state.range(0));
+  uint32_t k = static_cast<uint32_t>(state.range(1));
+  Graph g = MakeEr(n, 8, /*weighted=*/true);
+  auto ranks = RankAssignment::Uniform(1);
+  AdsBuildStats stats;
+  for (auto _ : state) {
+    stats = AdsBuildStats();
+    AdsSet set =
+        BuildAdsPrunedDijkstra(g, k, SketchFlavor::kBottomK, ranks, &stats);
+    benchmark::DoNotOptimize(set.TotalEntries());
+  }
+  Counters(state, g, k, stats);
+}
+BENCHMARK(BM_PrunedDijkstra)
+    ->Args({1000, 4})
+    ->Args({1000, 16})
+    ->Args({4000, 4})
+    ->Args({4000, 16})
+    ->Args({16000, 16})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Dp(benchmark::State& state) {
+  uint32_t n = static_cast<uint32_t>(state.range(0));
+  uint32_t k = static_cast<uint32_t>(state.range(1));
+  Graph g = MakeEr(n, 8, /*weighted=*/false);
+  auto ranks = RankAssignment::Uniform(1);
+  AdsBuildStats stats;
+  for (auto _ : state) {
+    stats = AdsBuildStats();
+    AdsSet set = BuildAdsDp(g, k, SketchFlavor::kBottomK, ranks, &stats);
+    benchmark::DoNotOptimize(set.TotalEntries());
+  }
+  Counters(state, g, k, stats);
+}
+BENCHMARK(BM_Dp)
+    ->Args({1000, 4})
+    ->Args({1000, 16})
+    ->Args({4000, 4})
+    ->Args({4000, 16})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LocalUpdates(benchmark::State& state) {
+  uint32_t n = static_cast<uint32_t>(state.range(0));
+  uint32_t k = static_cast<uint32_t>(state.range(1));
+  double epsilon = static_cast<double>(state.range(2)) / 100.0;
+  Graph g = MakeEr(n, 8, /*weighted=*/true);
+  auto ranks = RankAssignment::Uniform(1);
+  AdsBuildStats stats;
+  for (auto _ : state) {
+    stats = AdsBuildStats();
+    AdsSet set = BuildAdsLocalUpdates(g, k, SketchFlavor::kBottomK, ranks,
+                                      epsilon, &stats);
+    benchmark::DoNotOptimize(set.TotalEntries());
+  }
+  Counters(state, g, k, stats);
+}
+BENCHMARK(BM_LocalUpdates)
+    ->Args({1000, 4, 0})
+    ->Args({1000, 4, 25})   // (1+0.25)-approximate
+    ->Args({1000, 16, 0})
+    ->Args({1000, 16, 25})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DpParallel(benchmark::State& state) {
+  uint32_t threads = static_cast<uint32_t>(state.range(0));
+  Graph g = MakeEr(8000, 8, /*weighted=*/false);
+  auto ranks = RankAssignment::Uniform(1);
+  for (auto _ : state) {
+    AdsSet set = threads == 0
+                     ? BuildAdsDp(g, 16, SketchFlavor::kBottomK, ranks)
+                     : BuildAdsDpParallel(g, 16, SketchFlavor::kBottomK,
+                                          ranks, threads);
+    benchmark::DoNotOptimize(set.TotalEntries());
+  }
+}
+BENCHMARK(BM_DpParallel)
+    ->Arg(0)  // sequential baseline
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Flavors(benchmark::State& state) {
+  uint32_t flavor_id = static_cast<uint32_t>(state.range(0));
+  SketchFlavor flavor = flavor_id == 0   ? SketchFlavor::kBottomK
+                        : flavor_id == 1 ? SketchFlavor::kKMins
+                                         : SketchFlavor::kKPartition;
+  Graph g = MakeEr(2000, 8, /*weighted=*/false);
+  auto ranks = RankAssignment::Uniform(1);
+  for (auto _ : state) {
+    AdsSet set = BuildAdsDp(g, 8, flavor, ranks);
+    benchmark::DoNotOptimize(set.TotalEntries());
+  }
+}
+BENCHMARK(BM_Flavors)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_HipQueryThroughput(benchmark::State& state) {
+  // Query-side cost: HIP scan + estimate over one node's ADS.
+  Graph g = MakeEr(8000, 8, false);
+  uint32_t k = 16;
+  auto ranks = RankAssignment::Uniform(1);
+  AdsSet set = BuildAdsDp(g, k, SketchFlavor::kBottomK, ranks);
+  NodeId v = 0;
+  for (auto _ : state) {
+    auto hip = ComputeHipWeights(set.of(v), k, SketchFlavor::kBottomK, ranks);
+    benchmark::DoNotOptimize(hip.data());
+    v = (v + 1) % g.num_nodes();
+  }
+  state.counters["ads entries"] = benchmark::Counter(
+      static_cast<double>(set.TotalEntries()) / g.num_nodes());
+}
+BENCHMARK(BM_HipQueryThroughput);
+
+}  // namespace
+}  // namespace hipads
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// APP-B1: Appendix B.1 — ANF/hyperANF-style limited computation. Each node
+// keeps only HyperLogLog registers of its growing neighborhood; after each
+// synchronous merge round the neighbourhood function N(d) is read off with
+// either the basic (HLL) estimator — classic hyperANF — or the running HIP
+// counter on the same register stream, which the paper says improves
+// accuracy "essentially without changing the computation".
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "ads/anf.h"
+#include "bench_common.h"
+#include "graph/exact.h"
+#include "graph/generators.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace hipads {
+namespace {
+
+void Run(const char* name, const Graph& g, bool quick) {
+  const uint32_t k = 64;
+  const uint32_t seeds = quick ? 5 : 40;
+
+  // Exact neighbourhood function.
+  std::map<double, uint64_t> hist = ExactDistanceDistribution(g);
+  std::vector<double> exact = {static_cast<double>(g.num_nodes())};
+  double running = exact[0];
+  for (const auto& [d, c] : hist) {
+    running += static_cast<double>(c);
+    exact.push_back(running);
+  }
+
+  size_t depth = exact.size();
+  std::vector<ErrorStats> basic_err(depth), hip_err(depth);
+  for (uint64_t seed = 0; seed < seeds; ++seed) {
+    AnfResult basic = HyperAnf(g, k, seed * 11 + 3, AnfEstimator::kBasic);
+    AnfResult hip = HyperAnf(g, k, seed * 11 + 3, AnfEstimator::kHip);
+    for (size_t d = 0; d < depth; ++d) {
+      double b = d < basic.neighbourhood_function.size()
+                     ? basic.neighbourhood_function[d]
+                     : basic.neighbourhood_function.back();
+      double h = d < hip.neighbourhood_function.size()
+                     ? hip.neighbourhood_function[d]
+                     : hip.neighbourhood_function.back();
+      basic_err[d].Add(b, exact[d]);
+      hip_err[d].Add(h, exact[d]);
+    }
+  }
+
+  Table t({"d", "exact N(d)", "hyperANF (HLL) NRMSE", "hyperANF+HIP NRMSE",
+           "ratio"});
+  for (size_t d = 0; d < depth; ++d) {
+    t.NewRow()
+        .Add(static_cast<uint64_t>(d))
+        .Add(exact[d], 6)
+        .Add(basic_err[d].nrmse(), 4)
+        .Add(hip_err[d].nrmse(), 4)
+        .Add(basic_err[d].nrmse() / std::max(1e-12, hip_err[d].nrmse()), 3);
+  }
+  std::printf(
+      "\n=== APP-B1: hyperANF neighbourhood function, basic vs HIP readout "
+      "— %s, k=%u registers, %u seeds ===\nratio > 1 means HIP is more "
+      "accurate at that distance.\n\n",
+      name, k, seeds);
+  t.PrintText(std::cout);
+}
+
+}  // namespace
+}  // namespace hipads
+
+int main(int argc, char** argv) {
+  bool quick = hipads::QuickMode(argc, argv);
+  // Two growth regimes. On the grid, neighborhoods grow by small batches
+  // per round, so the register-event stream is close to per-element and
+  // the HIP readout wins everywhere. On the low-diameter BA graph most of
+  // the graph arrives within two rounds; multiple distinct elements
+  // collapse into single register events and the HIP readout undercounts
+  // at the explosion rounds (the granularity caveat in ads/anf.h) while
+  // still winning at small distances.
+  hipads::Run("grid 30x30 (gradual growth)", hipads::Grid2D(30, 30), quick);
+  hipads::Run("barabasi-albert n=1000 (explosive growth)",
+              hipads::BarabasiAlbert(1000, 3, 17), quick);
+  return 0;
+}

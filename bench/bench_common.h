@@ -1,0 +1,29 @@
+// Shared helpers for the figure/claim reproduction harnesses.
+//
+// Every bench accepts an optional first argument `--quick` which divides the
+// Monte-Carlo run counts by 10 — handy for smoke-testing the whole bench
+// directory. Default parameters reproduce the paper-scale experiments.
+
+#ifndef HIPADS_BENCH_BENCH_COMMON_H_
+#define HIPADS_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace hipads {
+
+inline bool QuickMode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return true;
+  }
+  return false;
+}
+
+inline uint32_t ScaledRuns(uint32_t runs, bool quick) {
+  return quick ? (runs + 9) / 10 : runs;
+}
+
+}  // namespace hipads
+
+#endif  // HIPADS_BENCH_BENCH_COMMON_H_

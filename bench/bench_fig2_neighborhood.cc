@@ -1,0 +1,72 @@
+// FIG2: reproduces Figure 2 of the paper — NRMSE and MRE of neighborhood
+// size estimators (k-mins / k-partition / bottom-k basic, bottom-k HIP,
+// permutation) as a function of the neighborhood size, for k = 5, 10, 50,
+// alongside the analytic reference curves.
+//
+// Expected shape (paper): all basic flavors converge to 1/sqrt(k-2) for
+// n >> k; bottom-k basic is exact below k; k-partition is the worst for
+// n <~ 2k; bottom-k HIP sits a factor sqrt(2) below basic; the permutation
+// estimator matches HIP up to ~0.2 n and wins beyond it.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "sim/cardinality_sim.h"
+#include "sketch/cardinality.h"
+#include "util/table.h"
+
+namespace hipads {
+namespace {
+
+void RunPanel(uint32_t k, uint64_t max_n, uint32_t runs) {
+  CardinalitySimConfig cfg;
+  cfg.k = k;
+  cfg.max_n = max_n;
+  cfg.runs = runs;
+  cfg.seed = 20140601;
+  cfg.points_per_decade = 8;
+  CardinalitySimResult result = RunCardinalitySim(cfg);
+
+  std::printf(
+      "\n=== Figure 2 panel: k=%u, %u runs, max n=%llu ===\n"
+      "reference: basic CV UB = %.4f  HIP CV UB = %.4f  "
+      "basic MRE UB = %.4f  HIP MRE ref = %.4f\n",
+      k, runs, static_cast<unsigned long long>(max_n), BasicCv(k), HipCv(k),
+      BasicMre(k), HipMre(k));
+
+  for (const char* metric : {"NRMSE", "MRE"}) {
+    Table t({"size", "kmins_basic", "kpart_basic", "botk_basic", "botk_hip",
+             "perm"});
+    for (size_t i = 0; i < result.checkpoints.size(); ++i) {
+      t.NewRow().Add(result.checkpoints[i]);
+      for (const char* name : {"kmins_basic", "kpart_basic", "botk_basic",
+                               "botk_hip", "perm"}) {
+        const ErrorStats& e = result.errors.at(name)[i];
+        t.Add(std::string(metric) == "NRMSE" ? e.nrmse() : e.mre(), 4);
+      }
+    }
+    std::printf("\n-- %s, k=%u --\n", metric, k);
+    t.PrintText(std::cout);
+  }
+
+  // Summary row used by EXPERIMENTS.md: asymptotic (largest-n) values.
+  size_t last = result.checkpoints.size() - 1;
+  double basic = result.errors.at("botk_basic")[last].nrmse();
+  double hip = result.errors.at("botk_hip")[last].nrmse();
+  std::printf(
+      "\nasymptotic NRMSE  botk_basic=%.4f (UB %.4f)  botk_hip=%.4f (UB "
+      "%.4f)  basic/hip ratio=%.3f (paper: sqrt(2)=1.414)\n",
+      basic, BasicCv(k), hip, HipCv(k), basic / hip);
+}
+
+}  // namespace
+}  // namespace hipads
+
+int main(int argc, char** argv) {
+  bool quick = hipads::QuickMode(argc, argv);
+  hipads::RunPanel(5, 10000, hipads::ScaledRuns(1000, quick));
+  hipads::RunPanel(10, 10000, hipads::ScaledRuns(500, quick));
+  hipads::RunPanel(50, 50000, hipads::ScaledRuns(250, quick));
+  return 0;
+}

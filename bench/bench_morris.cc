@@ -1,0 +1,133 @@
+// CLAIM-MORRIS: Section 7 — approximate counters with weighted updates and
+// merge. The counter stores ~log2 log_b n bits; with base b = 1 + 1/2^j the
+// relative error is about 2^-j. The bench sweeps bases for unit-increment
+// streams, weighted streams, merges, and the HIP-accumulation pattern
+// (geometrically growing increments) the paper targets.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "stream/morris.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace hipads {
+namespace {
+
+void UnitIncrements(bool quick) {
+  const uint64_t n = 100000;
+  const uint32_t runs = quick ? 100 : 1000;
+  Table t({"base b", "mean/n", "NRMSE", "b-1", "bits for n=1e5"});
+  Rng rng(31);
+  for (double b : {2.0, 1.5, 1.25, 1.125, 1.0625}) {
+    RunningStat mean;
+    ErrorStats err;
+    for (uint32_t run = 0; run < runs; ++run) {
+      MorrisCounter c(b);
+      for (uint64_t i = 0; i < n; ++i) c.Increment(rng);
+      mean.Add(c.Estimate());
+      err.Add(c.Estimate(), static_cast<double>(n));
+    }
+    double bits = std::log2(std::log(static_cast<double>(n)) / std::log(b));
+    t.NewRow()
+        .Add(b, 5)
+        .Add(mean.mean() / static_cast<double>(n), 4)
+        .Add(err.nrmse(), 4)
+        .Add(b - 1.0, 4)
+        .Add(bits, 3);
+  }
+  std::printf(
+      "=== CLAIM-MORRIS: unit increments (n=%llu, %u runs) ===\n"
+      "unbiased for every base; error shrinks with b-1.\n\n",
+      static_cast<unsigned long long>(n), runs);
+  t.PrintText(std::cout);
+}
+
+void WeightedAndMerge(bool quick) {
+  const uint32_t runs = quick ? 200 : 2000;
+  Rng rng(37);
+  Table t({"scenario", "truth", "mean/truth", "NRMSE"});
+
+  {  // Weighted updates with mixed magnitudes.
+    const double truth = 1234.5 + 0.75 + 987654.0 + 42.0;
+    RunningStat mean;
+    ErrorStats err;
+    for (uint32_t run = 0; run < runs; ++run) {
+      MorrisCounter c(1.25);
+      c.Add(1234.5, rng);
+      c.Add(0.75, rng);
+      c.Add(987654.0, rng);
+      c.Add(42.0, rng);
+      mean.Add(c.Estimate());
+      err.Add(c.Estimate(), truth);
+    }
+    t.NewRow()
+        .Add("weighted adds, b=1.25")
+        .Add(truth, 6)
+        .Add(mean.mean() / truth, 4)
+        .Add(err.nrmse(), 4);
+  }
+
+  {  // Merge of two counters.
+    const double truth = 5000.0;
+    RunningStat mean;
+    ErrorStats err;
+    for (uint32_t run = 0; run < runs; ++run) {
+      MorrisCounter a(1.25), b(1.25);
+      for (int i = 0; i < 2000; ++i) a.Increment(rng);
+      for (int i = 0; i < 3000; ++i) b.Increment(rng);
+      a.Merge(b, rng);
+      mean.Add(a.Estimate());
+      err.Add(a.Estimate(), truth);
+    }
+    t.NewRow()
+        .Add("merge 2000+3000, b=1.25")
+        .Add(truth, 6)
+        .Add(mean.mean() / truth, 4)
+        .Add(err.nrmse(), 4);
+  }
+
+  {  // HIP accumulation: increments that grow like the HIP adjusted
+     // weights (~1/k of the running total), where small bases shine.
+    const uint32_t k = 16;
+    RunningStat mean;
+    ErrorStats err;
+    double truth = 0.0;
+    for (uint32_t run = 0; run < runs; ++run) {
+      MorrisCounter c(1.0 + 1.0 / k);
+      double total = 0.0, w = 1.0;
+      while (total < 100000.0) {
+        c.Add(w, rng);
+        total += w;
+        w = std::max(1.0, total / k);
+      }
+      truth = total;
+      mean.Add(c.Estimate());
+      err.Add(c.Estimate(), total);
+    }
+    t.NewRow()
+        .Add("HIP-style adds, b=1+1/16")
+        .Add(truth, 6)
+        .Add(mean.mean() / truth, 4)
+        .Add(err.nrmse(), 4);
+  }
+
+  std::printf(
+      "\n=== CLAIM-MORRIS: weighted updates / merge / HIP accumulation "
+      "(%u runs) ===\nall unbiased; HIP-style growing increments keep the "
+      "error near b-1 (Section 7).\n\n",
+      runs);
+  t.PrintText(std::cout);
+}
+
+}  // namespace
+}  // namespace hipads
+
+int main(int argc, char** argv) {
+  bool quick = hipads::QuickMode(argc, argv);
+  hipads::UnitIncrements(quick);
+  hipads::WeightedAndMerge(quick);
+  return 0;
+}

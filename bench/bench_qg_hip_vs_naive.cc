@@ -1,0 +1,117 @@
+// CLAIM-QG: the introduction/Corollary 5.3 claim that for distance-decay
+// statistics Q_g (Eq. 1) the HIP estimator beats the naive
+// MinHash-sample-of-reachable-nodes estimator by up to a factor n/k in
+// variance, because the uniform sample is unlikely to include the close
+// nodes where g concentrates.
+//
+// Two settings: (a) the stream model with several decay functions, and
+// (b) decay centralities of actual nodes in a Barabasi-Albert graph.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "ads/builders.h"
+#include "ads/estimators.h"
+#include "bench_common.h"
+#include "graph/exact.h"
+#include "graph/generators.h"
+#include "util/hash.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace hipads {
+namespace {
+
+Ads StreamAds(uint64_t n, uint32_t k, const RankAssignment& ranks) {
+  std::vector<AdsEntry> candidates;
+  for (uint64_t i = 0; i < n; ++i) {
+    candidates.push_back(AdsEntry{static_cast<NodeId>(i), 0, ranks.rank(i),
+                                  static_cast<double>(i)});
+  }
+  return Ads::CanonicalBottomK(std::move(candidates), k, ranks.sup());
+}
+
+struct DecayFn {
+  const char* name;
+  double (*fn)(double);
+};
+
+void StreamExperiment(bool quick) {
+  const uint32_t k = 16;
+  const uint64_t n = 10000;
+  const uint32_t runs = quick ? 100 : 1000;
+  DecayFn decays[] = {
+      {"exp(-d)", [](double d) { return std::exp(-d); }},
+      {"exp(-d/100)", [](double d) { return std::exp(-d / 100.0); }},
+      {"1/(1+d)", [](double d) { return 1.0 / (1.0 + d); }},
+      {"2^-d (paper [21])", [](double d) { return std::pow(2.0, -d); }},
+      {"harmonic 1/d", [](double d) { return d > 0 ? 1.0 / d : 0.0; }},
+      {"constant 1", [](double) { return 1.0; }},
+  };
+
+  Table t({"g(d)", "truth", "HIP nrmse", "naive nrmse", "var ratio",
+           "n/k bound"});
+  for (const DecayFn& decay : decays) {
+    double truth = 0.0;
+    for (uint64_t i = 0; i < n; ++i) truth += decay.fn(static_cast<double>(i));
+    ErrorStats hip_err, naive_err;
+    for (uint64_t run = 0; run < runs; ++run) {
+      auto ranks = RankAssignment::Uniform(HashCombine(10101, run));
+      Ads ads = StreamAds(n, k, ranks);
+      HipEstimator hip(ads, k, SketchFlavor::kBottomK, ranks);
+      auto g_fn = [&decay](NodeId, double d) { return decay.fn(d); };
+      hip_err.Add(hip.Qg(g_fn), truth);
+      naive_err.Add(NaiveQgEstimate(ads, k, g_fn), truth);
+    }
+    double var_ratio = std::pow(naive_err.nrmse() / hip_err.nrmse(), 2.0);
+    t.NewRow()
+        .Add(decay.name)
+        .Add(truth, 5)
+        .Add(hip_err.nrmse(), 4)
+        .Add(naive_err.nrmse(), 4)
+        .Add(var_ratio, 4)
+        .Add(static_cast<double>(n) / k, 4);
+  }
+  std::printf(
+      "=== CLAIM-QG (stream model): HIP vs naive subset-weight estimator "
+      "===\nk=%u, n=%llu, %u runs. Sharper decay -> larger HIP advantage "
+      "(up to ~n/k in variance); for constant g the two are comparable.\n\n",
+      k, static_cast<unsigned long long>(n), runs);
+  t.PrintText(std::cout);
+}
+
+void GraphExperiment(bool quick) {
+  const uint32_t k = 16;
+  Graph g = BarabasiAlbert(3000, 3, 5);
+  const uint32_t runs = quick ? 10 : 60;
+  const NodeId probe = 123;
+  auto alpha = [](double d) { return std::exp(-d); };
+  double truth =
+      ExactQg(g, probe, [&alpha](NodeId, double d) { return alpha(d); });
+  ErrorStats hip_err, naive_err;
+  for (uint64_t seed = 0; seed < runs; ++seed) {
+    auto ranks = RankAssignment::Uniform(seed * 101 + 3);
+    AdsSet set = BuildAdsDp(g, k, SketchFlavor::kBottomK, ranks);
+    HipEstimator hip(set.of(probe), k, SketchFlavor::kBottomK, ranks);
+    auto g_fn = [&alpha](NodeId, double d) { return alpha(d); };
+    hip_err.Add(hip.Qg(g_fn), truth);
+    naive_err.Add(NaiveQgEstimate(set.of(probe), k, g_fn), truth);
+  }
+  std::printf(
+      "\n=== CLAIM-QG (Barabasi-Albert graph, n=3000, k=%u, %u seeds) ===\n"
+      "exponential-decay centrality of one node: HIP nrmse=%.4f, naive "
+      "nrmse=%.4f, variance ratio=%.1f\n",
+      k, runs, hip_err.nrmse(), naive_err.nrmse(),
+      std::pow(naive_err.nrmse() / hip_err.nrmse(), 2.0));
+}
+
+}  // namespace
+}  // namespace hipads
+
+int main(int argc, char** argv) {
+  bool quick = hipads::QuickMode(argc, argv);
+  hipads::StreamExperiment(quick);
+  hipads::GraphExperiment(quick);
+  return 0;
+}

@@ -1,0 +1,128 @@
+#include "ads/ads.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/stats.h"
+
+namespace hipads {
+
+Ads::Ads(std::vector<AdsEntry> entries) : entries_(std::move(entries)) {
+  std::sort(entries_.begin(), entries_.end(), AdsEntryCloser);
+}
+
+bool Ads::Contains(NodeId node) const {
+  for (const AdsEntry& e : entries_) {
+    if (e.node == node) return true;
+  }
+  return false;
+}
+
+double Ads::DistanceOf(NodeId node) const {
+  for (const AdsEntry& e : entries_) {
+    if (e.node == node) return e.dist;
+  }
+  return -1.0;
+}
+
+size_t Ads::CountWithin(double d) const {
+  size_t c = 0;
+  for (const AdsEntry& e : entries_) {
+    if (e.dist > d) break;
+    ++c;
+  }
+  return c;
+}
+
+BottomKSketch Ads::BottomKAt(double d, uint32_t k, double sup) const {
+  BottomKSketch sketch(k, sup);
+  for (const AdsEntry& e : entries_) {
+    if (e.dist > d) break;
+    sketch.Update(e.rank);
+  }
+  return sketch;
+}
+
+KMinsSketch Ads::KMinsAt(double d, uint32_t k, double sup) const {
+  KMinsSketch sketch(k, sup);
+  for (const AdsEntry& e : entries_) {
+    if (e.dist > d) break;
+    sketch.Update(e.part, e.rank);
+  }
+  return sketch;
+}
+
+KPartitionSketch Ads::KPartitionAt(double d, uint32_t k, double sup) const {
+  KPartitionSketch sketch(k, sup);
+  for (const AdsEntry& e : entries_) {
+    if (e.dist > d) break;
+    sketch.Update(e.part, e.rank);
+  }
+  return sketch;
+}
+
+Ads Ads::CanonicalBottomK(std::vector<AdsEntry> candidates, uint32_t k,
+                          double sup) {
+  std::sort(candidates.begin(), candidates.end(), AdsEntryCloser);
+  Ads result;
+  BottomKSketch threshold(k, sup);
+  for (const AdsEntry& e : candidates) {
+    if (e.rank < threshold.Threshold()) {
+      result.Append(e);
+      threshold.Update(e.rank);
+    }
+  }
+  return result;
+}
+
+Ads Ads::ModifiedBottomK(std::vector<AdsEntry> candidates, uint32_t k,
+                         double sup) {
+  std::sort(candidates.begin(), candidates.end(), AdsEntryCloser);
+  Ads result;
+  BottomKSketch closer(k, sup);  // ranks of kept entries strictly closer
+  size_t i = 0;
+  while (i < candidates.size()) {
+    // Group of candidates at one distinct distance.
+    size_t j = i;
+    while (j < candidates.size() && candidates[j].dist == candidates[i].dist) {
+      ++j;
+    }
+    // kth smallest rank among all nodes within this distance: merge the
+    // strictly-closer sketch with this group's ranks. A candidate belongs
+    // iff fewer than k OTHER nodes in the ball have a smaller rank, i.e.
+    // its rank is at or below the ball's kth smallest (Appendix A counts
+    // the node itself out of its own threshold).
+    BottomKSketch ball = closer;
+    for (size_t t = i; t < j; ++t) ball.Update(candidates[t].rank);
+    double kth = ball.Threshold();
+    for (size_t t = i; t < j; ++t) {
+      if (candidates[t].rank <= kth) result.Append(candidates[t]);
+    }
+    // All kept nodes at this distance become "closer" for later groups; so
+    // do unkept ones, but their ranks are >= kth and cannot tighten the
+    // bottom-k threshold beyond what the ball sketch already holds.
+    closer = ball;
+    i = j;
+  }
+  return result;
+}
+
+uint64_t AdsSet::TotalEntries() const {
+  uint64_t total = 0;
+  for (const Ads& a : ads) total += a.size();
+  return total;
+}
+
+double ExpectedBottomKAdsSize(uint32_t k, uint64_t n) {
+  if (n <= k) return static_cast<double>(n);
+  return k + k * (HarmonicNumber(n) - HarmonicNumber(k));
+}
+
+double ExpectedKPartitionAdsSize(uint32_t k, uint64_t n) {
+  if (n <= k) return static_cast<double>(n);
+  // Each bucket holds ~ n/k elements; a bottom-1 ADS over m elements has
+  // expected size H_m.
+  return k * HarmonicNumber(n / k);
+}
+
+}  // namespace hipads

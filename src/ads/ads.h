@@ -1,0 +1,125 @@
+// The All-Distances Sketch (ADS) data structure (paper Section 2).
+//
+// ADS(v) is a sample of the nodes reachable from v in which node u appears
+// with probability ~ k / (Dijkstra rank of u w.r.t. v); each included node
+// is stored with its distance from v. Equivalently, ADS(v) is the union of
+// coordinated MinHash sketches of every neighborhood N_d(v).
+//
+// The container below holds entries sorted by increasing (distance, node
+// id), which is the canonical scan order for HIP estimation, and supports
+// extracting the MinHash sketch of N_d(v) for any d. Ties in distance are
+// broken by node id (a fixed, rank-independent order, as Appendix B.3
+// prescribes), making distances effectively unique as the paper's
+// definitions assume; the Appendix-A variant that avoids tie breaking is
+// exposed as a separate inclusion rule.
+
+#ifndef HIPADS_ADS_ADS_H_
+#define HIPADS_ADS_ADS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sketch/minhash.h"
+#include "sketch/rank.h"
+
+namespace hipads {
+
+/// One sketched node: (node id, its rank, distance from the ADS owner).
+/// `part` is the permutation index for k-mins ADSs and the bucket id for
+/// k-partition ADSs; always 0 for bottom-k.
+struct AdsEntry {
+  NodeId node;
+  uint32_t part;
+  double rank;
+  double dist;
+};
+
+/// Ordering predicate: by (distance, node id, part). Node id breaks distance
+/// ties, giving the canonical "unique distances" order of Section 2 /
+/// Appendix B.3. The tie break must be independent of the random ranks:
+/// a rank-dependent order would make the "closer than j" set depend on j's
+/// own rank and bias the HIP conditioning on graphs with repeated distances.
+inline bool AdsEntryCloser(const AdsEntry& a, const AdsEntry& b) {
+  if (a.dist != b.dist) return a.dist < b.dist;
+  if (a.node != b.node) return a.node < b.node;
+  return a.part < b.part;
+}
+
+/// The ADS of a single node.
+class Ads {
+ public:
+  Ads() = default;
+
+  /// Wraps entries, sorting them into canonical order.
+  explicit Ads(std::vector<AdsEntry> entries);
+
+  const std::vector<AdsEntry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Appends an entry that is known to follow all current entries in
+  /// canonical order (builders emit entries in scan order).
+  void Append(const AdsEntry& e) { entries_.push_back(e); }
+
+  /// True if `node` appears in the sketch (any part).
+  bool Contains(NodeId node) const;
+
+  /// Distance of `node`, or -1 if absent.
+  double DistanceOf(NodeId node) const;
+
+  /// Number of entries with dist <= d.
+  size_t CountWithin(double d) const;
+
+  /// The bottom-k MinHash sketch of N_d(owner) contained in this ADS
+  /// (Section 2: "an ADS contains a MinHash sketch of every neighborhood").
+  /// Only valid for bottom-k flavor ADSs.
+  BottomKSketch BottomKAt(double d, uint32_t k, double sup = 1.0) const;
+
+  /// k-mins MinHash sketch of N_d(owner); valid for k-mins flavor.
+  KMinsSketch KMinsAt(double d, uint32_t k, double sup = 1.0) const;
+
+  /// k-partition MinHash sketch of N_d(owner); valid for k-partition flavor.
+  KPartitionSketch KPartitionAt(double d, uint32_t k, double sup = 1.0) const;
+
+  /// Re-derives the canonical bottom-k ADS content from any superset of
+  /// candidate entries: scans in (dist, rank) order keeping an entry iff its
+  /// rank is below the kth smallest kept rank so far. This is simultaneously
+  /// the ADS membership rule (Eq. 4), the LocalUpdates clean-up pass, and
+  /// the validator used in tests. Entries for the same node must be unique.
+  static Ads CanonicalBottomK(std::vector<AdsEntry> candidates, uint32_t k,
+                              double sup = 1.0);
+
+  /// Appendix-A variant without tie breaking: an entry is kept iff fewer
+  /// than k other nodes within its distance have a smaller rank (so at
+  /// most k entries per distinct distance — the k smallest). HIP weights
+  /// for this variant come from ComputeModifiedHipWeights.
+  static Ads ModifiedBottomK(std::vector<AdsEntry> candidates, uint32_t k,
+                             double sup = 1.0);
+
+ private:
+  std::vector<AdsEntry> entries_;  // canonical (dist, rank) order
+};
+
+/// ADSs of all nodes of one graph, plus the parameters that define them.
+struct AdsSet {
+  SketchFlavor flavor = SketchFlavor::kBottomK;
+  uint32_t k = 0;
+  RankAssignment ranks = RankAssignment::Uniform(0);
+  std::vector<Ads> ads;  // indexed by node id
+
+  const Ads& of(NodeId v) const { return ads[v]; }
+  /// Total number of entries across all nodes.
+  uint64_t TotalEntries() const;
+};
+
+/// Expected bottom-k ADS size k + k(H_n - H_k) for n reachable nodes
+/// (Lemma 2.2).
+double ExpectedBottomKAdsSize(uint32_t k, uint64_t n);
+
+/// Expected k-partition ADS size ~ k (H_{n/k}) ~ k ln(n/k) (Lemma 2.2).
+double ExpectedKPartitionAdsSize(uint32_t k, uint64_t n);
+
+}  // namespace hipads
+
+#endif  // HIPADS_ADS_ADS_H_

@@ -1,0 +1,120 @@
+#include "ads/anf.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "stream/hll.h"
+#include "util/hash.h"
+
+namespace hipads {
+
+namespace {
+
+constexpr uint32_t kRegisterCap = 31;  // 5-bit registers
+
+// Register state of one node plus its HIP accumulator.
+struct NodeState {
+  std::vector<uint8_t> regs;
+  double probability_sum;  // sum over non-saturated regs of 2^-M
+  double hip_count = 0.0;
+};
+
+double BasicEstimate(const std::vector<uint8_t>& regs) {
+  uint32_t k = static_cast<uint32_t>(regs.size());
+  double sum = 0.0;
+  uint32_t zeros = 0;
+  for (uint8_t m : regs) {
+    sum += std::ldexp(1.0, -static_cast<int>(m));
+    if (m == 0) ++zeros;
+  }
+  double kk = static_cast<double>(k);
+  double raw = HyperLogLog::Alpha(k) * kk * kk / sum;
+  if (raw <= 2.5 * kk && zeros != 0) {
+    return kk * std::log(kk / static_cast<double>(zeros));
+  }
+  return raw;
+}
+
+// Applies one observed register update to the HIP accumulator: the update
+// probability, conditioned on the pre-update registers, is
+// (1/k) sum over non-saturated registers of 2^-M (Eq. 8).
+void HipAbsorb(NodeState& s, uint32_t reg, uint8_t new_value) {
+  double k = static_cast<double>(s.regs.size());
+  double tau = s.probability_sum / k;
+  assert(tau > 0.0);
+  s.hip_count += 1.0 / tau;
+  s.probability_sum -= std::ldexp(1.0, -static_cast<int>(s.regs[reg]));
+  if (new_value < kRegisterCap) {
+    s.probability_sum += std::ldexp(1.0, -static_cast<int>(new_value));
+  }
+  s.regs[reg] = new_value;
+}
+
+}  // namespace
+
+AnfResult HyperAnf(const Graph& g, uint32_t k, uint64_t seed,
+                   AnfEstimator estimator, uint32_t max_rounds) {
+  NodeId n = g.num_nodes();
+  Graph gt = g.Transpose();
+  assert(g.IsUnitWeight() && "HyperAnf requires an unweighted graph");
+
+  // Initialize every node's sketch with itself.
+  std::vector<NodeState> state(n);
+  for (NodeId v = 0; v < n; ++v) {
+    state[v].regs.assign(k, 0);
+    state[v].probability_sum = static_cast<double>(k);
+    uint32_t bucket = BucketHash(seed, v, k);
+    double r = UnitHash(seed, v);
+    uint32_t h = static_cast<uint32_t>(std::ceil(-std::log2(r)));
+    if (h < 1) h = 1;
+    if (h > kRegisterCap) h = kRegisterCap;
+    HipAbsorb(state[v], bucket, static_cast<uint8_t>(h));
+  }
+
+  AnfResult result;
+  auto read_all = [&]() {
+    double total = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      total += estimator == AnfEstimator::kHip ? state[v].hip_count
+                                               : BasicEstimate(state[v].regs);
+    }
+    return total;
+  };
+  result.neighbourhood_function.push_back(read_all());
+
+  // Synchronous rounds: next[v] = max over v's out-neighbors' registers.
+  std::vector<std::vector<uint8_t>> snapshot(n);
+  uint32_t round = 0;
+  while (max_rounds == 0 || round < max_rounds) {
+    ++round;
+    bool changed = false;
+    for (NodeId v = 0; v < n; ++v) snapshot[v] = state[v].regs;
+    for (NodeId v = 0; v < n; ++v) {
+      for (const Arc& a : g.OutArcs(v)) {
+        const std::vector<uint8_t>& other = snapshot[a.head];
+        for (uint32_t i = 0; i < k; ++i) {
+          if (other[i] > state[v].regs[i]) {
+            HipAbsorb(state[v], i, other[i]);
+            changed = true;
+          }
+        }
+      }
+    }
+    if (!changed) {
+      --round;  // the last round did nothing; don't count it
+      break;
+    }
+    result.neighbourhood_function.push_back(read_all());
+  }
+  result.rounds = round;
+  result.final_cardinalities.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    result.final_cardinalities[v] = estimator == AnfEstimator::kHip
+                                        ? state[v].hip_count
+                                        : BasicEstimate(state[v].regs);
+  }
+  (void)gt;
+  return result;
+}
+
+}  // namespace hipads

@@ -1,0 +1,55 @@
+// Limited ("memory-less") ADS computation in the ANF / hyperANF style
+// (paper Appendix B.1).
+//
+// Instead of materializing ADSs, each node keeps only the k-partition
+// base-2 MinHash sketch (HyperLogLog registers) of its current
+// d-neighborhood; one synchronous round of register merges advances d by
+// one. ANF/hyperANF read a basic cardinality estimate off each node's
+// registers after every round; per Appendix B.1, applying a HIP counter to
+// the same register stream instead gives more accurate estimates "using
+// the same implementations ... essentially without changing the
+// computation".
+//
+// Granularity caveat: a register that grows by several element collisions
+// within one round is a single observable update, so the HIP counter sees
+// slightly fewer updates than a per-element stream would deliver; the
+// bench (bench_anf) quantifies this against exact neighborhood functions.
+
+#ifndef HIPADS_ADS_ANF_H_
+#define HIPADS_ADS_ANF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hipads {
+
+/// Result of a hyperANF-style run: per distance d (1-indexed rounds), the
+/// estimated neighbourhood function N(d) = #ordered pairs within distance
+/// d (including d = 0 self pairs omitted), plus per-node cardinalities.
+struct AnfResult {
+  /// neighbourhood_function[d] ~ sum_v |N_d(v)| for d = 0, 1, ... (d = 0
+  /// row equals the number of nodes).
+  std::vector<double> neighbourhood_function;
+  /// Per-node estimates of |N_D(v)| at the final round D.
+  std::vector<double> final_cardinalities;
+  /// Number of rounds executed (= effective diameter reached).
+  uint32_t rounds = 0;
+};
+
+/// Which estimator reads the registers after each round.
+enum class AnfEstimator {
+  kBasic,  // HyperLogLog bias-corrected estimate (classic hyperANF)
+  kHip,    // running HIP counter driven by register updates (App. B.1)
+};
+
+/// Runs the synchronous register-merge computation on an unweighted graph
+/// until no register changes (or max_rounds). k is the number of registers
+/// per node (a k-partition base-2 sketch, 5-bit saturating).
+AnfResult HyperAnf(const Graph& g, uint32_t k, uint64_t seed,
+                   AnfEstimator estimator, uint32_t max_rounds = 0);
+
+}  // namespace hipads
+
+#endif  // HIPADS_ADS_ANF_H_

@@ -1,0 +1,283 @@
+// Dynamic-programming (Bellman-Ford style) ADS construction for unweighted
+// graphs (paper Section 3; the ANF / hyperANF computation pattern).
+//
+// Round d relaxes every arc whose sink gained entries in round d-1, so
+// candidate entries are generated in increasing distance and, once inserted,
+// are final. Within a round, candidates of one target node are applied in
+// increasing node-id order, which realizes the same (distance, node id) tie
+// breaking as the pruned-Dijkstra builder — the two produce identical ADSs.
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+#include <unordered_set>
+
+#include "ads/builders.h"
+
+namespace hipads {
+
+namespace {
+
+struct Candidate {
+  NodeId target;
+  NodeId node;
+  double rank;
+};
+
+// One bottom-k DP pass with ranks from assignment index `perm`, entries
+// labeled `part`. `is_source` limits which nodes seed their own ADS
+// (nullptr = all nodes); used by the k-partition flavor.
+void RunDpPass(const Graph& gt, uint32_t k, uint32_t part, uint32_t perm,
+               const RankAssignment& ranks,
+               const std::vector<bool>* is_source,
+               std::vector<std::vector<AdsEntry>>& out,
+               AdsBuildStats* stats) {
+  NodeId n = gt.num_nodes();
+  // Rank threshold state of each target ADS in this pass.
+  std::vector<BottomKSketch> threshold(n, BottomKSketch(k, ranks.sup()));
+  // Membership of (target, node) pairs inserted in this pass.
+  std::unordered_set<uint64_t> member;
+  auto key = [](NodeId target, NodeId node) {
+    return (static_cast<uint64_t>(target) << 32) | node;
+  };
+
+  // Frontier: entries inserted in the previous round, as (owner, node, rank).
+  std::vector<Candidate> frontier;
+  for (NodeId v = 0; v < n; ++v) {
+    if (is_source != nullptr && !(*is_source)[v]) continue;
+    double rv = ranks.rank(v, perm);
+    out[v].push_back(AdsEntry{v, part, rv, 0.0});
+    threshold[v].Update(rv);
+    member.insert(key(v, v));
+    frontier.push_back(Candidate{v, v, rv});
+    if (stats != nullptr) ++stats->insertions;
+  }
+
+  double d = 0.0;
+  std::vector<Candidate> candidates;
+  while (!frontier.empty()) {
+    d += 1.0;
+    if (stats != nullptr) ++stats->rounds;
+    candidates.clear();
+    // Propagate last round's new entries across (transpose) arcs.
+    for (const Candidate& f : frontier) {
+      for (const Arc& a : gt.OutArcs(f.target)) {
+        if (stats != nullptr) ++stats->relaxations;
+        candidates.push_back(Candidate{a.head, f.node, f.rank});
+      }
+    }
+    frontier.clear();
+    // Apply candidates per target in increasing node-id order so that ties
+    // at distance d resolve by the canonical rank-independent order: a
+    // candidate's threshold counts exactly the members that are lex-closer
+    // (prior rounds, plus this round's smaller ids, already applied).
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.target != b.target) return a.target < b.target;
+                return a.node < b.node;
+              });
+    for (const Candidate& c : candidates) {
+      if (c.rank >= threshold[c.target].Threshold()) continue;
+      if (!member.insert(key(c.target, c.node)).second) continue;
+      out[c.target].push_back(AdsEntry{c.node, part, c.rank, d});
+      threshold[c.target].Update(c.rank);
+      frontier.push_back(Candidate{c.target, c.node, c.rank});
+      if (stats != nullptr) ++stats->insertions;
+    }
+  }
+}
+
+// Parallel variant of RunDpPass: candidate generation is sharded over the
+// frontier, application over contiguous target ranges of the sorted
+// candidate array, so every target's state is owned by exactly one thread
+// per round. Applying candidates in the same (target, node) order as the
+// sequential pass makes the output bit-identical.
+void RunDpPassParallel(const Graph& gt, uint32_t k, uint32_t part,
+                       uint32_t perm, const RankAssignment& ranks,
+                       const std::vector<bool>* is_source,
+                       uint32_t num_threads,
+                       std::vector<std::vector<AdsEntry>>& out,
+                       AdsBuildStats* stats) {
+  NodeId n = gt.num_nodes();
+  std::vector<BottomKSketch> threshold(n, BottomKSketch(k, ranks.sup()));
+  // Per-target membership: within a round each target is touched by one
+  // thread only, so no synchronization is needed.
+  std::vector<std::unordered_set<NodeId>> member(n);
+
+  std::vector<Candidate> frontier;
+  for (NodeId v = 0; v < n; ++v) {
+    if (is_source != nullptr && !(*is_source)[v]) continue;
+    double rv = ranks.rank(v, perm);
+    out[v].push_back(AdsEntry{v, part, rv, 0.0});
+    threshold[v].Update(rv);
+    member[v].insert(v);
+    frontier.push_back(Candidate{v, v, rv});
+    if (stats != nullptr) ++stats->insertions;
+  }
+
+  double d = 0.0;
+  std::vector<Candidate> candidates;
+  while (!frontier.empty()) {
+    d += 1.0;
+    if (stats != nullptr) ++stats->rounds;
+
+    // Phase A: generate candidates, sharded over the frontier.
+    std::vector<std::vector<Candidate>> shard_out(num_threads);
+    {
+      std::vector<std::thread> workers;
+      size_t chunk = (frontier.size() + num_threads - 1) / num_threads;
+      for (uint32_t t = 0; t < num_threads; ++t) {
+        size_t begin = std::min(frontier.size(), t * chunk);
+        size_t end = std::min(frontier.size(), begin + chunk);
+        workers.emplace_back([&, t, begin, end]() {
+          for (size_t i = begin; i < end; ++i) {
+            const Candidate& f = frontier[i];
+            for (const Arc& a : gt.OutArcs(f.target)) {
+              shard_out[t].push_back(Candidate{a.head, f.node, f.rank});
+            }
+          }
+        });
+      }
+      for (auto& w : workers) w.join();
+    }
+    candidates.clear();
+    for (auto& shard : shard_out) {
+      if (stats != nullptr) stats->relaxations += shard.size();
+      candidates.insert(candidates.end(), shard.begin(), shard.end());
+    }
+    frontier.clear();
+
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.target != b.target) return a.target < b.target;
+                return a.node < b.node;
+              });
+
+    // Phase B: apply candidates, sharded over disjoint target ranges.
+    std::vector<std::vector<Candidate>> next_frontier(num_threads);
+    std::vector<uint64_t> inserted(num_threads, 0);
+    {
+      std::vector<std::thread> workers;
+      size_t chunk = (candidates.size() + num_threads - 1) / num_threads;
+      // Align shard boundaries to target changes so no target spans two
+      // shards.
+      std::vector<size_t> bounds = {0};
+      for (uint32_t t = 1; t < num_threads; ++t) {
+        size_t b = std::min(candidates.size(), t * chunk);
+        while (b < candidates.size() && b > 0 &&
+               candidates[b].target == candidates[b - 1].target) {
+          ++b;
+        }
+        bounds.push_back(std::max(b, bounds.back()));
+      }
+      bounds.push_back(candidates.size());
+      for (uint32_t t = 0; t < num_threads; ++t) {
+        size_t begin = bounds[t], end = bounds[t + 1];
+        workers.emplace_back([&, t, begin, end]() {
+          for (size_t i = begin; i < end; ++i) {
+            const Candidate& c = candidates[i];
+            if (c.rank >= threshold[c.target].Threshold()) continue;
+            if (!member[c.target].insert(c.node).second) continue;
+            out[c.target].push_back(AdsEntry{c.node, part, c.rank, d});
+            threshold[c.target].Update(c.rank);
+            next_frontier[t].push_back(c);
+            ++inserted[t];
+          }
+        });
+      }
+      for (auto& w : workers) w.join();
+    }
+    for (uint32_t t = 0; t < num_threads; ++t) {
+      if (stats != nullptr) stats->insertions += inserted[t];
+      frontier.insert(frontier.end(), next_frontier[t].begin(),
+                      next_frontier[t].end());
+    }
+  }
+}
+
+}  // namespace
+
+AdsSet BuildAdsDpParallel(const Graph& g, uint32_t k, SketchFlavor flavor,
+                          const RankAssignment& ranks, uint32_t num_threads,
+                          AdsBuildStats* stats) {
+  assert(k >= 1);
+  assert(g.IsUnitWeight() && "the DP builder requires an unweighted graph");
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  Graph gt = g.Transpose();
+  NodeId n = g.num_nodes();
+  std::vector<std::vector<AdsEntry>> out(n);
+
+  switch (flavor) {
+    case SketchFlavor::kBottomK:
+      RunDpPassParallel(gt, k, 0, 0, ranks, nullptr, num_threads, out,
+                        stats);
+      break;
+    case SketchFlavor::kKMins:
+      for (uint32_t p = 0; p < k; ++p) {
+        RunDpPassParallel(gt, 1, p, p, ranks, nullptr, num_threads, out,
+                          stats);
+      }
+      break;
+    case SketchFlavor::kKPartition:
+      for (uint32_t h = 0; h < k; ++h) {
+        std::vector<bool> in_bucket(n, false);
+        for (NodeId v = 0; v < n; ++v) {
+          in_bucket[v] = BucketHash(ranks.seed(), v, k) == h;
+        }
+        RunDpPassParallel(gt, 1, h, 0, ranks, &in_bucket, num_threads, out,
+                          stats);
+      }
+      break;
+  }
+
+  AdsSet set;
+  set.flavor = flavor;
+  set.k = k;
+  set.ranks = ranks;
+  set.ads.reserve(n);
+  for (NodeId v = 0; v < n; ++v) set.ads.emplace_back(std::move(out[v]));
+  return set;
+}
+
+AdsSet BuildAdsDp(const Graph& g, uint32_t k, SketchFlavor flavor,
+                  const RankAssignment& ranks, AdsBuildStats* stats) {
+  assert(k >= 1);
+  assert(g.IsUnitWeight() && "the DP builder requires an unweighted graph");
+  Graph gt = g.Transpose();
+  NodeId n = g.num_nodes();
+  std::vector<std::vector<AdsEntry>> out(n);
+
+  switch (flavor) {
+    case SketchFlavor::kBottomK:
+      RunDpPass(gt, k, /*part=*/0, /*perm=*/0, ranks, nullptr, out, stats);
+      break;
+    case SketchFlavor::kKMins:
+      for (uint32_t p = 0; p < k; ++p) {
+        RunDpPass(gt, 1, /*part=*/p, /*perm=*/p, ranks, nullptr, out, stats);
+      }
+      break;
+    case SketchFlavor::kKPartition: {
+      for (uint32_t h = 0; h < k; ++h) {
+        std::vector<bool> in_bucket(n, false);
+        for (NodeId v = 0; v < n; ++v) {
+          in_bucket[v] = BucketHash(ranks.seed(), v, k) == h;
+        }
+        RunDpPass(gt, 1, /*part=*/h, /*perm=*/0, ranks, &in_bucket, out,
+                  stats);
+      }
+      break;
+    }
+  }
+
+  AdsSet set;
+  set.flavor = flavor;
+  set.k = k;
+  set.ranks = ranks;
+  set.ads.reserve(n);
+  for (NodeId v = 0; v < n; ++v) set.ads.emplace_back(std::move(out[v]));
+  return set;
+}
+
+}  // namespace hipads

@@ -1,0 +1,274 @@
+// Algorithm 2: node-centric ADS construction by local update propagation,
+// simulated in synchronous rounds (the MapReduce / Pregel execution model
+// the paper targets).
+//
+// Unlike the other builders, entries here are tentative: a node may insert
+// an entry and later delete it (clean-up) when closer lower-rank entries
+// arrive, or shrink an entry's distance when a shorter path is discovered.
+// With epsilon == 0 the result is the exact canonical ADS set; with
+// epsilon > 0 it is a (1+epsilon)-approximate ADS set, which provably caps
+// the update overhead (Section 3).
+
+#include <algorithm>
+#include <cassert>
+
+#include "ads/builders.h"
+#include "graph/traversal.h"
+
+namespace hipads {
+
+namespace {
+
+struct Message {
+  NodeId target;
+  NodeId node;
+  uint32_t part;
+  double rank;
+  double dist;
+};
+
+// Mutable per-node ADS state for one pass: entries sorted by (dist, rank).
+using EntryList = std::vector<AdsEntry>;
+
+// True iff entry `a` is closer than the key (dist, node) under the
+// canonical tie-broken order, with the (1+epsilon) slack deflating `a`'s
+// distance requirement where a strict comparison is involved.
+bool LexCloser(const AdsEntry& a, double dist, NodeId node, double slack) {
+  if (a.dist * slack < dist) return true;
+  return a.dist <= dist && (a.dist < dist || a.node < node);
+}
+
+// Removes entries dominated by >= k closer lower-rank entries. An entry e is
+// dominated by ke iff ke.rank < e.rank and ke is closer under the tie-broken
+// (distance, node id) order. In exact mode (slack == 1) this
+// recanonicalizes the list; with slack > 1 eviction requires dominators to
+// be decisively closer (ke.dist * slack <= e.dist), preserving the
+// (1+epsilon)-approximate invariant.
+size_t CleanUp(EntryList& entries, uint32_t k, double slack) {
+  std::sort(entries.begin(), entries.end(), AdsEntryCloser);
+  EntryList kept;
+  kept.reserve(entries.size());
+  size_t removed = 0;
+  for (const AdsEntry& e : entries) {
+    size_t dominators = 0;
+    for (const AdsEntry& ke : kept) {
+      bool closer = slack == 1.0
+                        ? LexCloser(ke, e.dist, e.node, 1.0)
+                        : ke.dist * slack <= e.dist;
+      if (closer && ke.rank < e.rank) ++dominators;
+    }
+    if (dominators >= k) {
+      ++removed;
+    } else {
+      kept.push_back(e);
+    }
+  }
+  entries = std::move(kept);
+  return removed;
+}
+
+void RunLocalUpdatesPass(const Graph& gt, uint32_t k, uint32_t part,
+                         uint32_t perm, const RankAssignment& ranks,
+                         const std::vector<bool>* is_source, double epsilon,
+                         std::vector<std::vector<AdsEntry>>& out,
+                         AdsBuildStats* stats) {
+  NodeId n = gt.num_nodes();
+  double slack = 1.0 + epsilon;
+  std::vector<EntryList> ads(n);
+  std::vector<Message> inbox;
+
+  auto send_updates = [&](NodeId u, NodeId node, double rank, double dist,
+                          std::vector<Message>& outbox) {
+    for (const Arc& a : gt.OutArcs(u)) {
+      outbox.push_back(
+          Message{a.head, node, part, rank, dist + a.weight});
+    }
+  };
+
+  // Initialization: each source holds itself at distance 0 and announces it.
+  for (NodeId v = 0; v < n; ++v) {
+    if (is_source != nullptr && !(*is_source)[v]) continue;
+    double rv = ranks.rank(v, perm);
+    ads[v].push_back(AdsEntry{v, part, rv, 0.0});
+    if (stats != nullptr) ++stats->insertions;
+    send_updates(v, v, rv, 0.0, inbox);
+  }
+
+  std::vector<Message> outbox;
+  while (!inbox.empty()) {
+    if (stats != nullptr) {
+      ++stats->rounds;
+      stats->relaxations += inbox.size();
+    }
+    outbox.clear();
+    // Process this round's messages grouped by target, in canonical order so
+    // that ties resolve deterministically.
+    std::sort(inbox.begin(), inbox.end(),
+              [](const Message& a, const Message& b) {
+                if (a.target != b.target) return a.target < b.target;
+                if (a.dist != b.dist) return a.dist < b.dist;
+                return a.node < b.node;
+              });
+    for (const Message& m : inbox) {
+      EntryList& list = ads[m.target];
+      // Existing entry for this node?
+      size_t existing = list.size();
+      for (size_t i = 0; i < list.size(); ++i) {
+        if (list[i].node == m.node) {
+          existing = i;
+          break;
+        }
+      }
+      if (existing < list.size() && list[existing].dist <= m.dist) {
+        continue;  // already known at an equal or shorter distance
+      }
+      // Insertion test: rank must beat the kth smallest rank among entries
+      // that are closer under the tie-broken order (with the approximate
+      // mode's distance slack making "closer" more inclusive, i.e.
+      // insertion harder).
+      BottomKSketch thr(k, ranks.sup());
+      for (size_t i = 0; i < list.size(); ++i) {
+        if (i == existing) continue;  // ignore the entry being replaced
+        const AdsEntry& e = list[i];
+        if (e.dist <= m.dist * slack &&
+            (e.dist > m.dist || LexCloser(e, m.dist, m.node, 1.0))) {
+          thr.Update(e.rank);
+        }
+      }
+      if (m.rank >= thr.Threshold()) continue;
+      // Accept: replace or insert, clean up, propagate.
+      if (existing < list.size()) {
+        list.erase(list.begin() + static_cast<ptrdiff_t>(existing));
+        if (stats != nullptr) ++stats->deletions;
+      }
+      list.push_back(AdsEntry{m.node, part, m.rank, m.dist});
+      if (stats != nullptr) ++stats->insertions;
+      size_t removed = CleanUp(list, k, slack);
+      if (stats != nullptr) stats->deletions += removed;
+      // The inserted entry may itself have been removed by clean-up only if
+      // it was dominated, which the insertion test excludes; propagate it.
+      send_updates(m.target, m.node, m.rank, m.dist, outbox);
+    }
+    inbox.swap(outbox);
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    for (const AdsEntry& e : ads[v]) out[v].push_back(e);
+  }
+}
+
+}  // namespace
+
+AdsSet BuildAdsLocalUpdates(const Graph& g, uint32_t k, SketchFlavor flavor,
+                            const RankAssignment& ranks, double epsilon,
+                            AdsBuildStats* stats) {
+  assert(k >= 1);
+  assert(epsilon >= 0.0);
+  Graph gt = g.Transpose();
+  NodeId n = g.num_nodes();
+  std::vector<std::vector<AdsEntry>> out(n);
+
+  switch (flavor) {
+    case SketchFlavor::kBottomK:
+      RunLocalUpdatesPass(gt, k, /*part=*/0, /*perm=*/0, ranks, nullptr,
+                          epsilon, out, stats);
+      break;
+    case SketchFlavor::kKMins:
+      for (uint32_t p = 0; p < k; ++p) {
+        RunLocalUpdatesPass(gt, 1, /*part=*/p, /*perm=*/p, ranks, nullptr,
+                            epsilon, out, stats);
+      }
+      break;
+    case SketchFlavor::kKPartition: {
+      for (uint32_t h = 0; h < k; ++h) {
+        std::vector<bool> in_bucket(n, false);
+        for (NodeId v = 0; v < n; ++v) {
+          in_bucket[v] = BucketHash(ranks.seed(), v, k) == h;
+        }
+        RunLocalUpdatesPass(gt, 1, /*part=*/h, /*perm=*/0, ranks, &in_bucket,
+                            epsilon, out, stats);
+      }
+      break;
+    }
+  }
+
+  AdsSet set;
+  set.flavor = flavor;
+  set.k = k;
+  set.ranks = ranks;
+  set.ads.reserve(n);
+  for (NodeId v = 0; v < n; ++v) set.ads.emplace_back(std::move(out[v]));
+  return set;
+}
+
+AdsSet BuildAdsReference(const Graph& g, uint32_t k, SketchFlavor flavor,
+                         const RankAssignment& ranks) {
+  NodeId n = g.num_nodes();
+  AdsSet set;
+  set.flavor = flavor;
+  set.k = k;
+  set.ranks = ranks;
+  set.ads.resize(n);
+  // Distances from every node via repeated single-source computations on g.
+  for (NodeId v = 0; v < n; ++v) {
+    std::vector<double> dist = ShortestPathDistances(g, v);
+    std::vector<AdsEntry> candidates;
+    for (NodeId u = 0; u < n; ++u) {
+      if (dist[u] == kInfDist) continue;
+      switch (flavor) {
+        case SketchFlavor::kBottomK:
+          candidates.push_back(AdsEntry{u, 0, ranks.rank(u, 0), dist[u]});
+          break;
+        case SketchFlavor::kKMins:
+          for (uint32_t p = 0; p < k; ++p) {
+            candidates.push_back(AdsEntry{u, p, ranks.rank(u, p), dist[u]});
+          }
+          break;
+        case SketchFlavor::kKPartition:
+          candidates.push_back(AdsEntry{
+              u, BucketHash(ranks.seed(), u, k), ranks.rank(u, 0), dist[u]});
+          break;
+      }
+    }
+    switch (flavor) {
+      case SketchFlavor::kBottomK:
+        set.ads[v] = Ads::CanonicalBottomK(std::move(candidates), k,
+                                           ranks.sup());
+        break;
+      case SketchFlavor::kKMins: {
+        // k independent bottom-1 filters, one per rank assignment.
+        std::vector<AdsEntry> kept;
+        for (uint32_t p = 0; p < k; ++p) {
+          std::vector<AdsEntry> per;
+          for (const AdsEntry& e : candidates) {
+            if (e.part == p) per.push_back(e);
+          }
+          Ads filtered = Ads::CanonicalBottomK(std::move(per), 1,
+                                               ranks.sup());
+          kept.insert(kept.end(), filtered.entries().begin(),
+                      filtered.entries().end());
+        }
+        set.ads[v] = Ads(std::move(kept));
+        break;
+      }
+      case SketchFlavor::kKPartition: {
+        std::vector<AdsEntry> kept;
+        for (uint32_t h = 0; h < k; ++h) {
+          std::vector<AdsEntry> per;
+          for (const AdsEntry& e : candidates) {
+            if (e.part == h) per.push_back(e);
+          }
+          Ads filtered = Ads::CanonicalBottomK(std::move(per), 1,
+                                               ranks.sup());
+          kept.insert(kept.end(), filtered.entries().begin(),
+                      filtered.entries().end());
+        }
+        set.ads[v] = Ads(std::move(kept));
+        break;
+      }
+    }
+  }
+  return set;
+}
+
+}  // namespace hipads

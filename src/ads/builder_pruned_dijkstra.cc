@@ -1,0 +1,161 @@
+// Algorithm 1: ADS construction via pruned Dijkstra searches.
+//
+// Nodes are processed in increasing rank order; a Dijkstra on the transpose
+// graph from node u reaches every node v whose ADS u belongs to. Because all
+// previously inserted entries have smaller rank, u belongs to ADS(v) iff
+// fewer than k current entries of ADS(v) are closer under the tie-broken
+// (distance, node id) order, and the search can be pruned at v otherwise
+// (anything beyond v is farther still). Every inserted entry is final:
+// later-processed nodes have larger ranks and cannot displace it.
+
+#include <cassert>
+#include <queue>
+
+#include "ads/builders.h"
+
+namespace hipads {
+
+namespace {
+
+struct HeapItem {
+  double dist;
+  NodeId node;
+  bool operator>(const HeapItem& o) const {
+    if (dist != o.dist) return dist > o.dist;
+    return node > o.node;
+  }
+};
+
+// Shared scratch buffers so the n Dijkstra runs avoid O(n) re-initialization
+// each (epoch-stamped tentative distances).
+struct Scratch {
+  explicit Scratch(NodeId n) : dist(n, 0.0), epoch_of(n, 0) {}
+  std::vector<double> dist;
+  std::vector<uint32_t> epoch_of;
+  uint32_t epoch = 0;
+
+  void NewEpoch() { ++epoch; }
+  bool Seen(NodeId v) const { return epoch_of[v] == epoch; }
+  void Set(NodeId v, double d) {
+    dist[v] = d;
+    epoch_of[v] = epoch;
+  }
+};
+
+// One bottom-k construction pass over rank assignment index `perm`, with
+// entries labeled `part`. Sources must be sorted by increasing rank. Appends
+// final entries into `out`; `keys[v]` accumulates the sorted (distance,
+// node id) keys of current entries of ADS(v) for the pruning test.
+using LexKey = std::pair<double, NodeId>;
+
+void RunPass(const Graph& gt, uint32_t k, uint32_t part, uint32_t perm,
+             const RankAssignment& ranks,
+             const std::vector<NodeId>& sources_by_rank,
+             std::vector<std::vector<AdsEntry>>& out,
+             std::vector<std::vector<LexKey>>& keys, Scratch& scratch,
+             AdsBuildStats* stats) {
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  for (NodeId u : sources_by_rank) {
+    double ru = ranks.rank(u, perm);
+    scratch.NewEpoch();
+    heap.push({0.0, u});
+    scratch.Set(u, 0.0);
+    while (!heap.empty()) {
+      auto [d, v] = heap.top();
+      heap.pop();
+      if (scratch.dist[v] < d) continue;  // stale
+      // Membership test: all existing entries have smaller rank, so u joins
+      // ADS(v) iff fewer than k of them are closer under the tie-broken
+      // (distance, node id) order. Otherwise prune the search below v
+      // (every node beyond v is farther, so the same >= k entries apply).
+      std::vector<LexKey>& kl = keys[v];
+      LexKey key{d, u};
+      auto it = std::lower_bound(kl.begin(), kl.end(), key);
+      size_t closer = static_cast<size_t>(it - kl.begin());
+      if (closer >= k) continue;  // prune: v settled but not expanded
+      kl.insert(it, key);
+      out[v].push_back(AdsEntry{u, part, ru, d});
+      if (stats != nullptr) ++stats->insertions;
+      if (stats != nullptr) stats->relaxations += gt.OutDegree(v);
+      for (const Arc& a : gt.OutArcs(v)) {
+        double nd = d + a.weight;
+        if (!scratch.Seen(a.head) || nd < scratch.dist[a.head]) {
+          scratch.Set(a.head, nd);
+          heap.push({nd, a.head});
+        }
+      }
+    }
+  }
+}
+
+std::vector<NodeId> SortedByRank(const Graph& g, const RankAssignment& ranks,
+                                 uint32_t perm,
+                                 const std::vector<NodeId>* subset) {
+  std::vector<NodeId> order;
+  if (subset != nullptr) {
+    order = *subset;
+  } else {
+    order.resize(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) order[v] = v;
+  }
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return ranks.rank(a, perm) < ranks.rank(b, perm);
+  });
+  return order;
+}
+
+}  // namespace
+
+AdsSet BuildAdsPrunedDijkstra(const Graph& g, uint32_t k, SketchFlavor flavor,
+                              const RankAssignment& ranks,
+                              AdsBuildStats* stats) {
+  assert(k >= 1);
+  Graph gt = g.Transpose();
+  NodeId n = g.num_nodes();
+  std::vector<std::vector<AdsEntry>> out(n);
+  Scratch scratch(n);
+
+  switch (flavor) {
+    case SketchFlavor::kBottomK: {
+      std::vector<std::vector<LexKey>> dist_lists(n);
+      std::vector<NodeId> order = SortedByRank(g, ranks, 0, nullptr);
+      RunPass(gt, k, /*part=*/0, /*perm=*/0, ranks, order, out, dist_lists,
+              scratch, stats);
+      break;
+    }
+    case SketchFlavor::kKMins: {
+      // k independent bottom-1 ADSs over k rank assignments.
+      for (uint32_t p = 0; p < k; ++p) {
+        std::vector<std::vector<LexKey>> dist_lists(n);
+        std::vector<NodeId> order = SortedByRank(g, ranks, p, nullptr);
+        RunPass(gt, 1, /*part=*/p, /*perm=*/p, ranks, order, out, dist_lists,
+                scratch, stats);
+      }
+      break;
+    }
+    case SketchFlavor::kKPartition: {
+      // One bottom-1 pass per bucket; only bucket members are sources.
+      std::vector<std::vector<NodeId>> buckets(k);
+      for (NodeId v = 0; v < n; ++v) {
+        buckets[BucketHash(ranks.seed(), v, k)].push_back(v);
+      }
+      for (uint32_t h = 0; h < k; ++h) {
+        std::vector<std::vector<LexKey>> dist_lists(n);
+        std::vector<NodeId> order = SortedByRank(g, ranks, 0, &buckets[h]);
+        RunPass(gt, 1, /*part=*/h, /*perm=*/0, ranks, order, out, dist_lists,
+                scratch, stats);
+      }
+      break;
+    }
+  }
+
+  AdsSet set;
+  set.flavor = flavor;
+  set.k = k;
+  set.ranks = ranks;
+  set.ads.reserve(n);
+  for (NodeId v = 0; v < n; ++v) set.ads.emplace_back(std::move(out[v]));
+  return set;
+}
+
+}  // namespace hipads

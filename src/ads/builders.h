@@ -1,0 +1,72 @@
+// ADS construction algorithms (paper Section 3, Appendix B).
+//
+// Three builders, all producing the same canonical sketches on the same
+// (graph, ranks, k, flavor) inputs:
+//
+//   * PrunedDijkstra (Algorithm 1): processes nodes by increasing rank, runs
+//     a pruned Dijkstra from each on the transpose graph. Works on weighted
+//     and unweighted graphs; every inserted entry is final.
+//   * DP (Palmer et al. / Boldi et al. style): synchronized Bellman-Ford
+//     rounds; unweighted graphs only; entries inserted by increasing
+//     distance are final.
+//   * LocalUpdates (Algorithm 2): node-centric message passing for weighted
+//     graphs (MapReduce/Pregel model). Entries may be inserted and later
+//     deleted; supports (1+epsilon)-approximate mode that bounds the
+//     overhead (Section 3).
+//
+// All builders produce *forward* ADSs (entries are nodes reachable FROM the
+// owner); pass Graph::Transpose() to obtain backward ADSs of a directed
+// graph.
+
+#ifndef HIPADS_ADS_BUILDERS_H_
+#define HIPADS_ADS_BUILDERS_H_
+
+#include "ads/ads.h"
+#include "graph/graph.h"
+#include "sketch/rank.h"
+
+namespace hipads {
+
+/// Work counters used to validate the paper's cost claims (CLAIM-BUILD):
+/// expected relaxations O(k m log n), insertions O(k n log n); LocalUpdates
+/// deletions measure its extra churn; rounds <= hop diameter for the
+/// synchronous algorithms.
+struct AdsBuildStats {
+  uint64_t relaxations = 0;
+  uint64_t insertions = 0;
+  uint64_t deletions = 0;
+  uint64_t rounds = 0;
+};
+
+/// Algorithm 1. Weighted or unweighted graphs, all three flavors.
+AdsSet BuildAdsPrunedDijkstra(const Graph& g, uint32_t k, SketchFlavor flavor,
+                              const RankAssignment& ranks,
+                              AdsBuildStats* stats = nullptr);
+
+/// Dynamic-programming builder; requires unit arc weights.
+AdsSet BuildAdsDp(const Graph& g, uint32_t k, SketchFlavor flavor,
+                  const RankAssignment& ranks, AdsBuildStats* stats = nullptr);
+
+/// BuildAdsDp with round-level parallelism (candidate generation sharded
+/// over the frontier, candidate application sharded over disjoint target
+/// ranges — the node-centric decomposition of Section 3). Produces output
+/// identical to BuildAdsDp. `num_threads` = 0 uses the hardware count.
+AdsSet BuildAdsDpParallel(const Graph& g, uint32_t k, SketchFlavor flavor,
+                          const RankAssignment& ranks,
+                          uint32_t num_threads = 0,
+                          AdsBuildStats* stats = nullptr);
+
+/// Algorithm 2 (synchronous simulation). `epsilon` > 0 switches to
+/// (1+epsilon)-approximate ADSs that trade exactness for fewer updates.
+AdsSet BuildAdsLocalUpdates(const Graph& g, uint32_t k, SketchFlavor flavor,
+                            const RankAssignment& ranks, double epsilon = 0.0,
+                            AdsBuildStats* stats = nullptr);
+
+/// Brute-force reference: full shortest-path computation from every node,
+/// then the canonical inclusion rule. O(n m log n) — tests only.
+AdsSet BuildAdsReference(const Graph& g, uint32_t k, SketchFlavor flavor,
+                         const RankAssignment& ranks);
+
+}  // namespace hipads
+
+#endif  // HIPADS_ADS_BUILDERS_H_

@@ -1,0 +1,181 @@
+#include "ads/estimators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "sketch/cardinality.h"
+
+namespace hipads {
+
+HipEstimator::HipEstimator(const Ads& ads, uint32_t k, SketchFlavor flavor,
+                           const RankAssignment& ranks)
+    : entries_(ComputeHipWeights(ads, k, flavor, ranks)) {
+  cumulative_.reserve(entries_.size());
+  double sum = 0.0;
+  for (const HipEntry& e : entries_) {
+    sum += e.weight;
+    cumulative_.push_back(sum);
+  }
+}
+
+double HipEstimator::NeighborhoodCardinality(double d) const {
+  // Last entry with dist <= d.
+  auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), d,
+      [](double value, const HipEntry& e) { return value < e.dist; });
+  if (it == entries_.begin()) return 0.0;
+  return cumulative_[static_cast<size_t>(it - entries_.begin()) - 1];
+}
+
+double HipEstimator::ReachableCount() const {
+  return cumulative_.empty() ? 0.0 : cumulative_.back();
+}
+
+double HipEstimator::Qg(
+    const std::function<double(NodeId, double)>& g) const {
+  double sum = 0.0;
+  for (const HipEntry& e : entries_) sum += e.weight * g(e.node, e.dist);
+  return sum;
+}
+
+double HipEstimator::Closeness(
+    const std::function<double(double)>& alpha,
+    const std::function<double(NodeId)>& beta) const {
+  return Qg([&alpha, &beta](NodeId node, double d) {
+    return alpha(d) * beta(node);
+  });
+}
+
+double HipEstimator::DistanceSum() const {
+  return Qg([](NodeId, double d) { return d; });
+}
+
+double HipEstimator::HarmonicCentrality() const {
+  return Qg([](NodeId, double d) { return d > 0.0 ? 1.0 / d : 0.0; });
+}
+
+double HipEstimator::NeighborhoodWeight(
+    double d, const std::function<double(NodeId)>& beta) const {
+  double sum = 0.0;
+  for (const HipEntry& e : entries_) {
+    if (e.dist > d) break;
+    sum += e.weight * beta(e.node);
+  }
+  return sum;
+}
+
+double HipEstimator::DistanceQuantile(double q) const {
+  assert(q > 0.0 && q <= 1.0);
+  if (cumulative_.empty()) return 0.0;
+  double target = q * cumulative_.back();
+  auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(),
+                             target - 1e-12);
+  size_t idx = static_cast<size_t>(it - cumulative_.begin());
+  if (idx >= entries_.size()) idx = entries_.size() - 1;
+  return entries_[idx].dist;
+}
+
+double AdsBasicCardinality(const Ads& ads, double d, uint32_t k,
+                           SketchFlavor flavor, double sup) {
+  switch (flavor) {
+    case SketchFlavor::kBottomK:
+      return BottomKBasicEstimate(ads.BottomKAt(d, k, sup));
+    case SketchFlavor::kKMins:
+      return KMinsBasicEstimate(ads.KMinsAt(d, k, sup));
+    case SketchFlavor::kKPartition:
+      return KPartitionBasicEstimate(ads.KPartitionAt(d, k, sup));
+  }
+  return 0.0;
+}
+
+double SizeEstimatorValue(uint64_t s, uint32_t k) {
+  if (s <= k) return static_cast<double>(s);
+  double kk = static_cast<double>(k);
+  return kk * std::pow(1.0 + 1.0 / kk,
+                       static_cast<double>(s - k + 1)) -
+         1.0;
+}
+
+double AdsSizeCardinality(const Ads& ads, double d, uint32_t k) {
+  return SizeEstimatorValue(ads.CountWithin(d), k);
+}
+
+PermutationCardinalityEstimator::PermutationCardinalityEstimator(
+    const Ads& ads, uint32_t k, uint64_t n)
+    : k_(k), n_(n) {
+  // Replay the ADS entries as the stream of sketch updates they are
+  // (Section 5.4): the first k updates have weight 1; afterwards each update
+  // adds the expected gap (n - s^ + 1) / (mu - k + 1), where mu is the kth
+  // smallest permutation rank before this update.
+  BottomKSketch sketch(k, static_cast<double>(n) + 1.0);
+  double s_hat = 0.0;
+  points_.reserve(ads.size());
+  for (const AdsEntry& e : ads.entries()) {
+    double w;
+    if (sketch.size() < k) {
+      w = 1.0;
+    } else {
+      double mu = sketch.Threshold();
+      assert(mu > static_cast<double>(k));
+      w = (static_cast<double>(n) - s_hat + 1.0) /
+          (mu - static_cast<double>(k) + 1.0);
+    }
+    s_hat += w;
+    bool updated = sketch.Update(e.rank);
+    assert(updated && "every ADS entry is a sketch update");
+    (void)updated;
+    bool saturated =
+        sketch.size() == k && sketch.Threshold() == static_cast<double>(k);
+    points_.push_back(Point{e.dist, s_hat, saturated});
+  }
+}
+
+double PermutationCardinalityEstimator::NeighborhoodCardinality(
+    double d) const {
+  // Latest update with dist <= d.
+  size_t idx = 0;
+  bool any = false;
+  for (size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].dist > d) break;
+    idx = i;
+    any = true;
+  }
+  if (!any) return 0.0;
+  double estimate = points_[idx].estimate;
+  if (points_[idx].saturated) {
+    // The sketch holds permutation ranks {1..k}: no further updates can
+    // occur, correct for the unseen tail (Section 5.4).
+    estimate = estimate * (static_cast<double>(k_) + 1.0) /
+                   static_cast<double>(k_) -
+               1.0;
+  }
+  return estimate;
+}
+
+double NaiveQgEstimate(const Ads& ads, uint32_t k,
+                       const std::function<double(NodeId, double)>& g) {
+  // The k smallest-rank entries of the ADS (over all distances) are the
+  // bottom-k MinHash sample of the reachable set.
+  std::vector<const AdsEntry*> by_rank;
+  by_rank.reserve(ads.size());
+  for (const AdsEntry& e : ads.entries()) by_rank.push_back(&e);
+  std::sort(by_rank.begin(), by_rank.end(),
+            [](const AdsEntry* a, const AdsEntry* b) {
+              return a->rank < b->rank;
+            });
+  if (by_rank.size() < k) {
+    // Fewer than k reachable nodes: the "sample" is the whole set.
+    double sum = 0.0;
+    for (const AdsEntry* e : by_rank) sum += g(e->node, e->dist);
+    return sum;
+  }
+  double tau = by_rank[k - 1]->rank;  // kth smallest rank
+  double sum = 0.0;
+  for (uint32_t i = 0; i + 1 < k; ++i) {
+    sum += g(by_rank[i]->node, by_rank[i]->dist) / tau;
+  }
+  return sum;
+}
+
+}  // namespace hipads

@@ -1,0 +1,121 @@
+// Query-time estimators applied to a single node's ADS.
+//
+//  * HipEstimator          — the paper's HIP estimates (Section 5) for
+//                            neighborhood cardinalities, Q_g statistics
+//                            (Eq. 1/5) and decay centralities (Eq. 2/3).
+//  * AdsBasicCardinality   — pre-HIP "basic" estimates: extract the MinHash
+//                            sketch of N_d(v) from the ADS and apply the
+//                            Section 4 estimator of the matching flavor.
+//  * SizeEstimator         — cardinality from the ADS size alone (Section 8).
+//  * PermutationCardinalityEstimator — the Section 5.4 estimator for ADSs
+//                            built over a strict permutation of [n].
+//  * NaiveQgEstimate       — the introduction's strawman for Q_g: a uniform
+//                            MinHash sample of all reachable nodes, each
+//                            inverse-probability weighted. HIP improves on
+//                            its variance by up to a factor n/k.
+
+#ifndef HIPADS_ADS_ESTIMATORS_H_
+#define HIPADS_ADS_ESTIMATORS_H_
+
+#include <functional>
+
+#include "ads/ads.h"
+#include "ads/hip.h"
+
+namespace hipads {
+
+/// HIP estimates over one ADS. Construction performs the single
+/// increasing-distance scan; queries are O(log |ADS|) (cardinality) or
+/// O(|ADS|) (general statistics).
+class HipEstimator {
+ public:
+  HipEstimator(const Ads& ads, uint32_t k, SketchFlavor flavor,
+               const RankAssignment& ranks);
+
+  /// Estimate of the d-neighborhood cardinality n_d = |N_d(v)| — the sum of
+  /// adjusted weights of sketched nodes within distance d (Section 5).
+  double NeighborhoodCardinality(double d) const;
+
+  /// Estimate of the number of reachable nodes.
+  double ReachableCount() const;
+
+  /// Unbiased estimate of Q_g(v) = sum_{j reachable} g(j, d_vj)   (Eq. 5).
+  double Qg(const std::function<double(NodeId, double)>& g) const;
+
+  /// Unbiased estimate of C_{alpha,beta}(v) = sum alpha(d_vj) beta(j)
+  /// (Eq. 3). alpha must be monotone non-increasing for the Corollary 5.2
+  /// variance guarantee; it is never called with infinite distance.
+  double Closeness(const std::function<double(double)>& alpha,
+                   const std::function<double(NodeId)>& beta) const;
+
+  /// Estimate of the sum of distances from v (inverse classic closeness).
+  double DistanceSum() const;
+
+  /// Estimate of harmonic centrality sum_{j != v} 1/d_vj.
+  double HarmonicCentrality() const;
+
+  /// Estimate of the d-neighborhood weight sum_{d_vj <= d} beta(j); when the
+  /// ADS was built with exponential beta-weighted ranks this has the
+  /// Section 9 CV guarantee.
+  double NeighborhoodWeight(double d,
+                            const std::function<double(NodeId)>& beta) const;
+
+  /// Estimated q-quantile of the distance distribution from this node: the
+  /// smallest sketched distance d with n^_d >= q * (estimated reachable
+  /// count). q = 0.5 gives the median distance to reachable nodes. Returns
+  /// 0 for an empty sketch; requires 0 < q <= 1.
+  double DistanceQuantile(double q) const;
+
+  const std::vector<HipEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<HipEntry> entries_;       // increasing distance
+  std::vector<double> cumulative_;      // prefix sums of adjusted weights
+};
+
+/// Basic (pre-HIP) neighborhood cardinality estimate: the Section 4
+/// estimator of the ADS's flavor applied to the extracted MinHash sketch of
+/// N_d(v). Requires uniform ranks.
+double AdsBasicCardinality(const Ads& ads, double d, uint32_t k,
+                           SketchFlavor flavor, double sup = 1.0);
+
+/// The unique unbiased cardinality estimator based only on the number of
+/// ADS entries within distance d (Lemma 8.1):
+///   E_s = s                     for s <= k
+///   E_s = k (1 + 1/k)^(s-k+1) - 1   otherwise.
+double SizeEstimatorValue(uint64_t s, uint32_t k);
+
+/// Applies SizeEstimatorValue to |{entries with dist <= d}|.
+double AdsSizeCardinality(const Ads& ads, double d, uint32_t k);
+
+/// Section 5.4 permutation cardinality estimator. The ADS must have been
+/// built with RankAssignment::Permutation over all n nodes (bottom-k
+/// flavor). Tighter than HIP when the queried cardinality exceeds ~0.2 n.
+class PermutationCardinalityEstimator {
+ public:
+  PermutationCardinalityEstimator(const Ads& ads, uint32_t k, uint64_t n);
+
+  /// Estimate of n_d(v).
+  double NeighborhoodCardinality(double d) const;
+
+ private:
+  struct Point {
+    double dist;
+    double estimate;   // running s^ after this update
+    bool saturated;    // sketch holds permutation ranks {1..k}
+  };
+  uint32_t k_;
+  uint64_t n_;
+  std::vector<Point> points_;
+};
+
+/// The naive subset-weight baseline for Q_g (paper introduction): the k
+/// smallest-rank reachable nodes form a uniform sample; each of the k-1
+/// retained samples is weighted by 1/tau_k. Unbiased, but its variance is
+/// ~ (n/k) sum g^2 instead of HIP's distance-local bound (Cor. 5.3).
+double NaiveQgEstimate(const Ads& ads, uint32_t k,
+                       const std::function<double(NodeId, double)>& g);
+
+}  // namespace hipads
+
+#endif  // HIPADS_ADS_ESTIMATORS_H_

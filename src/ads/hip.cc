@@ -1,0 +1,185 @@
+#include "ads/hip.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace hipads {
+
+namespace {
+
+// Inclusion probability of a node whose rank must fall below `tau` in rank
+// space. For uniform and base-b ranks P(r < tau) = tau exactly (tau is
+// always an attainable rank value or the supremum 1); for exponential ranks
+// with rate beta, P(Exp(beta) < tau) = 1 - exp(-beta tau); for priority
+// (Sequential Poisson) ranks, P(U/beta < tau) = min(1, beta tau).
+double InclusionProbability(double tau, double beta, RankKind kind) {
+  switch (kind) {
+    case RankKind::kUniform:
+    case RankKind::kBaseB:
+      return std::min(tau, 1.0);
+    case RankKind::kExponential:
+      if (std::isinf(tau)) return 1.0;
+      return -std::expm1(-beta * tau);
+    case RankKind::kPriority:
+      if (std::isinf(tau)) return 1.0;
+      return std::min(1.0, beta * tau);
+    case RankKind::kPermutation:
+      assert(false && "use PermutationCardinalityEstimator");
+      return 1.0;
+  }
+  return 1.0;
+}
+
+std::vector<HipEntry> BottomKHip(const Ads& ads, uint32_t k,
+                                 const RankAssignment& ranks) {
+  std::vector<HipEntry> result;
+  result.reserve(ads.size());
+  BottomKSketch closer(k, ranks.sup());  // ranks of nodes scanned so far
+  for (const AdsEntry& e : ads.entries()) {
+    double tau = closer.Threshold();
+    double p = InclusionProbability(tau, ranks.beta(e.node), ranks.kind());
+    assert(p > 0.0);
+    result.push_back(HipEntry{e.node, e.dist, p, 1.0 / p});
+    closer.Update(e.rank);
+  }
+  return result;
+}
+
+std::vector<HipEntry> KMinsHip(const Ads& ads, uint32_t k,
+                               const RankAssignment& ranks) {
+  // Group same-node entries (one per permutation) so each node gets a single
+  // adjusted weight; nodes are processed in order of their first (lowest
+  // rank) entry, which fixes the tie-broken "closer" order.
+  const auto& entries = ads.entries();
+  struct Group {
+    NodeId node;
+    double dist;
+    std::vector<size_t> members;  // entry indices
+  };
+  std::vector<Group> groups;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    int64_t gi = -1;
+    for (size_t gidx = groups.size(); gidx-- > 0;) {
+      // Same-node entries share a distance, so only groups at this distance
+      // (the tail of the list) can match.
+      if (groups[gidx].dist != entries[i].dist) break;
+      if (groups[gidx].node == entries[i].node) {
+        gi = static_cast<int64_t>(gidx);
+        break;
+      }
+    }
+    if (gi < 0) {
+      groups.push_back(Group{entries[i].node, entries[i].dist, {}});
+      gi = static_cast<int64_t>(groups.size()) - 1;
+    }
+    groups[static_cast<size_t>(gi)].members.push_back(i);
+  }
+
+  std::vector<HipEntry> result;
+  result.reserve(groups.size());
+  std::vector<double> mins(k, ranks.sup());
+  for (const Group& group : groups) {
+    // Eq. (7): the node enters the ADS iff it beats the running minimum in
+    // at least one permutation. With no closer node in permutation h the
+    // miss factor (1 - P(beat)) is 0, so tau = 1.
+    double beta = ranks.beta(group.node);
+    double prod = 1.0;
+    for (uint32_t h = 0; h < k; ++h) {
+      prod *= 1.0 - InclusionProbability(mins[h], beta, ranks.kind());
+    }
+    double tau = 1.0 - prod;
+    assert(tau > 0.0);
+    result.push_back(HipEntry{group.node, group.dist, tau, 1.0 / tau});
+    for (size_t idx : group.members) {
+      const AdsEntry& e = entries[idx];
+      mins[e.part] = std::min(mins[e.part], e.rank);
+    }
+  }
+  return result;
+}
+
+std::vector<HipEntry> KPartitionHip(const Ads& ads, uint32_t k,
+                                    const RankAssignment& ranks) {
+  std::vector<HipEntry> result;
+  result.reserve(ads.size());
+  const bool weighted = ranks.kind() == RankKind::kExponential ||
+                        ranks.kind() == RankKind::kPriority;
+  // Eq. (8): tau = (1/k) sum_h P(rank beats bucket-h minimum); an empty
+  // bucket is beaten with probability 1. For unweighted ranks P(beat m) =
+  // min(m, 1) is node-independent, so we maintain the sum incrementally;
+  // weighted ranks recompute the per-node sum.
+  std::vector<double> mins(k, ranks.sup());
+  double uniform_sum = static_cast<double>(k);
+  for (const AdsEntry& e : ads.entries()) {
+    double tau;
+    if (weighted) {
+      double beta = ranks.beta(e.node);
+      double s = 0.0;
+      for (uint32_t h = 0; h < k; ++h) {
+        s += InclusionProbability(mins[h], beta, ranks.kind());
+      }
+      tau = s / static_cast<double>(k);
+    } else {
+      tau = uniform_sum / static_cast<double>(k);
+    }
+    assert(tau > 0.0);
+    result.push_back(HipEntry{e.node, e.dist, tau, 1.0 / tau});
+    if (e.rank < mins[e.part]) {
+      if (!weighted) {
+        uniform_sum -= std::min(mins[e.part], 1.0) - e.rank;
+      }
+      mins[e.part] = e.rank;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<HipEntry> ComputeHipWeights(const Ads& ads, uint32_t k,
+                                        SketchFlavor flavor,
+                                        const RankAssignment& ranks) {
+  assert(ranks.kind() != RankKind::kPermutation);
+  switch (flavor) {
+    case SketchFlavor::kBottomK:
+      return BottomKHip(ads, k, ranks);
+    case SketchFlavor::kKMins:
+      return KMinsHip(ads, k, ranks);
+    case SketchFlavor::kKPartition:
+      return KPartitionHip(ads, k, ranks);
+  }
+  return {};
+}
+
+std::vector<HipEntry> ComputeModifiedHipWeights(const Ads& ads, uint32_t k,
+                                                double sup) {
+  // Scan distance groups, maintaining the bottom-k sketch of all member
+  // ranks within the current ball. The threshold for every member of a
+  // group is the kth smallest rank of the ball including the group itself
+  // (which equals the (k-1)th smallest among the member's peers, the
+  // Appendix-A conditioning).
+  std::vector<HipEntry> result;
+  result.reserve(ads.size());
+  BottomKSketch ball(k, sup);
+  const auto& entries = ads.entries();
+  size_t i = 0;
+  while (i < entries.size()) {
+    size_t j = i;
+    while (j < entries.size() && entries[j].dist == entries[i].dist) ++j;
+    for (size_t t = i; t < j; ++t) ball.Update(entries[t].rank);
+    double tau = ball.Threshold();
+    for (size_t t = i; t < j; ++t) {
+      // Members holding exactly the kth smallest rank of their ball are
+      // retained in the sketch but not "sampled": weight 0.
+      bool sampled = entries[t].rank < tau;
+      result.push_back(HipEntry{entries[t].node, entries[t].dist,
+                                std::min(tau, 1.0),
+                                sampled ? 1.0 / std::min(tau, 1.0) : 0.0});
+    }
+    i = j;
+  }
+  return result;
+}
+
+}  // namespace hipads

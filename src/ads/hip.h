@@ -1,0 +1,59 @@
+// Historic Inverse Probability (HIP) estimators — the paper's main
+// contribution (Section 5).
+//
+// For each node j in ADS(i) we compute its HIP probability tau_ij: the
+// probability that j entered ADS(i), conditioned on the ranks of all nodes
+// closer to i. The adjusted weight a_ij = 1/tau_ij is then an unbiased,
+// nonnegative estimate of j's presence (E[a_ij] = 1 for every reachable j),
+// computable entirely from the sketch. Sums of adjusted weights estimate
+// neighborhood cardinalities, and weighting them by g(j, d_ij) estimates
+// any distance-based statistic Q_g (Eq. 1) or decay centrality C_{alpha,
+// beta} (Eq. 2-3).
+//
+// HIP probabilities per flavor (all computed by one increasing-distance
+// scan over the ADS):
+//   bottom-k   : tau = kth smallest rank among closer sketched nodes
+//                (Lemma 5.1); with uniform or base-b ranks the inclusion
+//                probability is tau itself, with exponential (node-weighted)
+//                ranks it is 1 - exp(-beta(j) * tau).
+//   k-mins     : tau = 1 - prod_h (1 - min_h), Eq. (7).
+//   k-partition: tau = (1/k) sum_h min_h, Eq. (8).
+
+#ifndef HIPADS_ADS_HIP_H_
+#define HIPADS_ADS_HIP_H_
+
+#include <vector>
+
+#include "ads/ads.h"
+
+namespace hipads {
+
+/// One sketched node with its HIP adjusted weight. For k-mins ADSs, a node
+/// appearing under several permutations yields a single HipEntry.
+struct HipEntry {
+  NodeId node;
+  double dist;
+  double tau;     ///< HIP (conditioned inclusion) probability, in (0, 1].
+  double weight;  ///< adjusted weight a = 1/tau (presence estimate).
+};
+
+/// Computes HIP adjusted weights for every node of `ads`, in increasing
+/// distance order. `k`, `flavor` and `ranks` must match the parameters the
+/// ADS was built with. Works for uniform, base-b and exponential ranks
+/// (permutation ranks use the dedicated permutation estimator instead).
+std::vector<HipEntry> ComputeHipWeights(const Ads& ads, uint32_t k,
+                                        SketchFlavor flavor,
+                                        const RankAssignment& ranks);
+
+/// HIP adjusted weights for an Appendix-A modified bottom-k ADS (built by
+/// Ads::ModifiedBottomK, uniform ranks). A member is "sampled" iff its
+/// rank is strictly below the kth smallest rank of its distance ball; its
+/// adjusted weight is the inverse of that threshold, and a member holding
+/// exactly the kth smallest rank carries weight 0 (Appendix A). Unbiased
+/// with CV at most 1/sqrt(k-2).
+std::vector<HipEntry> ComputeModifiedHipWeights(const Ads& ads, uint32_t k,
+                                                double sup = 1.0);
+
+}  // namespace hipads
+
+#endif  // HIPADS_ADS_HIP_H_

@@ -1,0 +1,105 @@
+#include "ads/queries.h"
+
+#include <algorithm>
+
+#include "ads/estimators.h"
+
+namespace hipads {
+
+std::map<double, double> EstimateDistanceDistribution(const AdsSet& set) {
+  std::map<double, double> hist;
+  for (NodeId v = 0; v < set.ads.size(); ++v) {
+    HipEstimator est(set.of(v), set.k, set.flavor, set.ranks);
+    for (const HipEntry& e : est.entries()) {
+      if (e.dist > 0.0) hist[e.dist] += e.weight;
+    }
+  }
+  return hist;
+}
+
+std::map<double, double> EstimateNeighborhoodFunction(const AdsSet& set) {
+  std::map<double, double> hist = EstimateDistanceDistribution(set);
+  double running = 0.0;
+  for (auto& [d, value] : hist) {
+    running += value;
+    value = running;
+  }
+  return hist;
+}
+
+std::vector<double> EstimateClosenessAll(
+    const AdsSet& set, const std::function<double(double)>& alpha,
+    const std::function<double(NodeId)>& beta) {
+  std::vector<double> result;
+  result.reserve(set.ads.size());
+  for (NodeId v = 0; v < set.ads.size(); ++v) {
+    HipEstimator est(set.of(v), set.k, set.flavor, set.ranks);
+    result.push_back(est.Closeness(alpha, beta));
+  }
+  return result;
+}
+
+std::vector<double> EstimateDistanceSumAll(const AdsSet& set) {
+  std::vector<double> result;
+  result.reserve(set.ads.size());
+  for (NodeId v = 0; v < set.ads.size(); ++v) {
+    HipEstimator est(set.of(v), set.k, set.flavor, set.ranks);
+    result.push_back(est.DistanceSum());
+  }
+  return result;
+}
+
+std::vector<double> EstimateHarmonicCentralityAll(const AdsSet& set) {
+  std::vector<double> result;
+  result.reserve(set.ads.size());
+  for (NodeId v = 0; v < set.ads.size(); ++v) {
+    HipEstimator est(set.of(v), set.k, set.flavor, set.ranks);
+    result.push_back(est.HarmonicCentrality());
+  }
+  return result;
+}
+
+std::vector<double> EstimateNeighborhoodSizeAll(const AdsSet& set, double d) {
+  std::vector<double> result;
+  result.reserve(set.ads.size());
+  for (NodeId v = 0; v < set.ads.size(); ++v) {
+    HipEstimator est(set.of(v), set.k, set.flavor, set.ranks);
+    result.push_back(est.NeighborhoodCardinality(d));
+  }
+  return result;
+}
+
+double EstimateEffectiveDiameter(const AdsSet& set, double quantile) {
+  auto nf = EstimateNeighborhoodFunction(set);
+  if (nf.empty()) return 0.0;
+  double total = nf.rbegin()->second;
+  for (const auto& [d, pairs] : nf) {
+    if (pairs >= quantile * total) return d;
+  }
+  return nf.rbegin()->first;
+}
+
+double EstimateMeanDistance(const AdsSet& set) {
+  double weight = 0.0, weighted_dist = 0.0;
+  for (const auto& [d, pairs] : EstimateDistanceDistribution(set)) {
+    weight += pairs;
+    weighted_dist += d * pairs;
+  }
+  return weight > 0.0 ? weighted_dist / weight : 0.0;
+}
+
+std::vector<NodeId> TopKNodes(const std::vector<double>& scores,
+                              uint32_t count) {
+  std::vector<NodeId> order(scores.size());
+  for (NodeId v = 0; v < scores.size(); ++v) order[v] = v;
+  uint32_t take = std::min<uint32_t>(count, order.size());
+  std::partial_sort(order.begin(), order.begin() + take, order.end(),
+                    [&scores](NodeId a, NodeId b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  order.resize(take);
+  return order;
+}
+
+}  // namespace hipads

@@ -1,0 +1,57 @@
+// Graph-level queries over a full ADS set: the ANF-style distance
+// distribution / neighbourhood function, all-nodes centrality sweeps, and
+// top-k centrality selection. These are the workloads that motivated ADSs
+// (paper Section 1) packaged over the HIP estimators.
+
+#ifndef HIPADS_ADS_QUERIES_H_
+#define HIPADS_ADS_QUERIES_H_
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "ads/ads.h"
+
+namespace hipads {
+
+/// Estimated neighbourhood function: for each distance d that appears in
+/// some sketch, N(d) = estimated number of ordered pairs (u,v) with
+/// d(u,v) <= d, v != u. This is what ANF/hyperANF compute; with HIP weights
+/// the estimate is unbiased and strictly more accurate (Appendix B.1).
+std::map<double, double> EstimateNeighborhoodFunction(const AdsSet& set);
+
+/// Estimated distance distribution: number of ordered pairs at each exact
+/// distance (the increments of the neighbourhood function).
+std::map<double, double> EstimateDistanceDistribution(const AdsSet& set);
+
+/// HIP estimates of C_{alpha,beta} for every node (Eq. 3).
+std::vector<double> EstimateClosenessAll(
+    const AdsSet& set, const std::function<double(double)>& alpha,
+    const std::function<double(NodeId)>& beta);
+
+/// HIP estimates of the sum of distances (inverse classic closeness
+/// centrality) for every node.
+std::vector<double> EstimateDistanceSumAll(const AdsSet& set);
+
+/// HIP estimates of harmonic centrality for every node.
+std::vector<double> EstimateHarmonicCentralityAll(const AdsSet& set);
+
+/// HIP estimates of the d-neighborhood cardinality for every node.
+std::vector<double> EstimateNeighborhoodSizeAll(const AdsSet& set, double d);
+
+/// Node ids of the `count` largest values in `scores`, descending.
+std::vector<NodeId> TopKNodes(const std::vector<double>& scores,
+                              uint32_t count);
+
+/// Effective diameter estimate: the smallest distance d at which the
+/// estimated neighbourhood function reaches `quantile` (0.9 is the
+/// conventional choice; the "four degrees of separation" style statistic
+/// computed by HyperBall/hyperANF). Returns 0 for an empty set.
+double EstimateEffectiveDiameter(const AdsSet& set, double quantile = 0.9);
+
+/// Estimated mean distance between reachable ordered pairs.
+double EstimateMeanDistance(const AdsSet& set);
+
+}  // namespace hipads
+
+#endif  // HIPADS_ADS_QUERIES_H_

@@ -1,0 +1,195 @@
+#include "ads/serialize.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace hipads {
+
+namespace {
+
+constexpr char kMagic[] = "hipads-ads-v1";
+
+const char* FlavorName(SketchFlavor flavor) {
+  switch (flavor) {
+    case SketchFlavor::kBottomK:
+      return "bottom-k";
+    case SketchFlavor::kKMins:
+      return "k-mins";
+    case SketchFlavor::kKPartition:
+      return "k-partition";
+  }
+  return "?";
+}
+
+bool ParseFlavor(const std::string& name, SketchFlavor* out) {
+  if (name == "bottom-k") {
+    *out = SketchFlavor::kBottomK;
+  } else if (name == "k-mins") {
+    *out = SketchFlavor::kKMins;
+  } else if (name == "k-partition") {
+    *out = SketchFlavor::kKPartition;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* RankKindName(RankKind kind) {
+  switch (kind) {
+    case RankKind::kUniform:
+      return "uniform";
+    case RankKind::kBaseB:
+      return "base-b";
+    case RankKind::kExponential:
+      return "exponential";
+    case RankKind::kPriority:
+      return "priority";
+    case RankKind::kPermutation:
+      return "permutation";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string SerializeAdsSet(const AdsSet& set) {
+  std::ostringstream os;
+  char buf[128];
+  os << kMagic << '\n';
+  os << "flavor " << FlavorName(set.flavor) << '\n';
+  os << "k " << set.k << '\n';
+  os << "ranks " << RankKindName(set.ranks.kind());
+  switch (set.ranks.kind()) {
+    case RankKind::kUniform:
+    case RankKind::kExponential:
+    case RankKind::kPriority:
+      os << ' ' << set.ranks.seed();
+      break;
+    case RankKind::kBaseB:
+      std::snprintf(buf, sizeof(buf), " %" PRIu64 " %.17g",
+                    set.ranks.seed(), set.ranks.base());
+      os << buf;
+      break;
+    case RankKind::kPermutation:
+      // Permutation values are re-derivable from the stored entry ranks
+      // only for sketched nodes; store the size so loaders can at least
+      // reconstruct sup(). Full permutations should be stored separately.
+      os << ' ' << static_cast<uint64_t>(set.ranks.sup() - 1.0);
+      break;
+  }
+  os << '\n';
+  os << "nodes " << set.ads.size() << '\n';
+  for (NodeId v = 0; v < set.ads.size(); ++v) {
+    const Ads& ads = set.of(v);
+    os << v << ' ' << ads.size() << '\n';
+    for (const AdsEntry& e : ads.entries()) {
+      std::snprintf(buf, sizeof(buf), "%u %u %.17g %.17g\n", e.node, e.part,
+                    e.rank, e.dist);
+      os << buf;
+    }
+  }
+  return os.str();
+}
+
+Status WriteAdsSetFile(const AdsSet& set, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  f << SerializeAdsSet(set);
+  if (!f.good()) return Status::IOError("write failed for " + path);
+  return Status::Ok();
+}
+
+StatusOr<AdsSet> ParseAdsSet(const std::string& text,
+                             std::function<double(uint64_t)> beta) {
+  std::istringstream in(text);
+  std::string line, word;
+
+  if (!std::getline(in, line) || line != kMagic) {
+    return Status::Corruption("missing hipads-ads-v1 header");
+  }
+
+  AdsSet set;
+  std::string flavor_name;
+  if (!(in >> word >> flavor_name) || word != "flavor" ||
+      !ParseFlavor(flavor_name, &set.flavor)) {
+    return Status::Corruption("bad flavor line");
+  }
+  if (!(in >> word >> set.k) || word != "k" || set.k == 0) {
+    return Status::Corruption("bad k line");
+  }
+  std::string kind_name;
+  if (!(in >> word >> kind_name) || word != "ranks") {
+    return Status::Corruption("bad ranks line");
+  }
+  if (kind_name == "uniform") {
+    uint64_t seed;
+    if (!(in >> seed)) return Status::Corruption("bad uniform seed");
+    set.ranks = RankAssignment::Uniform(seed);
+  } else if (kind_name == "base-b") {
+    uint64_t seed;
+    double base;
+    if (!(in >> seed >> base) || base <= 1.0) {
+      return Status::Corruption("bad base-b parameters");
+    }
+    set.ranks = RankAssignment::BaseB(seed, base);
+  } else if (kind_name == "exponential" || kind_name == "priority") {
+    uint64_t seed;
+    if (!(in >> seed)) return Status::Corruption("bad weighted-rank seed");
+    if (beta == nullptr) {
+      return Status::InvalidArgument(
+          "weighted-rank (exponential/priority) ADS sets require the beta "
+          "function at load time");
+    }
+    set.ranks = kind_name == "exponential"
+                    ? RankAssignment::Exponential(seed, std::move(beta))
+                    : RankAssignment::Priority(seed, std::move(beta));
+  } else if (kind_name == "permutation") {
+    return Status::InvalidArgument(
+        "permutation-rank ADS sets are not round-trippable; store the "
+        "permutation separately");
+  } else {
+    return Status::Corruption("unknown rank kind " + kind_name);
+  }
+
+  uint64_t num_nodes;
+  if (!(in >> word >> num_nodes) || word != "nodes") {
+    return Status::Corruption("bad nodes line");
+  }
+  set.ads.resize(num_nodes);
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    uint64_t v, count;
+    if (!(in >> v >> count) || v >= num_nodes) {
+      return Status::Corruption("bad node header at index " +
+                                std::to_string(i));
+    }
+    std::vector<AdsEntry> entries;
+    entries.reserve(count);
+    for (uint64_t e = 0; e < count; ++e) {
+      AdsEntry entry;
+      if (!(in >> entry.node >> entry.part >> entry.rank >> entry.dist)) {
+        return Status::Corruption("truncated entries for node " +
+                                  std::to_string(v));
+      }
+      if (entry.part >= set.k || entry.dist < 0.0) {
+        return Status::Corruption("invalid entry for node " +
+                                  std::to_string(v));
+      }
+      entries.push_back(entry);
+    }
+    set.ads[v] = Ads(std::move(entries));
+  }
+  return set;
+}
+
+StatusOr<AdsSet> ReadAdsSetFile(const std::string& path,
+                                std::function<double(uint64_t)> beta) {
+  std::ifstream f(path);
+  if (!f) return Status::IOError("cannot open " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return ParseAdsSet(buf.str(), std::move(beta));
+}
+
+}  // namespace hipads

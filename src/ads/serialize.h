@@ -1,0 +1,46 @@
+// Persistence for ADS sets: sketch once, query forever.
+//
+// The sketches of a billion-edge graph take hours to build but milliseconds
+// to query; any real deployment computes them offline and serves queries
+// from a stored copy. This module defines a versioned, line-oriented text
+// format (portable, diffable, compresses well) for an AdsSet together with
+// the rank-assignment parameters needed to recompute HIP probabilities at
+// load time.
+//
+// Uniform and base-b rank assignments round-trip completely (they are pure
+// functions of the stored seed). Exponential (node-weighted) assignments
+// depend on a user-provided beta function that cannot be serialized; pass
+// it again at load time. Permutation assignments store the permutation.
+
+#ifndef HIPADS_ADS_SERIALIZE_H_
+#define HIPADS_ADS_SERIALIZE_H_
+
+#include <functional>
+#include <string>
+
+#include "ads/ads.h"
+#include "util/status.h"
+
+namespace hipads {
+
+/// Serializes `set` into the hipads-ads-v1 text format.
+std::string SerializeAdsSet(const AdsSet& set);
+
+/// Writes SerializeAdsSet(set) to `path`.
+Status WriteAdsSetFile(const AdsSet& set, const std::string& path);
+
+/// Parses the hipads-ads-v1 format. For sets built with exponential ranks,
+/// `beta` must be the same function used at build time (checked against
+/// the stored entry ranks only superficially; callers own consistency).
+StatusOr<AdsSet> ParseAdsSet(
+    const std::string& text,
+    std::function<double(uint64_t)> beta = nullptr);
+
+/// Reads an ADS-set file written by WriteAdsSetFile.
+StatusOr<AdsSet> ReadAdsSetFile(
+    const std::string& path,
+    std::function<double(uint64_t)> beta = nullptr);
+
+}  // namespace hipads
+
+#endif  // HIPADS_ADS_SERIALIZE_H_

@@ -1,0 +1,87 @@
+#include "ads/similarity.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "sketch/cardinality.h"
+#include "sketch/minhash.h"
+
+namespace hipads {
+
+namespace {
+
+// (rank, node) pairs of entries within distance d, sorted by rank.
+std::vector<std::pair<double, NodeId>> RankedWithin(const Ads& ads,
+                                                    double d) {
+  std::vector<std::pair<double, NodeId>> out;
+  for (const AdsEntry& e : ads.entries()) {
+    if (e.dist > d) break;
+    out.emplace_back(e.rank, e.node);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+double JaccardSimilarity(const Ads& u, const Ads& v, double d, uint32_t k,
+                         double sup) {
+  auto ru = RankedWithin(u, d);
+  auto rv = RankedWithin(v, d);
+  if (ru.empty() && rv.empty()) return 0.0;
+  // Merge to the k smallest distinct samples of the union; count how many
+  // appear in both neighborhoods' sketches. An element of the union sample
+  // is in the intersection iff it appears in both lists (coordination
+  // guarantees a shared element has the same rank in both).
+  size_t i = 0, j = 0;
+  uint32_t taken = 0, shared = 0;
+  while (taken < k && (i < ru.size() || j < rv.size())) {
+    double next_u = i < ru.size() ? ru[i].first
+                                  : std::numeric_limits<double>::infinity();
+    double next_v = j < rv.size() ? rv[j].first
+                                  : std::numeric_limits<double>::infinity();
+    if (next_u == next_v) {
+      ++shared;
+      ++i;
+      ++j;
+    } else if (next_u < next_v) {
+      ++i;
+    } else {
+      ++j;
+    }
+    ++taken;
+  }
+  (void)sup;
+  return taken == 0 ? 0.0 : static_cast<double>(shared) / taken;
+}
+
+double UnionCardinality(const Ads& u, const Ads& v, double d, uint32_t k,
+                        double sup) {
+  BottomKSketch merged(k, sup);
+  for (const AdsEntry& e : u.entries()) {
+    if (e.dist > d) break;
+    merged.Update(e.rank);
+  }
+  for (const AdsEntry& e : v.entries()) {
+    if (e.dist > d) break;
+    // Shared nodes carry identical ranks; skip exact duplicates so the
+    // merged sketch samples distinct elements.
+    if (!merged.Contains(e.rank)) merged.Update(e.rank);
+  }
+  return BottomKBasicEstimate(merged);
+}
+
+double IntersectionCardinality(const Ads& u, const Ads& v, double d,
+                               uint32_t k, double sup) {
+  return JaccardSimilarity(u, v, d, k, sup) *
+         UnionCardinality(u, v, d, k, sup);
+}
+
+double ReachabilityJaccard(const Ads& u, const Ads& v, uint32_t k,
+                           double sup) {
+  return JaccardSimilarity(u, v, std::numeric_limits<double>::infinity(), k,
+                           sup);
+}
+
+}  // namespace hipads

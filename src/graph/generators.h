@@ -1,0 +1,63 @@
+// Synthetic graph generators.
+//
+// These stand in for the public SNAP graphs the ADS literature evaluates on:
+// R-MAT and Barabasi-Albert produce the heavy-tailed degree distributions of
+// social/web graphs; Erdos-Renyi gives expander-like low-diameter graphs;
+// grids, paths and trees give controlled high-diameter topologies. See
+// DESIGN.md ("Substitutions") for why this preserves the paper's behavior.
+
+#ifndef HIPADS_GRAPH_GENERATORS_H_
+#define HIPADS_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace hipads {
+
+/// Erdos-Renyi G(n, m): m edges drawn uniformly (no self loops; duplicates
+/// rejected). Undirected if `undirected`.
+Graph ErdosRenyi(NodeId n, uint64_t m, bool undirected, uint64_t seed);
+
+/// Barabasi-Albert preferential attachment: each new node attaches to
+/// `attach` existing nodes chosen proportionally to degree. Undirected.
+Graph BarabasiAlbert(NodeId n, uint32_t attach, uint64_t seed);
+
+/// R-MAT (Chakrabarti et al.) power-law generator with partition
+/// probabilities (a, b, c, d = 1-a-b-c); defaults match the common
+/// social-graph parametrization. Directed; duplicates allowed.
+Graph Rmat(uint32_t scale, uint64_t edges_per_node, uint64_t seed,
+           bool undirected = false, double a = 0.57, double b = 0.19,
+           double c = 0.19);
+
+/// 2-D grid of rows x cols nodes with 4-neighbor connectivity. Undirected.
+Graph Grid2D(uint32_t rows, uint32_t cols);
+
+/// Simple path 0-1-...-n-1. Undirected unless `directed` (then arcs point
+/// from i to i+1).
+Graph Path(NodeId n, bool directed = false);
+
+/// Cycle on n nodes.
+Graph Cycle(NodeId n, bool directed = false);
+
+/// Star: center node 0 connected to n-1 leaves. Undirected.
+Graph Star(NodeId n);
+
+/// Complete graph K_n. Undirected.
+Graph Complete(NodeId n);
+
+/// Complete binary tree with n nodes (node i has children 2i+1, 2i+2).
+Graph BinaryTree(NodeId n);
+
+/// Watts-Strogatz small world: ring lattice with 2*neighbors per node,
+/// each arc rewired with probability beta. Undirected.
+Graph WattsStrogatz(NodeId n, uint32_t neighbors, double beta, uint64_t seed);
+
+/// Assigns U[min_w, max_w) weights to all arcs of `g` (symmetric for
+/// undirected graphs: both directions of an edge get the same weight).
+Graph RandomizeWeights(const Graph& g, double min_w, double max_w,
+                       uint64_t seed);
+
+}  // namespace hipads
+
+#endif  // HIPADS_GRAPH_GENERATORS_H_

@@ -1,0 +1,62 @@
+#include "graph/graph.h"
+
+#include <cassert>
+
+namespace hipads {
+
+Graph::Graph(NodeId num_nodes, const std::vector<Edge>& edges,
+             bool undirected)
+    : undirected_(undirected) {
+  uint64_t arcs_per_edge = undirected ? 2 : 1;
+  offsets_.assign(num_nodes + 1, 0);
+  for (const Edge& e : edges) {
+    assert(e.tail < num_nodes && e.head < num_nodes);
+    assert(e.weight >= 0.0);
+    offsets_[e.tail + 1]++;
+    if (undirected) offsets_[e.head + 1]++;
+  }
+  for (NodeId v = 0; v < num_nodes; ++v) offsets_[v + 1] += offsets_[v];
+  arcs_.resize(edges.size() * arcs_per_edge);
+  std::vector<uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    arcs_[cursor[e.tail]++] = Arc{e.head, e.weight};
+    if (undirected) arcs_[cursor[e.head]++] = Arc{e.tail, e.weight};
+  }
+}
+
+bool Graph::IsUnitWeight() const {
+  for (const Arc& a : arcs_) {
+    if (a.weight != 1.0) return false;
+  }
+  return true;
+}
+
+Graph Graph::Transpose() const {
+  Graph t;
+  t.undirected_ = undirected_;
+  NodeId n = num_nodes();
+  t.offsets_.assign(n + 1, 0);
+  for (const Arc& a : arcs_) t.offsets_[a.head + 1]++;
+  for (NodeId v = 0; v < n; ++v) t.offsets_[v + 1] += t.offsets_[v];
+  t.arcs_.resize(arcs_.size());
+  std::vector<uint64_t> cursor(t.offsets_.begin(), t.offsets_.end() - 1);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const Arc& a : OutArcs(v)) {
+      t.arcs_[cursor[a.head]++] = Arc{v, a.weight};
+    }
+  }
+  return t;
+}
+
+std::vector<Edge> Graph::ToEdgeList() const {
+  std::vector<Edge> edges;
+  edges.reserve(arcs_.size());
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    for (const Arc& a : OutArcs(v)) {
+      edges.push_back(Edge{v, a.head, a.weight});
+    }
+  }
+  return edges;
+}
+
+}  // namespace hipads

@@ -1,0 +1,75 @@
+// Compressed-sparse-row graph substrate.
+//
+// All ADS builders operate on this representation. Graphs may be directed or
+// undirected (undirected graphs store both arc directions) and weighted or
+// unweighted (unweighted arcs have length 1).
+
+#ifndef HIPADS_GRAPH_GRAPH_H_
+#define HIPADS_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hipads {
+
+using NodeId = uint32_t;
+
+/// Outgoing arc: head node and arc length.
+struct Arc {
+  NodeId head;
+  double weight;
+};
+
+/// Edge-list entry used during construction.
+struct Edge {
+  NodeId tail;
+  NodeId head;
+  double weight = 1.0;
+};
+
+/// Immutable CSR adjacency structure.
+///
+/// Build with GraphBuilder (or the generator / IO helpers). Node ids are
+/// dense in [0, num_nodes).
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds a CSR graph from an edge list. If `undirected`, every edge is
+  /// inserted in both directions. Self loops are kept; parallel arcs are
+  /// kept (they are harmless for shortest-path computations).
+  Graph(NodeId num_nodes, const std::vector<Edge>& edges, bool undirected);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(offsets_.size() - 1); }
+  uint64_t num_arcs() const { return arcs_.size(); }
+  bool undirected() const { return undirected_; }
+
+  /// Outgoing arcs of `v`.
+  std::span<const Arc> OutArcs(NodeId v) const {
+    return {arcs_.data() + offsets_[v], arcs_.data() + offsets_[v + 1]};
+  }
+
+  uint32_t OutDegree(NodeId v) const {
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// True if every arc has weight exactly 1.
+  bool IsUnitWeight() const;
+
+  /// The transpose graph (all arcs reversed). For undirected graphs this is
+  /// an identical copy.
+  Graph Transpose() const;
+
+  /// Recovers the arc list (tail, head, weight) — mostly for tests and IO.
+  std::vector<Edge> ToEdgeList() const;
+
+ private:
+  std::vector<uint64_t> offsets_{0};  // size num_nodes + 1
+  std::vector<Arc> arcs_;
+  bool undirected_ = false;
+};
+
+}  // namespace hipads
+
+#endif  // HIPADS_GRAPH_GRAPH_H_

@@ -1,0 +1,73 @@
+#include "graph/io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+namespace hipads {
+
+StatusOr<Graph> ParseEdgeList(const std::string& text, bool undirected) {
+  std::vector<Edge> edges;
+  std::unordered_map<uint64_t, NodeId> remap;
+  auto intern = [&remap](uint64_t raw) {
+    auto [it, inserted] = remap.try_emplace(
+        raw, static_cast<NodeId>(remap.size()));
+    (void)inserted;
+    return it->second;
+  };
+
+  std::istringstream in(text);
+  std::string line;
+  uint64_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    size_t pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos) continue;
+    if (line[pos] == '#' || line[pos] == '%') continue;
+    std::istringstream ls(line);
+    uint64_t raw_tail, raw_head;
+    if (!(ls >> raw_tail >> raw_head)) {
+      return Status::Corruption("malformed edge at line " +
+                                std::to_string(lineno));
+    }
+    double w = 1.0;
+    if (!(ls >> w)) w = 1.0;
+    if (w < 0.0) {
+      return Status::InvalidArgument("negative edge weight at line " +
+                                     std::to_string(lineno));
+    }
+    edges.push_back(Edge{intern(raw_tail), intern(raw_head), w});
+  }
+  NodeId n = static_cast<NodeId>(remap.size());
+  if (n == 0) return Status::InvalidArgument("empty edge list");
+  return Graph(n, edges, undirected);
+}
+
+StatusOr<Graph> ReadEdgeListFile(const std::string& path, bool undirected) {
+  std::ifstream f(path);
+  if (!f) return Status::IOError("cannot open " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return ParseEdgeList(buf.str(), undirected);
+}
+
+Status WriteEdgeListFile(const Graph& g, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  f << "# hipads edge list: " << g.num_nodes() << " nodes, "
+    << (g.undirected() ? g.num_arcs() / 2 : g.num_arcs()) << " edges\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const Arc& a : g.OutArcs(v)) {
+      if (g.undirected() && a.head < v) continue;  // emit each edge once
+      f << v << '\t' << a.head;
+      if (a.weight != 1.0) f << '\t' << a.weight;
+      f << '\n';
+    }
+  }
+  if (!f.good()) return Status::IOError("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace hipads

@@ -1,0 +1,26 @@
+// Plain-text edge-list graph IO (the SNAP dataset format): one
+// "tail head [weight]" triple per line, '#' comment lines ignored.
+
+#ifndef HIPADS_GRAPH_IO_H_
+#define HIPADS_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace hipads {
+
+/// Parses an edge-list from a string. Node ids may be sparse; they are
+/// remapped to a dense [0, n) range in first-appearance order.
+StatusOr<Graph> ParseEdgeList(const std::string& text, bool undirected);
+
+/// Reads an edge-list file (SNAP format).
+StatusOr<Graph> ReadEdgeListFile(const std::string& path, bool undirected);
+
+/// Writes `g` as an edge-list file. Undirected graphs emit each edge once.
+Status WriteEdgeListFile(const Graph& g, const std::string& path);
+
+}  // namespace hipads
+
+#endif  // HIPADS_GRAPH_IO_H_

@@ -1,0 +1,85 @@
+#include "graph/traversal.h"
+
+#include <deque>
+#include <queue>
+
+namespace hipads {
+
+namespace {
+
+struct HeapItem {
+  double dist;
+  NodeId node;
+  bool operator>(const HeapItem& o) const {
+    if (dist != o.dist) return dist > o.dist;
+    return node > o.node;
+  }
+};
+
+}  // namespace
+
+void DijkstraVisit(const Graph& g, NodeId source,
+                   const std::function<bool(NodeId, double)>& visit) {
+  std::vector<double> dist(g.num_nodes(), kInfDist);
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  dist[source] = 0.0;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) continue;  // stale entry
+    if (!visit(v, d)) continue;  // pruned: settled but not expanded
+    for (const Arc& a : g.OutArcs(v)) {
+      double nd = d + a.weight;
+      if (nd < dist[a.head]) {
+        dist[a.head] = nd;
+        heap.push({nd, a.head});
+      }
+    }
+  }
+}
+
+std::vector<double> ShortestPathDistances(const Graph& g, NodeId source) {
+  std::vector<double> dist(g.num_nodes(), kInfDist);
+  if (g.IsUnitWeight()) {
+    std::deque<NodeId> queue;
+    dist[source] = 0.0;
+    queue.push_back(source);
+    while (!queue.empty()) {
+      NodeId v = queue.front();
+      queue.pop_front();
+      for (const Arc& a : g.OutArcs(v)) {
+        if (dist[a.head] == kInfDist) {
+          dist[a.head] = dist[v] + 1.0;
+          queue.push_back(a.head);
+        }
+      }
+    }
+    return dist;
+  }
+  DijkstraVisit(g, source, [&dist](NodeId v, double d) {
+    dist[v] = d;
+    return true;
+  });
+  return dist;
+}
+
+std::vector<NodeId> NeighborhoodAtDistance(const Graph& g, NodeId source,
+                                           double d) {
+  std::vector<NodeId> result;
+  std::vector<double> dist = ShortestPathDistances(g, source);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (dist[v] <= d) result.push_back(v);
+  }
+  return result;
+}
+
+uint64_t CountReachable(const Graph& g, NodeId source) {
+  uint64_t count = 0;
+  for (double d : ShortestPathDistances(g, source)) {
+    if (d != kInfDist) ++count;
+  }
+  return count;
+}
+
+}  // namespace hipads

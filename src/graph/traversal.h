@@ -1,0 +1,39 @@
+// Single-source shortest paths: BFS for unit-weight graphs, Dijkstra for
+// weighted graphs. These are both the exact baseline oracles and the
+// building blocks of the PrunedDijkstra ADS builder.
+
+#ifndef HIPADS_GRAPH_TRAVERSAL_H_
+#define HIPADS_GRAPH_TRAVERSAL_H_
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hipads {
+
+/// Distance value for unreachable nodes.
+inline constexpr double kInfDist = std::numeric_limits<double>::infinity();
+
+/// Distances from `source` along forward arcs. BFS when the graph has unit
+/// weights, binary-heap Dijkstra otherwise. Unreachable => kInfDist.
+std::vector<double> ShortestPathDistances(const Graph& g, NodeId source);
+
+/// Visits nodes reachable from `source` in nondecreasing distance order,
+/// invoking visit(node, dist) for each settled node (including the source at
+/// distance 0). If visit returns false the node's out-arcs are not relaxed
+/// (search is pruned below it, matching Algorithm 1's per-node pruning).
+void DijkstraVisit(const Graph& g, NodeId source,
+                   const std::function<bool(NodeId, double)>& visit);
+
+/// Nodes within distance <= d of source, i.e. the d-neighborhood N_d(source).
+std::vector<NodeId> NeighborhoodAtDistance(const Graph& g, NodeId source,
+                                           double d);
+
+/// Number of nodes reachable from `source` (including itself).
+uint64_t CountReachable(const Graph& g, NodeId source);
+
+}  // namespace hipads
+
+#endif  // HIPADS_GRAPH_TRAVERSAL_H_

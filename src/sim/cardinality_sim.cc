@@ -1,0 +1,108 @@
+#include "sim/cardinality_sim.h"
+
+#include <cmath>
+
+#include "sketch/cardinality.h"
+#include "sketch/minhash.h"
+#include "stream/hip_distinct.h"
+#include "stream/hll.h"
+#include "util/hash.h"
+#include "util/random.h"
+
+namespace hipads {
+
+CardinalitySimResult RunCardinalitySim(const CardinalitySimConfig& config) {
+  const uint32_t k = config.k;
+  CardinalitySimResult result;
+  result.checkpoints =
+      LogSpacedCheckpoints(config.max_n, config.points_per_decade);
+  const size_t num_points = result.checkpoints.size();
+  for (const char* name :
+       {"kmins_basic", "kpart_basic", "botk_basic", "botk_hip", "perm"}) {
+    result.errors[name].resize(num_points);
+  }
+
+  for (uint32_t run = 0; run < config.runs; ++run) {
+    uint64_t run_seed = HashCombine(config.seed, run);
+    Rng rng(run_seed);
+    // Shared single-permutation uniform ranks for bottom-k basic and HIP (so
+    // the two estimators are compared on identical sketches, as the paper
+    // does); independent ranks for the other flavors.
+    BottomKSketch botk(k, 1.0);
+    BottomKHipCounter hip(k, run_seed);
+    KMinsSketch kmins(k, 1.0);
+    KPartitionSketch kpart(k, 1.0);
+    PermutationDistinctCounter perm(
+        k, rng.NextPermutation(static_cast<uint32_t>(config.max_n)));
+
+    size_t next_point = 0;
+    for (uint64_t i = 0; i < config.max_n; ++i) {
+      // Element i arrives (all elements distinct).
+      double r = UnitHash(run_seed, i);
+      botk.Update(r);
+      hip.Add(i);
+      for (uint32_t h = 0; h < k; ++h) {
+        kmins.Update(h,
+                     UnitHash(run_seed ^ (0x9e3779b97f4a7c15ULL * (h + 1)),
+                              i));
+      }
+      kpart.Update(BucketHash(run_seed, i, k),
+                   UnitHash(run_seed ^ 0x5bf03635d2d1e9a1ULL, i));
+      perm.Add(i);
+
+      uint64_t cardinality = i + 1;
+      if (next_point < num_points &&
+          cardinality == result.checkpoints[next_point]) {
+        double truth = static_cast<double>(cardinality);
+        result.errors["kmins_basic"][next_point].Add(
+            KMinsBasicEstimate(kmins), truth);
+        result.errors["kpart_basic"][next_point].Add(
+            KPartitionBasicEstimate(kpart), truth);
+        result.errors["botk_basic"][next_point].Add(
+            BottomKBasicEstimate(botk), truth);
+        result.errors["botk_hip"][next_point].Add(hip.Estimate(), truth);
+        result.errors["perm"][next_point].Add(perm.Estimate(), truth);
+        ++next_point;
+      }
+    }
+  }
+  return result;
+}
+
+CardinalitySimResult RunDistinctCountSim(
+    const DistinctCountSimConfig& config) {
+  CardinalitySimResult result;
+  result.checkpoints =
+      LogSpacedCheckpoints(config.max_n, config.points_per_decade);
+  const size_t num_points = result.checkpoints.size();
+  for (const char* name : {"hll_raw", "hll", "hip"}) {
+    result.errors[name].resize(num_points);
+  }
+
+  for (uint32_t run = 0; run < config.runs; ++run) {
+    uint64_t run_seed = HashCombine(config.seed ^ 0xd6e8feb86659fd93ULL, run);
+    // HLL and HIP share the identical sketch state: same seed, same
+    // registers — exactly the paper's setup ("we apply HIP to the same
+    // MinHash sketch ... that the HyperLogLog estimator was designed for").
+    HyperLogLog hll(config.k, run_seed, config.register_cap);
+    HllHipCounter hip(config.k, run_seed, config.register_cap);
+
+    size_t next_point = 0;
+    for (uint64_t i = 0; i < config.max_n; ++i) {
+      hll.Add(i);
+      hip.Add(i);
+      uint64_t cardinality = i + 1;
+      if (next_point < num_points &&
+          cardinality == result.checkpoints[next_point]) {
+        double truth = static_cast<double>(cardinality);
+        result.errors["hll_raw"][next_point].Add(hll.RawEstimate(), truth);
+        result.errors["hll"][next_point].Add(hll.Estimate(), truth);
+        result.errors["hip"][next_point].Add(hip.Estimate(), truth);
+        ++next_point;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace hipads

@@ -1,0 +1,57 @@
+// Monte-Carlo harness for the estimation-quality experiments.
+//
+// Section 5.5 observes that the error of an ADS cardinality estimator at
+// cardinality c depends only on the random ranks of the first c nodes in
+// distance order — not on the graph — so the simulations of Figures 2 and 3
+// run on a stream of n distinct elements and measure, at a set of
+// checkpoint cardinalities, the NRMSE and MRE of each estimator against the
+// true prefix cardinality.
+
+#ifndef HIPADS_SIM_CARDINALITY_SIM_H_
+#define HIPADS_SIM_CARDINALITY_SIM_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace hipads {
+
+struct CardinalitySimConfig {
+  uint32_t k = 10;
+  uint64_t max_n = 10000;  // elements per run
+  uint32_t runs = 500;
+  uint64_t seed = 1;
+  int points_per_decade = 8;  // checkpoint density
+};
+
+/// Error curves of every estimator across the checkpoint cardinalities.
+struct CardinalitySimResult {
+  std::vector<uint64_t> checkpoints;
+  /// estimator name -> one ErrorStats per checkpoint. Names:
+  /// "kmins_basic", "kpart_basic", "botk_basic", "botk_hip", "perm".
+  std::map<std::string, std::vector<ErrorStats>> errors;
+};
+
+/// Figure 2 experiment: neighborhood-size estimators (three basic flavors,
+/// bottom-k HIP, permutation) versus cardinality.
+CardinalitySimResult RunCardinalitySim(const CardinalitySimConfig& config);
+
+struct DistinctCountSimConfig {
+  uint32_t k = 16;           // registers
+  uint32_t register_cap = 31;  // 5-bit registers, as in the paper
+  uint64_t max_n = 1000000;
+  uint32_t runs = 500;
+  uint64_t seed = 1;
+  int points_per_decade = 4;
+};
+
+/// Figure 3 experiment: HLL raw, HLL bias-corrected, and HIP on the same
+/// k-partition base-2 sketch. Names: "hll_raw", "hll", "hip".
+CardinalitySimResult RunDistinctCountSim(const DistinctCountSimConfig& config);
+
+}  // namespace hipads
+
+#endif  // HIPADS_SIM_CARDINALITY_SIM_H_

@@ -1,0 +1,73 @@
+#include "sketch/cardinality.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace hipads {
+
+double KMinsBasicEstimate(const KMinsSketch& sketch) {
+  assert(sketch.k() > 1);
+  double sum = 0.0;
+  for (double x : sketch.mins()) {
+    if (x >= 1.0) return 0.0;  // an empty permutation => empty set
+    sum += -std::log1p(-x);
+  }
+  return static_cast<double>(sketch.k() - 1) / sum;
+}
+
+double BottomKBasicEstimate(const BottomKSketch& sketch) {
+  if (sketch.size() < sketch.k()) return sketch.size();
+  // tau_k < sup: with uniform ranks the conditional inclusion probability of
+  // each of the k-1 retained elements is exactly tau_k.
+  return static_cast<double>(sketch.k() - 1) / sketch.Threshold();
+}
+
+double KPartitionBasicEstimate(const KPartitionSketch& sketch) {
+  uint32_t nonempty = sketch.NumNonEmpty();
+  if (nonempty <= 1) return nonempty;  // estimator degenerates (Section 4.3)
+  double sum = 0.0;
+  for (double x : sketch.mins()) {
+    if (x < sketch.sup()) sum += -std::log1p(-x);
+  }
+  return static_cast<double>(nonempty) * (nonempty - 1) / sum;
+}
+
+double BasicCv(uint32_t k) {
+  assert(k > 2);
+  return 1.0 / std::sqrt(static_cast<double>(k) - 2.0);
+}
+
+double BasicMre(uint32_t k) {
+  assert(k > 2);
+  return std::sqrt(2.0 / (std::numbers::pi * (static_cast<double>(k) - 2.0)));
+}
+
+double HipCv(uint32_t k) {
+  assert(k > 1);
+  return 1.0 / std::sqrt(2.0 * (static_cast<double>(k) - 1.0));
+}
+
+double HipMre(uint32_t k) {
+  assert(k > 1);
+  return std::sqrt(1.0 / (std::numbers::pi * (static_cast<double>(k) - 1.0)));
+}
+
+double BasicCvLowerBound(uint32_t k) {
+  return 1.0 / std::sqrt(static_cast<double>(k));
+}
+
+double HipCvLowerBound(uint32_t k) {
+  return 1.0 / std::sqrt(2.0 * static_cast<double>(k));
+}
+
+double HipBaseBCv(uint32_t k, double base) {
+  assert(k > 1 && base >= 1.0);
+  return std::sqrt((1.0 + base) / (4.0 * (static_cast<double>(k) - 1.0)));
+}
+
+double HllNrmse(uint32_t k) {
+  return 1.08 / std::sqrt(static_cast<double>(k));
+}
+
+}  // namespace hipads

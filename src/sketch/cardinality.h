@@ -1,0 +1,63 @@
+// "Basic" MinHash cardinality estimators (paper Section 4) and the analytic
+// error constants the paper cites. These are the pre-HIP state of the art
+// that Section 5's HIP estimators are compared against.
+//
+// All estimators here assume full-precision uniform ranks r ~ U[0,1); the
+// paper proves (via Lehmann-Scheffe) that the k-mins and bottom-k versions
+// are the unique minimum-variance unbiased estimators for their sketches.
+
+#ifndef HIPADS_SKETCH_CARDINALITY_H_
+#define HIPADS_SKETCH_CARDINALITY_H_
+
+#include "sketch/minhash.h"
+
+namespace hipads {
+
+/// k-mins estimator (k-1) / sum_i -ln(1 - x_i)  [Section 4.1].
+/// Unbiased for k > 1; CV = 1/sqrt(k-2) for k > 2. Empty sets estimate 0.
+double KMinsBasicEstimate(const KMinsSketch& sketch);
+
+/// Bottom-k estimator: |sketch| when the sketch is not full (the cardinality
+/// is then known exactly), else (k-1)/tau_k with tau_k the kth smallest rank
+/// [Section 4.2]. Unbiased; CV <= 1/sqrt(k-2).
+double BottomKBasicEstimate(const BottomKSketch& sketch);
+
+/// k-partition estimator k'(k'-1) / sum over nonempty buckets of
+/// -ln(1 - x_t), where k' is the number of nonempty buckets [Section 4.3].
+/// Biased down for small n (estimates 0 when k' <= 1).
+double KPartitionBasicEstimate(const KPartitionSketch& sketch);
+
+// --- Analytic reference values (used as the figures' reference curves) ---
+
+/// CV of the basic k-mins estimator, 1/sqrt(k-2); also an upper bound for
+/// the basic bottom-k estimator (Lemma 4.3). Requires k > 2.
+double BasicCv(uint32_t k);
+
+/// MRE of the basic k-mins estimator, ~ sqrt(2/(pi (k-2))) [Section 4.1].
+double BasicMre(uint32_t k);
+
+/// First-order upper bound on the CV of the bottom-k HIP estimator,
+/// 1/sqrt(2(k-1)) (Theorem 5.1). Requires k > 1.
+double HipCv(uint32_t k);
+
+/// Reference MRE for HIP, sqrt(1/(pi (k-1))) (Figure 2 caption).
+double HipMre(uint32_t k);
+
+/// Asymptotic lower bound on the CV of any unbiased estimator from a k-mins
+/// or bottom-k sketch, 1/sqrt(k) (Lemmas 4.1, 4.4).
+double BasicCvLowerBound(uint32_t k);
+
+/// Lower bound for any linear ADS estimator, 1/sqrt(2k) (Theorem 5.2).
+double HipCvLowerBound(uint32_t k);
+
+/// Back-of-the-envelope CV of HIP with base-b ranks,
+/// sqrt((1+b)/(4(k-1)))  [Sections 5.6 and 6].
+double HipBaseBCv(uint32_t k, double base);
+
+/// NRMSE of bias-corrected HyperLogLog, ~1.04-1.08/sqrt(k); the paper
+/// quotes 1.08/sqrt(k) when comparing against HIP (Section 6).
+double HllNrmse(uint32_t k);
+
+}  // namespace hipads
+
+#endif  // HIPADS_SKETCH_CARDINALITY_H_

@@ -1,0 +1,97 @@
+#include "sketch/rank.h"
+
+#include <cassert>
+
+namespace hipads {
+
+double DiscretizeRank(double r, double base) {
+  assert(base > 1.0);
+  return std::pow(base, -static_cast<double>(RankExponent(r, base)));
+}
+
+uint32_t RankExponent(double r, double base) {
+  assert(base > 1.0);
+  if (r <= 0.0) return 64;  // deeper than any hash-derived rank
+  double h = std::ceil(-std::log(r) / std::log(base));
+  if (h < 1.0) h = 1.0;  // r in (1/b, 1) rounds to exponent 1
+  if (h > 64.0) h = 64.0;
+  return static_cast<uint32_t>(h);
+}
+
+RankAssignment RankAssignment::Uniform(uint64_t seed) {
+  RankAssignment a;
+  a.kind_ = RankKind::kUniform;
+  a.seed_ = seed;
+  a.sup_ = 1.0;
+  return a;
+}
+
+RankAssignment RankAssignment::BaseB(uint64_t seed, double base) {
+  assert(base > 1.0);
+  RankAssignment a;
+  a.kind_ = RankKind::kBaseB;
+  a.seed_ = seed;
+  a.base_ = base;
+  a.sup_ = 1.0;
+  return a;
+}
+
+RankAssignment RankAssignment::Exponential(
+    uint64_t seed, std::function<double(uint64_t)> beta) {
+  RankAssignment a;
+  a.kind_ = RankKind::kExponential;
+  a.seed_ = seed;
+  a.beta_ = std::move(beta);
+  a.sup_ = std::numeric_limits<double>::infinity();
+  return a;
+}
+
+RankAssignment RankAssignment::Priority(
+    uint64_t seed, std::function<double(uint64_t)> beta) {
+  RankAssignment a;
+  a.kind_ = RankKind::kPriority;
+  a.seed_ = seed;
+  a.beta_ = std::move(beta);
+  a.sup_ = std::numeric_limits<double>::infinity();
+  return a;
+}
+
+RankAssignment RankAssignment::Permutation(std::vector<uint32_t> perm) {
+  RankAssignment a;
+  a.kind_ = RankKind::kPermutation;
+  a.perm_ = std::move(perm);
+  a.sup_ = static_cast<double>(a.perm_.size()) + 1.0;
+  return a;
+}
+
+double RankAssignment::rank(uint64_t node, uint32_t perm_index) const {
+  switch (kind_) {
+    case RankKind::kUniform:
+      return UnitHash(seed_ ^ (0x517cc1b727220a95ULL * (perm_index + 1)),
+                      node);
+    case RankKind::kBaseB:
+      return DiscretizeRank(
+          UnitHash(seed_ ^ (0x517cc1b727220a95ULL * (perm_index + 1)), node),
+          base_);
+    case RankKind::kExponential: {
+      double u =
+          UnitHash(seed_ ^ (0x517cc1b727220a95ULL * (perm_index + 1)), node);
+      double b = beta_(node);
+      assert(b > 0.0);
+      return -std::log1p(-u) / b;
+    }
+    case RankKind::kPriority: {
+      double u =
+          UnitHash(seed_ ^ (0x517cc1b727220a95ULL * (perm_index + 1)), node);
+      double b = beta_(node);
+      assert(b > 0.0);
+      return u / b;
+    }
+    case RankKind::kPermutation:
+      assert(node < perm_.size());
+      return static_cast<double>(perm_[node]) + 1.0;
+  }
+  return 0.0;
+}
+
+}  // namespace hipads

@@ -1,0 +1,98 @@
+// Rank assignments: the random "permutations" that define MinHash sketches
+// and All-Distances Sketches (paper Section 2).
+//
+// A rank assignment maps a node/element id to a random rank value. Sketches
+// of different sets that share a RankAssignment are *coordinated* — the key
+// property that makes ADSs composable and mergeable. Four kinds are
+// supported:
+//   * full-precision uniform ranks r(v) ~ U[0,1)            (Section 2)
+//   * base-b discretized ranks r'(v) = b^{-ceil(-log_b r)}  (Section 4.4)
+//   * exponential ranks with per-node weights beta(v)       (Section 9)
+//   * explicit permutation ranks sigma(v) in {1..n}         (Section 5.4)
+
+#ifndef HIPADS_SKETCH_RANK_H_
+#define HIPADS_SKETCH_RANK_H_
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace hipads {
+
+/// Rounds a rank in (0,1) down to the nearest power of 1/b:
+/// r -> b^{-h} with h = ceil(-log_b r). Ranks of 0 map to the smallest
+/// positive representable value's bucket. (Paper Section 4.4.)
+double DiscretizeRank(double r, double base);
+
+/// The integer exponent h = ceil(-log_b r) of a base-b rank; this is what a
+/// compact register implementation stores (capped by the register width).
+uint32_t RankExponent(double r, double base);
+
+/// How ranks are produced.
+enum class RankKind {
+  kUniform,      // r(v) ~ U[0,1), sup = 1
+  kBaseB,        // discretized uniform, sup = 1
+  kExponential,  // r(v) ~ Exp(beta(v)), sup = +inf
+  kPriority,     // r(v) = U[0,1)/beta(v) — Sequential Poisson, sup = +inf
+  kPermutation,  // r(v) = sigma(v) in {1..n}, sup = n+1
+};
+
+/// A family of coordinated rank assignments (one per "permutation" index,
+/// for k-mins sketches; bottom-k and k-partition use index 0).
+class RankAssignment {
+ public:
+  /// Full-precision uniform ranks derived from (seed, perm, node) hashing.
+  static RankAssignment Uniform(uint64_t seed);
+
+  /// Base-b discretized uniform ranks.
+  static RankAssignment BaseB(uint64_t seed, double base);
+
+  /// Exponentially distributed ranks with rate beta(v) > 0 (node-weighted
+  /// sketches, Section 9). beta is captured by copy.
+  static RankAssignment Exponential(uint64_t seed,
+                                    std::function<double(uint64_t)> beta);
+
+  /// Priority (Sequential Poisson) ranks r(v) = U[0,1)/beta(v) — the
+  /// Section 9 alternative weighted-sampling scheme [39], [23].
+  static RankAssignment Priority(uint64_t seed,
+                                 std::function<double(uint64_t)> beta);
+
+  /// Explicit permutation ranks: node v gets rank perm[v] + 1 in {1..n}.
+  static RankAssignment Permutation(std::vector<uint32_t> perm);
+
+  /// Rank of `node` under permutation index `perm_index`.
+  double rank(uint64_t node, uint32_t perm_index = 0) const;
+
+  /// Supremum of the rank range: the value kth_r(S) takes when |S| < k
+  /// (paper Section 2 uses sup = 1 for uniform ranks).
+  double sup() const { return sup_; }
+
+  RankKind kind() const { return kind_; }
+  double base() const { return base_; }
+  uint64_t seed() const { return seed_; }
+
+  /// Weight beta(v) for exponential/priority ranks; 1.0 otherwise.
+  double beta(uint64_t node) const {
+    return kind_ == RankKind::kExponential || kind_ == RankKind::kPriority
+               ? beta_(node)
+               : 1.0;
+  }
+
+ private:
+  RankAssignment() = default;
+
+  RankKind kind_ = RankKind::kUniform;
+  uint64_t seed_ = 0;
+  double base_ = 0.0;  // only for kBaseB
+  double sup_ = 1.0;
+  std::function<double(uint64_t)> beta_;  // only for kExponential
+  std::vector<uint32_t> perm_;            // only for kPermutation
+};
+
+}  // namespace hipads
+
+#endif  // HIPADS_SKETCH_RANK_H_

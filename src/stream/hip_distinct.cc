@@ -1,0 +1,134 @@
+#include "stream/hip_distinct.h"
+
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/hash.h"
+
+namespace hipads {
+
+HllHipCounter::HllHipCounter(uint32_t k, uint64_t seed, uint32_t register_cap)
+    : k_(k),
+      seed_(seed),
+      register_cap_(register_cap),
+      registers_(k, 0),
+      probability_sum_(static_cast<double>(k)) {
+  assert(k >= 1);
+  assert(register_cap >= 1 && register_cap <= 63);
+}
+
+void HllHipCounter::Add(uint64_t element) {
+  uint32_t bucket = BucketHash(seed_, element, k_);
+  double r = UnitHash(seed_, element);
+  uint32_t h = static_cast<uint32_t>(std::ceil(-std::log2(r)));
+  if (h < 1) h = 1;
+  if (h > register_cap_) h = register_cap_;
+  uint8_t& reg = registers_[bucket];
+  if (h <= reg) return;  // no sketch change (duplicates always land here)
+  // HIP probability of this update, conditioned on the current registers
+  // (Eq. 8): the element must land in a non-saturated bucket and beat its
+  // minimum; tau = (1/k) sum over non-saturated i of 2^-M[i].
+  double tau = probability_sum_ / static_cast<double>(k_);
+  assert(tau > 0.0);
+  count_ += 1.0 / tau;
+  // Maintain the non-saturated probability mass.
+  probability_sum_ -= std::ldexp(1.0, -static_cast<int>(reg));
+  if (h < register_cap_) {
+    probability_sum_ += std::ldexp(1.0, -static_cast<int>(h));
+  }
+  reg = static_cast<uint8_t>(h);
+}
+
+bool HllHipCounter::Saturated() const {
+  for (uint8_t m : registers_) {
+    if (m < register_cap_) return false;
+  }
+  return true;
+}
+
+BottomKHipCounter::BottomKHipCounter(uint32_t k, uint64_t seed, double base)
+    : k_(k), seed_(seed), base_(base), sketch_(k, 1.0) {
+  assert(k >= 1);
+}
+
+void BottomKHipCounter::Add(uint64_t element) {
+  double r = UnitHash(seed_, element);
+  if (base_ > 1.0) r = DiscretizeRank(r, base_);
+  double tau = sketch_.Threshold();
+  if (r >= tau) return;  // below-threshold ranks never update
+  // With base-b ranks distinct elements may share a rank value; the strict
+  // inequality rule means only the first of a colliding pair enters, and
+  // tau (a power of 1/b) remains the exact update probability. Duplicates
+  // of one element are filtered by id.
+  if (!sketched_.insert(element).second) return;
+  count_ += 1.0 / tau;  // P(update) = P(rank < tau) = tau for U[0,1) ranks
+  sketch_.Update(r);
+}
+
+KMinsHipCounter::KMinsHipCounter(uint32_t k, uint64_t seed)
+    : k_(k), seed_(seed), sketch_(k, 1.0) {
+  assert(k >= 2);
+}
+
+void KMinsHipCounter::Add(uint64_t element) {
+  // An update happens iff the element beats the minimum in at least one
+  // permutation; tau = 1 - prod_h (1 - min_h)  (Eq. 7). Duplicates tie with
+  // their own earlier rank and never update.
+  double tau_miss = 1.0;
+  bool updates = false;
+  for (uint32_t h = 0; h < k_; ++h) {
+    double m = sketch_.Min(h);
+    tau_miss *= 1.0 - m;
+    if (UnitHash(seed_ ^ (0x517cc1b727220a95ULL * (h + 1)), element) < m) {
+      updates = true;
+    }
+  }
+  if (!updates) return;
+  double tau = 1.0 - tau_miss;
+  assert(tau > 0.0);
+  count_ += 1.0 / tau;
+  for (uint32_t h = 0; h < k_; ++h) {
+    sketch_.Update(
+        h, UnitHash(seed_ ^ (0x517cc1b727220a95ULL * (h + 1)), element));
+  }
+}
+
+PermutationDistinctCounter::PermutationDistinctCounter(
+    uint32_t k, std::vector<uint32_t> perm)
+    : k_(k),
+      n_(perm.size()),
+      perm_(std::move(perm)),
+      sketch_(k, static_cast<double>(perm_.size()) + 1.0) {
+  assert(k >= 1);
+}
+
+void PermutationDistinctCounter::Add(uint64_t element) {
+  assert(element < n_);
+  double rank = static_cast<double>(perm_[element]) + 1.0;
+  if (sketch_.Contains(rank)) return;  // duplicate occurrence
+  double mu = sketch_.Threshold();
+  if (rank >= mu) return;  // rank does not beat the bottom-k threshold
+  double w;
+  if (sketch_.size() < k_) {
+    w = 1.0;
+  } else {
+    w = (static_cast<double>(n_) - s_hat_ + 1.0) /
+        (mu - static_cast<double>(k_) + 1.0);
+  }
+  s_hat_ += w;
+  sketch_.Update(rank);
+}
+
+double PermutationDistinctCounter::Estimate() const {
+  bool saturated = sketch_.size() == k_ &&
+                   sketch_.Threshold() == static_cast<double>(k_);
+  if (saturated) {
+    return s_hat_ * (static_cast<double>(k_) + 1.0) /
+               static_cast<double>(k_) -
+           1.0;
+  }
+  return s_hat_;
+}
+
+}  // namespace hipads

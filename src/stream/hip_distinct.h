@@ -1,0 +1,121 @@
+// HIP approximate distinct counters (paper Section 6).
+//
+// Each counter maintains a MinHash sketch plus one running count c. When an
+// element updates the sketch, its HIP probability tau (the probability the
+// update happened, conditioned on the current sketch state) is computed and
+// c grows by the adjusted weight 1/tau. The count is unbiased at every
+// prefix of the stream, for every sketch flavor, and degrades gracefully
+// under register saturation.
+//
+//  * HllHipCounter     — HIP on the exact HyperLogLog sketch (k-partition,
+//                        base-2 ranks, 5-bit saturating registers). This is
+//                        the paper's Algorithm 3, with the 1/k factor of
+//                        Eq. (8) restored (see DESIGN.md).
+//  * BottomKHipCounter — HIP on a bottom-k sketch with full-precision or
+//                        base-b ranks.
+//  * KMinsHipCounter   — HIP on a k-mins sketch.
+//  * PermutationDistinctCounter — the Section 5.4 permutation estimator as
+//                        a stream counter (requires elements to be exactly
+//                        {0..n-1} with a known n).
+
+#ifndef HIPADS_STREAM_HIP_DISTINCT_H_
+#define HIPADS_STREAM_HIP_DISTINCT_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "sketch/minhash.h"
+#include "sketch/rank.h"
+
+namespace hipads {
+
+/// HIP estimator on the HyperLogLog sketch (Algorithm 3).
+class HllHipCounter {
+ public:
+  HllHipCounter(uint32_t k, uint64_t seed, uint32_t register_cap = 31);
+
+  /// Observes an element (duplicates never change the estimate).
+  void Add(uint64_t element);
+
+  /// The running HIP estimate of the number of distinct elements.
+  double Estimate() const { return count_; }
+
+  /// True once every register is saturated (the estimate then stops
+  /// growing and turns biased, as the paper notes).
+  bool Saturated() const;
+
+  const std::vector<uint8_t>& registers() const { return registers_; }
+
+ private:
+  uint32_t k_;
+  uint64_t seed_;
+  uint32_t register_cap_;
+  std::vector<uint8_t> registers_;
+  // sum over non-saturated registers of 2^-M[i], maintained incrementally;
+  // tau = probability_sum_ / k.
+  double probability_sum_;
+  double count_ = 0.0;
+};
+
+/// HIP estimator on a bottom-k MinHash sketch with uniform (or base-b
+/// discretized) ranks.
+class BottomKHipCounter {
+ public:
+  /// `base` <= 1 means full-precision ranks; otherwise ranks are rounded
+  /// down to powers of 1/base (Section 4.4 / 5.6).
+  BottomKHipCounter(uint32_t k, uint64_t seed, double base = 0.0);
+
+  void Add(uint64_t element);
+  double Estimate() const { return count_; }
+  const BottomKSketch& sketch() const { return sketch_; }
+
+ private:
+  uint32_t k_;
+  uint64_t seed_;
+  double base_;
+  BottomKSketch sketch_;
+  std::unordered_set<uint64_t> sketched_;  // ids that ever entered the sketch
+  double count_ = 0.0;
+};
+
+/// HIP estimator on a k-mins MinHash sketch (full-precision ranks).
+class KMinsHipCounter {
+ public:
+  KMinsHipCounter(uint32_t k, uint64_t seed);
+
+  void Add(uint64_t element);
+  double Estimate() const { return count_; }
+  const KMinsSketch& sketch() const { return sketch_; }
+
+ private:
+  uint32_t k_;
+  uint64_t seed_;
+  KMinsSketch sketch_;
+  double count_ = 0.0;
+};
+
+/// Section 5.4 permutation estimator as a distinct counter over a stream of
+/// elements drawn from {0..n-1}, ranked by a given permutation.
+class PermutationDistinctCounter {
+ public:
+  /// `perm[v]` is the permutation position of element v (0-based; rank is
+  /// perm[v] + 1 in {1..n}).
+  PermutationDistinctCounter(uint32_t k, std::vector<uint32_t> perm);
+
+  void Add(uint64_t element);
+
+  /// Running estimate including the saturation correction.
+  double Estimate() const;
+
+ private:
+  uint32_t k_;
+  uint64_t n_;
+  std::vector<uint32_t> perm_;
+  BottomKSketch sketch_;
+  double s_hat_ = 0.0;
+};
+
+}  // namespace hipads
+
+#endif  // HIPADS_STREAM_HIP_DISTINCT_H_

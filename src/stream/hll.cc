@@ -1,0 +1,85 @@
+#include "stream/hll.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/hash.h"
+
+namespace hipads {
+
+HyperLogLog::HyperLogLog(uint32_t k, uint64_t seed, uint32_t register_cap)
+    : k_(k), seed_(seed), register_cap_(register_cap), registers_(k, 0) {
+  assert(k >= 2);
+  assert(register_cap >= 1 && register_cap <= 63);
+}
+
+bool HyperLogLog::Add(uint64_t element) {
+  uint32_t bucket = BucketHash(seed_, element, k_);
+  double r = UnitHash(seed_, element);
+  // Base-2 rank exponent ceil(-log2 r), clipped to the register width
+  // (h >= 1 always since r < 1).
+  uint32_t h = static_cast<uint32_t>(std::ceil(-std::log2(r)));
+  if (h < 1) h = 1;
+  if (h > register_cap_) h = register_cap_;
+  if (h > registers_[bucket]) {
+    registers_[bucket] = static_cast<uint8_t>(h);
+    return true;
+  }
+  return false;
+}
+
+double HyperLogLog::RawEstimate() const {
+  double sum = 0.0;
+  for (uint8_t m : registers_) sum += std::ldexp(1.0, -static_cast<int>(m));
+  double kk = static_cast<double>(k_);
+  return Alpha(k_) * kk * kk / sum;
+}
+
+double HyperLogLog::Estimate() const {
+  double raw = RawEstimate();
+  double kk = static_cast<double>(k_);
+  if (raw <= 2.5 * kk) {
+    uint32_t zeros = NumZeroRegisters();
+    if (zeros != 0) {
+      return kk * std::log(kk / static_cast<double>(zeros));
+    }
+    return raw;
+  }
+  constexpr double kTwo32 = 4294967296.0;
+  if (raw > kTwo32 / 30.0) {
+    return -kTwo32 * std::log(1.0 - raw / kTwo32);
+  }
+  return raw;
+}
+
+void HyperLogLog::Merge(const HyperLogLog& other) {
+  assert(k_ == other.k_ && seed_ == other.seed_);
+  for (uint32_t i = 0; i < k_; ++i) {
+    if (other.registers_[i] > registers_[i]) {
+      registers_[i] = other.registers_[i];
+    }
+  }
+}
+
+uint32_t HyperLogLog::NumZeroRegisters() const {
+  uint32_t zeros = 0;
+  for (uint8_t m : registers_) {
+    if (m == 0) ++zeros;
+  }
+  return zeros;
+}
+
+double HyperLogLog::Alpha(uint32_t k) {
+  switch (k) {
+    case 16:
+      return 0.673;
+    case 32:
+      return 0.697;
+    case 64:
+      return 0.709;
+    default:
+      return 0.7213 / (1.0 + 1.079 / static_cast<double>(k));
+  }
+}
+
+}  // namespace hipads

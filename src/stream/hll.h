@@ -1,0 +1,54 @@
+// HyperLogLog approximate distinct counter (Flajolet, Fusy, Gandouet,
+// Meunier 2007) — the paper's Section 6 baseline.
+//
+// The sketch is a k-partition MinHash sketch with base-2 ranks stored as
+// 5-bit exponent registers. Both the raw estimator and the published
+// small/large-range bias corrections are implemented, so the bench can
+// reproduce the paper's "HLLraw" and "HLL" series of Figure 3.
+
+#ifndef HIPADS_STREAM_HLL_H_
+#define HIPADS_STREAM_HLL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace hipads {
+
+class HyperLogLog {
+ public:
+  /// `k` registers (a power of two for the classic analysis, but any k >= 2
+  /// works here); registers saturate at `register_cap` (31 for the 5-bit
+  /// registers of the paper's comparison).
+  explicit HyperLogLog(uint32_t k, uint64_t seed, uint32_t register_cap = 31);
+
+  /// Observes an element; returns true iff a register grew.
+  bool Add(uint64_t element);
+
+  /// Raw estimator alpha_k k^2 / sum_i 2^{-M[i]}.
+  double RawEstimate() const;
+
+  /// Bias-corrected estimate: small-range linear counting when
+  /// raw <= 2.5k and empty registers exist; large-range correction near the
+  /// 32-bit hash-space limit (kept for fidelity to the published algorithm).
+  double Estimate() const;
+
+  /// Merge by register-wise max (the standard HLL union).
+  void Merge(const HyperLogLog& other);
+
+  uint32_t k() const { return k_; }
+  const std::vector<uint8_t>& registers() const { return registers_; }
+  uint32_t NumZeroRegisters() const;
+
+  /// The alpha_k constant of the raw estimator.
+  static double Alpha(uint32_t k);
+
+ private:
+  uint32_t k_;
+  uint64_t seed_;
+  uint32_t register_cap_;
+  std::vector<uint8_t> registers_;
+};
+
+}  // namespace hipads
+
+#endif  // HIPADS_STREAM_HLL_H_

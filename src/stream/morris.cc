@@ -1,0 +1,46 @@
+#include "stream/morris.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace hipads {
+
+MorrisCounter::MorrisCounter(double base) : base_(base) {
+  assert(base > 1.0);
+}
+
+void MorrisCounter::Add(double amount, Rng& rng) {
+  assert(amount > 0.0);
+  // Largest deterministic step: the maximum i such that raising x by i
+  // increases the estimate by at most `amount` (Section 7):
+  //   b^{x+i} - b^x <= amount  =>  i = floor(log_b(amount / b^x + 1)).
+  double bx = std::pow(base_, static_cast<double>(x_));
+  double i = std::floor(std::log(amount / bx + 1.0) / std::log(base_));
+  if (i > 0.0) {
+    x_ += static_cast<uint64_t>(i);
+    bx *= std::pow(base_, i);
+  }
+  // Leftover below one step: probabilistic increment with probability
+  // leftover / (estimate increase of one step), an inverse-probability
+  // estimate of the leftover.
+  double leftover = amount - (bx - std::pow(base_, static_cast<double>(x_) -
+                                                       i));
+  // bx is now b^x; one more step adds bx*(base-1).
+  double step = bx * (base_ - 1.0);
+  assert(leftover >= -1e-9 && leftover <= step * (1.0 + 1e-9));
+  if (leftover > 0.0 && rng.NextBernoulli(leftover / step)) {
+    x_ += 1;
+  }
+}
+
+void MorrisCounter::Merge(const MorrisCounter& other, Rng& rng) {
+  assert(base_ == other.base_);
+  double amount = other.Estimate();
+  if (amount > 0.0) Add(amount, rng);
+}
+
+double MorrisCounter::Estimate() const {
+  return std::pow(base_, static_cast<double>(x_)) - 1.0;
+}
+
+}  // namespace hipads

@@ -1,0 +1,51 @@
+// Morris/Flajolet approximate counters, extended per paper Section 7 with
+// weighted (arbitrary positive) increments and counter merging via inverse
+// probability estimation.
+//
+// The counter stores only an integer exponent x; the estimate is
+// n^ = b^x - 1 for a fixed base b > 1, so counting to n needs
+// O(log log n) bits. The base trades accuracy for size: with
+// b = 1 + 1/2^j the relative error is ~2^{-j} for the HIP-accumulation use
+// case (Section 7).
+
+#ifndef HIPADS_STREAM_MORRIS_H_
+#define HIPADS_STREAM_MORRIS_H_
+
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace hipads {
+
+/// An approximate counter over positive real increments.
+class MorrisCounter {
+ public:
+  /// `base` must be > 1.
+  explicit MorrisCounter(double base);
+
+  /// Adds `amount` > 0 to the counter (unbiased: E[estimate change] =
+  /// amount). Randomness is drawn from `rng`.
+  void Add(double amount, Rng& rng);
+
+  /// Convenience unit increment.
+  void Increment(Rng& rng) { Add(1.0, rng); }
+
+  /// Merges another counter of the same base into this one (equivalent to
+  /// adding its estimate; unbiased).
+  void Merge(const MorrisCounter& other, Rng& rng);
+
+  /// Unbiased estimate b^x - 1 of the total amount added.
+  double Estimate() const;
+
+  /// The stored exponent (what an actual register would hold).
+  uint64_t exponent() const { return x_; }
+  double base() const { return base_; }
+
+ private:
+  double base_;
+  uint64_t x_ = 0;
+};
+
+}  // namespace hipads
+
+#endif  // HIPADS_STREAM_MORRIS_H_

@@ -1,0 +1,98 @@
+#include "stream/stream_ads.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/hash.h"
+
+namespace hipads {
+
+FirstOccurrenceAds::FirstOccurrenceAds(uint32_t k,
+                                       const RankAssignment& ranks,
+                                       SketchFlavor flavor)
+    : k_(k),
+      ranks_(ranks),
+      flavor_(flavor),
+      bottomk_(k, ranks.sup()),
+      kmins_(k, ranks.sup()),
+      kpart_(k, ranks.sup()) {}
+
+bool FirstOccurrenceAds::Process(uint64_t element, double time) {
+  assert(time >= last_time_ && "stream times must be non-decreasing");
+  last_time_ = time;
+  ++num_processed_;
+  // If the element was seen before, its first occurrence already updated
+  // the sketch (the threshold was even looser then) — re-occurrences can
+  // never update, and only first occurrences may create entries.
+  switch (flavor_) {
+    case SketchFlavor::kBottomK: {
+      double r = ranks_.rank(element);
+      if (r >= bottomk_.Threshold()) return false;
+      if (!sketched_.insert(element).second) return false;
+      bottomk_.Update(r);
+      ads_.Append(AdsEntry{static_cast<NodeId>(element), 0, r, time});
+      return true;
+    }
+    case SketchFlavor::kKMins: {
+      bool updated = false;
+      bool first = sketched_.insert(element).second;
+      for (uint32_t p = 0; p < k_; ++p) {
+        double r = ranks_.rank(element, p);
+        if (r < kmins_.Min(p)) {
+          assert(first && "re-occurrence beat a minimum it previously set");
+          kmins_.Update(p, r);
+          ads_.Append(AdsEntry{static_cast<NodeId>(element), p, r, time});
+          updated = true;
+        }
+      }
+      (void)first;
+      return updated;
+    }
+    case SketchFlavor::kKPartition: {
+      uint32_t bucket = BucketHash(ranks_.seed(), element, k_);
+      double r = ranks_.rank(element);
+      if (r >= kpart_.Min(bucket)) return false;
+      if (!sketched_.insert(element).second) return false;
+      kpart_.Update(bucket, r);
+      ads_.Append(AdsEntry{static_cast<NodeId>(element), bucket, r, time});
+      return true;
+    }
+  }
+  return false;
+}
+
+RecentOccurrenceAds::RecentOccurrenceAds(uint32_t k,
+                                         const RankAssignment& ranks,
+                                         double horizon)
+    : k_(k), ranks_(ranks), horizon_(horizon) {}
+
+void RecentOccurrenceAds::Process(uint64_t element, double time) {
+  assert(time >= last_time_ && "stream times must be non-decreasing");
+  assert(time <= horizon_ && "entry beyond the sketch horizon T");
+  last_time_ = time;
+  double r = ranks_.rank(element);
+  double age = horizon_ - time;
+  // Drop any previous occurrence of this element.
+  std::erase_if(entries_, [element](const AdsEntry& e) {
+    return e.node == static_cast<NodeId>(element);
+  });
+  // The new entry has the smallest age processed so far, so it always
+  // belongs; re-filter the rest with the canonical bottom-k scan
+  // (Section 3.1's clean-up).
+  entries_.insert(entries_.begin(),
+                  AdsEntry{static_cast<NodeId>(element), 0, r, age});
+  std::vector<AdsEntry> kept;
+  kept.reserve(entries_.size());
+  BottomKSketch sketch(k_, ranks_.sup());
+  for (const AdsEntry& e : entries_) {
+    if (e.rank < sketch.Threshold()) {
+      kept.push_back(e);
+      sketch.Update(e.rank);
+    }
+  }
+  entries_ = std::move(kept);
+}
+
+Ads RecentOccurrenceAds::SnapshotAds() const { return Ads(entries_); }
+
+}  // namespace hipads

@@ -1,0 +1,88 @@
+// All-distances sketches over data streams (paper Section 3.1).
+//
+// A stream of (element, time) entries is sketched with "distance" replaced
+// by elapsed time. Two variants:
+//   * FirstOccurrenceAds — distance = elapsed time from the start of the
+//     stream to the element's FIRST occurrence (earlier elements are
+//     emphasized). Equivalent to recording every MinHash-sketch update.
+//   * RecentOccurrenceAds — distance = elapsed time from the element's MOST
+//     RECENT occurrence to "now" (recent elements are emphasized; the basis
+//     of time-decaying statistics).
+//
+// Both maintain bottom-k ADSs and expose them as the same Ads structure the
+// graph estimators consume, so HIP applies unchanged with time in place of
+// distance.
+
+#ifndef HIPADS_STREAM_STREAM_ADS_H_
+#define HIPADS_STREAM_STREAM_ADS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ads/ads.h"
+#include "sketch/rank.h"
+
+namespace hipads {
+
+/// ADS over first occurrences, any sketch flavor. Entries must arrive in
+/// non-decreasing time order.
+class FirstOccurrenceAds {
+ public:
+  FirstOccurrenceAds(uint32_t k, const RankAssignment& ranks,
+                     SketchFlavor flavor = SketchFlavor::kBottomK);
+
+  /// Processes one stream entry; returns true iff the sketch was updated
+  /// (the element's first occurrence beat the flavor's threshold in at
+  /// least one permutation/bucket).
+  bool Process(uint64_t element, double time);
+
+  /// The accumulated ADS (time plays the role of distance). Pass the same
+  /// (k, flavor, ranks) to HipEstimator to estimate prefix statistics.
+  const Ads& ads() const { return ads_; }
+
+  SketchFlavor flavor() const { return flavor_; }
+  uint64_t num_processed() const { return num_processed_; }
+
+ private:
+  uint32_t k_;
+  RankAssignment ranks_;
+  SketchFlavor flavor_;
+  BottomKSketch bottomk_;     // kBottomK state
+  KMinsSketch kmins_;         // kKMins state
+  KPartitionSketch kpart_;    // kKPartition state
+  std::unordered_set<uint64_t> sketched_;  // elements already recorded
+  Ads ads_;
+  uint64_t num_processed_ = 0;
+  double last_time_ = 0.0;
+};
+
+/// Bottom-k ADS over most-recent occurrences. `horizon` is the paper's T, a
+/// time no smaller than any entry's time: ages are T - t. Entries must
+/// arrive in non-decreasing time order.
+class RecentOccurrenceAds {
+ public:
+  RecentOccurrenceAds(uint32_t k, const RankAssignment& ranks,
+                      double horizon);
+
+  /// Processes one stream entry. The newest entry always has the smallest
+  /// age, so it is always inserted; older entries are re-filtered.
+  void Process(uint64_t element, double time);
+
+  /// Current ADS: entry distances are ages T - t(last occurrence of u).
+  Ads SnapshotAds() const;
+
+  size_t CurrentSize() const { return entries_.size(); }
+
+ private:
+  uint32_t k_;
+  RankAssignment ranks_;
+  double horizon_;
+  // Entries sorted by increasing age (newest first); always canonical.
+  std::vector<AdsEntry> entries_;
+  double last_time_ = 0.0;
+};
+
+}  // namespace hipads
+
+#endif  // HIPADS_STREAM_STREAM_ADS_H_

@@ -1,0 +1,61 @@
+// Deterministic 64-bit hashing used to derive coordinated random ranks.
+//
+// All randomness in hipads sketches flows through these functions: a sketch
+// "permutation" is (seed, node-id) -> U[0,1), so sketches of different sets
+// built with the same seed are automatically coordinated (Section 2 of the
+// paper), and any sketch can be reproduced from its seed alone.
+
+#ifndef HIPADS_UTIL_HASH_H_
+#define HIPADS_UTIL_HASH_H_
+
+#include <cstdint>
+
+namespace hipads {
+
+/// SplitMix64 finalizer (Steele, Lea, Flood 2014). Bijective mixer with
+/// excellent avalanche behaviour; the de-facto standard for seeding and for
+/// hashing small integer keys in sketch data structures.
+inline constexpr uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Murmur3-style finalizer; used where we need a second independent mix.
+inline constexpr uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Combines a seed and a key into a single well-mixed 64-bit value.
+inline constexpr uint64_t HashCombine(uint64_t seed, uint64_t key) {
+  return Mix64(SplitMix64(seed) ^ SplitMix64(key + 0x9e3779b97f4a7c15ULL));
+}
+
+/// Maps a 64-bit hash to a double in [0, 1). Uses the top 53 bits so the
+/// result is an exactly representable dyadic rational; never returns 1.0.
+inline constexpr double ToUnitInterval(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Hash of (seed, key) mapped to U[0,1). This is the canonical full-precision
+/// rank function r(v) of the paper.
+inline constexpr double UnitHash(uint64_t seed, uint64_t key) {
+  return ToUnitInterval(HashCombine(seed, key));
+}
+
+/// Hash of (seed, key) reduced to a bucket in [0, k). Used by k-partition
+/// sketches. Uses Lemire's multiply-shift reduction to avoid modulo bias.
+inline constexpr uint32_t BucketHash(uint64_t seed, uint64_t key, uint32_t k) {
+  uint64_t h = HashCombine(seed ^ 0xa5a5a5a5a5a5a5a5ULL, key);
+  return static_cast<uint32_t>((static_cast<__uint128_t>(h) * k) >> 64);
+}
+
+}  // namespace hipads
+
+#endif  // HIPADS_UTIL_HASH_H_

@@ -1,0 +1,109 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hipads {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  int64_t n = count_ + other.count_;
+  double delta = other.mean_ - mean_;
+  mean_ += delta * static_cast<double>(other.count_) / static_cast<double>(n);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) /
+                         static_cast<double>(n);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = n;
+}
+
+void ErrorStats::Add(double estimate, double truth) {
+  double rel = (estimate - truth) / truth;
+  ++count_;
+  sum_sq_rel_err_ += rel * rel;
+  sum_abs_rel_err_ += std::abs(rel);
+  sum_rel_err_ += rel;
+}
+
+double ErrorStats::nrmse() const {
+  if (count_ == 0) return 0.0;
+  return std::sqrt(sum_sq_rel_err_ / static_cast<double>(count_));
+}
+
+double ErrorStats::mre() const {
+  if (count_ == 0) return 0.0;
+  return sum_abs_rel_err_ / static_cast<double>(count_);
+}
+
+double ErrorStats::mean_bias() const {
+  if (count_ == 0) return 0.0;
+  return sum_rel_err_ / static_cast<double>(count_);
+}
+
+void ErrorStats::Merge(const ErrorStats& other) {
+  count_ += other.count_;
+  sum_sq_rel_err_ += other.sum_sq_rel_err_;
+  sum_abs_rel_err_ += other.sum_abs_rel_err_;
+  sum_rel_err_ += other.sum_rel_err_;
+}
+
+double HarmonicNumber(uint64_t n) {
+  if (n == 0) return 0.0;
+  constexpr uint64_t kExactCutoff = 1 << 16;
+  if (n <= kExactCutoff) {
+    double h = 0.0;
+    // Sum smallest terms first for accuracy.
+    for (uint64_t i = n; i >= 1; --i) h += 1.0 / static_cast<double>(i);
+    return h;
+  }
+  // Euler-Maclaurin: H_n ~ ln n + gamma + 1/(2n) - 1/(12n^2) + 1/(120n^4).
+  constexpr double kGamma = 0.57721566490153286060651209;
+  double x = static_cast<double>(n);
+  return std::log(x) + kGamma + 1.0 / (2.0 * x) - 1.0 / (12.0 * x * x) +
+         1.0 / (120.0 * x * x * x * x);
+}
+
+std::vector<uint64_t> LogSpacedCheckpoints(uint64_t n, int points_per_decade) {
+  std::vector<uint64_t> points;
+  uint64_t dense_limit = std::min<uint64_t>(n, 16);
+  for (uint64_t i = 1; i <= dense_limit; ++i) points.push_back(i);
+  if (n > dense_limit) {
+    double step = std::pow(10.0, 1.0 / points_per_decade);
+    double x = static_cast<double>(dense_limit);
+    while (true) {
+      x *= step;
+      uint64_t v = static_cast<uint64_t>(std::llround(x));
+      if (v >= n) break;
+      if (v > points.back()) points.push_back(v);
+    }
+    points.push_back(n);
+  }
+  return points;
+}
+
+}  // namespace hipads

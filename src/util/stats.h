@@ -1,0 +1,71 @@
+// Streaming statistics accumulators used by the estimation-quality
+// experiments (NRMSE / MRE / bias curves of Figures 2 and 3).
+
+#ifndef HIPADS_UTIL_STATS_H_
+#define HIPADS_UTIL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace hipads {
+
+/// Numerically stable single-pass mean/variance accumulator (Welford).
+class RunningStat {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void Merge(const RunningStat& other);
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Accumulates the error of an estimator against known truth and reports the
+/// paper's quality measures:
+///   NRMSE = sqrt(E[(n - n^)^2]) / n   (equals the CV for unbiased n^)
+///   MRE   = E[|n - n^|] / n
+///   bias  = E[n^ - n] / n
+class ErrorStats {
+ public:
+  /// Records one (estimate, truth) observation. truth must be > 0.
+  void Add(double estimate, double truth);
+
+  int64_t count() const { return count_; }
+  double nrmse() const;
+  double mre() const;
+  double mean_bias() const;
+
+  void Merge(const ErrorStats& other);
+
+ private:
+  int64_t count_ = 0;
+  double sum_sq_rel_err_ = 0.0;
+  double sum_abs_rel_err_ = 0.0;
+  double sum_rel_err_ = 0.0;
+};
+
+/// Exact harmonic number H_n = sum_{i=1..n} 1/i. Exact summation below a
+/// fixed cutoff, Euler-Maclaurin expansion above it (absolute error < 1e-12).
+double HarmonicNumber(uint64_t n);
+
+/// Geometrically spaced integer checkpoints in [1, n]: all of 1..min(n,small)
+/// plus ~points_per_decade values per decade, always including n. Used to
+/// sample error curves without evaluating every cardinality.
+std::vector<uint64_t> LogSpacedCheckpoints(uint64_t n, int points_per_decade);
+
+}  // namespace hipads
+
+#endif  // HIPADS_UTIL_STATS_H_

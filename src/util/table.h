@@ -1,0 +1,42 @@
+// Minimal aligned-column table printer used by the benchmark harnesses to
+// emit the rows/series of the paper's figures and tables in both
+// human-readable and CSV form.
+
+#ifndef HIPADS_UTIL_TABLE_H_
+#define HIPADS_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hipads {
+
+/// Collects rows of stringified cells and renders them either as an aligned
+/// text table (for terminal inspection) or as CSV (for plotting).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row. Subsequent Add* calls append cells to it.
+  Table& NewRow();
+  Table& Add(const std::string& cell);
+  Table& Add(const char* cell) { return Add(std::string(cell)); }
+  Table& Add(double value, int precision = 5);
+  Table& Add(uint64_t value);
+  Table& Add(int64_t value);
+  Table& Add(int value) { return Add(static_cast<int64_t>(value)); }
+
+  void PrintText(std::ostream& os) const;
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hipads
+
+#endif  // HIPADS_UTIL_TABLE_H_

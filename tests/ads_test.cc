@@ -1,0 +1,214 @@
+#include "ads/ads.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.h"
+#include "util/stats.h"
+
+namespace hipads {
+namespace {
+
+std::vector<AdsEntry> MakeEntries() {
+  // node, part, rank, dist
+  return {
+      {0, 0, 0.50, 0.0}, {1, 0, 0.20, 1.0}, {2, 0, 0.90, 2.0},
+      {3, 0, 0.10, 3.0}, {4, 0, 0.40, 4.0},
+  };
+}
+
+TEST(AdsTest, ConstructionSortsByDistance) {
+  std::vector<AdsEntry> shuffled = MakeEntries();
+  std::swap(shuffled[0], shuffled[4]);
+  Ads ads(shuffled);
+  for (size_t i = 1; i < ads.size(); ++i) {
+    EXPECT_LE(ads.entries()[i - 1].dist, ads.entries()[i].dist);
+  }
+}
+
+TEST(AdsTest, TieBreakByNodeId) {
+  Ads ads({{5, 0, 0.3, 2.0}, {2, 0, 0.7, 2.0}, {0, 0, 0.5, 0.0}});
+  EXPECT_EQ(ads.entries()[1].node, 2u);  // lower id first at equal dist
+  EXPECT_EQ(ads.entries()[2].node, 5u);
+}
+
+TEST(AdsTest, ContainsAndDistance) {
+  Ads ads(MakeEntries());
+  EXPECT_TRUE(ads.Contains(3));
+  EXPECT_FALSE(ads.Contains(9));
+  EXPECT_EQ(ads.DistanceOf(4), 4.0);
+  EXPECT_EQ(ads.DistanceOf(9), -1.0);
+}
+
+TEST(AdsTest, CountWithin) {
+  Ads ads(MakeEntries());
+  EXPECT_EQ(ads.CountWithin(-1.0), 0u);
+  EXPECT_EQ(ads.CountWithin(0.0), 1u);
+  EXPECT_EQ(ads.CountWithin(2.5), 3u);
+  EXPECT_EQ(ads.CountWithin(100.0), 5u);
+}
+
+TEST(AdsTest, BottomKAtExtractsNeighborhoodSketch) {
+  Ads ads(MakeEntries());
+  BottomKSketch s = ads.BottomKAt(2.0, 2);
+  // Nodes within distance 2: ranks 0.5, 0.2, 0.9 -> bottom-2 = {0.2, 0.5}.
+  EXPECT_EQ(s.ranks(), (std::vector<double>{0.2, 0.5}));
+}
+
+TEST(AdsTest, KMinsAtUsesParts) {
+  Ads ads({{0, 0, 0.5, 0.0}, {0, 1, 0.8, 0.0}, {1, 1, 0.3, 1.0}});
+  KMinsSketch s = ads.KMinsAt(1.0, 2);
+  EXPECT_EQ(s.Min(0), 0.5);
+  EXPECT_EQ(s.Min(1), 0.3);
+  KMinsSketch s0 = ads.KMinsAt(0.0, 2);
+  EXPECT_EQ(s0.Min(1), 0.8);
+}
+
+TEST(AdsTest, KPartitionAtUsesBuckets) {
+  Ads ads({{0, 1, 0.5, 0.0}, {1, 0, 0.4, 1.0}, {2, 1, 0.2, 2.0}});
+  KPartitionSketch s = ads.KPartitionAt(2.0, 2);
+  EXPECT_EQ(s.Min(0), 0.4);
+  EXPECT_EQ(s.Min(1), 0.2);
+  EXPECT_EQ(s.NumNonEmpty(), 2u);
+}
+
+TEST(CanonicalBottomKTest, KeepsPrefixMinimaForK1) {
+  // k=1: an entry survives iff its rank beats every closer rank.
+  std::vector<AdsEntry> cands = {
+      {0, 0, 0.5, 0.0}, {1, 0, 0.7, 1.0}, {2, 0, 0.3, 2.0},
+      {3, 0, 0.4, 3.0}, {4, 0, 0.1, 4.0},
+  };
+  Ads ads = Ads::CanonicalBottomK(cands, 1);
+  ASSERT_EQ(ads.size(), 3u);
+  EXPECT_EQ(ads.entries()[0].node, 0u);
+  EXPECT_EQ(ads.entries()[1].node, 2u);
+  EXPECT_EQ(ads.entries()[2].node, 4u);
+}
+
+TEST(CanonicalBottomKTest, MembershipRule) {
+  // Every kept entry must beat the kth smallest rank among closer kept
+  // entries; every dropped candidate must not.
+  const uint32_t k = 3;
+  std::vector<AdsEntry> cands;
+  for (uint32_t i = 0; i < 200; ++i) {
+    cands.push_back(
+        AdsEntry{i, 0, UnitHash(4, i), static_cast<double>(i)});
+  }
+  Ads ads = Ads::CanonicalBottomK(cands, k);
+  // Recheck against a brute-force evaluation of Eq. (4).
+  for (const AdsEntry& c : cands) {
+    BottomKSketch closer(k);
+    for (const AdsEntry& o : cands) {
+      if (o.dist < c.dist) closer.Update(o.rank);
+    }
+    bool should_be_in = c.rank < closer.Threshold();
+    EXPECT_EQ(ads.Contains(c.node), should_be_in) << "node " << c.node;
+  }
+}
+
+TEST(CanonicalBottomKTest, FirstKAlwaysIncluded) {
+  const uint32_t k = 4;
+  std::vector<AdsEntry> cands;
+  for (uint32_t i = 0; i < 50; ++i) {
+    cands.push_back(AdsEntry{i, 0, UnitHash(8, i), static_cast<double>(i)});
+  }
+  Ads ads = Ads::CanonicalBottomK(cands, k);
+  for (uint32_t i = 0; i < k; ++i) EXPECT_TRUE(ads.Contains(i));
+}
+
+TEST(CanonicalBottomKTest, IdempotentOnItsOutput) {
+  std::vector<AdsEntry> cands;
+  for (uint32_t i = 0; i < 100; ++i) {
+    cands.push_back(AdsEntry{i, 0, UnitHash(6, i), static_cast<double>(i)});
+  }
+  Ads once = Ads::CanonicalBottomK(cands, 2);
+  Ads twice = Ads::CanonicalBottomK(once.entries(), 2);
+  ASSERT_EQ(once.size(), twice.size());
+  for (size_t i = 0; i < once.size(); ++i) {
+    EXPECT_EQ(once.entries()[i].node, twice.entries()[i].node);
+  }
+}
+
+TEST(ModifiedBottomKTest, ExactlyKSmallestPerDistance) {
+  // 10 candidates all at the same distance: exactly the k smallest ranks
+  // survive (each sees only k-1 others below it).
+  const uint32_t k = 3;
+  std::vector<AdsEntry> cands;
+  for (uint32_t i = 0; i < 10; ++i) {
+    cands.push_back(AdsEntry{i, 0, UnitHash(12, i), 5.0});
+  }
+  Ads ads = Ads::ModifiedBottomK(cands, k);
+  EXPECT_EQ(ads.size(), static_cast<size_t>(k));
+  // They are the k smallest ranks of the group.
+  std::vector<double> all_ranks;
+  for (const AdsEntry& e : cands) all_ranks.push_back(e.rank);
+  std::sort(all_ranks.begin(), all_ranks.end());
+  for (const AdsEntry& e : ads.entries()) {
+    EXPECT_LE(e.rank, all_ranks[k - 1]);
+  }
+}
+
+TEST(ModifiedBottomKTest, SubsetOfTieBrokenAds) {
+  // Appendix A: the modified ADS is a subset of the tie-broken ADS.
+  const uint32_t k = 2;
+  std::vector<AdsEntry> cands;
+  for (uint32_t i = 0; i < 60; ++i) {
+    // Repeating distances: groups of 5 share a distance.
+    cands.push_back(
+        AdsEntry{i, 0, UnitHash(13, i), static_cast<double>(i / 5)});
+  }
+  Ads modified = Ads::ModifiedBottomK(cands, k);
+  Ads full = Ads::CanonicalBottomK(cands, k);
+  for (const AdsEntry& e : modified.entries()) {
+    EXPECT_TRUE(full.Contains(e.node));
+  }
+  EXPECT_LE(modified.size(), full.size());
+}
+
+TEST(ModifiedBottomKTest, UniqueDistancesMatchCanonicalRule) {
+  // With unique distances the modified rule keeps u iff rank < kth among
+  // nodes with dist <= d(u), which includes u itself — so it can only drop
+  // entries whose rank IS the kth. Verify it stays within one entry per
+  // possible drop of the canonical result.
+  const uint32_t k = 3;
+  std::vector<AdsEntry> cands;
+  for (uint32_t i = 0; i < 100; ++i) {
+    cands.push_back(AdsEntry{i, 0, UnitHash(14, i), static_cast<double>(i)});
+  }
+  Ads modified = Ads::ModifiedBottomK(cands, k);
+  Ads full = Ads::CanonicalBottomK(cands, k);
+  for (const AdsEntry& e : modified.entries()) {
+    EXPECT_TRUE(full.Contains(e.node));
+  }
+}
+
+TEST(ExpectedSizeTest, Lemma22SmallCases) {
+  EXPECT_EQ(ExpectedBottomKAdsSize(4, 3), 3.0);
+  EXPECT_EQ(ExpectedBottomKAdsSize(4, 4), 4.0);
+  // k=1, n=4: 1 + H_4 - H_1 = 1 + (25/12 - 1).
+  EXPECT_NEAR(ExpectedBottomKAdsSize(1, 4), 25.0 / 12.0, 1e-12);
+}
+
+TEST(ExpectedSizeTest, GrowthIsLogarithmic) {
+  double s1 = ExpectedBottomKAdsSize(16, 1000);
+  double s2 = ExpectedBottomKAdsSize(16, 1000000);
+  // Tripling the exponent of n adds ~ k ln(1000) per factor.
+  EXPECT_NEAR(s2 - s1, 16 * std::log(1000.0), 0.5);
+}
+
+TEST(ExpectedSizeTest, KPartitionSmallerThanBottomK) {
+  EXPECT_LT(ExpectedKPartitionAdsSize(16, 100000),
+            ExpectedBottomKAdsSize(16, 100000));
+}
+
+TEST(AdsSetTest, TotalEntries) {
+  AdsSet set;
+  set.ads.emplace_back(MakeEntries());
+  set.ads.emplace_back(std::vector<AdsEntry>{{0, 0, 0.5, 0.0}});
+  EXPECT_EQ(set.TotalEntries(), 6u);
+}
+
+}  // namespace
+}  // namespace hipads

@@ -1,0 +1,106 @@
+#include "ads/anf.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/exact.h"
+#include "graph/generators.h"
+#include "util/stats.h"
+
+namespace hipads {
+namespace {
+
+// Exact neighbourhood function: sum over v of |N_d(v)| for d = 0..D.
+std::vector<double> ExactNf(const Graph& g) {
+  std::vector<double> nf;
+  auto hist = ExactDistanceDistribution(g);
+  nf.push_back(static_cast<double>(g.num_nodes()));
+  double running = static_cast<double>(g.num_nodes());
+  double expect_d = 1.0;
+  for (const auto& [d, count] : hist) {
+    while (expect_d < d) {  // distances with no pairs
+      nf.push_back(running);
+      expect_d += 1.0;
+    }
+    running += static_cast<double>(count);
+    nf.push_back(running);
+    expect_d = d + 1.0;
+  }
+  return nf;
+}
+
+TEST(AnfTest, RoundsBoundedByDiameter) {
+  Graph g = Path(20);
+  AnfResult r = HyperAnf(g, 16, 1, AnfEstimator::kHip);
+  // Propagation can stop a little early when the farthest nodes' hashes
+  // collide with already-set registers, but never exceeds the diameter.
+  EXPECT_LE(r.rounds, 19u);
+  EXPECT_GE(r.rounds, 15u);
+  EXPECT_EQ(r.neighbourhood_function.size(), r.rounds + 1u);
+}
+
+TEST(AnfTest, NeighbourhoodFunctionMonotone) {
+  Graph g = BarabasiAlbert(400, 3, 5);
+  for (AnfEstimator est : {AnfEstimator::kBasic, AnfEstimator::kHip}) {
+    AnfResult r = HyperAnf(g, 32, 7, est);
+    for (size_t d = 1; d < r.neighbourhood_function.size(); ++d) {
+      EXPECT_GE(r.neighbourhood_function[d],
+                r.neighbourhood_function[d - 1] - 1e-9);
+    }
+  }
+}
+
+TEST(AnfTest, HipTracksExactNeighbourhoodFunction) {
+  Graph g = ErdosRenyi(300, 900, true, 11);
+  auto exact = ExactNf(g);
+  RunningStat rel_at_2;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    AnfResult r = HyperAnf(g, 64, seed * 3 + 1, AnfEstimator::kHip);
+    ASSERT_GE(r.neighbourhood_function.size(), 3u);
+    rel_at_2.Add(r.neighbourhood_function[2] / exact[2]);
+  }
+  EXPECT_NEAR(rel_at_2.mean(), 1.0, 0.05);
+}
+
+TEST(AnfTest, HipBeatsBasicUnderGradualGrowth) {
+  // Appendix B.1's accuracy gain holds when the register-event stream is
+  // close to per-element, i.e. when neighborhoods grow by small batches
+  // per round (high-diameter graphs). On explosive-growth graphs multiple
+  // elements collapse into one register event and the HIP readout loses
+  // part of its edge (see bench_anf for both regimes).
+  Graph g = Grid2D(18, 18);
+  double truth = 0.0;
+  for (double v : ExactNf(g)) truth = v;  // final value: all pairs
+  ErrorStats hip_err, basic_err;
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    AnfResult hip = HyperAnf(g, 32, seed * 5 + 2, AnfEstimator::kHip);
+    AnfResult basic = HyperAnf(g, 32, seed * 5 + 2, AnfEstimator::kBasic);
+    hip_err.Add(hip.neighbourhood_function.back(), truth);
+    basic_err.Add(basic.neighbourhood_function.back(), truth);
+  }
+  EXPECT_LT(hip_err.nrmse(), basic_err.nrmse());
+}
+
+TEST(AnfTest, FinalCardinalitiesApproachReachability) {
+  Graph g = Path(30, /*directed=*/true);
+  AnfResult r = HyperAnf(g, 64, 3, AnfEstimator::kHip);
+  // Node 29 reaches only itself; node 0 reaches all 30.
+  EXPECT_NEAR(r.final_cardinalities[29], 1.0, 1e-9);
+  EXPECT_NEAR(r.final_cardinalities[0], 30.0, 12.0);
+}
+
+TEST(AnfTest, MaxRoundsTruncates) {
+  Graph g = Path(50);
+  AnfResult r = HyperAnf(g, 8, 1, AnfEstimator::kBasic, /*max_rounds=*/5);
+  EXPECT_EQ(r.rounds, 5u);
+  EXPECT_EQ(r.neighbourhood_function.size(), 6u);
+}
+
+TEST(AnfTest, DeterministicForSeed) {
+  Graph g = ErdosRenyi(200, 600, true, 13);
+  AnfResult a = HyperAnf(g, 16, 42, AnfEstimator::kHip);
+  AnfResult b = HyperAnf(g, 16, 42, AnfEstimator::kHip);
+  EXPECT_EQ(a.neighbourhood_function, b.neighbourhood_function);
+}
+
+}  // namespace
+}  // namespace hipads

@@ -1,0 +1,151 @@
+// Statistical tests of the basic MinHash cardinality estimators
+// (Section 4): unbiasedness and CV against the analytic values.
+
+#include "sketch/cardinality.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/hash.h"
+#include "util/stats.h"
+
+namespace hipads {
+namespace {
+
+// Builds sketches of {0..n-1} over many runs and accumulates estimator
+// error. Returns (mean estimate / n, NRMSE).
+struct SimOutcome {
+  double relative_mean;
+  double nrmse;
+};
+
+template <typename MakeEstimate>
+SimOutcome Simulate(uint64_t n, uint32_t runs, MakeEstimate make) {
+  RunningStat est;
+  ErrorStats err;
+  for (uint32_t run = 0; run < runs; ++run) {
+    double e = make(run, n);
+    est.Add(e);
+    err.Add(e, static_cast<double>(n));
+  }
+  return {est.mean() / static_cast<double>(n), err.nrmse()};
+}
+
+double KMinsRun(uint32_t k, uint64_t run, uint64_t n) {
+  KMinsSketch s(k);
+  for (uint64_t i = 0; i < n; ++i) {
+    for (uint32_t h = 0; h < k; ++h) {
+      s.Update(h, UnitHash(run * 1315423911ULL + h + 1, i));
+    }
+  }
+  return KMinsBasicEstimate(s);
+}
+
+double BottomKRun(uint32_t k, uint64_t run, uint64_t n) {
+  BottomKSketch s(k);
+  for (uint64_t i = 0; i < n; ++i) s.Update(UnitHash(run + 77, i));
+  return BottomKBasicEstimate(s);
+}
+
+double KPartitionRun(uint32_t k, uint64_t run, uint64_t n) {
+  KPartitionSketch s(k);
+  for (uint64_t i = 0; i < n; ++i) {
+    s.Update(BucketHash(run + 99, i, k), UnitHash(run + 99, i));
+  }
+  return KPartitionBasicEstimate(s);
+}
+
+TEST(KMinsEstimatorTest, UnbiasedAndMatchesAnalyticCv) {
+  const uint32_t k = 16;
+  auto out = Simulate(1000, 3000, [&](uint64_t run, uint64_t n) {
+    return KMinsRun(k, run, n);
+  });
+  EXPECT_NEAR(out.relative_mean, 1.0, 0.02);
+  // CV = 1/sqrt(k-2) = 0.267; allow Monte-Carlo slack.
+  EXPECT_NEAR(out.nrmse, BasicCv(k), 0.03);
+}
+
+TEST(KMinsEstimatorTest, ExactForEmptySet) {
+  KMinsSketch s(4);
+  EXPECT_EQ(KMinsBasicEstimate(s), 0.0);
+}
+
+TEST(BottomKEstimatorTest, ExactBelowK) {
+  const uint32_t k = 8;
+  for (uint64_t n : {0ULL, 1ULL, 5ULL, 7ULL}) {
+    BottomKSketch s(k);
+    for (uint64_t i = 0; i < n; ++i) s.Update(UnitHash(1, i));
+    EXPECT_EQ(BottomKBasicEstimate(s), static_cast<double>(n));
+  }
+}
+
+TEST(BottomKEstimatorTest, UnbiasedLargeN) {
+  const uint32_t k = 16;
+  auto out = Simulate(2000, 3000, [&](uint64_t run, uint64_t n) {
+    return BottomKRun(k, run, n);
+  });
+  EXPECT_NEAR(out.relative_mean, 1.0, 0.02);
+  EXPECT_LT(out.nrmse, BasicCv(k) * 1.1);  // Lemma 4.3 upper bound
+}
+
+TEST(BottomKEstimatorTest, BetterThanKMinsNearK) {
+  // For n close to k the bottom-k estimator is far more accurate.
+  const uint32_t k = 16;
+  auto botk = Simulate(24, 4000, [&](uint64_t run, uint64_t n) {
+    return BottomKRun(k, run, n);
+  });
+  auto kmins = Simulate(24, 4000, [&](uint64_t run, uint64_t n) {
+    return KMinsRun(k, run, n);
+  });
+  EXPECT_LT(botk.nrmse, kmins.nrmse);
+}
+
+TEST(KPartitionEstimatorTest, UnbiasedLargeN) {
+  const uint32_t k = 16;
+  auto out = Simulate(4000, 3000, [&](uint64_t run, uint64_t n) {
+    return KPartitionRun(k, run, n);
+  });
+  EXPECT_NEAR(out.relative_mean, 1.0, 0.03);
+  EXPECT_LT(out.nrmse, BasicCv(k) * 1.25);
+}
+
+TEST(KPartitionEstimatorTest, DegenerateSmallN) {
+  KPartitionSketch s(8);
+  EXPECT_EQ(KPartitionBasicEstimate(s), 0.0);  // k' = 0
+  s.Update(3, 0.5);
+  EXPECT_EQ(KPartitionBasicEstimate(s), 1.0);  // k' = 1
+}
+
+TEST(KPartitionEstimatorTest, WorseThanBottomKForSmallN) {
+  // Section 4.3: for n <= 2k the k-partition estimator is noticeably less
+  // accurate than bottom-k.
+  const uint32_t k = 16;
+  auto kp = Simulate(20, 4000, [&](uint64_t run, uint64_t n) {
+    return KPartitionRun(k, run, n);
+  });
+  auto bk = Simulate(20, 4000, [&](uint64_t run, uint64_t n) {
+    return BottomKRun(k, run, n);
+  });
+  EXPECT_GT(kp.nrmse, 2.0 * bk.nrmse);
+}
+
+TEST(AnalyticConstantsTest, Formulas) {
+  EXPECT_DOUBLE_EQ(BasicCv(6), 0.5);
+  EXPECT_DOUBLE_EQ(HipCv(3), 0.5);
+  EXPECT_NEAR(BasicMre(4), std::sqrt(2.0 / (std::numbers::pi * 2.0)), 1e-12);
+  EXPECT_NEAR(HipMre(2), std::sqrt(1.0 / std::numbers::pi), 1e-12);
+  EXPECT_DOUBLE_EQ(BasicCvLowerBound(4), 0.5);
+  EXPECT_DOUBLE_EQ(HipCvLowerBound(2), 0.5);
+  EXPECT_NEAR(HipBaseBCv(2, 3.0), 1.0, 1e-12);
+  EXPECT_NEAR(HllNrmse(16), 0.27, 0.001);
+}
+
+TEST(AnalyticConstantsTest, HipIsSqrtTwoBetterAsymptotically) {
+  // 1/sqrt(2(k-1)) vs 1/sqrt(k-2): ratio -> sqrt(2) for large k.
+  EXPECT_NEAR(BasicCv(1000) / HipCv(1000), std::sqrt(2.0), 0.01);
+}
+
+}  // namespace
+}  // namespace hipads

@@ -1,0 +1,99 @@
+// Robustness / failure-injection tests: the parsers must reject arbitrary
+// corrupted input with a Status (never crash, never return a malformed
+// structure), and randomized mutations of valid files must either parse to
+// something structurally sound or fail cleanly.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ads/builders.h"
+#include "ads/serialize.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "util/random.h"
+
+namespace hipads {
+namespace {
+
+std::string RandomGarbage(Rng& rng, size_t len) {
+  static const char kAlphabet[] =
+      "0123456789 .-\t\nabcdefghijklmnop#%\xff\x01";
+  std::string s;
+  s.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    s.push_back(kAlphabet[rng.NextBounded(sizeof(kAlphabet) - 1)]);
+  }
+  return s;
+}
+
+TEST(FuzzTest, EdgeListParserNeverCrashesOnGarbage) {
+  Rng rng(1);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string junk = RandomGarbage(rng, 1 + rng.NextBounded(200));
+    auto result = ParseEdgeList(junk, trial % 2 == 0);
+    if (result.ok()) {
+      // Whatever parsed must be structurally valid.
+      const Graph& g = result.value();
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        for (const Arc& a : g.OutArcs(v)) {
+          EXPECT_LT(a.head, g.num_nodes());
+          EXPECT_GE(a.weight, 0.0);
+        }
+      }
+    }
+  }
+}
+
+TEST(FuzzTest, AdsParserNeverCrashesOnGarbage) {
+  Rng rng(2);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string junk = RandomGarbage(rng, 1 + rng.NextBounded(200));
+    auto result = ParseAdsSet(junk);
+    EXPECT_FALSE(result.ok());  // garbage never carries the magic header
+  }
+}
+
+TEST(FuzzTest, AdsParserSurvivesMutationsOfValidInput) {
+  Graph g = ErdosRenyi(30, 90, true, 3);
+  AdsSet set = BuildAdsPrunedDijkstra(g, 4, SketchFlavor::kBottomK,
+                                      RankAssignment::Uniform(5));
+  std::string valid = SerializeAdsSet(set);
+  Rng rng(3);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = valid;
+    // Flip a few random bytes (beyond the header so some parse attempts
+    // get past the magic line).
+    int flips = 1 + static_cast<int>(rng.NextBounded(5));
+    for (int f = 0; f < flips; ++f) {
+      size_t pos = 14 + rng.NextBounded(mutated.size() - 14);
+      mutated[pos] = static_cast<char>('0' + rng.NextBounded(75));
+    }
+    auto result = ParseAdsSet(mutated);
+    if (result.ok()) {
+      // Structural sanity of whatever survived.
+      const AdsSet& s = result.value();
+      EXPECT_GE(s.k, 1u);
+      for (const Ads& ads : s.ads) {
+        for (const AdsEntry& e : ads.entries()) {
+          EXPECT_LT(e.part, s.k);
+          EXPECT_GE(e.dist, 0.0);
+        }
+      }
+    }
+  }
+}
+
+TEST(FuzzTest, TruncationsAlwaysFailCleanly) {
+  Graph g = ErdosRenyi(25, 75, true, 7);
+  AdsSet set = BuildAdsPrunedDijkstra(g, 3, SketchFlavor::kBottomK,
+                                      RankAssignment::Uniform(9));
+  std::string valid = SerializeAdsSet(set);
+  for (size_t len = 0; len < valid.size(); len += 37) {
+    auto result = ParseAdsSet(valid.substr(0, len));
+    EXPECT_FALSE(result.ok()) << "truncation at " << len << " parsed";
+  }
+}
+
+}  // namespace
+}  // namespace hipads

@@ -1,0 +1,94 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace hipads {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g(3, {}, false);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_arcs(), 0u);
+  EXPECT_TRUE(g.OutArcs(0).empty());
+}
+
+TEST(GraphTest, DirectedArcs) {
+  Graph g(3, {{0, 1, 1.0}, {1, 2, 2.5}}, false);
+  EXPECT_EQ(g.num_arcs(), 2u);
+  ASSERT_EQ(g.OutDegree(0), 1u);
+  EXPECT_EQ(g.OutArcs(0)[0].head, 1u);
+  EXPECT_EQ(g.OutArcs(1)[0].head, 2u);
+  EXPECT_EQ(g.OutArcs(1)[0].weight, 2.5);
+  EXPECT_EQ(g.OutDegree(2), 0u);
+}
+
+TEST(GraphTest, UndirectedStoresBothDirections) {
+  Graph g(2, {{0, 1, 3.0}}, true);
+  EXPECT_EQ(g.num_arcs(), 2u);
+  EXPECT_EQ(g.OutArcs(0)[0].head, 1u);
+  EXPECT_EQ(g.OutArcs(1)[0].head, 0u);
+  EXPECT_EQ(g.OutArcs(1)[0].weight, 3.0);
+  EXPECT_TRUE(g.undirected());
+}
+
+TEST(GraphTest, IsUnitWeight) {
+  Graph unit(2, {{0, 1, 1.0}}, false);
+  EXPECT_TRUE(unit.IsUnitWeight());
+  Graph weighted(2, {{0, 1, 2.0}}, false);
+  EXPECT_FALSE(weighted.IsUnitWeight());
+}
+
+TEST(GraphTest, TransposeReversesArcs) {
+  Graph g(3, {{0, 1, 1.0}, {0, 2, 5.0}, {1, 2, 2.0}}, false);
+  Graph t = g.Transpose();
+  EXPECT_EQ(t.num_arcs(), 3u);
+  EXPECT_EQ(t.OutDegree(0), 0u);
+  EXPECT_EQ(t.OutDegree(1), 1u);
+  EXPECT_EQ(t.OutArcs(1)[0].head, 0u);
+  EXPECT_EQ(t.OutDegree(2), 2u);
+  // Weights preserved.
+  double w_sum = 0.0;
+  for (const Arc& a : t.OutArcs(2)) w_sum += a.weight;
+  EXPECT_EQ(w_sum, 7.0);
+}
+
+TEST(GraphTest, TransposeOfTransposeIsIdentity) {
+  Graph g(4, {{0, 1, 1.0}, {1, 2, 2.0}, {3, 0, 4.0}, {2, 3, 1.5}}, false);
+  Graph tt = g.Transpose().Transpose();
+  auto e1 = g.ToEdgeList();
+  auto e2 = tt.ToEdgeList();
+  auto key = [](const Edge& e) {
+    return std::tuple(e.tail, e.head, e.weight);
+  };
+  std::sort(e1.begin(), e1.end(),
+            [&](const Edge& a, const Edge& b) { return key(a) < key(b); });
+  std::sort(e2.begin(), e2.end(),
+            [&](const Edge& a, const Edge& b) { return key(a) < key(b); });
+  ASSERT_EQ(e1.size(), e2.size());
+  for (size_t i = 0; i < e1.size(); ++i) {
+    EXPECT_EQ(key(e1[i]), key(e2[i]));
+  }
+}
+
+TEST(GraphTest, ToEdgeListRoundTrip) {
+  std::vector<Edge> edges = {{0, 1, 1.0}, {2, 0, 3.0}};
+  Graph g(3, edges, false);
+  auto back = g.ToEdgeList();
+  ASSERT_EQ(back.size(), 2u);
+}
+
+TEST(GraphTest, SelfLoopsKept) {
+  Graph g(2, {{0, 0, 1.0}}, false);
+  EXPECT_EQ(g.num_arcs(), 1u);
+  EXPECT_EQ(g.OutArcs(0)[0].head, 0u);
+}
+
+TEST(GraphTest, ParallelArcsKept) {
+  Graph g(2, {{0, 1, 1.0}, {0, 1, 2.0}}, false);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+}
+
+}  // namespace
+}  // namespace hipads

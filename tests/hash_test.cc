@@ -1,0 +1,77 @@
+#include "util/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace hipads {
+namespace {
+
+TEST(HashTest, SplitMix64IsDeterministic) {
+  EXPECT_EQ(SplitMix64(42), SplitMix64(42));
+  EXPECT_NE(SplitMix64(42), SplitMix64(43));
+}
+
+TEST(HashTest, Mix64IsDeterministic) {
+  EXPECT_EQ(Mix64(123456789), Mix64(123456789));
+  EXPECT_NE(Mix64(1), Mix64(2));
+}
+
+TEST(HashTest, ToUnitIntervalRange) {
+  EXPECT_EQ(ToUnitInterval(0), 0.0);
+  double max = ToUnitInterval(~0ULL);
+  EXPECT_LT(max, 1.0);
+  EXPECT_GT(max, 0.999999);
+}
+
+TEST(HashTest, UnitHashInRange) {
+  for (uint64_t i = 0; i < 1000; ++i) {
+    double u = UnitHash(7, i);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(HashTest, UnitHashSeedSeparation) {
+  EXPECT_NE(UnitHash(1, 100), UnitHash(2, 100));
+}
+
+TEST(HashTest, UnitHashRoughlyUniform) {
+  // Mean of many unit hashes should approach 1/2.
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += UnitHash(99, i);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(HashTest, BucketHashInRange) {
+  for (uint32_t k : {1u, 2u, 7u, 64u, 1000u}) {
+    for (uint64_t i = 0; i < 500; ++i) {
+      EXPECT_LT(BucketHash(3, i, k), k);
+    }
+  }
+}
+
+TEST(HashTest, BucketHashRoughlyBalanced) {
+  const uint32_t k = 16;
+  const int n = 160000;
+  std::vector<int> counts(k, 0);
+  for (int i = 0; i < n; ++i) counts[BucketHash(11, i, k)]++;
+  for (uint32_t b = 0; b < k; ++b) {
+    EXPECT_NEAR(counts[b], n / k, n / k * 0.1);
+  }
+}
+
+TEST(HashTest, HashCombineDistinguishesSeedAndKey) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+TEST(HashTest, FewCollisionsInUnitHashes) {
+  std::set<double> seen;
+  for (uint64_t i = 0; i < 10000; ++i) seen.insert(UnitHash(5, i));
+  EXPECT_EQ(seen.size(), 10000u);  // 53-bit hashes: collisions ~impossible
+}
+
+}  // namespace
+}  // namespace hipads

@@ -1,0 +1,194 @@
+#include "stream/hip_distinct.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stream/hll.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace hipads {
+namespace {
+
+TEST(HllHipTest, ExactForFirstElementsSmallK) {
+  // With all registers empty, the first update has tau = 1.
+  HllHipCounter c(16, 3);
+  c.Add(0);
+  EXPECT_NEAR(c.Estimate(), 1.0, 1e-9);
+}
+
+TEST(HllHipTest, DuplicatesDoNotChangeEstimate) {
+  HllHipCounter c(16, 5);
+  for (uint64_t e = 0; e < 200; ++e) c.Add(e);
+  double before = c.Estimate();
+  for (uint64_t e = 0; e < 200; ++e) c.Add(e);
+  EXPECT_EQ(c.Estimate(), before);
+}
+
+TEST(HllHipTest, UnbiasedAcrossCardinalities) {
+  const uint32_t k = 32;
+  for (uint64_t n : {50ULL, 500ULL, 20000ULL}) {
+    RunningStat est;
+    for (uint64_t seed = 0; seed < 400; ++seed) {
+      HllHipCounter c(k, seed * 13 + 1);
+      for (uint64_t e = 0; e < n; ++e) c.Add(e);
+      est.Add(c.Estimate());
+    }
+    EXPECT_NEAR(est.mean() / static_cast<double>(n), 1.0, 0.03)
+        << "n = " << n;
+  }
+}
+
+TEST(HllHipTest, NrmseMatchesPaperFormula) {
+  // Section 6: NRMSE of HIP on base-2 k-partition ~ sqrt(3/(4k)) ~
+  // 0.866/sqrt(k).
+  const uint32_t k = 64;
+  const uint64_t n = 30000;
+  ErrorStats err;
+  for (uint64_t seed = 0; seed < 400; ++seed) {
+    HllHipCounter c(k, seed * 31 + 5);
+    for (uint64_t e = 0; e < n; ++e) c.Add(e);
+    err.Add(c.Estimate(), static_cast<double>(n));
+  }
+  EXPECT_NEAR(err.nrmse(), std::sqrt(3.0 / (4.0 * k)), 0.025);
+}
+
+TEST(HllHipTest, BeatsHllOnSameSketch) {
+  const uint32_t k = 32;
+  const uint64_t n = 20000;
+  ErrorStats hip_err, hll_err;
+  for (uint64_t seed = 0; seed < 400; ++seed) {
+    HllHipCounter hip(k, seed + 17);
+    HyperLogLog hll(k, seed + 17);
+    for (uint64_t e = 0; e < n; ++e) {
+      hip.Add(e);
+      hll.Add(e);
+    }
+    hip_err.Add(hip.Estimate(), static_cast<double>(n));
+    hll_err.Add(hll.Estimate(), static_cast<double>(n));
+  }
+  EXPECT_LT(hip_err.nrmse(), hll_err.nrmse());
+}
+
+TEST(HllHipTest, SaturationFreezesEstimate) {
+  // Tiny cap: all registers saturate quickly, after which the estimate
+  // stops growing.
+  HllHipCounter c(4, 9, /*register_cap=*/2);
+  for (uint64_t e = 0; e < 1000; ++e) c.Add(e);
+  EXPECT_TRUE(c.Saturated());
+  double frozen = c.Estimate();
+  for (uint64_t e = 1000; e < 2000; ++e) c.Add(e);
+  EXPECT_EQ(c.Estimate(), frozen);
+}
+
+TEST(BottomKHipCounterTest, ExactUpToK) {
+  BottomKHipCounter c(8, 3);
+  for (uint64_t e = 0; e < 8; ++e) {
+    c.Add(e);
+    EXPECT_DOUBLE_EQ(c.Estimate(), static_cast<double>(e + 1));
+  }
+}
+
+TEST(BottomKHipCounterTest, DuplicatesIgnored) {
+  BottomKHipCounter c(8, 5);
+  for (uint64_t e = 0; e < 100; ++e) c.Add(e);
+  double before = c.Estimate();
+  for (uint64_t e = 0; e < 100; ++e) c.Add(e);
+  EXPECT_EQ(c.Estimate(), before);
+}
+
+TEST(BottomKHipCounterTest, UnbiasedFullRanks) {
+  const uint32_t k = 16;
+  const uint64_t n = 5000;
+  RunningStat est;
+  ErrorStats err;
+  for (uint64_t seed = 0; seed < 500; ++seed) {
+    BottomKHipCounter c(k, seed * 7 + 3);
+    for (uint64_t e = 0; e < n; ++e) c.Add(e);
+    est.Add(c.Estimate());
+    err.Add(c.Estimate(), static_cast<double>(n));
+  }
+  EXPECT_NEAR(est.mean() / n, 1.0, 0.02);
+  // Theorem 5.1 bound 1/sqrt(2(k-1)) = 0.183.
+  EXPECT_LT(err.nrmse(), 0.2);
+}
+
+TEST(BottomKHipCounterTest, BaseBUnbiasedWithHigherError) {
+  const uint32_t k = 16;
+  const uint64_t n = 5000;
+  RunningStat est;
+  ErrorStats err_full, err_b;
+  for (uint64_t seed = 0; seed < 500; ++seed) {
+    BottomKHipCounter full(k, seed * 11 + 1);
+    BottomKHipCounter b2(k, seed * 11 + 1, /*base=*/2.0);
+    for (uint64_t e = 0; e < n; ++e) {
+      full.Add(e);
+      b2.Add(e);
+    }
+    est.Add(b2.Estimate());
+    err_full.Add(full.Estimate(), static_cast<double>(n));
+    err_b.Add(b2.Estimate(), static_cast<double>(n));
+  }
+  EXPECT_NEAR(est.mean() / n, 1.0, 0.025);
+  EXPECT_GT(err_b.nrmse(), err_full.nrmse());
+}
+
+TEST(KMinsHipCounterTest, UnbiasedAndBounded) {
+  const uint32_t k = 16;
+  const uint64_t n = 3000;
+  RunningStat est;
+  ErrorStats err;
+  for (uint64_t seed = 0; seed < 500; ++seed) {
+    KMinsHipCounter c(k, seed * 3 + 11);
+    for (uint64_t e = 0; e < n; ++e) c.Add(e);
+    est.Add(c.Estimate());
+    err.Add(c.Estimate(), static_cast<double>(n));
+  }
+  EXPECT_NEAR(est.mean() / n, 1.0, 0.02);
+  EXPECT_LT(err.nrmse(), 0.25);
+}
+
+TEST(KMinsHipCounterTest, DuplicatesIgnored) {
+  KMinsHipCounter c(8, 5);
+  for (uint64_t e = 0; e < 50; ++e) c.Add(e);
+  double before = c.Estimate();
+  for (uint64_t e = 0; e < 50; ++e) c.Add(e);
+  EXPECT_EQ(c.Estimate(), before);
+}
+
+TEST(PermutationCounterTest, ExactWhenStreamCoversAll) {
+  // When every element 0..n-1 appears, the corrected estimate applies and
+  // remains unbiased; also exact below k.
+  const uint32_t k = 8;
+  const uint64_t n = 64;
+  Rng rng(3);
+  RunningStat est;
+  for (int run = 0; run < 3000; ++run) {
+    PermutationDistinctCounter c(k, rng.NextPermutation(n));
+    for (uint64_t e = 0; e < n; ++e) c.Add(e);
+    est.Add(c.Estimate());
+  }
+  EXPECT_NEAR(est.mean() / n, 1.0, 0.03);
+}
+
+TEST(PermutationCounterTest, ExactBelowK) {
+  Rng rng(9);
+  PermutationDistinctCounter c(8, rng.NextPermutation(100));
+  for (uint64_t e = 0; e < 5; ++e) {
+    c.Add(e);
+    EXPECT_DOUBLE_EQ(c.Estimate(), static_cast<double>(e + 1));
+  }
+}
+
+TEST(PermutationCounterTest, DuplicatesIgnored) {
+  Rng rng(13);
+  PermutationDistinctCounter c(4, rng.NextPermutation(50));
+  for (uint64_t e = 0; e < 30; ++e) c.Add(e);
+  double before = c.Estimate();
+  for (uint64_t e = 0; e < 30; ++e) c.Add(e);
+  EXPECT_EQ(c.Estimate(), before);
+}
+
+}  // namespace
+}  // namespace hipads

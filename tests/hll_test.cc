@@ -1,0 +1,97 @@
+#include "stream/hll.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace hipads {
+namespace {
+
+TEST(HllTest, EmptyEstimatesZeroish) {
+  HyperLogLog hll(16, 1);
+  // All registers zero: linear counting reports 0.
+  EXPECT_EQ(hll.NumZeroRegisters(), 16u);
+  EXPECT_EQ(hll.Estimate(), 0.0);
+}
+
+TEST(HllTest, DuplicatesDoNotChangeSketch) {
+  HyperLogLog hll(16, 2);
+  for (int rep = 0; rep < 3; ++rep) {
+    for (uint64_t e = 0; e < 100; ++e) hll.Add(e);
+  }
+  HyperLogLog once(16, 2);
+  for (uint64_t e = 0; e < 100; ++e) once.Add(e);
+  EXPECT_EQ(hll.registers(), once.registers());
+}
+
+TEST(HllTest, SmallRangeLinearCountingAccurate) {
+  const uint32_t k = 64;
+  RunningStat est;
+  for (uint64_t seed = 0; seed < 300; ++seed) {
+    HyperLogLog hll(k, seed);
+    for (uint64_t e = 0; e < 30; ++e) hll.Add(e);
+    est.Add(hll.Estimate());
+  }
+  EXPECT_NEAR(est.mean() / 30.0, 1.0, 0.05);
+}
+
+TEST(HllTest, LargeRangeAccuracyMatchesTheory) {
+  const uint32_t k = 64;
+  const uint64_t n = 100000;
+  ErrorStats err;
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    HyperLogLog hll(k, seed);
+    for (uint64_t e = 0; e < n; ++e) hll.Add(e);
+    err.Add(hll.Estimate(), static_cast<double>(n));
+  }
+  // Published std error ~1.04/sqrt(64) = 0.13.
+  EXPECT_NEAR(err.nrmse(), 1.04 / std::sqrt(64.0), 0.05);
+  EXPECT_NEAR(err.mean_bias(), 0.0, 0.05);
+}
+
+TEST(HllTest, RawEstimateBiasedForSmallN) {
+  const uint32_t k = 16;
+  RunningStat raw;
+  for (uint64_t seed = 0; seed < 300; ++seed) {
+    HyperLogLog hll(k, seed);
+    for (uint64_t e = 0; e < 10; ++e) hll.Add(e);
+    raw.Add(hll.RawEstimate());
+  }
+  // Raw estimate is known to overshoot badly at n << k.
+  EXPECT_GT(raw.mean() / 10.0, 1.3);
+}
+
+TEST(HllTest, MergeEqualsUnionSketch) {
+  HyperLogLog a(32, 7), b(32, 7), u(32, 7);
+  for (uint64_t e = 0; e < 500; ++e) {
+    (e % 2 ? a : b).Add(e);
+    u.Add(e);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.registers(), u.registers());
+}
+
+TEST(HllTest, RegistersSaturateAtCap) {
+  HyperLogLog hll(4, 3, /*register_cap=*/5);
+  for (uint64_t e = 0; e < 100000; ++e) hll.Add(e);
+  for (uint8_t r : hll.registers()) EXPECT_LE(r, 5);
+}
+
+TEST(HllTest, AlphaConstants) {
+  EXPECT_DOUBLE_EQ(HyperLogLog::Alpha(16), 0.673);
+  EXPECT_DOUBLE_EQ(HyperLogLog::Alpha(32), 0.697);
+  EXPECT_DOUBLE_EQ(HyperLogLog::Alpha(64), 0.709);
+  EXPECT_NEAR(HyperLogLog::Alpha(1024), 0.7213 / (1.0 + 1.079 / 1024), 1e-9);
+}
+
+TEST(HllTest, AddReturnsWhetherRegisterGrew) {
+  HyperLogLog hll(8, 11);
+  bool grew = hll.Add(42);
+  EXPECT_TRUE(grew);           // first element always sets a register
+  EXPECT_FALSE(hll.Add(42));   // duplicate
+}
+
+}  // namespace
+}  // namespace hipads

@@ -1,0 +1,90 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "graph/generators.h"
+
+namespace hipads {
+namespace {
+
+TEST(IoTest, ParseSimpleEdgeList) {
+  auto result = ParseEdgeList("0 1\n1 2\n", /*undirected=*/false);
+  ASSERT_TRUE(result.ok());
+  const Graph& g = result.value();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_arcs(), 2u);
+}
+
+TEST(IoTest, ParseSkipsComments) {
+  auto result = ParseEdgeList("# SNAP header\n% other comment\n0 1\n", false);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_arcs(), 1u);
+}
+
+TEST(IoTest, ParseWeights) {
+  auto result = ParseEdgeList("0 1 2.5\n1 2\n", false);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().OutArcs(0)[0].weight, 2.5);
+  EXPECT_EQ(result.value().OutArcs(1)[0].weight, 1.0);
+}
+
+TEST(IoTest, ParseRemapsSparseIds) {
+  auto result = ParseEdgeList("1000000 42\n42 7\n", false);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_nodes(), 3u);
+}
+
+TEST(IoTest, ParseRejectsMalformed) {
+  auto result = ParseEdgeList("0 x\n", false);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kCorruption);
+}
+
+TEST(IoTest, ParseRejectsNegativeWeight) {
+  auto result = ParseEdgeList("0 1 -2\n", false);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(IoTest, ParseRejectsEmpty) {
+  auto result = ParseEdgeList("# only comments\n", false);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(IoTest, ReadMissingFileFails) {
+  auto result = ReadEdgeListFile("/nonexistent/path/graph.txt", false);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kIOError);
+}
+
+TEST(IoTest, WriteReadRoundTrip) {
+  Graph g = ErdosRenyi(50, 120, /*undirected=*/true, 9);
+  std::string path =
+      (std::filesystem::temp_directory_path() / "hipads_io_test.txt")
+          .string();
+  ASSERT_TRUE(WriteEdgeListFile(g, path).ok());
+  auto back = ReadEdgeListFile(path, /*undirected=*/true);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().num_nodes(), g.num_nodes());
+  EXPECT_EQ(back.value().num_arcs(), g.num_arcs());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, WriteReadWeightedRoundTrip) {
+  Graph g = RandomizeWeights(Grid2D(4, 4), 0.5, 2.0, 3);
+  std::string path =
+      (std::filesystem::temp_directory_path() / "hipads_io_wtest.txt")
+          .string();
+  ASSERT_TRUE(WriteEdgeListFile(g, path).ok());
+  auto back = ReadEdgeListFile(path, true);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().num_arcs(), g.num_arcs());
+  EXPECT_FALSE(back.value().IsUnitWeight());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hipads

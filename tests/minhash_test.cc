@@ -1,0 +1,137 @@
+#include "sketch/minhash.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/random.h"
+
+namespace hipads {
+namespace {
+
+TEST(BottomKTest, KeepsKSmallest) {
+  BottomKSketch s(3);
+  for (double r : {0.9, 0.5, 0.7, 0.1, 0.8, 0.3}) s.Update(r);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.ranks(), (std::vector<double>{0.1, 0.3, 0.5}));
+}
+
+TEST(BottomKTest, ThresholdIsSupWhileNotFull) {
+  BottomKSketch s(3);
+  EXPECT_EQ(s.Threshold(), 1.0);
+  s.Update(0.4);
+  s.Update(0.2);
+  EXPECT_EQ(s.Threshold(), 1.0);
+  s.Update(0.6);
+  EXPECT_EQ(s.Threshold(), 0.6);
+}
+
+TEST(BottomKTest, UpdateReturnsWhetherChanged) {
+  BottomKSketch s(2);
+  EXPECT_TRUE(s.Update(0.5));
+  EXPECT_TRUE(s.Update(0.3));
+  EXPECT_FALSE(s.Update(0.7));  // above threshold
+  EXPECT_TRUE(s.Update(0.1));
+  EXPECT_EQ(s.Threshold(), 0.3);
+}
+
+TEST(BottomKTest, CustomSup) {
+  BottomKSketch s(2, 100.0);
+  EXPECT_EQ(s.Threshold(), 100.0);
+  EXPECT_TRUE(s.Update(50.0));
+}
+
+TEST(BottomKTest, MergeEqualsUnion) {
+  Rng rng(3);
+  std::vector<double> all;
+  BottomKSketch a(5), b(5), u(5);
+  for (int i = 0; i < 100; ++i) {
+    double r = rng.NextUnit();
+    all.push_back(r);
+    (i % 2 ? a : b).Update(r);
+    u.Update(r);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.ranks(), u.ranks());
+}
+
+TEST(BottomKTest, MinAccessor) {
+  BottomKSketch s(3);
+  s.Update(0.5);
+  s.Update(0.2);
+  EXPECT_EQ(s.Min(), 0.2);
+}
+
+TEST(KMinsTest, TracksMinimumPerPermutation) {
+  KMinsSketch s(2);
+  EXPECT_TRUE(s.Update(0, 0.5));
+  EXPECT_TRUE(s.Update(0, 0.3));
+  EXPECT_FALSE(s.Update(0, 0.4));
+  EXPECT_TRUE(s.Update(1, 0.9));
+  EXPECT_EQ(s.Min(0), 0.3);
+  EXPECT_EQ(s.Min(1), 0.9);
+}
+
+TEST(KMinsTest, MergeCoordinateWise) {
+  KMinsSketch a(3), b(3);
+  a.Update(0, 0.5);
+  a.Update(1, 0.2);
+  b.Update(0, 0.3);
+  b.Update(2, 0.7);
+  a.Merge(b);
+  EXPECT_EQ(a.Min(0), 0.3);
+  EXPECT_EQ(a.Min(1), 0.2);
+  EXPECT_EQ(a.Min(2), 0.7);
+}
+
+TEST(KMinsTest, EmptyMinsAreSup) {
+  KMinsSketch s(4, 1.0);
+  for (uint32_t h = 0; h < 4; ++h) EXPECT_EQ(s.Min(h), 1.0);
+}
+
+TEST(KPartitionTest, TracksBucketMinima) {
+  KPartitionSketch s(3);
+  EXPECT_TRUE(s.Update(1, 0.4));
+  EXPECT_FALSE(s.Update(1, 0.6));
+  EXPECT_TRUE(s.Update(1, 0.2));
+  EXPECT_EQ(s.Min(1), 0.2);
+  EXPECT_EQ(s.NumNonEmpty(), 1u);
+  s.Update(0, 0.9);
+  EXPECT_EQ(s.NumNonEmpty(), 2u);
+}
+
+TEST(KPartitionTest, MergeCoordinateWise) {
+  KPartitionSketch a(2), b(2);
+  a.Update(0, 0.5);
+  b.Update(0, 0.1);
+  b.Update(1, 0.8);
+  a.Merge(b);
+  EXPECT_EQ(a.Min(0), 0.1);
+  EXPECT_EQ(a.Min(1), 0.8);
+  EXPECT_EQ(a.NumNonEmpty(), 2u);
+}
+
+TEST(MinHashCoordinationTest, BottomKOfUnionContainsSubsetMins) {
+  // Coordination property: sketches of overlapping sets built from the same
+  // ranks merge into the union's sketch.
+  Rng rng(9);
+  std::vector<double> ranks_a, ranks_b;
+  BottomKSketch sa(4), sb(4), su(4);
+  for (int i = 0; i < 50; ++i) {
+    double r = rng.NextUnit();
+    sa.Update(r);
+    su.Update(r);
+  }
+  for (int i = 0; i < 50; ++i) {
+    double r = rng.NextUnit();
+    sb.Update(r);
+    su.Update(r);
+  }
+  BottomKSketch merged = sa;
+  merged.Merge(sb);
+  EXPECT_EQ(merged.ranks(), su.ranks());
+}
+
+}  // namespace
+}  // namespace hipads

@@ -1,0 +1,130 @@
+#include "stream/morris.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace hipads {
+namespace {
+
+TEST(MorrisTest, StartsAtZero) {
+  MorrisCounter c(2.0);
+  EXPECT_EQ(c.Estimate(), 0.0);
+  EXPECT_EQ(c.exponent(), 0u);
+}
+
+TEST(MorrisTest, Base2UnitIncrementsClassic) {
+  // First unit increment of a base-2 counter is deterministic: x: 0 -> 1.
+  Rng rng(1);
+  MorrisCounter c(2.0);
+  c.Increment(rng);
+  EXPECT_EQ(c.exponent(), 1u);
+  EXPECT_EQ(c.Estimate(), 1.0);
+}
+
+TEST(MorrisTest, UnitIncrementsUnbiased) {
+  const uint64_t n = 1000;
+  const uint32_t runs = 4000;
+  Rng rng(7);
+  RunningStat est;
+  for (uint32_t run = 0; run < runs; ++run) {
+    MorrisCounter c(2.0);
+    for (uint64_t i = 0; i < n; ++i) c.Increment(rng);
+    est.Add(c.Estimate());
+  }
+  EXPECT_NEAR(est.mean() / n, 1.0, 0.03);
+}
+
+TEST(MorrisTest, WeightedAddUnbiased) {
+  const uint32_t runs = 4000;
+  Rng rng(11);
+  RunningStat est;
+  const double total = 137.5 + 12.25 + 950.0;
+  for (uint32_t run = 0; run < runs; ++run) {
+    MorrisCounter c(2.0);
+    c.Add(137.5, rng);
+    c.Add(12.25, rng);
+    c.Add(950.0, rng);
+    est.Add(c.Estimate());
+  }
+  EXPECT_NEAR(est.mean() / total, 1.0, 0.04);
+}
+
+TEST(MorrisTest, LargeSingleAddLandsNearValue) {
+  Rng rng(13);
+  MorrisCounter c(2.0);
+  c.Add(1e6, rng);
+  // After one add of Y the estimate is b^x-1 with x = floor(log2(Y+1)) or
+  // one more: between (Y+1)/2 - 1 and 2(Y+1) - 1.
+  EXPECT_GE(c.Estimate(), 1e6 / 2 - 1);
+  EXPECT_LE(c.Estimate(), 2e6 + 1);
+}
+
+TEST(MorrisTest, SmallBaseLowVariance) {
+  // CV should shrink roughly with (b-1): compare b=2 vs b=1.0625.
+  const uint64_t n = 500;
+  const uint32_t runs = 2500;
+  Rng rng(17);
+  ErrorStats coarse, fine;
+  for (uint32_t run = 0; run < runs; ++run) {
+    MorrisCounter c2(2.0), c1(1.0625);
+    for (uint64_t i = 0; i < n; ++i) {
+      c2.Increment(rng);
+      c1.Increment(rng);
+    }
+    coarse.Add(c2.Estimate(), static_cast<double>(n));
+    fine.Add(c1.Estimate(), static_cast<double>(n));
+  }
+  EXPECT_LT(fine.nrmse(), 0.4 * coarse.nrmse());
+}
+
+TEST(MorrisTest, MergeUnbiased) {
+  const uint32_t runs = 4000;
+  Rng rng(19);
+  RunningStat est;
+  for (uint32_t run = 0; run < runs; ++run) {
+    MorrisCounter a(2.0), b(2.0);
+    for (int i = 0; i < 300; ++i) a.Increment(rng);
+    for (int i = 0; i < 700; ++i) b.Increment(rng);
+    a.Merge(b, rng);
+    est.Add(a.Estimate());
+  }
+  EXPECT_NEAR(est.mean() / 1000.0, 1.0, 0.04);
+}
+
+TEST(MorrisTest, ExponentGrowsLogarithmically) {
+  Rng rng(23);
+  MorrisCounter c(2.0);
+  for (uint64_t i = 0; i < 100000; ++i) c.Increment(rng);
+  // x should be ~ log2(100001) ~ 17.
+  EXPECT_GE(c.exponent(), 12u);
+  EXPECT_LE(c.exponent(), 23u);
+}
+
+TEST(MorrisTest, HipAccumulationErrorTracksBaseMinusOne) {
+  // Section 7: accumulating HIP-style increasing weights with
+  // b = 1 + 1/2^j gives relative error about 2^-j (~ b-1).
+  const uint32_t runs = 1500;
+  Rng rng(29);
+  for (double b : {1.25, 1.0625}) {
+    ErrorStats err;
+    for (uint32_t run = 0; run < runs; ++run) {
+      MorrisCounter c(b);
+      // Simulate HIP-like geometric-ish increments totalling ~2000.
+      double total = 0.0, w = 1.0;
+      while (total < 2000.0) {
+        c.Add(w, rng);
+        total += w;
+        w *= 1.05;
+      }
+      err.Add(c.Estimate(), total);
+    }
+    // Allow generous constant factor, but ensure the right order.
+    EXPECT_LT(err.nrmse(), 3.0 * (b - 1.0)) << "base " << b;
+  }
+}
+
+}  // namespace
+}  // namespace hipads

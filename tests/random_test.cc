@@ -1,0 +1,119 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace hipads {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, NextUnitInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.NextUnit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, NextUnitMeanAndVariance) {
+  Rng rng(11);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double u = rng.NextUnit();
+    sum += u;
+    sum2 += u * u;
+  }
+  double mean = sum / n;
+  double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(RngTest, NextBoundedRange) {
+  Rng rng(13);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedUniform) {
+  Rng rng(17);
+  const uint64_t bound = 7;
+  std::vector<int> counts(bound, 0);
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) counts[rng.NextBounded(bound)]++;
+  for (uint64_t b = 0; b < bound; ++b) {
+    EXPECT_NEAR(counts[b], n / static_cast<int>(bound), 500);
+  }
+}
+
+TEST(RngTest, NextExponentialMean) {
+  Rng rng(19);
+  for (double lambda : {0.5, 1.0, 4.0}) {
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) sum += rng.NextExponential(lambda);
+    EXPECT_NEAR(sum / n, 1.0 / lambda, 0.03 / lambda);
+  }
+}
+
+TEST(RngTest, NextBernoulliProbability) {
+  Rng rng(23);
+  const double p = 0.3;
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBernoulli(p)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.01);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(29);
+  auto perm = rng.NextPermutation(100);
+  std::vector<uint32_t> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (uint32_t i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(RngTest, PermutationUniformFirstElement) {
+  Rng rng(31);
+  const uint32_t n = 10;
+  std::vector<int> counts(n, 0);
+  const int trials = 50000;
+  for (int t = 0; t < trials; ++t) counts[rng.NextPermutation(n)[0]]++;
+  for (uint32_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(counts[i], trials / static_cast<int>(n), 400);
+  }
+}
+
+TEST(RngTest, PermutationEmptyAndSingle) {
+  Rng rng(37);
+  EXPECT_TRUE(rng.NextPermutation(0).empty());
+  auto p1 = rng.NextPermutation(1);
+  ASSERT_EQ(p1.size(), 1u);
+  EXPECT_EQ(p1[0], 0u);
+}
+
+}  // namespace
+}  // namespace hipads

@@ -1,0 +1,119 @@
+#include "sketch/rank.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hipads {
+namespace {
+
+TEST(RankTest, DiscretizeRankPowersOfBase) {
+  // 0.3 with base 2: h = ceil(-log2 0.3) = ceil(1.737) = 2 -> 0.25.
+  EXPECT_DOUBLE_EQ(DiscretizeRank(0.3, 2.0), 0.25);
+  // 0.5 exactly: h = 1 -> 0.5.
+  EXPECT_DOUBLE_EQ(DiscretizeRank(0.5, 2.0), 0.5);
+  // 0.9: h = ceil(0.152) = 1 -> 0.5.
+  EXPECT_DOUBLE_EQ(DiscretizeRank(0.9, 2.0), 0.5);
+}
+
+TEST(RankTest, DiscretizeRankNeverIncreases) {
+  for (double base : {1.5, 2.0, 4.0}) {
+    for (int i = 1; i < 1000; ++i) {
+      double r = i / 1000.0;
+      double d = DiscretizeRank(r, base);
+      EXPECT_LE(d, r);
+      EXPECT_GT(d, r / base - 1e-15);  // within one base factor
+    }
+  }
+}
+
+TEST(RankTest, RankExponentBounds) {
+  EXPECT_EQ(RankExponent(0.9, 2.0), 1u);
+  EXPECT_EQ(RankExponent(0.0, 2.0), 64u);
+  EXPECT_EQ(RankExponent(1e-30, 2.0), 64u);
+}
+
+TEST(RankTest, UniformDeterministicAndInRange) {
+  auto ranks = RankAssignment::Uniform(5);
+  EXPECT_EQ(ranks.kind(), RankKind::kUniform);
+  EXPECT_EQ(ranks.sup(), 1.0);
+  for (uint64_t v = 0; v < 1000; ++v) {
+    double r = ranks.rank(v);
+    EXPECT_GE(r, 0.0);
+    EXPECT_LT(r, 1.0);
+    EXPECT_EQ(r, ranks.rank(v));
+  }
+}
+
+TEST(RankTest, UniformPermutationsIndependent) {
+  auto ranks = RankAssignment::Uniform(5);
+  EXPECT_NE(ranks.rank(10, 0), ranks.rank(10, 1));
+}
+
+TEST(RankTest, BaseBRanksArePowers) {
+  auto ranks = RankAssignment::BaseB(7, 2.0);
+  for (uint64_t v = 0; v < 200; ++v) {
+    double r = ranks.rank(v);
+    double log2r = -std::log2(r);
+    EXPECT_NEAR(log2r, std::round(log2r), 1e-9);
+  }
+}
+
+TEST(RankTest, BaseBCoordinatedWithUniform) {
+  // Base-b ranks are the discretization of the same uniform ranks.
+  auto uni = RankAssignment::Uniform(7);
+  auto bb = RankAssignment::BaseB(7, 2.0);
+  for (uint64_t v = 0; v < 200; ++v) {
+    EXPECT_DOUBLE_EQ(bb.rank(v), DiscretizeRank(uni.rank(v), 2.0));
+  }
+}
+
+TEST(RankTest, ExponentialMeanScalesWithBeta) {
+  auto light = RankAssignment::Exponential(3, [](uint64_t) { return 1.0; });
+  auto heavy = RankAssignment::Exponential(3, [](uint64_t) { return 10.0; });
+  EXPECT_TRUE(std::isinf(light.sup()));
+  double sum_l = 0.0, sum_h = 0.0;
+  const int n = 50000;
+  for (uint64_t v = 0; v < n; ++v) {
+    sum_l += light.rank(v);
+    sum_h += heavy.rank(v);
+  }
+  EXPECT_NEAR(sum_l / n, 1.0, 0.02);
+  EXPECT_NEAR(sum_h / n, 0.1, 0.002);
+}
+
+TEST(RankTest, ExponentialBetaAccessor) {
+  auto ranks = RankAssignment::Exponential(
+      3, [](uint64_t v) { return v == 0 ? 2.0 : 1.0; });
+  EXPECT_EQ(ranks.beta(0), 2.0);
+  EXPECT_EQ(ranks.beta(1), 1.0);
+  // Non-exponential kinds report beta = 1.
+  EXPECT_EQ(RankAssignment::Uniform(1).beta(0), 1.0);
+}
+
+TEST(RankTest, PriorityRanksScaleInverselyWithBeta) {
+  auto ranks = RankAssignment::Priority(
+      9, [](uint64_t v) { return v % 2 == 0 ? 10.0 : 1.0; });
+  EXPECT_EQ(ranks.kind(), RankKind::kPriority);
+  EXPECT_TRUE(std::isinf(ranks.sup()));
+  double sum_heavy = 0.0, sum_light = 0.0;
+  const int n = 50000;
+  for (uint64_t v = 0; v < n; ++v) {
+    (v % 2 == 0 ? sum_heavy : sum_light) += ranks.rank(v);
+  }
+  // E[U/beta] = 0.5/beta.
+  EXPECT_NEAR(sum_heavy / (n / 2), 0.05, 0.002);
+  EXPECT_NEAR(sum_light / (n / 2), 0.5, 0.02);
+}
+
+TEST(RankTest, PermutationRanks) {
+  auto ranks = RankAssignment::Permutation({2, 0, 1});
+  EXPECT_EQ(ranks.kind(), RankKind::kPermutation);
+  EXPECT_EQ(ranks.rank(0), 3.0);
+  EXPECT_EQ(ranks.rank(1), 1.0);
+  EXPECT_EQ(ranks.rank(2), 2.0);
+  EXPECT_EQ(ranks.sup(), 4.0);
+}
+
+}  // namespace
+}  // namespace hipads

@@ -1,0 +1,162 @@
+#include "ads/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "ads/builders.h"
+#include "ads/estimators.h"
+#include "graph/generators.h"
+
+namespace hipads {
+namespace {
+
+void ExpectSameSet(const AdsSet& a, const AdsSet& b) {
+  EXPECT_EQ(a.flavor, b.flavor);
+  EXPECT_EQ(a.k, b.k);
+  EXPECT_EQ(a.ranks.kind(), b.ranks.kind());
+  EXPECT_EQ(a.ranks.seed(), b.ranks.seed());
+  ASSERT_EQ(a.ads.size(), b.ads.size());
+  for (NodeId v = 0; v < a.ads.size(); ++v) {
+    const auto& ea = a.of(v).entries();
+    const auto& eb = b.of(v).entries();
+    ASSERT_EQ(ea.size(), eb.size()) << "node " << v;
+    for (size_t i = 0; i < ea.size(); ++i) {
+      EXPECT_EQ(ea[i].node, eb[i].node);
+      EXPECT_EQ(ea[i].part, eb[i].part);
+      EXPECT_EQ(ea[i].rank, eb[i].rank);  // %.17g round-trips doubles
+      EXPECT_EQ(ea[i].dist, eb[i].dist);
+    }
+  }
+}
+
+TEST(SerializeTest, RoundTripBottomK) {
+  Graph g = ErdosRenyi(80, 240, true, 5);
+  AdsSet set = BuildAdsPrunedDijkstra(g, 8, SketchFlavor::kBottomK,
+                                      RankAssignment::Uniform(9));
+  auto back = ParseAdsSet(SerializeAdsSet(set));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectSameSet(set, back.value());
+}
+
+TEST(SerializeTest, RoundTripAllFlavors) {
+  Graph g = BarabasiAlbert(60, 2, 7);
+  for (SketchFlavor flavor : {SketchFlavor::kBottomK, SketchFlavor::kKMins,
+                              SketchFlavor::kKPartition}) {
+    AdsSet set =
+        BuildAdsDp(g, 4, flavor, RankAssignment::Uniform(11));
+    auto back = ParseAdsSet(SerializeAdsSet(set));
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    ExpectSameSet(set, back.value());
+  }
+}
+
+TEST(SerializeTest, RoundTripBaseB) {
+  Graph g = ErdosRenyi(50, 150, true, 13);
+  AdsSet set = BuildAdsPrunedDijkstra(g, 4, SketchFlavor::kBottomK,
+                                      RankAssignment::BaseB(3, 2.0));
+  auto back = ParseAdsSet(SerializeAdsSet(set));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().ranks.base(), 2.0);
+  ExpectSameSet(set, back.value());
+}
+
+TEST(SerializeTest, RoundTripWeightedGraphDistances) {
+  Graph g = RandomizeWeights(ErdosRenyi(50, 150, true, 17), 0.3, 2.7, 3);
+  AdsSet set = BuildAdsPrunedDijkstra(g, 4, SketchFlavor::kBottomK,
+                                      RankAssignment::Uniform(21));
+  auto back = ParseAdsSet(SerializeAdsSet(set));
+  ASSERT_TRUE(back.ok());
+  ExpectSameSet(set, back.value());
+}
+
+TEST(SerializeTest, LoadedSetAnswersSameQueries) {
+  Graph g = BarabasiAlbert(150, 3, 23);
+  AdsSet set = BuildAdsDp(g, 16, SketchFlavor::kBottomK,
+                          RankAssignment::Uniform(31));
+  auto back = ParseAdsSet(SerializeAdsSet(set));
+  ASSERT_TRUE(back.ok());
+  for (NodeId v : {0u, 50u, 149u}) {
+    HipEstimator a(set.of(v), set.k, set.flavor, set.ranks);
+    HipEstimator b(back.value().of(v), back.value().k, back.value().flavor,
+                   back.value().ranks);
+    EXPECT_DOUBLE_EQ(a.ReachableCount(), b.ReachableCount());
+    EXPECT_DOUBLE_EQ(a.HarmonicCentrality(), b.HarmonicCentrality());
+  }
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  Graph g = ErdosRenyi(40, 120, true, 29);
+  AdsSet set = BuildAdsPrunedDijkstra(g, 4, SketchFlavor::kBottomK,
+                                      RankAssignment::Uniform(37));
+  std::string path = "/tmp/hipads_serialize_test.ads";
+  ASSERT_TRUE(WriteAdsSetFile(set, path).ok());
+  auto back = ReadAdsSetFile(path);
+  ASSERT_TRUE(back.ok());
+  ExpectSameSet(set, back.value());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ExponentialNeedsBeta) {
+  Graph g = ErdosRenyi(30, 90, true, 31);
+  auto beta = [](uint64_t v) { return v % 2 ? 2.0 : 1.0; };
+  AdsSet set = BuildAdsPrunedDijkstra(
+      g, 4, SketchFlavor::kBottomK, RankAssignment::Exponential(5, beta));
+  std::string text = SerializeAdsSet(set);
+  auto without = ParseAdsSet(text);
+  EXPECT_FALSE(without.ok());
+  EXPECT_EQ(without.status().code(), Status::Code::kInvalidArgument);
+  auto with = ParseAdsSet(text, beta);
+  ASSERT_TRUE(with.ok());
+  EXPECT_EQ(with.value().ranks.kind(), RankKind::kExponential);
+  EXPECT_EQ(with.value().TotalEntries(), set.TotalEntries());
+}
+
+TEST(SerializeTest, PriorityRoundTripWithBeta) {
+  Graph g = ErdosRenyi(30, 90, true, 43);
+  auto beta = [](uint64_t v) { return v % 3 == 0 ? 3.0 : 1.0; };
+  AdsSet set = BuildAdsPrunedDijkstra(g, 4, SketchFlavor::kBottomK,
+                                      RankAssignment::Priority(7, beta));
+  std::string text = SerializeAdsSet(set);
+  EXPECT_FALSE(ParseAdsSet(text).ok());  // beta required
+  auto with = ParseAdsSet(text, beta);
+  ASSERT_TRUE(with.ok());
+  EXPECT_EQ(with.value().ranks.kind(), RankKind::kPriority);
+  ExpectSameSet(set, with.value());
+}
+
+TEST(SerializeTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseAdsSet("").ok());
+  EXPECT_FALSE(ParseAdsSet("not-a-sketch\n").ok());
+  EXPECT_FALSE(
+      ParseAdsSet("hipads-ads-v1\nflavor nonsense\n").ok());
+  EXPECT_FALSE(
+      ParseAdsSet("hipads-ads-v1\nflavor bottom-k\nk 0\n").ok());
+}
+
+TEST(SerializeTest, RejectsTruncatedEntries) {
+  Graph g = ErdosRenyi(20, 60, true, 41);
+  AdsSet set = BuildAdsPrunedDijkstra(g, 2, SketchFlavor::kBottomK,
+                                      RankAssignment::Uniform(1));
+  std::string text = SerializeAdsSet(set);
+  text.resize(text.size() / 2);
+  auto result = ParseAdsSet(text);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kCorruption);
+}
+
+TEST(SerializeTest, RejectsOutOfRangePart) {
+  std::string text =
+      "hipads-ads-v1\nflavor bottom-k\nk 2\nranks uniform 1\nnodes 1\n"
+      "0 1\n0 5 0.5 0\n";  // part 5 >= k 2
+  EXPECT_FALSE(ParseAdsSet(text).ok());
+}
+
+TEST(SerializeTest, ReadMissingFileFails) {
+  auto result = ReadAdsSetFile("/nonexistent/sketches.ads");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kIOError);
+}
+
+}  // namespace
+}  // namespace hipads

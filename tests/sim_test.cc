@@ -1,0 +1,101 @@
+#include "sim/cardinality_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "sketch/cardinality.h"
+
+namespace hipads {
+namespace {
+
+TEST(CardinalitySimTest, ProducesAllSeries) {
+  CardinalitySimConfig cfg;
+  cfg.k = 5;
+  cfg.max_n = 200;
+  cfg.runs = 50;
+  auto result = RunCardinalitySim(cfg);
+  EXPECT_FALSE(result.checkpoints.empty());
+  EXPECT_EQ(result.checkpoints.back(), 200u);
+  for (const char* name :
+       {"kmins_basic", "kpart_basic", "botk_basic", "botk_hip", "perm"}) {
+    ASSERT_TRUE(result.errors.count(name)) << name;
+    EXPECT_EQ(result.errors.at(name).size(), result.checkpoints.size());
+    for (const auto& e : result.errors.at(name)) {
+      EXPECT_EQ(e.count(), 50);
+    }
+  }
+}
+
+TEST(CardinalitySimTest, BottomKExactBelowK) {
+  CardinalitySimConfig cfg;
+  cfg.k = 10;
+  cfg.max_n = 64;
+  cfg.runs = 40;
+  auto result = RunCardinalitySim(cfg);
+  for (size_t i = 0; i < result.checkpoints.size(); ++i) {
+    // Strictly below k every bottom-k derived estimator is exact; at
+    // exactly n == k the basic estimator already switches to (k-1)/tau.
+    if (result.checkpoints[i] < cfg.k) {
+      EXPECT_EQ(result.errors.at("botk_basic")[i].nrmse(), 0.0);
+    }
+    if (result.checkpoints[i] <= cfg.k) {
+      EXPECT_EQ(result.errors.at("botk_hip")[i].nrmse(), 0.0);
+      EXPECT_EQ(result.errors.at("perm")[i].nrmse(), 0.0);
+    }
+  }
+}
+
+TEST(CardinalitySimTest, HipBeatsBasicAtLargeN) {
+  CardinalitySimConfig cfg;
+  cfg.k = 10;
+  cfg.max_n = 4000;
+  cfg.runs = 400;
+  auto result = RunCardinalitySim(cfg);
+  size_t last = result.checkpoints.size() - 1;
+  double hip = result.errors.at("botk_hip")[last].nrmse();
+  double basic = result.errors.at("botk_basic")[last].nrmse();
+  EXPECT_LT(hip, basic);
+  // Near the analytic curves.
+  EXPECT_NEAR(hip, HipCv(cfg.k), 0.05);
+  EXPECT_NEAR(basic, BasicCv(cfg.k), 0.06);
+}
+
+TEST(CardinalitySimTest, DeterministicForSeed) {
+  CardinalitySimConfig cfg;
+  cfg.k = 5;
+  cfg.max_n = 100;
+  cfg.runs = 20;
+  cfg.seed = 42;
+  auto a = RunCardinalitySim(cfg);
+  auto b = RunCardinalitySim(cfg);
+  for (size_t i = 0; i < a.checkpoints.size(); ++i) {
+    EXPECT_EQ(a.errors.at("botk_hip")[i].nrmse(),
+              b.errors.at("botk_hip")[i].nrmse());
+  }
+}
+
+TEST(DistinctCountSimTest, ProducesAllSeries) {
+  DistinctCountSimConfig cfg;
+  cfg.k = 16;
+  cfg.max_n = 2000;
+  cfg.runs = 50;
+  auto result = RunDistinctCountSim(cfg);
+  for (const char* name : {"hll_raw", "hll", "hip"}) {
+    ASSERT_TRUE(result.errors.count(name)) << name;
+    EXPECT_EQ(result.errors.at(name).size(), result.checkpoints.size());
+  }
+}
+
+TEST(DistinctCountSimTest, HipBeatsHllAsymptotically) {
+  DistinctCountSimConfig cfg;
+  cfg.k = 16;
+  cfg.max_n = 30000;
+  cfg.runs = 150;
+  cfg.points_per_decade = 2;
+  auto result = RunDistinctCountSim(cfg);
+  size_t last = result.checkpoints.size() - 1;
+  EXPECT_LT(result.errors.at("hip")[last].nrmse(),
+            result.errors.at("hll")[last].nrmse());
+}
+
+}  // namespace
+}  // namespace hipads

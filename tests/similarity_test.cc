@@ -1,0 +1,118 @@
+#include "ads/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ads/builders.h"
+#include "graph/generators.h"
+#include "graph/traversal.h"
+#include "util/stats.h"
+
+namespace hipads {
+namespace {
+
+double ExactJaccard(const Graph& g, NodeId u, NodeId v, double d) {
+  auto nu = NeighborhoodAtDistance(g, u, d);
+  auto nv = NeighborhoodAtDistance(g, v, d);
+  std::vector<NodeId> inter, uni;
+  std::set_intersection(nu.begin(), nu.end(), nv.begin(), nv.end(),
+                        std::back_inserter(inter));
+  std::set_union(nu.begin(), nu.end(), nv.begin(), nv.end(),
+                 std::back_inserter(uni));
+  return uni.empty() ? 0.0
+                     : static_cast<double>(inter.size()) / uni.size();
+}
+
+TEST(SimilarityTest, IdenticalNodesHaveJaccardOne) {
+  Graph g = ErdosRenyi(60, 180, true, 3);
+  AdsSet set = BuildAdsPrunedDijkstra(g, 8, SketchFlavor::kBottomK,
+                                      RankAssignment::Uniform(1));
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(set.of(5), set.of(5), 2.0, 8), 1.0);
+}
+
+TEST(SimilarityTest, DisjointComponentsHaveJaccardZero) {
+  // Two disjoint triangles.
+  Graph g(6,
+          {{0, 1, 1.0}, {1, 2, 1.0}, {2, 0, 1.0},
+           {3, 4, 1.0}, {4, 5, 1.0}, {5, 3, 1.0}},
+          true);
+  AdsSet set = BuildAdsPrunedDijkstra(g, 4, SketchFlavor::kBottomK,
+                                      RankAssignment::Uniform(2));
+  EXPECT_EQ(ReachabilityJaccard(set.of(0), set.of(3), 4), 0.0);
+}
+
+TEST(SimilarityTest, ExactWhenNeighborhoodsFitInK) {
+  Graph g = Path(12);
+  const uint32_t k = 32;  // everything fits
+  AdsSet set = BuildAdsPrunedDijkstra(g, k, SketchFlavor::kBottomK,
+                                      RankAssignment::Uniform(5));
+  for (double d : {1.0, 2.0, 3.0}) {
+    for (NodeId u : {2u, 5u}) {
+      for (NodeId v : {5u, 7u}) {
+        EXPECT_NEAR(JaccardSimilarity(set.of(u), set.of(v), d, k),
+                    ExactJaccard(g, u, v, d), 1e-12)
+            << "u=" << u << " v=" << v << " d=" << d;
+      }
+    }
+  }
+}
+
+TEST(SimilarityTest, EstimateTracksExactOnRandomGraph) {
+  Graph g = ErdosRenyi(300, 900, true, 7);
+  const uint32_t k = 16;
+  const NodeId u = 10, v = 20;
+  const double d = 2.0;
+  double exact = ExactJaccard(g, u, v, d);
+  RunningStat est;
+  for (uint64_t seed = 0; seed < 80; ++seed) {
+    AdsSet set = BuildAdsPrunedDijkstra(g, k, SketchFlavor::kBottomK,
+                                        RankAssignment::Uniform(seed));
+    est.Add(JaccardSimilarity(set.of(u), set.of(v), d, k));
+  }
+  EXPECT_NEAR(est.mean(), exact, 0.12);
+}
+
+TEST(SimilarityTest, UnionCardinalityTracksExact) {
+  Graph g = ErdosRenyi(300, 900, true, 9);
+  const uint32_t k = 16;
+  const NodeId u = 1, v = 2;
+  const double d = 2.0;
+  auto nu = NeighborhoodAtDistance(g, u, d);
+  auto nv = NeighborhoodAtDistance(g, v, d);
+  std::vector<NodeId> uni;
+  std::set_union(nu.begin(), nu.end(), nv.begin(), nv.end(),
+                 std::back_inserter(uni));
+  RunningStat est;
+  for (uint64_t seed = 0; seed < 80; ++seed) {
+    AdsSet set = BuildAdsPrunedDijkstra(g, k, SketchFlavor::kBottomK,
+                                        RankAssignment::Uniform(seed));
+    est.Add(UnionCardinality(set.of(u), set.of(v), d, k));
+  }
+  EXPECT_NEAR(est.mean() / static_cast<double>(uni.size()), 1.0, 0.1);
+}
+
+TEST(SimilarityTest, IntersectionIsJaccardTimesUnion) {
+  Graph g = ErdosRenyi(100, 300, true, 11);
+  AdsSet set = BuildAdsPrunedDijkstra(g, 8, SketchFlavor::kBottomK,
+                                      RankAssignment::Uniform(3));
+  double j = JaccardSimilarity(set.of(4), set.of(5), 2.0, 8);
+  double un = UnionCardinality(set.of(4), set.of(5), 2.0, 8);
+  EXPECT_DOUBLE_EQ(IntersectionCardinality(set.of(4), set.of(5), 2.0, 8),
+                   j * un);
+}
+
+TEST(SimilarityTest, CloseNodesMoreSimilarThanFarNodes) {
+  Graph g = Grid2D(15, 15);
+  AdsSet set = BuildAdsPrunedDijkstra(g, 16, SketchFlavor::kBottomK,
+                                      RankAssignment::Uniform(13));
+  // Adjacent grid nodes share most of their 3-neighborhood; opposite
+  // corners share none of it.
+  double near = JaccardSimilarity(set.of(0), set.of(1), 3.0, 16);
+  double far = JaccardSimilarity(set.of(0), set.of(224), 3.0, 16);
+  EXPECT_GT(near, 0.3);
+  EXPECT_EQ(far, 0.0);
+}
+
+}  // namespace
+}  // namespace hipads

@@ -1,0 +1,156 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hipads {
+namespace {
+
+TEST(RunningStatTest, Empty) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, SingleValue) {
+  RunningStat s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStatTest, KnownMeanVariance) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations = 32.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatTest, MergeMatchesSequential) {
+  RunningStat all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    double x = std::sin(i) * 10.0;
+    all.Add(x);
+    (i < 37 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatTest, MergeWithEmpty) {
+  RunningStat a, empty;
+  a.Add(1.0);
+  a.Add(3.0);
+  double mean = a.mean();
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_EQ(a.mean(), mean);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2);
+  EXPECT_EQ(empty.mean(), mean);
+}
+
+TEST(ErrorStatsTest, PerfectEstimatorZeroError) {
+  ErrorStats e;
+  e.Add(10.0, 10.0);
+  e.Add(55.0, 55.0);
+  EXPECT_EQ(e.nrmse(), 0.0);
+  EXPECT_EQ(e.mre(), 0.0);
+  EXPECT_EQ(e.mean_bias(), 0.0);
+}
+
+TEST(ErrorStatsTest, KnownErrors) {
+  ErrorStats e;
+  e.Add(12.0, 10.0);  // +20% error
+  e.Add(8.0, 10.0);   // -20% error
+  EXPECT_NEAR(e.nrmse(), 0.2, 1e-12);
+  EXPECT_NEAR(e.mre(), 0.2, 1e-12);
+  EXPECT_NEAR(e.mean_bias(), 0.0, 1e-12);
+}
+
+TEST(ErrorStatsTest, BiasSign) {
+  ErrorStats e;
+  e.Add(11.0, 10.0);
+  e.Add(11.0, 10.0);
+  EXPECT_NEAR(e.mean_bias(), 0.1, 1e-12);
+}
+
+TEST(ErrorStatsTest, MergeMatchesSequential) {
+  ErrorStats all, a, b;
+  for (int i = 1; i <= 50; ++i) {
+    double truth = i;
+    double est = i + std::cos(i);
+    all.Add(est, truth);
+    (i % 2 ? a : b).Add(est, truth);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.nrmse(), all.nrmse(), 1e-12);
+  EXPECT_NEAR(a.mre(), all.mre(), 1e-12);
+}
+
+TEST(HarmonicTest, SmallValues) {
+  EXPECT_EQ(HarmonicNumber(0), 0.0);
+  EXPECT_DOUBLE_EQ(HarmonicNumber(1), 1.0);
+  EXPECT_DOUBLE_EQ(HarmonicNumber(2), 1.5);
+  EXPECT_NEAR(HarmonicNumber(4), 1.0 + 0.5 + 1.0 / 3 + 0.25, 1e-14);
+}
+
+TEST(HarmonicTest, AsymptoticMatchesExactAtCutover) {
+  // Values just below/above the exact-summation cutoff must agree.
+  uint64_t cutoff = 1 << 16;
+  double below = HarmonicNumber(cutoff);
+  // Compute the exact value for cutoff+1 by extending the below value.
+  double expected_above = below + 1.0 / static_cast<double>(cutoff + 1);
+  EXPECT_NEAR(HarmonicNumber(cutoff + 1), expected_above, 1e-10);
+}
+
+TEST(HarmonicTest, Monotone) {
+  double prev = 0.0;
+  for (uint64_t n : {1ULL, 10ULL, 100ULL, 100000ULL, 10000000ULL}) {
+    double h = HarmonicNumber(n);
+    EXPECT_GT(h, prev);
+    prev = h;
+  }
+}
+
+TEST(HarmonicTest, LargeValueAgainstLogGamma) {
+  // H_n ~ ln n + gamma.
+  double h = HarmonicNumber(100000000ULL);
+  EXPECT_NEAR(h, std::log(1e8) + 0.5772156649, 1e-6);
+}
+
+TEST(LogSpacedCheckpointsTest, SmallNIsDense) {
+  auto pts = LogSpacedCheckpoints(10, 8);
+  ASSERT_EQ(pts.size(), 10u);
+  for (uint64_t i = 0; i < 10; ++i) EXPECT_EQ(pts[i], i + 1);
+}
+
+TEST(LogSpacedCheckpointsTest, IncludesEndpointsAndIsSorted) {
+  auto pts = LogSpacedCheckpoints(100000, 8);
+  EXPECT_EQ(pts.front(), 1u);
+  EXPECT_EQ(pts.back(), 100000u);
+  for (size_t i = 1; i < pts.size(); ++i) EXPECT_GT(pts[i], pts[i - 1]);
+}
+
+TEST(LogSpacedCheckpointsTest, DensityRoughlyPerDecade) {
+  auto pts = LogSpacedCheckpoints(1000000, 4);
+  // Beyond the dense prefix (16) there are 6 - ~1.2 decades at ~4 points.
+  EXPECT_LT(pts.size(), 60u);
+  EXPECT_GT(pts.size(), 25u);
+}
+
+}  // namespace
+}  // namespace hipads

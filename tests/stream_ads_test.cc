@@ -1,0 +1,200 @@
+#include "stream/stream_ads.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ads/estimators.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace hipads {
+namespace {
+
+TEST(FirstOccurrenceTest, RecordsEveryThresholdBeat) {
+  auto ranks = RankAssignment::Uniform(3);
+  FirstOccurrenceAds sketch(2, ranks);
+  // Replay elements with known ranks and verify entries are exactly the
+  // bottom-2 updates.
+  BottomKSketch expect(2);
+  uint64_t inserted = 0;
+  for (uint64_t e = 0; e < 100; ++e) {
+    bool changed = sketch.Process(e, static_cast<double>(e));
+    bool should = expect.Update(ranks.rank(e));
+    EXPECT_EQ(changed, should) << "element " << e;
+    if (should) ++inserted;
+  }
+  EXPECT_EQ(sketch.ads().size(), inserted);
+}
+
+TEST(FirstOccurrenceTest, DuplicatesNeverUpdate) {
+  auto ranks = RankAssignment::Uniform(5);
+  FirstOccurrenceAds sketch(4, ranks);
+  for (uint64_t e = 0; e < 20; ++e) sketch.Process(e, static_cast<double>(e));
+  size_t before = sketch.ads().size();
+  for (uint64_t e = 0; e < 20; ++e) {
+    EXPECT_FALSE(sketch.Process(e, 20.0 + static_cast<double>(e)));
+  }
+  EXPECT_EQ(sketch.ads().size(), before);
+}
+
+TEST(FirstOccurrenceTest, EntriesSortedByTime) {
+  auto ranks = RankAssignment::Uniform(7);
+  FirstOccurrenceAds sketch(3, ranks);
+  for (uint64_t e = 0; e < 200; ++e) {
+    sketch.Process(e * 7 % 199, static_cast<double>(e));
+  }
+  const auto& entries = sketch.ads().entries();
+  for (size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_LE(entries[i - 1].dist, entries[i].dist);
+  }
+}
+
+TEST(FirstOccurrenceTest, HipEstimatesDistinctCount) {
+  // HIP over the streaming ADS estimates the number of distinct elements
+  // seen up to any time prefix.
+  const uint32_t k = 8;
+  const uint64_t n = 500;
+  RunningStat est;
+  for (uint64_t seed = 0; seed < 1500; ++seed) {
+    auto ranks = RankAssignment::Uniform(seed * 31 + 7);
+    FirstOccurrenceAds sketch(k, ranks);
+    for (uint64_t e = 0; e < n; ++e) {
+      sketch.Process(e, static_cast<double>(e));
+    }
+    HipEstimator hip(sketch.ads(), k, SketchFlavor::kBottomK, ranks);
+    est.Add(hip.NeighborhoodCardinality(static_cast<double>(n)));
+  }
+  EXPECT_NEAR(est.mean() / n, 1.0, 0.03);
+}
+
+TEST(FirstOccurrenceTest, KMinsFlavorHipUnbiased) {
+  const uint32_t k = 8;
+  const uint64_t n = 400;
+  RunningStat est;
+  for (uint64_t seed = 0; seed < 1200; ++seed) {
+    auto ranks = RankAssignment::Uniform(seed * 17 + 3);
+    FirstOccurrenceAds sketch(k, ranks, SketchFlavor::kKMins);
+    for (uint64_t e = 0; e < n; ++e) {
+      sketch.Process(e, static_cast<double>(e));
+    }
+    HipEstimator hip(sketch.ads(), k, SketchFlavor::kKMins, ranks);
+    est.Add(hip.NeighborhoodCardinality(static_cast<double>(n)));
+  }
+  EXPECT_NEAR(est.mean() / n, 1.0, 0.03);
+}
+
+TEST(FirstOccurrenceTest, KPartitionFlavorHipUnbiased) {
+  const uint32_t k = 8;
+  const uint64_t n = 400;
+  RunningStat est;
+  for (uint64_t seed = 0; seed < 1200; ++seed) {
+    auto ranks = RankAssignment::Uniform(seed * 23 + 5);
+    FirstOccurrenceAds sketch(k, ranks, SketchFlavor::kKPartition);
+    for (uint64_t e = 0; e < n; ++e) {
+      sketch.Process(e, static_cast<double>(e));
+    }
+    HipEstimator hip(sketch.ads(), k, SketchFlavor::kKPartition, ranks);
+    est.Add(hip.NeighborhoodCardinality(static_cast<double>(n)));
+  }
+  EXPECT_NEAR(est.mean() / n, 1.0, 0.03);
+}
+
+TEST(FirstOccurrenceTest, KMinsDuplicatesNeverUpdate) {
+  auto ranks = RankAssignment::Uniform(7);
+  FirstOccurrenceAds sketch(4, ranks, SketchFlavor::kKMins);
+  for (uint64_t e = 0; e < 30; ++e) sketch.Process(e, static_cast<double>(e));
+  size_t before = sketch.ads().size();
+  for (uint64_t e = 0; e < 30; ++e) {
+    EXPECT_FALSE(sketch.Process(e, 30.0 + static_cast<double>(e)));
+  }
+  EXPECT_EQ(sketch.ads().size(), before);
+}
+
+TEST(RecentOccurrenceTest, TimeDecayedStatisticsViaHip) {
+  // Section 3.1 + Section 5: HIP over the recent-occurrence ADS estimates
+  // time-decaying statistics sum over distinct elements of alpha(age).
+  const uint32_t k = 8;
+  const double horizon = 1000.0;
+  auto alpha = [](double age) { return std::exp(-age / 100.0); };
+  // Stream: elements 0..199, each occurring once at time = element id.
+  RunningStat est;
+  double exact = 0.0;
+  for (uint64_t e = 0; e < 200; ++e) {
+    exact += alpha(horizon - static_cast<double>(e));
+  }
+  for (uint64_t seed = 0; seed < 2000; ++seed) {
+    auto ranks = RankAssignment::Uniform(seed * 31 + 11);
+    RecentOccurrenceAds sketch(k, ranks, horizon);
+    for (uint64_t e = 0; e < 200; ++e) {
+      sketch.Process(e, static_cast<double>(e));
+    }
+    HipEstimator hip(sketch.SnapshotAds(), k, SketchFlavor::kBottomK, ranks);
+    est.Add(hip.Qg([&alpha](NodeId, double age) { return alpha(age); }));
+  }
+  EXPECT_NEAR(est.mean() / exact, 1.0, 0.03);
+}
+
+TEST(RecentOccurrenceTest, NewestAlwaysIncluded) {
+  auto ranks = RankAssignment::Uniform(11);
+  RecentOccurrenceAds sketch(2, ranks, 1000.0);
+  for (uint64_t e = 0; e < 50; ++e) {
+    sketch.Process(e, static_cast<double>(e));
+    Ads snapshot = sketch.SnapshotAds();
+    ASSERT_FALSE(snapshot.empty());
+    // Newest element is the closest entry (smallest age).
+    EXPECT_EQ(snapshot.entries()[0].node, static_cast<NodeId>(e));
+  }
+}
+
+TEST(RecentOccurrenceTest, ReoccurrenceMovesElementCloser) {
+  auto ranks = RankAssignment::Uniform(13);
+  RecentOccurrenceAds sketch(4, ranks, 1000.0);
+  sketch.Process(1, 1.0);
+  sketch.Process(2, 2.0);
+  sketch.Process(3, 3.0);
+  sketch.Process(1, 4.0);  // element 1 again
+  Ads snap = sketch.SnapshotAds();
+  // Element 1 must appear exactly once, at age 996.
+  int count = 0;
+  for (const AdsEntry& e : snap.entries()) {
+    if (e.node == 1) {
+      ++count;
+      EXPECT_EQ(e.dist, 996.0);
+    }
+  }
+  EXPECT_EQ(count, 1);
+}
+
+TEST(RecentOccurrenceTest, CanonicalInvariant) {
+  // At any point the retained entries must satisfy the bottom-k ADS rule
+  // over ages.
+  auto ranks = RankAssignment::Uniform(17);
+  const uint32_t k = 3;
+  RecentOccurrenceAds sketch(k, ranks, 10000.0);
+  Rng rng(5);
+  for (uint64_t t = 0; t < 300; ++t) {
+    sketch.Process(rng.NextBounded(80), static_cast<double>(t));
+  }
+  Ads snap = sketch.SnapshotAds();
+  Ads canon = Ads::CanonicalBottomK(snap.entries(), k, ranks.sup());
+  ASSERT_EQ(snap.size(), canon.size());
+  for (size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap.entries()[i].node, canon.entries()[i].node);
+  }
+}
+
+TEST(RecentOccurrenceTest, SizeStaysLogarithmic) {
+  auto ranks = RankAssignment::Uniform(19);
+  const uint32_t k = 4;
+  RecentOccurrenceAds sketch(k, ranks, 100000.0);
+  for (uint64_t t = 0; t < 5000; ++t) {
+    sketch.Process(t, static_cast<double>(t));  // all distinct
+  }
+  // Expected size ~ k(1 + ln(n) - ln(k)) ~ 4 * (1 + 8.5 - 1.4) ~ 33.
+  EXPECT_LT(sketch.CurrentSize(), 80u);
+  EXPECT_GT(sketch.CurrentSize(), 10u);
+}
+
+}  // namespace
+}  // namespace hipads

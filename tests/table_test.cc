@@ -1,0 +1,47 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hipads {
+namespace {
+
+TEST(TableTest, CsvOutput) {
+  Table t({"a", "b"});
+  t.NewRow().Add("x").Add(int64_t{2});
+  t.NewRow().Add(1.5, 3).Add(uint64_t{7});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\nx,2\n1.5,7\n");
+}
+
+TEST(TableTest, TextAlignsColumns) {
+  Table t({"col", "x"});
+  t.NewRow().Add("longvalue").Add("1");
+  std::ostringstream os;
+  t.PrintText(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("col"), std::string::npos);
+  EXPECT_NE(out.find("longvalue"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TableTest, DoublePrecision) {
+  Table t({"v"});
+  t.NewRow().Add(0.123456789, 3);
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "v\n0.123\n");
+}
+
+TEST(TableTest, NumRows) {
+  Table t({"v"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.NewRow().Add("1");
+  t.NewRow().Add("2");
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace hipads

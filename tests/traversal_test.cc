@@ -1,0 +1,103 @@
+#include "graph/traversal.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace hipads {
+namespace {
+
+TEST(TraversalTest, BfsOnPath) {
+  Graph g = Path(6);
+  auto dist = ShortestPathDistances(g, 2);
+  EXPECT_EQ(dist[0], 2.0);
+  EXPECT_EQ(dist[2], 0.0);
+  EXPECT_EQ(dist[5], 3.0);
+}
+
+TEST(TraversalTest, UnreachableIsInfinity) {
+  Graph g(4, {{0, 1, 1.0}}, false);
+  auto dist = ShortestPathDistances(g, 0);
+  EXPECT_EQ(dist[1], 1.0);
+  EXPECT_EQ(dist[2], kInfDist);
+  EXPECT_EQ(dist[3], kInfDist);
+}
+
+TEST(TraversalTest, DijkstraWeighted) {
+  // 0 -> 1 (1.0), 1 -> 2 (1.0), 0 -> 2 (5.0): shortest 0->2 is 2.0.
+  Graph g(3, {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 5.0}}, false);
+  auto dist = ShortestPathDistances(g, 0);
+  EXPECT_EQ(dist[2], 2.0);
+}
+
+TEST(TraversalTest, DijkstraMatchesBfsOnUnitWeights) {
+  Graph g = ErdosRenyi(200, 600, true, 21);
+  auto bfs = ShortestPathDistances(g, 0);
+  // Force the Dijkstra path by a weighted copy with all-1.0 weights seen as
+  // non-unit (scale by 1.0 does not change IsUnitWeight, so rebuild with 2x
+  // weights and halve).
+  std::vector<Edge> edges;
+  for (const Edge& e : g.ToEdgeList()) {
+    if (e.tail <= e.head) edges.push_back(Edge{e.tail, e.head, 2.0});
+  }
+  Graph g2(g.num_nodes(), edges, true);
+  auto dij = ShortestPathDistances(g2, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (bfs[v] == kInfDist) {
+      EXPECT_EQ(dij[v], kInfDist);
+    } else {
+      EXPECT_DOUBLE_EQ(dij[v], 2.0 * bfs[v]);
+    }
+  }
+}
+
+TEST(TraversalTest, DijkstraVisitOrderIsNondecreasing) {
+  Graph g = RandomizeWeights(Grid2D(6, 6), 0.1, 2.0, 5);
+  double last = -1.0;
+  int visits = 0;
+  DijkstraVisit(g, 0, [&](NodeId, double d) {
+    EXPECT_GE(d, last);
+    last = d;
+    ++visits;
+    return true;
+  });
+  EXPECT_EQ(visits, 36);
+}
+
+TEST(TraversalTest, DijkstraVisitPruningStopsExpansion) {
+  Graph g = Path(10, /*directed=*/true);
+  int visits = 0;
+  DijkstraVisit(g, 0, [&](NodeId, double) {
+    ++visits;
+    return visits < 3;  // prune after visiting 3 nodes
+  });
+  EXPECT_EQ(visits, 3);
+}
+
+TEST(TraversalTest, NeighborhoodAtDistance) {
+  Graph g = Path(7);
+  auto n2 = NeighborhoodAtDistance(g, 3, 2.0);
+  EXPECT_EQ(n2.size(), 5u);  // nodes 1..5
+}
+
+TEST(TraversalTest, CountReachableDirected) {
+  Graph g = Path(5, /*directed=*/true);
+  EXPECT_EQ(CountReachable(g, 0), 5u);
+  EXPECT_EQ(CountReachable(g, 3), 2u);
+}
+
+TEST(TraversalTest, VisitIncludesSourceAtZero) {
+  Graph g = Star(4);
+  bool saw_source = false;
+  DijkstraVisit(g, 0, [&](NodeId v, double d) {
+    if (v == 0) {
+      saw_source = true;
+      EXPECT_EQ(d, 0.0);
+    }
+    return true;
+  });
+  EXPECT_TRUE(saw_source);
+}
+
+}  // namespace
+}  // namespace hipads

@@ -1,0 +1,246 @@
+// hipads — command-line front end for the library.
+//
+// Subcommands:
+//   generate   write a synthetic graph as a SNAP edge list
+//   sketch     build the ADS set of an edge-list graph and store it
+//   query      answer estimation queries from a stored ADS set
+//   stats      whole-graph statistics from a stored ADS set
+//
+// Examples:
+//   hipads_cli generate --model ba --nodes 100000 --out graph.txt
+//   hipads_cli sketch --graph graph.txt --k 32 --out sketches.ads
+//   hipads_cli query --sketches sketches.ads --node 17 --distance 3
+//   hipads_cli query --sketches sketches.ads --top 10 --centrality harmonic
+//   hipads_cli stats --sketches sketches.ads
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "ads/builders.h"
+#include "ads/estimators.h"
+#include "ads/queries.h"
+#include "ads/serialize.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "util/table.h"
+
+namespace hipads {
+namespace {
+
+// Minimal --flag value argument parsing.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 0; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
+        std::exit(2);
+      }
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+  }
+  uint64_t GetInt(const std::string& key, uint64_t def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : std::strtoull(it->second.c_str(),
+                                                     nullptr, 10);
+  }
+  double GetDouble(const std::string& key, double def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : std::strtod(it->second.c_str(),
+                                                   nullptr);
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdGenerate(const Args& args) {
+  std::string model = args.Get("model", "ba");
+  uint32_t n = static_cast<uint32_t>(args.GetInt("nodes", 10000));
+  uint64_t seed = args.GetInt("seed", 1);
+  std::string out = args.Get("out", "graph.txt");
+  Graph g;
+  if (model == "ba") {
+    g = BarabasiAlbert(n, static_cast<uint32_t>(args.GetInt("attach", 3)),
+                       seed);
+  } else if (model == "er") {
+    g = ErdosRenyi(n, args.GetInt("edges", 4ULL * n), /*undirected=*/true,
+                   seed);
+  } else if (model == "rmat") {
+    uint32_t scale = 1;
+    while ((1u << scale) < n) ++scale;
+    g = Rmat(scale, args.GetInt("edges", 8ULL), seed);
+  } else if (model == "grid") {
+    uint32_t side = 1;
+    while (side * side < n) ++side;
+    g = Grid2D(side, side);
+  } else {
+    std::fprintf(stderr, "unknown --model %s (ba|er|rmat|grid)\n",
+                 model.c_str());
+    return 2;
+  }
+  Status s = WriteEdgeListFile(g, out);
+  if (!s.ok()) return Fail(s);
+  std::printf("wrote %s: %u nodes, %llu arcs (%s)\n", out.c_str(),
+              g.num_nodes(), static_cast<unsigned long long>(g.num_arcs()),
+              model.c_str());
+  return 0;
+}
+
+int CmdSketch(const Args& args) {
+  std::string graph_path = args.Get("graph", "");
+  if (graph_path.empty()) {
+    std::fprintf(stderr, "sketch requires --graph FILE\n");
+    return 2;
+  }
+  bool directed = args.Has("directed");
+  auto graph = ReadEdgeListFile(graph_path, /*undirected=*/!directed);
+  if (!graph.ok()) return Fail(graph.status());
+  const Graph& g = graph.value();
+
+  uint32_t k = static_cast<uint32_t>(args.GetInt("k", 16));
+  uint64_t seed = args.GetInt("seed", 42);
+  std::string flavor_name = args.Get("flavor", "bottom-k");
+  SketchFlavor flavor = SketchFlavor::kBottomK;
+  if (flavor_name == "k-mins") flavor = SketchFlavor::kKMins;
+  else if (flavor_name == "k-partition") flavor = SketchFlavor::kKPartition;
+  else if (flavor_name != "bottom-k") {
+    std::fprintf(stderr, "unknown --flavor %s\n", flavor_name.c_str());
+    return 2;
+  }
+  double base = args.GetDouble("base", 0.0);
+  RankAssignment ranks = base > 1.0 ? RankAssignment::BaseB(seed, base)
+                                    : RankAssignment::Uniform(seed);
+
+  AdsBuildStats stats;
+  AdsSet set =
+      g.IsUnitWeight()
+          ? BuildAdsDp(g, k, flavor, ranks, &stats)
+          : BuildAdsPrunedDijkstra(g, k, flavor, ranks, &stats);
+  std::string out = args.Get("out", "sketches.ads");
+  Status s = WriteAdsSetFile(set, out);
+  if (!s.ok()) return Fail(s);
+  std::printf(
+      "sketched %u nodes (k=%u, %s): %llu entries (%.1f/node), %llu "
+      "relaxations -> %s\n",
+      g.num_nodes(), k, flavor_name.c_str(),
+      static_cast<unsigned long long>(set.TotalEntries()),
+      static_cast<double>(set.TotalEntries()) / g.num_nodes(),
+      static_cast<unsigned long long>(stats.relaxations), out.c_str());
+  return 0;
+}
+
+int CmdQuery(const Args& args) {
+  auto loaded = ReadAdsSetFile(args.Get("sketches", "sketches.ads"));
+  if (!loaded.ok()) return Fail(loaded.status());
+  const AdsSet& set = loaded.value();
+
+  if (args.Has("top")) {
+    std::string kind = args.Get("centrality", "harmonic");
+    std::vector<double> scores;
+    if (kind == "harmonic") {
+      scores = EstimateHarmonicCentralityAll(set);
+    } else if (kind == "distsum") {
+      scores = EstimateDistanceSumAll(set);
+    } else if (kind == "reach") {
+      scores.reserve(set.ads.size());
+      for (NodeId v = 0; v < set.ads.size(); ++v) {
+        HipEstimator est(set.of(v), set.k, set.flavor, set.ranks);
+        scores.push_back(est.ReachableCount());
+      }
+    } else {
+      std::fprintf(stderr, "unknown --centrality %s\n", kind.c_str());
+      return 2;
+    }
+    Table t({"rank", "node", kind});
+    uint32_t count = static_cast<uint32_t>(args.GetInt("top", 10));
+    auto top = TopKNodes(scores, count);
+    for (size_t i = 0; i < top.size(); ++i) {
+      t.NewRow()
+          .Add(static_cast<uint64_t>(i + 1))
+          .Add(static_cast<uint64_t>(top[i]))
+          .Add(scores[top[i]], 6);
+    }
+    t.PrintText(std::cout);
+    return 0;
+  }
+
+  uint64_t node = args.GetInt("node", 0);
+  if (node >= set.ads.size()) {
+    std::fprintf(stderr, "node %llu out of range (%zu nodes)\n",
+                 static_cast<unsigned long long>(node), set.ads.size());
+    return 2;
+  }
+  HipEstimator est(set.of(static_cast<NodeId>(node)), set.k, set.flavor,
+                   set.ranks);
+  if (args.Has("distance")) {
+    double d = args.GetDouble("distance", 1.0);
+    std::printf("|N_%g(%llu)| ~ %.1f\n", d,
+                static_cast<unsigned long long>(node),
+                est.NeighborhoodCardinality(d));
+  } else {
+    std::printf("node %llu: reachable ~ %.1f, harmonic ~ %.2f, "
+                "distance sum ~ %.1f\n",
+                static_cast<unsigned long long>(node), est.ReachableCount(),
+                est.HarmonicCentrality(), est.DistanceSum());
+  }
+  return 0;
+}
+
+int CmdStats(const Args& args) {
+  auto loaded = ReadAdsSetFile(args.Get("sketches", "sketches.ads"));
+  if (!loaded.ok()) return Fail(loaded.status());
+  const AdsSet& set = loaded.value();
+  std::printf("nodes: %zu, k=%u, entries=%llu\n", set.ads.size(), set.k,
+              static_cast<unsigned long long>(set.TotalEntries()));
+  std::printf("effective diameter (0.9): %.1f\n",
+              EstimateEffectiveDiameter(set, args.GetDouble("quantile",
+                                                            0.9)));
+  std::printf("mean distance: %.2f\n", EstimateMeanDistance(set));
+  Table t({"d", "pairs within d"});
+  auto nf = EstimateNeighborhoodFunction(set);
+  double total = nf.empty() ? 0.0 : nf.rbegin()->second;
+  for (const auto& [d, pairs] : nf) {
+    t.NewRow().Add(d, 4).Add(pairs, 6);
+    if (pairs >= 0.99 * total) break;
+  }
+  t.PrintText(std::cout);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: hipads_cli {generate|sketch|query|stats} "
+                 "[--flag value]...\n");
+    return 2;
+  }
+  std::string cmd = argv[1];
+  Args args(argc - 2, argv + 2);
+  if (cmd == "generate") return CmdGenerate(args);
+  if (cmd == "sketch") return CmdSketch(args);
+  if (cmd == "query") return CmdQuery(args);
+  if (cmd == "stats") return CmdStats(args);
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return 2;
+}
+
+}  // namespace
+}  // namespace hipads
+
+int main(int argc, char** argv) { return hipads::Main(argc, argv); }
