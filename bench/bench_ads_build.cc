@@ -9,7 +9,10 @@
 #include <cmath>
 
 #include "ads/builders.h"
+#include "ads/flat_ads.h"
 #include "ads/hip.h"
+#include "ads/queries.h"
+#include "bench_common.h"
 #include "graph/generators.h"
 
 namespace hipads {
@@ -99,6 +102,44 @@ BENCHMARK(BM_LocalUpdates)
     ->Args({1000, 16, 25})
     ->Unit(benchmark::kMillisecond);
 
+// Thread-count sweep for the rank-window pruned-Dijkstra builder. Arg 0 is
+// the sequential baseline; the determinism suite guarantees every row
+// computes the same sketches, so the timings are directly comparable.
+// Weighted graphs so the DP builder is not an option (Algorithm 1's home
+// turf). Run with --benchmark_out for the JSON baseline; expected scaling
+// is ~T/2 at T threads (the frozen-window searches pay bounded extra
+// exploration for their independence).
+void BM_PrunedDijkstraParallel(benchmark::State& state) {
+  uint32_t threads = static_cast<uint32_t>(state.range(0));
+  uint32_t n = static_cast<uint32_t>(state.range(1));
+  uint32_t k = 16;
+  Graph g = MakeEr(n, 8, /*weighted=*/true);
+  auto ranks = RankAssignment::Uniform(1);
+  AdsBuildStats stats;
+  for (auto _ : state) {
+    stats = AdsBuildStats();
+    AdsSet set =
+        threads == 0
+            ? BuildAdsPrunedDijkstra(g, k, SketchFlavor::kBottomK, ranks,
+                                     &stats)
+            : BuildAdsPrunedDijkstraParallel(g, k, SketchFlavor::kBottomK,
+                                             ranks, threads, &stats);
+    benchmark::DoNotOptimize(set.TotalEntries());
+  }
+  Counters(state, g, k, stats);
+  state.counters["exp entries/node"] = benchmark::Counter(
+      ExpectedBottomKAdsSize(k, g.num_nodes()));
+}
+BENCHMARK(BM_PrunedDijkstraParallel)
+    ->Args({0, 4000})  // sequential baseline
+    ->Args({1, 4000})  // parallel entry point, 1 thread (= sequential path)
+    ->Args({2, 4000})
+    ->Args({4, 4000})
+    ->Args({8, 4000})
+    ->Args({0, 16000})
+    ->Args({4, 16000})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_DpParallel(benchmark::State& state) {
   uint32_t threads = static_cast<uint32_t>(state.range(0));
   Graph g = MakeEr(8000, 8, /*weighted=*/false);
@@ -149,7 +190,63 @@ void BM_HipQueryThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_HipQueryThroughput);
 
+// Whole-graph estimator hot path: per-node-vector AdsSet (arg 0) vs the
+// flat CSR arena (arg 1), both swept single-threaded so the measured delta
+// is purely the storage layout. The flat arena wins by turning n pointer
+// chases into one linear pass.
+void BM_HarmonicAllStorage(benchmark::State& state) {
+  bool flat = state.range(0) == 1;
+  Graph g = MakeEr(8000, 8, /*weighted=*/false);
+  uint32_t k = 16;
+  auto ranks = RankAssignment::Uniform(1);
+  AdsSet set = BuildAdsDp(g, k, SketchFlavor::kBottomK, ranks);
+  FlatAdsSet flat_set = FlatAdsSet::FromAdsSet(set);
+  for (auto _ : state) {
+    std::vector<double> scores =
+        flat ? EstimateHarmonicCentralityAll(flat_set, 1)
+             : EstimateHarmonicCentralityAll(set, 1);
+    benchmark::DoNotOptimize(scores.data());
+  }
+}
+BENCHMARK(BM_HarmonicAllStorage)->Arg(0)->Arg(1)->Unit(
+    benchmark::kMillisecond);
+
+// Same comparison for the neighbourhood-function sweep (the ANF workload),
+// plus a thread-count sweep over the flat arena.
+void BM_NeighborhoodFunctionStorage(benchmark::State& state) {
+  bool flat = state.range(0) == 1;
+  uint32_t threads = static_cast<uint32_t>(state.range(1));
+  Graph g = MakeEr(8000, 8, /*weighted=*/false);
+  uint32_t k = 16;
+  auto ranks = RankAssignment::Uniform(1);
+  AdsSet set = BuildAdsDp(g, k, SketchFlavor::kBottomK, ranks);
+  FlatAdsSet flat_set = FlatAdsSet::FromAdsSet(set);
+  for (auto _ : state) {
+    auto nf = flat ? EstimateNeighborhoodFunction(flat_set, threads)
+                   : EstimateNeighborhoodFunction(set, threads);
+    benchmark::DoNotOptimize(&nf);
+  }
+}
+BENCHMARK(BM_NeighborhoodFunctionStorage)
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({1, 2})
+    ->Args({1, 4})
+    ->Args({1, 8})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace hipads
 
-BENCHMARK_MAIN();
+// Records a machine-readable baseline next to the working directory unless
+// the caller passes its own --benchmark_out.
+int main(int argc, char** argv) {
+  hipads::BenchArgs args(argc, argv, "BENCH_ads_build.json");
+  benchmark::Initialize(&args.argc, args.argv());
+  if (benchmark::ReportUnrecognizedArguments(args.argc, args.argv())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

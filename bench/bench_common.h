@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <vector>
 
 namespace hipads {
 
@@ -23,6 +24,45 @@ inline bool QuickMode(int argc, char** argv) {
 inline uint32_t ScaledRuns(uint32_t runs, bool quick) {
   return quick ? (runs + 9) / 10 : runs;
 }
+
+/// Argv wrapper that injects google-benchmark's JSON output flags unless
+/// the caller already passed --benchmark_out. Used by benches that record a
+/// machine-readable baseline (e.g. bench_ads_build -> BENCH_ads_build.json):
+///
+///   int main(int argc, char** argv) {
+///     hipads::BenchArgs args(argc, argv, "BENCH_ads_build.json");
+///     benchmark::Initialize(&args.argc, args.argv());
+///     ...
+///   }
+class BenchArgs {
+ public:
+  BenchArgs(int argc_in, char** argv_in, const std::string& default_json_out)
+      : argc(argc_in) {
+    bool has_out = false;
+    for (int i = 0; i < argc_in; ++i) {
+      args_.emplace_back(argv_in[i]);
+      if (std::strcmp(argv_in[i], "--benchmark_out") == 0 ||
+          std::strncmp(argv_in[i], "--benchmark_out=", 16) == 0) {
+        has_out = true;
+      }
+    }
+    if (!has_out && !default_json_out.empty()) {
+      args_.push_back("--benchmark_out=" + default_json_out);
+      args_.push_back("--benchmark_out_format=json");
+    }
+    for (std::string& s : args_) ptrs_.push_back(s.data());
+    ptrs_.push_back(nullptr);
+    argc = static_cast<int>(args_.size());
+  }
+
+  char** argv() { return ptrs_.data(); }
+
+  int argc;
+
+ private:
+  std::vector<std::string> args_;
+  std::vector<char*> ptrs_;
+};
 
 }  // namespace hipads
 

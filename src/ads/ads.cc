@@ -11,52 +11,53 @@ Ads::Ads(std::vector<AdsEntry> entries) : entries_(std::move(entries)) {
   std::sort(entries_.begin(), entries_.end(), AdsEntryCloser);
 }
 
-bool Ads::Contains(NodeId node) const {
+bool AdsView::Contains(NodeId node) const {
+  // Entries are sorted by (dist, node), so node ids alone are unordered and
+  // a membership probe has to scan; the entries are contiguous, so this is
+  // a cache-linear pass. Not a hot path (estimators never call it).
   for (const AdsEntry& e : entries_) {
     if (e.node == node) return true;
   }
   return false;
 }
 
-double Ads::DistanceOf(NodeId node) const {
+double AdsView::DistanceOf(NodeId node) const {
   for (const AdsEntry& e : entries_) {
     if (e.node == node) return e.dist;
   }
   return -1.0;
 }
 
-size_t Ads::CountWithin(double d) const {
-  size_t c = 0;
-  for (const AdsEntry& e : entries_) {
-    if (e.dist > d) break;
-    ++c;
-  }
-  return c;
+size_t AdsView::CountWithin(double d) const {
+  // Distances are sorted ascending: the count is the upper-bound position.
+  auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), d,
+      [](double value, const AdsEntry& e) { return value < e.dist; });
+  return static_cast<size_t>(it - entries_.begin());
 }
 
-BottomKSketch Ads::BottomKAt(double d, uint32_t k, double sup) const {
+BottomKSketch AdsView::BottomKAt(double d, uint32_t k, double sup) const {
   BottomKSketch sketch(k, sup);
-  for (const AdsEntry& e : entries_) {
-    if (e.dist > d) break;
-    sketch.Update(e.rank);
-  }
+  size_t count = CountWithin(d);
+  for (size_t i = 0; i < count; ++i) sketch.Update(entries_[i].rank);
   return sketch;
 }
 
-KMinsSketch Ads::KMinsAt(double d, uint32_t k, double sup) const {
+KMinsSketch AdsView::KMinsAt(double d, uint32_t k, double sup) const {
   KMinsSketch sketch(k, sup);
-  for (const AdsEntry& e : entries_) {
-    if (e.dist > d) break;
-    sketch.Update(e.part, e.rank);
+  size_t count = CountWithin(d);
+  for (size_t i = 0; i < count; ++i) {
+    sketch.Update(entries_[i].part, entries_[i].rank);
   }
   return sketch;
 }
 
-KPartitionSketch Ads::KPartitionAt(double d, uint32_t k, double sup) const {
+KPartitionSketch AdsView::KPartitionAt(double d, uint32_t k,
+                                       double sup) const {
   KPartitionSketch sketch(k, sup);
-  for (const AdsEntry& e : entries_) {
-    if (e.dist > d) break;
-    sketch.Update(e.part, e.rank);
+  size_t count = CountWithin(d);
+  for (size_t i = 0; i < count; ++i) {
+    sketch.Update(entries_[i].part, entries_[i].rank);
   }
   return sketch;
 }
@@ -111,6 +112,26 @@ uint64_t AdsSet::TotalEntries() const {
   uint64_t total = 0;
   for (const Ads& a : ads) total += a.size();
   return total;
+}
+
+void ReserveExpectedAdsSize(std::vector<std::vector<AdsEntry>>& out,
+                            uint32_t k, SketchFlavor flavor) {
+  uint64_t n = out.size();
+  double expected = 0.0;
+  switch (flavor) {
+    case SketchFlavor::kBottomK:
+      expected = ExpectedBottomKAdsSize(k, n);
+      break;
+    case SketchFlavor::kKMins:
+      // k independent bottom-1 passes: k * H_n expected entries.
+      expected = k * ExpectedBottomKAdsSize(1, n);
+      break;
+    case SketchFlavor::kKPartition:
+      expected = ExpectedKPartitionAdsSize(k, n);
+      break;
+  }
+  size_t capacity = static_cast<size_t>(expected) + 1;
+  for (auto& entries : out) entries.reserve(capacity);
 }
 
 double ExpectedBottomKAdsSize(uint32_t k, uint64_t n) {

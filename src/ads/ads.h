@@ -17,6 +17,7 @@
 #define HIPADS_ADS_ADS_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
@@ -46,29 +47,28 @@ inline bool AdsEntryCloser(const AdsEntry& a, const AdsEntry& b) {
   return a.part < b.part;
 }
 
-/// The ADS of a single node.
-class Ads {
+/// Non-owning read view of one node's ADS: a span of entries in canonical
+/// (distance, node id) order. This is the common query surface shared by the
+/// owning per-node container (Ads) and the flat CSR arena (FlatAdsSet); all
+/// estimators consume it, so sketches never have to be copied out of
+/// whichever storage holds them.
+class AdsView {
  public:
-  Ads() = default;
+  AdsView() = default;
+  explicit AdsView(std::span<const AdsEntry> entries) : entries_(entries) {}
 
-  /// Wraps entries, sorting them into canonical order.
-  explicit Ads(std::vector<AdsEntry> entries);
-
-  const std::vector<AdsEntry>& entries() const { return entries_; }
+  std::span<const AdsEntry> entries() const { return entries_; }
   size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
 
-  /// Appends an entry that is known to follow all current entries in
-  /// canonical order (builders emit entries in scan order).
-  void Append(const AdsEntry& e) { entries_.push_back(e); }
-
-  /// True if `node` appears in the sketch (any part).
+  /// True if `node` appears in the sketch (any part). Linear: entries are
+  /// ordered by (dist, node), which admits no binary search on node alone.
   bool Contains(NodeId node) const;
 
-  /// Distance of `node`, or -1 if absent.
+  /// Distance of `node`, or -1 if absent. Linear, like Contains.
   double DistanceOf(NodeId node) const;
 
-  /// Number of entries with dist <= d.
+  /// Number of entries with dist <= d. Binary search over the sorted dists.
   size_t CountWithin(double d) const;
 
   /// The bottom-k MinHash sketch of N_d(owner) contained in this ADS
@@ -81,6 +81,53 @@ class Ads {
 
   /// k-partition MinHash sketch of N_d(owner); valid for k-partition flavor.
   KPartitionSketch KPartitionAt(double d, uint32_t k, double sup = 1.0) const;
+
+ private:
+  std::span<const AdsEntry> entries_;
+};
+
+/// The ADS of a single node (owning container).
+class Ads {
+ public:
+  Ads() = default;
+
+  /// Wraps entries, sorting them into canonical order.
+  explicit Ads(std::vector<AdsEntry> entries);
+
+  const std::vector<AdsEntry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Read view of this ADS (the interface all estimators consume).
+  AdsView view() const { return AdsView(entries_); }
+
+  /// Appends an entry that is known to follow all current entries in
+  /// canonical order (builders emit entries in scan order).
+  void Append(const AdsEntry& e) { entries_.push_back(e); }
+
+  /// True if `node` appears in the sketch (any part).
+  bool Contains(NodeId node) const { return view().Contains(node); }
+
+  /// Distance of `node`, or -1 if absent.
+  double DistanceOf(NodeId node) const { return view().DistanceOf(node); }
+
+  /// Number of entries with dist <= d (binary search).
+  size_t CountWithin(double d) const { return view().CountWithin(d); }
+
+  /// See AdsView::BottomKAt.
+  BottomKSketch BottomKAt(double d, uint32_t k, double sup = 1.0) const {
+    return view().BottomKAt(d, k, sup);
+  }
+
+  /// See AdsView::KMinsAt.
+  KMinsSketch KMinsAt(double d, uint32_t k, double sup = 1.0) const {
+    return view().KMinsAt(d, k, sup);
+  }
+
+  /// See AdsView::KPartitionAt.
+  KPartitionSketch KPartitionAt(double d, uint32_t k, double sup = 1.0) const {
+    return view().KPartitionAt(d, k, sup);
+  }
 
   /// Re-derives the canonical bottom-k ADS content from any superset of
   /// candidate entries: scans in (dist, rank) order keeping an entry iff its
@@ -108,6 +155,7 @@ struct AdsSet {
   RankAssignment ranks = RankAssignment::Uniform(0);
   std::vector<Ads> ads;  // indexed by node id
 
+  size_t num_nodes() const { return ads.size(); }
   const Ads& of(NodeId v) const { return ads[v]; }
   /// Total number of entries across all nodes.
   uint64_t TotalEntries() const;
@@ -116,6 +164,13 @@ struct AdsSet {
 /// Expected bottom-k ADS size k + k(H_n - H_k) for n reachable nodes
 /// (Lemma 2.2).
 double ExpectedBottomKAdsSize(uint32_t k, uint64_t n);
+
+/// Reserves each per-node builder output vector at the Lemma 2.2 expected
+/// final ADS size for `flavor` (plus one margin entry), cutting the
+/// reallocation churn of growing n vectors entry by entry. Vectors still
+/// grow past the reservation when a node's sketch lands above expectation.
+void ReserveExpectedAdsSize(std::vector<std::vector<AdsEntry>>& out,
+                            uint32_t k, SketchFlavor flavor);
 
 /// Expected k-partition ADS size ~ k (H_{n/k}) ~ k ln(n/k) (Lemma 2.2).
 double ExpectedKPartitionAdsSize(uint32_t k, uint64_t n);

@@ -9,10 +9,10 @@
 
 #include <algorithm>
 #include <cassert>
-#include <thread>
 #include <unordered_set>
 
 #include "ads/builders.h"
+#include "util/parallel.h"
 
 namespace hipads {
 
@@ -91,13 +91,14 @@ void RunDpPass(const Graph& gt, uint32_t k, uint32_t part, uint32_t perm,
 // frontier, application over contiguous target ranges of the sorted
 // candidate array, so every target's state is owned by exactly one thread
 // per round. Applying candidates in the same (target, node) order as the
-// sequential pass makes the output bit-identical.
+// sequential pass makes the output bit-identical. Rounds run on the shared
+// ThreadPool (spawned once per build, not per round).
 void RunDpPassParallel(const Graph& gt, uint32_t k, uint32_t part,
                        uint32_t perm, const RankAssignment& ranks,
-                       const std::vector<bool>* is_source,
-                       uint32_t num_threads,
+                       const std::vector<bool>* is_source, ThreadPool& pool,
                        std::vector<std::vector<AdsEntry>>& out,
                        AdsBuildStats* stats) {
+  const uint32_t num_threads = pool.num_threads();
   NodeId n = gt.num_nodes();
   std::vector<BottomKSketch> threshold(n, BottomKSketch(k, ranks.sup()));
   // Per-target membership: within a round each target is touched by one
@@ -123,23 +124,16 @@ void RunDpPassParallel(const Graph& gt, uint32_t k, uint32_t part,
 
     // Phase A: generate candidates, sharded over the frontier.
     std::vector<std::vector<Candidate>> shard_out(num_threads);
-    {
-      std::vector<std::thread> workers;
-      size_t chunk = (frontier.size() + num_threads - 1) / num_threads;
-      for (uint32_t t = 0; t < num_threads; ++t) {
-        size_t begin = std::min(frontier.size(), t * chunk);
-        size_t end = std::min(frontier.size(), begin + chunk);
-        workers.emplace_back([&, t, begin, end]() {
-          for (size_t i = begin; i < end; ++i) {
-            const Candidate& f = frontier[i];
-            for (const Arc& a : gt.OutArcs(f.target)) {
-              shard_out[t].push_back(Candidate{a.head, f.node, f.rank});
-            }
-          }
-        });
-      }
-      for (auto& w : workers) w.join();
-    }
+    pool.ParallelFor(frontier.size(),
+                     [&](size_t begin, size_t end, uint32_t t) {
+                       for (size_t i = begin; i < end; ++i) {
+                         const Candidate& f = frontier[i];
+                         for (const Arc& a : gt.OutArcs(f.target)) {
+                           shard_out[t].push_back(
+                               Candidate{a.head, f.node, f.rank});
+                         }
+                       }
+                     });
     candidates.clear();
     for (auto& shard : shard_out) {
       if (stats != nullptr) stats->relaxations += shard.size();
@@ -157,7 +151,6 @@ void RunDpPassParallel(const Graph& gt, uint32_t k, uint32_t part,
     std::vector<std::vector<Candidate>> next_frontier(num_threads);
     std::vector<uint64_t> inserted(num_threads, 0);
     {
-      std::vector<std::thread> workers;
       size_t chunk = (candidates.size() + num_threads - 1) / num_threads;
       // Align shard boundaries to target changes so no target spans two
       // shards.
@@ -171,21 +164,17 @@ void RunDpPassParallel(const Graph& gt, uint32_t k, uint32_t part,
         bounds.push_back(std::max(b, bounds.back()));
       }
       bounds.push_back(candidates.size());
-      for (uint32_t t = 0; t < num_threads; ++t) {
-        size_t begin = bounds[t], end = bounds[t + 1];
-        workers.emplace_back([&, t, begin, end]() {
-          for (size_t i = begin; i < end; ++i) {
-            const Candidate& c = candidates[i];
-            if (c.rank >= threshold[c.target].Threshold()) continue;
-            if (!member[c.target].insert(c.node).second) continue;
-            out[c.target].push_back(AdsEntry{c.node, part, c.rank, d});
-            threshold[c.target].Update(c.rank);
-            next_frontier[t].push_back(c);
-            ++inserted[t];
-          }
-        });
-      }
-      for (auto& w : workers) w.join();
+      pool.ParallelRanges(bounds, [&](size_t begin, size_t end, uint32_t t) {
+        for (size_t i = begin; i < end; ++i) {
+          const Candidate& c = candidates[i];
+          if (c.rank >= threshold[c.target].Threshold()) continue;
+          if (!member[c.target].insert(c.node).second) continue;
+          out[c.target].push_back(AdsEntry{c.node, part, c.rank, d});
+          threshold[c.target].Update(c.rank);
+          next_frontier[t].push_back(c);
+          ++inserted[t];
+        }
+      });
     }
     for (uint32_t t = 0; t < num_threads; ++t) {
       if (stats != nullptr) stats->insertions += inserted[t];
@@ -202,22 +191,19 @@ AdsSet BuildAdsDpParallel(const Graph& g, uint32_t k, SketchFlavor flavor,
                           AdsBuildStats* stats) {
   assert(k >= 1);
   assert(g.IsUnitWeight() && "the DP builder requires an unweighted graph");
-  if (num_threads == 0) {
-    num_threads = std::max(1u, std::thread::hardware_concurrency());
-  }
+  ThreadPool pool(num_threads);
   Graph gt = g.Transpose();
   NodeId n = g.num_nodes();
   std::vector<std::vector<AdsEntry>> out(n);
+  ReserveExpectedAdsSize(out, k, flavor);
 
   switch (flavor) {
     case SketchFlavor::kBottomK:
-      RunDpPassParallel(gt, k, 0, 0, ranks, nullptr, num_threads, out,
-                        stats);
+      RunDpPassParallel(gt, k, 0, 0, ranks, nullptr, pool, out, stats);
       break;
     case SketchFlavor::kKMins:
       for (uint32_t p = 0; p < k; ++p) {
-        RunDpPassParallel(gt, 1, p, p, ranks, nullptr, num_threads, out,
-                          stats);
+        RunDpPassParallel(gt, 1, p, p, ranks, nullptr, pool, out, stats);
       }
       break;
     case SketchFlavor::kKPartition:
@@ -226,8 +212,7 @@ AdsSet BuildAdsDpParallel(const Graph& g, uint32_t k, SketchFlavor flavor,
         for (NodeId v = 0; v < n; ++v) {
           in_bucket[v] = BucketHash(ranks.seed(), v, k) == h;
         }
-        RunDpPassParallel(gt, 1, h, 0, ranks, &in_bucket, num_threads, out,
-                          stats);
+        RunDpPassParallel(gt, 1, h, 0, ranks, &in_bucket, pool, out, stats);
       }
       break;
   }
@@ -248,6 +233,7 @@ AdsSet BuildAdsDp(const Graph& g, uint32_t k, SketchFlavor flavor,
   Graph gt = g.Transpose();
   NodeId n = g.num_nodes();
   std::vector<std::vector<AdsEntry>> out(n);
+  ReserveExpectedAdsSize(out, k, flavor);
 
   switch (flavor) {
     case SketchFlavor::kBottomK:

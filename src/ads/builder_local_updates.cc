@@ -167,6 +167,7 @@ AdsSet BuildAdsLocalUpdates(const Graph& g, uint32_t k, SketchFlavor flavor,
   Graph gt = g.Transpose();
   NodeId n = g.num_nodes();
   std::vector<std::vector<AdsEntry>> out(n);
+  ReserveExpectedAdsSize(out, k, flavor);
 
   switch (flavor) {
     case SketchFlavor::kBottomK:

@@ -7,11 +7,25 @@
 // (distance, node id) order, and the search can be pruned at v otherwise
 // (anything beyond v is farther still). Every inserted entry is final:
 // later-processed nodes have larger ranks and cannot displace it.
+//
+// The parallel variant batches sources into windows of increasing rank
+// (window sizes grow geometrically, so the pruning state is at most "one
+// doubling" stale). Within a window every source runs its pruned Dijkstra
+// against the frozen state of all previous windows — a weaker pruning test,
+// so the search emits a superset of the true entries as candidates — and a
+// deterministic per-target merge then replays the sequential inclusion rule
+// over the candidates in rank order. Since the replay applies exactly the
+// test the sequential builder would have applied with exactly the same key
+// state, the accepted entries (and even their insertion order) match the
+// sequential builder entry for entry; see the window-stability argument in
+// README.md's threading-model section.
 
+#include <algorithm>
 #include <cassert>
 #include <queue>
 
 #include "ads/builders.h"
+#include "util/parallel.h"
 
 namespace hipads {
 
@@ -88,6 +102,146 @@ void RunPass(const Graph& gt, uint32_t k, uint32_t part, uint32_t perm,
   }
 }
 
+// A candidate entry emitted by a frozen-state window Dijkstra: source
+// `widx` (index into the window, i.e. rank order) reached `target` at
+// distance `dist`. (target, widx) pairs are unique within a window.
+struct WindowCandidate {
+  NodeId target;
+  uint32_t widx;
+  double dist;
+};
+
+// Parallel counterpart of RunPass (rank-window batching). Window w of
+// geometrically growing size is processed in two barrier-separated phases:
+//   A. every window source runs a pruned Dijkstra against the *frozen*
+//      keys[] of previous windows (read-only, so threads share it safely),
+//      emitting WindowCandidates; sources are dealt to threads round-robin
+//      (source w -> thread w % T) because earlier (smaller-rank) sources
+//      explore more.
+//   B. candidates are sorted by (target, widx) and split into
+//      target-aligned shards; each shard replays the sequential inclusion
+//      test per candidate in rank order, mutating only its own targets'
+//      keys[v] / out[v].
+// Both phases decompose by index, never by thread identity, so the result
+// is independent of scheduling; the replay makes it equal to RunPass.
+void RunPassParallel(const Graph& gt, uint32_t k, uint32_t part,
+                     uint32_t perm, const RankAssignment& ranks,
+                     const std::vector<NodeId>& sources_by_rank,
+                     std::vector<std::vector<AdsEntry>>& out,
+                     std::vector<std::vector<LexKey>>& keys,
+                     std::vector<Scratch>& scratch, ThreadPool& pool,
+                     AdsBuildStats* stats) {
+  const uint32_t num_threads = pool.num_threads();
+  const size_t num_sources = sources_by_rank.size();
+  // First window = max(T, k) sources: the k cheapest unpruned searches cost
+  // about what the sequential builder pays for them anyway, and windows
+  // then double, bounding total extra exploration by a constant factor.
+  const size_t first_window =
+      std::max<size_t>(num_threads, std::max<uint32_t>(k, 1));
+
+  std::vector<std::vector<WindowCandidate>> thread_cands(num_threads);
+  std::vector<uint64_t> thread_relax(num_threads);
+  std::vector<WindowCandidate> candidates;
+  std::vector<double> window_ranks;
+
+  size_t pos = 0;
+  while (pos < num_sources) {
+    const size_t window =
+        std::min(num_sources - pos, std::max(first_window, pos));
+    const NodeId* window_sources = sources_by_rank.data() + pos;
+    window_ranks.resize(window);
+    for (size_t w = 0; w < window; ++w) {
+      window_ranks[w] = ranks.rank(window_sources[w], perm);
+    }
+
+    // Phase A: frozen-state pruned Dijkstras, candidates per thread.
+    pool.RunTasks(num_threads, [&](size_t t) {
+      std::vector<WindowCandidate>& cands = thread_cands[t];
+      cands.clear();
+      Scratch& sc = scratch[t];
+      uint64_t relax = 0;
+      std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>>
+          heap;
+      for (size_t w = t; w < window; w += num_threads) {
+        NodeId u = window_sources[w];
+        sc.NewEpoch();
+        heap.push({0.0, u});
+        sc.Set(u, 0.0);
+        while (!heap.empty()) {
+          auto [d, v] = heap.top();
+          heap.pop();
+          if (sc.dist[v] < d) continue;  // stale
+          const std::vector<LexKey>& kl = keys[v];
+          LexKey key{d, u};
+          auto it = std::lower_bound(kl.begin(), kl.end(), key);
+          if (static_cast<size_t>(it - kl.begin()) >= k) continue;  // prune
+          cands.push_back(
+              WindowCandidate{v, static_cast<uint32_t>(w), d});
+          relax += gt.OutDegree(v);
+          for (const Arc& a : gt.OutArcs(v)) {
+            double nd = d + a.weight;
+            if (!sc.Seen(a.head) || nd < sc.dist[a.head]) {
+              sc.Set(a.head, nd);
+              heap.push({nd, a.head});
+            }
+          }
+        }
+      }
+      thread_relax[t] = relax;
+    });
+
+    candidates.clear();
+    for (uint32_t t = 0; t < num_threads; ++t) {
+      if (stats != nullptr) stats->relaxations += thread_relax[t];
+      candidates.insert(candidates.end(), thread_cands[t].begin(),
+                        thread_cands[t].end());
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const WindowCandidate& a, const WindowCandidate& b) {
+                if (a.target != b.target) return a.target < b.target;
+                return a.widx < b.widx;
+              });
+
+    // Phase B: replay the sequential inclusion rule per target, sharded
+    // over target-aligned candidate ranges.
+    std::vector<size_t> bounds = {0};
+    size_t chunk = (candidates.size() + num_threads - 1) / num_threads;
+    for (uint32_t t = 1; t < num_threads; ++t) {
+      size_t b = std::min(candidates.size(), t * chunk);
+      while (b < candidates.size() && b > 0 &&
+             candidates[b].target == candidates[b - 1].target) {
+        ++b;
+      }
+      bounds.push_back(std::max(b, bounds.back()));
+    }
+    bounds.push_back(candidates.size());
+    std::vector<uint64_t> inserted(num_threads + 1, 0);
+    pool.ParallelRanges(bounds, [&](size_t begin, size_t end, uint32_t t) {
+      uint64_t ins = 0;
+      for (size_t i = begin; i < end; ++i) {
+        const WindowCandidate& c = candidates[i];
+        NodeId u = window_sources[c.widx];
+        std::vector<LexKey>& kl = keys[c.target];
+        LexKey key{c.dist, u};
+        auto it = std::lower_bound(kl.begin(), kl.end(), key);
+        if (static_cast<size_t>(it - kl.begin()) >= k) continue;
+        kl.insert(it, key);
+        out[c.target].push_back(
+            AdsEntry{u, part, window_ranks[c.widx], c.dist});
+        ++ins;
+      }
+      inserted[t] = ins;
+    });
+    if (stats != nullptr) {
+      for (uint32_t t = 0; t <= num_threads; ++t) {
+        stats->insertions += inserted[t];
+      }
+      ++stats->rounds;
+    }
+    pos += window;
+  }
+}
+
 std::vector<NodeId> SortedByRank(const Graph& g, const RankAssignment& ranks,
                                  uint32_t perm,
                                  const std::vector<NodeId>* subset) {
@@ -113,6 +267,7 @@ AdsSet BuildAdsPrunedDijkstra(const Graph& g, uint32_t k, SketchFlavor flavor,
   Graph gt = g.Transpose();
   NodeId n = g.num_nodes();
   std::vector<std::vector<AdsEntry>> out(n);
+  ReserveExpectedAdsSize(out, k, flavor);
   Scratch scratch(n);
 
   switch (flavor) {
@@ -144,6 +299,66 @@ AdsSet BuildAdsPrunedDijkstra(const Graph& g, uint32_t k, SketchFlavor flavor,
         std::vector<NodeId> order = SortedByRank(g, ranks, 0, &buckets[h]);
         RunPass(gt, 1, /*part=*/h, /*perm=*/0, ranks, order, out, dist_lists,
                 scratch, stats);
+      }
+      break;
+    }
+  }
+
+  AdsSet set;
+  set.flavor = flavor;
+  set.k = k;
+  set.ranks = ranks;
+  set.ads.reserve(n);
+  for (NodeId v = 0; v < n; ++v) set.ads.emplace_back(std::move(out[v]));
+  return set;
+}
+
+AdsSet BuildAdsPrunedDijkstraParallel(const Graph& g, uint32_t k,
+                                      SketchFlavor flavor,
+                                      const RankAssignment& ranks,
+                                      uint32_t num_threads,
+                                      AdsBuildStats* stats) {
+  assert(k >= 1);
+  if (num_threads == 0) num_threads = HardwareThreads();
+  if (num_threads == 1) {
+    // One thread gains nothing from window batching but would pay its
+    // weaker pruning; the sequential builder is the 1-thread fast path.
+    return BuildAdsPrunedDijkstra(g, k, flavor, ranks, stats);
+  }
+  Graph gt = g.Transpose();
+  NodeId n = g.num_nodes();
+  std::vector<std::vector<AdsEntry>> out(n);
+  ReserveExpectedAdsSize(out, k, flavor);
+  ThreadPool pool(num_threads);
+  std::vector<Scratch> scratch(pool.num_threads(), Scratch(n));
+
+  switch (flavor) {
+    case SketchFlavor::kBottomK: {
+      std::vector<std::vector<LexKey>> dist_lists(n);
+      std::vector<NodeId> order = SortedByRank(g, ranks, 0, nullptr);
+      RunPassParallel(gt, k, /*part=*/0, /*perm=*/0, ranks, order, out,
+                      dist_lists, scratch, pool, stats);
+      break;
+    }
+    case SketchFlavor::kKMins: {
+      for (uint32_t p = 0; p < k; ++p) {
+        std::vector<std::vector<LexKey>> dist_lists(n);
+        std::vector<NodeId> order = SortedByRank(g, ranks, p, nullptr);
+        RunPassParallel(gt, 1, /*part=*/p, /*perm=*/p, ranks, order, out,
+                        dist_lists, scratch, pool, stats);
+      }
+      break;
+    }
+    case SketchFlavor::kKPartition: {
+      std::vector<std::vector<NodeId>> buckets(k);
+      for (NodeId v = 0; v < n; ++v) {
+        buckets[BucketHash(ranks.seed(), v, k)].push_back(v);
+      }
+      for (uint32_t h = 0; h < k; ++h) {
+        std::vector<std::vector<LexKey>> dist_lists(n);
+        std::vector<NodeId> order = SortedByRank(g, ranks, 0, &buckets[h]);
+        RunPassParallel(gt, 1, /*part=*/h, /*perm=*/0, ranks, order, out,
+                        dist_lists, scratch, pool, stats);
       }
       break;
     }

@@ -43,6 +43,25 @@ AdsSet BuildAdsPrunedDijkstra(const Graph& g, uint32_t k, SketchFlavor flavor,
                               const RankAssignment& ranks,
                               AdsBuildStats* stats = nullptr);
 
+/// BuildAdsPrunedDijkstra with rank-window batching: sources are processed
+/// in windows of increasing rank; within a window, independent pruned
+/// Dijkstras run on per-thread scratch against the (frozen) sketch state of
+/// all previous windows, then the candidate entries are merged per target
+/// by replaying the canonical bottom-k inclusion rule in rank order. The
+/// frozen-state pruning is weaker than the sequential builder's (a bounded
+/// amount of extra exploration, the price of parallelism), but the merge
+/// replays the exact sequential decisions, so the output is bit-identical
+/// to BuildAdsPrunedDijkstra for all flavors and rank kinds. `num_threads`
+/// = 0 uses the hardware count; 1 falls back to the sequential builder.
+/// `stats->relaxations` counts the parallel run's actual (larger)
+/// exploration; insertions match the sequential builder; `rounds` counts
+/// windows.
+AdsSet BuildAdsPrunedDijkstraParallel(const Graph& g, uint32_t k,
+                                      SketchFlavor flavor,
+                                      const RankAssignment& ranks,
+                                      uint32_t num_threads = 0,
+                                      AdsBuildStats* stats = nullptr);
+
 /// Dynamic-programming builder; requires unit arc weights.
 AdsSet BuildAdsDp(const Graph& g, uint32_t k, SketchFlavor flavor,
                   const RankAssignment& ranks, AdsBuildStats* stats = nullptr);

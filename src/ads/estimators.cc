@@ -8,7 +8,7 @@
 
 namespace hipads {
 
-HipEstimator::HipEstimator(const Ads& ads, uint32_t k, SketchFlavor flavor,
+HipEstimator::HipEstimator(AdsView ads, uint32_t k, SketchFlavor flavor,
                            const RankAssignment& ranks)
     : entries_(ComputeHipWeights(ads, k, flavor, ranks)) {
   cumulative_.reserve(entries_.size());
@@ -76,7 +76,7 @@ double HipEstimator::DistanceQuantile(double q) const {
   return entries_[idx].dist;
 }
 
-double AdsBasicCardinality(const Ads& ads, double d, uint32_t k,
+double AdsBasicCardinality(AdsView ads, double d, uint32_t k,
                            SketchFlavor flavor, double sup) {
   switch (flavor) {
     case SketchFlavor::kBottomK:
@@ -97,7 +97,7 @@ double SizeEstimatorValue(uint64_t s, uint32_t k) {
          1.0;
 }
 
-double AdsSizeCardinality(const Ads& ads, double d, uint32_t k) {
+double AdsSizeCardinality(AdsView ads, double d, uint32_t k) {
   return SizeEstimatorValue(ads.CountWithin(d), k);
 }
 

@@ -29,8 +29,14 @@ namespace hipads {
 /// O(|ADS|) (general statistics).
 class HipEstimator {
  public:
-  HipEstimator(const Ads& ads, uint32_t k, SketchFlavor flavor,
+  /// Works off either storage layout: an AdsView over the per-node vectors
+  /// of an AdsSet or over a slice of a FlatAdsSet arena.
+  HipEstimator(AdsView ads, uint32_t k, SketchFlavor flavor,
                const RankAssignment& ranks);
+
+  HipEstimator(const Ads& ads, uint32_t k, SketchFlavor flavor,
+               const RankAssignment& ranks)
+      : HipEstimator(ads.view(), k, flavor, ranks) {}
 
   /// Estimate of the d-neighborhood cardinality n_d = |N_d(v)| — the sum of
   /// adjusted weights of sketched nodes within distance d (Section 5).
@@ -76,8 +82,13 @@ class HipEstimator {
 /// Basic (pre-HIP) neighborhood cardinality estimate: the Section 4
 /// estimator of the ADS's flavor applied to the extracted MinHash sketch of
 /// N_d(v). Requires uniform ranks.
-double AdsBasicCardinality(const Ads& ads, double d, uint32_t k,
+double AdsBasicCardinality(AdsView ads, double d, uint32_t k,
                            SketchFlavor flavor, double sup = 1.0);
+
+inline double AdsBasicCardinality(const Ads& ads, double d, uint32_t k,
+                                  SketchFlavor flavor, double sup = 1.0) {
+  return AdsBasicCardinality(ads.view(), d, k, flavor, sup);
+}
 
 /// The unique unbiased cardinality estimator based only on the number of
 /// ADS entries within distance d (Lemma 8.1):
@@ -86,7 +97,11 @@ double AdsBasicCardinality(const Ads& ads, double d, uint32_t k,
 double SizeEstimatorValue(uint64_t s, uint32_t k);
 
 /// Applies SizeEstimatorValue to |{entries with dist <= d}|.
-double AdsSizeCardinality(const Ads& ads, double d, uint32_t k);
+double AdsSizeCardinality(AdsView ads, double d, uint32_t k);
+
+inline double AdsSizeCardinality(const Ads& ads, double d, uint32_t k) {
+  return AdsSizeCardinality(ads.view(), d, k);
+}
 
 /// Section 5.4 permutation cardinality estimator. The ADS must have been
 /// built with RankAssignment::Permutation over all n nodes (bottom-k

@@ -31,7 +31,7 @@ double InclusionProbability(double tau, double beta, RankKind kind) {
   return 1.0;
 }
 
-std::vector<HipEntry> BottomKHip(const Ads& ads, uint32_t k,
+std::vector<HipEntry> BottomKHip(AdsView ads, uint32_t k,
                                  const RankAssignment& ranks) {
   std::vector<HipEntry> result;
   result.reserve(ads.size());
@@ -46,12 +46,12 @@ std::vector<HipEntry> BottomKHip(const Ads& ads, uint32_t k,
   return result;
 }
 
-std::vector<HipEntry> KMinsHip(const Ads& ads, uint32_t k,
+std::vector<HipEntry> KMinsHip(AdsView ads, uint32_t k,
                                const RankAssignment& ranks) {
   // Group same-node entries (one per permutation) so each node gets a single
   // adjusted weight; nodes are processed in order of their first (lowest
   // rank) entry, which fixes the tie-broken "closer" order.
-  const auto& entries = ads.entries();
+  const auto entries = ads.entries();
   struct Group {
     NodeId node;
     double dist;
@@ -99,7 +99,7 @@ std::vector<HipEntry> KMinsHip(const Ads& ads, uint32_t k,
   return result;
 }
 
-std::vector<HipEntry> KPartitionHip(const Ads& ads, uint32_t k,
+std::vector<HipEntry> KPartitionHip(AdsView ads, uint32_t k,
                                     const RankAssignment& ranks) {
   std::vector<HipEntry> result;
   result.reserve(ads.size());
@@ -137,7 +137,7 @@ std::vector<HipEntry> KPartitionHip(const Ads& ads, uint32_t k,
 
 }  // namespace
 
-std::vector<HipEntry> ComputeHipWeights(const Ads& ads, uint32_t k,
+std::vector<HipEntry> ComputeHipWeights(AdsView ads, uint32_t k,
                                         SketchFlavor flavor,
                                         const RankAssignment& ranks) {
   assert(ranks.kind() != RankKind::kPermutation);
@@ -152,7 +152,7 @@ std::vector<HipEntry> ComputeHipWeights(const Ads& ads, uint32_t k,
   return {};
 }
 
-std::vector<HipEntry> ComputeModifiedHipWeights(const Ads& ads, uint32_t k,
+std::vector<HipEntry> ComputeModifiedHipWeights(AdsView ads, uint32_t k,
                                                 double sup) {
   // Scan distance groups, maintaining the bottom-k sketch of all member
   // ranks within the current ball. The threshold for every member of a
@@ -162,7 +162,7 @@ std::vector<HipEntry> ComputeModifiedHipWeights(const Ads& ads, uint32_t k,
   std::vector<HipEntry> result;
   result.reserve(ads.size());
   BottomKSketch ball(k, sup);
-  const auto& entries = ads.entries();
+  const auto entries = ads.entries();
   size_t i = 0;
   while (i < entries.size()) {
     size_t j = i;

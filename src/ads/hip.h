@@ -37,13 +37,20 @@ struct HipEntry {
   double weight;  ///< adjusted weight a = 1/tau (presence estimate).
 };
 
-/// Computes HIP adjusted weights for every node of `ads`, in increasing
+/// Computes HIP adjusted weights for every node of an ADS (given as a view
+/// over its canonical-order entries — either storage layout), in increasing
 /// distance order. `k`, `flavor` and `ranks` must match the parameters the
 /// ADS was built with. Works for uniform, base-b and exponential ranks
 /// (permutation ranks use the dedicated permutation estimator instead).
-std::vector<HipEntry> ComputeHipWeights(const Ads& ads, uint32_t k,
+std::vector<HipEntry> ComputeHipWeights(AdsView ads, uint32_t k,
                                         SketchFlavor flavor,
                                         const RankAssignment& ranks);
+
+inline std::vector<HipEntry> ComputeHipWeights(const Ads& ads, uint32_t k,
+                                               SketchFlavor flavor,
+                                               const RankAssignment& ranks) {
+  return ComputeHipWeights(ads.view(), k, flavor, ranks);
+}
 
 /// HIP adjusted weights for an Appendix-A modified bottom-k ADS (built by
 /// Ads::ModifiedBottomK, uniform ranks). A member is "sampled" iff its
@@ -51,8 +58,14 @@ std::vector<HipEntry> ComputeHipWeights(const Ads& ads, uint32_t k,
 /// adjusted weight is the inverse of that threshold, and a member holding
 /// exactly the kth smallest rank carries weight 0 (Appendix A). Unbiased
 /// with CV at most 1/sqrt(k-2).
-std::vector<HipEntry> ComputeModifiedHipWeights(const Ads& ads, uint32_t k,
+std::vector<HipEntry> ComputeModifiedHipWeights(AdsView ads, uint32_t k,
                                                 double sup = 1.0);
+
+inline std::vector<HipEntry> ComputeModifiedHipWeights(const Ads& ads,
+                                                       uint32_t k,
+                                                       double sup = 1.0) {
+  return ComputeModifiedHipWeights(ads.view(), k, sup);
+}
 
 }  // namespace hipads
 

@@ -3,22 +3,73 @@
 #include <algorithm>
 
 #include "ads/estimators.h"
+#include "util/parallel.h"
 
 namespace hipads {
 
-std::map<double, double> EstimateDistanceDistribution(const AdsSet& set) {
+namespace {
+
+// Nodes per parallel block for the distribution accumulators: large enough
+// to amortize scheduling, small enough to bound the buffered per-node HIP
+// entry lists (a block's buffers are reduced and freed before the next
+// block starts).
+constexpr size_t kDistributionBlock = 4096;
+
+AdsView ViewOf(const AdsSet& set, NodeId v) { return set.of(v).view(); }
+AdsView ViewOf(const FlatAdsSet& set, NodeId v) { return set.of(v); }
+
+// Per-node map: result[v] = fn(HipEstimator of node v). Independent outputs
+// indexed by node, so any thread count produces identical results.
+template <typename SetT, typename Fn>
+std::vector<double> PerNodeEstimate(const SetT& set, uint32_t num_threads,
+                                    const Fn& fn) {
+  std::vector<double> result(set.num_nodes());
+  ThreadPool pool(num_threads);
+  pool.ParallelFor(set.num_nodes(), [&](size_t begin, size_t end, uint32_t) {
+    for (size_t v = begin; v < end; ++v) {
+      HipEstimator est(ViewOf(set, static_cast<NodeId>(v)), set.k,
+                       set.flavor, set.ranks);
+      result[v] = fn(est);
+    }
+  });
+  return result;
+}
+
+// Distance distribution: HIP weighting is computed in parallel per block,
+// but blocks and nodes within a block are reduced into the histogram in
+// node order, so the floating-point accumulation order (and hence the
+// result, bitwise) is independent of the thread count.
+template <typename SetT>
+std::map<double, double> DistanceDistributionImpl(const SetT& set,
+                                                  uint32_t num_threads) {
   std::map<double, double> hist;
-  for (NodeId v = 0; v < set.ads.size(); ++v) {
-    HipEstimator est(set.of(v), set.k, set.flavor, set.ranks);
-    for (const HipEntry& e : est.entries()) {
-      if (e.dist > 0.0) hist[e.dist] += e.weight;
+  ThreadPool pool(num_threads);
+  size_t n = set.num_nodes();
+  std::vector<std::vector<HipEntry>> block_entries(
+      std::min(n, kDistributionBlock));
+  for (size_t block = 0; block < n; block += kDistributionBlock) {
+    size_t block_end = std::min(n, block + kDistributionBlock);
+    pool.ParallelFor(block_end - block,
+                     [&](size_t begin, size_t end, uint32_t) {
+                       for (size_t i = begin; i < end; ++i) {
+                         NodeId v = static_cast<NodeId>(block + i);
+                         block_entries[i] = ComputeHipWeights(
+                             ViewOf(set, v), set.k, set.flavor, set.ranks);
+                       }
+                     });
+    for (size_t i = 0; i < block_end - block; ++i) {
+      for (const HipEntry& e : block_entries[i]) {
+        if (e.dist > 0.0) hist[e.dist] += e.weight;
+      }
     }
   }
   return hist;
 }
 
-std::map<double, double> EstimateNeighborhoodFunction(const AdsSet& set) {
-  std::map<double, double> hist = EstimateDistanceDistribution(set);
+template <typename SetT>
+std::map<double, double> NeighborhoodFunctionImpl(const SetT& set,
+                                                  uint32_t num_threads) {
+  std::map<double, double> hist = DistanceDistributionImpl(set, num_threads);
   double running = 0.0;
   for (auto& [d, value] : hist) {
     running += value;
@@ -27,49 +78,8 @@ std::map<double, double> EstimateNeighborhoodFunction(const AdsSet& set) {
   return hist;
 }
 
-std::vector<double> EstimateClosenessAll(
-    const AdsSet& set, const std::function<double(double)>& alpha,
-    const std::function<double(NodeId)>& beta) {
-  std::vector<double> result;
-  result.reserve(set.ads.size());
-  for (NodeId v = 0; v < set.ads.size(); ++v) {
-    HipEstimator est(set.of(v), set.k, set.flavor, set.ranks);
-    result.push_back(est.Closeness(alpha, beta));
-  }
-  return result;
-}
-
-std::vector<double> EstimateDistanceSumAll(const AdsSet& set) {
-  std::vector<double> result;
-  result.reserve(set.ads.size());
-  for (NodeId v = 0; v < set.ads.size(); ++v) {
-    HipEstimator est(set.of(v), set.k, set.flavor, set.ranks);
-    result.push_back(est.DistanceSum());
-  }
-  return result;
-}
-
-std::vector<double> EstimateHarmonicCentralityAll(const AdsSet& set) {
-  std::vector<double> result;
-  result.reserve(set.ads.size());
-  for (NodeId v = 0; v < set.ads.size(); ++v) {
-    HipEstimator est(set.of(v), set.k, set.flavor, set.ranks);
-    result.push_back(est.HarmonicCentrality());
-  }
-  return result;
-}
-
-std::vector<double> EstimateNeighborhoodSizeAll(const AdsSet& set, double d) {
-  std::vector<double> result;
-  result.reserve(set.ads.size());
-  for (NodeId v = 0; v < set.ads.size(); ++v) {
-    HipEstimator est(set.of(v), set.k, set.flavor, set.ranks);
-    result.push_back(est.NeighborhoodCardinality(d));
-  }
-  return result;
-}
-
-double EstimateEffectiveDiameter(const AdsSet& set, double quantile) {
+template <typename SetT>
+double EffectiveDiameterImpl(const SetT& set, double quantile) {
   auto nf = EstimateNeighborhoodFunction(set);
   if (nf.empty()) return 0.0;
   double total = nf.rbegin()->second;
@@ -79,13 +89,125 @@ double EstimateEffectiveDiameter(const AdsSet& set, double quantile) {
   return nf.rbegin()->first;
 }
 
-double EstimateMeanDistance(const AdsSet& set) {
+template <typename SetT>
+double MeanDistanceImpl(const SetT& set) {
   double weight = 0.0, weighted_dist = 0.0;
   for (const auto& [d, pairs] : EstimateDistanceDistribution(set)) {
     weight += pairs;
     weighted_dist += d * pairs;
   }
   return weight > 0.0 ? weighted_dist / weight : 0.0;
+}
+
+}  // namespace
+
+std::map<double, double> EstimateDistanceDistribution(const AdsSet& set,
+                                                      uint32_t num_threads) {
+  return DistanceDistributionImpl(set, num_threads);
+}
+
+std::map<double, double> EstimateDistanceDistribution(const FlatAdsSet& set,
+                                                      uint32_t num_threads) {
+  return DistanceDistributionImpl(set, num_threads);
+}
+
+std::map<double, double> EstimateNeighborhoodFunction(const AdsSet& set,
+                                                      uint32_t num_threads) {
+  return NeighborhoodFunctionImpl(set, num_threads);
+}
+
+std::map<double, double> EstimateNeighborhoodFunction(const FlatAdsSet& set,
+                                                      uint32_t num_threads) {
+  return NeighborhoodFunctionImpl(set, num_threads);
+}
+
+std::vector<double> EstimateClosenessAll(
+    const AdsSet& set, const std::function<double(double)>& alpha,
+    const std::function<double(NodeId)>& beta, uint32_t num_threads) {
+  return PerNodeEstimate(set, num_threads, [&](const HipEstimator& est) {
+    return est.Closeness(alpha, beta);
+  });
+}
+
+std::vector<double> EstimateClosenessAll(
+    const FlatAdsSet& set, const std::function<double(double)>& alpha,
+    const std::function<double(NodeId)>& beta, uint32_t num_threads) {
+  return PerNodeEstimate(set, num_threads, [&](const HipEstimator& est) {
+    return est.Closeness(alpha, beta);
+  });
+}
+
+std::vector<double> EstimateDistanceSumAll(const AdsSet& set,
+                                           uint32_t num_threads) {
+  return PerNodeEstimate(set, num_threads, [](const HipEstimator& est) {
+    return est.DistanceSum();
+  });
+}
+
+std::vector<double> EstimateDistanceSumAll(const FlatAdsSet& set,
+                                           uint32_t num_threads) {
+  return PerNodeEstimate(set, num_threads, [](const HipEstimator& est) {
+    return est.DistanceSum();
+  });
+}
+
+std::vector<double> EstimateHarmonicCentralityAll(const AdsSet& set,
+                                                  uint32_t num_threads) {
+  return PerNodeEstimate(set, num_threads, [](const HipEstimator& est) {
+    return est.HarmonicCentrality();
+  });
+}
+
+std::vector<double> EstimateHarmonicCentralityAll(const FlatAdsSet& set,
+                                                  uint32_t num_threads) {
+  return PerNodeEstimate(set, num_threads, [](const HipEstimator& est) {
+    return est.HarmonicCentrality();
+  });
+}
+
+std::vector<double> EstimateNeighborhoodSizeAll(const AdsSet& set, double d,
+                                                uint32_t num_threads) {
+  return PerNodeEstimate(set, num_threads, [d](const HipEstimator& est) {
+    return est.NeighborhoodCardinality(d);
+  });
+}
+
+std::vector<double> EstimateNeighborhoodSizeAll(const FlatAdsSet& set,
+                                                double d,
+                                                uint32_t num_threads) {
+  return PerNodeEstimate(set, num_threads, [d](const HipEstimator& est) {
+    return est.NeighborhoodCardinality(d);
+  });
+}
+
+std::vector<double> EstimateReachableCountAll(const AdsSet& set,
+                                              uint32_t num_threads) {
+  return PerNodeEstimate(set, num_threads, [](const HipEstimator& est) {
+    return est.ReachableCount();
+  });
+}
+
+std::vector<double> EstimateReachableCountAll(const FlatAdsSet& set,
+                                              uint32_t num_threads) {
+  return PerNodeEstimate(set, num_threads, [](const HipEstimator& est) {
+    return est.ReachableCount();
+  });
+}
+
+double EstimateEffectiveDiameter(const AdsSet& set, double quantile) {
+  return EffectiveDiameterImpl(set, quantile);
+}
+
+double EstimateEffectiveDiameter(const FlatAdsSet& set, double quantile) {
+  return EffectiveDiameterImpl(set, quantile);
+}
+
+double EstimateMeanDistance(const AdsSet& set) {
+  return MeanDistanceImpl(set);
+}
+
+double EstimateMeanDistance(const FlatAdsSet& set) {
+  return MeanDistanceImpl(set);
 }
 
 std::vector<NodeId> TopKNodes(const std::vector<double>& scores,

@@ -2,6 +2,14 @@
 // distribution / neighbourhood function, all-nodes centrality sweeps, and
 // top-k centrality selection. These are the workloads that motivated ADSs
 // (paper Section 1) packaged over the HIP estimators.
+//
+// Every query accepts either storage layout — the per-node-vector AdsSet or
+// the flat CSR arena FlatAdsSet; the flat arena is the fast path (one
+// linear sweep over contiguous memory). The per-node estimator loops are
+// embarrassingly parallel and run on the shared ThreadPool: `num_threads`
+// = 0 uses the hardware count, 1 runs inline. Results are bit-identical for
+// every thread count — per-node outputs are independent, and the
+// distribution accumulators always reduce per-node results in node order.
 
 #ifndef HIPADS_ADS_QUERIES_H_
 #define HIPADS_ADS_QUERIES_H_
@@ -11,6 +19,7 @@
 #include <vector>
 
 #include "ads/ads.h"
+#include "ads/flat_ads.h"
 
 namespace hipads {
 
@@ -18,26 +27,51 @@ namespace hipads {
 /// some sketch, N(d) = estimated number of ordered pairs (u,v) with
 /// d(u,v) <= d, v != u. This is what ANF/hyperANF compute; with HIP weights
 /// the estimate is unbiased and strictly more accurate (Appendix B.1).
-std::map<double, double> EstimateNeighborhoodFunction(const AdsSet& set);
+std::map<double, double> EstimateNeighborhoodFunction(
+    const AdsSet& set, uint32_t num_threads = 0);
+std::map<double, double> EstimateNeighborhoodFunction(
+    const FlatAdsSet& set, uint32_t num_threads = 0);
 
 /// Estimated distance distribution: number of ordered pairs at each exact
 /// distance (the increments of the neighbourhood function).
-std::map<double, double> EstimateDistanceDistribution(const AdsSet& set);
+std::map<double, double> EstimateDistanceDistribution(
+    const AdsSet& set, uint32_t num_threads = 0);
+std::map<double, double> EstimateDistanceDistribution(
+    const FlatAdsSet& set, uint32_t num_threads = 0);
 
 /// HIP estimates of C_{alpha,beta} for every node (Eq. 3).
 std::vector<double> EstimateClosenessAll(
     const AdsSet& set, const std::function<double(double)>& alpha,
-    const std::function<double(NodeId)>& beta);
+    const std::function<double(NodeId)>& beta, uint32_t num_threads = 0);
+std::vector<double> EstimateClosenessAll(
+    const FlatAdsSet& set, const std::function<double(double)>& alpha,
+    const std::function<double(NodeId)>& beta, uint32_t num_threads = 0);
 
 /// HIP estimates of the sum of distances (inverse classic closeness
 /// centrality) for every node.
-std::vector<double> EstimateDistanceSumAll(const AdsSet& set);
+std::vector<double> EstimateDistanceSumAll(const AdsSet& set,
+                                           uint32_t num_threads = 0);
+std::vector<double> EstimateDistanceSumAll(const FlatAdsSet& set,
+                                           uint32_t num_threads = 0);
 
 /// HIP estimates of harmonic centrality for every node.
-std::vector<double> EstimateHarmonicCentralityAll(const AdsSet& set);
+std::vector<double> EstimateHarmonicCentralityAll(const AdsSet& set,
+                                                  uint32_t num_threads = 0);
+std::vector<double> EstimateHarmonicCentralityAll(const FlatAdsSet& set,
+                                                  uint32_t num_threads = 0);
 
 /// HIP estimates of the d-neighborhood cardinality for every node.
-std::vector<double> EstimateNeighborhoodSizeAll(const AdsSet& set, double d);
+std::vector<double> EstimateNeighborhoodSizeAll(const AdsSet& set, double d,
+                                                uint32_t num_threads = 0);
+std::vector<double> EstimateNeighborhoodSizeAll(const FlatAdsSet& set,
+                                                double d,
+                                                uint32_t num_threads = 0);
+
+/// HIP estimates of the reachable-set size for every node.
+std::vector<double> EstimateReachableCountAll(const AdsSet& set,
+                                              uint32_t num_threads = 0);
+std::vector<double> EstimateReachableCountAll(const FlatAdsSet& set,
+                                              uint32_t num_threads = 0);
 
 /// Node ids of the `count` largest values in `scores`, descending.
 std::vector<NodeId> TopKNodes(const std::vector<double>& scores,
@@ -48,9 +82,12 @@ std::vector<NodeId> TopKNodes(const std::vector<double>& scores,
 /// conventional choice; the "four degrees of separation" style statistic
 /// computed by HyperBall/hyperANF). Returns 0 for an empty set.
 double EstimateEffectiveDiameter(const AdsSet& set, double quantile = 0.9);
+double EstimateEffectiveDiameter(const FlatAdsSet& set,
+                                 double quantile = 0.9);
 
 /// Estimated mean distance between reachable ordered pairs.
 double EstimateMeanDistance(const AdsSet& set);
+double EstimateMeanDistance(const FlatAdsSet& set);
 
 }  // namespace hipads
 

@@ -1,5 +1,6 @@
 #include "ads/serialize.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
@@ -52,9 +53,10 @@ const char* RankKindName(RankKind kind) {
   return "?";
 }
 
-}  // namespace
-
-std::string SerializeAdsSet(const AdsSet& set) {
+// Shared serializer body: works for both storage layouts (set.of(v) yields
+// an Ads or an AdsView; both expose size() and entries()).
+template <typename SetT>
+std::string SerializeAnySet(const SetT& set) {
   std::ostringstream os;
   char buf[128];
   os << kMagic << '\n';
@@ -80,9 +82,9 @@ std::string SerializeAdsSet(const AdsSet& set) {
       break;
   }
   os << '\n';
-  os << "nodes " << set.ads.size() << '\n';
-  for (NodeId v = 0; v < set.ads.size(); ++v) {
-    const Ads& ads = set.of(v);
+  os << "nodes " << set.num_nodes() << '\n';
+  for (NodeId v = 0; v < set.num_nodes(); ++v) {
+    const auto& ads = set.of(v);
     os << v << ' ' << ads.size() << '\n';
     for (const AdsEntry& e : ads.entries()) {
       std::snprintf(buf, sizeof(buf), "%u %u %.17g %.17g\n", e.node, e.part,
@@ -93,7 +95,85 @@ std::string SerializeAdsSet(const AdsSet& set) {
   return os.str();
 }
 
+// Parses everything up to and including the "nodes" line into the header
+// fields shared by both set representations.
+struct ParsedHeader {
+  SketchFlavor flavor = SketchFlavor::kBottomK;
+  uint32_t k = 0;
+  RankAssignment ranks = RankAssignment::Uniform(0);
+  uint64_t num_nodes = 0;
+};
+
+Status ParseHeader(std::istream& in, std::function<double(uint64_t)> beta,
+                   ParsedHeader* out) {
+  std::string line, word;
+  if (!std::getline(in, line) || line != kMagic) {
+    return Status::Corruption("missing hipads-ads-v1 header");
+  }
+  std::string flavor_name;
+  if (!(in >> word >> flavor_name) || word != "flavor" ||
+      !ParseFlavor(flavor_name, &out->flavor)) {
+    return Status::Corruption("bad flavor line");
+  }
+  if (!(in >> word >> out->k) || word != "k" || out->k == 0) {
+    return Status::Corruption("bad k line");
+  }
+  std::string kind_name;
+  if (!(in >> word >> kind_name) || word != "ranks") {
+    return Status::Corruption("bad ranks line");
+  }
+  if (kind_name == "uniform") {
+    uint64_t seed;
+    if (!(in >> seed)) return Status::Corruption("bad uniform seed");
+    out->ranks = RankAssignment::Uniform(seed);
+  } else if (kind_name == "base-b") {
+    uint64_t seed;
+    double base;
+    if (!(in >> seed >> base) || base <= 1.0) {
+      return Status::Corruption("bad base-b parameters");
+    }
+    out->ranks = RankAssignment::BaseB(seed, base);
+  } else if (kind_name == "exponential" || kind_name == "priority") {
+    uint64_t seed;
+    if (!(in >> seed)) return Status::Corruption("bad weighted-rank seed");
+    if (beta == nullptr) {
+      return Status::InvalidArgument(
+          "weighted-rank (exponential/priority) ADS sets require the beta "
+          "function at load time");
+    }
+    out->ranks = kind_name == "exponential"
+                     ? RankAssignment::Exponential(seed, std::move(beta))
+                     : RankAssignment::Priority(seed, std::move(beta));
+  } else if (kind_name == "permutation") {
+    return Status::InvalidArgument(
+        "permutation-rank ADS sets are not round-trippable; store the "
+        "permutation separately");
+  } else {
+    return Status::Corruption("unknown rank kind " + kind_name);
+  }
+  if (!(in >> word >> out->num_nodes) || word != "nodes") {
+    return Status::Corruption("bad nodes line");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string SerializeAdsSet(const AdsSet& set) { return SerializeAnySet(set); }
+
+std::string SerializeAdsSet(const FlatAdsSet& set) {
+  return SerializeAnySet(set);
+}
+
 Status WriteAdsSetFile(const AdsSet& set, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  f << SerializeAdsSet(set);
+  if (!f.good()) return Status::IOError("write failed for " + path);
+  return Status::Ok();
+}
+
+Status WriteAdsSetFile(const FlatAdsSet& set, const std::string& path) {
   std::ofstream f(path);
   if (!f) return Status::IOError("cannot open " + path + " for writing");
   f << SerializeAdsSet(set);
@@ -104,63 +184,18 @@ Status WriteAdsSetFile(const AdsSet& set, const std::string& path) {
 StatusOr<AdsSet> ParseAdsSet(const std::string& text,
                              std::function<double(uint64_t)> beta) {
   std::istringstream in(text);
-  std::string line, word;
-
-  if (!std::getline(in, line) || line != kMagic) {
-    return Status::Corruption("missing hipads-ads-v1 header");
-  }
+  ParsedHeader header;
+  Status s = ParseHeader(in, std::move(beta), &header);
+  if (!s.ok()) return s;
 
   AdsSet set;
-  std::string flavor_name;
-  if (!(in >> word >> flavor_name) || word != "flavor" ||
-      !ParseFlavor(flavor_name, &set.flavor)) {
-    return Status::Corruption("bad flavor line");
-  }
-  if (!(in >> word >> set.k) || word != "k" || set.k == 0) {
-    return Status::Corruption("bad k line");
-  }
-  std::string kind_name;
-  if (!(in >> word >> kind_name) || word != "ranks") {
-    return Status::Corruption("bad ranks line");
-  }
-  if (kind_name == "uniform") {
-    uint64_t seed;
-    if (!(in >> seed)) return Status::Corruption("bad uniform seed");
-    set.ranks = RankAssignment::Uniform(seed);
-  } else if (kind_name == "base-b") {
-    uint64_t seed;
-    double base;
-    if (!(in >> seed >> base) || base <= 1.0) {
-      return Status::Corruption("bad base-b parameters");
-    }
-    set.ranks = RankAssignment::BaseB(seed, base);
-  } else if (kind_name == "exponential" || kind_name == "priority") {
-    uint64_t seed;
-    if (!(in >> seed)) return Status::Corruption("bad weighted-rank seed");
-    if (beta == nullptr) {
-      return Status::InvalidArgument(
-          "weighted-rank (exponential/priority) ADS sets require the beta "
-          "function at load time");
-    }
-    set.ranks = kind_name == "exponential"
-                    ? RankAssignment::Exponential(seed, std::move(beta))
-                    : RankAssignment::Priority(seed, std::move(beta));
-  } else if (kind_name == "permutation") {
-    return Status::InvalidArgument(
-        "permutation-rank ADS sets are not round-trippable; store the "
-        "permutation separately");
-  } else {
-    return Status::Corruption("unknown rank kind " + kind_name);
-  }
-
-  uint64_t num_nodes;
-  if (!(in >> word >> num_nodes) || word != "nodes") {
-    return Status::Corruption("bad nodes line");
-  }
-  set.ads.resize(num_nodes);
-  for (uint64_t i = 0; i < num_nodes; ++i) {
+  set.flavor = header.flavor;
+  set.k = header.k;
+  set.ranks = header.ranks;
+  set.ads.resize(header.num_nodes);
+  for (uint64_t i = 0; i < header.num_nodes; ++i) {
     uint64_t v, count;
-    if (!(in >> v >> count) || v >= num_nodes) {
+    if (!(in >> v >> count) || v >= header.num_nodes) {
       return Status::Corruption("bad node header at index " +
                                 std::to_string(i));
     }
@@ -183,6 +218,80 @@ StatusOr<AdsSet> ParseAdsSet(const std::string& text,
   return set;
 }
 
+StatusOr<FlatAdsSet> ParseFlatAdsSet(const std::string& text,
+                                     std::function<double(uint64_t)> beta) {
+  std::istringstream in(text);
+  ParsedHeader header;
+  Status s = ParseHeader(in, std::move(beta), &header);
+  if (!s.ok()) return s;
+
+  FlatAdsSet set;
+  set.flavor = header.flavor;
+  set.k = header.k;
+  set.ranks = header.ranks;
+
+  // Node blocks may appear in any order in the file; entries land in the
+  // arena in file order, with per-node (start, count) recorded so the CSR
+  // can be assembled afterwards. The common case (node-id order, which is
+  // what SerializeAdsSet writes) needs no rearrangement.
+  uint64_t n = header.num_nodes;
+  constexpr uint64_t kUnset = ~0ULL;
+  std::vector<uint64_t> start_of(n, kUnset), count_of(n, 0);
+  std::vector<AdsEntry> arena;
+  bool in_order = true;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t v, count;
+    if (!(in >> v >> count) || v >= n) {
+      return Status::Corruption("bad node header at index " +
+                                std::to_string(i));
+    }
+    if (start_of[v] != kUnset) {
+      return Status::Corruption("duplicate node block for node " +
+                                std::to_string(v));
+    }
+    if (v != i) in_order = false;
+    start_of[v] = arena.size();
+    count_of[v] = count;
+    for (uint64_t e = 0; e < count; ++e) {
+      AdsEntry entry;
+      if (!(in >> entry.node >> entry.part >> entry.rank >> entry.dist)) {
+        return Status::Corruption("truncated entries for node " +
+                                  std::to_string(v));
+      }
+      if (entry.part >= set.k || entry.dist < 0.0) {
+        return Status::Corruption("invalid entry for node " +
+                                  std::to_string(v));
+      }
+      arena.push_back(entry);
+    }
+  }
+
+  set.offsets.reserve(n + 1);
+  if (in_order) {
+    set.entries = std::move(arena);
+    for (uint64_t v = 0; v < n; ++v) {
+      set.offsets.push_back(set.offsets.back() + count_of[v]);
+    }
+  } else {
+    set.entries.reserve(arena.size());
+    for (uint64_t v = 0; v < n; ++v) {
+      set.entries.insert(set.entries.end(),
+                         arena.begin() + static_cast<int64_t>(start_of[v]),
+                         arena.begin() +
+                             static_cast<int64_t>(start_of[v] + count_of[v]));
+      set.offsets.push_back(set.entries.size());
+    }
+  }
+  // Files are not required to store entries in canonical order; restore it
+  // per node (a no-op for writer-produced files).
+  for (uint64_t v = 0; v < n; ++v) {
+    std::sort(set.entries.begin() + static_cast<int64_t>(set.offsets[v]),
+              set.entries.begin() + static_cast<int64_t>(set.offsets[v + 1]),
+              AdsEntryCloser);
+  }
+  return set;
+}
+
 StatusOr<AdsSet> ReadAdsSetFile(const std::string& path,
                                 std::function<double(uint64_t)> beta) {
   std::ifstream f(path);
@@ -190,6 +299,15 @@ StatusOr<AdsSet> ReadAdsSetFile(const std::string& path,
   std::ostringstream buf;
   buf << f.rdbuf();
   return ParseAdsSet(buf.str(), std::move(beta));
+}
+
+StatusOr<FlatAdsSet> ReadFlatAdsSetFile(const std::string& path,
+                                        std::function<double(uint64_t)> beta) {
+  std::ifstream f(path);
+  if (!f) return Status::IOError("cannot open " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return ParseFlatAdsSet(buf.str(), std::move(beta));
 }
 
 }  // namespace hipads

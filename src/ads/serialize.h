@@ -19,15 +19,20 @@
 #include <string>
 
 #include "ads/ads.h"
+#include "ads/flat_ads.h"
 #include "util/status.h"
 
 namespace hipads {
 
-/// Serializes `set` into the hipads-ads-v1 text format.
+/// Serializes `set` into the hipads-ads-v1 text format. Both storage
+/// layouts emit byte-identical output for the same sketches, so files are
+/// freely interchangeable between the two loaders.
 std::string SerializeAdsSet(const AdsSet& set);
+std::string SerializeAdsSet(const FlatAdsSet& set);
 
 /// Writes SerializeAdsSet(set) to `path`.
 Status WriteAdsSetFile(const AdsSet& set, const std::string& path);
+Status WriteAdsSetFile(const FlatAdsSet& set, const std::string& path);
 
 /// Parses the hipads-ads-v1 format. For sets built with exponential ranks,
 /// `beta` must be the same function used at build time (checked against
@@ -36,8 +41,19 @@ StatusOr<AdsSet> ParseAdsSet(
     const std::string& text,
     std::function<double(uint64_t)> beta = nullptr);
 
+/// Parses the hipads-ads-v1 format directly into the flat CSR arena: the
+/// serve-path loader (two big allocations instead of one per node).
+StatusOr<FlatAdsSet> ParseFlatAdsSet(
+    const std::string& text,
+    std::function<double(uint64_t)> beta = nullptr);
+
 /// Reads an ADS-set file written by WriteAdsSetFile.
 StatusOr<AdsSet> ReadAdsSetFile(
+    const std::string& path,
+    std::function<double(uint64_t)> beta = nullptr);
+
+/// Reads an ADS-set file directly into a FlatAdsSet.
+StatusOr<FlatAdsSet> ReadFlatAdsSetFile(
     const std::string& path,
     std::function<double(uint64_t)> beta = nullptr);
 

@@ -1,0 +1,96 @@
+// A small fixed-size thread pool with deterministic work decomposition.
+//
+// All parallelism in hipads flows through this pool: the parallel ADS
+// builders (rank-window pruned Dijkstra, round-sharded DP) and the
+// embarrassingly-parallel whole-graph estimator loops. Work is always
+// decomposed into an explicit, input-dependent-only list of tasks (static
+// chunks or target-aligned ranges), so which thread executes a task never
+// affects any output — the property the bit-identical builder guarantees
+// rest on. Threads are spawned once and reused across rounds/windows,
+// avoiding the per-round std::thread churn of a naive implementation.
+
+#ifndef HIPADS_UTIL_PARALLEL_H_
+#define HIPADS_UTIL_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hipads {
+
+/// Number of hardware threads, at least 1.
+uint32_t HardwareThreads();
+
+/// Fixed-size pool. The calling thread participates in every batch, so a
+/// pool of T threads holds T-1 workers; a pool of 1 runs everything inline.
+class ThreadPool {
+ public:
+  /// `num_threads` = 0 uses HardwareThreads().
+  explicit ThreadPool(uint32_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  uint32_t num_threads() const { return num_threads_; }
+
+  /// Runs task(0) .. task(count-1) across the pool and blocks until all
+  /// complete. Tasks are claimed dynamically (atomic counter), so outputs
+  /// must be indexed by task id, never by thread. Not reentrant: a task
+  /// must not submit work to the same pool.
+  void RunTasks(size_t count, const std::function<void(size_t)>& task);
+
+  /// Splits [0, n) into num_threads() contiguous chunks (the same static
+  /// decomposition for a given (n, num_threads)) and runs
+  /// fn(begin, end, chunk_index) for each non-empty chunk. Blocks until done.
+  void ParallelFor(size_t n,
+                   const std::function<void(size_t, size_t, uint32_t)>& fn);
+
+  /// Runs fn(bounds[i], bounds[i+1], i) for every consecutive pair of
+  /// `bounds` (a non-decreasing partition of an index range) with a
+  /// non-empty range. Used where chunk boundaries must align with data
+  /// boundaries (e.g. one ADS target never spans two chunks).
+  void ParallelRanges(const std::vector<size_t>& bounds,
+                      const std::function<void(size_t, size_t, uint32_t)>& fn);
+
+  /// Dynamic-schedule variant of ParallelFor for irregular work: [0, n) is
+  /// cut into ceil(n/grain) blocks claimed greedily. fn(begin, end,
+  /// block_index); outputs must be indexed by block, not thread.
+  void ParallelForDynamic(
+      size_t n, size_t grain,
+      const std::function<void(size_t, size_t, size_t)>& fn);
+
+ private:
+  // One RunTasks invocation. Heap-allocated and shared with workers so a
+  // worker that wakes late only ever sees a fully-published, immutable
+  // batch (its atomics are the only mutable state); draining an already
+  // finished batch is a no-op.
+  struct Batch {
+    const std::function<void(size_t)>* task = nullptr;
+    size_t count = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+  };
+
+  void WorkerLoop();
+  void Drain(Batch& batch);
+
+  uint32_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait for a new batch
+  std::condition_variable done_cv_;  // RunTasks waits for completion
+  uint64_t generation_ = 0;          // batch sequence number, guarded by mu_
+  bool stop_ = false;                // guarded by mu_
+  std::shared_ptr<Batch> batch_;     // guarded by mu_
+};
+
+}  // namespace hipads
+
+#endif  // HIPADS_UTIL_PARALLEL_H_

@@ -1,0 +1,269 @@
+// Determinism suite for the parallel ADS machinery: the rank-window
+// pruned-Dijkstra builder and the round-sharded DP builder must produce
+// entry-for-entry (bit-identical) copies of their sequential counterparts
+// for every thread count, flavor, seed, and weighted/unweighted graph; the
+// flat CSR storage and the parallel estimator loops must be exact
+// re-packagings of the per-node-vector results.
+
+#include "ads/builders.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "ads/flat_ads.h"
+#include "ads/queries.h"
+#include "ads/serialize.h"
+#include "graph/generators.h"
+#include "util/parallel.h"
+
+namespace hipads {
+namespace {
+
+// Exact (bitwise) comparison: the parallel builders replay the sequential
+// inclusion decisions, so even the floating-point dist/rank values must
+// match to the last bit, not just to a tolerance.
+void ExpectIdenticalAdsSet(const AdsSet& a, const AdsSet& b,
+                           const std::string& label) {
+  ASSERT_EQ(a.ads.size(), b.ads.size()) << label;
+  for (NodeId v = 0; v < a.ads.size(); ++v) {
+    const auto& ea = a.of(v).entries();
+    const auto& eb = b.of(v).entries();
+    ASSERT_EQ(ea.size(), eb.size()) << label << " node " << v;
+    for (size_t i = 0; i < ea.size(); ++i) {
+      EXPECT_EQ(ea[i].node, eb[i].node) << label << " node " << v << " #" << i;
+      EXPECT_EQ(ea[i].part, eb[i].part) << label << " node " << v << " #" << i;
+      EXPECT_EQ(ea[i].rank, eb[i].rank) << label << " node " << v << " #" << i;
+      EXPECT_EQ(ea[i].dist, eb[i].dist) << label << " node " << v << " #" << i;
+    }
+  }
+}
+
+std::vector<SketchFlavor> AllFlavors() {
+  return {SketchFlavor::kBottomK, SketchFlavor::kKMins,
+          SketchFlavor::kKPartition};
+}
+
+const char* FlavorName(SketchFlavor flavor) {
+  switch (flavor) {
+    case SketchFlavor::kBottomK:
+      return "bottom-k";
+    case SketchFlavor::kKMins:
+      return "k-mins";
+    case SketchFlavor::kKPartition:
+      return "k-partition";
+  }
+  return "?";
+}
+
+struct TestGraph {
+  std::string name;
+  Graph g;
+};
+
+std::vector<TestGraph> TestGraphs() {
+  std::vector<TestGraph> graphs;
+  graphs.push_back({"er-unweighted",
+                    ErdosRenyi(120, 480, /*undirected=*/true, 7)});
+  graphs.push_back(
+      {"er-weighted", RandomizeWeights(
+                          ErdosRenyi(120, 480, /*undirected=*/true, 7),
+                          0.5, 2.0, 3)});
+  graphs.push_back({"ba", BarabasiAlbert(150, 3, 11)});
+  graphs.push_back({"grid", Grid2D(9, 9)});
+  graphs.push_back({"er-directed-weighted",
+                    RandomizeWeights(
+                        ErdosRenyi(100, 500, /*undirected=*/false, 13),
+                        0.1, 5.0, 17)});
+  return graphs;
+}
+
+TEST(ParallelPrunedDijkstraTest, BitIdenticalAcrossThreadCounts) {
+  for (const TestGraph& tg : TestGraphs()) {
+    for (SketchFlavor flavor : AllFlavors()) {
+      for (uint64_t seed : {1ULL, 42ULL}) {
+        auto ranks = RankAssignment::Uniform(seed);
+        AdsSet reference =
+            BuildAdsPrunedDijkstra(tg.g, 4, flavor, ranks);
+        for (uint32_t threads : {1u, 2u, 8u}) {
+          AdsSet parallel = BuildAdsPrunedDijkstraParallel(
+              tg.g, 4, flavor, ranks, threads);
+          ExpectIdenticalAdsSet(
+              reference, parallel,
+              tg.name + " " + FlavorName(flavor) + " seed " +
+                  std::to_string(seed) + " threads " +
+                  std::to_string(threads));
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelPrunedDijkstraTest, BitIdenticalWithBaseBRanks) {
+  Graph g = RandomizeWeights(ErdosRenyi(100, 400, true, 5), 0.5, 2.0, 9);
+  auto ranks = RankAssignment::BaseB(3, 2.0);
+  AdsSet reference =
+      BuildAdsPrunedDijkstra(g, 4, SketchFlavor::kBottomK, ranks);
+  for (uint32_t threads : {2u, 8u}) {
+    AdsSet parallel = BuildAdsPrunedDijkstraParallel(
+        g, 4, SketchFlavor::kBottomK, ranks, threads);
+    ExpectIdenticalAdsSet(reference, parallel,
+                          "base-b threads " + std::to_string(threads));
+  }
+}
+
+TEST(ParallelPrunedDijkstraTest, InsertionCountMatchesSequential) {
+  // The frozen-state searches explore more (relaxations grow) but accept
+  // exactly the sequential entries.
+  Graph g = RandomizeWeights(ErdosRenyi(150, 600, true, 21), 0.5, 2.0, 2);
+  auto ranks = RankAssignment::Uniform(4);
+  AdsBuildStats seq_stats, par_stats;
+  AdsSet reference = BuildAdsPrunedDijkstra(g, 8, SketchFlavor::kBottomK,
+                                            ranks, &seq_stats);
+  AdsSet parallel = BuildAdsPrunedDijkstraParallel(
+      g, 8, SketchFlavor::kBottomK, ranks, 4, &par_stats);
+  ExpectIdenticalAdsSet(reference, parallel, "stats run");
+  EXPECT_EQ(seq_stats.insertions, par_stats.insertions);
+  EXPECT_EQ(seq_stats.insertions, reference.TotalEntries());
+  EXPECT_GE(par_stats.relaxations, seq_stats.relaxations);
+  EXPECT_GT(par_stats.rounds, 0u);
+}
+
+TEST(ParallelDpTest, BitIdenticalAcrossThreadCounts) {
+  for (const TestGraph& tg : TestGraphs()) {
+    if (!tg.g.IsUnitWeight()) continue;
+    for (SketchFlavor flavor : AllFlavors()) {
+      for (uint64_t seed : {1ULL, 42ULL}) {
+        auto ranks = RankAssignment::Uniform(seed);
+        AdsSet reference = BuildAdsDp(tg.g, 4, flavor, ranks);
+        for (uint32_t threads : {1u, 2u, 8u}) {
+          AdsSet parallel =
+              BuildAdsDpParallel(tg.g, 4, flavor, ranks, threads);
+          ExpectIdenticalAdsSet(
+              reference, parallel,
+              tg.name + " " + FlavorName(flavor) + " seed " +
+                  std::to_string(seed) + " threads " +
+                  std::to_string(threads));
+        }
+      }
+    }
+  }
+}
+
+TEST(FlatAdsSetTest, RoundTripsThroughFlatStorage) {
+  Graph g = ErdosRenyi(80, 320, true, 3);
+  auto ranks = RankAssignment::Uniform(1);
+  AdsSet set = BuildAdsPrunedDijkstra(g, 4, SketchFlavor::kBottomK, ranks);
+  FlatAdsSet flat = FlatAdsSet::FromAdsSet(set);
+
+  ASSERT_EQ(flat.num_nodes(), set.num_nodes());
+  EXPECT_EQ(flat.TotalEntries(), set.TotalEntries());
+  for (NodeId v = 0; v < set.num_nodes(); ++v) {
+    auto view = flat.of(v);
+    const auto& entries = set.of(v).entries();
+    ASSERT_EQ(view.size(), entries.size()) << "node " << v;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      EXPECT_EQ(view.entries()[i].node, entries[i].node);
+      EXPECT_EQ(view.entries()[i].dist, entries[i].dist);
+      EXPECT_EQ(view.entries()[i].rank, entries[i].rank);
+    }
+  }
+  ExpectIdenticalAdsSet(set, flat.ToAdsSet(), "flat round trip");
+}
+
+TEST(FlatAdsSetTest, SerializationMatchesAndParsesFlat) {
+  Graph g = ErdosRenyi(60, 240, true, 9);
+  auto ranks = RankAssignment::Uniform(5);
+  AdsSet set = BuildAdsPrunedDijkstra(g, 4, SketchFlavor::kKPartition, ranks);
+  FlatAdsSet flat = FlatAdsSet::FromAdsSet(set);
+
+  std::string text = SerializeAdsSet(set);
+  EXPECT_EQ(text, SerializeAdsSet(flat))
+      << "both layouts must emit byte-identical files";
+
+  auto parsed = ParseFlatAdsSet(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const FlatAdsSet& loaded = parsed.value();
+  ASSERT_EQ(loaded.num_nodes(), flat.num_nodes());
+  EXPECT_EQ(loaded.TotalEntries(), flat.TotalEntries());
+  EXPECT_EQ(loaded.k, flat.k);
+  EXPECT_EQ(SerializeAdsSet(loaded), text);
+}
+
+TEST(FlatAdsSetTest, QueriesMatchPerNodeStorage) {
+  Graph g = BarabasiAlbert(100, 3, 29);
+  auto ranks = RankAssignment::Uniform(2);
+  AdsSet set = BuildAdsPrunedDijkstra(g, 6, SketchFlavor::kBottomK, ranks);
+  FlatAdsSet flat = FlatAdsSet::FromAdsSet(set);
+
+  for (uint32_t threads : {1u, 4u}) {
+    EXPECT_EQ(EstimateNeighborhoodFunction(set, threads),
+              EstimateNeighborhoodFunction(flat, threads))
+        << threads << " threads";
+    EXPECT_EQ(EstimateHarmonicCentralityAll(set, threads),
+              EstimateHarmonicCentralityAll(flat, threads));
+    EXPECT_EQ(EstimateDistanceSumAll(set, threads),
+              EstimateDistanceSumAll(flat, threads));
+    EXPECT_EQ(EstimateNeighborhoodSizeAll(set, 3.0, threads),
+              EstimateNeighborhoodSizeAll(flat, 3.0, threads));
+    EXPECT_EQ(EstimateReachableCountAll(set, threads),
+              EstimateReachableCountAll(flat, threads));
+  }
+  // Thread count must not change any result, bitwise.
+  EXPECT_EQ(EstimateNeighborhoodFunction(flat, 1),
+            EstimateNeighborhoodFunction(flat, 8));
+  EXPECT_EQ(EstimateEffectiveDiameter(set), EstimateEffectiveDiameter(flat));
+  EXPECT_EQ(EstimateMeanDistance(set), EstimateMeanDistance(flat));
+}
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h.store(0);
+  pool.RunTasks(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeWithoutOverlap) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(hits.size(), [&](size_t begin, size_t end, uint32_t) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelRangesRespectsBounds) {
+  ThreadPool pool(2);
+  std::vector<size_t> bounds = {0, 10, 10, 25};
+  std::vector<int> visited(25, 0);
+  std::vector<uint32_t> range_of(25, ~0u);
+  pool.ParallelRanges(bounds, [&](size_t begin, size_t end, uint32_t t) {
+    for (size_t i = begin; i < end; ++i) {
+      ++visited[i];
+      range_of[i] = t;
+    }
+  });
+  for (size_t i = 0; i < visited.size(); ++i) {
+    EXPECT_EQ(visited[i], 1);
+    EXPECT_EQ(range_of[i], i < 10 ? 0u : 2u);
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  int counter = 0;
+  pool.RunTasks(17, [&](size_t) { ++counter; });
+  EXPECT_EQ(counter, 17);
+}
+
+}  // namespace
+}  // namespace hipads

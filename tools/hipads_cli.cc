@@ -22,10 +22,12 @@
 
 #include "ads/builders.h"
 #include "ads/estimators.h"
+#include "ads/flat_ads.h"
 #include "ads/queries.h"
 #include "ads/serialize.h"
 #include "graph/generators.h"
 #include "graph/io.h"
+#include "util/parallel.h"
 #include "util/table.h"
 
 namespace hipads {
@@ -127,18 +129,25 @@ int CmdSketch(const Args& args) {
   RankAssignment ranks = base > 1.0 ? RankAssignment::BaseB(seed, base)
                                     : RankAssignment::Uniform(seed);
 
+  // --threads N: parallel builders (0 = hardware count). Output is
+  // bit-identical to the sequential builders for every thread count.
+  uint32_t threads =
+      static_cast<uint32_t>(args.GetInt("threads", HardwareThreads()));
   AdsBuildStats stats;
   AdsSet set =
       g.IsUnitWeight()
-          ? BuildAdsDp(g, k, flavor, ranks, &stats)
-          : BuildAdsPrunedDijkstra(g, k, flavor, ranks, &stats);
+          ? BuildAdsDpParallel(g, k, flavor, ranks, threads, &stats)
+          : BuildAdsPrunedDijkstraParallel(g, k, flavor, ranks, threads,
+                                           &stats);
   std::string out = args.Get("out", "sketches.ads");
+  // Both layouts serialize to byte-identical text, so write straight from
+  // the builder output; query/stats load the file into the flat arena.
   Status s = WriteAdsSetFile(set, out);
   if (!s.ok()) return Fail(s);
   std::printf(
-      "sketched %u nodes (k=%u, %s): %llu entries (%.1f/node), %llu "
-      "relaxations -> %s\n",
-      g.num_nodes(), k, flavor_name.c_str(),
+      "sketched %u nodes (k=%u, %s, %u threads): %llu entries (%.1f/node), "
+      "%llu relaxations -> %s\n",
+      g.num_nodes(), k, flavor_name.c_str(), threads,
       static_cast<unsigned long long>(set.TotalEntries()),
       static_cast<double>(set.TotalEntries()) / g.num_nodes(),
       static_cast<unsigned long long>(stats.relaxations), out.c_str());
@@ -146,9 +155,11 @@ int CmdSketch(const Args& args) {
 }
 
 int CmdQuery(const Args& args) {
-  auto loaded = ReadAdsSetFile(args.Get("sketches", "sketches.ads"));
+  // Serving loads straight into the flat CSR arena: the whole-graph sweeps
+  // below iterate one contiguous entry array.
+  auto loaded = ReadFlatAdsSetFile(args.Get("sketches", "sketches.ads"));
   if (!loaded.ok()) return Fail(loaded.status());
-  const AdsSet& set = loaded.value();
+  const FlatAdsSet& set = loaded.value();
 
   if (args.Has("top")) {
     std::string kind = args.Get("centrality", "harmonic");
@@ -158,11 +169,7 @@ int CmdQuery(const Args& args) {
     } else if (kind == "distsum") {
       scores = EstimateDistanceSumAll(set);
     } else if (kind == "reach") {
-      scores.reserve(set.ads.size());
-      for (NodeId v = 0; v < set.ads.size(); ++v) {
-        HipEstimator est(set.of(v), set.k, set.flavor, set.ranks);
-        scores.push_back(est.ReachableCount());
-      }
+      scores = EstimateReachableCountAll(set);
     } else {
       std::fprintf(stderr, "unknown --centrality %s\n", kind.c_str());
       return 2;
@@ -181,9 +188,9 @@ int CmdQuery(const Args& args) {
   }
 
   uint64_t node = args.GetInt("node", 0);
-  if (node >= set.ads.size()) {
+  if (node >= set.num_nodes()) {
     std::fprintf(stderr, "node %llu out of range (%zu nodes)\n",
-                 static_cast<unsigned long long>(node), set.ads.size());
+                 static_cast<unsigned long long>(node), set.num_nodes());
     return 2;
   }
   HipEstimator est(set.of(static_cast<NodeId>(node)), set.k, set.flavor,
@@ -203,10 +210,10 @@ int CmdQuery(const Args& args) {
 }
 
 int CmdStats(const Args& args) {
-  auto loaded = ReadAdsSetFile(args.Get("sketches", "sketches.ads"));
+  auto loaded = ReadFlatAdsSetFile(args.Get("sketches", "sketches.ads"));
   if (!loaded.ok()) return Fail(loaded.status());
-  const AdsSet& set = loaded.value();
-  std::printf("nodes: %zu, k=%u, entries=%llu\n", set.ads.size(), set.k,
+  const FlatAdsSet& set = loaded.value();
+  std::printf("nodes: %zu, k=%u, entries=%llu\n", set.num_nodes(), set.k,
               static_cast<unsigned long long>(set.TotalEntries()));
   std::printf("effective diameter (0.9): %.1f\n",
               EstimateEffectiveDiameter(set, args.GetDouble("quantile",
