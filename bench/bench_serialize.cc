@@ -1,0 +1,162 @@
+// CLAIM-SERVE: load-path cost of the two on-disk formats. The v1 text
+// parser re-tokenizes two %.17g doubles per entry; the v2 binary loader is
+// two memcpys plus validation and a checksum pass. The recorded baseline
+// (BENCH_serialize.json) pins the binary load at >= 5x the text parse
+// throughput on the n=4000 sweep — the number that justifies v2 as the
+// serving format. Also measured: serialization cost both ways and the
+// sharded whole-graph sweep overhead vs the single arena.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+
+#include "ads/builders.h"
+#include "ads/flat_ads.h"
+#include "ads/queries.h"
+#include "ads/serialize.h"
+#include "ads/shard.h"
+#include "bench_common.h"
+#include "graph/generators.h"
+
+namespace hipads {
+namespace {
+
+// One sketch set per graph size, shared across iterations (building at
+// n=4000 dominates the bench run otherwise).
+const FlatAdsSet& SharedSet(uint32_t n) {
+  static std::map<uint32_t, FlatAdsSet> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    Graph g = ErdosRenyi(n, 4ULL * n, /*undirected=*/true, 42);
+    it = cache
+             .emplace(n, FlatAdsSet::FromAdsSet(BuildAdsDp(
+                             g, 16, SketchFlavor::kBottomK,
+                             RankAssignment::Uniform(1))))
+             .first;
+  }
+  return it->second;
+}
+
+void BM_SerializeTextV1(benchmark::State& state) {
+  const FlatAdsSet& set = SharedSet(static_cast<uint32_t>(state.range(0)));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string text = SerializeAdsSet(set);
+    bytes = text.size();
+    benchmark::DoNotOptimize(text.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes) * state.iterations());
+  state.counters["entries"] =
+      benchmark::Counter(static_cast<double>(set.TotalEntries()));
+}
+BENCHMARK(BM_SerializeTextV1)->Arg(1000)->Arg(4000)->Unit(
+    benchmark::kMillisecond);
+
+void BM_SerializeBinaryV2(benchmark::State& state) {
+  const FlatAdsSet& set = SharedSet(static_cast<uint32_t>(state.range(0)));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string blob = SerializeAdsSetBinary(set);
+    bytes = blob.size();
+    benchmark::DoNotOptimize(blob.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes) * state.iterations());
+  state.counters["entries"] =
+      benchmark::Counter(static_cast<double>(set.TotalEntries()));
+}
+BENCHMARK(BM_SerializeBinaryV2)->Arg(1000)->Arg(4000)->Unit(
+    benchmark::kMillisecond);
+
+// The acceptance pair: parse throughput text vs binary, same sketches.
+void BM_ParseTextV1(benchmark::State& state) {
+  const FlatAdsSet& set = SharedSet(static_cast<uint32_t>(state.range(0)));
+  std::string text = SerializeAdsSet(set);
+  for (auto _ : state) {
+    auto parsed = ParseFlatAdsSet(text);
+    benchmark::DoNotOptimize(parsed.value().TotalEntries());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(text.size()) *
+                          state.iterations());
+  state.counters["entries"] =
+      benchmark::Counter(static_cast<double>(set.TotalEntries()));
+}
+BENCHMARK(BM_ParseTextV1)->Arg(1000)->Arg(4000)->Unit(
+    benchmark::kMillisecond);
+
+void BM_ParseBinaryV2(benchmark::State& state) {
+  const FlatAdsSet& set = SharedSet(static_cast<uint32_t>(state.range(0)));
+  std::string blob = SerializeAdsSetBinary(set);
+  for (auto _ : state) {
+    auto parsed = ParseFlatAdsSetBinary(blob);
+    benchmark::DoNotOptimize(parsed.value().TotalEntries());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(blob.size()) *
+                          state.iterations());
+  state.counters["entries"] =
+      benchmark::Counter(static_cast<double>(set.TotalEntries()));
+}
+BENCHMARK(BM_ParseBinaryV2)->Arg(1000)->Arg(4000)->Unit(
+    benchmark::kMillisecond);
+
+// File-level round trip including the OS: what `hipads_cli query` pays
+// before the first estimate.
+void BM_ReadFileBinaryV2(benchmark::State& state) {
+  const FlatAdsSet& set = SharedSet(static_cast<uint32_t>(state.range(0)));
+  std::string path =
+      (std::filesystem::temp_directory_path() / "bench_serialize.ads2")
+          .string();
+  WriteAdsSetFile(set, path, AdsFileFormat::kBinaryV2);
+  for (auto _ : state) {
+    auto loaded = ReadFlatAdsSetFile(path);
+    benchmark::DoNotOptimize(loaded.value().TotalEntries());
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_ReadFileBinaryV2)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+// Sharded sweep vs single arena: the price of bounded resident memory is
+// re-loading each shard arena once per sweep.
+void BM_HarmonicAllSharded(benchmark::State& state) {
+  uint32_t shards = static_cast<uint32_t>(state.range(0));
+  const FlatAdsSet& set = SharedSet(4000);
+  if (shards == 0) {
+    for (auto _ : state) {
+      auto scores = EstimateHarmonicCentralityAll(set, 1);
+      benchmark::DoNotOptimize(scores.data());
+    }
+    return;
+  }
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "bench_serialize_shards")
+          .string();
+  WriteShardedAdsSet(set, dir, shards);
+  auto opened = ShardedAdsSet::Open(dir, nullptr, /*max_resident=*/1);
+  for (auto _ : state) {
+    auto scores = EstimateHarmonicCentralityAll(opened.value(), 1);
+    benchmark::DoNotOptimize(scores.value().data());
+  }
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_HarmonicAllSharded)
+    ->Arg(0)  // unsharded baseline
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hipads
+
+// Records a machine-readable baseline next to the working directory unless
+// the caller passes its own --benchmark_out.
+int main(int argc, char** argv) {
+  hipads::BenchArgs args(argc, argv, "BENCH_serialize.json");
+  benchmark::Initialize(&args.argc, args.argv());
+  if (benchmark::ReportUnrecognizedArguments(args.argc, args.argv())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

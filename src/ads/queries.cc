@@ -38,11 +38,12 @@ std::vector<double> PerNodeEstimate(const SetT& set, uint32_t num_threads,
 // Distance distribution: HIP weighting is computed in parallel per block,
 // but blocks and nodes within a block are reduced into the histogram in
 // node order, so the floating-point accumulation order (and hence the
-// result, bitwise) is independent of the thread count.
+// result, bitwise) is independent of the thread count. The accumulator
+// appends into a caller-owned histogram so the sharded sweep can chain
+// shard arenas while preserving that per-node accumulation order exactly.
 template <typename SetT>
-std::map<double, double> DistanceDistributionImpl(const SetT& set,
-                                                  uint32_t num_threads) {
-  std::map<double, double> hist;
+void AccumulateDistanceDistribution(const SetT& set, uint32_t num_threads,
+                                    std::map<double, double>& hist) {
   ThreadPool pool(num_threads);
   size_t n = set.num_nodes();
   std::vector<std::vector<HipEntry>> block_entries(
@@ -63,24 +64,36 @@ std::map<double, double> DistanceDistributionImpl(const SetT& set,
       }
     }
   }
+}
+
+template <typename SetT>
+std::map<double, double> DistanceDistributionImpl(const SetT& set,
+                                                  uint32_t num_threads) {
+  std::map<double, double> hist;
+  AccumulateDistanceDistribution(set, num_threads, hist);
   return hist;
+}
+
+// Turns a distance-distribution histogram into the cumulative
+// neighbourhood function, in place.
+void CumulativeInPlace(std::map<double, double>& hist) {
+  double running = 0.0;
+  for (auto& [d, value] : hist) {
+    running += value;
+    value = running;
+  }
 }
 
 template <typename SetT>
 std::map<double, double> NeighborhoodFunctionImpl(const SetT& set,
                                                   uint32_t num_threads) {
   std::map<double, double> hist = DistanceDistributionImpl(set, num_threads);
-  double running = 0.0;
-  for (auto& [d, value] : hist) {
-    running += value;
-    value = running;
-  }
+  CumulativeInPlace(hist);
   return hist;
 }
 
-template <typename SetT>
-double EffectiveDiameterImpl(const SetT& set, double quantile) {
-  auto nf = EstimateNeighborhoodFunction(set);
+double EffectiveDiameterOf(const std::map<double, double>& nf,
+                           double quantile) {
   if (nf.empty()) return 0.0;
   double total = nf.rbegin()->second;
   for (const auto& [d, pairs] : nf) {
@@ -90,13 +103,53 @@ double EffectiveDiameterImpl(const SetT& set, double quantile) {
 }
 
 template <typename SetT>
-double MeanDistanceImpl(const SetT& set) {
+double EffectiveDiameterImpl(const SetT& set, double quantile) {
+  return EffectiveDiameterOf(EstimateNeighborhoodFunction(set), quantile);
+}
+
+double MeanDistanceOf(const std::map<double, double>& dd) {
   double weight = 0.0, weighted_dist = 0.0;
-  for (const auto& [d, pairs] : EstimateDistanceDistribution(set)) {
+  for (const auto& [d, pairs] : dd) {
     weight += pairs;
     weighted_dist += d * pairs;
   }
   return weight > 0.0 ? weighted_dist / weight : 0.0;
+}
+
+template <typename SetT>
+double MeanDistanceImpl(const SetT& set) {
+  return MeanDistanceOf(EstimateDistanceDistribution(set));
+}
+
+// Sharded per-node sweep: shard arenas are visited in node order, each
+// swept with the same PerNodeEstimate kernel as the unsharded overloads,
+// so every per-node value is computed identically (the outputs are
+// independent per node). Fails if a lazy shard load fails.
+template <typename Fn>
+StatusOr<std::vector<double>> ShardedPerNodeEstimate(const ShardedAdsSet& set,
+                                                     uint32_t num_threads,
+                                                     const Fn& fn) {
+  std::vector<double> result(set.num_nodes());
+  for (uint32_t s = 0; s < set.num_shards(); ++s) {
+    auto shard = set.Shard(s);
+    if (!shard.ok()) return shard.status();
+    std::vector<double> part =
+        PerNodeEstimate(*shard.value(), num_threads, fn);
+    std::copy(part.begin(), part.end(),
+              result.begin() + set.shards()[s].begin);
+  }
+  return result;
+}
+
+StatusOr<std::map<double, double>> ShardedDistanceDistribution(
+    const ShardedAdsSet& set, uint32_t num_threads) {
+  std::map<double, double> hist;
+  for (uint32_t s = 0; s < set.num_shards(); ++s) {
+    auto shard = set.Shard(s);
+    if (!shard.ok()) return shard.status();
+    AccumulateDistanceDistribution(*shard.value(), num_threads, hist);
+  }
+  return hist;
 }
 
 }  // namespace
@@ -208,6 +261,73 @@ double EstimateMeanDistance(const AdsSet& set) {
 
 double EstimateMeanDistance(const FlatAdsSet& set) {
   return MeanDistanceImpl(set);
+}
+
+StatusOr<std::map<double, double>> EstimateDistanceDistribution(
+    const ShardedAdsSet& set, uint32_t num_threads) {
+  return ShardedDistanceDistribution(set, num_threads);
+}
+
+StatusOr<std::map<double, double>> EstimateNeighborhoodFunction(
+    const ShardedAdsSet& set, uint32_t num_threads) {
+  auto hist = ShardedDistanceDistribution(set, num_threads);
+  if (!hist.ok()) return hist.status();
+  CumulativeInPlace(hist.value());
+  return hist;
+}
+
+StatusOr<std::vector<double>> EstimateClosenessAll(
+    const ShardedAdsSet& set, const std::function<double(double)>& alpha,
+    const std::function<double(NodeId)>& beta, uint32_t num_threads) {
+  return ShardedPerNodeEstimate(set, num_threads,
+                                [&](const HipEstimator& est) {
+                                  return est.Closeness(alpha, beta);
+                                });
+}
+
+StatusOr<std::vector<double>> EstimateDistanceSumAll(const ShardedAdsSet& set,
+                                                     uint32_t num_threads) {
+  return ShardedPerNodeEstimate(set, num_threads,
+                                [](const HipEstimator& est) {
+                                  return est.DistanceSum();
+                                });
+}
+
+StatusOr<std::vector<double>> EstimateHarmonicCentralityAll(
+    const ShardedAdsSet& set, uint32_t num_threads) {
+  return ShardedPerNodeEstimate(set, num_threads,
+                                [](const HipEstimator& est) {
+                                  return est.HarmonicCentrality();
+                                });
+}
+
+StatusOr<std::vector<double>> EstimateNeighborhoodSizeAll(
+    const ShardedAdsSet& set, double d, uint32_t num_threads) {
+  return ShardedPerNodeEstimate(set, num_threads,
+                                [d](const HipEstimator& est) {
+                                  return est.NeighborhoodCardinality(d);
+                                });
+}
+
+StatusOr<std::vector<double>> EstimateReachableCountAll(
+    const ShardedAdsSet& set, uint32_t num_threads) {
+  return ShardedPerNodeEstimate(set, num_threads,
+                                [](const HipEstimator& est) {
+                                  return est.ReachableCount();
+                                });
+}
+
+StatusOr<double> EstimateEffectiveDiameter(const ShardedAdsSet& set,
+                                           double quantile) {
+  auto nf = EstimateNeighborhoodFunction(set);
+  if (!nf.ok()) return nf.status();
+  return EffectiveDiameterOf(nf.value(), quantile);
+}
+
+StatusOr<double> EstimateMeanDistance(const ShardedAdsSet& set) {
+  auto dd = EstimateDistanceDistribution(set);
+  if (!dd.ok()) return dd.status();
+  return MeanDistanceOf(dd.value());
 }
 
 std::vector<NodeId> TopKNodes(const std::vector<double>& scores,

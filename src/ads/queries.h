@@ -10,6 +10,13 @@
 // = 0 uses the hardware count, 1 runs inline. Results are bit-identical for
 // every thread count — per-node outputs are independent, and the
 // distribution accumulators always reduce per-node results in node order.
+//
+// The whole-graph sweeps additionally accept a ShardedAdsSet (ads/shard.h):
+// shards are visited one at a time in node order with bounded resident
+// memory, and because shards tile the node space contiguously the per-node
+// visit order — and therefore every result, bitwise — matches the
+// unsharded sweep. These overloads return StatusOr because a lazy shard
+// load can fail (missing or corrupt shard file).
 
 #ifndef HIPADS_ADS_QUERIES_H_
 #define HIPADS_ADS_QUERIES_H_
@@ -20,6 +27,8 @@
 
 #include "ads/ads.h"
 #include "ads/flat_ads.h"
+#include "ads/shard.h"
+#include "util/status.h"
 
 namespace hipads {
 
@@ -31,6 +40,8 @@ std::map<double, double> EstimateNeighborhoodFunction(
     const AdsSet& set, uint32_t num_threads = 0);
 std::map<double, double> EstimateNeighborhoodFunction(
     const FlatAdsSet& set, uint32_t num_threads = 0);
+StatusOr<std::map<double, double>> EstimateNeighborhoodFunction(
+    const ShardedAdsSet& set, uint32_t num_threads = 0);
 
 /// Estimated distance distribution: number of ordered pairs at each exact
 /// distance (the increments of the neighbourhood function).
@@ -38,6 +49,8 @@ std::map<double, double> EstimateDistanceDistribution(
     const AdsSet& set, uint32_t num_threads = 0);
 std::map<double, double> EstimateDistanceDistribution(
     const FlatAdsSet& set, uint32_t num_threads = 0);
+StatusOr<std::map<double, double>> EstimateDistanceDistribution(
+    const ShardedAdsSet& set, uint32_t num_threads = 0);
 
 /// HIP estimates of C_{alpha,beta} for every node (Eq. 3).
 std::vector<double> EstimateClosenessAll(
@@ -46,6 +59,9 @@ std::vector<double> EstimateClosenessAll(
 std::vector<double> EstimateClosenessAll(
     const FlatAdsSet& set, const std::function<double(double)>& alpha,
     const std::function<double(NodeId)>& beta, uint32_t num_threads = 0);
+StatusOr<std::vector<double>> EstimateClosenessAll(
+    const ShardedAdsSet& set, const std::function<double(double)>& alpha,
+    const std::function<double(NodeId)>& beta, uint32_t num_threads = 0);
 
 /// HIP estimates of the sum of distances (inverse classic closeness
 /// centrality) for every node.
@@ -53,12 +69,16 @@ std::vector<double> EstimateDistanceSumAll(const AdsSet& set,
                                            uint32_t num_threads = 0);
 std::vector<double> EstimateDistanceSumAll(const FlatAdsSet& set,
                                            uint32_t num_threads = 0);
+StatusOr<std::vector<double>> EstimateDistanceSumAll(
+    const ShardedAdsSet& set, uint32_t num_threads = 0);
 
 /// HIP estimates of harmonic centrality for every node.
 std::vector<double> EstimateHarmonicCentralityAll(const AdsSet& set,
                                                   uint32_t num_threads = 0);
 std::vector<double> EstimateHarmonicCentralityAll(const FlatAdsSet& set,
                                                   uint32_t num_threads = 0);
+StatusOr<std::vector<double>> EstimateHarmonicCentralityAll(
+    const ShardedAdsSet& set, uint32_t num_threads = 0);
 
 /// HIP estimates of the d-neighborhood cardinality for every node.
 std::vector<double> EstimateNeighborhoodSizeAll(const AdsSet& set, double d,
@@ -66,12 +86,16 @@ std::vector<double> EstimateNeighborhoodSizeAll(const AdsSet& set, double d,
 std::vector<double> EstimateNeighborhoodSizeAll(const FlatAdsSet& set,
                                                 double d,
                                                 uint32_t num_threads = 0);
+StatusOr<std::vector<double>> EstimateNeighborhoodSizeAll(
+    const ShardedAdsSet& set, double d, uint32_t num_threads = 0);
 
 /// HIP estimates of the reachable-set size for every node.
 std::vector<double> EstimateReachableCountAll(const AdsSet& set,
                                               uint32_t num_threads = 0);
 std::vector<double> EstimateReachableCountAll(const FlatAdsSet& set,
                                               uint32_t num_threads = 0);
+StatusOr<std::vector<double>> EstimateReachableCountAll(
+    const ShardedAdsSet& set, uint32_t num_threads = 0);
 
 /// Node ids of the `count` largest values in `scores`, descending.
 std::vector<NodeId> TopKNodes(const std::vector<double>& scores,
@@ -84,10 +108,13 @@ std::vector<NodeId> TopKNodes(const std::vector<double>& scores,
 double EstimateEffectiveDiameter(const AdsSet& set, double quantile = 0.9);
 double EstimateEffectiveDiameter(const FlatAdsSet& set,
                                  double quantile = 0.9);
+StatusOr<double> EstimateEffectiveDiameter(const ShardedAdsSet& set,
+                                           double quantile = 0.9);
 
 /// Estimated mean distance between reachable ordered pairs.
 double EstimateMeanDistance(const AdsSet& set);
 double EstimateMeanDistance(const FlatAdsSet& set);
+StatusOr<double> EstimateMeanDistance(const ShardedAdsSet& set);
 
 }  // namespace hipads
 

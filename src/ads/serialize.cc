@@ -1,16 +1,70 @@
 #include "ads/serialize.h"
 
 #include <algorithm>
+#include <bit>
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+#include <type_traits>
 
 namespace hipads {
 
 namespace {
 
 constexpr char kMagic[] = "hipads-ads-v1";
+
+// Binary v2 layout: V2Header, then the raw offsets[] section, then the raw
+// AdsEntry[] arena. Everything is little-endian / host layout; the header
+// carries explicit per-section byte lengths and an FNV-1a checksum of the
+// payload so loaders can validate structure before touching a byte of it.
+constexpr char kMagicV2[8] = {'h', 'i', 'p', 'a', 'd', 's', 'v', '2'};
+constexpr uint32_t kVersionV2 = 2;
+
+struct V2Header {
+  char magic[8];
+  uint32_t version;
+  uint32_t flavor;
+  uint32_t rank_kind;
+  uint32_t k;
+  uint64_t seed;
+  double base;  // base-b ranks only, 0 otherwise
+  double sup;   // rank supremum (permutation sets store n + 1 here)
+  uint64_t num_nodes;
+  uint64_t num_entries;
+  uint64_t offsets_bytes;  // == (num_nodes + 1) * sizeof(uint64_t)
+  uint64_t entries_bytes;  // == num_entries * sizeof(AdsEntry)
+  uint64_t checksum;       // FNV-1a over the header (this field zeroed)
+                           // followed by the offsets + entries sections
+};
+static_assert(sizeof(V2Header) == 88, "v2 header layout drifted");
+static_assert(std::is_trivially_copyable_v<AdsEntry> &&
+                  sizeof(AdsEntry) == 24,
+              "AdsEntry must stay a packed 24-byte POD for the v2 format");
+static_assert(std::endian::native == std::endian::little,
+              "the hipads-ads-v2 format is little-endian; big-endian hosts "
+              "need byte swapping");
+
+uint64_t Fnv1a(const char* data, size_t size, uint64_t h) {
+  for (size_t i = 0; i < size; ++i) {
+    h ^= static_cast<uint8_t>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+constexpr uint64_t kFnvOffsetBasis = 14695981039346656037ULL;
+
+// Checksum of a v2 file image: the header with its checksum field zeroed,
+// then the payload sections. Covering the header means any single corrupted
+// parameter byte (flavor, k, seed, ...) is caught even when it would still
+// parse as a structurally valid file.
+uint64_t V2Checksum(V2Header h, const char* payload, size_t payload_size) {
+  h.checksum = 0;
+  uint64_t sum = Fnv1a(reinterpret_cast<const char*>(&h), sizeof(V2Header),
+                       kFnvOffsetBasis);
+  return Fnv1a(payload, payload_size, sum);
+}
 
 const char* FlavorName(SketchFlavor flavor) {
   switch (flavor) {
@@ -53,36 +107,47 @@ const char* RankKindName(RankKind kind) {
   return "?";
 }
 
-// Shared serializer body: works for both storage layouts (set.of(v) yields
-// an Ads or an AdsView; both expose size() and entries()).
+// Reconstructs a RankAssignment from the stored (kind, seed, base) triple;
+// shared by the v1 and v2 readers. Permutations are not round-trippable and
+// weighted kinds need the caller's beta.
+Status RanksFromStored(RankKind kind, uint64_t seed, double base,
+                       std::function<double(uint64_t)> beta,
+                       RankAssignment* out) {
+  switch (kind) {
+    case RankKind::kUniform:
+      *out = RankAssignment::Uniform(seed);
+      return Status::Ok();
+    case RankKind::kBaseB:
+      if (base <= 1.0) return Status::Corruption("bad base-b parameters");
+      *out = RankAssignment::BaseB(seed, base);
+      return Status::Ok();
+    case RankKind::kExponential:
+    case RankKind::kPriority:
+      if (beta == nullptr) {
+        return Status::InvalidArgument(
+            "weighted-rank (exponential/priority) ADS sets require the beta "
+            "function at load time");
+      }
+      *out = kind == RankKind::kExponential
+                 ? RankAssignment::Exponential(seed, std::move(beta))
+                 : RankAssignment::Priority(seed, std::move(beta));
+      return Status::Ok();
+    case RankKind::kPermutation:
+      return Status::InvalidArgument(
+          "permutation-rank ADS sets are not round-trippable; store the "
+          "permutation separately");
+  }
+  return Status::Corruption("unknown rank kind");
+}
+
+// Shared v1 serializer body: works for both storage layouts (set.of(v)
+// yields an Ads or an AdsView; both expose size() and entries()).
 template <typename SetT>
 std::string SerializeAnySet(const SetT& set) {
   std::ostringstream os;
   char buf[128];
   os << kMagic << '\n';
-  os << "flavor " << FlavorName(set.flavor) << '\n';
-  os << "k " << set.k << '\n';
-  os << "ranks " << RankKindName(set.ranks.kind());
-  switch (set.ranks.kind()) {
-    case RankKind::kUniform:
-    case RankKind::kExponential:
-    case RankKind::kPriority:
-      os << ' ' << set.ranks.seed();
-      break;
-    case RankKind::kBaseB:
-      std::snprintf(buf, sizeof(buf), " %" PRIu64 " %.17g",
-                    set.ranks.seed(), set.ranks.base());
-      os << buf;
-      break;
-    case RankKind::kPermutation:
-      // Permutation values are re-derivable from the stored entry ranks
-      // only for sketched nodes; store the size so loaders can at least
-      // reconstruct sup(). Full permutations should be stored separately.
-      os << ' ' << static_cast<uint64_t>(set.ranks.sup() - 1.0);
-      break;
-  }
-  os << '\n';
-  os << "nodes " << set.num_nodes() << '\n';
+  os << SerializeAdsParams(set.flavor, set.k, set.ranks, set.num_nodes());
   for (NodeId v = 0; v < set.num_nodes(); ++v) {
     const auto& ads = set.of(v);
     os << v << ' ' << ads.size() << '\n';
@@ -106,16 +171,67 @@ struct ParsedHeader {
 
 Status ParseHeader(std::istream& in, std::function<double(uint64_t)> beta,
                    ParsedHeader* out) {
-  std::string line, word;
+  std::string line;
   if (!std::getline(in, line) || line != kMagic) {
     return Status::Corruption("missing hipads-ads-v1 header");
   }
+  return ParseAdsParams(in, std::move(beta), &out->flavor, &out->k,
+                        &out->ranks, &out->num_nodes);
+}
+
+// Rejects any non-whitespace content after the last node block: both v1
+// parsers accept exactly the files the writer produces, nothing more.
+Status RejectTrailingGarbage(std::istream& in) {
+  std::string extra;
+  if (in >> extra) {
+    return Status::Corruption("trailing garbage after last node block");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string SerializeAdsParams(SketchFlavor flavor, uint32_t k,
+                               const RankAssignment& ranks,
+                               uint64_t num_nodes) {
+  std::ostringstream os;
+  char buf[128];
+  os << "flavor " << FlavorName(flavor) << '\n';
+  os << "k " << k << '\n';
+  os << "ranks " << RankKindName(ranks.kind());
+  switch (ranks.kind()) {
+    case RankKind::kUniform:
+    case RankKind::kExponential:
+    case RankKind::kPriority:
+      os << ' ' << ranks.seed();
+      break;
+    case RankKind::kBaseB:
+      std::snprintf(buf, sizeof(buf), " %" PRIu64 " %.17g", ranks.seed(),
+                    ranks.base());
+      os << buf;
+      break;
+    case RankKind::kPermutation:
+      // Permutation values are re-derivable from the stored entry ranks
+      // only for sketched nodes; store the size so loaders can at least
+      // reconstruct sup(). Full permutations should be stored separately.
+      os << ' ' << static_cast<uint64_t>(ranks.sup() - 1.0);
+      break;
+  }
+  os << '\n';
+  os << "nodes " << num_nodes << '\n';
+  return os.str();
+}
+
+Status ParseAdsParams(std::istream& in, std::function<double(uint64_t)> beta,
+                      SketchFlavor* flavor, uint32_t* k,
+                      RankAssignment* ranks, uint64_t* num_nodes) {
+  std::string word;
   std::string flavor_name;
   if (!(in >> word >> flavor_name) || word != "flavor" ||
-      !ParseFlavor(flavor_name, &out->flavor)) {
+      !ParseFlavor(flavor_name, flavor)) {
     return Status::Corruption("bad flavor line");
   }
-  if (!(in >> word >> out->k) || word != "k" || out->k == 0) {
+  if (!(in >> word >> *k) || word != "k" || *k == 0) {
     return Status::Corruption("bad k line");
   }
   std::string kind_name;
@@ -125,25 +241,22 @@ Status ParseHeader(std::istream& in, std::function<double(uint64_t)> beta,
   if (kind_name == "uniform") {
     uint64_t seed;
     if (!(in >> seed)) return Status::Corruption("bad uniform seed");
-    out->ranks = RankAssignment::Uniform(seed);
+    *ranks = RankAssignment::Uniform(seed);
   } else if (kind_name == "base-b") {
     uint64_t seed;
     double base;
     if (!(in >> seed >> base) || base <= 1.0) {
       return Status::Corruption("bad base-b parameters");
     }
-    out->ranks = RankAssignment::BaseB(seed, base);
+    *ranks = RankAssignment::BaseB(seed, base);
   } else if (kind_name == "exponential" || kind_name == "priority") {
     uint64_t seed;
     if (!(in >> seed)) return Status::Corruption("bad weighted-rank seed");
-    if (beta == nullptr) {
-      return Status::InvalidArgument(
-          "weighted-rank (exponential/priority) ADS sets require the beta "
-          "function at load time");
-    }
-    out->ranks = kind_name == "exponential"
-                     ? RankAssignment::Exponential(seed, std::move(beta))
-                     : RankAssignment::Priority(seed, std::move(beta));
+    Status made = RanksFromStored(kind_name == "exponential"
+                                      ? RankKind::kExponential
+                                      : RankKind::kPriority,
+                                  seed, 0.0, std::move(beta), ranks);
+    if (!made.ok()) return made;
   } else if (kind_name == "permutation") {
     return Status::InvalidArgument(
         "permutation-rank ADS sets are not round-trippable; store the "
@@ -151,13 +264,11 @@ Status ParseHeader(std::istream& in, std::function<double(uint64_t)> beta,
   } else {
     return Status::Corruption("unknown rank kind " + kind_name);
   }
-  if (!(in >> word >> out->num_nodes) || word != "nodes") {
+  if (!(in >> word >> *num_nodes) || word != "nodes") {
     return Status::Corruption("bad nodes line");
   }
   return Status::Ok();
 }
-
-}  // namespace
 
 std::string SerializeAdsSet(const AdsSet& set) { return SerializeAnySet(set); }
 
@@ -165,18 +276,147 @@ std::string SerializeAdsSet(const FlatAdsSet& set) {
   return SerializeAnySet(set);
 }
 
-Status WriteAdsSetFile(const AdsSet& set, const std::string& path) {
-  std::ofstream f(path);
+std::string SerializeAdsSetBinary(const FlatAdsSet& set) {
+  V2Header h{};
+  std::memcpy(h.magic, kMagicV2, sizeof(h.magic));
+  h.version = kVersionV2;
+  h.flavor = static_cast<uint32_t>(set.flavor);
+  h.rank_kind = static_cast<uint32_t>(set.ranks.kind());
+  h.k = set.k;
+  h.seed = set.ranks.seed();
+  h.base = set.ranks.kind() == RankKind::kBaseB ? set.ranks.base() : 0.0;
+  h.sup = set.ranks.sup();
+  h.num_nodes = set.num_nodes();
+  h.num_entries = set.entries.size();
+  h.offsets_bytes = set.offsets.size() * sizeof(uint64_t);
+  h.entries_bytes = set.entries.size() * sizeof(AdsEntry);
+
+  std::string out;
+  out.resize(sizeof(V2Header) + h.offsets_bytes + h.entries_bytes);
+  char* p = out.data() + sizeof(V2Header);
+  std::memcpy(p, set.offsets.data(), h.offsets_bytes);
+  std::memcpy(p + h.offsets_bytes, set.entries.data(), h.entries_bytes);
+  h.checksum = V2Checksum(h, p, h.offsets_bytes + h.entries_bytes);
+  std::memcpy(out.data(), &h, sizeof(V2Header));
+  return out;
+}
+
+std::string SerializeAdsSetBinary(const AdsSet& set) {
+  return SerializeAdsSetBinary(FlatAdsSet::FromAdsSet(set));
+}
+
+bool IsBinaryAdsData(const std::string& data) {
+  return data.size() >= sizeof(kMagicV2) &&
+         std::memcmp(data.data(), kMagicV2, sizeof(kMagicV2)) == 0;
+}
+
+StatusOr<FlatAdsSet> ParseFlatAdsSetBinary(
+    const std::string& data, std::function<double(uint64_t)> beta) {
+  if (data.size() < sizeof(V2Header)) {
+    return Status::Corruption("truncated hipads-ads-v2 header");
+  }
+  V2Header h;
+  std::memcpy(&h, data.data(), sizeof(V2Header));
+  if (std::memcmp(h.magic, kMagicV2, sizeof(h.magic)) != 0) {
+    return Status::Corruption("missing hipads-ads-v2 magic");
+  }
+  if (h.version != kVersionV2) {
+    return Status::Corruption("unsupported hipads-ads-v2 version " +
+                              std::to_string(h.version));
+  }
+  if (h.flavor > static_cast<uint32_t>(SketchFlavor::kKPartition)) {
+    return Status::Corruption("bad flavor field");
+  }
+  if (h.rank_kind > static_cast<uint32_t>(RankKind::kPermutation)) {
+    return Status::Corruption("bad rank-kind field");
+  }
+  if (h.k == 0) return Status::Corruption("bad k field");
+  // Structural validation before any allocation sized from header fields:
+  // node count must fit NodeId, section lengths must match the counts, and
+  // header + sections must cover the buffer exactly (no trailing bytes).
+  if (h.num_nodes > std::numeric_limits<NodeId>::max()) {
+    return Status::Corruption("node count exceeds NodeId range");
+  }
+  if (h.num_entries > data.size() / sizeof(AdsEntry) + 1) {
+    return Status::Corruption("entry count exceeds file size");
+  }
+  if (h.offsets_bytes != (h.num_nodes + 1) * sizeof(uint64_t)) {
+    return Status::Corruption("offsets section length mismatch");
+  }
+  if (h.entries_bytes != h.num_entries * sizeof(AdsEntry)) {
+    return Status::Corruption("entries section length mismatch");
+  }
+  if (data.size() != sizeof(V2Header) + h.offsets_bytes + h.entries_bytes) {
+    return Status::Corruption("file length does not match header sections");
+  }
+  const char* payload = data.data() + sizeof(V2Header);
+  if (V2Checksum(h, payload, h.offsets_bytes + h.entries_bytes) !=
+      h.checksum) {
+    return Status::Corruption("checksum mismatch");
+  }
+
+  FlatAdsSet set;
+  set.flavor = static_cast<SketchFlavor>(h.flavor);
+  set.k = h.k;
+  Status ranks_status =
+      RanksFromStored(static_cast<RankKind>(h.rank_kind), h.seed, h.base,
+                      std::move(beta), &set.ranks);
+  if (!ranks_status.ok()) return ranks_status;
+  set.offsets.resize(h.num_nodes + 1);
+  std::memcpy(set.offsets.data(), payload, h.offsets_bytes);
+  if (set.offsets.front() != 0 || set.offsets.back() != h.num_entries) {
+    return Status::Corruption("offsets do not span the entry arena");
+  }
+  for (uint64_t v = 0; v < h.num_nodes; ++v) {
+    if (set.offsets[v] > set.offsets[v + 1]) {
+      return Status::Corruption("offsets not monotone at node " +
+                                std::to_string(v));
+    }
+  }
+  set.entries.resize(h.num_entries);
+  std::memcpy(set.entries.data(), payload + h.offsets_bytes,
+              h.entries_bytes);
+  for (uint64_t i = 0; i < h.num_entries; ++i) {
+    const AdsEntry& e = set.entries[i];
+    if (e.part >= set.k || e.dist < 0.0) {
+      return Status::Corruption("invalid entry at index " +
+                                std::to_string(i));
+    }
+  }
+  // The writer emits canonical per-node order; re-sort any node whose block
+  // is not (cheap linear check, a no-op for writer-produced files).
+  for (uint64_t v = 0; v < h.num_nodes; ++v) {
+    auto begin = set.entries.begin() + static_cast<int64_t>(set.offsets[v]);
+    auto end = set.entries.begin() + static_cast<int64_t>(set.offsets[v + 1]);
+    if (!std::is_sorted(begin, end, AdsEntryCloser)) {
+      std::sort(begin, end, AdsEntryCloser);
+    }
+  }
+  return set;
+}
+
+StatusOr<FlatAdsSet> ParseFlatAdsSetAny(const std::string& data,
+                                        std::function<double(uint64_t)> beta) {
+  return IsBinaryAdsData(data) ? ParseFlatAdsSetBinary(data, std::move(beta))
+                               : ParseFlatAdsSet(data, std::move(beta));
+}
+
+Status WriteAdsSetFile(const AdsSet& set, const std::string& path,
+                       AdsFileFormat format) {
+  std::ofstream f(path, std::ios::binary);
   if (!f) return Status::IOError("cannot open " + path + " for writing");
-  f << SerializeAdsSet(set);
+  f << (format == AdsFileFormat::kBinaryV2 ? SerializeAdsSetBinary(set)
+                                           : SerializeAdsSet(set));
   if (!f.good()) return Status::IOError("write failed for " + path);
   return Status::Ok();
 }
 
-Status WriteAdsSetFile(const FlatAdsSet& set, const std::string& path) {
-  std::ofstream f(path);
+Status WriteAdsSetFile(const FlatAdsSet& set, const std::string& path,
+                       AdsFileFormat format) {
+  std::ofstream f(path, std::ios::binary);
   if (!f) return Status::IOError("cannot open " + path + " for writing");
-  f << SerializeAdsSet(set);
+  f << (format == AdsFileFormat::kBinaryV2 ? SerializeAdsSetBinary(set)
+                                           : SerializeAdsSet(set));
   if (!f.good()) return Status::IOError("write failed for " + path);
   return Status::Ok();
 }
@@ -199,6 +439,11 @@ StatusOr<AdsSet> ParseAdsSet(const std::string& text,
       return Status::Corruption("bad node header at index " +
                                 std::to_string(i));
     }
+    if (v != i) {
+      return Status::Corruption(
+          "duplicate or out-of-order node block for node " +
+          std::to_string(v));
+    }
     std::vector<AdsEntry> entries;
     entries.reserve(count);
     for (uint64_t e = 0; e < count; ++e) {
@@ -215,6 +460,8 @@ StatusOr<AdsSet> ParseAdsSet(const std::string& text,
     }
     set.ads[v] = Ads(std::move(entries));
   }
+  s = RejectTrailingGarbage(in);
+  if (!s.ok()) return s;
   return set;
 }
 
@@ -230,28 +477,22 @@ StatusOr<FlatAdsSet> ParseFlatAdsSet(const std::string& text,
   set.k = header.k;
   set.ranks = header.ranks;
 
-  // Node blocks may appear in any order in the file; entries land in the
-  // arena in file order, with per-node (start, count) recorded so the CSR
-  // can be assembled afterwards. The common case (node-id order, which is
-  // what SerializeAdsSet writes) needs no rearrangement.
+  // Node blocks must appear in node-id order (which is what SerializeAdsSet
+  // writes), so entries land in the arena already CSR-ordered; duplicated
+  // or shuffled blocks are corruption, exactly as in ParseAdsSet.
   uint64_t n = header.num_nodes;
-  constexpr uint64_t kUnset = ~0ULL;
-  std::vector<uint64_t> start_of(n, kUnset), count_of(n, 0);
-  std::vector<AdsEntry> arena;
-  bool in_order = true;
+  set.offsets.reserve(n + 1);
   for (uint64_t i = 0; i < n; ++i) {
     uint64_t v, count;
     if (!(in >> v >> count) || v >= n) {
       return Status::Corruption("bad node header at index " +
                                 std::to_string(i));
     }
-    if (start_of[v] != kUnset) {
-      return Status::Corruption("duplicate node block for node " +
-                                std::to_string(v));
+    if (v != i) {
+      return Status::Corruption(
+          "duplicate or out-of-order node block for node " +
+          std::to_string(v));
     }
-    if (v != i) in_order = false;
-    start_of[v] = arena.size();
-    count_of[v] = count;
     for (uint64_t e = 0; e < count; ++e) {
       AdsEntry entry;
       if (!(in >> entry.node >> entry.part >> entry.rank >> entry.dist)) {
@@ -262,52 +503,46 @@ StatusOr<FlatAdsSet> ParseFlatAdsSet(const std::string& text,
         return Status::Corruption("invalid entry for node " +
                                   std::to_string(v));
       }
-      arena.push_back(entry);
+      set.entries.push_back(entry);
     }
+    set.offsets.push_back(set.entries.size());
   }
-
-  set.offsets.reserve(n + 1);
-  if (in_order) {
-    set.entries = std::move(arena);
-    for (uint64_t v = 0; v < n; ++v) {
-      set.offsets.push_back(set.offsets.back() + count_of[v]);
-    }
-  } else {
-    set.entries.reserve(arena.size());
-    for (uint64_t v = 0; v < n; ++v) {
-      set.entries.insert(set.entries.end(),
-                         arena.begin() + static_cast<int64_t>(start_of[v]),
-                         arena.begin() +
-                             static_cast<int64_t>(start_of[v] + count_of[v]));
-      set.offsets.push_back(set.entries.size());
-    }
-  }
+  s = RejectTrailingGarbage(in);
+  if (!s.ok()) return s;
   // Files are not required to store entries in canonical order; restore it
   // per node (a no-op for writer-produced files).
   for (uint64_t v = 0; v < n; ++v) {
-    std::sort(set.entries.begin() + static_cast<int64_t>(set.offsets[v]),
-              set.entries.begin() + static_cast<int64_t>(set.offsets[v + 1]),
-              AdsEntryCloser);
+    auto begin = set.entries.begin() + static_cast<int64_t>(set.offsets[v]);
+    auto end = set.entries.begin() + static_cast<int64_t>(set.offsets[v + 1]);
+    if (!std::is_sorted(begin, end, AdsEntryCloser)) {
+      std::sort(begin, end, AdsEntryCloser);
+    }
   }
   return set;
 }
 
 StatusOr<AdsSet> ReadAdsSetFile(const std::string& path,
                                 std::function<double(uint64_t)> beta) {
-  std::ifstream f(path);
+  std::ifstream f(path, std::ios::binary);
   if (!f) return Status::IOError("cannot open " + path);
   std::ostringstream buf;
   buf << f.rdbuf();
-  return ParseAdsSet(buf.str(), std::move(beta));
+  std::string data = buf.str();
+  if (IsBinaryAdsData(data)) {
+    auto flat = ParseFlatAdsSetBinary(data, std::move(beta));
+    if (!flat.ok()) return flat.status();
+    return flat.value().ToAdsSet();
+  }
+  return ParseAdsSet(data, std::move(beta));
 }
 
 StatusOr<FlatAdsSet> ReadFlatAdsSetFile(const std::string& path,
                                         std::function<double(uint64_t)> beta) {
-  std::ifstream f(path);
+  std::ifstream f(path, std::ios::binary);
   if (!f) return Status::IOError("cannot open " + path);
   std::ostringstream buf;
   buf << f.rdbuf();
-  return ParseFlatAdsSet(buf.str(), std::move(beta));
+  return ParseFlatAdsSetAny(buf.str(), std::move(beta));
 }
 
 }  // namespace hipads

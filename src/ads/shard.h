@@ -1,0 +1,134 @@
+// Sharded ADS storage: a FlatAdsSet split into contiguous node ranges,
+// one self-contained v2 binary file per shard plus a small text manifest.
+//
+// A billion-node sketch arena does not fit one serving process. Sharding by
+// contiguous node range keeps every whole-graph sweep a sequence of linear
+// passes: queries load one shard arena at a time (lazily, with a bounded
+// number resident) and visit nodes in exactly the same order as the
+// unsharded sweep, so every estimate — including the floating-point
+// accumulation order of the distance-distribution histograms — is bitwise
+// identical to the single-arena result. Point queries route of(v) to the
+// owning shard via the manifest's range table.
+//
+// On disk a sharded set is a directory:
+//
+//   MANIFEST            hipads-shards-v1: sketch params + range table
+//   shard-00000.ads2    hipads-ads-v2 arena of nodes [begin_0, end_0)
+//   shard-00001.ads2    ...
+//
+// Each shard file is a complete, independently loadable ADS file whose
+// local node i is global node begin + i; entry target ids stay global.
+
+#ifndef HIPADS_ADS_SHARD_H_
+#define HIPADS_ADS_SHARD_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ads/flat_ads.h"
+#include "ads/serialize.h"
+#include "util/status.h"
+
+namespace hipads {
+
+/// One shard's slice of the node space: the sketches of [begin, end).
+struct ShardInfo {
+  std::string file;  // filename, relative to the manifest's directory
+  NodeId begin = 0;
+  NodeId end = 0;  // exclusive
+  uint64_t num_entries = 0;
+};
+
+/// Filename of the manifest inside a shard directory.
+inline constexpr char kShardManifestName[] = "MANIFEST";
+
+/// True iff `path` is a shard directory (contains a manifest) or a
+/// manifest file itself — the dispatch test serving front ends use to pick
+/// ShardedAdsSet::Open over ReadFlatAdsSetFile.
+bool IsShardedAdsPath(const std::string& path);
+
+/// Split points for `num_shards` contiguous shards balanced by entry count
+/// (node counts can be wildly uneven when sketch sizes differ). Returns the
+/// begin node of each shard; the first is always 0. Fewer shards come back
+/// when the set has fewer nodes than requested shards.
+std::vector<NodeId> BalancedShardSplits(const FlatAdsSet& set,
+                                        uint32_t num_shards);
+
+/// Writes `set` into `dir` (created if needed) as one v2 binary file per
+/// shard plus the manifest; `split_begins` as from BalancedShardSplits
+/// (sorted, unique, first element 0). The manifest is written last, so a
+/// directory with a manifest is complete.
+Status WriteShardedAdsSet(const FlatAdsSet& set, const std::string& dir,
+                          const std::vector<NodeId>& split_begins);
+
+/// Convenience overload: entry-balanced contiguous split into `num_shards`.
+Status WriteShardedAdsSet(const FlatAdsSet& set, const std::string& dir,
+                          uint32_t num_shards);
+
+/// A sharded ADS set opened for serving. Shard arenas load lazily on first
+/// access; at most `max_resident` stay in memory (least-recently-used
+/// eviction), bounding resident memory at roughly the largest
+/// `max_resident` shard arenas.
+///
+/// Loading is not thread-safe: concurrent Shard()/ViewOf() calls must be
+/// externally serialized (the whole-graph sweeps in ads/queries.h do this
+/// naturally — they walk shards sequentially and parallelize inside each).
+/// Views and arena pointers stay valid until the owning shard is evicted,
+/// i.e. until max_resident other shards have been touched.
+class ShardedAdsSet {
+ public:
+  /// An empty set (no shards, no nodes); the state StatusOr needs to
+  /// default-construct. Use Open to get a usable one.
+  ShardedAdsSet() = default;
+
+  /// Opens `path`, which may be the manifest file or its directory. `beta`
+  /// is required for exponential/priority rank kinds, as in ParseAdsSet.
+  static StatusOr<ShardedAdsSet> Open(
+      const std::string& path,
+      std::function<double(uint64_t)> beta = nullptr,
+      uint32_t max_resident = 1);
+
+  SketchFlavor flavor() const { return flavor_; }
+  uint32_t k() const { return k_; }
+  const RankAssignment& ranks() const { return ranks_; }
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_shards() const { return shards_.size(); }
+  const std::vector<ShardInfo>& shards() const { return shards_; }
+  uint64_t TotalEntries() const;
+
+  /// Index of the shard owning node v (v must be < num_nodes()).
+  uint32_t ShardOf(NodeId v) const;
+
+  /// Loads shard `s` if not resident and returns its arena. Fails with
+  /// IOError/Corruption if the shard file is missing, damaged, or
+  /// inconsistent with the manifest.
+  StatusOr<const FlatAdsSet*> Shard(uint32_t s) const;
+
+  /// View of ADS(v), loading the owning shard on demand.
+  StatusOr<AdsView> ViewOf(NodeId v) const;
+
+  /// Number of shard arenas currently in memory (for tests/metrics).
+  uint32_t NumResident() const;
+
+ private:
+  std::string dir_;
+  SketchFlavor flavor_ = SketchFlavor::kBottomK;
+  uint32_t k_ = 0;
+  RankAssignment ranks_ = RankAssignment::Uniform(0);
+  uint64_t num_nodes_ = 0;
+  std::vector<ShardInfo> shards_;
+  std::function<double(uint64_t)> beta_;
+  uint32_t max_resident_ = 1;
+
+  // Lazy-load cache: resident_[s] is null until shard s is first touched;
+  // last_used_ drives LRU eviction once more than max_resident_ are live.
+  mutable std::vector<std::unique_ptr<FlatAdsSet>> resident_;
+  mutable std::vector<uint64_t> last_used_;
+  mutable uint64_t tick_ = 0;
+};
+
+}  // namespace hipads
+
+#endif  // HIPADS_ADS_SHARD_H_

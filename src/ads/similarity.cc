@@ -11,7 +11,11 @@ namespace hipads {
 
 namespace {
 
-// (rank, node) pairs of entries within distance d, sorted by rank.
+// (rank, node) pairs of entries within distance d, sorted by (rank, node).
+// Node ids ride along so the merges below can tell apart distinct nodes
+// whose ranks collide — routine under base-b discretization (DiscretizeRank
+// maps whole rank intervals to one power of 1/b), where deduplicating by
+// rank value alone would conflate different elements.
 std::vector<std::pair<double, NodeId>> RankedWithin(const Ads& ads,
                                                     double d) {
   std::vector<std::pair<double, NodeId>> out;
@@ -30,22 +34,21 @@ double JaccardSimilarity(const Ads& u, const Ads& v, double d, uint32_t k,
   auto ru = RankedWithin(u, d);
   auto rv = RankedWithin(v, d);
   if (ru.empty() && rv.empty()) return 0.0;
-  // Merge to the k smallest distinct samples of the union; count how many
-  // appear in both neighborhoods' sketches. An element of the union sample
-  // is in the intersection iff it appears in both lists (coordination
-  // guarantees a shared element has the same rank in both).
+  // Merge to the k smallest distinct samples of the union, ordered by
+  // (rank, node id) so rank ties break identically on both sides; count
+  // how many appear in both neighborhoods' sketches. An element of the
+  // union sample is in the intersection iff the same node appears in both
+  // lists (coordination guarantees it carries the same rank in both, so
+  // equal (rank, node) pairs are the same element).
   size_t i = 0, j = 0;
   uint32_t taken = 0, shared = 0;
   while (taken < k && (i < ru.size() || j < rv.size())) {
-    double next_u = i < ru.size() ? ru[i].first
-                                  : std::numeric_limits<double>::infinity();
-    double next_v = j < rv.size() ? rv[j].first
-                                  : std::numeric_limits<double>::infinity();
-    if (next_u == next_v) {
+    bool have_u = i < ru.size(), have_v = j < rv.size();
+    if (have_u && have_v && ru[i] == rv[j]) {
       ++shared;
       ++i;
       ++j;
-    } else if (next_u < next_v) {
+    } else if (!have_v || (have_u && ru[i] < rv[j])) {
       ++i;
     } else {
       ++j;
@@ -58,17 +61,20 @@ double JaccardSimilarity(const Ads& u, const Ads& v, double d, uint32_t k,
 
 double UnionCardinality(const Ads& u, const Ads& v, double d, uint32_t k,
                         double sup) {
+  // Deduplicate the merged sample by node id: a node present in both
+  // sketches contributes once (its (rank, node) pair is identical on both
+  // sides by coordination), while distinct nodes with colliding ranks —
+  // the base-b case — stay distinct samples.
+  auto ru = RankedWithin(u, d);
+  auto rv = RankedWithin(v, d);
+  std::vector<std::pair<double, NodeId>> merged_pairs;
+  merged_pairs.reserve(ru.size() + rv.size());
+  std::merge(ru.begin(), ru.end(), rv.begin(), rv.end(),
+             std::back_inserter(merged_pairs));
+  merged_pairs.erase(std::unique(merged_pairs.begin(), merged_pairs.end()),
+                     merged_pairs.end());
   BottomKSketch merged(k, sup);
-  for (const AdsEntry& e : u.entries()) {
-    if (e.dist > d) break;
-    merged.Update(e.rank);
-  }
-  for (const AdsEntry& e : v.entries()) {
-    if (e.dist > d) break;
-    // Shared nodes carry identical ranks; skip exact duplicates so the
-    // merged sketch samples distinct elements.
-    if (!merged.Contains(e.rank)) merged.Update(e.rank);
-  }
+  for (const auto& pair : merged_pairs) merged.Update(pair.first);
   return BottomKBasicEstimate(merged);
 }
 

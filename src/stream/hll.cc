@@ -13,6 +13,18 @@ HyperLogLog::HyperLogLog(uint32_t k, uint64_t seed, uint32_t register_cap)
   assert(register_cap >= 1 && register_cap <= 63);
 }
 
+HyperLogLog HyperLogLog::FromRegisters(uint32_t k, uint64_t seed,
+                                       std::vector<uint8_t> registers,
+                                       uint32_t register_cap) {
+  HyperLogLog hll(k, seed, register_cap);
+  assert(registers.size() == k);
+  for (uint8_t& m : registers) {
+    if (m > register_cap) m = static_cast<uint8_t>(register_cap);
+  }
+  hll.registers_ = std::move(registers);
+  return hll;
+}
+
 bool HyperLogLog::Add(uint64_t element) {
   uint32_t bucket = BucketHash(seed_, element, k_);
   double r = UnitHash(seed_, element);
@@ -45,10 +57,12 @@ double HyperLogLog::Estimate() const {
     }
     return raw;
   }
-  constexpr double kTwo32 = 4294967296.0;
-  if (raw > kTwo32 / 30.0) {
-    return -kTwo32 * std::log(1.0 - raw / kTwo32);
-  }
+  // The published large-range correction -2^32 ln(1 - raw/2^32) models
+  // collisions of a 32-bit hash. Ranks here come from the 64-bit UnitHash,
+  // whose collision regime starts ~2^32 times later — applying the 32-bit
+  // correction would inflate estimates past 2^32/30 and return negative or
+  // NaN values for raw >= 2^32, so there is no correction to apply at any
+  // cardinality this sketch can meaningfully count.
   return raw;
 }
 

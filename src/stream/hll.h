@@ -2,9 +2,11 @@
 // Meunier 2007) — the paper's Section 6 baseline.
 //
 // The sketch is a k-partition MinHash sketch with base-2 ranks stored as
-// 5-bit exponent registers. Both the raw estimator and the published
-// small/large-range bias corrections are implemented, so the bench can
-// reproduce the paper's "HLLraw" and "HLL" series of Figure 3.
+// 5-bit exponent registers. The raw estimator and the published small-range
+// (linear counting) bias correction are implemented, so the bench can
+// reproduce the paper's "HLLraw" and "HLL" series of Figure 3. The 32-bit
+// large-range correction is omitted: ranks come from the 64-bit UnitHash,
+// for which that correction is simply wrong (see Estimate()).
 
 #ifndef HIPADS_STREAM_HLL_H_
 #define HIPADS_STREAM_HLL_H_
@@ -21,15 +23,24 @@ class HyperLogLog {
   /// registers of the paper's comparison).
   explicit HyperLogLog(uint32_t k, uint64_t seed, uint32_t register_cap = 31);
 
+  /// Reconstructs a sketch from stored register values (e.g. a serialized
+  /// sketch, or a synthetic state in tests). `registers` must have size k;
+  /// values above `register_cap` are clipped to it.
+  static HyperLogLog FromRegisters(uint32_t k, uint64_t seed,
+                                   std::vector<uint8_t> registers,
+                                   uint32_t register_cap = 31);
+
   /// Observes an element; returns true iff a register grew.
   bool Add(uint64_t element);
 
   /// Raw estimator alpha_k k^2 / sum_i 2^{-M[i]}.
   double RawEstimate() const;
 
-  /// Bias-corrected estimate: small-range linear counting when
-  /// raw <= 2.5k and empty registers exist; large-range correction near the
-  /// 32-bit hash-space limit (kept for fidelity to the published algorithm).
+  /// Bias-corrected estimate: small-range linear counting when raw <= 2.5k
+  /// and empty registers exist, the raw estimator otherwise. The published
+  /// 32-bit large-range correction is deliberately omitted: ranks come from
+  /// the 64-bit UnitHash, for which the 2^32 collision correction is wrong
+  /// (it would go negative/NaN near and past 2^32).
   double Estimate() const;
 
   /// Merge by register-wise max (the standard HLL union).

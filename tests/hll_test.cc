@@ -86,6 +86,36 @@ TEST(HllTest, AlphaConstants) {
   EXPECT_NEAR(HyperLogLog::Alpha(1024), 0.7213 / (1.0 + 1.079 / 1024), 1e-9);
 }
 
+TEST(HllTest, LargeRawEstimatesStayFiniteAndUncorrected) {
+  // Regression: the classic 2^32 large-range correction assumes a 32-bit
+  // hash; ranks here come from the 64-bit UnitHash, so applying it inflated
+  // estimates past 2^32/30 and returned negative/NaN values past 2^32.
+  // Pin: for any register state whose raw estimate is large, Estimate()
+  // returns exactly the raw estimate — finite and positive.
+  for (uint8_t fill : {uint8_t{25}, uint8_t{30}, uint8_t{45}, uint8_t{60}}) {
+    const uint32_t k = 16;
+    auto hll = HyperLogLog::FromRegisters(
+        k, 1, std::vector<uint8_t>(k, fill), /*register_cap=*/63);
+    double raw = hll.RawEstimate();
+    ASSERT_GT(raw, 2.5 * k);
+    EXPECT_TRUE(std::isfinite(hll.Estimate())) << "fill=" << int(fill);
+    EXPECT_GT(hll.Estimate(), 0.0) << "fill=" << int(fill);
+    EXPECT_DOUBLE_EQ(hll.Estimate(), raw) << "fill=" << int(fill);
+  }
+  // fill=45 puts raw well past 2^32: the old correction returned NaN here.
+  auto past_2_32 = HyperLogLog::FromRegisters(
+      16, 1, std::vector<uint8_t>(16, 45), /*register_cap=*/63);
+  EXPECT_GT(past_2_32.RawEstimate(), 4294967296.0);
+}
+
+TEST(HllTest, FromRegistersMatchesAddedSketch) {
+  HyperLogLog added(16, 9);
+  for (uint64_t e = 0; e < 1000; ++e) added.Add(e);
+  auto rebuilt = HyperLogLog::FromRegisters(16, 9, added.registers());
+  EXPECT_EQ(rebuilt.registers(), added.registers());
+  EXPECT_DOUBLE_EQ(rebuilt.Estimate(), added.Estimate());
+}
+
 TEST(HllTest, AddReturnsWhetherRegisterGrew) {
   HyperLogLog hll(8, 11);
   bool grew = hll.Add(42);

@@ -152,6 +152,64 @@ TEST(SerializeTest, RejectsOutOfRangePart) {
   EXPECT_FALSE(ParseAdsSet(text).ok());
 }
 
+TEST(SerializeTest, BothParsersRejectDuplicateNodeBlocks) {
+  // Two blocks for node 0 (and none for node 1): historically the AdsSet
+  // parser silently let the last block win while the flat parser rejected
+  // it; both must reject so the two loaders accept identical file sets.
+  std::string text =
+      "hipads-ads-v1\nflavor bottom-k\nk 2\nranks uniform 1\nnodes 2\n"
+      "0 1\n0 0 0.5 0\n"
+      "0 1\n1 0 0.25 1\n";
+  auto as_set = ParseAdsSet(text);
+  EXPECT_FALSE(as_set.ok());
+  EXPECT_EQ(as_set.status().code(), Status::Code::kCorruption);
+  auto as_flat = ParseFlatAdsSet(text);
+  EXPECT_FALSE(as_flat.ok());
+  EXPECT_EQ(as_flat.status().code(), Status::Code::kCorruption);
+}
+
+TEST(SerializeTest, BothParsersRejectOutOfOrderNodeBlocks) {
+  std::string text =
+      "hipads-ads-v1\nflavor bottom-k\nk 2\nranks uniform 1\nnodes 2\n"
+      "1 1\n1 0 0.25 0\n"
+      "0 1\n0 0 0.5 0\n";
+  EXPECT_FALSE(ParseAdsSet(text).ok());
+  EXPECT_FALSE(ParseFlatAdsSet(text).ok());
+}
+
+TEST(SerializeTest, BothParsersRejectTrailingGarbage) {
+  Graph g = ErdosRenyi(20, 60, true, 47);
+  AdsSet set = BuildAdsPrunedDijkstra(g, 2, SketchFlavor::kBottomK,
+                                      RankAssignment::Uniform(1));
+  std::string text = SerializeAdsSet(set);
+  ASSERT_TRUE(ParseAdsSet(text).ok());
+  ASSERT_TRUE(ParseFlatAdsSet(text).ok());
+  for (const char* junk : {"0", "garbage", "0 1\n0 0 0.5 0\n"}) {
+    auto as_set = ParseAdsSet(text + junk);
+    EXPECT_FALSE(as_set.ok()) << junk;
+    EXPECT_EQ(as_set.status().code(), Status::Code::kCorruption);
+    auto as_flat = ParseFlatAdsSet(text + junk);
+    EXPECT_FALSE(as_flat.ok()) << junk;
+    EXPECT_EQ(as_flat.status().code(), Status::Code::kCorruption);
+  }
+  // Trailing whitespace is not garbage.
+  EXPECT_TRUE(ParseAdsSet(text + "\n \n").ok());
+  EXPECT_TRUE(ParseFlatAdsSet(text + "\n \n").ok());
+}
+
+TEST(SerializeTest, ParsersAgreeOnAcceptance) {
+  // The two v1 parsers must accept/reject the same inputs.
+  Graph g = ErdosRenyi(25, 75, true, 53);
+  AdsSet set = BuildAdsPrunedDijkstra(g, 4, SketchFlavor::kBottomK,
+                                      RankAssignment::Uniform(2));
+  std::string valid = SerializeAdsSet(set);
+  for (size_t len : {valid.size(), valid.size() / 2, valid.size() - 1}) {
+    std::string text = valid.substr(0, len);
+    EXPECT_EQ(ParseAdsSet(text).ok(), ParseFlatAdsSet(text).ok())
+        << "prefix length " << len;
+  }
+}
+
 TEST(SerializeTest, ReadMissingFileFails) {
   auto result = ReadAdsSetFile("/nonexistent/sketches.ads");
   EXPECT_FALSE(result.ok());

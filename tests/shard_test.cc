@@ -1,0 +1,250 @@
+// ShardedAdsSet: sharded write/open round-trips, lazy loading with bounded
+// residency, and — the serving contract — whole-graph estimator sweeps that
+// match the unsharded FlatAdsSet results bitwise.
+
+#include "ads/shard.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "ads/builders.h"
+#include "ads/estimators.h"
+#include "ads/queries.h"
+#include "graph/generators.h"
+
+namespace hipads {
+namespace {
+
+FlatAdsSet BuildFlat(uint32_t n, uint64_t graph_seed, uint32_t k) {
+  Graph g = ErdosRenyi(n, 3ULL * n, true, graph_seed);
+  return FlatAdsSet::FromAdsSet(BuildAdsPrunedDijkstra(
+      g, k, SketchFlavor::kBottomK, RankAssignment::Uniform(graph_seed + 1)));
+}
+
+// Unique scratch dir per test; removed on destruction.
+struct ScratchDir {
+  explicit ScratchDir(const std::string& name)
+      : path((std::filesystem::temp_directory_path() / name).string()) {
+    std::filesystem::remove_all(path);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(path); }
+  std::string path;
+};
+
+TEST(ShardTest, BalancedSplitsTileTheNodeRange) {
+  FlatAdsSet set = BuildFlat(200, 5, 8);
+  for (uint32_t shards : {1u, 3u, 7u, 200u, 500u}) {
+    auto begins = BalancedShardSplits(set, shards);
+    ASSERT_FALSE(begins.empty());
+    EXPECT_EQ(begins.front(), 0u);
+    EXPECT_LE(begins.size(), std::min<size_t>(shards, set.num_nodes()));
+    for (size_t i = 1; i < begins.size(); ++i) {
+      EXPECT_GT(begins[i], begins[i - 1]);
+      EXPECT_LT(begins[i], set.num_nodes());
+    }
+  }
+}
+
+TEST(ShardTest, RoundTripPointLookupsBitIdentical) {
+  FlatAdsSet set = BuildFlat(150, 9, 8);
+  ScratchDir dir("hipads_shard_test_roundtrip");
+  ASSERT_TRUE(WriteShardedAdsSet(set, dir.path, 4).ok());
+
+  auto opened = ShardedAdsSet::Open(dir.path);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  const ShardedAdsSet& sharded = opened.value();
+  EXPECT_EQ(sharded.num_nodes(), set.num_nodes());
+  EXPECT_EQ(sharded.num_shards(), 4u);
+  EXPECT_EQ(sharded.TotalEntries(), set.TotalEntries());
+  EXPECT_EQ(sharded.k(), set.k);
+  EXPECT_EQ(sharded.flavor(), set.flavor);
+  EXPECT_EQ(sharded.ranks().seed(), set.ranks.seed());
+
+  for (NodeId v = 0; v < set.num_nodes(); ++v) {
+    auto view = sharded.ViewOf(v);
+    ASSERT_TRUE(view.ok()) << view.status().ToString();
+    auto expect = set.of(v).entries();
+    auto got = view.value().entries();
+    ASSERT_EQ(expect.size(), got.size()) << "node " << v;
+    EXPECT_EQ(std::memcmp(expect.data(), got.data(),
+                          expect.size() * sizeof(AdsEntry)),
+              0)
+        << "node " << v;
+  }
+}
+
+TEST(ShardTest, LazyLoadingBoundsResidentShards) {
+  FlatAdsSet set = BuildFlat(120, 13, 4);
+  ScratchDir dir("hipads_shard_test_lazy");
+  ASSERT_TRUE(WriteShardedAdsSet(set, dir.path, 6).ok());
+  auto opened = ShardedAdsSet::Open(dir.path, nullptr, /*max_resident=*/2);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  const ShardedAdsSet& sharded = opened.value();
+  EXPECT_EQ(sharded.NumResident(), 0u);  // nothing loaded at open
+  for (NodeId v = 0; v < set.num_nodes(); ++v) {
+    ASSERT_TRUE(sharded.ViewOf(v).ok());
+    EXPECT_LE(sharded.NumResident(), 2u);
+  }
+  EXPECT_EQ(sharded.NumResident(), 2u);
+}
+
+TEST(ShardTest, SweepsMatchUnshardedBitwise) {
+  FlatAdsSet set = BuildFlat(180, 21, 8);
+  ScratchDir dir("hipads_shard_test_sweeps");
+  ASSERT_TRUE(WriteShardedAdsSet(set, dir.path, 5).ok());
+  // max_resident = 1: every sweep must still match with only one shard
+  // arena in memory at a time.
+  auto opened = ShardedAdsSet::Open(dir.path, nullptr, /*max_resident=*/1);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  const ShardedAdsSet& sharded = opened.value();
+
+  auto harmonic = EstimateHarmonicCentralityAll(sharded, 1);
+  ASSERT_TRUE(harmonic.ok());
+  EXPECT_EQ(harmonic.value(), EstimateHarmonicCentralityAll(set, 1));
+
+  auto distsum = EstimateDistanceSumAll(sharded, 1);
+  ASSERT_TRUE(distsum.ok());
+  EXPECT_EQ(distsum.value(), EstimateDistanceSumAll(set, 1));
+
+  auto reach = EstimateReachableCountAll(sharded, 1);
+  ASSERT_TRUE(reach.ok());
+  EXPECT_EQ(reach.value(), EstimateReachableCountAll(set, 1));
+
+  auto nsize = EstimateNeighborhoodSizeAll(sharded, 2.0, 1);
+  ASSERT_TRUE(nsize.ok());
+  EXPECT_EQ(nsize.value(), EstimateNeighborhoodSizeAll(set, 2.0, 1));
+
+  auto dd = EstimateDistanceDistribution(sharded, 1);
+  ASSERT_TRUE(dd.ok());
+  EXPECT_EQ(dd.value(), EstimateDistanceDistribution(set, 1));
+
+  auto nf = EstimateNeighborhoodFunction(sharded, 1);
+  ASSERT_TRUE(nf.ok());
+  EXPECT_EQ(nf.value(), EstimateNeighborhoodFunction(set, 1));
+
+  auto eff = EstimateEffectiveDiameter(sharded);
+  ASSERT_TRUE(eff.ok());
+  EXPECT_EQ(eff.value(), EstimateEffectiveDiameter(set));
+
+  auto mean = EstimateMeanDistance(sharded);
+  ASSERT_TRUE(mean.ok());
+  EXPECT_EQ(mean.value(), EstimateMeanDistance(set));
+}
+
+TEST(ShardTest, SweepsThreadCountIndependent) {
+  FlatAdsSet set = BuildFlat(100, 33, 4);
+  ScratchDir dir("hipads_shard_test_threads");
+  ASSERT_TRUE(WriteShardedAdsSet(set, dir.path, 3).ok());
+  auto opened = ShardedAdsSet::Open(dir.path);
+  ASSERT_TRUE(opened.ok());
+  auto one = EstimateDistanceDistribution(opened.value(), 1);
+  auto four = EstimateDistanceDistribution(opened.value(), 4);
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(four.ok());
+  EXPECT_EQ(one.value(), four.value());
+}
+
+TEST(ShardTest, SingleShardEqualsWholeSet) {
+  FlatAdsSet set = BuildFlat(60, 41, 4);
+  ScratchDir dir("hipads_shard_test_single");
+  ASSERT_TRUE(WriteShardedAdsSet(set, dir.path, 1).ok());
+  auto opened = ShardedAdsSet::Open(dir.path);
+  ASSERT_TRUE(opened.ok());
+  auto shard = opened.value().Shard(0);
+  ASSERT_TRUE(shard.ok());
+  EXPECT_EQ(shard.value()->offsets, set.offsets);
+  ASSERT_EQ(shard.value()->entries.size(), set.entries.size());
+  EXPECT_EQ(std::memcmp(shard.value()->entries.data(), set.entries.data(),
+                        set.entries.size() * sizeof(AdsEntry)),
+            0);
+}
+
+TEST(ShardTest, MissingShardFileFailsCleanly) {
+  FlatAdsSet set = BuildFlat(80, 43, 4);
+  ScratchDir dir("hipads_shard_test_missing");
+  ASSERT_TRUE(WriteShardedAdsSet(set, dir.path, 4).ok());
+  std::filesystem::remove(std::filesystem::path(dir.path) /
+                          "shard-00002.ads2");
+  auto opened = ShardedAdsSet::Open(dir.path);
+  ASSERT_TRUE(opened.ok());  // manifest opens; the hole surfaces lazily
+  auto result = EstimateHarmonicCentralityAll(opened.value());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kIOError);
+}
+
+TEST(ShardTest, CorruptShardFileFailsCleanly) {
+  FlatAdsSet set = BuildFlat(80, 47, 4);
+  ScratchDir dir("hipads_shard_test_corrupt");
+  ASSERT_TRUE(WriteShardedAdsSet(set, dir.path, 2).ok());
+  std::string shard_path =
+      (std::filesystem::path(dir.path) / "shard-00001.ads2").string();
+  // Flip one payload byte in place.
+  std::fstream f(shard_path,
+                 std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good());
+  f.seekp(-3, std::ios::end);
+  char c;
+  f.seekg(f.tellp());
+  f.get(c);
+  f.seekp(-3, std::ios::end);
+  f.put(static_cast<char>(c ^ 0x10));
+  f.close();
+
+  auto opened = ShardedAdsSet::Open(dir.path);
+  ASSERT_TRUE(opened.ok());
+  auto result = EstimateHarmonicCentralityAll(opened.value());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kCorruption);
+}
+
+TEST(ShardTest, ShardInconsistentWithManifestRejected) {
+  FlatAdsSet set = BuildFlat(80, 53, 4);
+  ScratchDir dir("hipads_shard_test_mismatch");
+  ASSERT_TRUE(WriteShardedAdsSet(set, dir.path, 2).ok());
+  // Replace shard 1 with a structurally valid file of different params.
+  FlatAdsSet other = BuildFlat(10, 59, 2);
+  ASSERT_TRUE(WriteAdsSetFile(
+                  other,
+                  (std::filesystem::path(dir.path) / "shard-00001.ads2")
+                      .string(),
+                  AdsFileFormat::kBinaryV2)
+                  .ok());
+  auto opened = ShardedAdsSet::Open(dir.path);
+  ASSERT_TRUE(opened.ok());
+  auto result = opened.value().Shard(1);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kCorruption);
+}
+
+TEST(ShardTest, ManifestGarbageRejected) {
+  ScratchDir dir("hipads_shard_test_manifest");
+  std::filesystem::create_directories(dir.path);
+  auto write_manifest = [&](const std::string& text) {
+    std::ofstream f(std::filesystem::path(dir.path) / kShardManifestName);
+    f << text;
+  };
+  write_manifest("not-a-manifest\n");
+  EXPECT_FALSE(ShardedAdsSet::Open(dir.path).ok());
+  write_manifest("hipads-shards-v1\nflavor bottom-k\nk 4\n");
+  EXPECT_FALSE(ShardedAdsSet::Open(dir.path).ok());
+  // Ranges that do not tile [0, nodes).
+  write_manifest(
+      "hipads-shards-v1\nflavor bottom-k\nk 4\nranks uniform 1\nnodes 10\n"
+      "shards 2\nshard 0 4 0 a.ads2\nshard 5 10 0 b.ads2\n");
+  EXPECT_FALSE(ShardedAdsSet::Open(dir.path).ok());
+  // Trailing garbage after the shard table.
+  write_manifest(
+      "hipads-shards-v1\nflavor bottom-k\nk 4\nranks uniform 1\nnodes 10\n"
+      "shards 1\nshard 0 10 0 a.ads2\nextra\n");
+  EXPECT_FALSE(ShardedAdsSet::Open(dir.path).ok());
+  // Open of a missing directory is an IOError.
+  auto missing = ShardedAdsSet::Open(dir.path + "_nope");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), Status::Code::kIOError);
+}
+
+}  // namespace
+}  // namespace hipads

@@ -102,6 +102,56 @@ TEST(SimilarityTest, IntersectionIsJaccardTimesUnion) {
                    j * un);
 }
 
+TEST(SimilarityTest, RankCollisionsAcrossNodesAreDistinctElements) {
+  // Regression: two sketches whose entries collide on rank *values* while
+  // naming different nodes. The merge must key on (rank, node), not rank:
+  // rank-only matching counted A/C as shared and collapsed the union.
+  Ads u(std::vector<AdsEntry>{{/*A=*/0, 0, 0.25, 0.0},
+                              {/*B=*/1, 0, 0.25, 1.0}});
+  Ads v(std::vector<AdsEntry>{{/*C=*/2, 0, 0.25, 0.0},
+                              {/*D=*/3, 0, 0.5, 1.0}});
+  const uint32_t k = 8;
+  EXPECT_EQ(JaccardSimilarity(u, v, 2.0, k), 0.0);
+  EXPECT_DOUBLE_EQ(UnionCardinality(u, v, 2.0, k), 4.0);
+  EXPECT_EQ(IntersectionCardinality(u, v, 2.0, k), 0.0);
+  // Sanity: a genuinely shared node (same id, same rank) still counts.
+  Ads w(std::vector<AdsEntry>{{/*A=*/0, 0, 0.25, 0.0},
+                              {/*D=*/3, 0, 0.5, 1.0}});
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(u, w, 2.0, k), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(UnionCardinality(u, w, 2.0, k), 3.0);
+}
+
+TEST(SimilarityTest, BaseBRanksExactWhenNeighborhoodsFitInK) {
+  // Base-b discretization makes rank collisions across distinct nodes
+  // routine; with node-id dedup the estimators stay exact whenever both
+  // neighborhoods fit in k. (Rank-value dedup failed this on most seeds.)
+  Graph g = Path(12);
+  const uint32_t k = 32;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    AdsSet set = BuildAdsPrunedDijkstra(g, k, SketchFlavor::kBottomK,
+                                        RankAssignment::BaseB(seed, 2.0));
+    for (double d : {1.0, 2.0, 3.0}) {
+      for (NodeId u : {2u, 5u}) {
+        for (NodeId v : {5u, 7u}) {
+          EXPECT_NEAR(JaccardSimilarity(set.of(u), set.of(v), d, k),
+                      ExactJaccard(g, u, v, d), 1e-12)
+              << "seed=" << seed << " u=" << u << " v=" << v << " d=" << d;
+        }
+      }
+    }
+    // Union of the 2-neighborhoods of 2 and 7 is all nodes within
+    // distance 2 of either: exact because everything fits in k.
+    auto n2 = NeighborhoodAtDistance(g, 2, 2.0);
+    auto n7 = NeighborhoodAtDistance(g, 7, 2.0);
+    std::vector<NodeId> uni;
+    std::set_union(n2.begin(), n2.end(), n7.begin(), n7.end(),
+                   std::back_inserter(uni));
+    EXPECT_DOUBLE_EQ(UnionCardinality(set.of(2), set.of(7), 2.0, k),
+                     static_cast<double>(uni.size()))
+        << "seed=" << seed;
+  }
+}
+
 TEST(SimilarityTest, CloseNodesMoreSimilarThanFarNodes) {
   Graph g = Grid2D(15, 15);
   AdsSet set = BuildAdsPrunedDijkstra(g, 16, SketchFlavor::kBottomK,

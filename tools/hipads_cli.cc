@@ -3,15 +3,22 @@
 // Subcommands:
 //   generate   write a synthetic graph as a SNAP edge list
 //   sketch     build the ADS set of an edge-list graph and store it
+//   convert    re-encode a stored ADS set (v1 text <-> v2 binary)
+//   shard      split a stored ADS set into a sharded directory
 //   query      answer estimation queries from a stored ADS set
 //   stats      whole-graph statistics from a stored ADS set
 //
+// `query` and `stats` accept a plain ADS file (v1 or v2, auto-detected) or
+// a shard directory / manifest written by `shard`.
+//
 // Examples:
 //   hipads_cli generate --model ba --nodes 100000 --out graph.txt
-//   hipads_cli sketch --graph graph.txt --k 32 --out sketches.ads
-//   hipads_cli query --sketches sketches.ads --node 17 --distance 3
-//   hipads_cli query --sketches sketches.ads --top 10 --centrality harmonic
-//   hipads_cli stats --sketches sketches.ads
+//   hipads_cli sketch --graph graph.txt --k 32 --format binary --out s.ads2
+//   hipads_cli convert --in s.ads2 --format text --out s.ads
+//   hipads_cli shard --in s.ads2 --shards 8 --out-dir shards/
+//   hipads_cli query --sketches s.ads2 --node 17 --distance 3
+//   hipads_cli query --sketches shards/ --top 10 --centrality harmonic
+//   hipads_cli stats --sketches shards/
 
 #include <cstdio>
 #include <cstdlib>
@@ -20,11 +27,14 @@
 #include <map>
 #include <string>
 
+#include <filesystem>
+
 #include "ads/builders.h"
 #include "ads/estimators.h"
 #include "ads/flat_ads.h"
 #include "ads/queries.h"
 #include "ads/serialize.h"
+#include "ads/shard.h"
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "util/parallel.h"
@@ -69,6 +79,18 @@ class Args {
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+bool ParseFormatFlag(const std::string& name, AdsFileFormat* out) {
+  if (name == "text" || name == "v1") {
+    *out = AdsFileFormat::kTextV1;
+  } else if (name == "binary" || name == "v2") {
+    *out = AdsFileFormat::kBinaryV2;
+  } else {
+    std::fprintf(stderr, "unknown --format %s (text|binary)\n", name.c_str());
+    return false;
+  }
+  return true;
 }
 
 int CmdGenerate(const Args& args) {
@@ -140,24 +162,150 @@ int CmdSketch(const Args& args) {
           : BuildAdsPrunedDijkstraParallel(g, k, flavor, ranks, threads,
                                            &stats);
   std::string out = args.Get("out", "sketches.ads");
-  // Both layouts serialize to byte-identical text, so write straight from
-  // the builder output; query/stats load the file into the flat arena.
-  Status s = WriteAdsSetFile(set, out);
+  uint32_t shards = static_cast<uint32_t>(args.GetInt("shards", 0));
+  std::string format_name = args.Get("format", "text");
+  AdsFileFormat format;
+  if (!ParseFormatFlag(format_name, &format)) return 2;
+  if (shards > 0 && args.Has("format") &&
+      format != AdsFileFormat::kBinaryV2) {
+    std::fprintf(stderr,
+                 "--shards writes hipads-ads-v2 binary shards; "
+                 "--format %s conflicts\n",
+                 format_name.c_str());
+    return 2;
+  }
+  // Both layouts serialize to byte-identical bytes, so write straight from
+  // the builder output; query/stats load files into the flat arena.
+  Status s = shards > 0
+                 ? WriteShardedAdsSet(FlatAdsSet::FromAdsSet(set), out,
+                                      shards)
+                 : WriteAdsSetFile(set, out, format);
   if (!s.ok()) return Fail(s);
   std::printf(
       "sketched %u nodes (k=%u, %s, %u threads): %llu entries (%.1f/node), "
-      "%llu relaxations -> %s\n",
+      "%llu relaxations -> %s%s\n",
       g.num_nodes(), k, flavor_name.c_str(), threads,
       static_cast<unsigned long long>(set.TotalEntries()),
       static_cast<double>(set.TotalEntries()) / g.num_nodes(),
-      static_cast<unsigned long long>(stats.relaxations), out.c_str());
+      static_cast<unsigned long long>(stats.relaxations), out.c_str(),
+      shards > 0 ? " (sharded)" : "");
+  return 0;
+}
+
+int CmdConvert(const Args& args) {
+  std::string in = args.Get("in", "");
+  std::string out = args.Get("out", "");
+  if (in.empty() || out.empty()) {
+    std::fprintf(stderr, "convert requires --in FILE --out FILE\n");
+    return 2;
+  }
+  AdsFileFormat format;
+  if (!ParseFormatFlag(args.Get("format", "binary"), &format)) return 2;
+  auto loaded = ReadFlatAdsSetFile(in);
+  if (!loaded.ok()) return Fail(loaded.status());
+  Status s = WriteAdsSetFile(loaded.value(), out, format);
+  if (!s.ok()) return Fail(s);
+  std::printf("converted %s -> %s (%s, %zu nodes, %llu entries)\n",
+              in.c_str(), out.c_str(),
+              format == AdsFileFormat::kBinaryV2 ? "hipads-ads-v2 binary"
+                                                 : "hipads-ads-v1 text",
+              loaded.value().num_nodes(),
+              static_cast<unsigned long long>(loaded.value().TotalEntries()));
+  return 0;
+}
+
+int CmdShard(const Args& args) {
+  std::string in = args.Get("in", "");
+  std::string dir = args.Get("out-dir", "");
+  if (in.empty() || dir.empty()) {
+    std::fprintf(stderr,
+                 "shard requires --in FILE --out-dir DIR [--shards N]\n");
+    return 2;
+  }
+  uint32_t shards = static_cast<uint32_t>(args.GetInt("shards", 4));
+  auto loaded = ReadFlatAdsSetFile(in);
+  if (!loaded.ok()) return Fail(loaded.status());
+  Status s = WriteShardedAdsSet(loaded.value(), dir, shards);
+  if (!s.ok()) return Fail(s);
+  std::printf("sharded %s -> %s: %u shards, %zu nodes, %llu entries\n",
+              in.c_str(), dir.c_str(), shards, loaded.value().num_nodes(),
+              static_cast<unsigned long long>(loaded.value().TotalEntries()));
+  return 0;
+}
+
+void PrintTopTable(const std::vector<double>& scores,
+                   const std::string& kind, uint32_t count) {
+  Table t({"rank", "node", kind});
+  auto top = TopKNodes(scores, count);
+  for (size_t i = 0; i < top.size(); ++i) {
+    t.NewRow()
+        .Add(static_cast<uint64_t>(i + 1))
+        .Add(static_cast<uint64_t>(top[i]))
+        .Add(scores[top[i]], 6);
+  }
+  t.PrintText(std::cout);
+}
+
+void PrintNodeQuery(const Args& args, uint64_t node,
+                    const HipEstimator& est) {
+  if (args.Has("distance")) {
+    double d = args.GetDouble("distance", 1.0);
+    std::printf("|N_%g(%llu)| ~ %.1f\n", d,
+                static_cast<unsigned long long>(node),
+                est.NeighborhoodCardinality(d));
+  } else {
+    std::printf("node %llu: reachable ~ %.1f, harmonic ~ %.2f, "
+                "distance sum ~ %.1f\n",
+                static_cast<unsigned long long>(node), est.ReachableCount(),
+                est.HarmonicCentrality(), est.DistanceSum());
+  }
+}
+
+// Serving a sharded directory: sweeps run shard-at-a-time with at most
+// --resident shard arenas in memory; results are bitwise identical to the
+// unsharded file.
+int CmdQuerySharded(const Args& args, const std::string& path) {
+  uint32_t resident = static_cast<uint32_t>(args.GetInt("resident", 1));
+  auto opened = ShardedAdsSet::Open(path, nullptr, resident);
+  if (!opened.ok()) return Fail(opened.status());
+  const ShardedAdsSet& set = opened.value();
+
+  if (args.Has("top")) {
+    std::string kind = args.Get("centrality", "harmonic");
+    StatusOr<std::vector<double>> scores =
+        kind == "harmonic" ? EstimateHarmonicCentralityAll(set)
+        : kind == "distsum" ? EstimateDistanceSumAll(set)
+        : kind == "reach"   ? EstimateReachableCountAll(set)
+                            : StatusOr<std::vector<double>>(
+                                  Status::InvalidArgument(
+                                      "unknown --centrality " + kind));
+    if (!scores.ok()) return Fail(scores.status());
+    PrintTopTable(scores.value(),
+                  kind, static_cast<uint32_t>(args.GetInt("top", 10)));
+    return 0;
+  }
+
+  uint64_t node = args.GetInt("node", 0);
+  auto view = set.ViewOf(static_cast<NodeId>(node));
+  if (node >= set.num_nodes() || !view.ok()) {
+    if (node >= set.num_nodes()) {
+      std::fprintf(stderr, "node %llu out of range (%zu nodes)\n",
+                   static_cast<unsigned long long>(node), set.num_nodes());
+      return 2;
+    }
+    return Fail(view.status());
+  }
+  HipEstimator est(view.value(), set.k(), set.flavor(), set.ranks());
+  PrintNodeQuery(args, node, est);
   return 0;
 }
 
 int CmdQuery(const Args& args) {
+  std::string path = args.Get("sketches", "sketches.ads");
+  if (IsShardedAdsPath(path)) return CmdQuerySharded(args, path);
   // Serving loads straight into the flat CSR arena: the whole-graph sweeps
   // below iterate one contiguous entry array.
-  auto loaded = ReadFlatAdsSetFile(args.Get("sketches", "sketches.ads"));
+  auto loaded = ReadFlatAdsSetFile(path);
   if (!loaded.ok()) return Fail(loaded.status());
   const FlatAdsSet& set = loaded.value();
 
@@ -174,16 +322,8 @@ int CmdQuery(const Args& args) {
       std::fprintf(stderr, "unknown --centrality %s\n", kind.c_str());
       return 2;
     }
-    Table t({"rank", "node", kind});
-    uint32_t count = static_cast<uint32_t>(args.GetInt("top", 10));
-    auto top = TopKNodes(scores, count);
-    for (size_t i = 0; i < top.size(); ++i) {
-      t.NewRow()
-          .Add(static_cast<uint64_t>(i + 1))
-          .Add(static_cast<uint64_t>(top[i]))
-          .Add(scores[top[i]], 6);
-    }
-    t.PrintText(std::cout);
+    PrintTopTable(scores, kind,
+                  static_cast<uint32_t>(args.GetInt("top", 10)));
     return 0;
   }
 
@@ -195,45 +335,78 @@ int CmdQuery(const Args& args) {
   }
   HipEstimator est(set.of(static_cast<NodeId>(node)), set.k, set.flavor,
                    set.ranks);
-  if (args.Has("distance")) {
-    double d = args.GetDouble("distance", 1.0);
-    std::printf("|N_%g(%llu)| ~ %.1f\n", d,
-                static_cast<unsigned long long>(node),
-                est.NeighborhoodCardinality(d));
-  } else {
-    std::printf("node %llu: reachable ~ %.1f, harmonic ~ %.2f, "
-                "distance sum ~ %.1f\n",
-                static_cast<unsigned long long>(node), est.ReachableCount(),
-                est.HarmonicCentrality(), est.DistanceSum());
-  }
+  PrintNodeQuery(args, node, est);
   return 0;
 }
 
-int CmdStats(const Args& args) {
-  auto loaded = ReadFlatAdsSetFile(args.Get("sketches", "sketches.ads"));
-  if (!loaded.ok()) return Fail(loaded.status());
-  const FlatAdsSet& set = loaded.value();
-  std::printf("nodes: %zu, k=%u, entries=%llu\n", set.num_nodes(), set.k,
-              static_cast<unsigned long long>(set.TotalEntries()));
-  std::printf("effective diameter (0.9): %.1f\n",
-              EstimateEffectiveDiameter(set, args.GetDouble("quantile",
-                                                            0.9)));
-  std::printf("mean distance: %.2f\n", EstimateMeanDistance(set));
+// Everything `stats` prints derives from one distance-distribution sweep:
+// the neighbourhood function is its running sum, the effective diameter a
+// quantile scan of that, the mean a weighted average. One sweep means a
+// sharded set reads every shard file exactly once.
+void PrintStatsFromDistribution(size_t num_nodes, uint32_t k,
+                                uint64_t entries, double quantile,
+                                const std::map<double, double>& dd) {
+  double weight = 0.0, weighted_dist = 0.0;
+  std::map<double, double> nf = dd;
+  double running = 0.0;
+  for (auto& [d, value] : nf) {
+    weight += value;
+    weighted_dist += d * value;
+    running += value;
+    value = running;
+  }
+  double eff_diameter = 0.0;
+  if (!nf.empty()) {
+    eff_diameter = nf.rbegin()->first;
+    double total = nf.rbegin()->second;
+    for (const auto& [d, pairs] : nf) {
+      if (pairs >= quantile * total) {
+        eff_diameter = d;
+        break;
+      }
+    }
+  }
+  std::printf("nodes: %zu, k=%u, entries=%llu\n", num_nodes, k,
+              static_cast<unsigned long long>(entries));
+  std::printf("effective diameter (%g): %.1f\n", quantile, eff_diameter);
+  std::printf("mean distance: %.2f\n",
+              weight > 0.0 ? weighted_dist / weight : 0.0);
   Table t({"d", "pairs within d"});
-  auto nf = EstimateNeighborhoodFunction(set);
   double total = nf.empty() ? 0.0 : nf.rbegin()->second;
   for (const auto& [d, pairs] : nf) {
     t.NewRow().Add(d, 4).Add(pairs, 6);
     if (pairs >= 0.99 * total) break;
   }
   t.PrintText(std::cout);
+}
+
+int CmdStats(const Args& args) {
+  std::string path = args.Get("sketches", "sketches.ads");
+  double quantile = args.GetDouble("quantile", 0.9);
+  if (IsShardedAdsPath(path)) {
+    uint32_t resident = static_cast<uint32_t>(args.GetInt("resident", 1));
+    auto opened = ShardedAdsSet::Open(path, nullptr, resident);
+    if (!opened.ok()) return Fail(opened.status());
+    const ShardedAdsSet& set = opened.value();
+    auto dd = EstimateDistanceDistribution(set);
+    if (!dd.ok()) return Fail(dd.status());
+    PrintStatsFromDistribution(set.num_nodes(), set.k(), set.TotalEntries(),
+                               quantile, dd.value());
+    return 0;
+  }
+  auto loaded = ReadFlatAdsSetFile(path);
+  if (!loaded.ok()) return Fail(loaded.status());
+  const FlatAdsSet& set = loaded.value();
+  PrintStatsFromDistribution(set.num_nodes(), set.k, set.TotalEntries(),
+                             quantile, EstimateDistanceDistribution(set));
   return 0;
 }
 
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: hipads_cli {generate|sketch|query|stats} "
+                 "usage: hipads_cli {generate|sketch|convert|shard|query|"
+                 "stats} "
                  "[--flag value]...\n");
     return 2;
   }
@@ -241,6 +414,8 @@ int Main(int argc, char** argv) {
   Args args(argc - 2, argv + 2);
   if (cmd == "generate") return CmdGenerate(args);
   if (cmd == "sketch") return CmdSketch(args);
+  if (cmd == "convert") return CmdConvert(args);
+  if (cmd == "shard") return CmdShard(args);
   if (cmd == "query") return CmdQuery(args);
   if (cmd == "stats") return CmdStats(args);
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
