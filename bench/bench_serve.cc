@@ -1,0 +1,187 @@
+// CLAIM-SERVE-BACKEND: cost of getting sketches into a serving process and
+// sweeping them, per storage engine behind the unified AdsBackend layer.
+//
+//   * Open latency, copy vs mmap: the copying loader reads the whole v2
+//     file into a heap string and memcpys the two sections into vectors;
+//     the mmap open maps the file and only *reads* it once for
+//     checksum/structure validation — no allocation, no copy. The recorded
+//     baseline (BENCH_serve.json) pins mmap open faster than the copying
+//     loader at n >= 4000 — the number that justifies the zero-copy
+//     backend as the serving default for big arenas.
+//   * Sweep throughput: whole-graph harmonic centrality through the
+//     backend surface — in-memory arena vs mmap vs resident-limited
+//     sharded serving with and without the background prefetch thread
+//     (prefetch hides shard load I/O behind the sweep's compute).
+//   * Point lookups: AdsNodeIndex binary search vs the linear AdsView scan.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ads/backend.h"
+#include "ads/builders.h"
+#include "ads/flat_ads.h"
+#include "ads/queries.h"
+#include "ads/serialize.h"
+#include "ads/shard.h"
+#include "bench_common.h"
+#include "graph/generators.h"
+
+namespace hipads {
+namespace {
+
+// One sketch set per graph size, shared across iterations (building at
+// n=8000 dominates the bench run otherwise).
+const FlatAdsSet& SharedSet(uint32_t n) {
+  static std::map<uint32_t, FlatAdsSet> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    Graph g = ErdosRenyi(n, 4ULL * n, /*undirected=*/true, 42);
+    it = cache
+             .emplace(n, FlatAdsSet::FromAdsSet(BuildAdsDp(
+                             g, 16, SketchFlavor::kBottomK,
+                             RankAssignment::Uniform(1))))
+             .first;
+  }
+  return it->second;
+}
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// A v2 file for size n, written once and reused by the open benches.
+const std::string& SharedFile(uint32_t n) {
+  static std::map<uint32_t, std::string> files;
+  auto it = files.find(n);
+  if (it == files.end()) {
+    std::string path = TempPath("bench_serve_" + std::to_string(n) + ".ads2");
+    WriteAdsSetFile(SharedSet(n), path, AdsFileFormat::kBinaryV2);
+    it = files.emplace(n, std::move(path)).first;
+  }
+  return it->second;
+}
+
+// The acceptance pair: full open cost (including validation) of the same
+// v2 file, copying loader vs zero-copy mmap.
+void BM_OpenCopy(benchmark::State& state) {
+  const std::string& path = SharedFile(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    auto loaded = ReadFlatAdsSetFile(path);
+    benchmark::DoNotOptimize(loaded.value().TotalEntries());
+  }
+  state.counters["entries"] = benchmark::Counter(
+      static_cast<double>(SharedSet(state.range(0)).TotalEntries()));
+}
+BENCHMARK(BM_OpenCopy)->Arg(1000)->Arg(4000)->Arg(8000)->Unit(
+    benchmark::kMillisecond);
+
+void BM_OpenMmap(benchmark::State& state) {
+  const std::string& path = SharedFile(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    auto opened = MmapAdsSet::Open(path);
+    benchmark::DoNotOptimize(opened.value().TotalEntries());
+  }
+  state.counters["entries"] = benchmark::Counter(
+      static_cast<double>(SharedSet(state.range(0)).TotalEntries()));
+}
+BENCHMARK(BM_OpenMmap)->Arg(1000)->Arg(4000)->Arg(8000)->Unit(
+    benchmark::kMillisecond);
+
+// Whole-graph sweep throughput through the backend surface: the in-memory
+// arena vs serving straight off the mapping.
+void BM_SweepFlatBackend(benchmark::State& state) {
+  FlatAdsBackend backend(&SharedSet(4000));
+  for (auto _ : state) {
+    auto scores = EstimateHarmonicCentralityAll(backend, 1);
+    benchmark::DoNotOptimize(scores.value().data());
+  }
+}
+BENCHMARK(BM_SweepFlatBackend)->Unit(benchmark::kMillisecond);
+
+void BM_SweepMmapBackend(benchmark::State& state) {
+  auto opened = MmapAdsSet::Open(SharedFile(4000));
+  for (auto _ : state) {
+    auto scores = EstimateHarmonicCentralityAll(opened.value(), 1);
+    benchmark::DoNotOptimize(scores.value().data());
+  }
+}
+BENCHMARK(BM_SweepMmapBackend)->Unit(benchmark::kMillisecond);
+
+// Resident-limited sharded serving: the sweep re-loads each shard arena
+// every iteration (max_resident bounds memory at ~2 shard arenas).
+// Arg: bit 0 = prefetch, bit 1 = mmap shard opens.
+void BM_SweepSharded(benchmark::State& state) {
+  std::string dir = TempPath("bench_serve_shards");
+  static bool written = false;
+  if (!written) {
+    WriteShardedAdsSet(SharedSet(4000), dir, 8);
+    written = true;
+  }
+  ShardedOptions options;
+  options.max_resident = 1;  // clamped to 2 with prefetch
+  options.prefetch = (state.range(0) & 1) != 0;
+  options.use_mmap = (state.range(0) & 2) != 0;
+  auto opened = ShardedAdsSet::Open(dir, options);
+  for (auto _ : state) {
+    auto scores = EstimateHarmonicCentralityAll(opened.value(), 1);
+    benchmark::DoNotOptimize(scores.value().data());
+  }
+  state.SetLabel(std::string(options.use_mmap ? "mmap" : "copy") +
+                 (options.prefetch ? "+prefetch" : ""));
+}
+BENCHMARK(BM_SweepSharded)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Unit(
+    benchmark::kMillisecond);
+
+// Point lookups: the (dist, node) canonical order forces AdsView into a
+// linear scan per probe; AdsNodeIndex answers by binary search.
+void BM_PointLookupLinear(benchmark::State& state) {
+  const FlatAdsSet& set = SharedSet(4000);
+  NodeId probe = 0;
+  size_t hits = 0;
+  for (auto _ : state) {
+    for (NodeId v = 0; v < 64; ++v) {
+      hits += set.of(v).Contains(probe) ? 1 : 0;
+      probe = (probe + 97) % 4000;
+    }
+  }
+  benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_PointLookupLinear);
+
+void BM_PointLookupIndexed(benchmark::State& state) {
+  const FlatAdsSet& set = SharedSet(4000);
+  std::vector<AdsNodeIndex> indexes;
+  indexes.reserve(64);
+  for (NodeId v = 0; v < 64; ++v) indexes.emplace_back(set.of(v));
+  NodeId probe = 0;
+  size_t hits = 0;
+  for (auto _ : state) {
+    for (NodeId v = 0; v < 64; ++v) {
+      hits += indexes[v].Contains(probe) ? 1 : 0;
+      probe = (probe + 97) % 4000;
+    }
+  }
+  benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_PointLookupIndexed);
+
+}  // namespace
+}  // namespace hipads
+
+// Records a machine-readable baseline next to the working directory unless
+// the caller passes its own --benchmark_out.
+int main(int argc, char** argv) {
+  hipads::BenchArgs args(argc, argv, "BENCH_serve.json");
+  benchmark::Initialize(&args.argc, args.argv());
+  if (benchmark::ReportUnrecognizedArguments(args.argc, args.argv())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -28,6 +28,40 @@ double AdsView::DistanceOf(NodeId node) const {
   return -1.0;
 }
 
+AdsNodeIndex::AdsNodeIndex(AdsView view) : view_(view) {
+  by_node_.resize(view.size());
+  for (uint32_t i = 0; i < by_node_.size(); ++i) by_node_[i] = i;
+  std::span<const AdsEntry> entries = view_.entries();
+  std::sort(by_node_.begin(), by_node_.end(),
+            [&entries](uint32_t a, uint32_t b) {
+              if (entries[a].node != entries[b].node) {
+                return entries[a].node < entries[b].node;
+              }
+              // Position breaks node ties: canonical order is sorted by
+              // distance, so the first position is the smallest distance.
+              return a < b;
+            });
+}
+
+bool AdsNodeIndex::Contains(NodeId node) const {
+  std::span<const AdsEntry> entries = view_.entries();
+  auto it = std::lower_bound(by_node_.begin(), by_node_.end(), node,
+                             [&entries](uint32_t pos, NodeId n) {
+                               return entries[pos].node < n;
+                             });
+  return it != by_node_.end() && entries[*it].node == node;
+}
+
+double AdsNodeIndex::DistanceOf(NodeId node) const {
+  std::span<const AdsEntry> entries = view_.entries();
+  auto it = std::lower_bound(by_node_.begin(), by_node_.end(), node,
+                             [&entries](uint32_t pos, NodeId n) {
+                               return entries[pos].node < n;
+                             });
+  if (it == by_node_.end() || entries[*it].node != node) return -1.0;
+  return entries[*it].dist;
+}
+
 size_t AdsView::CountWithin(double d) const {
   // Distances are sorted ascending: the count is the upper-bound position.
   auto it = std::upper_bound(

@@ -63,9 +63,11 @@ class AdsView {
 
   /// True if `node` appears in the sketch (any part). Linear: entries are
   /// ordered by (dist, node), which admits no binary search on node alone.
+  /// Build an AdsNodeIndex over the view when point lookups are hot.
   bool Contains(NodeId node) const;
 
-  /// Distance of `node`, or -1 if absent. Linear, like Contains.
+  /// Distance of `node`, or -1 if absent. Linear, like Contains (see
+  /// AdsNodeIndex for the O(log s) version).
   double DistanceOf(NodeId node) const;
 
   /// Number of entries with dist <= d. Binary search over the sorted dists.
@@ -84,6 +86,33 @@ class AdsView {
 
  private:
   std::span<const AdsEntry> entries_;
+};
+
+/// Point-lookup index over one ADS: the entry positions sorted by node id,
+/// making Contains/DistanceOf O(log s) binary searches instead of the
+/// linear scans AdsView has to do (the canonical (dist, node) order admits
+/// no direct search by node). Build one per sketch when point lookups are
+/// hot — similarity serving, the CLI --lookup path — and keep it beside
+/// the view it indexes; O(s log s) to build, no entry copies. The indexed
+/// view's storage must stay resident while the index is used.
+class AdsNodeIndex {
+ public:
+  AdsNodeIndex() = default;
+  explicit AdsNodeIndex(AdsView view);
+
+  /// True if `node` appears in the sketch (any part).
+  bool Contains(NodeId node) const;
+
+  /// Distance of `node`, or -1 if absent. With multiple entries per node
+  /// (k-mins flavors) returns the smallest distance, like the linear
+  /// AdsView::DistanceOf.
+  double DistanceOf(NodeId node) const;
+
+  size_t size() const { return by_node_.size(); }
+
+ private:
+  AdsView view_;
+  std::vector<uint32_t> by_node_;  // entry positions sorted by (node, pos)
 };
 
 /// The ADS of a single node (owning container).

@@ -1,0 +1,211 @@
+// The unified storage layer behind every ADS read path.
+//
+// Three storage engines can hold the sketches of one graph at serve time:
+//
+//   * FlatAdsBackend — the in-memory flat CSR arena (FlatAdsSet); what a
+//     builder hands over or the copying loader materializes.
+//   * MmapAdsSet     — a hipads-ads-v2 file mapped read-only into the
+//     address space. The v2 layout (fixed header + raw offsets[] +
+//     AdsEntry[] sections) is consumed in place: open is validation only,
+//     with zero allocation and zero copying of the payload. Falls back to
+//     the copying loader for v1 text files, non-canonical entry order, or
+//     platforms without mmap.
+//   * ShardedAdsSet  — a directory of v2 shard files (ads/shard.h), loaded
+//     lazily with bounded residency and, optionally, a background prefetch
+//     thread that loads (or maps) shard s+1 while a sweep consumes shard s.
+//
+// AdsBackend is the one query surface all of them implement and the only
+// interface the whole-graph queries (ads/queries.h) and the CLI serve paths
+// consume. Whole-graph sweeps iterate ordered, contiguous node ranges
+// (AdsArenaView); point queries resolve a single node's AdsView; Prefetch
+// is the residency hint that lets a range-sweeping caller overlap the next
+// range's I/O with the current range's compute. Every backend hands the
+// estimator kernels the same canonical entry spans in the same node order,
+// so query results are bitwise identical across backends.
+
+#ifndef HIPADS_ADS_BACKEND_H_
+#define HIPADS_ADS_BACKEND_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "ads/flat_ads.h"
+#include "util/status.h"
+
+namespace hipads {
+
+/// Non-owning CSR view of one contiguous node range's sketches: local node
+/// i (global node begin + i) owns entries [offsets[i], offsets[i+1]) of the
+/// entries array, in canonical (dist, node, part) order. offsets[0] == 0.
+/// Pointer validity follows the producing backend's residency rules.
+struct AdsArenaView {
+  NodeId begin = 0;
+  NodeId end = 0;  // exclusive
+  const uint64_t* offsets = nullptr;  // end - begin + 1 values
+  const AdsEntry* entries = nullptr;
+
+  size_t num_nodes() const { return end - begin; }
+  uint64_t num_entries() const { return offsets[end - begin]; }
+
+  /// View of the range-local node i's ADS.
+  AdsView of_local(size_t i) const {
+    return AdsView({entries + offsets[i], entries + offsets[i + 1]});
+  }
+  /// View of global node v's ADS (begin <= v < end).
+  AdsView of_global(NodeId v) const { return of_local(v - begin); }
+};
+
+/// Abstract read surface over the ADSs of a whole graph. Implementations
+/// may load lazily, so accessors that can touch storage return StatusOr.
+/// Unless a subclass documents otherwise, concurrent calls must be
+/// externally serialized (the whole-graph sweeps walk ranges sequentially
+/// and parallelize inside each).
+class AdsBackend {
+ public:
+  virtual ~AdsBackend();
+
+  virtual SketchFlavor flavor() const = 0;
+  virtual uint32_t k() const = 0;
+  virtual const RankAssignment& ranks() const = 0;
+  virtual size_t num_nodes() const = 0;
+  virtual uint64_t TotalEntries() const = 0;
+
+  /// Number of contiguous node ranges tiling [0, num_nodes()) in order
+  /// (1 for the single-arena backends, the shard count for sharded sets).
+  virtual uint32_t NumRanges() const = 0;
+
+  /// Arena view of range r (r < NumRanges()). For lazily loading backends
+  /// this is the call that performs I/O; it fails if the backing file is
+  /// missing, truncated or corrupt. The returned pointers stay valid until
+  /// the backend's residency bound evicts the range (single-arena backends
+  /// never evict).
+  virtual StatusOr<AdsArenaView> Range(uint32_t r) const = 0;
+
+  /// View of ADS(v), loading whatever range owns v on demand.
+  virtual StatusOr<AdsView> ViewOf(NodeId v) const = 0;
+
+  /// Residency hint: a sweep consuming ranges in order will need range r
+  /// next. Backends may start loading it in the background; the default is
+  /// a no-op. Never required for correctness.
+  virtual void Prefetch(uint32_t r) const;
+};
+
+/// In-memory backend over a FlatAdsSet arena: one range, no failure paths.
+class FlatAdsBackend : public AdsBackend {
+ public:
+  FlatAdsBackend() = default;
+
+  /// Takes ownership of `set`.
+  explicit FlatAdsBackend(FlatAdsSet set) : owned_(std::move(set)) {}
+
+  /// Aliases `set`, which must outlive this backend (zero-cost adapter for
+  /// callers that already hold the arena).
+  explicit FlatAdsBackend(const FlatAdsSet* set) : set_(set) {}
+
+  const FlatAdsSet& set() const { return set_ ? *set_ : owned_; }
+
+  SketchFlavor flavor() const override { return set().flavor; }
+  uint32_t k() const override { return set().k; }
+  const RankAssignment& ranks() const override { return set().ranks; }
+  size_t num_nodes() const override { return set().num_nodes(); }
+  uint64_t TotalEntries() const override { return set().TotalEntries(); }
+  uint32_t NumRanges() const override { return 1; }
+  StatusOr<AdsArenaView> Range(uint32_t r) const override;
+  StatusOr<AdsView> ViewOf(NodeId v) const override;
+
+ private:
+  FlatAdsSet owned_;
+  const FlatAdsSet* set_ = nullptr;  // aliased set; owned_ when null
+};
+
+/// A hipads-ads-v2 file opened zero-copy: the file is mapped read-only and
+/// validated in place (header, whole-file checksum, structure); AdsViews
+/// point directly into the mapping, so open allocates nothing and copies
+/// nothing. When zero-copy open is impossible — v1 text input, entry blocks
+/// not in canonical order, or no mmap on the platform — Open degrades
+/// gracefully to the copying loader and owns a FlatAdsSet instead
+/// (zero_copy() reports which path was taken). Corrupt v2 input always
+/// fails; it is never silently re-parsed.
+class MmapAdsSet : public AdsBackend {
+ public:
+  MmapAdsSet();
+  MmapAdsSet(MmapAdsSet&& other) noexcept;
+  MmapAdsSet& operator=(MmapAdsSet&& other) noexcept;
+  MmapAdsSet(const MmapAdsSet&) = delete;
+  MmapAdsSet& operator=(const MmapAdsSet&) = delete;
+  ~MmapAdsSet() override;
+
+  /// Opens `path` (v2 binary zero-copy; v1 text via the copying loader).
+  /// `beta` is required for exponential/priority rank kinds, as in
+  /// ParseAdsSet.
+  static StatusOr<MmapAdsSet> Open(
+      const std::string& path,
+      std::function<double(uint64_t)> beta = nullptr);
+
+  /// True if the sketches are served from the file mapping; false if the
+  /// copying-loader fallback owns them in heap memory.
+  bool zero_copy() const { return map_ != nullptr; }
+
+  SketchFlavor flavor() const override { return flavor_; }
+  uint32_t k() const override { return k_; }
+  const RankAssignment& ranks() const override { return ranks_; }
+  size_t num_nodes() const override { return num_nodes_; }
+  uint64_t TotalEntries() const override { return num_entries_; }
+  uint32_t NumRanges() const override { return 1; }
+  StatusOr<AdsArenaView> Range(uint32_t r) const override;
+  StatusOr<AdsView> ViewOf(NodeId v) const override;
+
+ private:
+  static StatusOr<MmapAdsSet> OpenFallback(
+      const std::string& path, std::function<double(uint64_t)> beta);
+
+  // Points offsets_/entries_ and the parameters at the fallback arena.
+  void AdoptFallback();
+  void Unmap();
+
+  void* map_ = nullptr;  // non-null iff serving from the file mapping
+  size_t map_len_ = 0;
+  SketchFlavor flavor_ = SketchFlavor::kBottomK;
+  uint32_t k_ = 0;
+  RankAssignment ranks_ = RankAssignment::Uniform(0);
+  uint64_t num_nodes_ = 0;
+  uint64_t num_entries_ = 0;
+  const uint64_t* offsets_ = nullptr;
+  const AdsEntry* entries_ = nullptr;
+  FlatAdsSet fallback_;  // storage when !zero_copy()
+};
+
+/// How OpenAdsBackend materializes single-file sets and shard arenas.
+enum class BackendMode {
+  kCopy,  // copying loader: heap arena, works everywhere
+  kMmap,  // zero-copy mmap of v2 files (with the documented fallbacks)
+};
+
+/// Options for OpenAdsBackend.
+struct AdsBackendOptions {
+  BackendMode mode = BackendMode::kCopy;
+  /// Required for exponential/priority rank kinds, as in ParseAdsSet.
+  std::function<double(uint64_t)> beta = nullptr;
+  /// Sharded sets: max shard arenas resident at once (see ShardedAdsSet).
+  uint32_t max_resident = 1;
+  /// Sharded sets: overlap the next shard's load with the current shard's
+  /// compute using a background prefetch thread.
+  bool prefetch = true;
+  /// Sharded sets: verify up front that every manifest-referenced shard
+  /// file exists with exactly the byte size the manifest implies, so a
+  /// missing or truncated shard fails at open instead of mid-sweep.
+  bool validate_files = true;
+};
+
+/// Opens `path` — a v1/v2 ADS file or a shard directory/manifest — behind
+/// the one AdsBackend query surface, dispatching on the path contents:
+/// sharded sets get a ShardedAdsSet (honoring mode/max_resident/prefetch),
+/// plain files a MmapAdsSet (kMmap) or a loaded FlatAdsBackend (kCopy).
+StatusOr<std::unique_ptr<AdsBackend>> OpenAdsBackend(
+    const std::string& path, const AdsBackendOptions& options = {});
+
+}  // namespace hipads
+
+#endif  // HIPADS_ADS_BACKEND_H_

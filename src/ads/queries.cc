@@ -18,6 +18,19 @@ constexpr size_t kDistributionBlock = 4096;
 AdsView ViewOf(const AdsSet& set, NodeId v) { return set.of(v).view(); }
 AdsView ViewOf(const FlatAdsSet& set, NodeId v) { return set.of(v); }
 
+// Adapter presenting one backend range to the estimator kernels with the
+// same member surface as AdsSet/FlatAdsSet (k/flavor/ranks + per-node
+// views, node ids local to the range). Sharing the kernels is what makes
+// backend results bitwise identical to the single-arena overloads.
+struct ArenaSet {
+  AdsArenaView arena;
+  SketchFlavor flavor;
+  uint32_t k;
+  const RankAssignment& ranks;
+  size_t num_nodes() const { return arena.num_nodes(); }
+};
+AdsView ViewOf(const ArenaSet& set, NodeId v) { return set.arena.of_local(v); }
+
 // Per-node map: result[v] = fn(HipEstimator of node v). Independent outputs
 // indexed by node, so any thread count produces identical results.
 template <typename SetT, typename Fn>
@@ -121,33 +134,38 @@ double MeanDistanceImpl(const SetT& set) {
   return MeanDistanceOf(EstimateDistanceDistribution(set));
 }
 
-// Sharded per-node sweep: shard arenas are visited in node order, each
-// swept with the same PerNodeEstimate kernel as the unsharded overloads,
-// so every per-node value is computed identically (the outputs are
-// independent per node). Fails if a lazy shard load fails.
+// Backend per-node sweep: ranges are visited in node order, each swept
+// with the same PerNodeEstimate kernel as the single-arena overloads, so
+// every per-node value is computed identically (the outputs are
+// independent per node). After a range is acquired the sweep hints the
+// next one, letting prefetching backends overlap its load with this
+// range's compute. Fails if a lazy range load fails.
 template <typename Fn>
-StatusOr<std::vector<double>> ShardedPerNodeEstimate(const ShardedAdsSet& set,
+StatusOr<std::vector<double>> BackendPerNodeEstimate(const AdsBackend& set,
                                                      uint32_t num_threads,
                                                      const Fn& fn) {
   std::vector<double> result(set.num_nodes());
-  for (uint32_t s = 0; s < set.num_shards(); ++s) {
-    auto shard = set.Shard(s);
-    if (!shard.ok()) return shard.status();
-    std::vector<double> part =
-        PerNodeEstimate(*shard.value(), num_threads, fn);
+  for (uint32_t r = 0; r < set.NumRanges(); ++r) {
+    auto range = set.Range(r);
+    if (!range.ok()) return range.status();
+    if (r + 1 < set.NumRanges()) set.Prefetch(r + 1);
+    ArenaSet arena{range.value(), set.flavor(), set.k(), set.ranks()};
+    std::vector<double> part = PerNodeEstimate(arena, num_threads, fn);
     std::copy(part.begin(), part.end(),
-              result.begin() + set.shards()[s].begin);
+              result.begin() + range.value().begin);
   }
   return result;
 }
 
-StatusOr<std::map<double, double>> ShardedDistanceDistribution(
-    const ShardedAdsSet& set, uint32_t num_threads) {
+StatusOr<std::map<double, double>> BackendDistanceDistribution(
+    const AdsBackend& set, uint32_t num_threads) {
   std::map<double, double> hist;
-  for (uint32_t s = 0; s < set.num_shards(); ++s) {
-    auto shard = set.Shard(s);
-    if (!shard.ok()) return shard.status();
-    AccumulateDistanceDistribution(*shard.value(), num_threads, hist);
+  for (uint32_t r = 0; r < set.NumRanges(); ++r) {
+    auto range = set.Range(r);
+    if (!range.ok()) return range.status();
+    if (r + 1 < set.NumRanges()) set.Prefetch(r + 1);
+    ArenaSet arena{range.value(), set.flavor(), set.k(), set.ranks()};
+    AccumulateDistanceDistribution(arena, num_threads, hist);
   }
   return hist;
 }
@@ -264,67 +282,67 @@ double EstimateMeanDistance(const FlatAdsSet& set) {
 }
 
 StatusOr<std::map<double, double>> EstimateDistanceDistribution(
-    const ShardedAdsSet& set, uint32_t num_threads) {
-  return ShardedDistanceDistribution(set, num_threads);
+    const AdsBackend& set, uint32_t num_threads) {
+  return BackendDistanceDistribution(set, num_threads);
 }
 
 StatusOr<std::map<double, double>> EstimateNeighborhoodFunction(
-    const ShardedAdsSet& set, uint32_t num_threads) {
-  auto hist = ShardedDistanceDistribution(set, num_threads);
+    const AdsBackend& set, uint32_t num_threads) {
+  auto hist = BackendDistanceDistribution(set, num_threads);
   if (!hist.ok()) return hist.status();
   CumulativeInPlace(hist.value());
   return hist;
 }
 
 StatusOr<std::vector<double>> EstimateClosenessAll(
-    const ShardedAdsSet& set, const std::function<double(double)>& alpha,
+    const AdsBackend& set, const std::function<double(double)>& alpha,
     const std::function<double(NodeId)>& beta, uint32_t num_threads) {
-  return ShardedPerNodeEstimate(set, num_threads,
+  return BackendPerNodeEstimate(set, num_threads,
                                 [&](const HipEstimator& est) {
                                   return est.Closeness(alpha, beta);
                                 });
 }
 
-StatusOr<std::vector<double>> EstimateDistanceSumAll(const ShardedAdsSet& set,
+StatusOr<std::vector<double>> EstimateDistanceSumAll(const AdsBackend& set,
                                                      uint32_t num_threads) {
-  return ShardedPerNodeEstimate(set, num_threads,
+  return BackendPerNodeEstimate(set, num_threads,
                                 [](const HipEstimator& est) {
                                   return est.DistanceSum();
                                 });
 }
 
 StatusOr<std::vector<double>> EstimateHarmonicCentralityAll(
-    const ShardedAdsSet& set, uint32_t num_threads) {
-  return ShardedPerNodeEstimate(set, num_threads,
+    const AdsBackend& set, uint32_t num_threads) {
+  return BackendPerNodeEstimate(set, num_threads,
                                 [](const HipEstimator& est) {
                                   return est.HarmonicCentrality();
                                 });
 }
 
 StatusOr<std::vector<double>> EstimateNeighborhoodSizeAll(
-    const ShardedAdsSet& set, double d, uint32_t num_threads) {
-  return ShardedPerNodeEstimate(set, num_threads,
+    const AdsBackend& set, double d, uint32_t num_threads) {
+  return BackendPerNodeEstimate(set, num_threads,
                                 [d](const HipEstimator& est) {
                                   return est.NeighborhoodCardinality(d);
                                 });
 }
 
 StatusOr<std::vector<double>> EstimateReachableCountAll(
-    const ShardedAdsSet& set, uint32_t num_threads) {
-  return ShardedPerNodeEstimate(set, num_threads,
+    const AdsBackend& set, uint32_t num_threads) {
+  return BackendPerNodeEstimate(set, num_threads,
                                 [](const HipEstimator& est) {
                                   return est.ReachableCount();
                                 });
 }
 
-StatusOr<double> EstimateEffectiveDiameter(const ShardedAdsSet& set,
+StatusOr<double> EstimateEffectiveDiameter(const AdsBackend& set,
                                            double quantile) {
   auto nf = EstimateNeighborhoodFunction(set);
   if (!nf.ok()) return nf.status();
   return EffectiveDiameterOf(nf.value(), quantile);
 }
 
-StatusOr<double> EstimateMeanDistance(const ShardedAdsSet& set) {
+StatusOr<double> EstimateMeanDistance(const AdsBackend& set) {
   auto dd = EstimateDistanceDistribution(set);
   if (!dd.ok()) return dd.status();
   return MeanDistanceOf(dd.value());

@@ -11,12 +11,17 @@
 // every thread count — per-node outputs are independent, and the
 // distribution accumulators always reduce per-node results in node order.
 //
-// The whole-graph sweeps additionally accept a ShardedAdsSet (ads/shard.h):
-// shards are visited one at a time in node order with bounded resident
-// memory, and because shards tile the node space contiguously the per-node
-// visit order — and therefore every result, bitwise — matches the
-// unsharded sweep. These overloads return StatusOr because a lazy shard
-// load can fail (missing or corrupt shard file).
+// The whole-graph sweeps additionally accept any AdsBackend
+// (ads/backend.h) — the in-memory arena behind FlatAdsBackend, a
+// zero-copy MmapAdsSet, or a ShardedAdsSet with bounded resident memory.
+// Backends are swept one contiguous node range at a time in node order;
+// because ranges tile the node space contiguously, the per-node visit
+// order — and therefore every result, bitwise — matches the single-arena
+// sweep, whatever engine holds the sketches. Between ranges the sweep
+// emits Prefetch residency hints, so a prefetching sharded backend
+// overlaps the next shard's load with the current shard's compute. These
+// overloads return StatusOr because a lazy range load can fail (missing,
+// truncated or corrupt shard file).
 
 #ifndef HIPADS_ADS_QUERIES_H_
 #define HIPADS_ADS_QUERIES_H_
@@ -26,8 +31,8 @@
 #include <vector>
 
 #include "ads/ads.h"
+#include "ads/backend.h"
 #include "ads/flat_ads.h"
-#include "ads/shard.h"
 #include "util/status.h"
 
 namespace hipads {
@@ -41,7 +46,7 @@ std::map<double, double> EstimateNeighborhoodFunction(
 std::map<double, double> EstimateNeighborhoodFunction(
     const FlatAdsSet& set, uint32_t num_threads = 0);
 StatusOr<std::map<double, double>> EstimateNeighborhoodFunction(
-    const ShardedAdsSet& set, uint32_t num_threads = 0);
+    const AdsBackend& set, uint32_t num_threads = 0);
 
 /// Estimated distance distribution: number of ordered pairs at each exact
 /// distance (the increments of the neighbourhood function).
@@ -50,7 +55,7 @@ std::map<double, double> EstimateDistanceDistribution(
 std::map<double, double> EstimateDistanceDistribution(
     const FlatAdsSet& set, uint32_t num_threads = 0);
 StatusOr<std::map<double, double>> EstimateDistanceDistribution(
-    const ShardedAdsSet& set, uint32_t num_threads = 0);
+    const AdsBackend& set, uint32_t num_threads = 0);
 
 /// HIP estimates of C_{alpha,beta} for every node (Eq. 3).
 std::vector<double> EstimateClosenessAll(
@@ -60,7 +65,7 @@ std::vector<double> EstimateClosenessAll(
     const FlatAdsSet& set, const std::function<double(double)>& alpha,
     const std::function<double(NodeId)>& beta, uint32_t num_threads = 0);
 StatusOr<std::vector<double>> EstimateClosenessAll(
-    const ShardedAdsSet& set, const std::function<double(double)>& alpha,
+    const AdsBackend& set, const std::function<double(double)>& alpha,
     const std::function<double(NodeId)>& beta, uint32_t num_threads = 0);
 
 /// HIP estimates of the sum of distances (inverse classic closeness
@@ -70,7 +75,7 @@ std::vector<double> EstimateDistanceSumAll(const AdsSet& set,
 std::vector<double> EstimateDistanceSumAll(const FlatAdsSet& set,
                                            uint32_t num_threads = 0);
 StatusOr<std::vector<double>> EstimateDistanceSumAll(
-    const ShardedAdsSet& set, uint32_t num_threads = 0);
+    const AdsBackend& set, uint32_t num_threads = 0);
 
 /// HIP estimates of harmonic centrality for every node.
 std::vector<double> EstimateHarmonicCentralityAll(const AdsSet& set,
@@ -78,7 +83,7 @@ std::vector<double> EstimateHarmonicCentralityAll(const AdsSet& set,
 std::vector<double> EstimateHarmonicCentralityAll(const FlatAdsSet& set,
                                                   uint32_t num_threads = 0);
 StatusOr<std::vector<double>> EstimateHarmonicCentralityAll(
-    const ShardedAdsSet& set, uint32_t num_threads = 0);
+    const AdsBackend& set, uint32_t num_threads = 0);
 
 /// HIP estimates of the d-neighborhood cardinality for every node.
 std::vector<double> EstimateNeighborhoodSizeAll(const AdsSet& set, double d,
@@ -87,7 +92,7 @@ std::vector<double> EstimateNeighborhoodSizeAll(const FlatAdsSet& set,
                                                 double d,
                                                 uint32_t num_threads = 0);
 StatusOr<std::vector<double>> EstimateNeighborhoodSizeAll(
-    const ShardedAdsSet& set, double d, uint32_t num_threads = 0);
+    const AdsBackend& set, double d, uint32_t num_threads = 0);
 
 /// HIP estimates of the reachable-set size for every node.
 std::vector<double> EstimateReachableCountAll(const AdsSet& set,
@@ -95,7 +100,7 @@ std::vector<double> EstimateReachableCountAll(const AdsSet& set,
 std::vector<double> EstimateReachableCountAll(const FlatAdsSet& set,
                                               uint32_t num_threads = 0);
 StatusOr<std::vector<double>> EstimateReachableCountAll(
-    const ShardedAdsSet& set, uint32_t num_threads = 0);
+    const AdsBackend& set, uint32_t num_threads = 0);
 
 /// Node ids of the `count` largest values in `scores`, descending.
 std::vector<NodeId> TopKNodes(const std::vector<double>& scores,
@@ -108,13 +113,13 @@ std::vector<NodeId> TopKNodes(const std::vector<double>& scores,
 double EstimateEffectiveDiameter(const AdsSet& set, double quantile = 0.9);
 double EstimateEffectiveDiameter(const FlatAdsSet& set,
                                  double quantile = 0.9);
-StatusOr<double> EstimateEffectiveDiameter(const ShardedAdsSet& set,
+StatusOr<double> EstimateEffectiveDiameter(const AdsBackend& set,
                                            double quantile = 0.9);
 
 /// Estimated mean distance between reachable ordered pairs.
 double EstimateMeanDistance(const AdsSet& set);
 double EstimateMeanDistance(const FlatAdsSet& set);
-StatusOr<double> EstimateMeanDistance(const ShardedAdsSet& set);
+StatusOr<double> EstimateMeanDistance(const AdsBackend& set);
 
 }  // namespace hipads
 

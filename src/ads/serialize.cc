@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <type_traits>
 
@@ -38,7 +39,8 @@ struct V2Header {
   uint64_t checksum;       // FNV-1a over the header (this field zeroed)
                            // followed by the offsets + entries sections
 };
-static_assert(sizeof(V2Header) == 88, "v2 header layout drifted");
+static_assert(sizeof(V2Header) == kAdsBinaryHeaderBytes,
+              "v2 header layout drifted");
 static_assert(std::is_trivially_copyable_v<AdsEntry> &&
                   sizeof(AdsEntry) == 24,
               "AdsEntry must stay a packed 24-byte POD for the v2 format");
@@ -107,12 +109,11 @@ const char* RankKindName(RankKind kind) {
   return "?";
 }
 
-// Reconstructs a RankAssignment from the stored (kind, seed, base) triple;
-// shared by the v1 and v2 readers. Permutations are not round-trippable and
-// weighted kinds need the caller's beta.
-Status RanksFromStored(RankKind kind, uint64_t seed, double base,
-                       std::function<double(uint64_t)> beta,
-                       RankAssignment* out) {
+}  // namespace
+
+Status RanksFromStoredParams(RankKind kind, uint64_t seed, double base,
+                             std::function<double(uint64_t)> beta,
+                             RankAssignment* out) {
   switch (kind) {
     case RankKind::kUniform:
       *out = RankAssignment::Uniform(seed);
@@ -139,6 +140,8 @@ Status RanksFromStored(RankKind kind, uint64_t seed, double base,
   }
   return Status::Corruption("unknown rank kind");
 }
+
+namespace {
 
 // Shared v1 serializer body: works for both storage layouts (set.of(v)
 // yields an Ads or an AdsView; both expose size() and entries()).
@@ -252,10 +255,10 @@ Status ParseAdsParams(std::istream& in, std::function<double(uint64_t)> beta,
   } else if (kind_name == "exponential" || kind_name == "priority") {
     uint64_t seed;
     if (!(in >> seed)) return Status::Corruption("bad weighted-rank seed");
-    Status made = RanksFromStored(kind_name == "exponential"
-                                      ? RankKind::kExponential
-                                      : RankKind::kPriority,
-                                  seed, 0.0, std::move(beta), ranks);
+    Status made = RanksFromStoredParams(kind_name == "exponential"
+                                            ? RankKind::kExponential
+                                            : RankKind::kPriority,
+                                        seed, 0.0, std::move(beta), ranks);
     if (!made.ok()) return made;
   } else if (kind_name == "permutation") {
     return Status::InvalidArgument(
@@ -310,13 +313,17 @@ bool IsBinaryAdsData(const std::string& data) {
          std::memcmp(data.data(), kMagicV2, sizeof(kMagicV2)) == 0;
 }
 
-StatusOr<FlatAdsSet> ParseFlatAdsSetBinary(
-    const std::string& data, std::function<double(uint64_t)> beta) {
-  if (data.size() < sizeof(V2Header)) {
+uint64_t AdsBinaryFileSize(uint64_t num_nodes, uint64_t num_entries) {
+  return sizeof(V2Header) + (num_nodes + 1) * sizeof(uint64_t) +
+         num_entries * sizeof(AdsEntry);
+}
+
+StatusOr<AdsBinaryView> ValidateAdsSetBinary(const char* data, size_t size) {
+  if (size < sizeof(V2Header)) {
     return Status::Corruption("truncated hipads-ads-v2 header");
   }
   V2Header h;
-  std::memcpy(&h, data.data(), sizeof(V2Header));
+  std::memcpy(&h, data, sizeof(V2Header));
   if (std::memcmp(h.magic, kMagicV2, sizeof(h.magic)) != 0) {
     return Status::Corruption("missing hipads-ads-v2 magic");
   }
@@ -331,13 +338,13 @@ StatusOr<FlatAdsSet> ParseFlatAdsSetBinary(
     return Status::Corruption("bad rank-kind field");
   }
   if (h.k == 0) return Status::Corruption("bad k field");
-  // Structural validation before any allocation sized from header fields:
+  // Structural validation before any pointer arithmetic from header fields:
   // node count must fit NodeId, section lengths must match the counts, and
   // header + sections must cover the buffer exactly (no trailing bytes).
   if (h.num_nodes > std::numeric_limits<NodeId>::max()) {
     return Status::Corruption("node count exceeds NodeId range");
   }
-  if (h.num_entries > data.size() / sizeof(AdsEntry) + 1) {
+  if (h.num_entries > size / sizeof(AdsEntry) + 1) {
     return Status::Corruption("entry count exceeds file size");
   }
   if (h.offsets_bytes != (h.num_nodes + 1) * sizeof(uint64_t)) {
@@ -346,50 +353,75 @@ StatusOr<FlatAdsSet> ParseFlatAdsSetBinary(
   if (h.entries_bytes != h.num_entries * sizeof(AdsEntry)) {
     return Status::Corruption("entries section length mismatch");
   }
-  if (data.size() != sizeof(V2Header) + h.offsets_bytes + h.entries_bytes) {
+  if (size != sizeof(V2Header) + h.offsets_bytes + h.entries_bytes) {
     return Status::Corruption("file length does not match header sections");
   }
-  const char* payload = data.data() + sizeof(V2Header);
+  const char* payload = data + sizeof(V2Header);
   if (V2Checksum(h, payload, h.offsets_bytes + h.entries_bytes) !=
       h.checksum) {
     return Status::Corruption("checksum mismatch");
   }
 
-  FlatAdsSet set;
-  set.flavor = static_cast<SketchFlavor>(h.flavor);
-  set.k = h.k;
-  Status ranks_status =
-      RanksFromStored(static_cast<RankKind>(h.rank_kind), h.seed, h.base,
-                      std::move(beta), &set.ranks);
-  if (!ranks_status.ok()) return ranks_status;
-  set.offsets.resize(h.num_nodes + 1);
-  std::memcpy(set.offsets.data(), payload, h.offsets_bytes);
-  if (set.offsets.front() != 0 || set.offsets.back() != h.num_entries) {
+  AdsBinaryView view;
+  view.flavor = static_cast<SketchFlavor>(h.flavor);
+  view.rank_kind = static_cast<RankKind>(h.rank_kind);
+  view.k = h.k;
+  view.seed = h.seed;
+  view.base = h.base;
+  view.num_nodes = h.num_nodes;
+  view.num_entries = h.num_entries;
+  view.offsets = reinterpret_cast<const uint64_t*>(payload);
+  view.entries =
+      reinterpret_cast<const AdsEntry*>(payload + h.offsets_bytes);
+  if (view.offsets[0] != 0 || view.offsets[h.num_nodes] != h.num_entries) {
     return Status::Corruption("offsets do not span the entry arena");
   }
   for (uint64_t v = 0; v < h.num_nodes; ++v) {
-    if (set.offsets[v] > set.offsets[v + 1]) {
+    if (view.offsets[v] > view.offsets[v + 1]) {
       return Status::Corruption("offsets not monotone at node " +
                                 std::to_string(v));
     }
   }
-  set.entries.resize(h.num_entries);
-  std::memcpy(set.entries.data(), payload + h.offsets_bytes,
-              h.entries_bytes);
   for (uint64_t i = 0; i < h.num_entries; ++i) {
-    const AdsEntry& e = set.entries[i];
-    if (e.part >= set.k || e.dist < 0.0) {
+    const AdsEntry& e = view.entries[i];
+    if (e.part >= view.k || e.dist < 0.0) {
       return Status::Corruption("invalid entry at index " +
                                 std::to_string(i));
     }
   }
+  view.canonical_order = true;
+  for (uint64_t v = 0; v < h.num_nodes && view.canonical_order; ++v) {
+    view.canonical_order = std::is_sorted(view.entries + view.offsets[v],
+                                          view.entries + view.offsets[v + 1],
+                                          AdsEntryCloser);
+  }
+  return view;
+}
+
+StatusOr<FlatAdsSet> ParseFlatAdsSetBinary(
+    const std::string& data, std::function<double(uint64_t)> beta) {
+  auto validated = ValidateAdsSetBinary(data.data(), data.size());
+  if (!validated.ok()) return validated.status();
+  const AdsBinaryView& v = validated.value();
+
+  FlatAdsSet set;
+  set.flavor = v.flavor;
+  set.k = v.k;
+  Status ranks_status = RanksFromStoredParams(v.rank_kind, v.seed, v.base,
+                                              std::move(beta), &set.ranks);
+  if (!ranks_status.ok()) return ranks_status;
+  set.offsets.assign(v.offsets, v.offsets + v.num_nodes + 1);
+  set.entries.assign(v.entries, v.entries + v.num_entries);
   // The writer emits canonical per-node order; re-sort any node whose block
-  // is not (cheap linear check, a no-op for writer-produced files).
-  for (uint64_t v = 0; v < h.num_nodes; ++v) {
-    auto begin = set.entries.begin() + static_cast<int64_t>(set.offsets[v]);
-    auto end = set.entries.begin() + static_cast<int64_t>(set.offsets[v + 1]);
-    if (!std::is_sorted(begin, end, AdsEntryCloser)) {
-      std::sort(begin, end, AdsEntryCloser);
+  // is not (a no-op for writer-produced files). The copying loader can do
+  // what the zero-copy view cannot — this is also the fallback path the
+  // mmap backend takes for non-canonical files.
+  if (!v.canonical_order) {
+    for (uint64_t node = 0; node < v.num_nodes; ++node) {
+      std::sort(set.entries.begin() + static_cast<int64_t>(set.offsets[node]),
+                set.entries.begin() +
+                    static_cast<int64_t>(set.offsets[node + 1]),
+                AdsEntryCloser);
     }
   }
   return set;

@@ -80,6 +80,52 @@ StatusOr<FlatAdsSet> ParseFlatAdsSetBinary(
     const std::string& data,
     std::function<double(uint64_t)> beta = nullptr);
 
+// ---------------------------------------------------------------------------
+// Zero-copy v2 access (shared by the copying parser and the mmap backend)
+// ---------------------------------------------------------------------------
+
+/// Fixed byte size of the hipads-ads-v2 header.
+inline constexpr size_t kAdsBinaryHeaderBytes = 88;
+
+/// Exact byte size of a v2 file holding `num_nodes` nodes and `num_entries`
+/// entries. Manifest-driven integrity checks (sharded serving) use this to
+/// detect missing or truncated shard files without opening them.
+uint64_t AdsBinaryFileSize(uint64_t num_nodes, uint64_t num_entries);
+
+/// Non-owning view of a fully validated hipads-ads-v2 image. `offsets` and
+/// `entries` alias the caller's buffer, which must be 8-byte aligned (heap
+/// buffers and mmap regions both are) and outlive the view.
+struct AdsBinaryView {
+  SketchFlavor flavor = SketchFlavor::kBottomK;
+  RankKind rank_kind = RankKind::kUniform;
+  uint32_t k = 0;
+  uint64_t seed = 0;
+  double base = 0.0;  // base-b ranks only, 0 otherwise
+  uint64_t num_nodes = 0;
+  uint64_t num_entries = 0;
+  const uint64_t* offsets = nullptr;  // num_nodes + 1 values
+  const AdsEntry* entries = nullptr;  // num_entries values
+  /// True iff every node block is already in canonical (dist, node, part)
+  /// order — always the case for writer-produced files. A zero-copy
+  /// consumer cannot re-sort, so it must fall back to the copying loader
+  /// when this is false.
+  bool canonical_order = false;
+};
+
+/// Validates a v2 image in place — header, whole-file checksum, section
+/// structure, offsets monotonicity and entry sanity — without copying a
+/// byte of the payload. This is the open path of the mmap backend; the
+/// copying ParseFlatAdsSetBinary runs the same validation and then copies.
+StatusOr<AdsBinaryView> ValidateAdsSetBinary(const char* data, size_t size);
+
+/// Reconstructs a RankAssignment from the stored (kind, seed, base) triple.
+/// Weighted kinds (exponential/priority) require `beta`; permutation ranks
+/// are not round-trippable and are rejected. Shared by the v1/v2 readers,
+/// the shard manifest loader and the mmap backend.
+Status RanksFromStoredParams(RankKind kind, uint64_t seed, double base,
+                             std::function<double(uint64_t)> beta,
+                             RankAssignment* out);
+
 /// Parses either format (auto-detected from the magic) into the flat
 /// arena.
 StatusOr<FlatAdsSet> ParseFlatAdsSetAny(

@@ -1,16 +1,22 @@
 #include "ads/shard.h"
 
 #include <algorithm>
+#include <condition_variable>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
+#include <mutex>
+#include <optional>
 #include <sstream>
+#include <thread>
 
 namespace hipads {
 
 namespace {
 
 constexpr char kManifestMagic[] = "hipads-shards-v1";
+constexpr uint32_t kNoShard = std::numeric_limits<uint32_t>::max();
 
 std::string ShardFileName(uint32_t s) {
   char buf[32];
@@ -24,6 +30,135 @@ std::string JoinPath(const std::string& dir, const std::string& file) {
 }
 
 }  // namespace
+
+// Everything needed to load and manifest-check one shard arena, copied out
+// of the set at Open so the prefetch worker never touches the (movable)
+// ShardedAdsSet object itself.
+struct ShardedAdsSet::LoadContext {
+  std::string dir;
+  std::vector<ShardInfo> shards;
+  SketchFlavor flavor = SketchFlavor::kBottomK;
+  uint32_t k = 0;
+  RankKind rank_kind = RankKind::kUniform;
+  uint64_t seed = 0;
+  double base = 0.0;
+  bool use_mmap = false;
+  std::function<double(uint64_t)> beta;
+
+  // Loads shard s (copying or mmap per use_mmap) and verifies it against
+  // its manifest entry. Pure function of the context: safe to call from
+  // the prefetch worker and the consumer concurrently (for different s).
+  StatusOr<std::unique_ptr<AdsBackend>> Load(uint32_t s) const {
+    const ShardInfo& info = shards[s];
+    std::string path = JoinPath(dir, info.file);
+    std::unique_ptr<AdsBackend> arena;
+    if (use_mmap) {
+      auto opened = MmapAdsSet::Open(path, beta);
+      if (!opened.ok()) return opened.status();
+      arena = std::make_unique<MmapAdsSet>(std::move(opened).value());
+    } else {
+      auto loaded = ReadFlatAdsSetFile(path, beta);
+      if (!loaded.ok()) return loaded.status();
+      arena = std::make_unique<FlatAdsBackend>(std::move(loaded).value());
+    }
+    if (arena->flavor() != flavor || arena->k() != k ||
+        arena->ranks().kind() != rank_kind ||
+        arena->ranks().seed() != seed || arena->ranks().base() != base ||
+        arena->num_nodes() != info.end - info.begin ||
+        arena->TotalEntries() != info.num_entries) {
+      return Status::Corruption("shard " + info.file +
+                                " does not match its manifest entry");
+    }
+    return arena;
+  }
+};
+
+// Single background worker with a one-slot request/result pipeline. The
+// consumer requests shard s (Request) and later either takes the staged
+// arena (Take) or, if the worker never got to it, loads synchronously.
+// All member state is guarded by mu_; loads run unlocked.
+class ShardedAdsSet::Prefetcher {
+ public:
+  explicit Prefetcher(std::shared_ptr<const LoadContext> ctx)
+      : ctx_(std::move(ctx)), worker_([this] { Loop(); }) {}
+
+  ~Prefetcher() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    worker_.join();
+  }
+
+  // Asks the worker to load shard s in the background. Drops any stale
+  // staged arena for another shard (the sweep has moved past it).
+  void Request(uint32_t s) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (loading_ == s || requested_ == s || staged_index_ == s) return;
+      requested_ = s;
+      if (staged_index_ != kNoShard) {
+        staged_.reset();
+        staged_index_ = kNoShard;
+      }
+    }
+    cv_.notify_all();
+  }
+
+  // Hands over shard s if this prefetcher was asked for it: waits for an
+  // in-flight load of s, cancels a not-yet-started request. Returns
+  // nullopt when s was never requested (caller loads synchronously).
+  std::optional<StatusOr<std::unique_ptr<AdsBackend>>> Take(uint32_t s) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (requested_ == s) {
+      requested_ = kNoShard;
+      return std::nullopt;
+    }
+    cv_.wait(lock, [&] { return loading_ != s; });
+    if (staged_index_ == s) {
+      staged_index_ = kNoShard;
+      auto result = std::move(*staged_);
+      staged_.reset();
+      return result;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      cv_.wait(lock, [&] { return stop_ || requested_ != kNoShard; });
+      if (stop_) return;
+      uint32_t s = requested_;
+      requested_ = kNoShard;
+      loading_ = s;
+      lock.unlock();
+      auto loaded = ctx_->Load(s);
+      lock.lock();
+      loading_ = kNoShard;
+      staged_index_ = s;
+      staged_.emplace(std::move(loaded));
+      cv_.notify_all();
+    }
+  }
+
+  std::shared_ptr<const LoadContext> ctx_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  uint32_t requested_ = kNoShard;
+  uint32_t loading_ = kNoShard;
+  uint32_t staged_index_ = kNoShard;
+  std::optional<StatusOr<std::unique_ptr<AdsBackend>>> staged_;
+  std::thread worker_;  // last member: starts after all state above exists
+};
+
+ShardedAdsSet::ShardedAdsSet() = default;
+ShardedAdsSet::ShardedAdsSet(ShardedAdsSet&&) noexcept = default;
+ShardedAdsSet& ShardedAdsSet::operator=(ShardedAdsSet&&) noexcept = default;
+ShardedAdsSet::~ShardedAdsSet() = default;
 
 bool IsShardedAdsPath(const std::string& path) {
   std::error_code ec;
@@ -136,9 +271,8 @@ Status WriteShardedAdsSet(const FlatAdsSet& set, const std::string& dir,
   return WriteShardedAdsSet(set, dir, BalancedShardSplits(set, num_shards));
 }
 
-StatusOr<ShardedAdsSet> ShardedAdsSet::Open(
-    const std::string& path, std::function<double(uint64_t)> beta,
-    uint32_t max_resident) {
+StatusOr<ShardedAdsSet> ShardedAdsSet::Open(const std::string& path,
+                                            const ShardedOptions& options) {
   std::string manifest_path = path;
   std::error_code ec;
   if (std::filesystem::is_directory(path, ec)) {
@@ -153,9 +287,8 @@ StatusOr<ShardedAdsSet> ShardedAdsSet::Open(
   }
   ShardedAdsSet set;
   set.dir_ = std::filesystem::path(manifest_path).parent_path().string();
-  set.beta_ = beta;
-  set.max_resident_ = std::max(1u, max_resident);
-  Status st = ParseAdsParams(f, std::move(beta), &set.flavor_, &set.k_,
+  set.max_resident_ = std::max(1u, options.max_resident);
+  Status st = ParseAdsParams(f, options.beta, &set.flavor_, &set.k_,
                              &set.ranks_, &set.num_nodes_);
   if (!st.ok()) return st;
 
@@ -190,7 +323,31 @@ StatusOr<ShardedAdsSet> ShardedAdsSet::Open(
   }
   set.resident_.resize(set.shards_.size());
   set.last_used_.assign(set.shards_.size(), 0);
+
+  auto ctx = std::make_shared<LoadContext>();
+  ctx->dir = set.dir_;
+  ctx->shards = set.shards_;
+  ctx->flavor = set.flavor_;
+  ctx->k = set.k_;
+  ctx->rank_kind = set.ranks_.kind();
+  ctx->seed = set.ranks_.seed();
+  ctx->base = set.ranks_.base();
+  ctx->use_mmap = options.use_mmap;
+  ctx->beta = options.beta;
+  set.load_ctx_ = std::move(ctx);
+  if (options.prefetch) {
+    set.prefetcher_ = std::make_unique<Prefetcher>(set.load_ctx_);
+  }
   return set;
+}
+
+StatusOr<ShardedAdsSet> ShardedAdsSet::Open(
+    const std::string& path, std::function<double(uint64_t)> beta,
+    uint32_t max_resident) {
+  ShardedOptions options;
+  options.beta = std::move(beta);
+  options.max_resident = max_resident;
+  return Open(path, options);
 }
 
 uint64_t ShardedAdsSet::TotalEntries() const {
@@ -207,39 +364,75 @@ uint32_t ShardedAdsSet::ShardOf(NodeId v) const {
   return static_cast<uint32_t>(it - shards_.begin());
 }
 
-StatusOr<const FlatAdsSet*> ShardedAdsSet::Shard(uint32_t s) const {
-  last_used_[s] = ++tick_;
-  if (resident_[s] != nullptr) return resident_[s].get();
-
-  const ShardInfo& info = shards_[s];
-  auto loaded = ReadFlatAdsSetFile(JoinPath(dir_, info.file), beta_);
-  if (!loaded.ok()) return loaded.status();
-  FlatAdsSet& flat = loaded.value();
-  if (flat.flavor != flavor_ || flat.k != k_ ||
-      flat.ranks.kind() != ranks_.kind() ||
-      flat.ranks.seed() != ranks_.seed() ||
-      flat.ranks.base() != ranks_.base() ||
-      flat.num_nodes() != info.end - info.begin ||
-      flat.TotalEntries() != info.num_entries) {
-    return Status::Corruption("shard " + info.file +
-                              " does not match its manifest entry");
+Status ShardedAdsSet::ValidateFiles() const {
+  for (const ShardInfo& info : shards_) {
+    std::string path = JoinPath(dir_, info.file);
+    std::error_code ec;
+    uint64_t actual = std::filesystem::file_size(path, ec);
+    if (ec) {
+      return Status::IOError("manifest references missing shard file " +
+                             path + ": " + ec.message());
+    }
+    uint64_t expected =
+        AdsBinaryFileSize(info.end - info.begin, info.num_entries);
+    if (actual != expected) {
+      return Status::Corruption(
+          "shard file " + path + " is " + std::to_string(actual) +
+          " bytes; manifest implies " + std::to_string(expected) +
+          (actual < expected ? " (truncated?)" : " (trailing data?)"));
+    }
   }
+  return Status::Ok();
+}
 
-  uint32_t live = NumResident();
-  if (live >= max_resident_) {
-    // Evict the least recently used resident shard.
-    uint32_t victim = static_cast<uint32_t>(resident_.size());
+void ShardedAdsSet::EvictFor(uint32_t installing) const {
+  // Evict least-recently-used resident arenas until under budget (never
+  // the arena being installed), keeping NumResident() <= max_resident_.
+  // The range a caller is actively consuming is always its most recently
+  // touched one, so LRU never picks it while max_resident >= 2; at
+  // max_resident = 1 installing a new range invalidates the previous
+  // range's views, exactly as documented.
+  for (;;) {
+    if (NumResident() < max_resident_) return;
+    uint32_t victim = kNoShard;
     for (uint32_t i = 0; i < resident_.size(); ++i) {
-      if (resident_[i] != nullptr &&
-          (victim == resident_.size() ||
-           last_used_[i] < last_used_[victim])) {
+      if (resident_[i] == nullptr || i == installing) continue;
+      if (victim == kNoShard || last_used_[i] < last_used_[victim]) {
         victim = i;
       }
     }
-    if (victim < resident_.size()) resident_[victim].reset();
+    if (victim == kNoShard) return;  // only the installing arena is live
+    resident_[victim].reset();
   }
-  resident_[s] = std::make_unique<FlatAdsSet>(std::move(flat));
+}
+
+StatusOr<const AdsBackend*> ShardedAdsSet::Resident(uint32_t s) const {
+  last_used_[s] = ++tick_;
+  if (resident_[s] != nullptr) return resident_[s].get();
+
+  std::optional<StatusOr<std::unique_ptr<AdsBackend>>> staged;
+  if (prefetcher_ != nullptr) staged = prefetcher_->Take(s);
+  StatusOr<std::unique_ptr<AdsBackend>> loaded =
+      staged.has_value() ? std::move(*staged) : load_ctx_->Load(s);
+  if (!loaded.ok()) return loaded.status();
+  EvictFor(s);
+  resident_[s] = std::move(loaded).value();
   return resident_[s].get();
+}
+
+StatusOr<AdsArenaView> ShardedAdsSet::Range(uint32_t r) const {
+  if (r >= shards_.size()) {
+    return Status::InvalidArgument("shard range " + std::to_string(r) +
+                                   " out of bounds");
+  }
+  auto arena = Resident(r);
+  if (!arena.ok()) return arena.status();
+  auto view = arena.value()->Range(0);
+  if (!view.ok()) return view.status();
+  AdsArenaView out = view.value();
+  out.begin = shards_[r].begin;
+  out.end = shards_[r].end;
+  return out;
 }
 
 StatusOr<AdsView> ShardedAdsSet::ViewOf(NodeId v) const {
@@ -247,10 +440,17 @@ StatusOr<AdsView> ShardedAdsSet::ViewOf(NodeId v) const {
     return Status::InvalidArgument("node " + std::to_string(v) +
                                    " out of range");
   }
-  uint32_t s = ShardOf(v);
-  auto shard = Shard(s);
-  if (!shard.ok()) return shard.status();
-  return shard.value()->of(v - shards_[s].begin);
+  auto range = Range(ShardOf(v));
+  if (!range.ok()) return range.status();
+  return range.value().of_global(v);
+}
+
+void ShardedAdsSet::Prefetch(uint32_t r) const {
+  if (prefetcher_ == nullptr || r >= shards_.size() ||
+      resident_[r] != nullptr) {
+    return;
+  }
+  prefetcher_->Request(r);
 }
 
 uint32_t ShardedAdsSet::NumResident() const {

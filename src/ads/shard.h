@@ -7,8 +7,21 @@
 // number resident) and visit nodes in exactly the same order as the
 // unsharded sweep, so every estimate — including the floating-point
 // accumulation order of the distance-distribution histograms — is bitwise
-// identical to the single-arena result. Point queries route of(v) to the
-// owning shard via the manifest's range table.
+// identical to the single-arena result. Point queries route ViewOf(v) to
+// the owning shard via the manifest's range table.
+//
+// ShardedAdsSet implements AdsBackend (ads/backend.h), so it serves the
+// same whole-graph queries as the in-memory and mmap single-arena engines.
+// Two serving upgrades are opt-in through ShardedOptions:
+//
+//   * prefetch — a background thread loads shard s+1 while the sweep
+//     consumes shard s (driven by the AdsBackend::Prefetch residency
+//     hints the query sweeps emit), hiding shard I/O behind compute. The
+//     worker only ever writes a staging slot; the consuming thread alone
+//     touches the residency cache, so results stay deterministic and
+//     bitwise identical to non-prefetching serving.
+//   * use_mmap — shard arenas are opened with MmapAdsSet instead of the
+//     copying loader: residency then costs address space, not heap copies.
 //
 // On disk a sharded set is a directory:
 //
@@ -27,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "ads/backend.h"
 #include "ads/flat_ads.h"
 #include "ads/serialize.h"
 #include "util/status.h"
@@ -67,66 +81,112 @@ Status WriteShardedAdsSet(const FlatAdsSet& set, const std::string& dir,
 Status WriteShardedAdsSet(const FlatAdsSet& set, const std::string& dir,
                           uint32_t num_shards);
 
+/// Serving options for ShardedAdsSet::Open.
+struct ShardedOptions {
+  /// Required for exponential/priority rank kinds, as in ParseAdsSet.
+  std::function<double(uint64_t)> beta = nullptr;
+  /// Max shard arenas resident at once (LRU eviction past the bound).
+  uint32_t max_resident = 1;
+  /// Load the next hinted shard on a background thread. The staged arena
+  /// is heap-held until the sweep reaches it, so prefetching transiently
+  /// keeps up to one arena beyond max_resident in memory.
+  bool prefetch = false;
+  /// Open shard arenas zero-copy with MmapAdsSet instead of the copying
+  /// loader.
+  bool use_mmap = false;
+};
+
 /// A sharded ADS set opened for serving. Shard arenas load lazily on first
-/// access; at most `max_resident` stay in memory (least-recently-used
-/// eviction), bounding resident memory at roughly the largest
-/// `max_resident` shard arenas.
+/// access; at most max_resident stay live (least-recently-used eviction).
+/// The range a caller is consuming is its most recently touched one, so
+/// LRU never evicts it while max_resident >= 2; with max_resident = 1,
+/// touching a second range invalidates the first range's views.
 ///
-/// Loading is not thread-safe: concurrent Shard()/ViewOf() calls must be
-/// externally serialized (the whole-graph sweeps in ads/queries.h do this
-/// naturally — they walk shards sequentially and parallelize inside each).
-/// Views and arena pointers stay valid until the owning shard is evicted,
-/// i.e. until max_resident other shards have been touched.
-class ShardedAdsSet {
+/// The consumer side is not thread-safe: concurrent Range()/ViewOf() calls
+/// must be externally serialized (the whole-graph sweeps in ads/queries.h
+/// do this naturally — they walk shards sequentially and parallelize
+/// inside each). The prefetch worker runs concurrently but communicates
+/// only through its own locked staging slot. Views and arena pointers stay
+/// valid until the owning shard is evicted, i.e. until max_resident other
+/// shards have been touched.
+class ShardedAdsSet : public AdsBackend {
  public:
   /// An empty set (no shards, no nodes); the state StatusOr needs to
   /// default-construct. Use Open to get a usable one.
-  ShardedAdsSet() = default;
+  ShardedAdsSet();
+  ShardedAdsSet(ShardedAdsSet&&) noexcept;
+  ShardedAdsSet& operator=(ShardedAdsSet&&) noexcept;
+  ~ShardedAdsSet() override;
 
-  /// Opens `path`, which may be the manifest file or its directory. `beta`
-  /// is required for exponential/priority rank kinds, as in ParseAdsSet.
+  /// Opens `path`, which may be the manifest file or its directory.
+  static StatusOr<ShardedAdsSet> Open(const std::string& path,
+                                      const ShardedOptions& options);
+
+  /// Back-compat overload: copying loader, no prefetch.
   static StatusOr<ShardedAdsSet> Open(
       const std::string& path,
       std::function<double(uint64_t)> beta = nullptr,
       uint32_t max_resident = 1);
 
-  SketchFlavor flavor() const { return flavor_; }
-  uint32_t k() const { return k_; }
-  const RankAssignment& ranks() const { return ranks_; }
-  size_t num_nodes() const { return num_nodes_; }
+  SketchFlavor flavor() const override { return flavor_; }
+  uint32_t k() const override { return k_; }
+  const RankAssignment& ranks() const override { return ranks_; }
+  size_t num_nodes() const override { return num_nodes_; }
+  uint64_t TotalEntries() const override;
+
   size_t num_shards() const { return shards_.size(); }
   const std::vector<ShardInfo>& shards() const { return shards_; }
-  uint64_t TotalEntries() const;
 
   /// Index of the shard owning node v (v must be < num_nodes()).
   uint32_t ShardOf(NodeId v) const;
 
-  /// Loads shard `s` if not resident and returns its arena. Fails with
-  /// IOError/Corruption if the shard file is missing, damaged, or
-  /// inconsistent with the manifest.
-  StatusOr<const FlatAdsSet*> Shard(uint32_t s) const;
+  /// Cheap up-front integrity check of every shard file the manifest
+  /// references: exists and is exactly the v2 byte size its node/entry
+  /// counts imply. Catches missing and truncated shard files before a
+  /// sweep starts, without loading any arena. (Content damage inside a
+  /// right-sized file is still caught by the checksum at load time.)
+  Status ValidateFiles() const;
 
-  /// View of ADS(v), loading the owning shard on demand.
-  StatusOr<AdsView> ViewOf(NodeId v) const;
+  // AdsBackend surface: one range per shard, loaded lazily on Range();
+  // Prefetch(r) hands the hint to the background worker when enabled.
+  uint32_t NumRanges() const override {
+    return static_cast<uint32_t>(shards_.size());
+  }
+  StatusOr<AdsArenaView> Range(uint32_t r) const override;
+  StatusOr<AdsView> ViewOf(NodeId v) const override;
+  void Prefetch(uint32_t r) const override;
 
   /// Number of shard arenas currently in memory (for tests/metrics).
   uint32_t NumResident() const;
 
  private:
+  struct LoadContext;
+  class Prefetcher;
+
+  // Returns shard s's arena, consuming a staged prefetch result or loading
+  // synchronously, installing into the residency cache with LRU eviction.
+  StatusOr<const AdsBackend*> Resident(uint32_t s) const;
+  void EvictFor(uint32_t installing) const;
+
   std::string dir_;
   SketchFlavor flavor_ = SketchFlavor::kBottomK;
   uint32_t k_ = 0;
   RankAssignment ranks_ = RankAssignment::Uniform(0);
   uint64_t num_nodes_ = 0;
   std::vector<ShardInfo> shards_;
-  std::function<double(uint64_t)> beta_;
   uint32_t max_resident_ = 1;
+
+  // Everything a shard load needs, shared with the prefetch worker so the
+  // set object itself stays movable while the worker runs.
+  std::shared_ptr<const LoadContext> load_ctx_;
 
   // Lazy-load cache: resident_[s] is null until shard s is first touched;
   // last_used_ drives LRU eviction once more than max_resident_ are live.
-  mutable std::vector<std::unique_ptr<FlatAdsSet>> resident_;
+  // Touched only by the (externally serialized) consumer thread.
+  mutable std::vector<std::unique_ptr<AdsBackend>> resident_;
   mutable std::vector<uint64_t> last_used_;
   mutable uint64_t tick_ = 0;
+  mutable std::unique_ptr<Prefetcher> prefetcher_;
 };
 
 }  // namespace hipads

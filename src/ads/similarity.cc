@@ -16,8 +16,7 @@ namespace {
 // whose ranks collide — routine under base-b discretization (DiscretizeRank
 // maps whole rank intervals to one power of 1/b), where deduplicating by
 // rank value alone would conflate different elements.
-std::vector<std::pair<double, NodeId>> RankedWithin(const Ads& ads,
-                                                    double d) {
+std::vector<std::pair<double, NodeId>> RankedWithin(AdsView ads, double d) {
   std::vector<std::pair<double, NodeId>> out;
   for (const AdsEntry& e : ads.entries()) {
     if (e.dist > d) break;
@@ -29,7 +28,7 @@ std::vector<std::pair<double, NodeId>> RankedWithin(const Ads& ads,
 
 }  // namespace
 
-double JaccardSimilarity(const Ads& u, const Ads& v, double d, uint32_t k,
+double JaccardSimilarity(AdsView u, AdsView v, double d, uint32_t k,
                          double sup) {
   auto ru = RankedWithin(u, d);
   auto rv = RankedWithin(v, d);
@@ -59,7 +58,7 @@ double JaccardSimilarity(const Ads& u, const Ads& v, double d, uint32_t k,
   return taken == 0 ? 0.0 : static_cast<double>(shared) / taken;
 }
 
-double UnionCardinality(const Ads& u, const Ads& v, double d, uint32_t k,
+double UnionCardinality(AdsView u, AdsView v, double d, uint32_t k,
                         double sup) {
   // Deduplicate the merged sample by node id: a node present in both
   // sketches contributes once (its (rank, node) pair is identical on both
@@ -78,13 +77,13 @@ double UnionCardinality(const Ads& u, const Ads& v, double d, uint32_t k,
   return BottomKBasicEstimate(merged);
 }
 
-double IntersectionCardinality(const Ads& u, const Ads& v, double d,
+double IntersectionCardinality(AdsView u, AdsView v, double d,
                                uint32_t k, double sup) {
   return JaccardSimilarity(u, v, d, k, sup) *
          UnionCardinality(u, v, d, k, sup);
 }
 
-double ReachabilityJaccard(const Ads& u, const Ads& v, uint32_t k,
+double ReachabilityJaccard(AdsView u, AdsView v, uint32_t k,
                            double sup) {
   return JaccardSimilarity(u, v, std::numeric_limits<double>::infinity(), k,
                            sup);

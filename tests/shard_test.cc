@@ -153,11 +153,16 @@ TEST(ShardTest, SingleShardEqualsWholeSet) {
   ASSERT_TRUE(WriteShardedAdsSet(set, dir.path, 1).ok());
   auto opened = ShardedAdsSet::Open(dir.path);
   ASSERT_TRUE(opened.ok());
-  auto shard = opened.value().Shard(0);
-  ASSERT_TRUE(shard.ok());
-  EXPECT_EQ(shard.value()->offsets, set.offsets);
-  ASSERT_EQ(shard.value()->entries.size(), set.entries.size());
-  EXPECT_EQ(std::memcmp(shard.value()->entries.data(), set.entries.data(),
+  auto range = opened.value().Range(0);
+  ASSERT_TRUE(range.ok());
+  const AdsArenaView& arena = range.value();
+  EXPECT_EQ(arena.begin, 0u);
+  EXPECT_EQ(arena.end, set.num_nodes());
+  ASSERT_EQ(arena.num_entries(), set.entries.size());
+  EXPECT_EQ(std::memcmp(arena.offsets, set.offsets.data(),
+                        set.offsets.size() * sizeof(uint64_t)),
+            0);
+  EXPECT_EQ(std::memcmp(arena.entries, set.entries.data(),
                         set.entries.size() * sizeof(AdsEntry)),
             0);
 }
@@ -214,7 +219,7 @@ TEST(ShardTest, ShardInconsistentWithManifestRejected) {
                   .ok());
   auto opened = ShardedAdsSet::Open(dir.path);
   ASSERT_TRUE(opened.ok());
-  auto result = opened.value().Shard(1);
+  auto result = opened.value().Range(1);
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), Status::Code::kCorruption);
 }

@@ -9,32 +9,46 @@
 //   stats      whole-graph statistics from a stored ADS set
 //
 // `query` and `stats` accept a plain ADS file (v1 or v2, auto-detected) or
-// a shard directory / manifest written by `shard`.
+// a shard directory / manifest written by `shard`; every input is served
+// through the unified AdsBackend storage layer. `--backend=copy` (default)
+// loads into a heap arena; `--backend=mmap` maps v2 files zero-copy.
+// Sharded sets honor `--resident N` (max shard arenas in memory) and
+// prefetch the next shard during whole-graph sweeps (`--prefetch 0` to
+// disable). A manifest referencing a missing or truncated shard file fails
+// at open with a nonzero exit, before any partial output.
 //
 // Examples:
 //   hipads_cli generate --model ba --nodes 100000 --out graph.txt
 //   hipads_cli sketch --graph graph.txt --k 32 --format binary --out s.ads2
 //   hipads_cli convert --in s.ads2 --format text --out s.ads
 //   hipads_cli shard --in s.ads2 --shards 8 --out-dir shards/
-//   hipads_cli query --sketches s.ads2 --node 17 --distance 3
+//   hipads_cli query --sketches s.ads2 --backend=mmap --node 17 --distance 3
+//   hipads_cli query --sketches s.ads2 --node 17 --lookup 4,8,15
+//   hipads_cli query --sketches s.ads2 --node 17 --jaccard 23 --distance 3
 //   hipads_cli query --sketches shards/ --top 10 --centrality harmonic
-//   hipads_cli stats --sketches shards/
+//   hipads_cli stats --sketches shards/ --backend=mmap --resident 2
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <limits>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include <filesystem>
 
+#include "ads/backend.h"
 #include "ads/builders.h"
 #include "ads/estimators.h"
 #include "ads/flat_ads.h"
 #include "ads/queries.h"
 #include "ads/serialize.h"
 #include "ads/shard.h"
+#include "ads/similarity.h"
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "util/parallel.h"
@@ -43,16 +57,27 @@
 namespace hipads {
 namespace {
 
-// Minimal --flag value argument parsing.
+// Minimal argument parsing: `--flag value` pairs or `--flag=value`.
 class Args {
  public:
   Args(int argc, char** argv) {
-    for (int i = 0; i + 1 < argc; i += 2) {
+    for (int i = 0; i < argc;) {
       if (std::strncmp(argv[i], "--", 2) != 0) {
         std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
         std::exit(2);
       }
-      values_[argv[i] + 2] = argv[i + 1];
+      const char* arg = argv[i];
+      const char* eq = std::strchr(arg, '=');
+      if (eq != nullptr) {
+        values_[std::string(arg + 2, eq)] = eq + 1;
+        i += 1;
+      } else if (i + 1 < argc) {
+        values_[argv[i] + 2] = argv[i + 1];
+        i += 2;
+      } else {
+        std::fprintf(stderr, "missing value for flag '%s'\n", argv[i]);
+        std::exit(2);
+      }
     }
   }
 
@@ -261,14 +286,54 @@ void PrintNodeQuery(const Args& args, uint64_t node,
   }
 }
 
-// Serving a sharded directory: sweeps run shard-at-a-time with at most
-// --resident shard arenas in memory; results are bitwise identical to the
-// unsharded file.
-int CmdQuerySharded(const Args& args, const std::string& path) {
-  uint32_t resident = static_cast<uint32_t>(args.GetInt("resident", 1));
-  auto opened = ShardedAdsSet::Open(path, nullptr, resident);
+// One open path for every input kind (plain v1/v2 file or shard
+// directory) and both storage modes. Sharded opens validate the manifest's
+// file list up front, so a missing/truncated shard fails here — with a
+// clear message and nonzero exit — never as a partial sweep.
+StatusOr<std::unique_ptr<AdsBackend>> OpenServingBackend(const Args& args) {
+  std::string backend = args.Get("backend", "copy");
+  AdsBackendOptions options;
+  if (backend == "mmap") {
+    options.mode = BackendMode::kMmap;
+  } else if (backend == "copy") {
+    options.mode = BackendMode::kCopy;
+  } else {
+    return Status::InvalidArgument("unknown --backend " + backend +
+                                   " (copy|mmap)");
+  }
+  options.max_resident = static_cast<uint32_t>(args.GetInt("resident", 1));
+  options.prefetch = args.GetInt("prefetch", 1) != 0;
+  return OpenAdsBackend(args.Get("sketches", "sketches.ads"), options);
+}
+
+// Parses a comma-separated node list ("4,8,15"); nullopt on anything that
+// is not digits and commas, on a trailing comma, and on ids that would
+// wrap the NodeId type.
+std::optional<std::vector<NodeId>> ParseNodeList(const std::string& list) {
+  std::vector<NodeId> nodes;
+  const char* p = list.c_str();
+  while (*p != '\0') {
+    char* end = nullptr;
+    uint64_t value = std::strtoull(p, &end, 10);
+    if (end == p || value > std::numeric_limits<NodeId>::max()) {
+      return std::nullopt;
+    }
+    nodes.push_back(static_cast<NodeId>(value));
+    if (*end == ',') {
+      if (end[1] == '\0') return std::nullopt;
+      ++end;
+    } else if (*end != '\0') {
+      return std::nullopt;
+    }
+    p = end;
+  }
+  return nodes;
+}
+
+int CmdQuery(const Args& args) {
+  auto opened = OpenServingBackend(args);
   if (!opened.ok()) return Fail(opened.status());
-  const ShardedAdsSet& set = opened.value();
+  const AdsBackend& set = *opened.value();
 
   if (args.Has("top")) {
     std::string kind = args.Get("centrality", "harmonic");
@@ -286,55 +351,65 @@ int CmdQuerySharded(const Args& args, const std::string& path) {
   }
 
   uint64_t node = args.GetInt("node", 0);
-  auto view = set.ViewOf(static_cast<NodeId>(node));
-  if (node >= set.num_nodes() || !view.ok()) {
-    if (node >= set.num_nodes()) {
-      std::fprintf(stderr, "node %llu out of range (%zu nodes)\n",
-                   static_cast<unsigned long long>(node), set.num_nodes());
-      return 2;
-    }
-    return Fail(view.status());
-  }
-  HipEstimator est(view.value(), set.k(), set.flavor(), set.ranks());
-  PrintNodeQuery(args, node, est);
-  return 0;
-}
-
-int CmdQuery(const Args& args) {
-  std::string path = args.Get("sketches", "sketches.ads");
-  if (IsShardedAdsPath(path)) return CmdQuerySharded(args, path);
-  // Serving loads straight into the flat CSR arena: the whole-graph sweeps
-  // below iterate one contiguous entry array.
-  auto loaded = ReadFlatAdsSetFile(path);
-  if (!loaded.ok()) return Fail(loaded.status());
-  const FlatAdsSet& set = loaded.value();
-
-  if (args.Has("top")) {
-    std::string kind = args.Get("centrality", "harmonic");
-    std::vector<double> scores;
-    if (kind == "harmonic") {
-      scores = EstimateHarmonicCentralityAll(set);
-    } else if (kind == "distsum") {
-      scores = EstimateDistanceSumAll(set);
-    } else if (kind == "reach") {
-      scores = EstimateReachableCountAll(set);
-    } else {
-      std::fprintf(stderr, "unknown --centrality %s\n", kind.c_str());
-      return 2;
-    }
-    PrintTopTable(scores, kind,
-                  static_cast<uint32_t>(args.GetInt("top", 10)));
-    return 0;
-  }
-
-  uint64_t node = args.GetInt("node", 0);
   if (node >= set.num_nodes()) {
     std::fprintf(stderr, "node %llu out of range (%zu nodes)\n",
                  static_cast<unsigned long long>(node), set.num_nodes());
     return 2;
   }
-  HipEstimator est(set.of(static_cast<NodeId>(node)), set.k, set.flavor,
-                   set.ranks);
+  auto view = set.ViewOf(static_cast<NodeId>(node));
+  if (!view.ok()) return Fail(view.status());
+
+  if (args.Has("lookup")) {
+    auto targets = ParseNodeList(args.Get("lookup", ""));
+    if (!targets.has_value()) {
+      std::fprintf(stderr, "bad --lookup list '%s' (want n1,n2,...)\n",
+                   args.Get("lookup", "").c_str());
+      return 2;
+    }
+    // Point lookups against ADS(node) through the node-sorted index
+    // (binary search instead of a linear sketch scan per target).
+    AdsNodeIndex index(view.value());
+    for (NodeId target : targets.value()) {
+      double d = index.DistanceOf(target);
+      if (d < 0.0) {
+        std::printf("node %llu: %u not sketched\n",
+                    static_cast<unsigned long long>(node), target);
+      } else {
+        std::printf("node %llu: d(%u) = %g\n",
+                    static_cast<unsigned long long>(node), target, d);
+      }
+    }
+    return 0;
+  }
+
+  if (args.Has("jaccard")) {
+    uint64_t other = args.GetInt("jaccard", 0);
+    if (other >= set.num_nodes()) {
+      std::fprintf(stderr, "node %llu out of range (%zu nodes)\n",
+                   static_cast<unsigned long long>(other), set.num_nodes());
+      return 2;
+    }
+    // Fetching the other node's view may evict the shard backing the
+    // first one (bounded residency), so pin a copy of the first sketch.
+    std::vector<AdsEntry> pinned(view.value().entries().begin(),
+                                 view.value().entries().end());
+    AdsView u_view{std::span<const AdsEntry>(pinned)};
+    auto other_view = set.ViewOf(static_cast<NodeId>(other));
+    if (!other_view.ok()) return Fail(other_view.status());
+    double d = args.GetDouble("distance",
+                              std::numeric_limits<double>::infinity());
+    double sup = set.ranks().sup();
+    double jaccard =
+        JaccardSimilarity(u_view, other_view.value(), d, set.k(), sup);
+    double uni = UnionCardinality(u_view, other_view.value(), d, set.k(), sup);
+    std::printf("J(%llu, %llu; d=%g) ~ %.4f, |intersection| ~ %.1f\n",
+                static_cast<unsigned long long>(node),
+                static_cast<unsigned long long>(other), d, jaccard,
+                jaccard * uni);
+    return 0;
+  }
+
+  HipEstimator est(view.value(), set.k(), set.flavor(), set.ranks());
   PrintNodeQuery(args, node, est);
   return 0;
 }
@@ -381,24 +456,14 @@ void PrintStatsFromDistribution(size_t num_nodes, uint32_t k,
 }
 
 int CmdStats(const Args& args) {
-  std::string path = args.Get("sketches", "sketches.ads");
   double quantile = args.GetDouble("quantile", 0.9);
-  if (IsShardedAdsPath(path)) {
-    uint32_t resident = static_cast<uint32_t>(args.GetInt("resident", 1));
-    auto opened = ShardedAdsSet::Open(path, nullptr, resident);
-    if (!opened.ok()) return Fail(opened.status());
-    const ShardedAdsSet& set = opened.value();
-    auto dd = EstimateDistanceDistribution(set);
-    if (!dd.ok()) return Fail(dd.status());
-    PrintStatsFromDistribution(set.num_nodes(), set.k(), set.TotalEntries(),
-                               quantile, dd.value());
-    return 0;
-  }
-  auto loaded = ReadFlatAdsSetFile(path);
-  if (!loaded.ok()) return Fail(loaded.status());
-  const FlatAdsSet& set = loaded.value();
-  PrintStatsFromDistribution(set.num_nodes(), set.k, set.TotalEntries(),
-                             quantile, EstimateDistanceDistribution(set));
+  auto opened = OpenServingBackend(args);
+  if (!opened.ok()) return Fail(opened.status());
+  const AdsBackend& set = *opened.value();
+  auto dd = EstimateDistanceDistribution(set);
+  if (!dd.ok()) return Fail(dd.status());
+  PrintStatsFromDistribution(set.num_nodes(), set.k(), set.TotalEntries(),
+                             quantile, dd.value());
   return 0;
 }
 
