@@ -13,6 +13,18 @@
 //     sharded serving with and without the background prefetch thread
 //     (prefetch hides shard load I/O behind the sweep's compute).
 //   * Point lookups: AdsNodeIndex binary search vs the linear AdsView scan.
+//   * CLAIM-SWEEP-FUSION: K statistics as one fused SweepPlan vs K
+//     standalone whole-graph queries over a resident-limited sharded
+//     backend. Sequential cost grows ~linearly in K (K shard sweeps, K
+//     HIP scans per node); the fused plan pays one sweep plus only the
+//     per-collector reduction — the recorded baseline justifies routing
+//     every multi-statistic caller (CLI stats, examples) through one plan.
+//   * CLAIM-SOA-LAYOUT: the per-node HIP estimator sweep over the flat
+//     AoS arena vs the same sweep over the split SoaAdsArena
+//     (dist[]/rank[]/... per-field streams). The recorded baseline shows
+//     SoA does NOT beat AoS here (the scan is dominated by the HipEntry
+//     output allocation, not input bandwidth), which is why the SoA
+//     layout stays an experiment rather than the serving default.
 
 #include <benchmark/benchmark.h>
 
@@ -28,6 +40,7 @@
 #include "ads/queries.h"
 #include "ads/serialize.h"
 #include "ads/shard.h"
+#include "ads/sweep.h"
 #include "bench_common.h"
 #include "graph/generators.h"
 
@@ -136,6 +149,120 @@ void BM_SweepSharded(benchmark::State& state) {
 }
 BENCHMARK(BM_SweepSharded)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Unit(
     benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// CLAIM-SWEEP-FUSION: K statistics, fused vs sequential, over a sharded
+// backend with bounded residency (the serving shape the engine targets).
+// ---------------------------------------------------------------------------
+
+const ShardedAdsSet& SharedShardedSet() {
+  static ShardedAdsSet* set = [] {
+    std::string dir = TempPath("bench_serve_fusion_shards");
+    WriteShardedAdsSet(SharedSet(4000), dir, 8);
+    ShardedOptions options;
+    options.max_resident = 1;
+    auto opened = ShardedAdsSet::Open(dir, options);
+    return new ShardedAdsSet(std::move(opened).value());
+  }();
+  return *set;
+}
+
+// The first `count` of a fixed six-statistic battery. The histogram
+// collector is deliberately second so K=1 measures the cheapest
+// per-node-only plan and K>=2 includes the order-sensitive reduction.
+void AddCollectors(SweepPlan& plan, int64_t count) {
+  if (count >= 1) plan.Emplace<HarmonicCentralityCollector>();
+  if (count >= 2) plan.Emplace<DistanceHistogramCollector>();
+  if (count >= 3) plan.Emplace<DistanceSumCollector>();
+  if (count >= 4) plan.Emplace<ReachableCountCollector>();
+  if (count >= 5) plan.Emplace<NeighborhoodSizeCollector>(2.0);
+  if (count >= 6) {
+    plan.Emplace<ClosenessCollector>(
+        [](double d) { return 1.0 / (1.0 + d); },
+        [](NodeId) { return 1.0; });
+  }
+}
+
+void BM_MultiStatFused(benchmark::State& state) {
+  const ShardedAdsSet& set = SharedShardedSet();
+  for (auto _ : state) {
+    SweepPlan plan;
+    AddCollectors(plan, state.range(0));
+    Status swept = RunSweep(set, plan, 1);
+    benchmark::DoNotOptimize(swept.ok());
+  }
+  state.counters["stats"] =
+      benchmark::Counter(static_cast<double>(state.range(0)));
+}
+BENCHMARK(BM_MultiStatFused)->Arg(1)->Arg(2)->Arg(4)->Arg(6)->Unit(
+    benchmark::kMillisecond);
+
+// The same statistics as standalone queries: K full backend sweeps.
+void BM_MultiStatSequential(benchmark::State& state) {
+  const ShardedAdsSet& set = SharedShardedSet();
+  int64_t count = state.range(0);
+  for (auto _ : state) {
+    if (count >= 1) {
+      benchmark::DoNotOptimize(EstimateHarmonicCentralityAll(set, 1).ok());
+    }
+    if (count >= 2) {
+      benchmark::DoNotOptimize(EstimateDistanceDistribution(set, 1).ok());
+    }
+    if (count >= 3) {
+      benchmark::DoNotOptimize(EstimateDistanceSumAll(set, 1).ok());
+    }
+    if (count >= 4) {
+      benchmark::DoNotOptimize(EstimateReachableCountAll(set, 1).ok());
+    }
+    if (count >= 5) {
+      benchmark::DoNotOptimize(
+          EstimateNeighborhoodSizeAll(set, 2.0, 1).ok());
+    }
+    if (count >= 6) {
+      benchmark::DoNotOptimize(
+          EstimateClosenessAll(
+              set, [](double d) { return 1.0 / (1.0 + d); },
+              [](NodeId) { return 1.0; }, 1)
+              .ok());
+    }
+  }
+  state.counters["stats"] = benchmark::Counter(static_cast<double>(count));
+}
+BENCHMARK(BM_MultiStatSequential)->Arg(1)->Arg(2)->Arg(4)->Arg(6)->Unit(
+    benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// CLAIM-SOA-LAYOUT: the estimator sweep over AoS vs SoA entry layouts —
+// the same per-node HipEstimator construction + harmonic fold, reading
+// AdsEntry structs vs split per-field streams.
+// ---------------------------------------------------------------------------
+
+void BM_SweepHipAos(benchmark::State& state) {
+  const FlatAdsSet& set = SharedSet(4000);
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (NodeId v = 0; v < set.num_nodes(); ++v) {
+      HipEstimator est(set.of(v), set.k, set.flavor, set.ranks);
+      sum += est.HarmonicCentrality();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_SweepHipAos)->Unit(benchmark::kMillisecond);
+
+void BM_SweepHipSoa(benchmark::State& state) {
+  static const SoaAdsArena& soa =
+      *new SoaAdsArena(SoaAdsArena::FromFlat(SharedSet(4000)));
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (NodeId v = 0; v < soa.num_nodes(); ++v) {
+      HipEstimator est(soa.of(v), soa.k, soa.flavor, soa.ranks);
+      sum += est.HarmonicCentrality();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_SweepHipSoa)->Unit(benchmark::kMillisecond);
 
 // Point lookups: the (dist, node) canonical order forces AdsView into a
 // linear scan per probe; AdsNodeIndex answers by binary search.

@@ -4,7 +4,10 @@
 // and writes the ADS set to disk (v2 binary — the serving format); online
 // services open it behind the unified AdsBackend storage layer and answer
 // estimation queries — cardinalities, centralities, node-pair similarity,
-// effective diameter — without ever touching the graph again. The same
+// effective diameter — without ever touching the graph again. The
+// whole-graph statistics are gathered by ONE fused sweep (ads/sweep.h):
+// the service builds a SweepPlan with every collector it needs, so the
+// backend is swept once however many statistics are served. The same
 // serving code runs against every storage engine; here it is exercised
 // over a zero-copy mmap open and over a sharded, residency-bounded open
 // with background prefetch, and both agree bitwise.
@@ -17,10 +20,10 @@
 #include "ads/backend.h"
 #include "ads/builders.h"
 #include "ads/estimators.h"
-#include "ads/queries.h"
 #include "ads/serialize.h"
 #include "ads/shard.h"
 #include "ads/similarity.h"
+#include "ads/sweep.h"
 #include "graph/generators.h"
 
 using namespace hipads;
@@ -34,17 +37,28 @@ int Serve(const char* label, const AdsBackend& set) {
               set.num_nodes(), set.k(),
               static_cast<unsigned long long>(set.TotalEntries()));
 
-  // Whole-graph shape statistics.
-  auto diameter = EstimateEffectiveDiameter(set, 0.9);
-  auto mean = EstimateMeanDistance(set);
-  if (!diameter.ok() || !mean.ok()) {
-    std::fprintf(stderr, "sweep failed: %s\n",
-                 (!diameter.ok() ? diameter : mean).status().ToString()
-                     .c_str());
+  // Whole-graph shape statistics + centrality ranking, all from ONE pass:
+  // the histogram collector yields the effective diameter and the mean
+  // distance, the top-k collector the most central nodes — a sharded
+  // backend reads every shard file exactly once for all four numbers.
+  SweepPlan plan;
+  auto* hist = plan.Emplace<DistanceHistogramCollector>();
+  auto* top = plan.Emplace<TopKCollector>(3, [](const HipEstimator& est) {
+    return est.HarmonicCentrality();
+  });
+  Status swept = RunSweep(set, plan);
+  if (!swept.ok()) {
+    std::fprintf(stderr, "sweep failed: %s\n", swept.ToString().c_str());
     return 1;
   }
-  std::printf("  effective diameter (0.9) ~ %.0f\n", diameter.value());
-  std::printf("  mean distance            ~ %.2f\n", mean.value());
+  std::printf("  effective diameter (0.9) ~ %.0f\n",
+              hist->EffectiveDiameter(0.9));
+  std::printf("  mean distance            ~ %.2f\n", hist->MeanDistance());
+  std::printf("  top harmonic nodes:");
+  for (NodeId v : top->TopNodes()) {
+    std::printf(" %u (%.0f)", v, top->values()[v]);
+  }
+  std::printf("\n");
 
   // Per-node queries.
   for (NodeId v : {100u, 4000u}) {

@@ -133,6 +133,14 @@ StatusOr<MmapAdsSet> MmapAdsSet::Open(const std::string& path,
     // degrade to the copying loader rather than failing the open.
     return OpenFallback(path, std::move(beta));
   }
+#if defined(POSIX_MADV_WILLNEED)
+  // Open validates the whole file immediately (checksum scan) and the
+  // estimator sweeps then read the arena front to back, so ask the kernel
+  // to read the mapping ahead instead of faulting page by page — this is
+  // what makes a prefetch-thread mmap "load" actually pull the bytes in,
+  // not just reserve address space. Advisory only: failure is harmless.
+  (void)::posix_madvise(map, len, POSIX_MADV_WILLNEED);
+#endif
   const char* data = static_cast<const char*>(map);
   std::string magic_probe(data, std::min<size_t>(len, 8));
   if (!IsBinaryAdsData(magic_probe)) {
@@ -207,6 +215,7 @@ StatusOr<std::unique_ptr<AdsBackend>> OpenAdsBackend(
     sharded.beta = options.beta;
     sharded.max_resident = options.max_resident;
     sharded.prefetch = options.prefetch;
+    sharded.prefetch_depth = options.prefetch_depth;
     sharded.use_mmap = options.mode == BackendMode::kMmap;
     auto opened = ShardedAdsSet::Open(path, sharded);
     if (!opened.ok()) return opened.status();

@@ -190,9 +190,12 @@ struct AdsBackendOptions {
   std::function<double(uint64_t)> beta = nullptr;
   /// Sharded sets: max shard arenas resident at once (see ShardedAdsSet).
   uint32_t max_resident = 1;
-  /// Sharded sets: overlap the next shard's load with the current shard's
-  /// compute using a background prefetch thread.
+  /// Sharded sets: overlap the next shards' loads with the current
+  /// shard's compute using a background prefetch thread.
   bool prefetch = true;
+  /// Sharded sets: prefetch lookahead — how many upcoming shards a sweep's
+  /// residency hint enqueues (ShardedOptions::prefetch_depth).
+  uint32_t prefetch_depth = 1;
   /// Sharded sets: verify up front that every manifest-referenced shard
   /// file exists with exactly the byte size the manifest implies, so a
   /// missing or truncated shard fails at open instead of mid-sweep.

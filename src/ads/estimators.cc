@@ -8,9 +8,8 @@
 
 namespace hipads {
 
-HipEstimator::HipEstimator(AdsView ads, uint32_t k, SketchFlavor flavor,
-                           const RankAssignment& ranks)
-    : entries_(ComputeHipWeights(ads, k, flavor, ranks)) {
+HipEstimator::HipEstimator(std::vector<HipEntry> entries)
+    : entries_(std::move(entries)) {
   cumulative_.reserve(entries_.size());
   double sum = 0.0;
   for (const HipEntry& e : entries_) {
@@ -18,6 +17,14 @@ HipEstimator::HipEstimator(AdsView ads, uint32_t k, SketchFlavor flavor,
     cumulative_.push_back(sum);
   }
 }
+
+HipEstimator::HipEstimator(AdsView ads, uint32_t k, SketchFlavor flavor,
+                           const RankAssignment& ranks)
+    : HipEstimator(ComputeHipWeights(ads, k, flavor, ranks)) {}
+
+HipEstimator::HipEstimator(const SoaAdsView& ads, uint32_t k,
+                           SketchFlavor flavor, const RankAssignment& ranks)
+    : HipEstimator(ComputeHipWeights(ads, k, flavor, ranks)) {}
 
 double HipEstimator::NeighborhoodCardinality(double d) const {
   // Last entry with dist <= d.

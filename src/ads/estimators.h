@@ -29,6 +29,10 @@ namespace hipads {
 /// O(|ADS|) (general statistics).
 class HipEstimator {
  public:
+  /// An empty estimator (every estimate 0) — the state the sweep
+  /// executor's reusable block buffers need before assignment.
+  HipEstimator() = default;
+
   /// Works off either storage layout: an AdsView over the per-node vectors
   /// of an AdsSet or over a slice of a FlatAdsSet arena.
   HipEstimator(AdsView ads, uint32_t k, SketchFlavor flavor,
@@ -37,6 +41,12 @@ class HipEstimator {
   HipEstimator(const Ads& ads, uint32_t k, SketchFlavor flavor,
                const RankAssignment& ranks)
       : HipEstimator(ads.view(), k, flavor, ranks) {}
+
+  /// Structure-of-arrays layout (a SoaAdsArena slice): the same HIP scan
+  /// over split per-field streams; every estimate is bitwise identical to
+  /// the AdsView overload on the same sketch.
+  HipEstimator(const SoaAdsView& ads, uint32_t k, SketchFlavor flavor,
+               const RankAssignment& ranks);
 
   /// Estimate of the d-neighborhood cardinality n_d = |N_d(v)| — the sum of
   /// adjusted weights of sketched nodes within distance d (Section 5).
@@ -75,6 +85,10 @@ class HipEstimator {
   const std::vector<HipEntry>& entries() const { return entries_; }
 
  private:
+  /// Shared tail of every layout-specific constructor: adopts the HIP
+  /// entries and builds the prefix sums one query path binary-searches.
+  explicit HipEstimator(std::vector<HipEntry> entries);
+
   std::vector<HipEntry> entries_;       // increasing distance
   std::vector<double> cumulative_;      // prefix sums of adjusted weights
 };

@@ -31,46 +31,72 @@ double InclusionProbability(double tau, double beta, RankKind kind) {
   return 1.0;
 }
 
-std::vector<HipEntry> BottomKHip(AdsView ads, uint32_t k,
+// The kernels below are templates over the entry layout: `E` exposes the
+// canonical-order entry sequence as size()/node(i)/part(i)/rank(i)/dist(i),
+// backed either by an AdsEntry array (AoS — AdsView over an Ads or a
+// FlatAdsSet slice) or by per-field arrays (SoA — SoaAdsArena slice). Both
+// instantiations execute the identical arithmetic in the identical order,
+// so the adjusted weights agree bitwise across layouts.
+struct AosEntries {
+  std::span<const AdsEntry> e;
+  size_t size() const { return e.size(); }
+  NodeId node(size_t i) const { return e[i].node; }
+  uint32_t part(size_t i) const { return e[i].part; }
+  double rank(size_t i) const { return e[i].rank; }
+  double dist(size_t i) const { return e[i].dist; }
+};
+
+struct SoaEntries {
+  SoaAdsView v;
+  size_t size() const { return v.size; }
+  NodeId node(size_t i) const { return v.node[i]; }
+  uint32_t part(size_t i) const { return v.part[i]; }
+  double rank(size_t i) const { return v.rank[i]; }
+  double dist(size_t i) const { return v.dist[i]; }
+};
+
+template <typename E>
+std::vector<HipEntry> BottomKHip(const E& ads, uint32_t k,
                                  const RankAssignment& ranks) {
   std::vector<HipEntry> result;
   result.reserve(ads.size());
   BottomKSketch closer(k, ranks.sup());  // ranks of nodes scanned so far
-  for (const AdsEntry& e : ads.entries()) {
+  for (size_t i = 0; i < ads.size(); ++i) {
     double tau = closer.Threshold();
-    double p = InclusionProbability(tau, ranks.beta(e.node), ranks.kind());
+    double p = InclusionProbability(tau, ranks.beta(ads.node(i)),
+                                    ranks.kind());
     assert(p > 0.0);
-    result.push_back(HipEntry{e.node, e.dist, p, 1.0 / p});
-    closer.Update(e.rank);
+    result.push_back(HipEntry{ads.node(i), ads.dist(i), p, 1.0 / p});
+    closer.Update(ads.rank(i));
   }
   return result;
 }
 
-std::vector<HipEntry> KMinsHip(AdsView ads, uint32_t k,
+template <typename E>
+std::vector<HipEntry> KMinsHip(const E& ads, uint32_t k,
                                const RankAssignment& ranks) {
   // Group same-node entries (one per permutation) so each node gets a single
   // adjusted weight; nodes are processed in order of their first (lowest
   // rank) entry, which fixes the tie-broken "closer" order.
-  const auto entries = ads.entries();
   struct Group {
     NodeId node;
     double dist;
     std::vector<size_t> members;  // entry indices
   };
   std::vector<Group> groups;
-  for (size_t i = 0; i < entries.size(); ++i) {
+  for (size_t i = 0; i < ads.size(); ++i) {
     int64_t gi = -1;
     for (size_t gidx = groups.size(); gidx-- > 0;) {
       // Same-node entries share a distance, so only groups at this distance
       // (the tail of the list) can match.
-      if (groups[gidx].dist != entries[i].dist) break;
-      if (groups[gidx].node == entries[i].node) {
+      if (groups[gidx].dist != ads.dist(i)) break;
+      if (groups[gidx].node == ads.node(i)) {
         gi = static_cast<int64_t>(gidx);
         break;
       }
     }
     if (gi < 0) {
-      groups.push_back(Group{entries[i].node, entries[i].dist, {}});
+      groups.push_back(Group{ads.node(i), ads.dist(i), {}});
       gi = static_cast<int64_t>(groups.size()) - 1;
     }
     groups[static_cast<size_t>(gi)].members.push_back(i);
@@ -92,14 +118,14 @@ std::vector<HipEntry> KMinsHip(AdsView ads, uint32_t k,
     assert(tau > 0.0);
     result.push_back(HipEntry{group.node, group.dist, tau, 1.0 / tau});
     for (size_t idx : group.members) {
-      const AdsEntry& e = entries[idx];
-      mins[e.part] = std::min(mins[e.part], e.rank);
+      mins[ads.part(idx)] = std::min(mins[ads.part(idx)], ads.rank(idx));
     }
   }
   return result;
 }
 
-std::vector<HipEntry> KPartitionHip(AdsView ads, uint32_t k,
+template <typename E>
+std::vector<HipEntry> KPartitionHip(const E& ads, uint32_t k,
                                     const RankAssignment& ranks) {
   std::vector<HipEntry> result;
   result.reserve(ads.size());
@@ -111,10 +137,10 @@ std::vector<HipEntry> KPartitionHip(AdsView ads, uint32_t k,
   // weighted ranks recompute the per-node sum.
   std::vector<double> mins(k, ranks.sup());
   double uniform_sum = static_cast<double>(k);
-  for (const AdsEntry& e : ads.entries()) {
+  for (size_t i = 0; i < ads.size(); ++i) {
     double tau;
     if (weighted) {
-      double beta = ranks.beta(e.node);
+      double beta = ranks.beta(ads.node(i));
       double s = 0.0;
       for (uint32_t h = 0; h < k; ++h) {
         s += InclusionProbability(mins[h], beta, ranks.kind());
@@ -124,22 +150,21 @@ std::vector<HipEntry> KPartitionHip(AdsView ads, uint32_t k,
       tau = uniform_sum / static_cast<double>(k);
     }
     assert(tau > 0.0);
-    result.push_back(HipEntry{e.node, e.dist, tau, 1.0 / tau});
-    if (e.rank < mins[e.part]) {
+    result.push_back(HipEntry{ads.node(i), ads.dist(i), tau, 1.0 / tau});
+    if (ads.rank(i) < mins[ads.part(i)]) {
       if (!weighted) {
-        uniform_sum -= std::min(mins[e.part], 1.0) - e.rank;
+        uniform_sum -= std::min(mins[ads.part(i)], 1.0) - ads.rank(i);
       }
-      mins[e.part] = e.rank;
+      mins[ads.part(i)] = ads.rank(i);
     }
   }
   return result;
 }
 
-}  // namespace
-
-std::vector<HipEntry> ComputeHipWeights(AdsView ads, uint32_t k,
-                                        SketchFlavor flavor,
-                                        const RankAssignment& ranks) {
+template <typename E>
+std::vector<HipEntry> ComputeHipWeightsT(const E& ads, uint32_t k,
+                                         SketchFlavor flavor,
+                                         const RankAssignment& ranks) {
   assert(ranks.kind() != RankKind::kPermutation);
   switch (flavor) {
     case SketchFlavor::kBottomK:
@@ -150,6 +175,20 @@ std::vector<HipEntry> ComputeHipWeights(AdsView ads, uint32_t k,
       return KPartitionHip(ads, k, ranks);
   }
   return {};
+}
+
+}  // namespace
+
+std::vector<HipEntry> ComputeHipWeights(AdsView ads, uint32_t k,
+                                        SketchFlavor flavor,
+                                        const RankAssignment& ranks) {
+  return ComputeHipWeightsT(AosEntries{ads.entries()}, k, flavor, ranks);
+}
+
+std::vector<HipEntry> ComputeHipWeights(const SoaAdsView& ads, uint32_t k,
+                                        SketchFlavor flavor,
+                                        const RankAssignment& ranks) {
+  return ComputeHipWeightsT(SoaEntries{ads}, k, flavor, ranks);
 }
 
 std::vector<HipEntry> ComputeModifiedHipWeights(AdsView ads, uint32_t k,

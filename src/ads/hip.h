@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "ads/ads.h"
+#include "ads/flat_ads.h"
 
 namespace hipads {
 
@@ -51,6 +52,13 @@ inline std::vector<HipEntry> ComputeHipWeights(const Ads& ads, uint32_t k,
                                                const RankAssignment& ranks) {
   return ComputeHipWeights(ads.view(), k, flavor, ranks);
 }
+
+/// Structure-of-arrays overload: the same scan over a SoaAdsArena slice.
+/// The kernels are shared templates over the entry layout, so the output
+/// is bitwise identical to the AdsView overload on the same sketch.
+std::vector<HipEntry> ComputeHipWeights(const SoaAdsView& ads, uint32_t k,
+                                        SketchFlavor flavor,
+                                        const RankAssignment& ranks);
 
 /// HIP adjusted weights for an Appendix-A modified bottom-k ADS (built by
 /// Ads::ModifiedBottomK, uniform ranks). A member is "sampled" iff its

@@ -1,172 +1,56 @@
 #include "ads/queries.h"
 
-#include <algorithm>
-
-#include "ads/estimators.h"
-#include "util/parallel.h"
-
 namespace hipads {
 
 namespace {
 
-// Nodes per parallel block for the distribution accumulators: large enough
-// to amortize scheduling, small enough to bound the buffered per-node HIP
-// entry lists (a block's buffers are reduced and freed before the next
-// block starts).
-constexpr size_t kDistributionBlock = 4096;
-
-AdsView ViewOf(const AdsSet& set, NodeId v) { return set.of(v).view(); }
-AdsView ViewOf(const FlatAdsSet& set, NodeId v) { return set.of(v); }
-
-// Adapter presenting one backend range to the estimator kernels with the
-// same member surface as AdsSet/FlatAdsSet (k/flavor/ranks + per-node
-// views, node ids local to the range). Sharing the kernels is what makes
-// backend results bitwise identical to the single-arena overloads.
-struct ArenaSet {
-  AdsArenaView arena;
-  SketchFlavor flavor;
-  uint32_t k;
-  const RankAssignment& ranks;
-  size_t num_nodes() const { return arena.num_nodes(); }
-};
-AdsView ViewOf(const ArenaSet& set, NodeId v) { return set.arena.of_local(v); }
-
-// Per-node map: result[v] = fn(HipEstimator of node v). Independent outputs
-// indexed by node, so any thread count produces identical results.
-template <typename SetT, typename Fn>
-std::vector<double> PerNodeEstimate(const SetT& set, uint32_t num_threads,
-                                    const Fn& fn) {
-  std::vector<double> result(set.num_nodes());
-  ThreadPool pool(num_threads);
-  pool.ParallelFor(set.num_nodes(), [&](size_t begin, size_t end, uint32_t) {
-    for (size_t v = begin; v < end; ++v) {
-      HipEstimator est(ViewOf(set, static_cast<NodeId>(v)), set.k,
-                       set.flavor, set.ranks);
-      result[v] = fn(est);
-    }
-  });
-  return result;
-}
-
-// Distance distribution: HIP weighting is computed in parallel per block,
-// but blocks and nodes within a block are reduced into the histogram in
-// node order, so the floating-point accumulation order (and hence the
-// result, bitwise) is independent of the thread count. The accumulator
-// appends into a caller-owned histogram so the sharded sweep can chain
-// shard arenas while preserving that per-node accumulation order exactly.
-template <typename SetT>
-void AccumulateDistanceDistribution(const SetT& set, uint32_t num_threads,
-                                    std::map<double, double>& hist) {
-  ThreadPool pool(num_threads);
-  size_t n = set.num_nodes();
-  std::vector<std::vector<HipEntry>> block_entries(
-      std::min(n, kDistributionBlock));
-  for (size_t block = 0; block < n; block += kDistributionBlock) {
-    size_t block_end = std::min(n, block + kDistributionBlock);
-    pool.ParallelFor(block_end - block,
-                     [&](size_t begin, size_t end, uint32_t) {
-                       for (size_t i = begin; i < end; ++i) {
-                         NodeId v = static_cast<NodeId>(block + i);
-                         block_entries[i] = ComputeHipWeights(
-                             ViewOf(set, v), set.k, set.flavor, set.ranks);
-                       }
-                     });
-    for (size_t i = 0; i < block_end - block; ++i) {
-      for (const HipEntry& e : block_entries[i]) {
-        if (e.dist > 0.0) hist[e.dist] += e.weight;
-      }
-    }
-  }
-}
+// Every whole-graph query below is a thin single-collector SweepPlan over
+// the fused sweep executor (ads/sweep.h) — the executor owns the one
+// sweep implementation in the codebase (blocking, threading, range order,
+// prefetch hints), and these helpers collapse the former
+// AdsSet/FlatAdsSet/AdsBackend overload triplication into one body each.
+// Callers wanting several statistics from one pass should build their own
+// SweepPlan instead of calling several of these.
 
 template <typename SetT>
-std::map<double, double> DistanceDistributionImpl(const SetT& set,
-                                                  uint32_t num_threads) {
-  std::map<double, double> hist;
-  AccumulateDistanceDistribution(set, num_threads, hist);
+std::vector<double> PerNodeQuery(
+    const SetT& set, uint32_t num_threads,
+    std::function<double(const HipEstimator&)> fn) {
+  SweepPlan plan;
+  PerNodeCollector* c = plan.Emplace<PerNodeCollector>(std::move(fn));
+  RunSweep(set, plan, num_threads);
+  return c->TakeValues();
+}
+
+StatusOr<std::vector<double>> PerNodeQuery(
+    const AdsBackend& set, uint32_t num_threads,
+    std::function<double(const HipEstimator&)> fn) {
+  SweepPlan plan;
+  PerNodeCollector* c = plan.Emplace<PerNodeCollector>(std::move(fn));
+  Status status = RunSweep(set, plan, num_threads);
+  if (!status.ok()) return status;
+  return c->TakeValues();
+}
+
+// One histogram sweep; the caller reads whichever derived statistic it
+// wants off the collector.
+template <typename SetT>
+DistanceHistogramCollector HistogramSweep(const SetT& set,
+                                          uint32_t num_threads) {
+  DistanceHistogramCollector hist;
+  SweepPlan plan;
+  plan.Add(&hist);
+  RunSweep(set, plan, num_threads);
   return hist;
 }
 
-// Turns a distance-distribution histogram into the cumulative
-// neighbourhood function, in place.
-void CumulativeInPlace(std::map<double, double>& hist) {
-  double running = 0.0;
-  for (auto& [d, value] : hist) {
-    running += value;
-    value = running;
-  }
-}
-
-template <typename SetT>
-std::map<double, double> NeighborhoodFunctionImpl(const SetT& set,
-                                                  uint32_t num_threads) {
-  std::map<double, double> hist = DistanceDistributionImpl(set, num_threads);
-  CumulativeInPlace(hist);
-  return hist;
-}
-
-double EffectiveDiameterOf(const std::map<double, double>& nf,
-                           double quantile) {
-  if (nf.empty()) return 0.0;
-  double total = nf.rbegin()->second;
-  for (const auto& [d, pairs] : nf) {
-    if (pairs >= quantile * total) return d;
-  }
-  return nf.rbegin()->first;
-}
-
-template <typename SetT>
-double EffectiveDiameterImpl(const SetT& set, double quantile) {
-  return EffectiveDiameterOf(EstimateNeighborhoodFunction(set), quantile);
-}
-
-double MeanDistanceOf(const std::map<double, double>& dd) {
-  double weight = 0.0, weighted_dist = 0.0;
-  for (const auto& [d, pairs] : dd) {
-    weight += pairs;
-    weighted_dist += d * pairs;
-  }
-  return weight > 0.0 ? weighted_dist / weight : 0.0;
-}
-
-template <typename SetT>
-double MeanDistanceImpl(const SetT& set) {
-  return MeanDistanceOf(EstimateDistanceDistribution(set));
-}
-
-// Backend per-node sweep: ranges are visited in node order, each swept
-// with the same PerNodeEstimate kernel as the single-arena overloads, so
-// every per-node value is computed identically (the outputs are
-// independent per node). After a range is acquired the sweep hints the
-// next one, letting prefetching backends overlap its load with this
-// range's compute. Fails if a lazy range load fails.
-template <typename Fn>
-StatusOr<std::vector<double>> BackendPerNodeEstimate(const AdsBackend& set,
-                                                     uint32_t num_threads,
-                                                     const Fn& fn) {
-  std::vector<double> result(set.num_nodes());
-  for (uint32_t r = 0; r < set.NumRanges(); ++r) {
-    auto range = set.Range(r);
-    if (!range.ok()) return range.status();
-    if (r + 1 < set.NumRanges()) set.Prefetch(r + 1);
-    ArenaSet arena{range.value(), set.flavor(), set.k(), set.ranks()};
-    std::vector<double> part = PerNodeEstimate(arena, num_threads, fn);
-    std::copy(part.begin(), part.end(),
-              result.begin() + range.value().begin);
-  }
-  return result;
-}
-
-StatusOr<std::map<double, double>> BackendDistanceDistribution(
-    const AdsBackend& set, uint32_t num_threads) {
-  std::map<double, double> hist;
-  for (uint32_t r = 0; r < set.NumRanges(); ++r) {
-    auto range = set.Range(r);
-    if (!range.ok()) return range.status();
-    if (r + 1 < set.NumRanges()) set.Prefetch(r + 1);
-    ArenaSet arena{range.value(), set.flavor(), set.k(), set.ranks()};
-    AccumulateDistanceDistribution(arena, num_threads, hist);
-  }
+StatusOr<DistanceHistogramCollector> HistogramSweep(const AdsBackend& set,
+                                                    uint32_t num_threads) {
+  DistanceHistogramCollector hist;
+  SweepPlan plan;
+  plan.Add(&hist);
+  Status status = RunSweep(set, plan, num_threads);
+  if (!status.ok()) return status;
   return hist;
 }
 
@@ -174,28 +58,42 @@ StatusOr<std::map<double, double>> BackendDistanceDistribution(
 
 std::map<double, double> EstimateDistanceDistribution(const AdsSet& set,
                                                       uint32_t num_threads) {
-  return DistanceDistributionImpl(set, num_threads);
+  return HistogramSweep(set, num_threads).TakeDistribution();
 }
 
 std::map<double, double> EstimateDistanceDistribution(const FlatAdsSet& set,
                                                       uint32_t num_threads) {
-  return DistanceDistributionImpl(set, num_threads);
+  return HistogramSweep(set, num_threads).TakeDistribution();
+}
+
+StatusOr<std::map<double, double>> EstimateDistanceDistribution(
+    const AdsBackend& set, uint32_t num_threads) {
+  auto hist = HistogramSweep(set, num_threads);
+  if (!hist.ok()) return hist.status();
+  return hist.value().TakeDistribution();
 }
 
 std::map<double, double> EstimateNeighborhoodFunction(const AdsSet& set,
                                                       uint32_t num_threads) {
-  return NeighborhoodFunctionImpl(set, num_threads);
+  return HistogramSweep(set, num_threads).NeighborhoodFunction();
 }
 
 std::map<double, double> EstimateNeighborhoodFunction(const FlatAdsSet& set,
                                                       uint32_t num_threads) {
-  return NeighborhoodFunctionImpl(set, num_threads);
+  return HistogramSweep(set, num_threads).NeighborhoodFunction();
+}
+
+StatusOr<std::map<double, double>> EstimateNeighborhoodFunction(
+    const AdsBackend& set, uint32_t num_threads) {
+  auto hist = HistogramSweep(set, num_threads);
+  if (!hist.ok()) return hist.status();
+  return hist.value().NeighborhoodFunction();
 }
 
 std::vector<double> EstimateClosenessAll(
     const AdsSet& set, const std::function<double(double)>& alpha,
     const std::function<double(NodeId)>& beta, uint32_t num_threads) {
-  return PerNodeEstimate(set, num_threads, [&](const HipEstimator& est) {
+  return PerNodeQuery(set, num_threads, [&](const HipEstimator& est) {
     return est.Closeness(alpha, beta);
   });
 }
@@ -203,42 +101,64 @@ std::vector<double> EstimateClosenessAll(
 std::vector<double> EstimateClosenessAll(
     const FlatAdsSet& set, const std::function<double(double)>& alpha,
     const std::function<double(NodeId)>& beta, uint32_t num_threads) {
-  return PerNodeEstimate(set, num_threads, [&](const HipEstimator& est) {
+  return PerNodeQuery(set, num_threads, [&](const HipEstimator& est) {
+    return est.Closeness(alpha, beta);
+  });
+}
+
+StatusOr<std::vector<double>> EstimateClosenessAll(
+    const AdsBackend& set, const std::function<double(double)>& alpha,
+    const std::function<double(NodeId)>& beta, uint32_t num_threads) {
+  return PerNodeQuery(set, num_threads, [&](const HipEstimator& est) {
     return est.Closeness(alpha, beta);
   });
 }
 
 std::vector<double> EstimateDistanceSumAll(const AdsSet& set,
                                            uint32_t num_threads) {
-  return PerNodeEstimate(set, num_threads, [](const HipEstimator& est) {
+  return PerNodeQuery(set, num_threads, [](const HipEstimator& est) {
     return est.DistanceSum();
   });
 }
 
 std::vector<double> EstimateDistanceSumAll(const FlatAdsSet& set,
                                            uint32_t num_threads) {
-  return PerNodeEstimate(set, num_threads, [](const HipEstimator& est) {
+  return PerNodeQuery(set, num_threads, [](const HipEstimator& est) {
+    return est.DistanceSum();
+  });
+}
+
+StatusOr<std::vector<double>> EstimateDistanceSumAll(const AdsBackend& set,
+                                                     uint32_t num_threads) {
+  return PerNodeQuery(set, num_threads, [](const HipEstimator& est) {
     return est.DistanceSum();
   });
 }
 
 std::vector<double> EstimateHarmonicCentralityAll(const AdsSet& set,
                                                   uint32_t num_threads) {
-  return PerNodeEstimate(set, num_threads, [](const HipEstimator& est) {
+  return PerNodeQuery(set, num_threads, [](const HipEstimator& est) {
     return est.HarmonicCentrality();
   });
 }
 
 std::vector<double> EstimateHarmonicCentralityAll(const FlatAdsSet& set,
                                                   uint32_t num_threads) {
-  return PerNodeEstimate(set, num_threads, [](const HipEstimator& est) {
+  return PerNodeQuery(set, num_threads, [](const HipEstimator& est) {
+    return est.HarmonicCentrality();
+  });
+}
+
+StatusOr<std::vector<double>> EstimateHarmonicCentralityAll(
+    const AdsBackend& set, uint32_t num_threads) {
+  return PerNodeQuery(set, num_threads, [](const HipEstimator& est) {
     return est.HarmonicCentrality();
   });
 }
 
 std::vector<double> EstimateNeighborhoodSizeAll(const AdsSet& set, double d,
                                                 uint32_t num_threads) {
-  return PerNodeEstimate(set, num_threads, [d](const HipEstimator& est) {
+  return PerNodeQuery(set, num_threads, [d](const HipEstimator& est) {
     return est.NeighborhoodCardinality(d);
   });
 }
@@ -246,120 +166,66 @@ std::vector<double> EstimateNeighborhoodSizeAll(const AdsSet& set, double d,
 std::vector<double> EstimateNeighborhoodSizeAll(const FlatAdsSet& set,
                                                 double d,
                                                 uint32_t num_threads) {
-  return PerNodeEstimate(set, num_threads, [d](const HipEstimator& est) {
+  return PerNodeQuery(set, num_threads, [d](const HipEstimator& est) {
+    return est.NeighborhoodCardinality(d);
+  });
+}
+
+StatusOr<std::vector<double>> EstimateNeighborhoodSizeAll(
+    const AdsBackend& set, double d, uint32_t num_threads) {
+  return PerNodeQuery(set, num_threads, [d](const HipEstimator& est) {
     return est.NeighborhoodCardinality(d);
   });
 }
 
 std::vector<double> EstimateReachableCountAll(const AdsSet& set,
                                               uint32_t num_threads) {
-  return PerNodeEstimate(set, num_threads, [](const HipEstimator& est) {
+  return PerNodeQuery(set, num_threads, [](const HipEstimator& est) {
     return est.ReachableCount();
   });
 }
 
 std::vector<double> EstimateReachableCountAll(const FlatAdsSet& set,
                                               uint32_t num_threads) {
-  return PerNodeEstimate(set, num_threads, [](const HipEstimator& est) {
+  return PerNodeQuery(set, num_threads, [](const HipEstimator& est) {
+    return est.ReachableCount();
+  });
+}
+
+StatusOr<std::vector<double>> EstimateReachableCountAll(
+    const AdsBackend& set, uint32_t num_threads) {
+  return PerNodeQuery(set, num_threads, [](const HipEstimator& est) {
     return est.ReachableCount();
   });
 }
 
 double EstimateEffectiveDiameter(const AdsSet& set, double quantile) {
-  return EffectiveDiameterImpl(set, quantile);
+  return HistogramSweep(set, 0).EffectiveDiameter(quantile);
 }
 
 double EstimateEffectiveDiameter(const FlatAdsSet& set, double quantile) {
-  return EffectiveDiameterImpl(set, quantile);
-}
-
-double EstimateMeanDistance(const AdsSet& set) {
-  return MeanDistanceImpl(set);
-}
-
-double EstimateMeanDistance(const FlatAdsSet& set) {
-  return MeanDistanceImpl(set);
-}
-
-StatusOr<std::map<double, double>> EstimateDistanceDistribution(
-    const AdsBackend& set, uint32_t num_threads) {
-  return BackendDistanceDistribution(set, num_threads);
-}
-
-StatusOr<std::map<double, double>> EstimateNeighborhoodFunction(
-    const AdsBackend& set, uint32_t num_threads) {
-  auto hist = BackendDistanceDistribution(set, num_threads);
-  if (!hist.ok()) return hist.status();
-  CumulativeInPlace(hist.value());
-  return hist;
-}
-
-StatusOr<std::vector<double>> EstimateClosenessAll(
-    const AdsBackend& set, const std::function<double(double)>& alpha,
-    const std::function<double(NodeId)>& beta, uint32_t num_threads) {
-  return BackendPerNodeEstimate(set, num_threads,
-                                [&](const HipEstimator& est) {
-                                  return est.Closeness(alpha, beta);
-                                });
-}
-
-StatusOr<std::vector<double>> EstimateDistanceSumAll(const AdsBackend& set,
-                                                     uint32_t num_threads) {
-  return BackendPerNodeEstimate(set, num_threads,
-                                [](const HipEstimator& est) {
-                                  return est.DistanceSum();
-                                });
-}
-
-StatusOr<std::vector<double>> EstimateHarmonicCentralityAll(
-    const AdsBackend& set, uint32_t num_threads) {
-  return BackendPerNodeEstimate(set, num_threads,
-                                [](const HipEstimator& est) {
-                                  return est.HarmonicCentrality();
-                                });
-}
-
-StatusOr<std::vector<double>> EstimateNeighborhoodSizeAll(
-    const AdsBackend& set, double d, uint32_t num_threads) {
-  return BackendPerNodeEstimate(set, num_threads,
-                                [d](const HipEstimator& est) {
-                                  return est.NeighborhoodCardinality(d);
-                                });
-}
-
-StatusOr<std::vector<double>> EstimateReachableCountAll(
-    const AdsBackend& set, uint32_t num_threads) {
-  return BackendPerNodeEstimate(set, num_threads,
-                                [](const HipEstimator& est) {
-                                  return est.ReachableCount();
-                                });
+  return HistogramSweep(set, 0).EffectiveDiameter(quantile);
 }
 
 StatusOr<double> EstimateEffectiveDiameter(const AdsBackend& set,
                                            double quantile) {
-  auto nf = EstimateNeighborhoodFunction(set);
-  if (!nf.ok()) return nf.status();
-  return EffectiveDiameterOf(nf.value(), quantile);
+  auto hist = HistogramSweep(set, 0);
+  if (!hist.ok()) return hist.status();
+  return hist.value().EffectiveDiameter(quantile);
+}
+
+double EstimateMeanDistance(const AdsSet& set) {
+  return HistogramSweep(set, 0).MeanDistance();
+}
+
+double EstimateMeanDistance(const FlatAdsSet& set) {
+  return HistogramSweep(set, 0).MeanDistance();
 }
 
 StatusOr<double> EstimateMeanDistance(const AdsBackend& set) {
-  auto dd = EstimateDistanceDistribution(set);
-  if (!dd.ok()) return dd.status();
-  return MeanDistanceOf(dd.value());
-}
-
-std::vector<NodeId> TopKNodes(const std::vector<double>& scores,
-                              uint32_t count) {
-  std::vector<NodeId> order(scores.size());
-  for (NodeId v = 0; v < scores.size(); ++v) order[v] = v;
-  uint32_t take = std::min<uint32_t>(count, order.size());
-  std::partial_sort(order.begin(), order.begin() + take, order.end(),
-                    [&scores](NodeId a, NodeId b) {
-                      if (scores[a] != scores[b]) return scores[a] > scores[b];
-                      return a < b;
-                    });
-  order.resize(take);
-  return order;
+  auto hist = HistogramSweep(set, 0);
+  if (!hist.ok()) return hist.status();
+  return hist.value().MeanDistance();
 }
 
 }  // namespace hipads

@@ -3,25 +3,22 @@
 // top-k centrality selection. These are the workloads that motivated ADSs
 // (paper Section 1) packaged over the HIP estimators.
 //
-// Every query accepts either storage layout — the per-node-vector AdsSet or
-// the flat CSR arena FlatAdsSet; the flat arena is the fast path (one
-// linear sweep over contiguous memory). The per-node estimator loops are
-// embarrassingly parallel and run on the shared ThreadPool: `num_threads`
-// = 0 uses the hardware count, 1 runs inline. Results are bit-identical for
-// every thread count — per-node outputs are independent, and the
-// distribution accumulators always reduce per-node results in node order.
+// Every function here is a thin single-collector plan over the fused
+// sweep-execution engine (ads/sweep.h), which owns the one sweep
+// implementation in the codebase. Each query accepts any storage layout —
+// the per-node-vector AdsSet, the flat CSR arena FlatAdsSet, or any
+// AdsBackend (in-memory arena, zero-copy mmap, sharded with prefetch).
+// `num_threads` = 0 uses the hardware count, 1 runs inline; results are
+// bit-identical for every storage engine and every thread count (the
+// executor's determinism contract, documented in ads/sweep.h).
 //
-// The whole-graph sweeps additionally accept any AdsBackend
-// (ads/backend.h) — the in-memory arena behind FlatAdsBackend, a
-// zero-copy MmapAdsSet, or a ShardedAdsSet with bounded resident memory.
-// Backends are swept one contiguous node range at a time in node order;
-// because ranges tile the node space contiguously, the per-node visit
-// order — and therefore every result, bitwise — matches the single-arena
-// sweep, whatever engine holds the sketches. Between ranges the sweep
-// emits Prefetch residency hints, so a prefetching sharded backend
-// overlaps the next shard's load with the current shard's compute. These
-// overloads return StatusOr because a lazy range load can fail (missing,
-// truncated or corrupt shard file).
+// Calling K of these functions costs K full backend sweeps. A caller that
+// wants several statistics from the same sketches should build one
+// SweepPlan with K collectors and RunSweep it instead: same results,
+// bitwise, for one shard sweep and one HIP scan per node.
+//
+// The AdsBackend overloads return StatusOr because a lazy range load can
+// fail (missing, truncated or corrupt shard file).
 
 #ifndef HIPADS_ADS_QUERIES_H_
 #define HIPADS_ADS_QUERIES_H_
@@ -33,6 +30,7 @@
 #include "ads/ads.h"
 #include "ads/backend.h"
 #include "ads/flat_ads.h"
+#include "ads/sweep.h"  // the executor underneath; also TopKNodes
 #include "util/status.h"
 
 namespace hipads {
@@ -101,10 +99,6 @@ std::vector<double> EstimateReachableCountAll(const FlatAdsSet& set,
                                               uint32_t num_threads = 0);
 StatusOr<std::vector<double>> EstimateReachableCountAll(
     const AdsBackend& set, uint32_t num_threads = 0);
-
-/// Node ids of the `count` largest values in `scores`, descending.
-std::vector<NodeId> TopKNodes(const std::vector<double>& scores,
-                              uint32_t count);
 
 /// Effective diameter estimate: the smallest distance d at which the
 /// estimated neighbourhood function reaches `quantile` (0.9 is the

@@ -1,11 +1,14 @@
 #include "ads/shard.h"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstdio>
+#include <deque>
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <sstream>
@@ -45,10 +48,17 @@ struct ShardedAdsSet::LoadContext {
   bool use_mmap = false;
   std::function<double(uint64_t)> beta;
 
+  // Shard-file loads performed through this context, whichever thread did
+  // them (metrics; lets tests observe that a K-statistic fused sweep costs
+  // exactly one load per shard).
+  mutable std::atomic<uint64_t> num_loads{0};
+
   // Loads shard s (copying or mmap per use_mmap) and verifies it against
-  // its manifest entry. Pure function of the context: safe to call from
-  // the prefetch worker and the consumer concurrently (for different s).
+  // its manifest entry. Pure function of the context (the load counter
+  // aside): safe to call from the prefetch worker and the consumer
+  // concurrently (for different s).
   StatusOr<std::unique_ptr<AdsBackend>> Load(uint32_t s) const {
+    num_loads.fetch_add(1, std::memory_order_relaxed);
     const ShardInfo& info = shards[s];
     std::string path = JoinPath(dir, info.file);
     std::unique_ptr<AdsBackend> arena;
@@ -73,10 +83,12 @@ struct ShardedAdsSet::LoadContext {
   }
 };
 
-// Single background worker with a one-slot request/result pipeline. The
-// consumer requests shard s (Request) and later either takes the staged
-// arena (Take) or, if the worker never got to it, loads synchronously.
-// All member state is guarded by mu_; loads run unlocked.
+// Single background worker with a queued request / multi-slot result
+// pipeline. The consumer requests its lookahead window (Request) and
+// later either takes a staged arena (Take) or, if the worker never got to
+// it, loads synchronously. The number of staged arenas is bounded by the
+// window size the caller requests (ShardedOptions::prefetch_depth). All
+// member state is guarded by mu_; loads run unlocked.
 class ShardedAdsSet::Prefetcher {
  public:
   explicit Prefetcher(std::shared_ptr<const LoadContext> ctx)
@@ -91,16 +103,24 @@ class ShardedAdsSet::Prefetcher {
     worker_.join();
   }
 
-  // Asks the worker to load shard s in the background. Drops any stale
-  // staged arena for another shard (the sweep has moved past it).
-  void Request(uint32_t s) {
+  // Asks the worker to load `wanted` (the sweep's lookahead window, in
+  // consumption order) in the background. The window replaces any pending
+  // queue and drops staged arenas outside it — the sweep has moved past
+  // them — so staged memory never exceeds the window size.
+  void Request(const std::vector<uint32_t>& wanted) {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (loading_ == s || requested_ == s || staged_index_ == s) return;
-      requested_ = s;
-      if (staged_index_ != kNoShard) {
-        staged_.reset();
-        staged_index_ = kNoShard;
+      auto in_wanted = [&](uint32_t s) {
+        return std::find(wanted.begin(), wanted.end(), s) != wanted.end();
+      };
+      for (auto it = staged_.begin(); it != staged_.end();) {
+        it = in_wanted(it->first) ? std::next(it) : staged_.erase(it);
+      }
+      queue_.clear();
+      for (uint32_t s : wanted) {
+        if (s != loading_ && staged_.find(s) == staged_.end()) {
+          queue_.push_back(s);
+        }
       }
     }
     cv_.notify_all();
@@ -111,15 +131,16 @@ class ShardedAdsSet::Prefetcher {
   // nullopt when s was never requested (caller loads synchronously).
   std::optional<StatusOr<std::unique_ptr<AdsBackend>>> Take(uint32_t s) {
     std::unique_lock<std::mutex> lock(mu_);
-    if (requested_ == s) {
-      requested_ = kNoShard;
+    auto queued = std::find(queue_.begin(), queue_.end(), s);
+    if (queued != queue_.end()) {
+      queue_.erase(queued);
       return std::nullopt;
     }
     cv_.wait(lock, [&] { return loading_ != s; });
-    if (staged_index_ == s) {
-      staged_index_ = kNoShard;
-      auto result = std::move(*staged_);
-      staged_.reset();
+    auto staged = staged_.find(s);
+    if (staged != staged_.end()) {
+      auto result = std::move(staged->second);
+      staged_.erase(staged);
       return result;
     }
     return std::nullopt;
@@ -129,17 +150,16 @@ class ShardedAdsSet::Prefetcher {
   void Loop() {
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
-      cv_.wait(lock, [&] { return stop_ || requested_ != kNoShard; });
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
       if (stop_) return;
-      uint32_t s = requested_;
-      requested_ = kNoShard;
+      uint32_t s = queue_.front();
+      queue_.pop_front();
       loading_ = s;
       lock.unlock();
       auto loaded = ctx_->Load(s);
       lock.lock();
       loading_ = kNoShard;
-      staged_index_ = s;
-      staged_.emplace(std::move(loaded));
+      staged_.emplace(s, std::move(loaded));
       cv_.notify_all();
     }
   }
@@ -148,10 +168,9 @@ class ShardedAdsSet::Prefetcher {
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
-  uint32_t requested_ = kNoShard;
+  std::deque<uint32_t> queue_;  // pending, in consumption order
   uint32_t loading_ = kNoShard;
-  uint32_t staged_index_ = kNoShard;
-  std::optional<StatusOr<std::unique_ptr<AdsBackend>>> staged_;
+  std::map<uint32_t, StatusOr<std::unique_ptr<AdsBackend>>> staged_;
   std::thread worker_;  // last member: starts after all state above exists
 };
 
@@ -288,6 +307,7 @@ StatusOr<ShardedAdsSet> ShardedAdsSet::Open(const std::string& path,
   ShardedAdsSet set;
   set.dir_ = std::filesystem::path(manifest_path).parent_path().string();
   set.max_resident_ = std::max(1u, options.max_resident);
+  set.prefetch_depth_ = std::max(1u, options.prefetch_depth);
   Status st = ParseAdsParams(f, options.beta, &set.flavor_, &set.k_,
                              &set.ranks_, &set.num_nodes_);
   if (!st.ok()) return st;
@@ -446,11 +466,22 @@ StatusOr<AdsView> ShardedAdsSet::ViewOf(NodeId v) const {
 }
 
 void ShardedAdsSet::Prefetch(uint32_t r) const {
-  if (prefetcher_ == nullptr || r >= shards_.size() ||
-      resident_[r] != nullptr) {
-    return;
+  if (prefetcher_ == nullptr || r >= shards_.size()) return;
+  // The hint names the next range a sweep will consume; widen it to the
+  // configured lookahead window, skipping shards already resident.
+  std::vector<uint32_t> wanted;
+  uint64_t end = std::min<uint64_t>(
+      shards_.size(), static_cast<uint64_t>(r) + prefetch_depth_);
+  for (uint32_t s = r; s < end; ++s) {
+    if (resident_[s] == nullptr) wanted.push_back(s);
   }
-  prefetcher_->Request(r);
+  if (!wanted.empty()) prefetcher_->Request(wanted);
+}
+
+uint64_t ShardedAdsSet::NumShardLoads() const {
+  return load_ctx_ == nullptr
+             ? 0
+             : load_ctx_->num_loads.load(std::memory_order_relaxed);
 }
 
 uint32_t ShardedAdsSet::NumResident() const {

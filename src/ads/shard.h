@@ -14,12 +14,14 @@
 // same whole-graph queries as the in-memory and mmap single-arena engines.
 // Two serving upgrades are opt-in through ShardedOptions:
 //
-//   * prefetch — a background thread loads shard s+1 while the sweep
-//     consumes shard s (driven by the AdsBackend::Prefetch residency
-//     hints the query sweeps emit), hiding shard I/O behind compute. The
-//     worker only ever writes a staging slot; the consuming thread alone
-//     touches the residency cache, so results stay deterministic and
-//     bitwise identical to non-prefetching serving.
+//   * prefetch — a background thread loads the next prefetch_depth shards
+//     while the sweep consumes shard s (driven by the AdsBackend::Prefetch
+//     residency hints the query sweeps emit), hiding shard I/O behind
+//     compute; lookahead > 1 keeps the pipeline full on storage whose
+//     latency exceeds one shard's compute time (spinning or networked
+//     disks). The worker only ever writes its own staging slots; the
+//     consuming thread alone touches the residency cache, so results stay
+//     deterministic and bitwise identical to non-prefetching serving.
 //   * use_mmap — shard arenas are opened with MmapAdsSet instead of the
 //     copying loader: residency then costs address space, not heap copies.
 //
@@ -87,10 +89,16 @@ struct ShardedOptions {
   std::function<double(uint64_t)> beta = nullptr;
   /// Max shard arenas resident at once (LRU eviction past the bound).
   uint32_t max_resident = 1;
-  /// Load the next hinted shard on a background thread. The staged arena
-  /// is heap-held until the sweep reaches it, so prefetching transiently
-  /// keeps up to one arena beyond max_resident in memory.
+  /// Load hinted shards on a background thread. Staged arenas are
+  /// heap-held until the sweep reaches them, so prefetching transiently
+  /// keeps up to prefetch_depth arenas beyond max_resident in memory.
   bool prefetch = false;
+  /// Lookahead of the prefetch pipeline: a Prefetch(r) hint enqueues
+  /// shards [r, r + prefetch_depth) that are not yet resident. 1 (the
+  /// default) reproduces single-shard lookahead; deeper pipelines help
+  /// when shard load latency exceeds one shard's compute. Clamped to
+  /// >= 1; ignored unless prefetch is set.
+  uint32_t prefetch_depth = 1;
   /// Open shard arenas zero-copy with MmapAdsSet instead of the copying
   /// loader.
   bool use_mmap = false;
@@ -159,6 +167,12 @@ class ShardedAdsSet : public AdsBackend {
   /// Number of shard arenas currently in memory (for tests/metrics).
   uint32_t NumResident() const;
 
+  /// Number of shard-file loads performed so far (consumer + prefetch
+  /// thread combined; for tests/metrics). A whole-graph sweep — however
+  /// many statistics its SweepPlan fuses — costs exactly num_shards()
+  /// loads from cold.
+  uint64_t NumShardLoads() const;
+
  private:
   struct LoadContext;
   class Prefetcher;
@@ -175,6 +189,7 @@ class ShardedAdsSet : public AdsBackend {
   uint64_t num_nodes_ = 0;
   std::vector<ShardInfo> shards_;
   uint32_t max_resident_ = 1;
+  uint32_t prefetch_depth_ = 1;
 
   // Everything a shard load needs, shared with the prefetch worker so the
   // set object itself stays movable while the worker runs.

@@ -1,0 +1,233 @@
+#include "ads/sweep.h"
+
+#include <algorithm>
+
+#include "util/parallel.h"
+
+namespace hipads {
+
+namespace {
+
+// Nodes per executor block: large enough to amortize pool scheduling,
+// small enough to bound the block's live HipEstimator buffers (a block's
+// estimators are reduced and recycled before the next block starts). The
+// value does not affect results — per-node outputs are independent and
+// the Reduce phase folds nodes in node order across block boundaries.
+constexpr size_t kSweepBlock = 4096;
+
+AdsView ViewOf(const AdsSet& set, NodeId v) { return set.of(v).view(); }
+AdsView ViewOf(const FlatAdsSet& set, NodeId v) { return set.of(v); }
+
+// Adapter presenting one backend range to the executor with the same
+// member surface as AdsSet/FlatAdsSet (k/flavor/ranks + per-node views,
+// node ids local to the range). Sharing the executor template is what
+// makes backend results bitwise identical to the single-arena sweeps.
+struct ArenaSet {
+  AdsArenaView arena;
+  SketchFlavor flavor;
+  uint32_t k;
+  const RankAssignment& ranks;
+  size_t num_nodes() const { return arena.num_nodes(); }
+};
+AdsView ViewOf(const ArenaSet& set, NodeId v) { return set.arena.of_local(v); }
+
+bool AnyNeedsReduce(const SweepPlan& plan) {
+  for (SweepCollector* c : plan.collectors()) {
+    if (c->NeedsReduce()) return true;
+  }
+  return false;
+}
+
+// The fused sweep over one arena: per block, construct each node's
+// HipEstimator once (in parallel, outputs indexed by block slot), feed
+// every collector's Map from it, then hand the block's estimators to
+// every collector's Reduce in node order. When no collector reduces, the
+// block buffer is skipped entirely: each estimator lives on the stack
+// just long enough for the Map calls, so a plan of per-node collectors
+// sweeps with O(threads) peak memory instead of O(block). `global_begin`
+// offsets the arena-local node ids so a sharded backend's ranges chain
+// seamlessly.
+template <typename SetT>
+void SweepArena(const SetT& set, NodeId global_begin, SweepPlan& plan,
+                ThreadPool& pool, std::vector<HipEstimator>& block) {
+  size_t n = set.num_nodes();
+  if (!AnyNeedsReduce(plan)) {
+    pool.ParallelFor(n, [&](size_t begin, size_t end, uint32_t) {
+      for (size_t i = begin; i < end; ++i) {
+        NodeId local = static_cast<NodeId>(i);
+        NodeId v = global_begin + local;
+        HipEstimator est(ViewOf(set, local), set.k, set.flavor, set.ranks);
+        for (SweepCollector* c : plan.collectors()) c->Map(v, est);
+      }
+    });
+    return;
+  }
+  for (size_t block_begin = 0; block_begin < n; block_begin += kSweepBlock) {
+    size_t count = std::min(n - block_begin, kSweepBlock);
+    if (block.size() < count) block.resize(count);
+    pool.ParallelFor(count, [&](size_t begin, size_t end, uint32_t) {
+      for (size_t i = begin; i < end; ++i) {
+        NodeId local = static_cast<NodeId>(block_begin + i);
+        NodeId v = global_begin + local;
+        block[i] = HipEstimator(ViewOf(set, local), set.k, set.flavor,
+                                set.ranks);
+        for (SweepCollector* c : plan.collectors()) c->Map(v, block[i]);
+      }
+    });
+    std::span<const HipEstimator> ests(block.data(), count);
+    for (SweepCollector* c : plan.collectors()) {
+      c->Reduce(global_begin + static_cast<NodeId>(block_begin), ests);
+    }
+  }
+}
+
+template <typename SetT>
+void RunSweepSingleArena(const SetT& set, SweepPlan& plan,
+                         uint32_t num_threads) {
+  for (SweepCollector* c : plan.collectors()) c->Begin(set.num_nodes());
+  if (plan.empty()) return;
+  ThreadPool pool(num_threads);
+  std::vector<HipEstimator> block;
+  SweepArena(set, /*global_begin=*/0, plan, pool, block);
+}
+
+}  // namespace
+
+SweepCollector::~SweepCollector() = default;
+void SweepCollector::Begin(size_t /*num_nodes*/) {}
+void SweepCollector::Map(NodeId /*v*/, const HipEstimator& /*est*/) {}
+void SweepCollector::Reduce(NodeId /*first*/,
+                            std::span<const HipEstimator> /*ests*/) {}
+bool SweepCollector::NeedsReduce() const { return true; }
+
+void PerNodeCollector::Begin(size_t num_nodes) {
+  values_.assign(num_nodes, 0.0);
+}
+
+void PerNodeCollector::Map(NodeId v, const HipEstimator& est) {
+  values_[v] = fn_(est);
+}
+
+bool PerNodeCollector::NeedsReduce() const { return false; }
+
+ClosenessCollector::ClosenessCollector(std::function<double(double)> alpha,
+                                       std::function<double(NodeId)> beta)
+    : PerNodeCollector(
+          [alpha = std::move(alpha),
+           beta = std::move(beta)](const HipEstimator& est) {
+            return est.Closeness(alpha, beta);
+          }) {}
+
+DistanceSumCollector::DistanceSumCollector()
+    : PerNodeCollector(
+          [](const HipEstimator& est) { return est.DistanceSum(); }) {}
+
+HarmonicCentralityCollector::HarmonicCentralityCollector()
+    : PerNodeCollector([](const HipEstimator& est) {
+        return est.HarmonicCentrality();
+      }) {}
+
+NeighborhoodSizeCollector::NeighborhoodSizeCollector(double d)
+    : PerNodeCollector([d](const HipEstimator& est) {
+        return est.NeighborhoodCardinality(d);
+      }) {}
+
+ReachableCountCollector::ReachableCountCollector()
+    : PerNodeCollector(
+          [](const HipEstimator& est) { return est.ReachableCount(); }) {}
+
+std::vector<NodeId> TopKNodes(const std::vector<double>& scores,
+                              uint32_t count) {
+  std::vector<NodeId> order(scores.size());
+  for (NodeId v = 0; v < scores.size(); ++v) order[v] = v;
+  uint32_t take = std::min<uint32_t>(count, order.size());
+  std::partial_sort(order.begin(), order.begin() + take, order.end(),
+                    [&scores](NodeId a, NodeId b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  order.resize(take);
+  return order;
+}
+
+std::vector<NodeId> TopKCollector::TopNodes() const {
+  return TopKNodes(values(), count_);
+}
+
+void DistanceHistogramCollector::Begin(size_t /*num_nodes*/) {
+  hist_.clear();
+}
+
+void DistanceHistogramCollector::Reduce(NodeId /*first*/,
+                                        std::span<const HipEstimator> ests) {
+  // Node-order fold of each node's HIP entries. The estimator's entries
+  // are exactly ComputeHipWeights' output, so this accumulation is the
+  // same sequence of additions the standalone distance-distribution
+  // sweep performs — bitwise identical results.
+  for (const HipEstimator& est : ests) {
+    for (const HipEntry& e : est.entries()) {
+      if (e.dist > 0.0) hist_[e.dist] += e.weight;
+    }
+  }
+}
+
+std::map<double, double> DistanceHistogramCollector::NeighborhoodFunction()
+    const {
+  std::map<double, double> nf = hist_;
+  double running = 0.0;
+  for (auto& [d, value] : nf) {
+    running += value;
+    value = running;
+  }
+  return nf;
+}
+
+double DistanceHistogramCollector::EffectiveDiameter(double quantile) const {
+  std::map<double, double> nf = NeighborhoodFunction();
+  if (nf.empty()) return 0.0;
+  double total = nf.rbegin()->second;
+  for (const auto& [d, pairs] : nf) {
+    if (pairs >= quantile * total) return d;
+  }
+  return nf.rbegin()->first;
+}
+
+double DistanceHistogramCollector::MeanDistance() const {
+  double weight = 0.0, weighted_dist = 0.0;
+  for (const auto& [d, pairs] : hist_) {
+    weight += pairs;
+    weighted_dist += d * pairs;
+  }
+  return weight > 0.0 ? weighted_dist / weight : 0.0;
+}
+
+SweepPlan& SweepPlan::Add(SweepCollector* collector) {
+  collectors_.push_back(collector);
+  return *this;
+}
+
+void RunSweep(const AdsSet& set, SweepPlan& plan, uint32_t num_threads) {
+  RunSweepSingleArena(set, plan, num_threads);
+}
+
+void RunSweep(const FlatAdsSet& set, SweepPlan& plan, uint32_t num_threads) {
+  RunSweepSingleArena(set, plan, num_threads);
+}
+
+Status RunSweep(const AdsBackend& set, SweepPlan& plan,
+                uint32_t num_threads) {
+  for (SweepCollector* c : plan.collectors()) c->Begin(set.num_nodes());
+  if (plan.empty()) return Status::Ok();
+  ThreadPool pool(num_threads);
+  std::vector<HipEstimator> block;
+  for (uint32_t r = 0; r < set.NumRanges(); ++r) {
+    auto range = set.Range(r);
+    if (!range.ok()) return range.status();
+    if (r + 1 < set.NumRanges()) set.Prefetch(r + 1);
+    ArenaSet arena{range.value(), set.flavor(), set.k(), set.ranks()};
+    SweepArena(arena, range.value().begin, plan, pool, block);
+  }
+  return Status::Ok();
+}
+
+}  // namespace hipads

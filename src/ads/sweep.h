@@ -1,0 +1,246 @@
+// The fused sweep-execution engine: one backend pass for many estimators.
+//
+// Every workload that motivated ADSs (paper Section 1 — neighbourhood
+// functions, closeness/harmonic centralities, distance statistics) is a
+// per-node reduction over the same sketch data: visit each node once,
+// build its HIP estimator, fold a value into a result. Running K such
+// statistics as K separate whole-graph queries costs K backend sweeps
+// (for a sharded set: K reads of every shard file) and K HIP scans per
+// node. This engine fuses them — the operator-fusion idea of columnar
+// query engines applied to sketch serving:
+//
+//   SweepPlan  — an ordered list of collectors (the statistics to fuse).
+//   Collector  — a per-node visitor with a node-order-deterministic
+//                reduction (SweepCollector below).
+//   Executor   — RunSweep: ONE pass over any storage (AdsSet, FlatAdsSet,
+//                or any AdsBackend — in-memory, mmap, sharded with
+//                prefetch), constructing each node's HipEstimator ONCE and
+//                feeding every collector from it.
+//
+// So K statistics cost one shard sweep and one HIP scan per node instead
+// of K of each. The whole-graph query functions in ads/queries.h are thin
+// single-collector plans over this executor; multi-statistic callers (the
+// CLI `stats`/`query` paths, examples/sketch_pipeline) build their own
+// plans.
+//
+// Determinism contract: results are bitwise identical to running each
+// statistic standalone, on every storage engine, for every thread count.
+// The executor guarantees it by construction —
+//   * per-node outputs are written indexed by node (never by thread);
+//   * order-sensitive reductions (the distance-distribution histogram)
+//     happen in the sequential Reduce phase, which the executor calls in
+//     node order, block by block, whatever the thread count;
+//   * backends are swept one contiguous node range at a time in node
+//     order, so the per-node visit order matches the single-arena sweep.
+// Between ranges the executor emits Prefetch residency hints, letting a
+// prefetching sharded backend overlap the next shard's I/O (lookahead
+// configurable, see ShardedOptions::prefetch_depth) with compute.
+
+#ifndef HIPADS_ADS_SWEEP_H_
+#define HIPADS_ADS_SWEEP_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "ads/ads.h"
+#include "ads/backend.h"
+#include "ads/estimators.h"
+#include "ads/flat_ads.h"
+#include "util/status.h"
+
+namespace hipads {
+
+/// One fused statistic: a per-node visitor plus a node-order reduction.
+///
+/// The executor drives each block of nodes through two phases:
+///   1. Map(v, est) — parallel. Called once per node from pool threads;
+///      `est` is node v's HipEstimator (shared by every collector in the
+///      plan). Implementations must only write state indexed by v —
+///      never shared accumulators — so any thread interleaving produces
+///      the same memory image.
+///   2. Reduce(first, ests) — sequential, in node order. `ests[i]` is node
+///      (first + i)'s estimator, the same object Map saw, kept alive for
+///      the whole block. This is where order-sensitive folds (histogram
+///      accumulation) happen; the executor's node-ordered calls make the
+///      floating-point accumulation order — and hence the result, bitwise
+///      — independent of the thread count.
+/// Collectors that only produce independent per-node values override Map
+/// and leave Reduce empty; purely accumulating collectors do the opposite.
+class SweepCollector {
+ public:
+  virtual ~SweepCollector();
+
+  /// Called once before the sweep visits any node.
+  virtual void Begin(size_t num_nodes);
+
+  /// Parallel phase; see the class comment for the threading contract.
+  virtual void Map(NodeId v, const HipEstimator& est);
+
+  /// Sequential node-order phase over one block of estimators.
+  virtual void Reduce(NodeId first, std::span<const HipEstimator> ests);
+
+  /// Whether this collector's Reduce does anything. When every collector
+  /// in a plan returns false, the executor constructs each node's
+  /// estimator on the stack and discards it after Map — O(threads) peak
+  /// memory — instead of keeping a block of estimators alive for the
+  /// Reduce phase. Defaults to true (safe for any subclass that
+  /// overrides Reduce); Map-only collectors override it to false.
+  virtual bool NeedsReduce() const;
+};
+
+/// Collector for any statistic of the form result[v] = fn(estimator of v):
+/// closeness, distance sum, harmonic centrality, neighborhood size,
+/// reachable count, or any custom HIP reduction. Outputs are independent
+/// per node, so everything happens in the parallel Map phase.
+class PerNodeCollector : public SweepCollector {
+ public:
+  explicit PerNodeCollector(std::function<double(const HipEstimator&)> fn)
+      : fn_(std::move(fn)) {}
+
+  void Begin(size_t num_nodes) override;
+  void Map(NodeId v, const HipEstimator& est) override;
+  bool NeedsReduce() const override;  // false: everything happens in Map
+
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double> TakeValues() { return std::move(values_); }
+
+ private:
+  std::function<double(const HipEstimator&)> fn_;
+  std::vector<double> values_;
+};
+
+/// HIP estimates of C_{alpha,beta} for every node (Eq. 3).
+class ClosenessCollector : public PerNodeCollector {
+ public:
+  ClosenessCollector(std::function<double(double)> alpha,
+                     std::function<double(NodeId)> beta);
+};
+
+/// HIP estimates of the sum of distances for every node.
+class DistanceSumCollector : public PerNodeCollector {
+ public:
+  DistanceSumCollector();
+};
+
+/// HIP estimates of harmonic centrality for every node.
+class HarmonicCentralityCollector : public PerNodeCollector {
+ public:
+  HarmonicCentralityCollector();
+};
+
+/// HIP estimates of the d-neighborhood cardinality for every node.
+class NeighborhoodSizeCollector : public PerNodeCollector {
+ public:
+  explicit NeighborhoodSizeCollector(double d);
+};
+
+/// HIP estimates of the reachable-set size for every node.
+class ReachableCountCollector : public PerNodeCollector {
+ public:
+  ReachableCountCollector();
+};
+
+/// Node ids of the `count` largest values in `scores`, descending; ties
+/// broken by smaller node id. The selection utility behind TopKCollector
+/// (and usable on any standalone score vector).
+std::vector<NodeId> TopKNodes(const std::vector<double>& scores,
+                              uint32_t count);
+
+/// Per-node scores plus the ids of the `count` best nodes (descending
+/// score, ties by id — the TopKNodes order).
+class TopKCollector : public PerNodeCollector {
+ public:
+  TopKCollector(uint32_t count, std::function<double(const HipEstimator&)> fn)
+      : PerNodeCollector(std::move(fn)), count_(count) {}
+
+  /// The top `count` node ids by collected score; call after the sweep.
+  std::vector<NodeId> TopNodes() const;
+
+ private:
+  uint32_t count_;
+};
+
+/// The ANF family in one collector: accumulates the HIP distance
+/// distribution (number of ordered pairs at each exact distance), from
+/// which the neighbourhood function, effective diameter and mean distance
+/// all derive — one backend pass yields all four statistics.
+/// Accumulation is order-sensitive, so it lives entirely in the
+/// sequential Reduce phase; each node folds its HIP entries in node order.
+class DistanceHistogramCollector : public SweepCollector {
+ public:
+  void Begin(size_t num_nodes) override;
+  void Reduce(NodeId first, std::span<const HipEstimator> ests) override;
+
+  /// Estimated number of ordered pairs at each exact distance.
+  const std::map<double, double>& Distribution() const { return hist_; }
+  std::map<double, double> TakeDistribution() { return std::move(hist_); }
+
+  /// Cumulative form: N(d) = estimated pairs within distance d.
+  std::map<double, double> NeighborhoodFunction() const;
+
+  /// Smallest d at which the neighbourhood function reaches `quantile` of
+  /// its final value (0 for an empty distribution).
+  double EffectiveDiameter(double quantile = 0.9) const;
+
+  /// Estimated mean distance between reachable ordered pairs.
+  double MeanDistance() const;
+
+ private:
+  std::map<double, double> hist_;
+};
+
+/// An ordered list of collectors to fuse into one sweep. The plan does not
+/// run anything itself — hand it to RunSweep. Collectors can be owned by
+/// the plan (Emplace) or borrowed (Add); either way the caller reads
+/// results off the collector objects after the sweep.
+class SweepPlan {
+ public:
+  /// Adds a borrowed collector; the caller keeps ownership and must keep
+  /// it alive through RunSweep.
+  SweepPlan& Add(SweepCollector* collector);
+
+  /// Constructs a collector owned by the plan; returns it typed so the
+  /// caller can read results after the sweep.
+  template <typename C, typename... Args>
+  C* Emplace(Args&&... args) {
+    auto owned = std::make_unique<C>(std::forward<Args>(args)...);
+    C* raw = owned.get();
+    owned_.push_back(std::move(owned));
+    collectors_.push_back(raw);
+    return raw;
+  }
+
+  const std::vector<SweepCollector*>& collectors() const {
+    return collectors_;
+  }
+  bool empty() const { return collectors_.empty(); }
+  size_t size() const { return collectors_.size(); }
+
+ private:
+  std::vector<SweepCollector*> collectors_;
+  std::vector<std::unique_ptr<SweepCollector>> owned_;
+};
+
+/// Executes `plan` in one pass over the sketches: every node's
+/// HipEstimator is constructed exactly once and fed to every collector.
+/// `num_threads` = 0 uses the hardware count, 1 runs inline; results are
+/// bitwise identical for every thread count. The single-arena overloads
+/// cannot fail; the AdsBackend overload sweeps the backend's ranges in
+/// node order (one shard file read per shard, whatever plan.size() is),
+/// emits Prefetch hints between ranges, and fails if a lazy range load
+/// fails — collectors are then left partially filled and must be
+/// discarded.
+void RunSweep(const AdsSet& set, SweepPlan& plan, uint32_t num_threads = 0);
+void RunSweep(const FlatAdsSet& set, SweepPlan& plan,
+              uint32_t num_threads = 0);
+Status RunSweep(const AdsBackend& set, SweepPlan& plan,
+                uint32_t num_threads = 0);
+
+}  // namespace hipads
+
+#endif  // HIPADS_ADS_SWEEP_H_

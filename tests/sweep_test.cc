@@ -1,0 +1,332 @@
+// The fused sweep-execution engine (ads/sweep.h). The serving contract:
+// a SweepPlan with K collectors produces results bitwise identical to
+// running the K statistics as standalone queries — on every storage
+// engine (in-memory arena, zero-copy mmap, sharded with and without
+// prefetch at every lookahead depth) and for every thread count — while
+// costing exactly ONE backend pass (observable through the sharded
+// backend's shard-load counter). Plus the failure contract (a truncated
+// shard fails the whole plan) and the SoA layout's bitwise equivalence.
+
+#include "ads/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "ads/builders.h"
+#include "ads/queries.h"
+#include "ads/shard.h"
+#include "graph/generators.h"
+
+namespace hipads {
+namespace {
+
+FlatAdsSet BuildFlat(uint32_t n, uint64_t graph_seed, uint32_t k) {
+  Graph g = ErdosRenyi(n, 3ULL * n, true, graph_seed);
+  return FlatAdsSet::FromAdsSet(BuildAdsPrunedDijkstra(
+      g, k, SketchFlavor::kBottomK, RankAssignment::Uniform(graph_seed + 1)));
+}
+
+// Unique scratch dir per test; removed on destruction.
+struct ScratchDir {
+  explicit ScratchDir(const std::string& name)
+      : path((std::filesystem::temp_directory_path() / name).string()) {
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(path); }
+  std::string file(const std::string& name) const {
+    return (std::filesystem::path(path) / name).string();
+  }
+  std::string path;
+};
+
+double AlphaFn(double d) { return 1.0 / (1.0 + d); }
+double BetaFn(NodeId v) { return v % 2 == 0 ? 1.0 : 0.5; }
+
+// The acceptance plan: six distinct statistics (and within the histogram
+// collector, four derived ones) fused into one pass.
+struct SixStatPlan {
+  SweepPlan plan;
+  DistanceHistogramCollector* hist;
+  ClosenessCollector* closeness;
+  DistanceSumCollector* distsum;
+  HarmonicCentralityCollector* harmonic;
+  NeighborhoodSizeCollector* nsize;
+  ReachableCountCollector* reach;
+  TopKCollector* top;
+
+  SixStatPlan() {
+    hist = plan.Emplace<DistanceHistogramCollector>();
+    closeness = plan.Emplace<ClosenessCollector>(AlphaFn, BetaFn);
+    distsum = plan.Emplace<DistanceSumCollector>();
+    harmonic = plan.Emplace<HarmonicCentralityCollector>();
+    nsize = plan.Emplace<NeighborhoodSizeCollector>(2.0);
+    reach = plan.Emplace<ReachableCountCollector>();
+    top = plan.Emplace<TopKCollector>(5, [](const HipEstimator& est) {
+      return est.HarmonicCentrality();
+    });
+  }
+
+  // Bitwise comparison of every collected statistic against the
+  // standalone whole-graph queries on the reference arena.
+  void ExpectMatchesStandalone(const FlatAdsSet& ref) const {
+    EXPECT_EQ(hist->Distribution(), EstimateDistanceDistribution(ref, 1));
+    EXPECT_EQ(hist->NeighborhoodFunction(),
+              EstimateNeighborhoodFunction(ref, 1));
+    EXPECT_EQ(hist->EffectiveDiameter(), EstimateEffectiveDiameter(ref));
+    EXPECT_EQ(hist->MeanDistance(), EstimateMeanDistance(ref));
+    EXPECT_EQ(closeness->values(),
+              EstimateClosenessAll(ref, AlphaFn, BetaFn, 1));
+    EXPECT_EQ(distsum->values(), EstimateDistanceSumAll(ref, 1));
+    EXPECT_EQ(harmonic->values(), EstimateHarmonicCentralityAll(ref, 1));
+    EXPECT_EQ(nsize->values(), EstimateNeighborhoodSizeAll(ref, 2.0, 1));
+    EXPECT_EQ(reach->values(), EstimateReachableCountAll(ref, 1));
+    EXPECT_EQ(top->TopNodes(),
+              TopKNodes(EstimateHarmonicCentralityAll(ref, 1), 5));
+  }
+};
+
+TEST(SweepTest, FusedPlanMatchesStandaloneOnSingleArenas) {
+  FlatAdsSet flat = BuildFlat(180, 3, 8);
+  AdsSet owning = flat.ToAdsSet();
+  for (uint32_t threads : {1u, 2u, 4u}) {
+    {
+      SixStatPlan fused;
+      RunSweep(flat, fused.plan, threads);
+      fused.ExpectMatchesStandalone(flat);
+    }
+    {
+      SixStatPlan fused;
+      RunSweep(owning, fused.plan, threads);
+      fused.ExpectMatchesStandalone(flat);
+    }
+  }
+}
+
+// The acceptance matrix: the fused plan over every backend engine at
+// several thread counts, bitwise identical to the standalone queries.
+TEST(SweepTest, FusedPlanBitwiseIdenticalAcrossBackends) {
+  FlatAdsSet set = BuildFlat(230, 7, 8);
+  ScratchDir dir("hipads_sweep_test_matrix");
+  std::string file_path = dir.file("set.ads2");
+  std::string shard_dir = dir.file("shards");
+  ASSERT_TRUE(WriteAdsSetFile(set, file_path, AdsFileFormat::kBinaryV2).ok());
+  ASSERT_TRUE(WriteShardedAdsSet(set, shard_dir, 5).ok());
+
+  for (uint32_t threads : {1u, 2u, 4u}) {
+    {
+      FlatAdsBackend flat(&set);
+      SixStatPlan fused;
+      ASSERT_TRUE(RunSweep(flat, fused.plan, threads).ok());
+      fused.ExpectMatchesStandalone(set);
+    }
+    {
+      auto mapped = MmapAdsSet::Open(file_path);
+      ASSERT_TRUE(mapped.ok());
+      SixStatPlan fused;
+      ASSERT_TRUE(RunSweep(mapped.value(), fused.plan, threads).ok());
+      fused.ExpectMatchesStandalone(set);
+    }
+    for (bool use_mmap : {false, true}) {
+      for (uint32_t depth : {0u, 1u, 2u, 3u}) {  // 0 = prefetch off
+        ShardedOptions options;
+        options.max_resident = 1;
+        options.prefetch = depth > 0;
+        options.prefetch_depth = depth == 0 ? 1 : depth;
+        options.use_mmap = use_mmap;
+        auto sharded = ShardedAdsSet::Open(shard_dir, options);
+        ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+        SixStatPlan fused;
+        ASSERT_TRUE(RunSweep(sharded.value(), fused.plan, threads).ok())
+            << "mmap=" << use_mmap << " depth=" << depth;
+        fused.ExpectMatchesStandalone(set);
+        EXPECT_LE(sharded.value().NumResident(), 1u);
+      }
+    }
+  }
+}
+
+// The fusion guarantee the engine exists for: K statistics over a sharded
+// backend cost exactly ONE shard sweep — each shard file is loaded once —
+// where the standalone queries cost K sweeps.
+TEST(SweepTest, SixStatisticPlanSweepsShardsExactlyOnce) {
+  FlatAdsSet set = BuildFlat(200, 11, 8);
+  ScratchDir dir("hipads_sweep_test_loads");
+  std::string shard_dir = dir.file("shards");
+  ASSERT_TRUE(WriteShardedAdsSet(set, shard_dir, 5).ok());
+
+  for (bool prefetch : {false, true}) {
+    ShardedOptions options;
+    options.max_resident = 1;
+    options.prefetch = prefetch;
+    options.prefetch_depth = 2;
+    auto opened = ShardedAdsSet::Open(shard_dir, options);
+    ASSERT_TRUE(opened.ok());
+    const ShardedAdsSet& sharded = opened.value();
+    ASSERT_EQ(sharded.num_shards(), 5u);
+    EXPECT_EQ(sharded.NumShardLoads(), 0u);  // open loads nothing
+
+    SixStatPlan fused;
+    ASSERT_TRUE(RunSweep(sharded, fused.plan, 1).ok());
+    EXPECT_EQ(sharded.NumShardLoads(), 5u) << "prefetch=" << prefetch;
+    fused.ExpectMatchesStandalone(set);
+  }
+
+  // The same six statistics as standalone queries: six full sweeps, six
+  // loads of every shard (max_resident=1 keeps nothing across sweeps).
+  {
+    auto opened = ShardedAdsSet::Open(shard_dir, ShardedOptions{});
+    ASSERT_TRUE(opened.ok());
+    const ShardedAdsSet& sharded = opened.value();
+    ASSERT_TRUE(EstimateDistanceDistribution(sharded, 1).ok());
+    ASSERT_TRUE(EstimateClosenessAll(sharded, AlphaFn, BetaFn, 1).ok());
+    ASSERT_TRUE(EstimateDistanceSumAll(sharded, 1).ok());
+    ASSERT_TRUE(EstimateHarmonicCentralityAll(sharded, 1).ok());
+    ASSERT_TRUE(EstimateNeighborhoodSizeAll(sharded, 2.0, 1).ok());
+    ASSERT_TRUE(EstimateReachableCountAll(sharded, 1).ok());
+    EXPECT_EQ(sharded.NumShardLoads(), 30u);  // 6 statistics x 5 shards
+  }
+}
+
+TEST(SweepTest, EmptyPlanTouchesNoShards) {
+  FlatAdsSet set = BuildFlat(120, 13, 4);
+  ScratchDir dir("hipads_sweep_test_empty");
+  std::string shard_dir = dir.file("shards");
+  ASSERT_TRUE(WriteShardedAdsSet(set, shard_dir, 3).ok());
+  auto opened = ShardedAdsSet::Open(shard_dir, ShardedOptions{});
+  ASSERT_TRUE(opened.ok());
+  SweepPlan plan;
+  ASSERT_TRUE(RunSweep(opened.value(), plan, 1).ok());
+  EXPECT_EQ(opened.value().NumShardLoads(), 0u);
+}
+
+// Error propagation: a shard truncated mid-plan fails the whole sweep
+// with Corruption — no partial results are reported as success.
+TEST(SweepTest, TruncatedShardFailsThePlan) {
+  FlatAdsSet set = BuildFlat(160, 17, 4);
+  ScratchDir dir("hipads_sweep_test_truncated");
+  std::string shard_dir = dir.file("shards");
+  ASSERT_TRUE(WriteShardedAdsSet(set, shard_dir, 4).ok());
+  std::string victim =
+      (std::filesystem::path(shard_dir) / "shard-00002.ads2").string();
+  std::error_code ec;
+  uint64_t size = std::filesystem::file_size(victim, ec);
+  ASSERT_FALSE(ec);
+  std::filesystem::resize_file(victim, size - 24, ec);
+  ASSERT_FALSE(ec);
+
+  for (bool use_mmap : {false, true}) {
+    for (bool prefetch : {false, true}) {
+      ShardedOptions options;
+      options.use_mmap = use_mmap;
+      options.prefetch = prefetch;
+      options.prefetch_depth = 2;
+      auto opened = ShardedAdsSet::Open(shard_dir, options);
+      ASSERT_TRUE(opened.ok());
+      SixStatPlan fused;
+      Status swept = RunSweep(opened.value(), fused.plan, 1);
+      ASSERT_FALSE(swept.ok())
+          << "mmap=" << use_mmap << " prefetch=" << prefetch;
+      EXPECT_EQ(swept.code(), Status::Code::kCorruption);
+      // Shards 0 and 1 were swept before the failure; the error must
+      // still surface from the plan as a whole.
+    }
+  }
+}
+
+// tsan target: deep prefetch pipelines (lookahead 2 and 3) overlap
+// multiple background loads with consumer sweeps; repeated runs must stay
+// deterministic, race-free, and bitwise equal to non-prefetching serving.
+TEST(SweepTest, DeepPrefetchSweepsAreDeterministic) {
+  FlatAdsSet set = BuildFlat(210, 19, 8);
+  ScratchDir dir("hipads_sweep_test_depth");
+  std::string shard_dir = dir.file("shards");
+  ASSERT_TRUE(WriteShardedAdsSet(set, shard_dir, 6).ok());
+
+  std::vector<double> reference = EstimateHarmonicCentralityAll(set, 1);
+  for (bool use_mmap : {false, true}) {
+    for (uint32_t depth : {2u, 3u}) {
+      ShardedOptions options;
+      options.max_resident = 2;
+      options.prefetch = true;
+      options.prefetch_depth = depth;
+      options.use_mmap = use_mmap;
+      auto opened = ShardedAdsSet::Open(shard_dir, options);
+      ASSERT_TRUE(opened.ok());
+      const ShardedAdsSet& sharded = opened.value();
+      for (int round = 0; round < 3; ++round) {
+        auto scores = EstimateHarmonicCentralityAll(sharded, 2);
+        ASSERT_TRUE(scores.ok());
+        EXPECT_EQ(scores.value(), reference)
+            << "depth=" << depth << " round=" << round;
+        // Point lookups fault shards in out of sweep order between runs.
+        for (NodeId v : {0u, 209u, 100u}) {
+          ASSERT_TRUE(sharded.ViewOf(v).ok());
+        }
+        EXPECT_LE(sharded.NumResident(), 2u);
+      }
+    }
+  }
+}
+
+// The SoA split: per-field streams produce bitwise-identical HIP weights
+// and estimates for every flavor (the kernels are one template).
+TEST(SweepTest, SoaLayoutMatchesAosBitwise) {
+  Graph g = ErdosRenyi(140, 3ULL * 140, true, 23);
+  struct Case {
+    SketchFlavor flavor;
+    RankAssignment ranks;
+  };
+  const Case cases[] = {
+      {SketchFlavor::kBottomK, RankAssignment::Uniform(24)},
+      {SketchFlavor::kBottomK, RankAssignment::BaseB(24, 2.0)},
+      {SketchFlavor::kKMins, RankAssignment::Uniform(25)},
+      {SketchFlavor::kKPartition, RankAssignment::Uniform(26)},
+  };
+  for (const Case& c : cases) {
+    FlatAdsSet flat = FlatAdsSet::FromAdsSet(
+        BuildAdsPrunedDijkstra(g, 8, c.flavor, c.ranks));
+    SoaAdsArena soa = SoaAdsArena::FromFlat(flat);
+    ASSERT_EQ(soa.num_nodes(), flat.num_nodes());
+    ASSERT_EQ(soa.TotalEntries(), flat.TotalEntries());
+    for (NodeId v = 0; v < flat.num_nodes(); ++v) {
+      auto aos_hip = ComputeHipWeights(flat.of(v), 8, c.flavor, c.ranks);
+      auto soa_hip = ComputeHipWeights(soa.of(v), 8, c.flavor, c.ranks);
+      ASSERT_EQ(aos_hip.size(), soa_hip.size()) << "node " << v;
+      for (size_t i = 0; i < aos_hip.size(); ++i) {
+        EXPECT_EQ(aos_hip[i].node, soa_hip[i].node);
+        EXPECT_EQ(aos_hip[i].dist, soa_hip[i].dist);
+        EXPECT_EQ(aos_hip[i].tau, soa_hip[i].tau);
+        EXPECT_EQ(aos_hip[i].weight, soa_hip[i].weight);
+      }
+      HipEstimator aos_est(flat.of(v), 8, c.flavor, c.ranks);
+      HipEstimator soa_est(soa.of(v), 8, c.flavor, c.ranks);
+      EXPECT_EQ(aos_est.HarmonicCentrality(), soa_est.HarmonicCentrality());
+      EXPECT_EQ(aos_est.ReachableCount(), soa_est.ReachableCount());
+      EXPECT_EQ(aos_est.NeighborhoodCardinality(2.0),
+                soa_est.NeighborhoodCardinality(2.0));
+    }
+  }
+}
+
+// Borrowed collectors (Add) and owned collectors (Emplace) behave
+// identically; a collector reused across sweeps resets in Begin.
+TEST(SweepTest, CollectorsResetBetweenSweeps) {
+  FlatAdsSet set = BuildFlat(100, 29, 4);
+  DistanceHistogramCollector hist;
+  HarmonicCentralityCollector harmonic;
+  SweepPlan plan;
+  plan.Add(&hist).Add(&harmonic);
+  RunSweep(set, plan, 1);
+  auto first_hist = hist.Distribution();
+  auto first_harmonic = harmonic.values();
+  RunSweep(set, plan, 2);  // rerun: Begin must clear, not accumulate
+  EXPECT_EQ(hist.Distribution(), first_hist);
+  EXPECT_EQ(harmonic.values(), first_harmonic);
+}
+
+}  // namespace
+}  // namespace hipads

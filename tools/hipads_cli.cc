@@ -13,9 +13,18 @@
 // through the unified AdsBackend storage layer. `--backend=copy` (default)
 // loads into a heap arena; `--backend=mmap` maps v2 files zero-copy.
 // Sharded sets honor `--resident N` (max shard arenas in memory) and
-// prefetch the next shard during whole-graph sweeps (`--prefetch 0` to
-// disable). A manifest referencing a missing or truncated shard file fails
-// at open with a nonzero exit, before any partial output.
+// prefetch upcoming shards during whole-graph sweeps (`--prefetch D` sets
+// the lookahead depth, 0 disables). A manifest referencing a missing or
+// truncated shard file fails at open with a nonzero exit, before any
+// partial output.
+//
+// Whole-graph statistics run on the fused sweep engine (ads/sweep.h): all
+// statistics a command needs are collected in ONE pass over the backend —
+// `stats` derives the neighbourhood function, effective diameter and mean
+// distance from a single distance-distribution collector, and `stats
+// --top N` fuses the top-k centrality ranking into that same pass, so a
+// sharded set reads every shard file exactly once however many statistics
+// are requested.
 //
 // Examples:
 //   hipads_cli generate --model ba --nodes 100000 --out graph.txt
@@ -27,6 +36,7 @@
 //   hipads_cli query --sketches s.ads2 --node 17 --jaccard 23 --distance 3
 //   hipads_cli query --sketches shards/ --top 10 --centrality harmonic
 //   hipads_cli stats --sketches shards/ --backend=mmap --resident 2
+//   hipads_cli stats --sketches shards/ --top 10 --prefetch 2
 
 #include <cstdio>
 #include <cstdlib>
@@ -45,10 +55,10 @@
 #include "ads/builders.h"
 #include "ads/estimators.h"
 #include "ads/flat_ads.h"
-#include "ads/queries.h"
 #include "ads/serialize.h"
 #include "ads/shard.h"
 #include "ads/similarity.h"
+#include "ads/sweep.h"
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "util/parallel.h"
@@ -258,17 +268,32 @@ int CmdShard(const Args& args) {
   return 0;
 }
 
-void PrintTopTable(const std::vector<double>& scores,
-                   const std::string& kind, uint32_t count) {
+void PrintTopTable(const TopKCollector& top, const std::string& kind) {
   Table t({"rank", "node", kind});
-  auto top = TopKNodes(scores, count);
-  for (size_t i = 0; i < top.size(); ++i) {
+  std::vector<NodeId> nodes = top.TopNodes();
+  for (size_t i = 0; i < nodes.size(); ++i) {
     t.NewRow()
         .Add(static_cast<uint64_t>(i + 1))
-        .Add(static_cast<uint64_t>(top[i]))
-        .Add(scores[top[i]], 6);
+        .Add(static_cast<uint64_t>(nodes[i]))
+        .Add(top.values()[nodes[i]], 6);
   }
   t.PrintText(std::cout);
+}
+
+// The per-node statistic behind a --centrality flag, or null for an
+// unknown kind.
+std::function<double(const HipEstimator&)> CentralityFn(
+    const std::string& kind) {
+  if (kind == "harmonic") {
+    return [](const HipEstimator& est) { return est.HarmonicCentrality(); };
+  }
+  if (kind == "distsum") {
+    return [](const HipEstimator& est) { return est.DistanceSum(); };
+  }
+  if (kind == "reach") {
+    return [](const HipEstimator& est) { return est.ReachableCount(); };
+  }
+  return nullptr;
 }
 
 void PrintNodeQuery(const Args& args, uint64_t node,
@@ -302,7 +327,12 @@ StatusOr<std::unique_ptr<AdsBackend>> OpenServingBackend(const Args& args) {
                                    " (copy|mmap)");
   }
   options.max_resident = static_cast<uint32_t>(args.GetInt("resident", 1));
-  options.prefetch = args.GetInt("prefetch", 1) != 0;
+  // --prefetch D: lookahead depth of the sharded prefetch pipeline
+  // (0 disables the background thread entirely).
+  uint64_t prefetch = args.GetInt("prefetch", 1);
+  options.prefetch = prefetch != 0;
+  options.prefetch_depth =
+      prefetch == 0 ? 1 : static_cast<uint32_t>(prefetch);
   return OpenAdsBackend(args.Get("sketches", "sketches.ads"), options);
 }
 
@@ -337,16 +367,16 @@ int CmdQuery(const Args& args) {
 
   if (args.Has("top")) {
     std::string kind = args.Get("centrality", "harmonic");
-    StatusOr<std::vector<double>> scores =
-        kind == "harmonic" ? EstimateHarmonicCentralityAll(set)
-        : kind == "distsum" ? EstimateDistanceSumAll(set)
-        : kind == "reach"   ? EstimateReachableCountAll(set)
-                            : StatusOr<std::vector<double>>(
-                                  Status::InvalidArgument(
-                                      "unknown --centrality " + kind));
-    if (!scores.ok()) return Fail(scores.status());
-    PrintTopTable(scores.value(),
-                  kind, static_cast<uint32_t>(args.GetInt("top", 10)));
+    auto fn = CentralityFn(kind);
+    if (fn == nullptr) {
+      return Fail(Status::InvalidArgument("unknown --centrality " + kind));
+    }
+    SweepPlan plan;
+    TopKCollector* top = plan.Emplace<TopKCollector>(
+        static_cast<uint32_t>(args.GetInt("top", 10)), std::move(fn));
+    Status swept = RunSweep(set, plan);
+    if (!swept.ok()) return Fail(swept);
+    PrintTopTable(*top, kind);
     return 0;
   }
 
@@ -414,56 +444,55 @@ int CmdQuery(const Args& args) {
   return 0;
 }
 
-// Everything `stats` prints derives from one distance-distribution sweep:
-// the neighbourhood function is its running sum, the effective diameter a
-// quantile scan of that, the mean a weighted average. One sweep means a
-// sharded set reads every shard file exactly once.
-void PrintStatsFromDistribution(size_t num_nodes, uint32_t k,
-                                uint64_t entries, double quantile,
-                                const std::map<double, double>& dd) {
-  double weight = 0.0, weighted_dist = 0.0;
-  std::map<double, double> nf = dd;
-  double running = 0.0;
-  for (auto& [d, value] : nf) {
-    weight += value;
-    weighted_dist += d * value;
-    running += value;
-    value = running;
-  }
-  double eff_diameter = 0.0;
-  if (!nf.empty()) {
-    eff_diameter = nf.rbegin()->first;
-    double total = nf.rbegin()->second;
-    for (const auto& [d, pairs] : nf) {
-      if (pairs >= quantile * total) {
-        eff_diameter = d;
-        break;
-      }
-    }
-  }
-  std::printf("nodes: %zu, k=%u, entries=%llu\n", num_nodes, k,
-              static_cast<unsigned long long>(entries));
-  std::printf("effective diameter (%g): %.1f\n", quantile, eff_diameter);
-  std::printf("mean distance: %.2f\n",
-              weight > 0.0 ? weighted_dist / weight : 0.0);
-  Table t({"d", "pairs within d"});
-  double total = nf.empty() ? 0.0 : nf.rbegin()->second;
-  for (const auto& [d, pairs] : nf) {
-    t.NewRow().Add(d, 4).Add(pairs, 6);
-    if (pairs >= 0.99 * total) break;
-  }
-  t.PrintText(std::cout);
-}
-
+// Everything `stats` prints comes from ONE fused sweep (ads/sweep.h): the
+// distance-histogram collector yields the neighbourhood function, the
+// effective diameter and the mean distance, and --top N adds a top-k
+// centrality collector to the same plan. However many statistics are
+// requested, a sharded set reads every shard file exactly once.
 int CmdStats(const Args& args) {
   double quantile = args.GetDouble("quantile", 0.9);
   auto opened = OpenServingBackend(args);
   if (!opened.ok()) return Fail(opened.status());
   const AdsBackend& set = *opened.value();
-  auto dd = EstimateDistanceDistribution(set);
-  if (!dd.ok()) return Fail(dd.status());
-  PrintStatsFromDistribution(set.num_nodes(), set.k(), set.TotalEntries(),
-                             quantile, dd.value());
+
+  SweepPlan plan;
+  DistanceHistogramCollector* hist =
+      plan.Emplace<DistanceHistogramCollector>();
+  TopKCollector* top = nullptr;
+  std::string kind = args.Get("centrality", "harmonic");
+  if (args.Has("top")) {
+    auto fn = CentralityFn(kind);
+    if (fn == nullptr) {
+      return Fail(Status::InvalidArgument("unknown --centrality " + kind));
+    }
+    top = plan.Emplace<TopKCollector>(
+        static_cast<uint32_t>(args.GetInt("top", 10)), std::move(fn));
+  }
+  Status swept = RunSweep(set, plan);
+  if (!swept.ok()) return Fail(swept);
+
+  // Build the cumulative neighbourhood function once; the effective
+  // diameter is a quantile scan of it and the table prints its head.
+  std::map<double, double> nf = hist->NeighborhoodFunction();
+  double total = nf.empty() ? 0.0 : nf.rbegin()->second;
+  double eff_diameter = nf.empty() ? 0.0 : nf.rbegin()->first;
+  for (const auto& [d, pairs] : nf) {
+    if (pairs >= quantile * total) {
+      eff_diameter = d;
+      break;
+    }
+  }
+  std::printf("nodes: %zu, k=%u, entries=%llu\n", set.num_nodes(), set.k(),
+              static_cast<unsigned long long>(set.TotalEntries()));
+  std::printf("effective diameter (%g): %.1f\n", quantile, eff_diameter);
+  std::printf("mean distance: %.2f\n", hist->MeanDistance());
+  if (top != nullptr) PrintTopTable(*top, kind);
+  Table t({"d", "pairs within d"});
+  for (const auto& [d, pairs] : nf) {
+    t.NewRow().Add(d, 4).Add(pairs, 6);
+    if (pairs >= 0.99 * total) break;
+  }
+  t.PrintText(std::cout);
   return 0;
 }
 
