@@ -1,0 +1,226 @@
+// CLAIM-SERVE-ROUTER: overhead of the distributed scatter/gather path over
+// in-process execution, measured on the loopback transport so the numbers
+// isolate protocol cost (frame encode/decode, checksums, collector partial
+// serialization and node-order absorption) from network latency.
+//
+//   * In-process RunSweep over one arena — the floor.
+//   * Loopback single server: the whole wire path (request encode ->
+//     frame checksum -> server decode -> sweep -> partial encode -> client
+//     absorb) with one hop and no fan-out.
+//   * Loopback router over 2 / 4 range servers: adds the fleet scatter
+//     (one thread per range server), the gather's node-order absorption
+//     and the router-side merge.
+//
+// Two plan shapes bound the partial-state bandwidth: a per-node plan
+// (harmonic + top-k: 8 bytes per node per collector on the wire) and a
+// histogram-bearing plan (the replay stream is O(HIP entries) — the honest
+// cost of distributing an order-sensitive fold, see sweep.h). On one
+// machine the router cannot win wall-clock; the claim this records is that
+// the protocol tax is a small constant factor, so the fleet's win on real
+// hardware is the per-server memory/parallelism, not hidden overhead.
+// Recorded baseline: BENCH_router.json.
+
+#include <benchmark/benchmark.h>
+
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ads/backend.h"
+#include "ads/builders.h"
+#include "ads/flat_ads.h"
+#include "ads/sweep.h"
+#include "bench_common.h"
+#include "graph/generators.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/router.h"
+#include "serve/server.h"
+
+namespace hipads {
+namespace {
+
+const FlatAdsSet& SharedSet(uint32_t n) {
+  static std::map<uint32_t, FlatAdsSet> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    Graph g = ErdosRenyi(n, 4ULL * n, /*undirected=*/true, 42);
+    it = cache
+             .emplace(n, FlatAdsSet::FromAdsSet(BuildAdsDp(
+                             g, 16, SketchFlavor::kBottomK,
+                             RankAssignment::Uniform(1))))
+             .first;
+  }
+  return it->second;
+}
+
+std::vector<CollectorSpec> PerNodePlan() {
+  return {{CollectorKind::kHarmonic, 0, 0, 0.0},
+          {CollectorKind::kTopK, static_cast<uint32_t>(ScoreKind::kHarmonic),
+           10, 0.0}};
+}
+
+std::vector<CollectorSpec> HistogramPlan() {
+  std::vector<CollectorSpec> spec = PerNodePlan();
+  spec.insert(spec.begin(), {CollectorKind::kDistanceHistogram, 0, 0, 0.0});
+  return spec;
+}
+
+std::vector<CollectorSpec> PlanFor(int shape) {
+  return shape == 0 ? PerNodePlan() : HistogramPlan();
+}
+
+// A loopback fleet of `servers` range servers over even node splits.
+struct Fleet {
+  std::vector<FlatAdsSet> slices;
+  std::vector<std::unique_ptr<FlatAdsBackend>> backends;
+  std::vector<std::unique_ptr<AdsServerCore>> cores;
+  FleetManifest manifest;
+
+  Fleet(const FlatAdsSet& full, uint32_t servers) {
+    NodeId n = static_cast<NodeId>(full.num_nodes());
+    manifest.num_nodes = n;
+    slices.reserve(servers);  // backends alias slice addresses
+    for (uint32_t s = 0; s < servers; ++s) {
+      NodeId begin = static_cast<NodeId>(uint64_t{n} * s / servers);
+      NodeId end = static_cast<NodeId>(uint64_t{n} * (s + 1) / servers);
+      FlatAdsSet slice;
+      slice.flavor = full.flavor;
+      slice.k = full.k;
+      slice.ranks = full.ranks;
+      for (NodeId v = begin; v < end; ++v) {
+        auto entries = full.of(v).entries();
+        slice.AppendNode(
+            std::vector<AdsEntry>(entries.begin(), entries.end()));
+      }
+      slices.push_back(std::move(slice));
+      backends.push_back(std::make_unique<FlatAdsBackend>(&slices.back()));
+      ServerOptions options;
+      options.node_begin = begin;
+      cores.push_back(
+          std::make_unique<AdsServerCore>(backends[s].get(), options));
+      manifest.servers.push_back(
+          FleetEntry{"loop:" + std::to_string(s), begin, end});
+    }
+  }
+
+  ChannelFactory Factory() {
+    return [this](const std::string& address)
+               -> StatusOr<std::unique_ptr<Channel>> {
+      for (size_t i = 0; i < manifest.servers.size(); ++i) {
+        if (manifest.servers[i].address == address) {
+          return std::unique_ptr<Channel>(
+              std::make_unique<LoopbackChannel>(cores[i].get()));
+        }
+      }
+      return Status::NotFound(address);
+    };
+  }
+};
+
+// Arg 0: plan shape (0 = per-node, 1 = + histogram).
+void BM_SweepInProcess(benchmark::State& state) {
+  const FlatAdsSet& set = SharedSet(4000);
+  std::vector<CollectorSpec> spec = PlanFor(static_cast<int>(state.range(0)));
+  FlatAdsBackend backend(&set);
+  for (auto _ : state) {
+    SweepPlan plan;
+    auto built = BuildPlanFromSpec(spec, &plan, false);
+    benchmark::DoNotOptimize(RunSweep(backend, plan, 1).ok());
+  }
+}
+BENCHMARK(BM_SweepInProcess)->Arg(0)->Arg(1);
+
+void BM_SweepLoopbackSingleServer(benchmark::State& state) {
+  const FlatAdsSet& set = SharedSet(4000);
+  std::vector<CollectorSpec> spec = PlanFor(static_cast<int>(state.range(0)));
+  FlatAdsBackend backend(&set);
+  AdsServerCore core(&backend, ServerOptions{});
+  LoopbackChannel channel(&core);
+  SweepRequestMsg request;
+  request.collectors = spec;
+  for (auto _ : state) {
+    SweepPlan plan;
+    auto built = BuildPlanFromSpec(spec, &plan, false);
+    benchmark::DoNotOptimize(
+        ExecuteRemoteSweep(channel, request, set.num_nodes(), built.value())
+            .ok());
+  }
+}
+BENCHMARK(BM_SweepLoopbackSingleServer)->Arg(0)->Arg(1);
+
+// Arg 0: plan shape; arg 1: range servers.
+void BM_SweepLoopbackRouter(benchmark::State& state) {
+  const FlatAdsSet& set = SharedSet(4000);
+  std::vector<CollectorSpec> spec = PlanFor(static_cast<int>(state.range(0)));
+  Fleet fleet(set, static_cast<uint32_t>(state.range(1)));
+  auto router = FleetRouter::Connect(fleet.manifest, fleet.Factory());
+  if (!router.ok()) {
+    state.SkipWithError(router.status().ToString().c_str());
+    return;
+  }
+  SweepRequestMsg request;
+  request.collectors = spec;
+  for (auto _ : state) {
+    SweepPlan plan;
+    auto built = BuildPlanFromSpec(spec, &plan, false);
+    benchmark::DoNotOptimize(
+        router.value().ExecuteSweep(request, built.value()).ok());
+  }
+}
+BENCHMARK(BM_SweepLoopbackRouter)
+    ->Args({0, 2})
+    ->Args({0, 4})
+    ->Args({1, 2})
+    ->Args({1, 4});
+
+// Point-query protocol tax: direct estimator evaluation vs the same
+// lookup through the loopback router.
+void BM_PointInProcess(benchmark::State& state) {
+  const FlatAdsSet& set = SharedSet(4000);
+  NodeId v = 0;
+  for (auto _ : state) {
+    HipEstimator est(set.of(v), set.k, set.flavor, set.ranks);
+    benchmark::DoNotOptimize(est.HarmonicCentrality());
+    v = (v + 1) % set.num_nodes();
+  }
+}
+BENCHMARK(BM_PointInProcess);
+
+void BM_PointLoopbackRouter(benchmark::State& state) {
+  const FlatAdsSet& set = SharedSet(4000);
+  Fleet fleet(set, 2);
+  auto router = FleetRouter::Connect(fleet.manifest, fleet.Factory());
+  if (!router.ok()) {
+    state.SkipWithError(router.status().ToString().c_str());
+    return;
+  }
+  PointRequestMsg request;
+  request.kind = PointKind::kNodeStats;
+  request.d = std::numeric_limits<double>::infinity();
+  uint64_t v = 0;
+  for (auto _ : state) {
+    request.node = v;
+    benchmark::DoNotOptimize(router.value().Point(request).ok());
+    v = (v + 1) % set.num_nodes();
+  }
+}
+BENCHMARK(BM_PointLoopbackRouter);
+
+}  // namespace
+}  // namespace hipads
+
+// Records a machine-readable baseline next to the working directory unless
+// the caller passes its own --benchmark_out.
+int main(int argc, char** argv) {
+  hipads::BenchArgs args(argc, argv, "BENCH_router.json");
+  benchmark::Initialize(&args.argc, args.argv());
+  if (benchmark::ReportUnrecognizedArguments(args.argc, args.argv())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

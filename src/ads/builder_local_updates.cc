@@ -14,6 +14,7 @@
 
 #include "ads/builders.h"
 #include "graph/traversal.h"
+#include "util/parallel.h"
 
 namespace hipads {
 
@@ -67,9 +68,98 @@ size_t CleanUp(EntryList& entries, uint32_t k, double slack) {
   return removed;
 }
 
+// Work a message-processing chunk counts locally; summed into the global
+// AdsBuildStats after the round (integer sums are order-independent, so
+// the totals match the sequential builder exactly).
+struct RoundCounters {
+  uint64_t insertions = 0;
+  uint64_t deletions = 0;
+};
+
+// Chunk boundaries for one round's sorted messages: ~`chunks_wanted` even
+// pieces, each boundary advanced to the next target-node change so no
+// target's message group ever spans two chunks. The decomposition depends
+// only on the (canonically sorted) inbox, never on thread scheduling.
+std::vector<size_t> TargetAlignedBounds(const std::vector<Message>& inbox,
+                                        uint32_t chunks_wanted) {
+  std::vector<size_t> bounds{0};
+  if (chunks_wanted > 1 && inbox.size() > 1) {
+    size_t step = (inbox.size() + chunks_wanted - 1) / chunks_wanted;
+    for (uint32_t c = 1; c < chunks_wanted; ++c) {
+      size_t pos = std::min(inbox.size(), static_cast<size_t>(c) * step);
+      while (pos < inbox.size() && inbox[pos].target == inbox[pos - 1].target)
+        ++pos;
+      if (pos > bounds.back() && pos < inbox.size()) bounds.push_back(pos);
+    }
+  }
+  bounds.push_back(inbox.size());
+  return bounds;
+}
+
+// Processes the sorted messages [begin, end) of one round — a range that
+// never splits a target's group. Mutates only ads[t] for targets t inside
+// the range and appends propagations to `outbox`, so disjoint chunks are
+// independent: running them on pool threads replays exactly the sequential
+// per-target decisions.
+void ProcessMessages(const Graph& gt, uint32_t k, uint32_t part,
+                     const RankAssignment& ranks, double slack,
+                     const std::vector<Message>& inbox, size_t begin,
+                     size_t end, std::vector<EntryList>& ads,
+                     std::vector<Message>& outbox, RoundCounters& counters) {
+  for (size_t idx = begin; idx < end; ++idx) {
+    const Message& m = inbox[idx];
+    EntryList& list = ads[m.target];
+    // Existing entry for this node?
+    size_t existing = list.size();
+    for (size_t i = 0; i < list.size(); ++i) {
+      if (list[i].node == m.node) {
+        existing = i;
+        break;
+      }
+    }
+    if (existing < list.size() && list[existing].dist <= m.dist) {
+      continue;  // already known at an equal or shorter distance
+    }
+    // Insertion test: rank must beat the kth smallest rank among entries
+    // that are closer under the tie-broken order (with the approximate
+    // mode's distance slack making "closer" more inclusive, i.e.
+    // insertion harder).
+    BottomKSketch thr(k, ranks.sup());
+    for (size_t i = 0; i < list.size(); ++i) {
+      if (i == existing) continue;  // ignore the entry being replaced
+      const AdsEntry& e = list[i];
+      if (e.dist <= m.dist * slack &&
+          (e.dist > m.dist || LexCloser(e, m.dist, m.node, 1.0))) {
+        thr.Update(e.rank);
+      }
+    }
+    if (m.rank >= thr.Threshold()) continue;
+    // Accept: replace or insert, clean up, propagate.
+    if (existing < list.size()) {
+      list.erase(list.begin() + static_cast<ptrdiff_t>(existing));
+      ++counters.deletions;
+    }
+    list.push_back(AdsEntry{m.node, part, m.rank, m.dist});
+    ++counters.insertions;
+    counters.deletions += CleanUp(list, k, slack);
+    // The inserted entry may itself have been removed by clean-up only if
+    // it was dominated, which the insertion test excludes; propagate it.
+    for (const Arc& a : gt.OutArcs(m.target)) {
+      outbox.push_back(Message{a.head, m.node, part, m.rank,
+                               m.dist + a.weight});
+    }
+  }
+}
+
+// One pass of the synchronous simulation. With a pool, each round's
+// messages are processed in target-aligned chunks on the pool threads;
+// chunk outboxes are concatenated in chunk order and re-sorted canonically
+// next round, so the output (and every work counter) is identical to the
+// sequential pass for any thread count.
 void RunLocalUpdatesPass(const Graph& gt, uint32_t k, uint32_t part,
                          uint32_t perm, const RankAssignment& ranks,
                          const std::vector<bool>* is_source, double epsilon,
+                         ThreadPool* pool,
                          std::vector<std::vector<AdsEntry>>& out,
                          AdsBuildStats* stats) {
   NodeId n = gt.num_nodes();
@@ -77,79 +167,57 @@ void RunLocalUpdatesPass(const Graph& gt, uint32_t k, uint32_t part,
   std::vector<EntryList> ads(n);
   std::vector<Message> inbox;
 
-  auto send_updates = [&](NodeId u, NodeId node, double rank, double dist,
-                          std::vector<Message>& outbox) {
-    for (const Arc& a : gt.OutArcs(u)) {
-      outbox.push_back(
-          Message{a.head, node, part, rank, dist + a.weight});
-    }
-  };
-
   // Initialization: each source holds itself at distance 0 and announces it.
   for (NodeId v = 0; v < n; ++v) {
     if (is_source != nullptr && !(*is_source)[v]) continue;
     double rv = ranks.rank(v, perm);
     ads[v].push_back(AdsEntry{v, part, rv, 0.0});
     if (stats != nullptr) ++stats->insertions;
-    send_updates(v, v, rv, 0.0, inbox);
+    for (const Arc& a : gt.OutArcs(v)) {
+      inbox.push_back(Message{a.head, v, part, rv, a.weight});
+    }
   }
 
-  std::vector<Message> outbox;
   while (!inbox.empty()) {
     if (stats != nullptr) {
       ++stats->rounds;
       stats->relaxations += inbox.size();
     }
-    outbox.clear();
     // Process this round's messages grouped by target, in canonical order so
-    // that ties resolve deterministically.
+    // that ties resolve deterministically. The sort key is total over
+    // distinct updates (messages equal on (target, dist, node) are fully
+    // identical — rank and part are functions of the node within a pass),
+    // so the sorted order does not depend on the producing chunk order.
     std::sort(inbox.begin(), inbox.end(),
               [](const Message& a, const Message& b) {
                 if (a.target != b.target) return a.target < b.target;
                 if (a.dist != b.dist) return a.dist < b.dist;
                 return a.node < b.node;
               });
-    for (const Message& m : inbox) {
-      EntryList& list = ads[m.target];
-      // Existing entry for this node?
-      size_t existing = list.size();
-      for (size_t i = 0; i < list.size(); ++i) {
-        if (list[i].node == m.node) {
-          existing = i;
-          break;
-        }
+    uint32_t chunks_wanted = pool != nullptr ? pool->num_threads() : 1;
+    std::vector<size_t> bounds = TargetAlignedBounds(inbox, chunks_wanted);
+    size_t chunks = bounds.size() - 1;
+    std::vector<std::vector<Message>> outboxes(chunks);
+    std::vector<RoundCounters> counters(chunks);
+    auto process = [&](size_t begin, size_t end, uint32_t chunk) {
+      ProcessMessages(gt, k, part, ranks, slack, inbox, begin, end, ads,
+                      outboxes[chunk], counters[chunk]);
+    };
+    if (pool != nullptr && chunks > 1) {
+      pool->ParallelRanges(bounds, process);
+    } else {
+      for (size_t c = 0; c < chunks; ++c) {
+        process(bounds[c], bounds[c + 1], static_cast<uint32_t>(c));
       }
-      if (existing < list.size() && list[existing].dist <= m.dist) {
-        continue;  // already known at an equal or shorter distance
-      }
-      // Insertion test: rank must beat the kth smallest rank among entries
-      // that are closer under the tie-broken order (with the approximate
-      // mode's distance slack making "closer" more inclusive, i.e.
-      // insertion harder).
-      BottomKSketch thr(k, ranks.sup());
-      for (size_t i = 0; i < list.size(); ++i) {
-        if (i == existing) continue;  // ignore the entry being replaced
-        const AdsEntry& e = list[i];
-        if (e.dist <= m.dist * slack &&
-            (e.dist > m.dist || LexCloser(e, m.dist, m.node, 1.0))) {
-          thr.Update(e.rank);
-        }
-      }
-      if (m.rank >= thr.Threshold()) continue;
-      // Accept: replace or insert, clean up, propagate.
-      if (existing < list.size()) {
-        list.erase(list.begin() + static_cast<ptrdiff_t>(existing));
-        if (stats != nullptr) ++stats->deletions;
-      }
-      list.push_back(AdsEntry{m.node, part, m.rank, m.dist});
-      if (stats != nullptr) ++stats->insertions;
-      size_t removed = CleanUp(list, k, slack);
-      if (stats != nullptr) stats->deletions += removed;
-      // The inserted entry may itself have been removed by clean-up only if
-      // it was dominated, which the insertion test excludes; propagate it.
-      send_updates(m.target, m.node, m.rank, m.dist, outbox);
     }
-    inbox.swap(outbox);
+    inbox.clear();
+    for (size_t c = 0; c < chunks; ++c) {
+      inbox.insert(inbox.end(), outboxes[c].begin(), outboxes[c].end());
+      if (stats != nullptr) {
+        stats->insertions += counters[c].insertions;
+        stats->deletions += counters[c].deletions;
+      }
+    }
   }
 
   for (NodeId v = 0; v < n; ++v) {
@@ -157,11 +225,10 @@ void RunLocalUpdatesPass(const Graph& gt, uint32_t k, uint32_t part,
   }
 }
 
-}  // namespace
-
-AdsSet BuildAdsLocalUpdates(const Graph& g, uint32_t k, SketchFlavor flavor,
-                            const RankAssignment& ranks, double epsilon,
-                            AdsBuildStats* stats) {
+AdsSet BuildAdsLocalUpdatesImpl(const Graph& g, uint32_t k,
+                                SketchFlavor flavor,
+                                const RankAssignment& ranks, double epsilon,
+                                ThreadPool* pool, AdsBuildStats* stats) {
   assert(k >= 1);
   assert(epsilon >= 0.0);
   Graph gt = g.Transpose();
@@ -172,12 +239,12 @@ AdsSet BuildAdsLocalUpdates(const Graph& g, uint32_t k, SketchFlavor flavor,
   switch (flavor) {
     case SketchFlavor::kBottomK:
       RunLocalUpdatesPass(gt, k, /*part=*/0, /*perm=*/0, ranks, nullptr,
-                          epsilon, out, stats);
+                          epsilon, pool, out, stats);
       break;
     case SketchFlavor::kKMins:
       for (uint32_t p = 0; p < k; ++p) {
         RunLocalUpdatesPass(gt, 1, /*part=*/p, /*perm=*/p, ranks, nullptr,
-                            epsilon, out, stats);
+                            epsilon, pool, out, stats);
       }
       break;
     case SketchFlavor::kKPartition: {
@@ -187,7 +254,7 @@ AdsSet BuildAdsLocalUpdates(const Graph& g, uint32_t k, SketchFlavor flavor,
           in_bucket[v] = BucketHash(ranks.seed(), v, k) == h;
         }
         RunLocalUpdatesPass(gt, 1, /*part=*/h, /*perm=*/0, ranks, &in_bucket,
-                            epsilon, out, stats);
+                            epsilon, pool, out, stats);
       }
       break;
     }
@@ -200,6 +267,28 @@ AdsSet BuildAdsLocalUpdates(const Graph& g, uint32_t k, SketchFlavor flavor,
   set.ads.reserve(n);
   for (NodeId v = 0; v < n; ++v) set.ads.emplace_back(std::move(out[v]));
   return set;
+}
+
+}  // namespace
+
+AdsSet BuildAdsLocalUpdates(const Graph& g, uint32_t k, SketchFlavor flavor,
+                            const RankAssignment& ranks, double epsilon,
+                            AdsBuildStats* stats) {
+  return BuildAdsLocalUpdatesImpl(g, k, flavor, ranks, epsilon,
+                                  /*pool=*/nullptr, stats);
+}
+
+AdsSet BuildAdsLocalUpdatesParallel(const Graph& g, uint32_t k,
+                                    SketchFlavor flavor,
+                                    const RankAssignment& ranks,
+                                    double epsilon, uint32_t num_threads,
+                                    AdsBuildStats* stats) {
+  ThreadPool pool(num_threads);
+  if (pool.num_threads() <= 1) {
+    return BuildAdsLocalUpdatesImpl(g, k, flavor, ranks, epsilon,
+                                    /*pool=*/nullptr, stats);
+  }
+  return BuildAdsLocalUpdatesImpl(g, k, flavor, ranks, epsilon, &pool, stats);
 }
 
 AdsSet BuildAdsReference(const Graph& g, uint32_t k, SketchFlavor flavor,

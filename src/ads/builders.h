@@ -81,6 +81,24 @@ AdsSet BuildAdsLocalUpdates(const Graph& g, uint32_t k, SketchFlavor flavor,
                             const RankAssignment& ranks, double epsilon = 0.0,
                             AdsBuildStats* stats = nullptr);
 
+/// BuildAdsLocalUpdates with round-level parallelism on the shared
+/// ThreadPool. Each synchronous round's (canonically sorted) message batch
+/// is partitioned into contiguous chunks aligned to target-node boundaries
+/// — the node-centric decomposition the algorithm's Pregel framing
+/// prescribes: processing target t's messages touches only ADS(t), so
+/// disjoint target chunks are independent, and preserving the in-chunk
+/// message order preserves the sequential tie-break decisions. Outboxes
+/// are concatenated in chunk order and re-sorted canonically next round.
+/// Output AND work counters are identical to the sequential builder for
+/// every thread count and epsilon. `num_threads` = 0 uses the hardware
+/// count.
+AdsSet BuildAdsLocalUpdatesParallel(const Graph& g, uint32_t k,
+                                    SketchFlavor flavor,
+                                    const RankAssignment& ranks,
+                                    double epsilon = 0.0,
+                                    uint32_t num_threads = 0,
+                                    AdsBuildStats* stats = nullptr);
+
 /// Brute-force reference: full shortest-path computation from every node,
 /// then the canonical inclusion rule. O(n m log n) — tests only.
 AdsSet BuildAdsReference(const Graph& g, uint32_t k, SketchFlavor flavor,

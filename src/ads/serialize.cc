@@ -10,6 +10,8 @@
 #include <sstream>
 #include <type_traits>
 
+#include "util/hash.h"
+
 namespace hipads {
 
 namespace {
@@ -48,23 +50,15 @@ static_assert(std::endian::native == std::endian::little,
               "the hipads-ads-v2 format is little-endian; big-endian hosts "
               "need byte swapping");
 
-uint64_t Fnv1a(const char* data, size_t size, uint64_t h) {
-  for (size_t i = 0; i < size; ++i) {
-    h ^= static_cast<uint8_t>(data[i]);
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-constexpr uint64_t kFnvOffsetBasis = 14695981039346656037ULL;
-
 // Checksum of a v2 file image: the header with its checksum field zeroed,
-// then the payload sections. Covering the header means any single corrupted
-// parameter byte (flavor, k, seed, ...) is caught even when it would still
-// parse as a structurally valid file.
+// then the payload sections (util/hash.h Fnv1a, shared with the wire
+// protocol's frame checksum). Covering the header means any single
+// corrupted parameter byte (flavor, k, seed, ...) is caught even when it
+// would still parse as a structurally valid file.
 uint64_t V2Checksum(V2Header h, const char* payload, size_t payload_size) {
   h.checksum = 0;
   uint64_t sum = Fnv1a(reinterpret_cast<const char*>(&h), sizeof(V2Header),
-                       kFnvOffsetBasis);
+                       kFnv1aOffsetBasis);
   return Fnv1a(payload, payload_size, sum);
 }
 

@@ -1,6 +1,7 @@
 #include "ads/sweep.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "util/parallel.h"
 
@@ -100,6 +101,18 @@ void SweepCollector::Reduce(NodeId /*first*/,
                             std::span<const HipEstimator> /*ests*/) {}
 bool SweepCollector::NeedsReduce() const { return true; }
 
+Status SweepCollector::EncodePartial(NodeId /*begin*/, NodeId /*end*/,
+                                     std::string* /*out*/) const {
+  return Status::InvalidArgument(
+      "collector does not support distributed partial state");
+}
+
+Status SweepCollector::AbsorbPartial(NodeId /*begin*/, NodeId /*end*/,
+                                     std::string_view /*data*/) {
+  return Status::InvalidArgument(
+      "collector does not support distributed partial state");
+}
+
 void PerNodeCollector::Begin(size_t num_nodes) {
   values_.assign(num_nodes, 0.0);
 }
@@ -109,6 +122,34 @@ void PerNodeCollector::Map(NodeId v, const HipEstimator& est) {
 }
 
 bool PerNodeCollector::NeedsReduce() const { return false; }
+
+Status PerNodeCollector::EncodePartial(NodeId begin, NodeId end,
+                                       std::string* out) const {
+  if (begin > end || end > values_.size()) {
+    return Status::InvalidArgument("partial range outside collected nodes");
+  }
+  out->clear();
+  if (begin < end) {
+    out->assign(reinterpret_cast<const char*>(values_.data() + begin),
+                (end - begin) * sizeof(double));
+  }
+  return Status::Ok();
+}
+
+Status PerNodeCollector::AbsorbPartial(NodeId begin, NodeId end,
+                                       std::string_view data) {
+  if (begin > end || end > values_.size()) {
+    return Status::InvalidArgument("partial range outside collected nodes");
+  }
+  size_t count = end - begin;
+  if (data.size() != count * sizeof(double)) {
+    return Status::Corruption("per-node partial size does not match range");
+  }
+  if (!data.empty()) {
+    std::memcpy(values_.data() + begin, data.data(), data.size());
+  }
+  return Status::Ok();
+}
 
 ClosenessCollector::ClosenessCollector(std::function<double(double)> alpha,
                                        std::function<double(NodeId)> beta)
@@ -136,6 +177,16 @@ ReachableCountCollector::ReachableCountCollector()
     : PerNodeCollector(
           [](const HipEstimator& est) { return est.ReachableCount(); }) {}
 
+DistanceQuantileCollector::DistanceQuantileCollector(double q)
+    : PerNodeCollector([q](const HipEstimator& est) {
+        return est.DistanceQuantile(q);
+      }) {}
+
+QgCollector::QgCollector(std::function<double(NodeId, double)> g)
+    : PerNodeCollector([g = std::move(g)](const HipEstimator& est) {
+        return est.Qg(g);
+      }) {}
+
 std::vector<NodeId> TopKNodes(const std::vector<double>& scores,
                               uint32_t count) {
   std::vector<NodeId> order(scores.size());
@@ -156,6 +207,12 @@ std::vector<NodeId> TopKCollector::TopNodes() const {
 
 void DistanceHistogramCollector::Begin(size_t /*num_nodes*/) {
   hist_.clear();
+  stream_.clear();
+}
+
+void DistanceHistogramCollector::Fold(double dist, double weight) {
+  hist_[dist] += weight;
+  if (capture_) stream_.emplace_back(dist, weight);
 }
 
 void DistanceHistogramCollector::Reduce(NodeId /*first*/,
@@ -166,9 +223,47 @@ void DistanceHistogramCollector::Reduce(NodeId /*first*/,
   // sweep performs — bitwise identical results.
   for (const HipEstimator& est : ests) {
     for (const HipEntry& e : est.entries()) {
-      if (e.dist > 0.0) hist_[e.dist] += e.weight;
+      if (e.dist > 0.0) Fold(e.dist, e.weight);
     }
   }
+}
+
+Status DistanceHistogramCollector::EncodePartial(NodeId /*begin*/,
+                                                 NodeId /*end*/,
+                                                 std::string* out) const {
+  if (!capture_) {
+    return Status::InvalidArgument(
+        "distance histogram partials require EnableCapture before the sweep");
+  }
+  out->clear();
+  out->reserve(stream_.size() * 2 * sizeof(double));
+  for (const auto& [dist, weight] : stream_) {
+    out->append(reinterpret_cast<const char*>(&dist), sizeof(double));
+    out->append(reinterpret_cast<const char*>(&weight), sizeof(double));
+  }
+  return Status::Ok();
+}
+
+Status DistanceHistogramCollector::AbsorbPartial(NodeId /*begin*/,
+                                                 NodeId /*end*/,
+                                                 std::string_view data) {
+  if (data.size() % (2 * sizeof(double)) != 0) {
+    return Status::Corruption("histogram partial is not (dist, weight) pairs");
+  }
+  // Replays the range's additions in their recorded order; across ranges
+  // absorbed in node order this reproduces the single-process fold bit for
+  // bit. Folding through Fold() keeps the stream capture alive, so a
+  // gathering router can re-encode its merged state for its own clients.
+  for (size_t pos = 0; pos < data.size(); pos += 2 * sizeof(double)) {
+    double dist, weight;
+    std::memcpy(&dist, data.data() + pos, sizeof(double));
+    std::memcpy(&weight, data.data() + pos + sizeof(double), sizeof(double));
+    if (!(dist > 0.0) || !(weight >= 0.0)) {
+      return Status::Corruption("histogram partial entry out of domain");
+    }
+    Fold(dist, weight);
+  }
+  return Status::Ok();
 }
 
 std::map<double, double> DistanceHistogramCollector::NeighborhoodFunction()

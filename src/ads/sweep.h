@@ -44,6 +44,8 @@
 #include <map>
 #include <memory>
 #include <span>
+#include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -91,6 +93,35 @@ class SweepCollector {
   /// Reduce phase. Defaults to true (safe for any subclass that
   /// overrides Reduce); Map-only collectors override it to false.
   virtual bool NeedsReduce() const;
+
+  // --- Partial-state seam for distributed scatter/gather (src/serve/) ---
+  //
+  // A range server runs a sweep over its contiguous node range and ships
+  // EncodePartial's bytes; the gathering router calls AbsorbPartial once
+  // per range, in node order, on collectors that have absorbed every
+  // earlier range. The contract is replay, not summary: absorbing the
+  // partials of ranges [0,r1), [r1,r2), ... in order must leave the
+  // collector in exactly (bitwise) the state a single-process sweep over
+  // [0, rk) produces. Per-node collectors satisfy it trivially (values are
+  // independent); order-sensitive folds must encode enough to replay their
+  // sequence of floating-point accumulations (see
+  // DistanceHistogramCollector).
+
+  /// Serializes this collector's state for the node slice [begin, end) of
+  /// its own index space — (0, n) on a range server whose collectors are
+  /// locally indexed; (B, N) on a gathering router whose collectors are
+  /// globally indexed but only cover [B, N). The default fails: collectors
+  /// without a partial encoding cannot be distributed.
+  virtual Status EncodePartial(NodeId begin, NodeId end,
+                               std::string* out) const;
+
+  /// Merges the partial state of global node range [begin, end) into this
+  /// collector. Called in node order across ranges; `begin`/`end` are the
+  /// gather-side global ids of the range the bytes were produced on.
+  /// Malformed bytes must fail cleanly (never crash) — partials arrive
+  /// from the network.
+  virtual Status AbsorbPartial(NodeId begin, NodeId end,
+                               std::string_view data);
 };
 
 /// Collector for any statistic of the form result[v] = fn(estimator of v):
@@ -105,6 +136,15 @@ class PerNodeCollector : public SweepCollector {
   void Begin(size_t num_nodes) override;
   void Map(NodeId v, const HipEstimator& est) override;
   bool NeedsReduce() const override;  // false: everything happens in Map
+
+  /// Partial state: the raw little-endian doubles of values_[begin, end)
+  /// in node order. Absorb copies them back into values_[begin, end) —
+  /// per-node values are independent, so the distributed gather is bitwise
+  /// trivially.
+  Status EncodePartial(NodeId begin, NodeId end,
+                       std::string* out) const override;
+  Status AbsorbPartial(NodeId begin, NodeId end,
+                       std::string_view data) override;
 
   const std::vector<double>& values() const { return values_; }
   std::vector<double> TakeValues() { return std::move(values_); }
@@ -145,6 +185,24 @@ class ReachableCountCollector : public PerNodeCollector {
   ReachableCountCollector();
 };
 
+/// Per-node q-quantiles of the distance distribution: for each node the
+/// smallest sketched distance within which an estimated q-fraction of its
+/// reachable nodes lies (HipEstimator::DistanceQuantile; q = 0.5 is the
+/// median distance). Requires 0 < q <= 1.
+class DistanceQuantileCollector : public PerNodeCollector {
+ public:
+  explicit DistanceQuantileCollector(double q);
+};
+
+/// HIP estimates of an arbitrary Q_g statistic (Eq. 1/5) for every node:
+/// values[v] ~ sum_{j reachable from v} g(j, d_vj). The paper's general
+/// distance-decaying workload; harmonic centrality, neighborhood sizes and
+/// distance sums are all special cases of g.
+class QgCollector : public PerNodeCollector {
+ public:
+  explicit QgCollector(std::function<double(NodeId, double)> g);
+};
+
 /// Node ids of the `count` largest values in `scores`, descending; ties
 /// broken by smaller node id. The selection utility behind TopKCollector
 /// (and usable on any standalone score vector).
@@ -176,6 +234,22 @@ class DistanceHistogramCollector : public SweepCollector {
   void Begin(size_t num_nodes) override;
   void Reduce(NodeId first, std::span<const HipEstimator> ests) override;
 
+  /// Partial state for the distributed gather. The histogram fold is
+  /// order-sensitive (hist[d] += w is a left fold of doubles in node
+  /// order), so a summed per-range histogram could NOT be merged bitwise —
+  /// (s0 + w1) + w2 differs from s0 + (w1 + w2) in floating point. The
+  /// partial is therefore the replay stream itself: the ordered (dist,
+  /// weight) pairs this range folded, and AbsorbPartial replays them
+  /// addition by addition. Capture must be enabled before the sweep (range
+  /// servers do; single-process sweeps skip the stream's memory).
+  /// Bandwidth note: the stream is O(HIP entries in the range) — the
+  /// honest cost of distributing an order-sensitive reduction.
+  void EnableCapture() { capture_ = true; }
+  Status EncodePartial(NodeId begin, NodeId end,
+                       std::string* out) const override;  // range-free stream
+  Status AbsorbPartial(NodeId begin, NodeId end,
+                       std::string_view data) override;
+
   /// Estimated number of ordered pairs at each exact distance.
   const std::map<double, double>& Distribution() const { return hist_; }
   std::map<double, double> TakeDistribution() { return std::move(hist_); }
@@ -191,7 +265,11 @@ class DistanceHistogramCollector : public SweepCollector {
   double MeanDistance() const;
 
  private:
+  void Fold(double dist, double weight);
+
   std::map<double, double> hist_;
+  bool capture_ = false;
+  std::vector<std::pair<double, double>> stream_;  // capture_ only
 };
 
 /// An ordered list of collectors to fuse into one sweep. The plan does not

@@ -1,0 +1,151 @@
+#include "serve/client.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include <errno.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace hipads {
+
+Channel::~Channel() = default;
+
+Status LoopbackChannel::Call(std::string_view request_frame,
+                             Frame* response) {
+  bool close_connection = false;
+  std::string response_frame =
+      handler_->HandleFrame(request_frame, &close_connection);
+  auto decoded = DecodeFrame(response_frame);
+  if (!decoded.ok()) return decoded.status();
+  *response = std::move(decoded).value();
+  return Status::Ok();
+}
+
+TcpChannel::~TcpChannel() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status ParseHostPort(const std::string& address, std::string* host,
+                     uint16_t* port) {
+  size_t colon = address.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == address.size()) {
+    return Status::InvalidArgument("address '" + address +
+                                   "' is not host:port");
+  }
+  const char* begin = address.c_str() + colon + 1;
+  char* end = nullptr;
+  unsigned long value = std::strtoul(begin, &end, 10);
+  if (end == begin || *end != '\0' || value == 0 || value > 65535) {
+    return Status::InvalidArgument("bad port in address '" + address + "'");
+  }
+  *host = address.substr(0, colon);
+  *port = static_cast<uint16_t>(value);
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<TcpChannel>> TcpChannel::ConnectAddress(
+    const std::string& address) {
+  std::string host;
+  uint16_t port = 0;
+  Status s = ParseHostPort(address, &host, &port);
+  if (!s.ok()) return s;
+  return Connect(host, port);
+}
+
+StatusOr<std::unique_ptr<TcpChannel>> TcpChannel::Connect(
+    const std::string& host, uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  std::string port_str = std::to_string(port);
+  int rc = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &result);
+  if (rc != 0) {
+    return Status::IOError("cannot resolve " + host + ": " +
+                           gai_strerror(rc));
+  }
+  Status last = Status::IOError("no addresses for " + host);
+  for (addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Status::IOError("socket failed: " +
+                             std::string(std::strerror(errno)));
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      ::freeaddrinfo(result);
+      return std::unique_ptr<TcpChannel>(new TcpChannel(fd));
+    }
+    last = Status::IOError("cannot connect to " + host + ":" + port_str +
+                           ": " + std::strerror(errno));
+    ::close(fd);
+  }
+  ::freeaddrinfo(result);
+  return last;
+}
+
+Status TcpChannel::Call(std::string_view request_frame, Frame* response) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status s = WriteAllBytes(fd_, request_frame.data(), request_frame.size());
+  if (!s.ok()) return s;
+  auto frame = ReadFrame(fd_);
+  if (!frame.ok()) return frame.status();
+  *response = std::move(frame).value();
+  return Status::Ok();
+}
+
+StatusOr<Frame> AdsClient::Call(MessageType type, std::string payload,
+                                MessageType expected_response) {
+  Frame frame;
+  Status s = channel_->Call(EncodeFrame(type, payload), &frame);
+  if (!s.ok()) return s;
+  if (frame.type == MessageType::kError) {
+    return DecodeError(frame.payload);
+  }
+  if (frame.type != expected_response) {
+    return Status::Corruption("unexpected response frame type");
+  }
+  return frame;
+}
+
+StatusOr<ServerInfoMsg> AdsClient::Info() {
+  auto frame = Call(MessageType::kInfoRequest, "", MessageType::kInfoResponse);
+  if (!frame.ok()) return frame.status();
+  return DecodeServerInfo(frame.value().payload);
+}
+
+StatusOr<PointResponseMsg> AdsClient::Point(const PointRequestMsg& request) {
+  auto frame = Call(MessageType::kPointRequest, EncodePointRequest(request),
+                    MessageType::kPointResponse);
+  if (!frame.ok()) return frame.status();
+  return DecodePointResponse(frame.value().payload);
+}
+
+StatusOr<SweepResponseMsg> AdsClient::Sweep(const SweepRequestMsg& request) {
+  auto frame = Call(MessageType::kSweepRequest, EncodeSweepRequest(request),
+                    MessageType::kSweepResponse);
+  if (!frame.ok()) return frame.status();
+  return DecodeSweepResponse(frame.value().payload);
+}
+
+Status ExecuteRemoteSweep(Channel& channel, const SweepRequestMsg& request,
+                          uint64_t total_nodes,
+                          const std::vector<SweepCollector*>& collectors) {
+  AdsClient client(&channel);
+  auto response = client.Sweep(request);
+  if (!response.ok()) return response.status();
+  if (response.value().begin != 0 || response.value().end != total_nodes) {
+    return Status::InvalidArgument(
+        "endpoint serves nodes [" + std::to_string(response.value().begin) +
+        ", " + std::to_string(response.value().end) +
+        "), not the full set — run sweeps through a fleet router");
+  }
+  for (SweepCollector* c : collectors) c->Begin(total_nodes);
+  return AbsorbSweepResponse(response.value(), collectors);
+}
+
+}  // namespace hipads

@@ -1,0 +1,115 @@
+// Client side of the hipads wire protocol.
+//
+//   Channel          one request frame -> one response frame. Two
+//                    transports: TcpChannel (a real socket) and
+//                    LoopbackChannel (direct in-process dispatch into a
+//                    FrameHandler — the deterministic transport the router
+//                    tests and benchmarks run the full scatter/gather path
+//                    on, no sockets involved).
+//   AdsClient        typed calls over a Channel (info / point / sweep),
+//                    decoding kError frames back into Status.
+//   ExecuteRemoteSweep  runs a sweep spec on a remote endpoint covering the
+//                    whole node space and absorbs the result into local
+//                    collectors built from the same spec — the CLI's
+//                    `query`/`stats --remote` engine.
+
+#ifndef HIPADS_SERVE_CLIENT_H_
+#define HIPADS_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "util/status.h"
+
+namespace hipads {
+
+/// A connection to one serving process: sends a request frame, returns the
+/// decoded (and checksum-verified) response frame — decoding happens once,
+/// in the transport, so big sweep partials are never re-copied or
+/// re-hashed on the client side. Call is safe from multiple threads
+/// (requests are serialized per channel, keeping request/response pairing
+/// intact).
+class Channel {
+ public:
+  virtual ~Channel();
+  virtual Status Call(std::string_view request_frame, Frame* response) = 0;
+};
+
+/// In-process transport: dispatches straight into a FrameHandler (an
+/// AdsServerCore or RouterCore). Bit-for-bit the same protocol path as
+/// TCP — frames are fully encoded, checksummed and re-decoded — minus the
+/// socket, so ctest/tsan runs of the whole distributed pipeline are
+/// deterministic.
+class LoopbackChannel : public Channel {
+ public:
+  explicit LoopbackChannel(FrameHandler* handler) : handler_(handler) {}
+
+  Status Call(std::string_view request_frame, Frame* response) override;
+
+ private:
+  FrameHandler* handler_;
+};
+
+/// TCP transport. Connect resolves "host:port" style addresses (numeric or
+/// named hosts).
+class TcpChannel : public Channel {
+ public:
+  ~TcpChannel() override;
+  TcpChannel(const TcpChannel&) = delete;
+  TcpChannel& operator=(const TcpChannel&) = delete;
+
+  static StatusOr<std::unique_ptr<TcpChannel>> Connect(
+      const std::string& host, uint16_t port);
+  /// Connects to an "host:port" address string.
+  static StatusOr<std::unique_ptr<TcpChannel>> ConnectAddress(
+      const std::string& address);
+
+  Status Call(std::string_view request_frame, Frame* response) override;
+
+ private:
+  explicit TcpChannel(int fd) : fd_(fd) {}
+
+  int fd_;
+  std::mutex mu_;  // serializes write+read pairs on the shared socket
+};
+
+/// Splits "host:port"; fails on missing / non-numeric / out-of-range port.
+Status ParseHostPort(const std::string& address, std::string* host,
+                     uint16_t* port);
+
+/// Typed request helpers over a borrowed Channel. An error frame from the
+/// peer comes back as its decoded Status.
+class AdsClient {
+ public:
+  explicit AdsClient(Channel* channel) : channel_(channel) {}
+
+  StatusOr<ServerInfoMsg> Info();
+  StatusOr<PointResponseMsg> Point(const PointRequestMsg& request);
+  StatusOr<SweepResponseMsg> Sweep(const SweepRequestMsg& request);
+
+ private:
+  StatusOr<Frame> Call(MessageType type, std::string payload,
+                       MessageType expected_response);
+
+  Channel* channel_;
+};
+
+/// Executes `request` on the endpoint behind `channel` — which must serve
+/// the full node range [0, total_nodes): a whole-set server or a fleet
+/// router — and absorbs the returned partials into `collectors`, which the
+/// caller built from the same spec (BuildPlanFromSpec) and whose Begin
+/// this function calls. On any failure the collectors are left partially
+/// filled and must be discarded, never read.
+Status ExecuteRemoteSweep(Channel& channel, const SweepRequestMsg& request,
+                          uint64_t total_nodes,
+                          const std::vector<SweepCollector*>& collectors);
+
+}  // namespace hipads
+
+#endif  // HIPADS_SERVE_CLIENT_H_

@@ -1,0 +1,597 @@
+#include "serve/protocol.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <type_traits>
+
+#include <errno.h>
+#include <unistd.h>
+
+#include "util/hash.h"
+
+namespace hipads {
+
+namespace {
+
+// Frame header layout on the wire (little-endian, like hipads-ads-v2).
+struct RawFrameHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t type;
+  uint64_t payload_bytes;
+  uint64_t checksum;  // FNV-1a over the header (this field zeroed) + payload
+};
+static_assert(sizeof(RawFrameHeader) == kFrameHeaderBytes,
+              "wire frame header layout drifted");
+static_assert(std::is_trivially_copyable_v<RawFrameHeader>);
+static_assert(std::endian::native == std::endian::little,
+              "the hipads wire format is little-endian; big-endian hosts "
+              "need byte swapping");
+
+uint64_t FrameChecksum(RawFrameHeader h, std::string_view payload) {
+  h.checksum = 0;
+  uint64_t sum = Fnv1a(reinterpret_cast<const char*>(&h), sizeof(h),
+                       kFnv1aOffsetBasis);
+  return Fnv1a(payload.data(), payload.size(), sum);
+}
+
+bool KnownMessageType(uint32_t type) {
+  return type <= static_cast<uint32_t>(MessageType::kSweepResponse);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Frames
+// ---------------------------------------------------------------------------
+
+std::string EncodeFrame(MessageType type, std::string_view payload) {
+  RawFrameHeader h;
+  std::memcpy(h.magic, kWireMagic, sizeof(h.magic));
+  h.version = kWireVersion;
+  h.type = static_cast<uint32_t>(type);
+  h.payload_bytes = payload.size();
+  h.checksum = FrameChecksum(h, payload);
+  std::string frame;
+  frame.reserve(sizeof(h) + payload.size());
+  frame.append(reinterpret_cast<const char*>(&h), sizeof(h));
+  frame.append(payload.data(), payload.size());
+  return frame;
+}
+
+Status DecodeFrameHeader(const char* data, size_t size, FrameHeader* out) {
+  if (size < kFrameHeaderBytes) {
+    return Status::Corruption("truncated frame header");
+  }
+  RawFrameHeader h;
+  std::memcpy(&h, data, sizeof(h));
+  if (std::memcmp(h.magic, kWireMagic, sizeof(h.magic)) != 0) {
+    return Status::Corruption("missing hipads wire magic");
+  }
+  if (h.version != kWireVersion) {
+    return Status::Corruption("unsupported wire version " +
+                              std::to_string(h.version));
+  }
+  if (!KnownMessageType(h.type)) {
+    return Status::Corruption("unknown message type " +
+                              std::to_string(h.type));
+  }
+  if (h.payload_bytes > kMaxFramePayload) {
+    return Status::Corruption("frame payload length " +
+                              std::to_string(h.payload_bytes) +
+                              " exceeds the protocol bound");
+  }
+  out->type = static_cast<MessageType>(h.type);
+  out->payload_bytes = h.payload_bytes;
+  out->checksum = h.checksum;
+  std::memcpy(out->raw, data, kFrameHeaderBytes);
+  return Status::Ok();
+}
+
+Status VerifyFramePayload(const FrameHeader& header,
+                          std::string_view payload) {
+  if (payload.size() != header.payload_bytes) {
+    return Status::Corruption("frame payload size mismatch");
+  }
+  RawFrameHeader h;
+  std::memcpy(&h, header.raw, sizeof(h));
+  if (FrameChecksum(h, payload) != header.checksum) {
+    return Status::Corruption("frame checksum mismatch");
+  }
+  return Status::Ok();
+}
+
+StatusOr<Frame> DecodeFrame(std::string_view data) {
+  FrameHeader header;
+  Status s = DecodeFrameHeader(data.data(), data.size(), &header);
+  if (!s.ok()) return s;
+  if (data.size() != kFrameHeaderBytes + header.payload_bytes) {
+    return Status::Corruption("frame length does not match its header");
+  }
+  std::string_view payload = data.substr(kFrameHeaderBytes);
+  s = VerifyFramePayload(header, payload);
+  if (!s.ok()) return s;
+  Frame frame;
+  frame.type = header.type;
+  frame.payload.assign(payload.data(), payload.size());
+  return frame;
+}
+
+namespace {
+
+Status ReadExact(int fd, char* buf, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t got = ::read(fd, buf + done, n - done);
+    if (got == 0) {
+      return Status::IOError("connection closed mid-frame");
+    }
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("read failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    done += static_cast<size_t>(got);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WriteAllBytes(int fd, const char* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    ssize_t put = ::write(fd, data + done, size - done);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("write failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    done += static_cast<size_t>(put);
+  }
+  return Status::Ok();
+}
+
+Status WriteFrame(int fd, MessageType type, std::string_view payload) {
+  std::string frame = EncodeFrame(type, payload);
+  return WriteAllBytes(fd, frame.data(), frame.size());
+}
+
+StatusOr<Frame> ReadFrame(int fd) {
+  char raw[kFrameHeaderBytes];
+  Status s = ReadExact(fd, raw, sizeof(raw));
+  if (!s.ok()) return s;
+  FrameHeader header;
+  s = DecodeFrameHeader(raw, sizeof(raw), &header);
+  if (!s.ok()) return s;
+  std::string payload(header.payload_bytes, '\0');
+  if (!payload.empty()) {
+    s = ReadExact(fd, payload.data(), payload.size());
+    if (!s.ok()) return s;
+  }
+  s = VerifyFramePayload(header, payload);
+  if (!s.ok()) return s;
+  Frame frame;
+  frame.type = header.type;
+  frame.payload = std::move(payload);
+  return frame;
+}
+
+// ---------------------------------------------------------------------------
+// Payload readers/writers
+// ---------------------------------------------------------------------------
+
+void WireWriter::U32(uint32_t v) {
+  out_.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WireWriter::U64(uint64_t v) {
+  out_.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WireWriter::F64(double v) {
+  out_.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WireWriter::Bytes(std::string_view data) {
+  U64(data.size());
+  if (!data.empty()) out_.append(data.data(), data.size());
+}
+
+Status WireReader::Raw(void* out, size_t n) {
+  if (data_.size() - pos_ < n) {
+    return Status::Corruption("truncated message payload");
+  }
+  std::memcpy(out, data_.data() + pos_, n);
+  pos_ += n;
+  return Status::Ok();
+}
+
+Status WireReader::U32(uint32_t* v) { return Raw(v, sizeof(*v)); }
+Status WireReader::U64(uint64_t* v) { return Raw(v, sizeof(*v)); }
+Status WireReader::F64(double* v) { return Raw(v, sizeof(*v)); }
+
+Status WireReader::Bytes(std::string* out) {
+  uint64_t len = 0;
+  Status s = U64(&len);
+  if (!s.ok()) return s;
+  if (len > data_.size() - pos_) {
+    return Status::Corruption("byte string length exceeds payload");
+  }
+  out->assign(data_.data() + pos_, len);
+  pos_ += len;
+  return Status::Ok();
+}
+
+Status WireReader::ExpectDone() const {
+  return Done() ? Status::Ok()
+                : Status::Corruption("trailing bytes after message payload");
+}
+
+// ---------------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------------
+
+std::string EncodeServerInfo(const ServerInfoMsg& msg) {
+  WireWriter w;
+  w.U64(msg.node_begin);
+  w.U64(msg.node_end);
+  w.U64(msg.total_entries);
+  w.U32(msg.k);
+  w.U32(msg.flavor);
+  w.F64(msg.rank_sup);
+  return w.Take();
+}
+
+StatusOr<ServerInfoMsg> DecodeServerInfo(std::string_view payload) {
+  ServerInfoMsg msg;
+  WireReader r(payload);
+  Status s;
+  if (!(s = r.U64(&msg.node_begin)).ok()) return s;
+  if (!(s = r.U64(&msg.node_end)).ok()) return s;
+  if (!(s = r.U64(&msg.total_entries)).ok()) return s;
+  if (!(s = r.U32(&msg.k)).ok()) return s;
+  if (!(s = r.U32(&msg.flavor)).ok()) return s;
+  if (!(s = r.F64(&msg.rank_sup)).ok()) return s;
+  if (!(s = r.ExpectDone()).ok()) return s;
+  if (msg.node_begin > msg.node_end) {
+    return Status::Corruption("server info range inverted");
+  }
+  // Bound the range to the NodeId space: consumers size per-node buffers
+  // from node_end (ExecuteRemoteSweep calls Begin with it), so an
+  // unchecked 2^63 here would be an allocation bomb, not a fleet.
+  if (msg.node_end > std::numeric_limits<NodeId>::max()) {
+    return Status::Corruption("server info range exceeds the node space");
+  }
+  if (msg.flavor > static_cast<uint32_t>(SketchFlavor::kKPartition)) {
+    return Status::Corruption("server info names an unknown sketch flavor");
+  }
+  return msg;
+}
+
+std::string EncodePointRequest(const PointRequestMsg& msg) {
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(msg.kind));
+  w.U64(msg.node);
+  w.U64(msg.other);
+  w.F64(msg.d);
+  w.U64(msg.targets.size());
+  for (uint64_t t : msg.targets) w.U64(t);
+  return w.Take();
+}
+
+StatusOr<PointRequestMsg> DecodePointRequest(std::string_view payload) {
+  PointRequestMsg msg;
+  WireReader r(payload);
+  Status s;
+  uint32_t kind = 0;
+  if (!(s = r.U32(&kind)).ok()) return s;
+  if (kind < static_cast<uint32_t>(PointKind::kNodeStats) ||
+      kind > static_cast<uint32_t>(PointKind::kFetchSketch)) {
+    return Status::Corruption("unknown point request kind");
+  }
+  msg.kind = static_cast<PointKind>(kind);
+  if (!(s = r.U64(&msg.node)).ok()) return s;
+  if (!(s = r.U64(&msg.other)).ok()) return s;
+  if (!(s = r.F64(&msg.d)).ok()) return s;
+  if (std::isnan(msg.d)) {
+    return Status::Corruption("point request distance is NaN");
+  }
+  uint64_t count = 0;
+  if (!(s = r.U64(&count)).ok()) return s;
+  if (count > payload.size() / sizeof(uint64_t)) {
+    return Status::Corruption("point request target count exceeds payload");
+  }
+  msg.targets.resize(count);
+  for (uint64_t& t : msg.targets) {
+    if (!(s = r.U64(&t)).ok()) return s;
+  }
+  if (!(s = r.ExpectDone()).ok()) return s;
+  return msg;
+}
+
+std::string EncodePointResponse(const PointResponseMsg& msg) {
+  WireWriter w;
+  w.U64(msg.values.size());
+  for (double v : msg.values) w.F64(v);
+  w.Bytes(msg.entries.empty()
+              ? std::string_view()
+              : std::string_view(
+                    reinterpret_cast<const char*>(msg.entries.data()),
+                    msg.entries.size() * sizeof(AdsEntry)));
+  return w.Take();
+}
+
+StatusOr<PointResponseMsg> DecodePointResponse(std::string_view payload) {
+  PointResponseMsg msg;
+  WireReader r(payload);
+  Status s;
+  uint64_t count = 0;
+  if (!(s = r.U64(&count)).ok()) return s;
+  if (count > payload.size() / sizeof(double)) {
+    return Status::Corruption("point response value count exceeds payload");
+  }
+  msg.values.resize(count);
+  for (double& v : msg.values) {
+    if (!(s = r.F64(&v)).ok()) return s;
+  }
+  std::string entries;
+  if (!(s = r.Bytes(&entries)).ok()) return s;
+  if (!(s = r.ExpectDone()).ok()) return s;
+  if (entries.size() % sizeof(AdsEntry) != 0) {
+    return Status::Corruption("sketch bytes are not whole AdsEntry records");
+  }
+  msg.entries.resize(entries.size() / sizeof(AdsEntry));
+  if (!entries.empty()) {
+    std::memcpy(msg.entries.data(), entries.data(), entries.size());
+  }
+  return msg;
+}
+
+std::string EncodeSweepRequest(const SweepRequestMsg& msg) {
+  WireWriter w;
+  w.U32(msg.num_threads);
+  w.U64(msg.collectors.size());
+  for (const CollectorSpec& c : msg.collectors) {
+    w.U32(static_cast<uint32_t>(c.kind));
+    w.U32(c.aux);
+    w.U32(c.count);
+    w.F64(c.param);
+  }
+  return w.Take();
+}
+
+StatusOr<SweepRequestMsg> DecodeSweepRequest(std::string_view payload) {
+  SweepRequestMsg msg;
+  WireReader r(payload);
+  Status s;
+  if (!(s = r.U32(&msg.num_threads)).ok()) return s;
+  uint64_t count = 0;
+  if (!(s = r.U64(&count)).ok()) return s;
+  if (count > payload.size() / 20) {  // 3 u32 + 1 f64 per spec
+    return Status::Corruption("collector count exceeds payload");
+  }
+  msg.collectors.resize(count);
+  for (CollectorSpec& c : msg.collectors) {
+    uint32_t kind = 0;
+    if (!(s = r.U32(&kind)).ok()) return s;
+    if (kind < static_cast<uint32_t>(CollectorKind::kDistanceHistogram) ||
+        kind > static_cast<uint32_t>(CollectorKind::kQg)) {
+      return Status::Corruption("unknown collector kind");
+    }
+    c.kind = static_cast<CollectorKind>(kind);
+    if (!(s = r.U32(&c.aux)).ok()) return s;
+    if (!(s = r.U32(&c.count)).ok()) return s;
+    if (!(s = r.F64(&c.param)).ok()) return s;
+  }
+  if (!(s = r.ExpectDone()).ok()) return s;
+  return msg;
+}
+
+std::string EncodeSweepResponse(const SweepResponseMsg& msg) {
+  WireWriter w;
+  w.U64(msg.begin);
+  w.U64(msg.end);
+  w.U64(msg.partials.size());
+  for (const std::string& p : msg.partials) w.Bytes(p);
+  return w.Take();
+}
+
+StatusOr<SweepResponseMsg> DecodeSweepResponse(std::string_view payload) {
+  SweepResponseMsg msg;
+  WireReader r(payload);
+  Status s;
+  if (!(s = r.U64(&msg.begin)).ok()) return s;
+  if (!(s = r.U64(&msg.end)).ok()) return s;
+  if (msg.begin > msg.end) {
+    return Status::Corruption("sweep response range inverted");
+  }
+  uint64_t count = 0;
+  if (!(s = r.U64(&count)).ok()) return s;
+  if (count > payload.size() / sizeof(uint64_t)) {
+    return Status::Corruption("partial count exceeds payload");
+  }
+  msg.partials.resize(count);
+  for (std::string& p : msg.partials) {
+    if (!(s = r.Bytes(&p)).ok()) return s;
+  }
+  if (!(s = r.ExpectDone()).ok()) return s;
+  return msg;
+}
+
+std::string EncodeError(const Status& status) {
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(status.code()));
+  w.Bytes(status.message());
+  return w.Take();
+}
+
+Status DecodeError(std::string_view payload) {
+  WireReader r(payload);
+  uint32_t code = 0;
+  std::string message;
+  Status s;
+  if (!(s = r.U32(&code)).ok()) return s;
+  if (!(s = r.Bytes(&message)).ok()) return s;
+  if (!(s = r.ExpectDone()).ok()) return s;
+  switch (static_cast<Status::Code>(code)) {
+    case Status::Code::kOk:
+      // An error frame must carry an error; treat Ok as tampering.
+      return Status::Corruption("error frame with Ok status");
+    case Status::Code::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case Status::Code::kNotFound:
+      return Status::NotFound(std::move(message));
+    case Status::Code::kIOError:
+      return Status::IOError(std::move(message));
+    case Status::Code::kCorruption:
+      return Status::Corruption(std::move(message));
+  }
+  return Status::Corruption("error frame with unknown status code");
+}
+
+// ---------------------------------------------------------------------------
+// Spec materialization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::function<double(const HipEstimator&)> ScoreFn(ScoreKind kind) {
+  switch (kind) {
+    case ScoreKind::kHarmonic:
+      return [](const HipEstimator& est) { return est.HarmonicCentrality(); };
+    case ScoreKind::kDistanceSum:
+      return [](const HipEstimator& est) { return est.DistanceSum(); };
+    case ScoreKind::kReachable:
+      return [](const HipEstimator& est) { return est.ReachableCount(); };
+  }
+  return nullptr;
+}
+
+std::function<double(NodeId, double)> QgFn(QgKind kind, double param) {
+  switch (kind) {
+    case QgKind::kExpDecay:
+      return [param](NodeId, double d) { return std::pow(param, d); };
+    case QgKind::kInverseSquare:
+      return [](NodeId, double d) { return 1.0 / ((1.0 + d) * (1.0 + d)); };
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+StatusOr<std::vector<SweepCollector*>> BuildPlanFromSpec(
+    const std::vector<CollectorSpec>& spec, SweepPlan* plan,
+    bool capture_partials) {
+  std::vector<SweepCollector*> built;
+  built.reserve(spec.size());
+  for (const CollectorSpec& c : spec) {
+    switch (c.kind) {
+      case CollectorKind::kDistanceHistogram: {
+        auto* hist = plan->Emplace<DistanceHistogramCollector>();
+        if (capture_partials) hist->EnableCapture();
+        built.push_back(hist);
+        break;
+      }
+      case CollectorKind::kDistanceSum:
+        built.push_back(plan->Emplace<DistanceSumCollector>());
+        break;
+      case CollectorKind::kHarmonic:
+        built.push_back(plan->Emplace<HarmonicCentralityCollector>());
+        break;
+      case CollectorKind::kNeighborhoodSize:
+        if (!(c.param >= 0.0)) {
+          return Status::InvalidArgument(
+              "neighborhood-size collector needs a distance >= 0");
+        }
+        built.push_back(plan->Emplace<NeighborhoodSizeCollector>(c.param));
+        break;
+      case CollectorKind::kReachableCount:
+        built.push_back(plan->Emplace<ReachableCountCollector>());
+        break;
+      case CollectorKind::kTopK: {
+        auto fn = ScoreFn(static_cast<ScoreKind>(c.aux));
+        if (fn == nullptr) {
+          return Status::InvalidArgument("top-k spec names an unknown score");
+        }
+        built.push_back(plan->Emplace<TopKCollector>(c.count, std::move(fn)));
+        break;
+      }
+      case CollectorKind::kDistanceQuantile:
+        if (!(c.param > 0.0 && c.param <= 1.0)) {
+          return Status::InvalidArgument(
+              "distance-quantile collector needs 0 < q <= 1");
+        }
+        built.push_back(plan->Emplace<DistanceQuantileCollector>(c.param));
+        break;
+      case CollectorKind::kQg: {
+        if (!std::isfinite(c.param)) {
+          return Status::InvalidArgument("Qg parameter must be finite");
+        }
+        auto g = QgFn(static_cast<QgKind>(c.aux), c.param);
+        if (g == nullptr) {
+          return Status::InvalidArgument(
+              "Qg spec names an unknown g function");
+        }
+        built.push_back(plan->Emplace<QgCollector>(std::move(g)));
+        break;
+      }
+    }
+  }
+  return built;
+}
+
+Status AbsorbSweepResponse(const SweepResponseMsg& response,
+                           const std::vector<SweepCollector*>& collectors) {
+  if (response.partials.size() != collectors.size()) {
+    return Status::Corruption(
+        "sweep response partial count does not match the plan");
+  }
+  if (response.end > std::numeric_limits<NodeId>::max()) {
+    return Status::Corruption("sweep response range exceeds the node space");
+  }
+  for (size_t i = 0; i < collectors.size(); ++i) {
+    Status s = collectors[i]->AbsorbPartial(
+        static_cast<NodeId>(response.begin),
+        static_cast<NodeId>(response.end), response.partials[i]);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+bool ParseScoreKind(const std::string& name, ScoreKind* out) {
+  if (name == "harmonic") {
+    *out = ScoreKind::kHarmonic;
+  } else if (name == "distsum") {
+    *out = ScoreKind::kDistanceSum;
+  } else if (name == "reach") {
+    *out = ScoreKind::kReachable;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* ScoreKindName(ScoreKind kind) {
+  switch (kind) {
+    case ScoreKind::kHarmonic:
+      return "harmonic";
+    case ScoreKind::kDistanceSum:
+      return "distsum";
+    case ScoreKind::kReachable:
+      return "reach";
+  }
+  return "?";
+}
+
+bool ParseQgKind(const std::string& name, QgKind* out) {
+  if (name == "exp") {
+    *out = QgKind::kExpDecay;
+  } else if (name == "invsq") {
+    *out = QgKind::kInverseSquare;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace hipads

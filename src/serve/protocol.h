@@ -1,0 +1,311 @@
+// The hipads wire protocol: versioned, length-prefixed binary frames for
+// serving ADS/HIP statistics across machines.
+//
+// The storage layer stops at the machine boundary — a ShardedAdsSet can
+// hold a billion-node sketch set, but every query so far ran in-process.
+// This protocol is the seam the distributed serving subsystem (server.h,
+// router.h) speaks across it. It mirrors the hipads-ads-v2 on-disk
+// conventions: a fixed little-endian header carrying an 8-byte magic,
+// version, message type and payload length, guarded by a whole-frame
+// FNV-1a checksum, so a receiver can validate structure before trusting a
+// byte of the payload and reject truncated, oversized or corrupted frames
+// deterministically.
+//
+// Two request families cross the wire:
+//
+//   * Point requests — node-local lookups (per-node stats, sketch-member
+//     distances, Jaccard similarity, raw sketch fetch). One node in, a few
+//     doubles (or one sketch) out.
+//   * Sweep requests — a serialized SweepPlan: the ordered list of
+//     collector specs to fuse into ONE pass over the serving backend
+//     (ads/sweep.h). The response carries each collector's partial state
+//     for the server's contiguous node range; a gather step absorbs the
+//     partials in node order to reproduce the single-process result
+//     bitwise (the SweepCollector::EncodePartial/AbsorbPartial contract).
+//
+// Collector specs are closed enums, not code: the wire names a collector
+// kind plus scalar parameters, and BuildPlanFromSpec materializes the same
+// collector objects on both sides. Statistics parameterized by arbitrary
+// std::functions (ClosenessCollector's alpha/beta, custom-g QgCollector)
+// are in-process-only; the wire offers named g functions instead.
+
+#ifndef HIPADS_SERVE_PROTOCOL_H_
+#define HIPADS_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ads/ads.h"
+#include "ads/sweep.h"
+#include "util/status.h"
+
+namespace hipads {
+
+// ---------------------------------------------------------------------------
+// Frames
+// ---------------------------------------------------------------------------
+
+/// Leading magic of every hipads wire frame ("hipadsr1": rpc format 1).
+inline constexpr char kWireMagic[8] = {'h', 'i', 'p', 'a', 'd', 's', 'r', '1'};
+inline constexpr uint32_t kWireVersion = 1;
+
+/// Fixed byte size of the frame header on the wire.
+inline constexpr size_t kFrameHeaderBytes = 32;
+
+/// Hard cap on a frame's payload. A length-prefixed protocol must bound the
+/// prefix before allocating, or a corrupt/hostile 8-byte length field turns
+/// into an allocation bomb; anything larger than this is rejected at header
+/// validation, before any payload byte is read.
+inline constexpr uint64_t kMaxFramePayload = 1ull << 30;
+
+/// Message types. Requests and responses share the frame format; kError is
+/// the response to any request that failed (payload: ErrorMsg).
+enum class MessageType : uint32_t {
+  kError = 0,
+  kInfoRequest = 1,
+  kInfoResponse = 2,
+  kPointRequest = 3,
+  kPointResponse = 4,
+  kSweepRequest = 5,
+  kSweepResponse = 6,
+};
+
+/// One decoded frame: the message type plus its raw payload bytes.
+struct Frame {
+  MessageType type = MessageType::kError;
+  std::string payload;
+};
+
+/// Encodes a complete frame: header (magic, version, type, payload length,
+/// FNV-1a checksum over header-with-zeroed-checksum + payload) + payload.
+std::string EncodeFrame(MessageType type, std::string_view payload);
+
+/// Validated frame header, plus the raw header bytes the checksum needs.
+struct FrameHeader {
+  MessageType type = MessageType::kError;
+  uint64_t payload_bytes = 0;
+  uint64_t checksum = 0;
+  char raw[kFrameHeaderBytes] = {};
+};
+
+/// Validates the fixed 32-byte header of a frame: magic, version, known
+/// message type, payload length within kMaxFramePayload. This is what a
+/// streaming receiver runs before allocating or reading the payload.
+Status DecodeFrameHeader(const char* data, size_t size, FrameHeader* out);
+
+/// Verifies the whole-frame checksum of `payload` against a validated
+/// header.
+Status VerifyFramePayload(const FrameHeader& header, std::string_view payload);
+
+/// Decodes a complete frame from an in-memory buffer, which must contain
+/// exactly one frame (header + payload, nothing trailing). Truncation, bad
+/// magic/version/type, oversized lengths and checksum mismatches all fail
+/// with Corruption.
+StatusOr<Frame> DecodeFrame(std::string_view data);
+
+// Blocking frame I/O over a connected socket / pipe fd. ReadFrame rejects
+// malformed headers before reading the payload; both fail with IOError on
+// EOF / socket errors.
+Status WriteFrame(int fd, MessageType type, std::string_view payload);
+StatusOr<Frame> ReadFrame(int fd);
+
+/// Writes all of `data` to `fd`, retrying partial writes and EINTR — the
+/// one short-write loop every frame producer shares.
+Status WriteAllBytes(int fd, const char* data, size_t size);
+
+// ---------------------------------------------------------------------------
+// Bounds-checked payload readers/writers
+// ---------------------------------------------------------------------------
+
+/// Appends little-endian scalars / length-prefixed blobs to a payload.
+class WireWriter {
+ public:
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void F64(double v);
+  /// Length-prefixed (u64) byte string.
+  void Bytes(std::string_view data);
+
+  std::string Take() { return std::move(out_); }
+  const std::string& data() const { return out_; }
+
+ private:
+  std::string out_;
+};
+
+/// Reads WireWriter-encoded payloads; every read is bounds-checked and
+/// fails with Corruption instead of walking past the buffer — payloads
+/// arrive from the network and are treated as attacker-shaped.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  Status U32(uint32_t* v);
+  Status U64(uint64_t* v);
+  Status F64(double* v);
+  /// Length-prefixed byte string; the length must fit the remaining bytes.
+  Status Bytes(std::string* out);
+
+  bool Done() const { return pos_ == data_.size(); }
+  /// Fails unless the payload was consumed exactly (trailing garbage is
+  /// corruption, mirroring the v1/v2 file parsers).
+  Status ExpectDone() const;
+
+ private:
+  Status Raw(void* out, size_t n);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------------
+
+/// kInfoResponse: what a serving process holds. `node_begin`/`node_end` are
+/// the GLOBAL node ids of the served range — a range server is launched
+/// with its global offset; a router reports the whole fleet's [0, N).
+struct ServerInfoMsg {
+  uint64_t node_begin = 0;
+  uint64_t node_end = 0;
+  uint64_t total_entries = 0;
+  uint32_t k = 0;
+  uint32_t flavor = 0;  // SketchFlavor
+  double rank_sup = 1.0;
+};
+
+std::string EncodeServerInfo(const ServerInfoMsg& msg);
+StatusOr<ServerInfoMsg> DecodeServerInfo(std::string_view payload);
+
+/// Point request kinds.
+enum class PointKind : uint32_t {
+  /// est(node): d finite -> {|N_d|}; d infinite -> {reachable, harmonic,
+  /// distance sum}.
+  kNodeStats = 1,
+  /// Distances of `targets` inside ADS(node): one value per target, -1 when
+  /// the target is not sketched.
+  kLookup = 2,
+  /// Jaccard similarity of N_d(node) and N_d(other): {jaccard, union
+  /// cardinality}.
+  kJaccard = 3,
+  /// Raw sketch entries of ADS(node) (a router uses this to evaluate
+  /// cross-server similarity locally).
+  kFetchSketch = 4,
+};
+
+struct PointRequestMsg {
+  PointKind kind = PointKind::kNodeStats;
+  uint64_t node = 0;
+  uint64_t other = 0;  // kJaccard only
+  double d = 0.0;      // distance parameter; infinity = unbounded
+  std::vector<uint64_t> targets;  // kLookup only
+};
+
+std::string EncodePointRequest(const PointRequestMsg& msg);
+StatusOr<PointRequestMsg> DecodePointRequest(std::string_view payload);
+
+struct PointResponseMsg {
+  std::vector<double> values;
+  std::vector<AdsEntry> entries;  // kFetchSketch only
+};
+
+std::string EncodePointResponse(const PointResponseMsg& msg);
+StatusOr<PointResponseMsg> DecodePointResponse(std::string_view payload);
+
+/// Wire-expressible collector kinds (the serializable subset of the
+/// ads/sweep.h collector library).
+enum class CollectorKind : uint32_t {
+  kDistanceHistogram = 1,
+  kDistanceSum = 2,
+  kHarmonic = 3,
+  kNeighborhoodSize = 4,  // param = d
+  kReachableCount = 5,
+  kTopK = 6,              // count = k, aux = ScoreKind
+  kDistanceQuantile = 7,  // param = q
+  kQg = 8,                // aux = QgKind, param = its parameter
+};
+
+/// Per-node score functions a kTopK spec can rank by.
+enum class ScoreKind : uint32_t {
+  kHarmonic = 1,
+  kDistanceSum = 2,
+  kReachable = 3,
+};
+
+/// Named g functions for wire-side Q_g statistics (arbitrary std::function
+/// g's cannot cross the wire).
+enum class QgKind : uint32_t {
+  kExpDecay = 1,       // g(j, d) = param^d   (0 < param < 1: decay sweep)
+  kInverseSquare = 2,  // g(j, d) = 1 / (1 + d)^2
+};
+
+/// One serialized collector: kind + scalar parameters (unused fields 0).
+struct CollectorSpec {
+  CollectorKind kind = CollectorKind::kDistanceHistogram;
+  uint32_t aux = 0;    // ScoreKind for kTopK, QgKind for kQg
+  uint32_t count = 0;  // kTopK
+  double param = 0.0;  // d / q / g parameter
+};
+
+struct SweepRequestMsg {
+  std::vector<CollectorSpec> collectors;
+  /// Threads the serving sweep should use (0 = server hardware count).
+  /// Results are bitwise thread-count independent (the executor contract),
+  /// so this is a resource hint, never a correctness knob.
+  uint32_t num_threads = 1;
+};
+
+std::string EncodeSweepRequest(const SweepRequestMsg& msg);
+StatusOr<SweepRequestMsg> DecodeSweepRequest(std::string_view payload);
+
+/// kSweepResponse: the global node range the sweep covered plus one
+/// EncodePartial blob per collector, in plan order.
+struct SweepResponseMsg {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+  std::vector<std::string> partials;
+};
+
+std::string EncodeSweepResponse(const SweepResponseMsg& msg);
+StatusOr<SweepResponseMsg> DecodeSweepResponse(std::string_view payload);
+
+/// kError payload.
+struct ErrorMsg {
+  uint32_t code = 0;  // Status::Code
+  std::string message;
+};
+
+std::string EncodeError(const Status& status);
+/// Reconstructs the Status an error frame carries (Corruption if the error
+/// payload itself is malformed).
+Status DecodeError(std::string_view payload);
+
+// ---------------------------------------------------------------------------
+// Spec materialization
+// ---------------------------------------------------------------------------
+
+/// Builds the collector objects a spec list names into `plan` (owned by the
+/// plan) and returns them in spec order. Both endpoints of a sweep RPC run
+/// this on the same spec, so the serving sweep and the gathering merge use
+/// identical collector configurations. `capture_partials` enables the
+/// histogram collectors' replay-stream capture and must be set on any
+/// process that will EncodePartial the result (range servers, routers).
+StatusOr<std::vector<SweepCollector*>> BuildPlanFromSpec(
+    const std::vector<CollectorSpec>& spec, SweepPlan* plan,
+    bool capture_partials);
+
+/// Absorbs a sweep response into collectors built from the same spec
+/// (helper shared by the router's gather and the remote-query client).
+Status AbsorbSweepResponse(const SweepResponseMsg& response,
+                           const std::vector<SweepCollector*>& collectors);
+
+/// Name <-> enum helpers for the CLI's --centrality / --qg flags.
+bool ParseScoreKind(const std::string& name, ScoreKind* out);
+const char* ScoreKindName(ScoreKind kind);
+bool ParseQgKind(const std::string& name, QgKind* out);
+
+}  // namespace hipads
+
+#endif  // HIPADS_SERVE_PROTOCOL_H_

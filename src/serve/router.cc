@@ -1,0 +1,347 @@
+#include "serve/router.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "ads/similarity.h"
+
+namespace hipads {
+
+// ---------------------------------------------------------------------------
+// Fleet manifest
+// ---------------------------------------------------------------------------
+
+std::string SerializeFleetManifest(const FleetManifest& manifest) {
+  std::ostringstream os;
+  os << kFleetManifestMagic << '\n';
+  os << "nodes " << manifest.num_nodes << '\n';
+  for (const FleetEntry& e : manifest.servers) {
+    os << "server " << e.begin << ' ' << e.end << ' ' << e.address << '\n';
+  }
+  return os.str();
+}
+
+StatusOr<FleetManifest> ParseFleetManifest(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kFleetManifestMagic) {
+    return Status::Corruption("missing hipads-fleet-v1 manifest header");
+  }
+  FleetManifest manifest;
+  bool saw_nodes = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string keyword;
+    fields >> keyword;
+    if (keyword == "nodes") {
+      if (saw_nodes) {
+        return Status::Corruption("duplicate nodes line in fleet manifest");
+      }
+      if (!(fields >> manifest.num_nodes)) {
+        return Status::Corruption("bad nodes line in fleet manifest");
+      }
+      saw_nodes = true;
+    } else if (keyword == "server") {
+      FleetEntry e;
+      if (!(fields >> e.begin >> e.end >> e.address)) {
+        return Status::Corruption("bad server line in fleet manifest: " +
+                                  line);
+      }
+      std::string extra;
+      if (fields >> extra) {
+        return Status::Corruption("trailing fields on server line: " + line);
+      }
+      manifest.servers.push_back(std::move(e));
+    } else {
+      return Status::Corruption("unknown fleet manifest line: " + line);
+    }
+  }
+  if (!saw_nodes) {
+    return Status::Corruption("fleet manifest missing nodes line");
+  }
+  Status s = ValidateFleetManifest(manifest);
+  if (!s.ok()) return s;
+  return manifest;
+}
+
+StatusOr<FleetManifest> ReadFleetManifestFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open fleet manifest " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseFleetManifest(buffer.str());
+}
+
+Status ValidateFleetManifest(const FleetManifest& manifest) {
+  if (manifest.servers.empty()) {
+    return Status::InvalidArgument("fleet manifest lists no servers");
+  }
+  // A root fleet starts at 0; a sub-fleet (an inner tier of a stacked
+  // router tree) may start at any B — either way the ranges must be
+  // sorted, non-empty, contiguous, and end exactly at `nodes`.
+  NodeId expected = manifest.servers.front().begin;
+  for (const FleetEntry& e : manifest.servers) {
+    if (e.begin != expected || e.end <= e.begin) {
+      return Status::InvalidArgument(
+          "fleet ranges must be sorted, non-empty and contiguous: "
+          "server " + e.address + " covers [" + std::to_string(e.begin) +
+          ", " + std::to_string(e.end) + ") but [" +
+          std::to_string(expected) + ", ...) was expected");
+    }
+    expected = e.end;
+  }
+  if (expected != manifest.num_nodes) {
+    return Status::InvalidArgument(
+        "fleet ranges end at " + std::to_string(expected) +
+        " but the manifest declares " + std::to_string(manifest.num_nodes) +
+        " nodes");
+  }
+  return Status::Ok();
+}
+
+ChannelFactory TcpChannelFactory() {
+  return [](const std::string& address)
+             -> StatusOr<std::unique_ptr<Channel>> {
+    auto channel = TcpChannel::ConnectAddress(address);
+    if (!channel.ok()) return channel.status();
+    return std::unique_ptr<Channel>(std::move(channel).value());
+  };
+}
+
+// ---------------------------------------------------------------------------
+// FleetRouter
+// ---------------------------------------------------------------------------
+
+StatusOr<FleetRouter> FleetRouter::Connect(FleetManifest manifest,
+                                           const ChannelFactory& factory) {
+  Status s = ValidateFleetManifest(manifest);
+  if (!s.ok()) return s;
+  FleetRouter router;
+  router.manifest_ = std::move(manifest);
+  router.channels_.reserve(router.manifest_.servers.size());
+  for (size_t i = 0; i < router.manifest_.servers.size(); ++i) {
+    const FleetEntry& entry = router.manifest_.servers[i];
+    auto channel = factory(entry.address);
+    if (!channel.ok()) {
+      return Status::IOError("fleet server " + entry.address +
+                             " is unreachable: " +
+                             channel.status().ToString());
+    }
+    AdsClient client(channel.value().get());
+    auto info = client.Info();
+    if (!info.ok()) {
+      return Status::IOError("fleet server " + entry.address +
+                             " failed the info handshake: " +
+                             info.status().ToString());
+    }
+    const ServerInfoMsg& reported = info.value();
+    if (reported.node_begin != entry.begin ||
+        reported.node_end != entry.end) {
+      return Status::InvalidArgument(
+          "fleet server " + entry.address + " serves [" +
+          std::to_string(reported.node_begin) + ", " +
+          std::to_string(reported.node_end) +
+          ") but the manifest assigns [" + std::to_string(entry.begin) +
+          ", " + std::to_string(entry.end) + ")");
+    }
+    if (i == 0) {
+      router.k_ = reported.k;
+      router.flavor_ = reported.flavor;
+      router.rank_sup_ = reported.rank_sup;
+    } else if (reported.k != router.k_ ||
+               reported.flavor != router.flavor_ ||
+               reported.rank_sup != router.rank_sup_) {
+      return Status::InvalidArgument(
+          "fleet server " + entry.address +
+          " disagrees on sketch parameters (k/flavor/rank sup)");
+    }
+    router.total_entries_ += reported.total_entries;
+    router.channels_.push_back(std::move(channel).value());
+  }
+  return router;
+}
+
+StatusOr<size_t> FleetRouter::OwnerOf(uint64_t v) const {
+  if (v < node_begin() || v >= manifest_.num_nodes) {
+    return Status::NotFound("node " + std::to_string(v) +
+                            " outside the served range [" +
+                            std::to_string(node_begin()) + ", " +
+                            std::to_string(manifest_.num_nodes) + ")");
+  }
+  // Ranges are sorted and tile [0, N): binary search by begin.
+  size_t lo = 0, hi = manifest_.servers.size();
+  while (hi - lo > 1) {
+    size_t mid = (lo + hi) / 2;
+    if (manifest_.servers[mid].begin <= v) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+StatusOr<std::vector<AdsEntry>> FleetRouter::FetchSketch(uint64_t node) {
+  auto owner = OwnerOf(node);
+  if (!owner.ok()) return owner.status();
+  AdsClient client(channels_[owner.value()].get());
+  PointRequestMsg fetch;
+  fetch.kind = PointKind::kFetchSketch;
+  fetch.node = node;
+  auto response = client.Point(fetch);
+  if (!response.ok()) return response.status();
+  return std::move(response).value().entries;
+}
+
+StatusOr<PointResponseMsg> FleetRouter::Point(const PointRequestMsg& request) {
+  auto owner = OwnerOf(request.node);
+  if (!owner.ok()) return owner.status();
+  if (request.kind == PointKind::kJaccard) {
+    auto other_owner = OwnerOf(request.other);
+    if (!other_owner.ok()) return other_owner.status();
+    if (other_owner.value() != owner.value()) {
+      // The pair spans two servers: fetch both raw sketches and run the
+      // same similarity estimator the servers run, router-side. Same
+      // inputs, same function — same result to the last bit.
+      auto u = FetchSketch(request.node);
+      if (!u.ok()) return u.status();
+      auto v = FetchSketch(request.other);
+      if (!v.ok()) return v.status();
+      AdsView u_view{std::span<const AdsEntry>(u.value())};
+      AdsView v_view{std::span<const AdsEntry>(v.value())};
+      PointResponseMsg response;
+      response.values = {
+          JaccardSimilarity(u_view, v_view, request.d, k_, rank_sup_),
+          UnionCardinality(u_view, v_view, request.d, k_, rank_sup_)};
+      return response;
+    }
+  }
+  AdsClient client(channels_[owner.value()].get());
+  return client.Point(request);
+}
+
+Status FleetRouter::ExecuteSweep(
+    const SweepRequestMsg& request,
+    const std::vector<SweepCollector*>& collectors) {
+  size_t n = channels_.size();
+  std::vector<Status> statuses(n, Status::Ok());
+  std::vector<SweepResponseMsg> responses(n);
+  // Scatter: every range server sweeps concurrently. Results land in
+  // per-server slots; nothing depends on completion order.
+  std::vector<std::thread> calls;
+  calls.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    calls.emplace_back([this, i, &request, &statuses, &responses] {
+      AdsClient client(channels_[i].get());
+      auto response = client.Sweep(request);
+      if (!response.ok()) {
+        statuses[i] = response.status();
+      } else {
+        responses[i] = std::move(response).value();
+      }
+    });
+  }
+  for (std::thread& t : calls) t.join();
+
+  // Gather: absorb in node order — the fleet-level replay of the sweep
+  // executor's sequential node-order Reduce.
+  for (SweepCollector* c : collectors) c->Begin(manifest_.num_nodes);
+  for (size_t i = 0; i < n; ++i) {
+    const FleetEntry& entry = manifest_.servers[i];
+    if (!statuses[i].ok()) {
+      return Status::IOError("sweep failed on fleet server " +
+                             entry.address + ": " + statuses[i].ToString());
+    }
+    if (responses[i].begin != entry.begin || responses[i].end != entry.end) {
+      return Status::Corruption("fleet server " + entry.address +
+                                " answered for the wrong node range");
+    }
+    Status s = AbsorbSweepResponse(responses[i], collectors);
+    if (!s.ok()) {
+      return Status::Corruption("bad partial from fleet server " +
+                                entry.address + ": " + s.ToString());
+    }
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// RouterCore
+// ---------------------------------------------------------------------------
+
+std::string RouterCore::HandleFrame(std::string_view request,
+                                    bool* close_connection) {
+  *close_connection = false;
+  auto frame = DecodeFrame(request);
+  if (!frame.ok()) {
+    *close_connection = true;
+    return EncodeFrame(MessageType::kError, EncodeError(frame.status()));
+  }
+  auto response = Dispatch(frame.value());
+  if (!response.ok()) {
+    return EncodeFrame(MessageType::kError, EncodeError(response.status()));
+  }
+  return EncodeFrame(response.value().type, response.value().payload);
+}
+
+StatusOr<Frame> RouterCore::Dispatch(const Frame& request) {
+  switch (request.type) {
+    case MessageType::kInfoRequest: {
+      if (!request.payload.empty()) {
+        return Status::Corruption("info request carries a payload");
+      }
+      ServerInfoMsg info;
+      info.node_begin = router_->node_begin();
+      info.node_end = router_->num_nodes();
+      info.total_entries = router_->total_entries();
+      info.k = router_->k();
+      info.flavor = router_->flavor();
+      info.rank_sup = router_->rank_sup();
+      return Frame{MessageType::kInfoResponse, EncodeServerInfo(info)};
+    }
+    case MessageType::kPointRequest: {
+      auto msg = DecodePointRequest(request.payload);
+      if (!msg.ok()) return msg.status();
+      auto response = router_->Point(msg.value());
+      if (!response.ok()) return response.status();
+      return Frame{MessageType::kPointResponse,
+                   EncodePointResponse(response.value())};
+    }
+    case MessageType::kSweepRequest: {
+      auto msg = DecodeSweepRequest(request.payload);
+      if (!msg.ok()) return msg.status();
+      // Capture stays on through the gather, so the merged state can be
+      // re-encoded losslessly for this router's own client.
+      SweepPlan plan;
+      auto collectors = BuildPlanFromSpec(msg.value().collectors, &plan,
+                                          /*capture_partials=*/true);
+      if (!collectors.ok()) return collectors.status();
+      Status swept = router_->ExecuteSweep(msg.value(), collectors.value());
+      if (!swept.ok()) return swept;
+      SweepResponseMsg response;
+      response.begin = router_->node_begin();
+      response.end = router_->num_nodes();
+      response.partials.resize(collectors.value().size());
+      for (size_t i = 0; i < collectors.value().size(); ++i) {
+        // Router collectors are globally indexed but only cover this
+        // fleet's range: slice exactly [node_begin, N) so the next tier's
+        // gather absorbs it at the same global offsets.
+        Status s = collectors.value()[i]->EncodePartial(
+            static_cast<NodeId>(router_->node_begin()),
+            static_cast<NodeId>(router_->num_nodes()),
+            &response.partials[i]);
+        if (!s.ok()) return s;
+      }
+      return Frame{MessageType::kSweepResponse,
+                   EncodeSweepResponse(response)};
+    }
+    default:
+      return Status::InvalidArgument("frame type is not a request");
+  }
+}
+
+}  // namespace hipads

@@ -1,0 +1,161 @@
+// The scatter/gather front end of the distributed serving subsystem.
+//
+// A fleet manifest maps each serving process to the contiguous global node
+// range it holds:
+//
+//   hipads-fleet-v1
+//   nodes <N>
+//   server <begin> <end> <address>
+//   server <begin> <end> <address>
+//   ...
+//
+// Ranges must be sorted, contiguous and end exactly at N — the same
+// contiguous-range discipline the shard manifest enforces on disk, lifted
+// to hosts. A root fleet starts at 0; a fleet whose first range starts at
+// B > 0 describes a *sub-fleet* serving global nodes [B, N) — the form an
+// inner router of a multi-level tree is configured with.
+//
+// FleetRouter connects to every server (any Channel transport: TCP for a
+// real fleet, loopback for deterministic tests/benches), validates that
+// the fleet's reported ranges and sketch parameters are coherent, and then
+// serves the two request families:
+//
+//   * Sweeps — scatter: the serialized SweepPlan goes to every range
+//     server concurrently; each runs ONE fused pass over its backend
+//     (ads/sweep.h) and returns its collectors' partial states. Gather:
+//     partials are absorbed in node order (never completion order), which
+//     replays the sequential node-order Reduce — so every statistic is
+//     bitwise identical to a single-process RunSweep over the same
+//     sketches, whatever the fleet layout, transport, or per-server thread
+//     counts.
+//   * Point queries — routed to the owning server by range; Jaccard pairs
+//     that span two servers are evaluated by fetching both raw sketches
+//     and running the same similarity estimator router-side.
+//
+// RouterCore wraps a FleetRouter in the wire protocol's FrameHandler
+// surface, so a router process is itself just another protocol endpoint
+// serving its fleet's [node_begin, N): clients cannot tell a router from a
+// single big server, and routers stack on routers for multi-level fan-out
+// — an outer manifest lists inner routers at their sub-fleet ranges
+// (tested down to two levels in serve_test).
+
+#ifndef HIPADS_SERVE_ROUTER_H_
+#define HIPADS_SERVE_ROUTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "util/status.h"
+
+namespace hipads {
+
+/// One fleet member: the global node range [begin, end) served at
+/// `address`.
+struct FleetEntry {
+  std::string address;
+  NodeId begin = 0;
+  NodeId end = 0;
+};
+
+struct FleetManifest {
+  uint64_t num_nodes = 0;
+  std::vector<FleetEntry> servers;
+};
+
+/// Magic first line of a fleet manifest file.
+inline constexpr char kFleetManifestMagic[] = "hipads-fleet-v1";
+
+std::string SerializeFleetManifest(const FleetManifest& manifest);
+StatusOr<FleetManifest> ParseFleetManifest(const std::string& text);
+StatusOr<FleetManifest> ReadFleetManifestFile(const std::string& path);
+
+/// Structural check: at least one server, ranges sorted, non-empty,
+/// contiguous, ending exactly at num_nodes (starting at 0 for a root
+/// fleet, or at any B >= 0 for a sub-fleet).
+Status ValidateFleetManifest(const FleetManifest& manifest);
+
+/// Opens the transport to one fleet address. The default TCP factory
+/// parses "host:port"; tests install loopback factories.
+using ChannelFactory =
+    std::function<StatusOr<std::unique_ptr<Channel>>(const std::string&)>;
+ChannelFactory TcpChannelFactory();
+
+/// A connected fleet. Movable, not copyable.
+class FleetRouter {
+ public:
+  /// An empty router (no fleet); the state StatusOr needs. Use Connect.
+  FleetRouter() = default;
+
+  /// Connects to every manifest entry and validates the fleet: each
+  /// server's reported range must equal its manifest range, and every
+  /// server must agree on k, flavor and rank sup. A dead or mismatched
+  /// server fails the whole fleet here, before any query runs.
+  static StatusOr<FleetRouter> Connect(FleetManifest manifest,
+                                       const ChannelFactory& factory);
+
+  /// Exclusive end of the served global range (== the global node count
+  /// for a root fleet).
+  uint64_t num_nodes() const { return manifest_.num_nodes; }
+  /// First global node this fleet serves (0 for a root fleet).
+  uint64_t node_begin() const {
+    return manifest_.servers.empty() ? 0 : manifest_.servers.front().begin;
+  }
+  uint64_t total_entries() const { return total_entries_; }
+  uint32_t k() const { return k_; }
+  uint32_t flavor() const { return flavor_; }
+  double rank_sup() const { return rank_sup_; }
+  size_t num_servers() const { return manifest_.servers.size(); }
+
+  /// Scatters `request` to every range server, gathers the partial states
+  /// and absorbs them into `collectors` (built by the caller from the same
+  /// spec; Begin is called here). Bitwise identical to a single-process
+  /// RunSweep over the same sketches. On failure — a dead server, a
+  /// malformed partial, a range mismatch — the collectors are left
+  /// partially filled and must be discarded, never read.
+  Status ExecuteSweep(const SweepRequestMsg& request,
+                      const std::vector<SweepCollector*>& collectors);
+
+  /// Routes a point request to the owning range server. Cross-server
+  /// Jaccard pairs are computed router-side from fetched sketches.
+  StatusOr<PointResponseMsg> Point(const PointRequestMsg& request);
+
+ private:
+  /// Index of the fleet entry owning global node v, or an error.
+  StatusOr<size_t> OwnerOf(uint64_t v) const;
+  StatusOr<std::vector<AdsEntry>> FetchSketch(uint64_t node);
+
+  FleetManifest manifest_;
+  std::vector<std::unique_ptr<Channel>> channels_;  // parallel to servers
+  uint64_t total_entries_ = 0;
+  uint32_t k_ = 0;
+  uint32_t flavor_ = 0;
+  double rank_sup_ = 1.0;
+};
+
+/// The wire surface of a router process: info reports the whole fleet's
+/// [0, N); sweeps scatter/gather and respond with the merged state as a
+/// single [0, N) partial (histogram collectors keep their replay streams
+/// alive through the merge, so the re-encoded partial stays losslessly
+/// replayable by the next hop).
+class RouterCore : public FrameHandler {
+ public:
+  explicit RouterCore(FleetRouter* router) : router_(router) {}
+
+  std::string HandleFrame(std::string_view request,
+                          bool* close_connection) override;
+
+ private:
+  StatusOr<Frame> Dispatch(const Frame& request);
+
+  FleetRouter* router_;
+};
+
+}  // namespace hipads
+
+#endif  // HIPADS_SERVE_ROUTER_H_

@@ -1,0 +1,344 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "ads/estimators.h"
+#include "ads/similarity.h"
+#include "util/parallel.h"
+
+namespace hipads {
+
+FrameHandler::~FrameHandler() = default;
+
+// ---------------------------------------------------------------------------
+// AdsServerCore
+// ---------------------------------------------------------------------------
+
+AdsServerCore::AdsServerCore(const AdsBackend* backend,
+                             const ServerOptions& options)
+    : backend_(backend), options_(options) {}
+
+ServerInfoMsg AdsServerCore::Info() const {
+  ServerInfoMsg info;
+  info.node_begin = options_.node_begin;
+  info.node_end = options_.node_begin + backend_->num_nodes();
+  info.total_entries = backend_->TotalEntries();
+  info.k = backend_->k();
+  info.flavor = static_cast<uint32_t>(backend_->flavor());
+  info.rank_sup = backend_->ranks().sup();
+  return info;
+}
+
+std::string AdsServerCore::HandleFrame(std::string_view request,
+                                       bool* close_connection) {
+  *close_connection = false;
+  auto frame = DecodeFrame(request);
+  if (!frame.ok()) {
+    // Undecodable bytes: answer with the reason, then drop the stream —
+    // after a framing failure there is no trustworthy record boundary.
+    *close_connection = true;
+    return EncodeFrame(MessageType::kError, EncodeError(frame.status()));
+  }
+  auto response = Dispatch(frame.value());
+  if (!response.ok()) {
+    return EncodeFrame(MessageType::kError, EncodeError(response.status()));
+  }
+  return EncodeFrame(response.value().type, response.value().payload);
+}
+
+StatusOr<Frame> AdsServerCore::Dispatch(const Frame& request) {
+  switch (request.type) {
+    case MessageType::kInfoRequest:
+      if (!request.payload.empty()) {
+        return Status::Corruption("info request carries a payload");
+      }
+      return Frame{MessageType::kInfoResponse, EncodeServerInfo(Info())};
+    case MessageType::kPointRequest: {
+      auto msg = DecodePointRequest(request.payload);
+      if (!msg.ok()) return msg.status();
+      return HandlePoint(msg.value());
+    }
+    case MessageType::kSweepRequest: {
+      auto msg = DecodeSweepRequest(request.payload);
+      if (!msg.ok()) return msg.status();
+      return HandleSweep(msg.value());
+    }
+    default:
+      return Status::InvalidArgument("frame type is not a request");
+  }
+}
+
+StatusOr<Frame> AdsServerCore::HandlePoint(const PointRequestMsg& msg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t begin = options_.node_begin;
+  uint64_t end = begin + backend_->num_nodes();
+  if (msg.node < begin || msg.node >= end) {
+    return Status::NotFound("node " + std::to_string(msg.node) +
+                            " is outside the served range");
+  }
+  NodeId local = static_cast<NodeId>(msg.node - begin);
+  auto view = backend_->ViewOf(local);
+  if (!view.ok()) return view.status();
+
+  PointResponseMsg response;
+  switch (msg.kind) {
+    case PointKind::kNodeStats: {
+      HipEstimator est(view.value(), backend_->k(), backend_->flavor(),
+                       backend_->ranks());
+      if (std::isinf(msg.d)) {
+        response.values = {est.ReachableCount(), est.HarmonicCentrality(),
+                           est.DistanceSum()};
+      } else {
+        response.values = {est.NeighborhoodCardinality(msg.d)};
+      }
+      break;
+    }
+    case PointKind::kLookup: {
+      // Entry target ids are global, so lookups need no translation.
+      AdsNodeIndex index(view.value());
+      response.values.reserve(msg.targets.size());
+      for (uint64_t target : msg.targets) {
+        if (target > std::numeric_limits<NodeId>::max()) {
+          response.values.push_back(-1.0);
+        } else {
+          response.values.push_back(
+              index.DistanceOf(static_cast<NodeId>(target)));
+        }
+      }
+      break;
+    }
+    case PointKind::kJaccard: {
+      if (msg.other < begin || msg.other >= end) {
+        return Status::NotFound(
+            "similarity target " + std::to_string(msg.other) +
+            " is outside the served range (route through a fleet router "
+            "for cross-server pairs)");
+      }
+      // Fetching the second view may evict the shard backing the first
+      // (bounded residency), so pin a copy of the first sketch.
+      std::vector<AdsEntry> pinned(view.value().entries().begin(),
+                                   view.value().entries().end());
+      AdsView u_view{std::span<const AdsEntry>(pinned)};
+      auto other_view =
+          backend_->ViewOf(static_cast<NodeId>(msg.other - begin));
+      if (!other_view.ok()) return other_view.status();
+      double sup = backend_->ranks().sup();
+      double jaccard = JaccardSimilarity(u_view, other_view.value(), msg.d,
+                                         backend_->k(), sup);
+      double uni = UnionCardinality(u_view, other_view.value(), msg.d,
+                                    backend_->k(), sup);
+      response.values = {jaccard, uni};
+      break;
+    }
+    case PointKind::kFetchSketch: {
+      response.entries.assign(view.value().entries().begin(),
+                              view.value().entries().end());
+      break;
+    }
+  }
+  return Frame{MessageType::kPointResponse, EncodePointResponse(response)};
+}
+
+StatusOr<Frame> AdsServerCore::HandleSweep(const SweepRequestMsg& msg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SweepPlan plan;
+  auto collectors =
+      BuildPlanFromSpec(msg.collectors, &plan, /*capture_partials=*/true);
+  if (!collectors.ok()) return collectors.status();
+  // The thread count is wire-controlled: clamp it to this host's hardware
+  // so a hostile request cannot drive ThreadPool into spawning billions of
+  // workers (results are bitwise thread-count independent, so clamping is
+  // invisible to the client).
+  uint32_t threads =
+      msg.num_threads != 0 ? msg.num_threads : options_.num_threads;
+  threads = std::min(threads, HardwareThreads());
+  Status swept = RunSweep(*backend_, plan, threads);
+  if (!swept.ok()) return swept;
+
+  SweepResponseMsg response;
+  response.begin = options_.node_begin;
+  response.end = options_.node_begin + backend_->num_nodes();
+  response.partials.resize(collectors.value().size());
+  for (size_t i = 0; i < collectors.value().size(); ++i) {
+    // Collectors here are locally indexed: slice their whole [0, n).
+    Status s = collectors.value()[i]->EncodePartial(
+        0, static_cast<NodeId>(backend_->num_nodes()),
+        &response.partials[i]);
+    if (!s.ok()) return s;
+  }
+  return Frame{MessageType::kSweepResponse, EncodeSweepResponse(response)};
+}
+
+// ---------------------------------------------------------------------------
+// TcpServer
+// ---------------------------------------------------------------------------
+
+TcpServer::TcpServer(FrameHandler* handler, const TcpServerOptions& options)
+    : handler_(handler), options_(options) {
+  stop_pipe_[0] = stop_pipe_[1] = -1;
+}
+
+TcpServer::~TcpServer() { Stop(); }
+
+Status TcpServer::Start() {
+  if (listen_fd_ >= 0) return Status::InvalidArgument("server already started");
+  if (::pipe(stop_pipe_) != 0) {
+    return Status::IOError("pipe failed: " + std::string(std::strerror(errno)));
+  }
+  auto fail = [this](const std::string& what, int fd) {
+    Status s = Status::IOError(what + " failed: " +
+                               std::string(std::strerror(errno)));
+    if (fd >= 0) ::close(fd);
+    ::close(stop_pipe_[0]);
+    ::close(stop_pipe_[1]);
+    stop_pipe_[0] = stop_pipe_[1] = -1;
+    return s;
+  };
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return fail("socket", -1);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(options_.port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return fail("bind", fd);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return fail("getsockname", fd);
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(fd, 128) != 0) {
+    return fail("listen", fd);
+  }
+  // Non-blocking listener: workers are woken by poll, so a connection
+  // grabbed by a sibling worker yields EAGAIN instead of blocking forever.
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  listen_fd_ = fd;
+  uint32_t workers = options_.num_workers == 0 ? 1 : options_.num_workers;
+  workers_.reserve(workers);
+  for (uint32_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::Ok();
+}
+
+void TcpServer::Stop() {
+  if (listen_fd_ < 0) return;
+  // Wake every worker out of poll; they observe the stop pipe and exit.
+  char byte = 's';
+  [[maybe_unused]] ssize_t ignored = ::write(stop_pipe_[1], &byte, 1);
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::close(stop_pipe_[0]);
+  ::close(stop_pipe_[1]);
+  stop_pipe_[0] = stop_pipe_[1] = -1;
+}
+
+void TcpServer::WorkerLoop() {
+  for (;;) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {stop_pipe_[0], POLLIN, 0};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[1].revents != 0) return;  // stop requested
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+          errno == ECONNABORTED) {
+        continue;  // a sibling worker won the race
+      }
+      return;
+    }
+    ServeConnection(fd);
+    ::close(fd);
+  }
+}
+
+bool TcpServer::WaitReadable(int fd) {
+  // Blocks until `fd` has data (or EOF) — or until Stop signals, so a
+  // worker parked on an idle connection never wedges shutdown.
+  for (;;) {
+    pollfd fds[2];
+    fds[0] = {fd, POLLIN, 0};
+    fds[1] = {stop_pipe_[0], POLLIN, 0};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (fds[1].revents != 0) return false;  // stop requested
+    if (fds[0].revents != 0) return true;   // readable (or hup -> read 0)
+  }
+}
+
+void TcpServer::ServeConnection(int fd) {
+  // Frame-by-frame pump. A handler-reported framing loss or any socket
+  // error ends the connection; the next client simply reconnects.
+  for (;;) {
+    char raw[kFrameHeaderBytes];
+    size_t done = 0;
+    while (done < sizeof(raw)) {
+      if (!WaitReadable(fd)) return;
+      ssize_t got = ::read(fd, raw + done, sizeof(raw) - done);
+      if (got == 0) return;  // clean EOF between frames
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        return;
+      }
+      done += static_cast<size_t>(got);
+    }
+    FrameHeader header;
+    std::string request;
+    Status s = DecodeFrameHeader(raw, sizeof(raw), &header);
+    if (s.ok()) {
+      // Header is sane: the payload length can be trusted enough to read.
+      std::string payload(header.payload_bytes, '\0');
+      size_t got_total = 0;
+      bool io_ok = true;
+      while (got_total < payload.size()) {
+        if (!WaitReadable(fd)) return;
+        ssize_t got = ::read(fd, payload.data() + got_total,
+                             payload.size() - got_total);
+        if (got <= 0) {
+          if (got < 0 && errno == EINTR) continue;
+          io_ok = false;
+          break;
+        }
+        got_total += static_cast<size_t>(got);
+      }
+      if (!io_ok) return;
+      request.assign(raw, sizeof(raw));
+      request.append(payload);
+    } else {
+      // Bad header: hand the raw bytes to the handler so the client gets
+      // the precise rejection, then close (framing is lost).
+      request.assign(raw, sizeof(raw));
+    }
+    bool close_connection = false;
+    std::string response = handler_->HandleFrame(request, &close_connection);
+    if (!WriteAllBytes(fd, response.data(), response.size()).ok()) return;
+    if (close_connection) return;
+  }
+}
+
+}  // namespace hipads

@@ -1,0 +1,135 @@
+// The serving processes of the distributed subsystem.
+//
+// A range server owns an AdsBackend — any engine: in-memory arena, zero-
+// copy mmap, sharded-with-prefetch — holding the sketches of one
+// contiguous global node range, and answers the wire protocol
+// (serve/protocol.h) over it:
+//
+//   AdsServerCore  transport-free request dispatch: one request frame in,
+//                  one response frame out. This is the piece the loopback
+//                  transport, the fuzz suite and the TCP server all share,
+//                  so the full protocol surface is testable deterministically
+//                  without a socket in sight.
+//   TcpServer      a thread-pooled TCP front end: N worker threads accept
+//                  connections and pump frames through a FrameHandler.
+//
+// The node-id split: a range server launched with node_begin B serves
+// global nodes [B, B + backend.num_nodes()). Shard files written by
+// WriteShardedAdsSet are complete, independently loadable ADS files whose
+// local node i is global node begin + i (entry target ids stay global), so
+// a fleet is deployed by pointing each server at a shard file (or sharded
+// subdirectory) with the matching --node-begin offset. Sweep responses are
+// labeled with the global range; per-node statistics depend only on the
+// node's own sketch, so the relabeling is exact.
+
+#ifndef HIPADS_SERVE_SERVER_H_
+#define HIPADS_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "ads/backend.h"
+#include "serve/protocol.h"
+#include "util/status.h"
+
+namespace hipads {
+
+/// Transport-free request endpoint: turns one request frame into one
+/// response frame. Implementations must never crash on malformed input —
+/// frames arrive from the network.
+class FrameHandler {
+ public:
+  virtual ~FrameHandler();
+
+  /// Handles one frame. Always returns a complete response frame (kError
+  /// for anything invalid). Sets *close_connection when the byte stream
+  /// can no longer be trusted (undecodable frame: once framing is lost,
+  /// every subsequent byte is garbage), telling a streaming transport to
+  /// drop the connection after sending the response.
+  /// Safe to call from multiple threads concurrently.
+  virtual std::string HandleFrame(std::string_view request,
+                                  bool* close_connection) = 0;
+};
+
+/// Serving options for AdsServerCore.
+struct ServerOptions {
+  /// Global node id of the backend's local node 0.
+  NodeId node_begin = 0;
+  /// Threads per sweep (0 = hardware count). Bitwise-neutral.
+  uint32_t num_threads = 1;
+};
+
+/// The request dispatcher of a range server. Borrows the backend, which
+/// must outlive the core. Backend access is serialized internally (the
+/// AdsBackend contract leaves lazily-loading engines externally
+/// serialized); sweep parallelism comes from the sweep executor's own
+/// pool, so concurrent connections queue on the backend, not on compute
+/// slots inside it.
+class AdsServerCore : public FrameHandler {
+ public:
+  AdsServerCore(const AdsBackend* backend, const ServerOptions& options);
+
+  std::string HandleFrame(std::string_view request,
+                          bool* close_connection) override;
+
+  /// The info this server reports (also used by fleet validation).
+  ServerInfoMsg Info() const;
+
+ private:
+  StatusOr<Frame> Dispatch(const Frame& request);
+  StatusOr<Frame> HandlePoint(const PointRequestMsg& msg);
+  StatusOr<Frame> HandleSweep(const SweepRequestMsg& msg);
+
+  const AdsBackend* backend_;
+  ServerOptions options_;
+  mutable std::mutex mu_;  // serializes backend access across connections
+};
+
+/// Options for TcpServer.
+struct TcpServerOptions {
+  /// Port to bind (0 = ephemeral; read the chosen one back via port()).
+  uint16_t port = 0;
+  /// Concurrent connections served (worker threads accepting on the shared
+  /// listening socket); further connections wait in the listen backlog.
+  uint32_t num_workers = 4;
+};
+
+/// Thread-pooled TCP transport around a FrameHandler. Start() binds and
+/// spawns the workers; Stop() (or destruction) shuts the listener down and
+/// joins them. Connections are served frame-by-frame until the peer closes
+/// or a handler reports loss of framing.
+class TcpServer {
+ public:
+  TcpServer(FrameHandler* handler, const TcpServerOptions& options);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  Status Start();
+  void Stop();
+
+  /// The bound port (valid after Start; resolves port 0 requests).
+  uint16_t port() const { return port_; }
+
+ private:
+  void WorkerLoop();
+  void ServeConnection(int fd);
+  bool WaitReadable(int fd);  // false once Stop is signaled
+
+  FrameHandler* handler_;
+  TcpServerOptions options_;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};  // self-pipe waking workers out of poll
+  uint16_t port_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hipads
+
+#endif  // HIPADS_SERVE_SERVER_H_

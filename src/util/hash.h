@@ -8,6 +8,7 @@
 #ifndef HIPADS_UTIL_HASH_H_
 #define HIPADS_UTIL_HASH_H_
 
+#include <cstddef>
 #include <cstdint>
 
 namespace hipads {
@@ -54,6 +55,22 @@ inline constexpr double UnitHash(uint64_t seed, uint64_t key) {
 inline constexpr uint32_t BucketHash(uint64_t seed, uint64_t key, uint32_t k) {
   uint64_t h = HashCombine(seed ^ 0xa5a5a5a5a5a5a5a5ULL, key);
   return static_cast<uint32_t>((static_cast<__uint128_t>(h) * k) >> 64);
+}
+
+/// FNV-1a offset basis: the starting value for Fnv1a chains.
+inline constexpr uint64_t kFnv1aOffsetBasis = 14695981039346656037ULL;
+
+/// Incremental 64-bit FNV-1a over a byte range, chaining from `h` (start
+/// chains with kFnv1aOffsetBasis). The integrity checksum of the v2 on-disk
+/// format and the wire protocol: not collision-resistant against an
+/// adversary, but byte-exact against corruption, trivially incremental and
+/// dependency-free.
+inline constexpr uint64_t Fnv1a(const char* data, size_t size, uint64_t h) {
+  for (size_t i = 0; i < size; ++i) {
+    h ^= static_cast<uint8_t>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
 }
 
 }  // namespace hipads

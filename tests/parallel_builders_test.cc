@@ -131,6 +131,58 @@ TEST(ParallelPrunedDijkstraTest, InsertionCountMatchesSequential) {
   EXPECT_GT(par_stats.rounds, 0u);
 }
 
+TEST(ParallelLocalUpdatesTest, BitIdenticalAcrossThreadCounts) {
+  for (const TestGraph& tg : TestGraphs()) {
+    for (SketchFlavor flavor : AllFlavors()) {
+      auto ranks = RankAssignment::Uniform(42);
+      AdsSet reference = BuildAdsLocalUpdates(tg.g, 4, flavor, ranks);
+      for (uint32_t threads : {1u, 2u, 8u}) {
+        AdsSet parallel = BuildAdsLocalUpdatesParallel(
+            tg.g, 4, flavor, ranks, /*epsilon=*/0.0, threads);
+        ExpectIdenticalAdsSet(reference, parallel,
+                              tg.name + " " + FlavorName(flavor) +
+                                  " threads " + std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST(ParallelLocalUpdatesTest, BitIdenticalInApproximateMode) {
+  // The (1+epsilon) slack changes which updates are accepted, not the
+  // determinism: the parallel rounds must replay the sequential decisions
+  // for any epsilon.
+  Graph g = RandomizeWeights(ErdosRenyi(100, 400, true, 31), 0.5, 2.0, 7);
+  auto ranks = RankAssignment::Uniform(8);
+  for (double epsilon : {0.0, 0.25, 1.0}) {
+    AdsSet reference =
+        BuildAdsLocalUpdates(g, 4, SketchFlavor::kBottomK, ranks, epsilon);
+    for (uint32_t threads : {2u, 8u}) {
+      AdsSet parallel = BuildAdsLocalUpdatesParallel(
+          g, 4, SketchFlavor::kBottomK, ranks, epsilon, threads);
+      ExpectIdenticalAdsSet(reference, parallel,
+                            "epsilon " + std::to_string(epsilon) +
+                                " threads " + std::to_string(threads));
+    }
+  }
+}
+
+TEST(ParallelLocalUpdatesTest, WorkCountersMatchSequentialExactly) {
+  // Chunked rounds replay the sequential per-target decisions exactly, so
+  // even the churn counters (not just the output) must agree.
+  Graph g = RandomizeWeights(ErdosRenyi(120, 480, true, 3), 0.5, 2.0, 11);
+  auto ranks = RankAssignment::Uniform(9);
+  AdsBuildStats seq_stats, par_stats;
+  AdsSet reference = BuildAdsLocalUpdates(g, 8, SketchFlavor::kBottomK,
+                                          ranks, 0.0, &seq_stats);
+  AdsSet parallel = BuildAdsLocalUpdatesParallel(
+      g, 8, SketchFlavor::kBottomK, ranks, 0.0, 4, &par_stats);
+  ExpectIdenticalAdsSet(reference, parallel, "local-updates stats run");
+  EXPECT_EQ(seq_stats.insertions, par_stats.insertions);
+  EXPECT_EQ(seq_stats.deletions, par_stats.deletions);
+  EXPECT_EQ(seq_stats.relaxations, par_stats.relaxations);
+  EXPECT_EQ(seq_stats.rounds, par_stats.rounds);
+}
+
 TEST(ParallelDpTest, BitIdenticalAcrossThreadCounts) {
   for (const TestGraph& tg : TestGraphs()) {
     if (!tg.g.IsUnitWeight()) continue;

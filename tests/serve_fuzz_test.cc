@@ -1,0 +1,305 @@
+// Protocol robustness: the serving core must reject every malformed frame
+// cleanly — error response or error status, never a crash, never a partial
+// answer — because frames arrive from the network and are attacker-shaped.
+// The suite drives AdsServerCore::HandleFrame and the payload decoders
+// with systematic damage (truncation at every boundary, bad magic /
+// version / type, oversized length prefixes, corrupted checksums and
+// payload bytes) plus seeded random mutations; run under
+// -DHIPADS_SANITIZE=address via the `serialize` ctest label.
+
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "ads/backend.h"
+#include "ads/builders.h"
+#include "graph/generators.h"
+#include "serve/server.h"
+
+namespace hipads {
+namespace {
+
+// A small serving core the whole suite hammers.
+struct Fixture {
+  FlatAdsSet set;
+  FlatAdsBackend backend;
+  AdsServerCore core;
+
+  Fixture()
+      : set(FlatAdsSet::FromAdsSet(BuildAdsPrunedDijkstra(
+            ErdosRenyi(60, 180, true, 5), 4, SketchFlavor::kBottomK,
+            RankAssignment::Uniform(6)))),
+        backend(&set),
+        core(&backend, ServerOptions{}) {}
+};
+
+// Every response HandleFrame produces must itself be a valid frame; a
+// rejected request must come back as kError.
+void ExpectCleanRejection(AdsServerCore& core, const std::string& frame,
+                          const std::string& label) {
+  bool close_connection = false;
+  std::string response = core.HandleFrame(frame, &close_connection);
+  auto decoded = DecodeFrame(response);
+  ASSERT_TRUE(decoded.ok()) << label << ": response is not a frame";
+  EXPECT_EQ(decoded.value().type, MessageType::kError) << label;
+  EXPECT_FALSE(DecodeError(decoded.value().payload).ok()) << label;
+}
+
+std::vector<std::string> ValidRequestFrames() {
+  std::vector<std::string> frames;
+  frames.push_back(EncodeFrame(MessageType::kInfoRequest, ""));
+  PointRequestMsg point;
+  point.kind = PointKind::kLookup;
+  point.node = 3;
+  point.targets = {1, 2, 3};
+  frames.push_back(
+      EncodeFrame(MessageType::kPointRequest, EncodePointRequest(point)));
+  SweepRequestMsg sweep;
+  sweep.collectors = {
+      {CollectorKind::kDistanceHistogram, 0, 0, 0.0},
+      {CollectorKind::kHarmonic, 0, 0, 0.0},
+      {CollectorKind::kTopK, static_cast<uint32_t>(ScoreKind::kHarmonic), 3,
+       0.0}};
+  frames.push_back(
+      EncodeFrame(MessageType::kSweepRequest, EncodeSweepRequest(sweep)));
+  return frames;
+}
+
+TEST(ServeFuzzTest, ValidFramesAreAccepted) {
+  Fixture fx;
+  for (const std::string& frame : ValidRequestFrames()) {
+    bool close_connection = false;
+    std::string response = fx.core.HandleFrame(frame, &close_connection);
+    auto decoded = DecodeFrame(response);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_NE(decoded.value().type, MessageType::kError);
+    EXPECT_FALSE(close_connection);
+  }
+}
+
+TEST(ServeFuzzTest, TruncatedFramesAreRejectedAtEveryLength) {
+  Fixture fx;
+  for (const std::string& frame : ValidRequestFrames()) {
+    for (size_t len = 0; len < frame.size(); ++len) {
+      std::string truncated = frame.substr(0, len);
+      EXPECT_FALSE(DecodeFrame(truncated).ok()) << "length " << len;
+      ExpectCleanRejection(fx.core, truncated,
+                           "truncated to " + std::to_string(len));
+    }
+  }
+}
+
+TEST(ServeFuzzTest, BadMagicVersionAndTypeAreRejected) {
+  Fixture fx;
+  std::string frame = ValidRequestFrames()[0];
+  // Magic: flip each of the 8 leading bytes.
+  for (size_t i = 0; i < 8; ++i) {
+    std::string bad = frame;
+    bad[i] ^= 0x5a;
+    EXPECT_FALSE(DecodeFrame(bad).ok()) << "magic byte " << i;
+    ExpectCleanRejection(fx.core, bad, "magic byte " + std::to_string(i));
+  }
+  // Version: every value but the supported one.
+  for (uint32_t version : {0u, 2u, 7u, 0xffffffffu}) {
+    std::string bad = frame;
+    std::memcpy(bad.data() + 8, &version, sizeof(version));
+    EXPECT_FALSE(DecodeFrame(bad).ok()) << "version " << version;
+    ExpectCleanRejection(fx.core, bad, "version " + std::to_string(version));
+  }
+  // Type: outside the known range.
+  for (uint32_t type : {7u, 100u, 0xffffffffu}) {
+    std::string bad = frame;
+    std::memcpy(bad.data() + 12, &type, sizeof(type));
+    EXPECT_FALSE(DecodeFrame(bad).ok()) << "type " << type;
+    ExpectCleanRejection(fx.core, bad, "type " + std::to_string(type));
+  }
+}
+
+TEST(ServeFuzzTest, OversizedLengthPrefixesAreRejectedBeforeAllocation) {
+  Fixture fx;
+  std::string frame = ValidRequestFrames()[2];
+  // Payload lengths beyond the protocol bound must be rejected from the
+  // header alone — a hostile 8-byte length must never drive an allocation.
+  for (uint64_t huge :
+       {kMaxFramePayload + 1, uint64_t{1} << 40, uint64_t{0} - 1}) {
+    std::string bad = frame;
+    std::memcpy(bad.data() + 16, &huge, sizeof(huge));
+    FrameHeader header;
+    EXPECT_FALSE(
+        DecodeFrameHeader(bad.data(), kFrameHeaderBytes, &header).ok())
+        << huge;
+    ExpectCleanRejection(fx.core, bad, "huge length");
+  }
+  // In-bounds but wrong lengths fail the frame/size cross-check.
+  for (uint64_t wrong : {uint64_t{0}, uint64_t{1}, uint64_t{1} << 20}) {
+    std::string bad = frame;
+    std::memcpy(bad.data() + 16, &wrong, sizeof(wrong));
+    EXPECT_FALSE(DecodeFrame(bad).ok()) << wrong;
+    ExpectCleanRejection(fx.core, bad, "wrong length");
+  }
+}
+
+TEST(ServeFuzzTest, CorruptChecksumsAreRejected) {
+  Fixture fx;
+  for (const std::string& frame : ValidRequestFrames()) {
+    // Flip one bit anywhere in the frame: the whole-frame checksum (or a
+    // structural check) must catch it.
+    for (size_t i = 0; i < frame.size(); ++i) {
+      std::string bad = frame;
+      bad[i] ^= 0x01;
+      EXPECT_FALSE(DecodeFrame(bad).ok()) << "bit flip at byte " << i;
+      ExpectCleanRejection(fx.core, bad, "flip at " + std::to_string(i));
+    }
+  }
+}
+
+TEST(ServeFuzzTest, MalformedPayloadsInsideValidFramesAreRejected) {
+  Fixture fx;
+  // Structurally valid frames wrapping broken payloads: the payload
+  // decoders must reject them; the checksum cannot help here.
+  const std::vector<std::pair<MessageType, std::string>> cases = [] {
+    std::vector<std::pair<MessageType, std::string>> list;
+    // Truncated point request.
+    PointRequestMsg point;
+    point.targets = {1, 2, 3};
+    std::string p = EncodePointRequest(point);
+    for (size_t len : {size_t{0}, size_t{3}, p.size() - 9, p.size() - 1}) {
+      list.emplace_back(MessageType::kPointRequest, p.substr(0, len));
+    }
+    // Point request whose target count promises more than the payload.
+    {
+      WireWriter w;
+      w.U32(static_cast<uint32_t>(PointKind::kLookup));
+      w.U64(0);
+      w.U64(0);
+      w.F64(0.0);
+      w.U64(uint64_t{1} << 60);  // 2^60 targets
+      list.emplace_back(MessageType::kPointRequest, w.Take());
+    }
+    // Sweep request with an unknown collector kind.
+    {
+      WireWriter w;
+      w.U32(1);      // threads
+      w.U64(1);      // one collector
+      w.U32(999);    // unknown kind
+      w.U32(0);
+      w.U32(0);
+      w.F64(0.0);
+      list.emplace_back(MessageType::kSweepRequest, w.Take());
+    }
+    // Sweep request promising 2^59 collectors.
+    {
+      WireWriter w;
+      w.U32(1);
+      w.U64(uint64_t{1} << 59);
+      list.emplace_back(MessageType::kSweepRequest, w.Take());
+    }
+    // Trailing garbage after a valid message.
+    list.emplace_back(MessageType::kInfoRequest, std::string("tail"));
+    SweepRequestMsg sweep;
+    sweep.collectors = {{CollectorKind::kHarmonic, 0, 0, 0.0}};
+    list.emplace_back(MessageType::kSweepRequest,
+                      EncodeSweepRequest(sweep) + std::string(1, '\0'));
+    return list;
+  }();
+  for (size_t i = 0; i < cases.size(); ++i) {
+    std::string frame = EncodeFrame(cases[i].first, cases[i].second);
+    ExpectCleanRejection(fx.core, frame, "payload case " + std::to_string(i));
+  }
+}
+
+TEST(ServeFuzzTest, HostileThreadCountsAreClampedNotObeyed) {
+  // num_threads is wire-controlled; a request asking for 2^32-1 threads
+  // must be served (clamped to the hardware), not drive the pool into
+  // spawning until std::terminate.
+  Fixture fx;
+  SweepRequestMsg sweep;
+  sweep.collectors = {{CollectorKind::kHarmonic, 0, 0, 0.0}};
+  sweep.num_threads = 0xffffffffu;
+  bool close_connection = false;
+  std::string response = fx.core.HandleFrame(
+      EncodeFrame(MessageType::kSweepRequest, EncodeSweepRequest(sweep)),
+      &close_connection);
+  auto decoded = DecodeFrame(response);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().type, MessageType::kSweepResponse);
+}
+
+TEST(ServeFuzzTest, MalformedSweepPartialsAreRejectedByTheGather) {
+  // The gather side is a network consumer too: collector partials with
+  // wrong sizes / domains must fail AbsorbPartial cleanly.
+  std::vector<CollectorSpec> spec = {
+      {CollectorKind::kDistanceHistogram, 0, 0, 0.0},
+      {CollectorKind::kHarmonic, 0, 0, 0.0}};
+  SweepPlan plan;
+  auto built = BuildPlanFromSpec(spec, &plan, /*capture_partials=*/true);
+  ASSERT_TRUE(built.ok());
+  for (SweepCollector* c : built.value()) c->Begin(10);
+
+  SweepResponseMsg response;
+  response.begin = 0;
+  response.end = 10;
+  response.partials = {"", ""};  // harmonic partial: 0 doubles for 10 nodes
+  EXPECT_FALSE(AbsorbSweepResponse(response, built.value()).ok());
+
+  response.partials = {std::string(24, '\0'),  // not a multiple of 16
+                       std::string(80, '\0')};
+  EXPECT_FALSE(AbsorbSweepResponse(response, built.value()).ok());
+
+  response.partials = {std::string(16, '\0'),  // (dist=0, w=0): out of domain
+                       std::string(80, '\0')};
+  EXPECT_FALSE(AbsorbSweepResponse(response, built.value()).ok());
+
+  // Range outside the collected node space.
+  response.begin = 5;
+  response.end = 25;
+  response.partials = {"", std::string(20 * 8, '\0')};
+  EXPECT_FALSE(AbsorbSweepResponse(response, built.value()).ok());
+
+  // Partial count != plan size.
+  response.begin = 0;
+  response.end = 10;
+  response.partials = {""};
+  EXPECT_FALSE(AbsorbSweepResponse(response, built.value()).ok());
+}
+
+// Seeded random mutations: whatever the damage, HandleFrame must return a
+// well-formed frame and never crash (the asan lane gives this test its
+// teeth).
+TEST(ServeFuzzTest, RandomMutationsNeverCrashTheCore) {
+  Fixture fx;
+  std::vector<std::string> frames = ValidRequestFrames();
+  std::mt19937_64 rng(0xad55eedULL);
+  for (int iter = 0; iter < 3000; ++iter) {
+    std::string frame = frames[rng() % frames.size()];
+    switch (rng() % 4) {
+      case 0:  // flip 1..8 random bytes
+        for (uint64_t flips = 1 + rng() % 8; flips > 0; --flips) {
+          frame[rng() % frame.size()] ^= static_cast<char>(1 + rng() % 255);
+        }
+        break;
+      case 1:  // truncate
+        frame.resize(rng() % (frame.size() + 1));
+        break;
+      case 2:  // extend with junk
+        frame.append(1 + rng() % 64, static_cast<char>(rng()));
+        break;
+      case 3:  // pure junk of random length
+        frame.assign(rng() % 128, static_cast<char>(rng()));
+        for (char& c : frame) c = static_cast<char>(rng());
+        break;
+    }
+    bool close_connection = false;
+    std::string response = fx.core.HandleFrame(frame, &close_connection);
+    auto decoded = DecodeFrame(response);
+    ASSERT_TRUE(decoded.ok()) << "iteration " << iter;
+  }
+}
+
+}  // namespace
+}  // namespace hipads

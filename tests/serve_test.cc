@@ -1,0 +1,770 @@
+// The distributed serving subsystem (src/serve/). The acceptance
+// contract: every sweep statistic computed through the scatter/gather
+// router — loopback transport, >= 2 range servers, every backend engine
+// (in-memory copy, zero-copy mmap, sharded-with-prefetch, mixed fleets),
+// multiple per-server thread counts — is bitwise identical to a
+// single-process RunSweep over the same sketches; point requests route to
+// the owning range server (cross-server similarity runs router-side on
+// fetched sketches); a dead or missing range server fails the whole
+// operation closed; and the CLI's remote paths exit nonzero with no
+// partial output on any failure.
+
+#include "serve/router.h"
+
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ads/backend.h"
+#include "ads/builders.h"
+#include "ads/estimators.h"
+#include "ads/shard.h"
+#include "ads/similarity.h"
+#include "graph/generators.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace hipads {
+namespace {
+
+FlatAdsSet BuildFlat(uint32_t n, uint64_t graph_seed, uint32_t k) {
+  Graph g = ErdosRenyi(n, 3ULL * n, true, graph_seed);
+  return FlatAdsSet::FromAdsSet(BuildAdsPrunedDijkstra(
+      g, k, SketchFlavor::kBottomK, RankAssignment::Uniform(graph_seed + 1)));
+}
+
+struct ScratchDir {
+  explicit ScratchDir(const std::string& name)
+      : path((std::filesystem::temp_directory_path() / name).string()) {
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(path); }
+  std::string file(const std::string& name) const {
+    return (std::filesystem::path(path) / name).string();
+  }
+  std::string path;
+};
+
+// The sketches of global nodes [begin, end) as a standalone set (what a
+// shard file holds: local node i = global node begin + i, entry target ids
+// stay global).
+FlatAdsSet SliceSet(const FlatAdsSet& set, NodeId begin, NodeId end) {
+  FlatAdsSet slice;
+  slice.flavor = set.flavor;
+  slice.k = set.k;
+  slice.ranks = set.ranks;
+  for (NodeId v = begin; v < end; ++v) {
+    auto entries = set.of(v).entries();
+    slice.AppendNode(std::vector<AdsEntry>(entries.begin(), entries.end()));
+  }
+  return slice;
+}
+
+// Every wire-expressible collector kind, with parameters exercised.
+std::vector<CollectorSpec> FullSpec() {
+  return {
+      {CollectorKind::kDistanceHistogram, 0, 0, 0.0},
+      {CollectorKind::kDistanceSum, 0, 0, 0.0},
+      {CollectorKind::kHarmonic, 0, 0, 0.0},
+      {CollectorKind::kNeighborhoodSize, 0, 0, 2.0},
+      {CollectorKind::kReachableCount, 0, 0, 0.0},
+      {CollectorKind::kTopK, static_cast<uint32_t>(ScoreKind::kHarmonic), 5,
+       0.0},
+      {CollectorKind::kDistanceQuantile, 0, 0, 0.5},
+      {CollectorKind::kQg, static_cast<uint32_t>(QgKind::kExpDecay), 0, 0.5},
+  };
+}
+
+// Bitwise comparison of two collector sets built from the same spec.
+void ExpectCollectorsIdentical(const std::vector<CollectorSpec>& spec,
+                               const std::vector<SweepCollector*>& expected,
+                               const std::vector<SweepCollector*>& actual,
+                               const std::string& label) {
+  ASSERT_EQ(expected.size(), spec.size());
+  ASSERT_EQ(actual.size(), spec.size());
+  for (size_t i = 0; i < spec.size(); ++i) {
+    if (spec[i].kind == CollectorKind::kDistanceHistogram) {
+      auto* e = static_cast<DistanceHistogramCollector*>(expected[i]);
+      auto* a = static_cast<DistanceHistogramCollector*>(actual[i]);
+      EXPECT_EQ(e->Distribution(), a->Distribution()) << label;
+      EXPECT_EQ(e->NeighborhoodFunction(), a->NeighborhoodFunction())
+          << label;
+      EXPECT_EQ(e->EffectiveDiameter(), a->EffectiveDiameter()) << label;
+      EXPECT_EQ(e->MeanDistance(), a->MeanDistance()) << label;
+    } else {
+      auto* e = static_cast<PerNodeCollector*>(expected[i]);
+      auto* a = static_cast<PerNodeCollector*>(actual[i]);
+      EXPECT_EQ(e->values(), a->values()) << label << " collector " << i;
+      if (spec[i].kind == CollectorKind::kTopK) {
+        EXPECT_EQ(static_cast<TopKCollector*>(expected[i])->TopNodes(),
+                  static_cast<TopKCollector*>(actual[i])->TopNodes())
+            << label;
+      }
+    }
+  }
+}
+
+enum class Engine { kCopy, kMmap, kSharded };
+const char* EngineName(Engine e) {
+  switch (e) {
+    case Engine::kCopy:
+      return "copy";
+    case Engine::kMmap:
+      return "mmap";
+    case Engine::kSharded:
+      return "sharded";
+  }
+  return "?";
+}
+
+// One range server's worth of state: a backend over a node-range slice
+// (opened through the requested engine) plus its protocol core.
+struct RangeServer {
+  std::unique_ptr<AdsBackend> backend;
+  std::unique_ptr<AdsServerCore> core;
+};
+
+RangeServer MakeRangeServer(const FlatAdsSet& full, NodeId begin, NodeId end,
+                            Engine engine, const ScratchDir& dir,
+                            const std::string& name, uint32_t threads) {
+  RangeServer server;
+  FlatAdsSet slice = SliceSet(full, begin, end);
+  switch (engine) {
+    case Engine::kCopy:
+      server.backend = std::make_unique<FlatAdsBackend>(std::move(slice));
+      break;
+    case Engine::kMmap: {
+      std::string path = dir.file(name + ".ads2");
+      EXPECT_TRUE(
+          WriteAdsSetFile(slice, path, AdsFileFormat::kBinaryV2).ok());
+      auto mapped = MmapAdsSet::Open(path);
+      EXPECT_TRUE(mapped.ok()) << mapped.status().ToString();
+      server.backend =
+          std::make_unique<MmapAdsSet>(std::move(mapped).value());
+      break;
+    }
+    case Engine::kSharded: {
+      std::string shard_dir = dir.file(name + "-shards");
+      EXPECT_TRUE(WriteShardedAdsSet(slice, shard_dir, 2).ok());
+      ShardedOptions options;
+      options.prefetch = true;
+      options.prefetch_depth = 2;
+      auto sharded = ShardedAdsSet::Open(shard_dir, options);
+      EXPECT_TRUE(sharded.ok()) << sharded.status().ToString();
+      server.backend =
+          std::make_unique<ShardedAdsSet>(std::move(sharded).value());
+      break;
+    }
+  }
+  ServerOptions options;
+  options.node_begin = begin;
+  options.num_threads = threads;
+  server.core =
+      std::make_unique<AdsServerCore>(server.backend.get(), options);
+  return server;
+}
+
+// A loopback fleet over range servers: the full wire path (frames encoded,
+// checksummed, decoded) minus the socket.
+struct LoopbackFleet {
+  std::vector<RangeServer> servers;
+  FleetManifest manifest;
+
+  ChannelFactory Factory() {
+    return [this](const std::string& address)
+               -> StatusOr<std::unique_ptr<Channel>> {
+      for (size_t i = 0; i < manifest.servers.size(); ++i) {
+        if (manifest.servers[i].address == address) {
+          return std::unique_ptr<Channel>(
+              std::make_unique<LoopbackChannel>(servers[i].core.get()));
+        }
+      }
+      return Status::NotFound("no loopback server at " + address);
+    };
+  }
+};
+
+LoopbackFleet MakeFleet(const FlatAdsSet& full,
+                        const std::vector<NodeId>& splits,
+                        const std::vector<Engine>& engines,
+                        const ScratchDir& dir, uint32_t threads) {
+  LoopbackFleet fleet;
+  fleet.manifest.num_nodes = full.num_nodes();
+  for (size_t i = 0; i + 1 < splits.size(); ++i) {
+    std::string name =
+        "rs" + std::to_string(i) + "-" + EngineName(engines[i]);
+    fleet.servers.push_back(MakeRangeServer(full, splits[i], splits[i + 1],
+                                            engines[i], dir, name, threads));
+    fleet.manifest.servers.push_back(
+        FleetEntry{"loop:" + std::to_string(i), splits[i], splits[i + 1]});
+  }
+  return fleet;
+}
+
+// Single-process reference: the same spec over the whole arena.
+struct Reference {
+  SweepPlan plan;
+  std::vector<SweepCollector*> collectors;
+};
+
+void RunReference(const FlatAdsSet& full, const std::vector<CollectorSpec>& spec,
+                  Reference* ref) {
+  auto built = BuildPlanFromSpec(spec, &ref->plan, /*capture_partials=*/false);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  ref->collectors = built.value();
+  FlatAdsBackend backend(&full);
+  ASSERT_TRUE(RunSweep(backend, ref->plan, 1).ok());
+}
+
+// The acceptance matrix: >= 2 range servers, every engine (uniform and
+// mixed fleets), several per-server thread counts — all bitwise equal to
+// the single-process sweep.
+TEST(ServeTest, RouterMatchesSingleProcessBitwise) {
+  FlatAdsSet full = BuildFlat(240, 3, 8);
+  ScratchDir dir("hipads_serve_test_matrix");
+  std::vector<CollectorSpec> spec = FullSpec();
+  Reference ref;
+  RunReference(full, spec, &ref);
+
+  struct Case {
+    std::vector<NodeId> splits;
+    std::vector<Engine> engines;
+  };
+  const std::vector<Case> cases = {
+      {{0, 120, 240}, {Engine::kCopy, Engine::kCopy}},
+      {{0, 120, 240}, {Engine::kMmap, Engine::kMmap}},
+      {{0, 120, 240}, {Engine::kSharded, Engine::kSharded}},
+      {{0, 80, 150, 240}, {Engine::kCopy, Engine::kMmap, Engine::kSharded}},
+  };
+  int case_id = 0;
+  for (const Case& c : cases) {
+    for (uint32_t threads : {1u, 2u, 4u}) {
+      std::string label = "case " + std::to_string(case_id) + " threads " +
+                          std::to_string(threads);
+      ScratchDir case_dir("hipads_serve_test_matrix_c" +
+                          std::to_string(case_id) + "_t" +
+                          std::to_string(threads));
+      LoopbackFleet fleet =
+          MakeFleet(full, c.splits, c.engines, case_dir, threads);
+      auto router = FleetRouter::Connect(fleet.manifest, fleet.Factory());
+      ASSERT_TRUE(router.ok()) << label << ": "
+                               << router.status().ToString();
+      EXPECT_EQ(router.value().num_nodes(), full.num_nodes());
+      EXPECT_EQ(router.value().total_entries(), full.TotalEntries());
+
+      SweepPlan plan;
+      auto built = BuildPlanFromSpec(spec, &plan, /*capture_partials=*/false);
+      ASSERT_TRUE(built.ok());
+      SweepRequestMsg request;
+      request.collectors = spec;
+      request.num_threads = threads;
+      ASSERT_TRUE(
+          router.value().ExecuteSweep(request, built.value()).ok())
+          << label;
+      ExpectCollectorsIdentical(spec, ref.collectors, built.value(), label);
+    }
+    ++case_id;
+  }
+}
+
+// A router is itself a protocol endpoint: a client sweeping through
+// RouterCore gets the merged [0, N) partial, bitwise equal to the
+// reference — and a second-level router stacked on the first still does
+// (the histogram's replay stream survives the merge losslessly).
+TEST(ServeTest, RouterCoreServesMergedSweepsAndStacks) {
+  FlatAdsSet full = BuildFlat(200, 7, 8);
+  ScratchDir dir("hipads_serve_test_core");
+  std::vector<CollectorSpec> spec = FullSpec();
+  Reference ref;
+  RunReference(full, spec, &ref);
+
+  LoopbackFleet fleet = MakeFleet(full, {0, 90, 200},
+                                  {Engine::kCopy, Engine::kSharded}, dir, 2);
+  auto router = FleetRouter::Connect(fleet.manifest, fleet.Factory());
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+  RouterCore core(&router.value());
+  LoopbackChannel channel(&core);
+
+  // Client side: same spec, remote execution through the router core.
+  {
+    SweepPlan plan;
+    auto built = BuildPlanFromSpec(spec, &plan, /*capture_partials=*/false);
+    ASSERT_TRUE(built.ok());
+    SweepRequestMsg request;
+    request.collectors = spec;
+    request.num_threads = 2;
+    ASSERT_TRUE(ExecuteRemoteSweep(channel, request, full.num_nodes(),
+                                   built.value())
+                    .ok());
+    ExpectCollectorsIdentical(spec, ref.collectors, built.value(),
+                              "router core");
+  }
+
+  // Stacked: a second-level router whose single "range server" is the
+  // first router.
+  {
+    FleetManifest outer;
+    outer.num_nodes = full.num_nodes();
+    outer.servers.push_back(
+        FleetEntry{"inner", 0, static_cast<NodeId>(full.num_nodes())});
+    auto factory = [&core](const std::string&)
+        -> StatusOr<std::unique_ptr<Channel>> {
+      return std::unique_ptr<Channel>(
+          std::make_unique<LoopbackChannel>(&core));
+    };
+    auto outer_router = FleetRouter::Connect(outer, factory);
+    ASSERT_TRUE(outer_router.ok()) << outer_router.status().ToString();
+    SweepPlan plan;
+    auto built = BuildPlanFromSpec(spec, &plan, /*capture_partials=*/false);
+    ASSERT_TRUE(built.ok());
+    SweepRequestMsg request;
+    request.collectors = spec;
+    ASSERT_TRUE(
+        outer_router.value().ExecuteSweep(request, built.value()).ok());
+    ExpectCollectorsIdentical(spec, ref.collectors, built.value(),
+                              "stacked routers");
+  }
+}
+
+// True multi-level fan-out: an outer router over two inner routers, each
+// an OFFSET sub-fleet of two leaf range servers ([0,100) and [100,200)).
+// The whole tree — leaf partials, inner node-order gathers, inner
+// re-encoded [B, N) slices, outer gather — must still be bitwise equal to
+// the single-process sweep, and point queries must route down the tree.
+TEST(ServeTest, TwoLevelRouterTreeMatchesSingleProcessBitwise) {
+  FlatAdsSet full = BuildFlat(200, 23, 8);
+  ScratchDir dir("hipads_serve_test_tree");
+  std::vector<CollectorSpec> spec = FullSpec();
+  Reference ref;
+  RunReference(full, spec, &ref);
+
+  // Leaves: four range servers of 50 nodes each.
+  LoopbackFleet leaves = MakeFleet(
+      full, {0, 50, 100, 150, 200},
+      {Engine::kCopy, Engine::kMmap, Engine::kSharded, Engine::kCopy}, dir,
+      2);
+
+  // Inner tier: sub-fleet A = leaves 0-1 over [0, 100); sub-fleet B =
+  // leaves 2-3 over [100, 200) (an offset manifest).
+  auto sub_manifest = [&leaves](size_t lo, size_t hi) {
+    FleetManifest m;
+    m.num_nodes = leaves.manifest.servers[hi - 1].end;
+    m.servers.assign(leaves.manifest.servers.begin() + lo,
+                     leaves.manifest.servers.begin() + hi);
+    return m;
+  };
+  auto inner_a = FleetRouter::Connect(sub_manifest(0, 2), leaves.Factory());
+  auto inner_b = FleetRouter::Connect(sub_manifest(2, 4), leaves.Factory());
+  ASSERT_TRUE(inner_a.ok()) << inner_a.status().ToString();
+  ASSERT_TRUE(inner_b.ok()) << inner_b.status().ToString();
+  EXPECT_EQ(inner_b.value().node_begin(), 100u);
+  RouterCore core_a(&inner_a.value());
+  RouterCore core_b(&inner_b.value());
+
+  // Outer tier: the two inner routers are its "range servers".
+  FleetManifest outer;
+  outer.num_nodes = 200;
+  outer.servers = {{"inner-a", 0, 100}, {"inner-b", 100, 200}};
+  auto factory = [&core_a, &core_b](const std::string& address)
+      -> StatusOr<std::unique_ptr<Channel>> {
+    return std::unique_ptr<Channel>(std::make_unique<LoopbackChannel>(
+        address == "inner-a" ? &core_a : &core_b));
+  };
+  auto outer_router = FleetRouter::Connect(outer, factory);
+  ASSERT_TRUE(outer_router.ok()) << outer_router.status().ToString();
+
+  SweepPlan plan;
+  auto built = BuildPlanFromSpec(spec, &plan, /*capture_partials=*/false);
+  ASSERT_TRUE(built.ok());
+  SweepRequestMsg request;
+  request.collectors = spec;
+  request.num_threads = 2;
+  ASSERT_TRUE(outer_router.value().ExecuteSweep(request, built.value()).ok());
+  ExpectCollectorsIdentical(spec, ref.collectors, built.value(),
+                            "two-level tree");
+
+  // Point queries route through both tiers, including a Jaccard pair
+  // spanning the two sub-fleets (fetched through the inner routers).
+  PointRequestMsg jaccard;
+  jaccard.kind = PointKind::kJaccard;
+  jaccard.node = 30;
+  jaccard.other = 160;
+  jaccard.d = 2.0;
+  auto response = outer_router.value().Point(jaccard);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response.value().values[0],
+            JaccardSimilarity(full.of(30), full.of(160), 2.0, full.k,
+                              full.ranks.sup()));
+}
+
+// Point requests route by range; answers match direct computation on the
+// full arena, including Jaccard pairs that span two servers.
+TEST(ServeTest, PointRequestsRouteToOwningServers) {
+  FlatAdsSet full = BuildFlat(180, 11, 8);
+  ScratchDir dir("hipads_serve_test_point");
+  LoopbackFleet fleet = MakeFleet(full, {0, 90, 180},
+                                  {Engine::kCopy, Engine::kMmap}, dir, 1);
+  auto router = FleetRouter::Connect(fleet.manifest, fleet.Factory());
+  ASSERT_TRUE(router.ok());
+
+  for (NodeId v : {0u, 17u, 89u, 90u, 179u}) {
+    // Node stats: reachable / harmonic / distance sum.
+    PointRequestMsg request;
+    request.kind = PointKind::kNodeStats;
+    request.node = v;
+    request.d = std::numeric_limits<double>::infinity();
+    auto response = router.value().Point(request);
+    ASSERT_TRUE(response.ok()) << "node " << v;
+    HipEstimator est(full.of(v), full.k, full.flavor, full.ranks);
+    ASSERT_EQ(response.value().values.size(), 3u);
+    EXPECT_EQ(response.value().values[0], est.ReachableCount());
+    EXPECT_EQ(response.value().values[1], est.HarmonicCentrality());
+    EXPECT_EQ(response.value().values[2], est.DistanceSum());
+
+    // Lookup through the owning server's node index.
+    PointRequestMsg lookup;
+    lookup.kind = PointKind::kLookup;
+    lookup.node = v;
+    lookup.targets = {0, 5, 91, 170};
+    auto found = router.value().Point(lookup);
+    ASSERT_TRUE(found.ok());
+    AdsNodeIndex index(full.of(v));
+    ASSERT_EQ(found.value().values.size(), lookup.targets.size());
+    for (size_t i = 0; i < lookup.targets.size(); ++i) {
+      EXPECT_EQ(found.value().values[i],
+                index.DistanceOf(static_cast<NodeId>(lookup.targets[i])))
+          << "node " << v << " target " << lookup.targets[i];
+    }
+  }
+
+  // Jaccard: same-server pair and cross-server pair.
+  for (auto [u, v] : {std::pair<NodeId, NodeId>{3, 70},
+                      std::pair<NodeId, NodeId>{17, 140}}) {
+    PointRequestMsg request;
+    request.kind = PointKind::kJaccard;
+    request.node = u;
+    request.other = v;
+    request.d = 3.0;
+    auto response = router.value().Point(request);
+    ASSERT_TRUE(response.ok()) << u << "," << v;
+    double sup = full.ranks.sup();
+    ASSERT_EQ(response.value().values.size(), 2u);
+    EXPECT_EQ(response.value().values[0],
+              JaccardSimilarity(full.of(u), full.of(v), 3.0, full.k, sup));
+    EXPECT_EQ(response.value().values[1],
+              UnionCardinality(full.of(u), full.of(v), 3.0, full.k, sup));
+  }
+
+  // Out-of-range node: clean error, no crash.
+  PointRequestMsg bad;
+  bad.kind = PointKind::kNodeStats;
+  bad.node = 5000;
+  EXPECT_FALSE(router.value().Point(bad).ok());
+}
+
+// A channel whose sweep calls fail (the wire analog of a server dying
+// between handshake and query).
+class DyingChannel : public Channel {
+ public:
+  explicit DyingChannel(FrameHandler* handler) : inner_(handler) {}
+  Status Call(std::string_view request, Frame* response) override {
+    auto frame = DecodeFrame(request);
+    if (frame.ok() && frame.value().type == MessageType::kSweepRequest) {
+      return Status::IOError("server died mid-sweep");
+    }
+    return inner_.Call(request, response);
+  }
+
+ private:
+  LoopbackChannel inner_;
+};
+
+TEST(ServeTest, DeadOrMissingServerFailsClosed) {
+  FlatAdsSet full = BuildFlat(160, 13, 4);
+  ScratchDir dir("hipads_serve_test_dead");
+  LoopbackFleet fleet = MakeFleet(full, {0, 80, 160},
+                                  {Engine::kCopy, Engine::kCopy}, dir, 1);
+
+  // A server missing at connect time fails the fleet handshake.
+  {
+    auto factory = fleet.Factory();
+    auto broken = [&factory](const std::string& address)
+        -> StatusOr<std::unique_ptr<Channel>> {
+      if (address == "loop:1") {
+        return Status::IOError("connection refused");
+      }
+      return factory(address);
+    };
+    auto router = FleetRouter::Connect(fleet.manifest, broken);
+    EXPECT_FALSE(router.ok());
+  }
+
+  // A server dying between handshake and sweep fails the whole sweep.
+  {
+    auto factory = fleet.Factory();
+    auto dying = [&fleet, &factory](const std::string& address)
+        -> StatusOr<std::unique_ptr<Channel>> {
+      if (address == "loop:1") {
+        return std::unique_ptr<Channel>(
+            std::make_unique<DyingChannel>(fleet.servers[1].core.get()));
+      }
+      return factory(address);
+    };
+    auto router = FleetRouter::Connect(fleet.manifest, dying);
+    ASSERT_TRUE(router.ok()) << router.status().ToString();
+    std::vector<CollectorSpec> spec = FullSpec();
+    SweepPlan plan;
+    auto built = BuildPlanFromSpec(spec, &plan, false);
+    ASSERT_TRUE(built.ok());
+    SweepRequestMsg request;
+    request.collectors = spec;
+    Status swept = router.value().ExecuteSweep(request, built.value());
+    EXPECT_FALSE(swept.ok());
+    EXPECT_EQ(swept.code(), Status::Code::kIOError);
+  }
+
+  // A manifest range nobody serves is rejected at connect.
+  {
+    FleetManifest wrong = fleet.manifest;
+    wrong.servers[1].begin = 100;  // gap [80, 100)
+    EXPECT_FALSE(ValidateFleetManifest(wrong).ok());
+    EXPECT_FALSE(FleetRouter::Connect(wrong, fleet.Factory()).ok());
+  }
+  // A server reporting a different range than the manifest assigns fails
+  // the handshake.
+  {
+    FleetManifest lying = fleet.manifest;
+    lying.num_nodes = 170;
+    lying.servers[1].end = 170;
+    EXPECT_FALSE(FleetRouter::Connect(lying, fleet.Factory()).ok());
+  }
+}
+
+TEST(ServeTest, FleetManifestRoundTripsAndRejectsMalformed) {
+  FleetManifest manifest;
+  manifest.num_nodes = 400;
+  manifest.servers = {{"10.0.0.1:7470", 0, 198},
+                      {"10.0.0.2:7470", 198, 400}};
+  std::string text = SerializeFleetManifest(manifest);
+  auto parsed = ParseFleetManifest(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().num_nodes, 400u);
+  ASSERT_EQ(parsed.value().servers.size(), 2u);
+  EXPECT_EQ(parsed.value().servers[1].address, "10.0.0.2:7470");
+  EXPECT_EQ(parsed.value().servers[1].begin, 198u);
+  EXPECT_EQ(SerializeFleetManifest(parsed.value()), text);
+
+  const char* bad[] = {
+      "not-a-manifest\nnodes 4\nserver 0 4 a:1\n",
+      "hipads-fleet-v1\nserver 0 4 a:1\n",              // no nodes line
+      "hipads-fleet-v1\nnodes 4\n",                     // no servers
+      "hipads-fleet-v1\nnodes 4\nserver 0 3 a:1\n",     // does not reach N
+      "hipads-fleet-v1\nnodes 4\nserver 0 2 a:1\nserver 3 4 b:1\n",  // gap
+      "hipads-fleet-v1\nnodes 4\nserver 0 3 a:1\nserver 2 4 b:1\n",  // overlap
+      "hipads-fleet-v1\nnodes 4\nserver 2 2 a:1\nserver 2 4 b:1\n",  // empty
+      "hipads-fleet-v1\nnodes 4\nserver 0 4\n",         // missing address
+      "hipads-fleet-v1\nnodes 4\nwhat 0 4 a:1\n",       // unknown line
+  };
+  for (const char* text_case : bad) {
+    EXPECT_FALSE(ParseFleetManifest(text_case).ok()) << text_case;
+  }
+
+  // A first range starting past 0 is a sub-fleet (an inner tier of a
+  // stacked router tree), not an error.
+  auto sub = ParseFleetManifest("hipads-fleet-v1\nnodes 4\nserver 1 4 a:1\n");
+  ASSERT_TRUE(sub.ok()) << sub.status().ToString();
+  EXPECT_EQ(sub.value().servers.front().begin, 1u);
+}
+
+// The real-socket path: two TCP range servers, a TCP-connected router,
+// results bitwise equal to the reference. Ephemeral ports, loopback
+// interface — deterministic enough for ctest.
+TEST(ServeTest, TcpFleetEndToEnd) {
+  FlatAdsSet full = BuildFlat(160, 17, 8);
+  ScratchDir dir("hipads_serve_test_tcp");
+  std::vector<CollectorSpec> spec = FullSpec();
+  Reference ref;
+  RunReference(full, spec, &ref);
+
+  LoopbackFleet fleet = MakeFleet(full, {0, 80, 160},
+                                  {Engine::kCopy, Engine::kCopy}, dir, 1);
+  TcpServer server0(fleet.servers[0].core.get(), {0, 2});
+  TcpServer server1(fleet.servers[1].core.get(), {0, 2});
+  ASSERT_TRUE(server0.Start().ok());
+  ASSERT_TRUE(server1.Start().ok());
+
+  FleetManifest manifest;
+  manifest.num_nodes = full.num_nodes();
+  manifest.servers = {
+      {"127.0.0.1:" + std::to_string(server0.port()), 0, 80},
+      {"127.0.0.1:" + std::to_string(server1.port()), 80, 160}};
+  auto router = FleetRouter::Connect(manifest, TcpChannelFactory());
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  SweepPlan plan;
+  auto built = BuildPlanFromSpec(spec, &plan, false);
+  ASSERT_TRUE(built.ok());
+  SweepRequestMsg request;
+  request.collectors = spec;
+  request.num_threads = 2;
+  ASSERT_TRUE(router.value().ExecuteSweep(request, built.value()).ok());
+  ExpectCollectorsIdentical(spec, ref.collectors, built.value(), "tcp fleet");
+
+  // Cross-server point query over TCP.
+  PointRequestMsg jaccard;
+  jaccard.kind = PointKind::kJaccard;
+  jaccard.node = 10;
+  jaccard.other = 150;
+  jaccard.d = 2.0;
+  auto response = router.value().Point(jaccard);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().values[0],
+            JaccardSimilarity(full.of(10), full.of(150), 2.0, full.k,
+                              full.ranks.sup()));
+
+  server0.Stop();
+  server1.Stop();
+}
+
+#ifdef HIPADS_CLI_PATH
+
+int RunCli(const std::string& args, const std::string& stdout_path) {
+  std::string command = std::string(HIPADS_CLI_PATH) + " " + args + " > " +
+                        stdout_path + " 2>/dev/null";
+  int rc = std::system(command.c_str());
+  return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+uint64_t FileSize(const std::string& path) {
+  std::error_code ec;
+  uint64_t size = std::filesystem::file_size(path, ec);
+  return ec ? 0 : size;
+}
+
+// A TCP port that nothing listens on: bind an ephemeral port, read its
+// number, close it.
+uint16_t ClosedPort() {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  ::close(fd);
+  return ntohs(addr.sin_port);
+}
+
+// A server that answers every frame with bytes that are not a frame.
+class GarbageHandler : public FrameHandler {
+ public:
+  std::string HandleFrame(std::string_view, bool* close_connection) override {
+    *close_connection = false;
+    return std::string(64, 'x');
+  }
+};
+
+// The CLI acceptance: remote failures exit nonzero with NO partial output.
+TEST(ServeTest, CliRemoteFailuresExitNonzeroWithNoOutput) {
+  ScratchDir dir("hipads_serve_test_cli_fail");
+  // Dead server: connection refused.
+  {
+    std::string out = dir.file("dead.out");
+    int rc = RunCli("stats --remote 127.0.0.1:" +
+                        std::to_string(ClosedPort()),
+                    out);
+    EXPECT_NE(rc, 0);
+    EXPECT_EQ(FileSize(out), 0u) << "partial output on dead server";
+  }
+  // Malforming server: responses that are not frames.
+  {
+    GarbageHandler garbage;
+    TcpServer server(&garbage, {0, 1});
+    ASSERT_TRUE(server.Start().ok());
+    std::string out = dir.file("garbage.out");
+    int rc = RunCli("stats --remote 127.0.0.1:" +
+                        std::to_string(server.port()),
+                    out);
+    EXPECT_NE(rc, 0);
+    EXPECT_EQ(FileSize(out), 0u) << "partial output on malformed frames";
+    std::string out2 = dir.file("garbage-query.out");
+    rc = RunCli("query --remote 127.0.0.1:" +
+                    std::to_string(server.port()) + " --node 1",
+                out2);
+    EXPECT_NE(rc, 0);
+    EXPECT_EQ(FileSize(out2), 0u);
+    server.Stop();
+  }
+}
+
+// Positive CLI end-to-end: `stats`/`query --remote` against an in-process
+// TCP server print byte-identical output to the local commands.
+TEST(ServeTest, CliRemoteMatchesLocalByteForByte) {
+  FlatAdsSet full = BuildFlat(150, 19, 8);
+  ScratchDir dir("hipads_serve_test_cli_ok");
+  std::string set_path = dir.file("set.ads2");
+  ASSERT_TRUE(
+      WriteAdsSetFile(full, set_path, AdsFileFormat::kBinaryV2).ok());
+
+  FlatAdsBackend backend(&full);
+  AdsServerCore core(&backend, ServerOptions{});
+  TcpServer server(&core, {0, 2});
+  ASSERT_TRUE(server.Start().ok());
+  std::string remote = "127.0.0.1:" + std::to_string(server.port());
+
+  struct Case {
+    const char* name;
+    std::string local;
+    std::string remote_args;
+  };
+  const std::vector<Case> cases = {
+      {"stats",
+       "stats --sketches " + set_path +
+           " --top 4 --distance-quantile 0.5 --qg exp --qg-param 0.5",
+       "stats --remote " + remote +
+           " --top 4 --distance-quantile 0.5 --qg exp --qg-param 0.5"},
+      {"query-top", "query --sketches " + set_path + " --top 3",
+       "query --remote " + remote + " --top 3"},
+      {"query-node", "query --sketches " + set_path + " --node 7",
+       "query --remote " + remote + " --node 7"},
+      {"query-lookup",
+       "query --sketches " + set_path + " --node 7 --lookup 1,2,140",
+       "query --remote " + remote + " --node 7 --lookup 1,2,140"},
+      {"query-jaccard",
+       "query --sketches " + set_path + " --node 7 --jaccard 9 --distance 3",
+       "query --remote " + remote + " --node 7 --jaccard 9 --distance 3"},
+  };
+  for (const Case& c : cases) {
+    std::string local_out = dir.file(std::string(c.name) + ".local");
+    std::string remote_out = dir.file(std::string(c.name) + ".remote");
+    ASSERT_EQ(RunCli(c.local, local_out), 0) << c.name;
+    ASSERT_EQ(RunCli(c.remote_args, remote_out), 0) << c.name;
+    std::ifstream a(local_out), b(remote_out);
+    std::stringstream sa, sb;
+    sa << a.rdbuf();
+    sb << b.rdbuf();
+    EXPECT_GT(sa.str().size(), 0u) << c.name;
+    EXPECT_EQ(sa.str(), sb.str()) << c.name;
+  }
+  server.Stop();
+}
+
+#endif  // HIPADS_CLI_PATH
+
+}  // namespace
+}  // namespace hipads

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -310,6 +311,89 @@ TEST(SweepTest, SoaLayoutMatchesAosBitwise) {
                 soa_est.NeighborhoodCardinality(2.0));
     }
   }
+}
+
+// The collector-library additions: per-node distance quantiles and custom
+// Q_g ride the fused pass and match per-node HipEstimator evaluation.
+TEST(SweepTest, QuantileAndQgCollectorsMatchPerNodeEstimators) {
+  FlatAdsSet set = BuildFlat(150, 31, 8);
+  SweepPlan plan;
+  auto* median = plan.Emplace<DistanceQuantileCollector>(0.5);
+  auto* q90 = plan.Emplace<DistanceQuantileCollector>(0.9);
+  auto g = [](NodeId, double d) { return std::pow(0.5, d); };
+  auto* qg = plan.Emplace<QgCollector>(g);
+  RunSweep(set, plan, 2);
+  for (NodeId v = 0; v < set.num_nodes(); ++v) {
+    HipEstimator est(set.of(v), set.k, set.flavor, set.ranks);
+    EXPECT_EQ(median->values()[v], est.DistanceQuantile(0.5)) << v;
+    EXPECT_EQ(q90->values()[v], est.DistanceQuantile(0.9)) << v;
+    EXPECT_EQ(qg->values()[v], est.Qg(g)) << v;
+  }
+}
+
+// The distributed partial-state seam at the collector level: sweeping a
+// node-range split separately, encoding each range's partial and absorbing
+// them in node order reproduces the single-process sweep bitwise —
+// including the order-sensitive histogram fold (whose partial is a replay
+// stream, not a summed map).
+TEST(SweepTest, EncodedPartialsReplayToTheSingleProcessResultBitwise) {
+  FlatAdsSet set = BuildFlat(170, 37, 8);
+  size_t n = set.num_nodes();
+
+  SweepPlan full_plan;
+  auto* full_hist = full_plan.Emplace<DistanceHistogramCollector>();
+  auto* full_harmonic = full_plan.Emplace<HarmonicCentralityCollector>();
+  RunSweep(set, full_plan, 1);
+
+  for (std::vector<NodeId> splits :
+       {std::vector<NodeId>{0, 85, 170}, {0, 40, 90, 170}}) {
+    DistanceHistogramCollector merged_hist;
+    HarmonicCentralityCollector merged_harmonic;
+    merged_hist.Begin(n);
+    merged_harmonic.Begin(n);
+    for (size_t r = 0; r + 1 < splits.size(); ++r) {
+      // One "range server": a standalone sweep over the slice.
+      FlatAdsSet slice;
+      slice.flavor = set.flavor;
+      slice.k = set.k;
+      slice.ranks = set.ranks;
+      for (NodeId v = splits[r]; v < splits[r + 1]; ++v) {
+        auto entries = set.of(v).entries();
+        slice.AppendNode(
+            std::vector<AdsEntry>(entries.begin(), entries.end()));
+      }
+      SweepPlan range_plan;
+      auto* hist = range_plan.Emplace<DistanceHistogramCollector>();
+      hist->EnableCapture();
+      auto* harmonic = range_plan.Emplace<HarmonicCentralityCollector>();
+      RunSweep(slice, range_plan, 2);
+
+      NodeId slice_nodes = splits[r + 1] - splits[r];
+      std::string hist_partial, harmonic_partial;
+      ASSERT_TRUE(hist->EncodePartial(0, slice_nodes, &hist_partial).ok());
+      ASSERT_TRUE(
+          harmonic->EncodePartial(0, slice_nodes, &harmonic_partial).ok());
+      ASSERT_TRUE(
+          merged_hist.AbsorbPartial(splits[r], splits[r + 1], hist_partial)
+              .ok());
+      ASSERT_TRUE(merged_harmonic
+                      .AbsorbPartial(splits[r], splits[r + 1],
+                                     harmonic_partial)
+                      .ok());
+    }
+    EXPECT_EQ(merged_hist.Distribution(), full_hist->Distribution());
+    EXPECT_EQ(merged_harmonic.values(), full_harmonic->values());
+  }
+
+  // Without capture the histogram has no replayable partial — encoding
+  // must fail rather than ship a lossy summary.
+  std::string ignored;
+  EXPECT_FALSE(
+      full_hist->EncodePartial(0, static_cast<NodeId>(n), &ignored).ok());
+  // A per-node slice outside the collected range must be rejected.
+  EXPECT_FALSE(full_harmonic
+                   ->EncodePartial(0, static_cast<NodeId>(n + 1), &ignored)
+                   .ok());
 }
 
 // Borrowed collectors (Add) and owned collectors (Emplace) behave

@@ -7,6 +7,18 @@
 //   shard      split a stored ADS set into a sharded directory
 //   query      answer estimation queries from a stored ADS set
 //   stats      whole-graph statistics from a stored ADS set
+//   serve      expose a stored ADS set over the wire protocol (TCP)
+//   route      scatter/gather front end over a fleet of range servers
+//
+// Distributed serving: `serve` answers point and fused-sweep requests over
+// the node range its backend holds (`--node-begin B` maps local node 0 to
+// global node B — point it at one shard file of a sharded set); `route`
+// reads a fleet manifest (host -> node range), fans every sweep out to all
+// range servers and merges the partials in node order, so routed results
+// are bitwise identical to a single-process sweep. `query`/`stats`
+// `--remote host:port` target either a server or a router — the protocol
+// makes them indistinguishable. Any failure (dead server, malformed frame,
+// node out of range) exits nonzero before printing any result.
 //
 // `query` and `stats` accept a plain ADS file (v1 or v2, auto-detected) or
 // a shard directory / manifest written by `shard`; every input is served
@@ -37,7 +49,13 @@
 //   hipads_cli query --sketches shards/ --top 10 --centrality harmonic
 //   hipads_cli stats --sketches shards/ --backend=mmap --resident 2
 //   hipads_cli stats --sketches shards/ --top 10 --prefetch 2
+//   hipads_cli stats --sketches s.ads2 --distance-quantile 0.5 --qg exp
+//   hipads_cli serve --sketches shards/shard-00000.ads2 --port 7470
+//   hipads_cli route --fleet fleet.txt --port 7480
+//   hipads_cli stats --remote 127.0.0.1:7480 --top 10
+//   hipads_cli query --remote 127.0.0.1:7480 --node 17 --jaccard 23
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -61,8 +79,14 @@
 #include "ads/sweep.h"
 #include "graph/generators.h"
 #include "graph/io.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/router.h"
+#include "serve/server.h"
 #include "util/parallel.h"
 #include "util/table.h"
+
+#include <unistd.h>
 
 namespace hipads {
 namespace {
@@ -280,22 +304,6 @@ void PrintTopTable(const TopKCollector& top, const std::string& kind) {
   t.PrintText(std::cout);
 }
 
-// The per-node statistic behind a --centrality flag, or null for an
-// unknown kind.
-std::function<double(const HipEstimator&)> CentralityFn(
-    const std::string& kind) {
-  if (kind == "harmonic") {
-    return [](const HipEstimator& est) { return est.HarmonicCentrality(); };
-  }
-  if (kind == "distsum") {
-    return [](const HipEstimator& est) { return est.DistanceSum(); };
-  }
-  if (kind == "reach") {
-    return [](const HipEstimator& est) { return est.ReachableCount(); };
-  }
-  return nullptr;
-}
-
 void PrintNodeQuery(const Args& args, uint64_t node,
                     const HipEstimator& est) {
   if (args.Has("distance")) {
@@ -360,27 +368,174 @@ std::optional<std::vector<NodeId>> ParseNodeList(const std::string& list) {
   return nodes;
 }
 
-int CmdQuery(const Args& args) {
+// What a fused sweep produced, wherever it ran: typed collector pointers
+// (spec order) plus the served set's shape for the header lines.
+struct SweepOutcome {
+  std::vector<SweepCollector*> collectors;
+  size_t num_nodes = 0;
+  uint32_t k = 0;
+  uint64_t total_entries = 0;
+};
+
+// Shared engine of `query --top` and `stats`: builds the collectors the
+// spec names, then runs ONE fused sweep — locally over the opened backend,
+// or remotely by shipping the very same spec to a server/router
+// (`--remote host:port`). Local and remote paths run identical collector
+// objects, so their outputs are bitwise interchangeable. Returns a
+// nonzero exit code on any failure, before anything is printed.
+int ExecuteSpec(const Args& args, const std::vector<CollectorSpec>& spec,
+                SweepPlan* plan, std::unique_ptr<AdsBackend>* backend,
+                SweepOutcome* out) {
+  auto built = BuildPlanFromSpec(spec, plan, /*capture_partials=*/false);
+  if (!built.ok()) return Fail(built.status());
+  out->collectors = built.value();
+  uint32_t threads = static_cast<uint32_t>(args.GetInt("threads", 0));
+  if (args.Has("remote")) {
+    auto channel = TcpChannel::ConnectAddress(args.Get("remote", ""));
+    if (!channel.ok()) return Fail(channel.status());
+    AdsClient client(channel.value().get());
+    auto info = client.Info();
+    if (!info.ok()) return Fail(info.status());
+    SweepRequestMsg request;
+    request.collectors = spec;
+    request.num_threads = threads;
+    Status s = ExecuteRemoteSweep(*channel.value(), request,
+                                  info.value().node_end, out->collectors);
+    if (!s.ok()) return Fail(s);
+    out->num_nodes = info.value().node_end;
+    out->k = info.value().k;
+    out->total_entries = info.value().total_entries;
+    return 0;
+  }
   auto opened = OpenServingBackend(args);
   if (!opened.ok()) return Fail(opened.status());
-  const AdsBackend& set = *opened.value();
+  *backend = std::move(opened).value();
+  Status swept = RunSweep(**backend, *plan, threads);
+  if (!swept.ok()) return Fail(swept);
+  out->num_nodes = (*backend)->num_nodes();
+  out->k = (*backend)->k();
+  out->total_entries = (*backend)->TotalEntries();
+  return 0;
+}
 
+// `query --remote`: point requests answered by a range server or fleet
+// router; the output format matches the local paths line for line.
+int RemotePointQuery(const Args& args, uint64_t node) {
+  auto channel = TcpChannel::ConnectAddress(args.Get("remote", ""));
+  if (!channel.ok()) return Fail(channel.status());
+  AdsClient client(channel.value().get());
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  if (args.Has("lookup")) {
+    auto targets = ParseNodeList(args.Get("lookup", ""));
+    if (!targets.has_value()) {
+      std::fprintf(stderr, "bad --lookup list '%s' (want n1,n2,...)\n",
+                   args.Get("lookup", "").c_str());
+      return 2;
+    }
+    PointRequestMsg request;
+    request.kind = PointKind::kLookup;
+    request.node = node;
+    request.targets.assign(targets->begin(), targets->end());
+    auto response = client.Point(request);
+    if (!response.ok()) return Fail(response.status());
+    if (response.value().values.size() != targets->size()) {
+      return Fail(Status::Corruption("lookup response size mismatch"));
+    }
+    for (size_t i = 0; i < targets->size(); ++i) {
+      double d = response.value().values[i];
+      if (d < 0.0) {
+        std::printf("node %llu: %u not sketched\n",
+                    static_cast<unsigned long long>(node),
+                    targets.value()[i]);
+      } else {
+        std::printf("node %llu: d(%u) = %g\n",
+                    static_cast<unsigned long long>(node),
+                    targets.value()[i], d);
+      }
+    }
+    return 0;
+  }
+
+  if (args.Has("jaccard")) {
+    PointRequestMsg request;
+    request.kind = PointKind::kJaccard;
+    request.node = node;
+    request.other = args.GetInt("jaccard", 0);
+    request.d = args.GetDouble("distance", kInf);
+    auto response = client.Point(request);
+    if (!response.ok()) return Fail(response.status());
+    if (response.value().values.size() != 2) {
+      return Fail(Status::Corruption("jaccard response size mismatch"));
+    }
+    double jaccard = response.value().values[0];
+    double uni = response.value().values[1];
+    std::printf("J(%llu, %llu; d=%g) ~ %.4f, |intersection| ~ %.1f\n",
+                static_cast<unsigned long long>(node),
+                static_cast<unsigned long long>(request.other), request.d,
+                jaccard, jaccard * uni);
+    return 0;
+  }
+
+  PointRequestMsg request;
+  request.kind = PointKind::kNodeStats;
+  request.node = node;
+  request.d = args.Has("distance") ? args.GetDouble("distance", 1.0) : kInf;
+  auto response = client.Point(request);
+  if (!response.ok()) return Fail(response.status());
+  const std::vector<double>& values = response.value().values;
+  // The server dispatches on whether d is infinite (the triple vs the
+  // single cardinality), so mirror that here — not the flag — to keep
+  // `--distance inf` byte-identical to the local path, where N_inf is the
+  // reachable count.
+  if (std::isinf(request.d)) {
+    if (values.size() != 3) {
+      return Fail(Status::Corruption("node-stats response size mismatch"));
+    }
+    if (args.Has("distance")) {
+      std::printf("|N_%g(%llu)| ~ %.1f\n", request.d,
+                  static_cast<unsigned long long>(node), values[0]);
+    } else {
+      std::printf("node %llu: reachable ~ %.1f, harmonic ~ %.2f, "
+                  "distance sum ~ %.1f\n",
+                  static_cast<unsigned long long>(node), values[0], values[1],
+                  values[2]);
+    }
+  } else {
+    if (values.size() != 1) {
+      return Fail(Status::Corruption("node-stats response size mismatch"));
+    }
+    std::printf("|N_%g(%llu)| ~ %.1f\n", request.d,
+                static_cast<unsigned long long>(node), values[0]);
+  }
+  return 0;
+}
+
+int CmdQuery(const Args& args) {
   if (args.Has("top")) {
     std::string kind = args.Get("centrality", "harmonic");
-    auto fn = CentralityFn(kind);
-    if (fn == nullptr) {
+    ScoreKind score;
+    if (!ParseScoreKind(kind, &score)) {
       return Fail(Status::InvalidArgument("unknown --centrality " + kind));
     }
+    std::vector<CollectorSpec> spec{
+        {CollectorKind::kTopK, static_cast<uint32_t>(score),
+         static_cast<uint32_t>(args.GetInt("top", 10)), 0.0}};
     SweepPlan plan;
-    TopKCollector* top = plan.Emplace<TopKCollector>(
-        static_cast<uint32_t>(args.GetInt("top", 10)), std::move(fn));
-    Status swept = RunSweep(set, plan);
-    if (!swept.ok()) return Fail(swept);
-    PrintTopTable(*top, kind);
+    std::unique_ptr<AdsBackend> backend;
+    SweepOutcome out;
+    int rc = ExecuteSpec(args, spec, &plan, &backend, &out);
+    if (rc != 0) return rc;
+    PrintTopTable(*static_cast<TopKCollector*>(out.collectors[0]), kind);
     return 0;
   }
 
   uint64_t node = args.GetInt("node", 0);
+  if (args.Has("remote")) return RemotePointQuery(args, node);
+
+  auto opened = OpenServingBackend(args);
+  if (!opened.ok()) return Fail(opened.status());
+  const AdsBackend& set = *opened.value();
   if (node >= set.num_nodes()) {
     std::fprintf(stderr, "node %llu out of range (%zu nodes)\n",
                  static_cast<unsigned long long>(node), set.num_nodes());
@@ -444,32 +599,62 @@ int CmdQuery(const Args& args) {
   return 0;
 }
 
+double MeanOf(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
 // Everything `stats` prints comes from ONE fused sweep (ads/sweep.h): the
 // distance-histogram collector yields the neighbourhood function, the
-// effective diameter and the mean distance, and --top N adds a top-k
-// centrality collector to the same plan. However many statistics are
-// requested, a sharded set reads every shard file exactly once.
+// effective diameter and the mean distance; --top N, --distance-quantile Q
+// and --qg KIND each add one collector to the same plan. However many
+// statistics are requested, a sharded set reads every shard file exactly
+// once — and with --remote the identical spec runs on a server or fleet
+// router, with bitwise-identical results.
 int CmdStats(const Args& args) {
   double quantile = args.GetDouble("quantile", 0.9);
-  auto opened = OpenServingBackend(args);
-  if (!opened.ok()) return Fail(opened.status());
-  const AdsBackend& set = *opened.value();
-
-  SweepPlan plan;
-  DistanceHistogramCollector* hist =
-      plan.Emplace<DistanceHistogramCollector>();
-  TopKCollector* top = nullptr;
   std::string kind = args.Get("centrality", "harmonic");
+
+  std::vector<CollectorSpec> spec{
+      {CollectorKind::kDistanceHistogram, 0, 0, 0.0}};
+  size_t top_at = 0;
   if (args.Has("top")) {
-    auto fn = CentralityFn(kind);
-    if (fn == nullptr) {
+    ScoreKind score;
+    if (!ParseScoreKind(kind, &score)) {
       return Fail(Status::InvalidArgument("unknown --centrality " + kind));
     }
-    top = plan.Emplace<TopKCollector>(
-        static_cast<uint32_t>(args.GetInt("top", 10)), std::move(fn));
+    top_at = spec.size();
+    spec.push_back({CollectorKind::kTopK, static_cast<uint32_t>(score),
+                    static_cast<uint32_t>(args.GetInt("top", 10)), 0.0});
   }
-  Status swept = RunSweep(set, plan);
-  if (!swept.ok()) return Fail(swept);
+  size_t quant_at = 0;
+  double quant_q = args.GetDouble("distance-quantile", 0.5);
+  if (args.Has("distance-quantile")) {
+    quant_at = spec.size();
+    spec.push_back({CollectorKind::kDistanceQuantile, 0, 0, quant_q});
+  }
+  size_t qg_at = 0;
+  std::string qg_name = args.Get("qg", "");
+  double qg_param = args.GetDouble("qg-param", 0.5);
+  if (args.Has("qg")) {
+    QgKind g;
+    if (!ParseQgKind(qg_name, &g)) {
+      return Fail(Status::InvalidArgument("unknown --qg " + qg_name +
+                                          " (exp|invsq)"));
+    }
+    qg_at = spec.size();
+    spec.push_back(
+        {CollectorKind::kQg, static_cast<uint32_t>(g), 0, qg_param});
+  }
+
+  SweepPlan plan;
+  std::unique_ptr<AdsBackend> backend;
+  SweepOutcome out;
+  int rc = ExecuteSpec(args, spec, &plan, &backend, &out);
+  if (rc != 0) return rc;
+  auto* hist = static_cast<DistanceHistogramCollector*>(out.collectors[0]);
 
   // Build the cumulative neighbourhood function once; the effective
   // diameter is a quantile scan of it and the table prints its head.
@@ -482,11 +667,25 @@ int CmdStats(const Args& args) {
       break;
     }
   }
-  std::printf("nodes: %zu, k=%u, entries=%llu\n", set.num_nodes(), set.k(),
-              static_cast<unsigned long long>(set.TotalEntries()));
+  std::printf("nodes: %zu, k=%u, entries=%llu\n", out.num_nodes, out.k,
+              static_cast<unsigned long long>(out.total_entries));
   std::printf("effective diameter (%g): %.1f\n", quantile, eff_diameter);
   std::printf("mean distance: %.2f\n", hist->MeanDistance());
-  if (top != nullptr) PrintTopTable(*top, kind);
+  if (top_at != 0) {
+    PrintTopTable(*static_cast<TopKCollector*>(out.collectors[top_at]),
+                  kind);
+  }
+  if (quant_at != 0) {
+    auto* quant =
+        static_cast<DistanceQuantileCollector*>(out.collectors[quant_at]);
+    std::printf("per-node distance quantile (q=%g): mean %.2f\n", quant_q,
+                MeanOf(quant->values()));
+  }
+  if (qg_at != 0) {
+    auto* qg = static_cast<QgCollector*>(out.collectors[qg_at]);
+    std::printf("Q_g (%s, param %g): mean %.4f\n", qg_name.c_str(), qg_param,
+                MeanOf(qg->values()));
+  }
   Table t({"d", "pairs within d"});
   for (const auto& [d, pairs] : nf) {
     t.NewRow().Add(d, 4).Add(pairs, 6);
@@ -496,11 +695,60 @@ int CmdStats(const Args& args) {
   return 0;
 }
 
+// `serve`: expose one backend — any engine, any node range — over TCP.
+int CmdServe(const Args& args) {
+  auto opened = OpenServingBackend(args);
+  if (!opened.ok()) return Fail(opened.status());
+  ServerOptions options;
+  options.node_begin = static_cast<NodeId>(args.GetInt("node-begin", 0));
+  options.num_threads = static_cast<uint32_t>(args.GetInt("threads", 0));
+  AdsServerCore core(opened.value().get(), options);
+  TcpServerOptions tcp;
+  tcp.port = static_cast<uint16_t>(args.GetInt("port", 7470));
+  tcp.num_workers = static_cast<uint32_t>(args.GetInt("workers", 4));
+  TcpServer server(&core, tcp);
+  Status started = server.Start();
+  if (!started.ok()) return Fail(started);
+  ServerInfoMsg info = core.Info();
+  std::printf("serving nodes [%llu, %llu) (k=%u, %llu entries) on port %u\n",
+              static_cast<unsigned long long>(info.node_begin),
+              static_cast<unsigned long long>(info.node_end), info.k,
+              static_cast<unsigned long long>(info.total_entries),
+              server.port());
+  std::fflush(stdout);
+  for (;;) pause();
+}
+
+// `route`: the scatter/gather front end over a fleet manifest. Connects
+// (and validates) the whole fleet before binding its own port, so a dead
+// or misconfigured range server fails startup with a nonzero exit.
+int CmdRoute(const Args& args) {
+  auto manifest = ReadFleetManifestFile(args.Get("fleet", "fleet.txt"));
+  if (!manifest.ok()) return Fail(manifest.status());
+  auto connected =
+      FleetRouter::Connect(std::move(manifest).value(), TcpChannelFactory());
+  if (!connected.ok()) return Fail(connected.status());
+  FleetRouter router = std::move(connected).value();
+  RouterCore core(&router);
+  TcpServerOptions tcp;
+  tcp.port = static_cast<uint16_t>(args.GetInt("port", 7480));
+  tcp.num_workers = static_cast<uint32_t>(args.GetInt("workers", 4));
+  TcpServer server(&core, tcp);
+  Status started = server.Start();
+  if (!started.ok()) return Fail(started);
+  std::printf("routing %zu range servers, %llu nodes (k=%u) on port %u\n",
+              router.num_servers(),
+              static_cast<unsigned long long>(router.num_nodes()), router.k(),
+              server.port());
+  std::fflush(stdout);
+  for (;;) pause();
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: hipads_cli {generate|sketch|convert|shard|query|"
-                 "stats} "
+                 "stats|serve|route} "
                  "[--flag value]...\n");
     return 2;
   }
@@ -512,6 +760,8 @@ int Main(int argc, char** argv) {
   if (cmd == "shard") return CmdShard(args);
   if (cmd == "query") return CmdQuery(args);
   if (cmd == "stats") return CmdStats(args);
+  if (cmd == "serve") return CmdServe(args);
+  if (cmd == "route") return CmdRoute(args);
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return 2;
 }
