@@ -90,6 +90,14 @@ class AdsBackend {
   /// next. Backends may start loading it in the background; the default is
   /// a no-op. Never required for correctness.
   virtual void Prefetch(uint32_t r) const;
+
+  /// True when every read accessor (Range/ViewOf/Prefetch and the
+  /// parameter getters) is safe to call from any number of threads with no
+  /// external serialization, because the backend never mutates state after
+  /// construction and returned views stay valid for the backend's lifetime.
+  /// The single-arena engines (flat, mmap) qualify; lazily loading engines
+  /// with residency eviction do not. The default is the conservative false.
+  virtual bool ImmutableReads() const { return false; }
 };
 
 /// In-memory backend over a FlatAdsSet arena: one range, no failure paths.
@@ -114,6 +122,7 @@ class FlatAdsBackend : public AdsBackend {
   uint32_t NumRanges() const override { return 1; }
   StatusOr<AdsArenaView> Range(uint32_t r) const override;
   StatusOr<AdsView> ViewOf(NodeId v) const override;
+  bool ImmutableReads() const override { return true; }
 
  private:
   FlatAdsSet owned_;
@@ -156,6 +165,7 @@ class MmapAdsSet : public AdsBackend {
   uint32_t NumRanges() const override { return 1; }
   StatusOr<AdsArenaView> Range(uint32_t r) const override;
   StatusOr<AdsView> ViewOf(NodeId v) const override;
+  bool ImmutableReads() const override { return true; }
 
  private:
   static StatusOr<MmapAdsSet> OpenFallback(

@@ -58,19 +58,19 @@ StatusOr<DistanceHistogramCollector> HistogramSweep(const AdsBackend& set,
 
 std::map<double, double> EstimateDistanceDistribution(const AdsSet& set,
                                                       uint32_t num_threads) {
-  return HistogramSweep(set, num_threads).TakeDistribution();
+  return HistogramSweep(set, num_threads).Distribution();
 }
 
 std::map<double, double> EstimateDistanceDistribution(const FlatAdsSet& set,
                                                       uint32_t num_threads) {
-  return HistogramSweep(set, num_threads).TakeDistribution();
+  return HistogramSweep(set, num_threads).Distribution();
 }
 
 StatusOr<std::map<double, double>> EstimateDistanceDistribution(
     const AdsBackend& set, uint32_t num_threads) {
   auto hist = HistogramSweep(set, num_threads);
   if (!hist.ok()) return hist.status();
-  return hist.value().TakeDistribution();
+  return hist.value().Distribution();
 }
 
 std::map<double, double> EstimateNeighborhoodFunction(const AdsSet& set,

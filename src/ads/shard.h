@@ -163,6 +163,9 @@ class ShardedAdsSet : public AdsBackend {
   StatusOr<AdsArenaView> Range(uint32_t r) const override;
   StatusOr<AdsView> ViewOf(NodeId v) const override;
   void Prefetch(uint32_t r) const override;
+  // Lazy loading + LRU eviction mutate residency state on reads, so the
+  // sharded engine keeps the base-class contract: external serialization.
+  bool ImmutableReads() const override { return false; }
 
   /// Number of shard arenas currently in memory (for tests/metrics).
   uint32_t NumResident() const;

@@ -1,6 +1,7 @@
 #include "ads/sweep.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "util/parallel.h"
@@ -206,21 +207,18 @@ std::vector<NodeId> TopKCollector::TopNodes() const {
 }
 
 void DistanceHistogramCollector::Begin(size_t /*num_nodes*/) {
-  hist_.clear();
-  stream_.clear();
+  acc_.clear();
 }
 
 void DistanceHistogramCollector::Fold(double dist, double weight) {
-  hist_[dist] += weight;
-  if (capture_) stream_.emplace_back(dist, weight);
+  acc_[dist].Add(weight);
 }
 
 void DistanceHistogramCollector::Reduce(NodeId /*first*/,
                                         std::span<const HipEstimator> ests) {
-  // Node-order fold of each node's HIP entries. The estimator's entries
-  // are exactly ComputeHipWeights' output, so this accumulation is the
-  // same sequence of additions the standalone distance-distribution
-  // sweep performs — bitwise identical results.
+  // Node-order fold of each node's HIP entries. Accumulation is exact, so
+  // the order is immaterial to results; keeping the fold in the
+  // sequential Reduce phase is what makes the shared acc_ map safe.
   for (const HipEstimator& est : ests) {
     for (const HipEntry& e : est.entries()) {
       if (e.dist > 0.0) Fold(e.dist, e.weight);
@@ -231,15 +229,14 @@ void DistanceHistogramCollector::Reduce(NodeId /*first*/,
 Status DistanceHistogramCollector::EncodePartial(NodeId /*begin*/,
                                                  NodeId /*end*/,
                                                  std::string* out) const {
-  if (!capture_) {
-    return Status::InvalidArgument(
-        "distance histogram partials require EnableCapture before the sweep");
-  }
+  // u64 distance count, then per distance: f64 dist + the exact sum's
+  // digit window. O(distinct distances), not O(HIP entries).
   out->clear();
-  out->reserve(stream_.size() * 2 * sizeof(double));
-  for (const auto& [dist, weight] : stream_) {
+  uint64_t count = acc_.size();
+  out->append(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& [dist, sum] : acc_) {
     out->append(reinterpret_cast<const char*>(&dist), sizeof(double));
-    out->append(reinterpret_cast<const char*>(&weight), sizeof(double));
+    sum.EncodeTo(out);
   }
   return Status::Ok();
 }
@@ -247,28 +244,57 @@ Status DistanceHistogramCollector::EncodePartial(NodeId /*begin*/,
 Status DistanceHistogramCollector::AbsorbPartial(NodeId /*begin*/,
                                                  NodeId /*end*/,
                                                  std::string_view data) {
-  if (data.size() % (2 * sizeof(double)) != 0) {
-    return Status::Corruption("histogram partial is not (dist, weight) pairs");
+  if (data.size() < sizeof(uint64_t)) {
+    return Status::Corruption("histogram partial shorter than its header");
   }
-  // Replays the range's additions in their recorded order; across ranges
-  // absorbed in node order this reproduces the single-process fold bit for
-  // bit. Folding through Fold() keeps the stream capture alive, so a
-  // gathering router can re-encode its merged state for its own clients.
-  for (size_t pos = 0; pos < data.size(); pos += 2 * sizeof(double)) {
-    double dist, weight;
-    std::memcpy(&dist, data.data() + pos, sizeof(double));
-    std::memcpy(&weight, data.data() + pos + sizeof(double), sizeof(double));
-    if (!(dist > 0.0) || !(weight >= 0.0)) {
-      return Status::Corruption("histogram partial entry out of domain");
+  uint64_t count;
+  std::memcpy(&count, data.data(), sizeof(count));
+  data.remove_prefix(sizeof(count));
+  // Every entry needs at least the distance plus an empty digit window, so
+  // an absurd count is rejected before any allocation.
+  if (count > data.size() / (sizeof(double) + ExactSum::kWireHeaderBytes)) {
+    return Status::Corruption("histogram partial count exceeds payload");
+  }
+  // Exact merges commute, but the absorbed bytes come from the network:
+  // stage into a scratch map and install only if the whole partial parses,
+  // so a corrupt tail cannot leave half-merged state behind.
+  std::map<double, ExactSum> staged;
+  double prev = 0.0;
+  for (uint64_t i = 0; i < count; ++i) {
+    if (data.size() < sizeof(double)) {
+      return Status::Corruption("histogram partial entry truncated");
     }
-    Fold(dist, weight);
+    double dist;
+    std::memcpy(&dist, data.data(), sizeof(double));
+    data.remove_prefix(sizeof(double));
+    if (!(dist > 0.0) || !std::isfinite(dist) || !(dist > prev)) {
+      return Status::Corruption("histogram partial distance out of domain");
+    }
+    prev = dist;
+    size_t consumed = 0;
+    if (!staged[dist].DecodeAndMerge(data, &consumed)) {
+      return Status::Corruption("histogram partial accumulator malformed");
+    }
+    data.remove_prefix(consumed);
   }
+  if (!data.empty()) {
+    return Status::Corruption("histogram partial has trailing bytes");
+  }
+  for (const auto& [dist, sum] : staged) acc_[dist].Merge(sum);
   return Status::Ok();
+}
+
+std::map<double, double> DistanceHistogramCollector::Distribution() const {
+  std::map<double, double> hist;
+  for (const auto& [dist, sum] : acc_) {
+    hist.emplace_hint(hist.end(), dist, sum.Round());
+  }
+  return hist;
 }
 
 std::map<double, double> DistanceHistogramCollector::NeighborhoodFunction()
     const {
-  std::map<double, double> nf = hist_;
+  std::map<double, double> nf = Distribution();
   double running = 0.0;
   for (auto& [d, value] : nf) {
     running += value;
@@ -289,7 +315,7 @@ double DistanceHistogramCollector::EffectiveDiameter(double quantile) const {
 
 double DistanceHistogramCollector::MeanDistance() const {
   double weight = 0.0, weighted_dist = 0.0;
-  for (const auto& [d, pairs] : hist_) {
+  for (const auto& [d, pairs] : Distribution()) {
     weight += pairs;
     weighted_dist += d * pairs;
   }
@@ -309,13 +335,17 @@ void RunSweep(const FlatAdsSet& set, SweepPlan& plan, uint32_t num_threads) {
   RunSweepSingleArena(set, plan, num_threads);
 }
 
-Status RunSweep(const AdsBackend& set, SweepPlan& plan,
-                uint32_t num_threads) {
+Status RunSweep(const AdsBackend& set, SweepPlan& plan, uint32_t num_threads,
+                const std::function<Status()>& checkpoint) {
   for (SweepCollector* c : plan.collectors()) c->Begin(set.num_nodes());
   if (plan.empty()) return Status::Ok();
   ThreadPool pool(num_threads);
   std::vector<HipEstimator> block;
   for (uint32_t r = 0; r < set.NumRanges(); ++r) {
+    if (checkpoint) {
+      Status abort = checkpoint();
+      if (!abort.ok()) return abort;
+    }
     auto range = set.Range(r);
     if (!range.ok()) return range.status();
     if (r + 1 < set.NumRanges()) set.Prefetch(r + 1);

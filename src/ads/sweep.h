@@ -53,6 +53,7 @@
 #include "ads/backend.h"
 #include "ads/estimators.h"
 #include "ads/flat_ads.h"
+#include "util/exact_sum.h"
 #include "util/status.h"
 
 namespace hipads {
@@ -99,12 +100,14 @@ class SweepCollector {
   // A range server runs a sweep over its contiguous node range and ships
   // EncodePartial's bytes; the gathering router calls AbsorbPartial once
   // per range, in node order, on collectors that have absorbed every
-  // earlier range. The contract is replay, not summary: absorbing the
-  // partials of ranges [0,r1), [r1,r2), ... in order must leave the
-  // collector in exactly (bitwise) the state a single-process sweep over
-  // [0, rk) produces. Per-node collectors satisfy it trivially (values are
-  // independent); order-sensitive folds must encode enough to replay their
-  // sequence of floating-point accumulations (see
+  // earlier range. The contract: absorbing the partials of ranges [0,r1),
+  // [r1,r2), ... in order must leave the collector in a state whose
+  // results are exactly (bitwise) those of a single-process sweep over
+  // [0, rk). Per-node collectors satisfy it trivially (values are
+  // independent); accumulating collectors must make their reduction
+  // partition-independent — the distance histogram keeps exact
+  // (error-free) per-distance sums and rounds once at read time, so any
+  // merge order reproduces the single-process result (see
   // DistanceHistogramCollector).
 
   /// Serializes this collector's state for the node slice [begin, end) of
@@ -227,32 +230,32 @@ class TopKCollector : public PerNodeCollector {
 /// distribution (number of ordered pairs at each exact distance), from
 /// which the neighbourhood function, effective diameter and mean distance
 /// all derive — one backend pass yields all four statistics.
-/// Accumulation is order-sensitive, so it lives entirely in the
-/// sequential Reduce phase; each node folds its HIP entries in node order.
+/// Each distance's pair count is an exact (error-free) sum of HIP weights
+/// held in a superaccumulator (util/exact_sum.h) and rounded once when
+/// read, so the result is independent of fold order, thread count, and —
+/// crucially for the distributed gather — of how node ranges were
+/// partitioned across servers. The shared acc_ map still makes the fold
+/// single-writer, so it stays in the sequential Reduce phase.
 class DistanceHistogramCollector : public SweepCollector {
  public:
   void Begin(size_t num_nodes) override;
   void Reduce(NodeId first, std::span<const HipEstimator> ests) override;
 
-  /// Partial state for the distributed gather. The histogram fold is
-  /// order-sensitive (hist[d] += w is a left fold of doubles in node
-  /// order), so a summed per-range histogram could NOT be merged bitwise —
-  /// (s0 + w1) + w2 differs from s0 + (w1 + w2) in floating point. The
-  /// partial is therefore the replay stream itself: the ordered (dist,
-  /// weight) pairs this range folded, and AbsorbPartial replays them
-  /// addition by addition. Capture must be enabled before the sweep (range
-  /// servers do; single-process sweeps skip the stream's memory).
-  /// Bandwidth note: the stream is O(HIP entries in the range) — the
-  /// honest cost of distributing an order-sensitive reduction.
-  void EnableCapture() { capture_ = true; }
+  /// Partial state for the distributed gather: O(distinct distances) —
+  /// each distance with its exact superaccumulator digits. Absorbing is
+  /// one exact merge per distance; because per-distance sums are
+  /// error-free until the final rounding, a router merging any partition
+  /// of ranges reproduces the single-process sweep bitwise. (The previous
+  /// design shipped the O(HIP entries) (dist, weight) replay stream;
+  /// exactness makes the summary form lossless.)
   Status EncodePartial(NodeId begin, NodeId end,
-                       std::string* out) const override;  // range-free stream
+                       std::string* out) const override;  // range-free state
   Status AbsorbPartial(NodeId begin, NodeId end,
                        std::string_view data) override;
 
-  /// Estimated number of ordered pairs at each exact distance.
-  const std::map<double, double>& Distribution() const { return hist_; }
-  std::map<double, double> TakeDistribution() { return std::move(hist_); }
+  /// Estimated number of ordered pairs at each exact distance: the
+  /// correctly rounded exact sums.
+  std::map<double, double> Distribution() const;
 
   /// Cumulative form: N(d) = estimated pairs within distance d.
   std::map<double, double> NeighborhoodFunction() const;
@@ -267,9 +270,7 @@ class DistanceHistogramCollector : public SweepCollector {
  private:
   void Fold(double dist, double weight);
 
-  std::map<double, double> hist_;
-  bool capture_ = false;
-  std::vector<std::pair<double, double>> stream_;  // capture_ only
+  std::map<double, ExactSum> acc_;
 };
 
 /// An ordered list of collectors to fuse into one sweep. The plan does not
@@ -312,12 +313,16 @@ class SweepPlan {
 /// node order (one shard file read per shard, whatever plan.size() is),
 /// emits Prefetch hints between ranges, and fails if a lazy range load
 /// fails — collectors are then left partially filled and must be
-/// discarded.
+/// discarded. `checkpoint`, when set, is polled before each range; a
+/// non-ok return aborts the sweep with that status (the serving layer
+/// uses it to shed sweeps whose deadline has already passed instead of
+/// finishing work nobody is waiting for).
 void RunSweep(const AdsSet& set, SweepPlan& plan, uint32_t num_threads = 0);
 void RunSweep(const FlatAdsSet& set, SweepPlan& plan,
               uint32_t num_threads = 0);
 Status RunSweep(const AdsBackend& set, SweepPlan& plan,
-                uint32_t num_threads = 0);
+                uint32_t num_threads = 0,
+                const std::function<Status()>& checkpoint = {});
 
 }  // namespace hipads
 

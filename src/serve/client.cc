@@ -2,19 +2,81 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 
 #include <errno.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 namespace hipads {
 
+namespace {
+
+// Flips the socket to non-blocking mode; every later transfer polls
+// against the call's deadline instead of parking in the kernel.
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError("fcntl(O_NONBLOCK) failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+// Finishes a non-blocking connect: wait for writability under the
+// deadline, then read the socket-level result out of SO_ERROR.
+Status AwaitConnect(int fd, const Deadline& deadline) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLOUT;
+  for (;;) {
+    int timeout = -1;
+    if (deadline.has_deadline()) {
+      uint64_t remaining = deadline.RemainingMs();
+      if (remaining == 0) {
+        return Status::DeadlineExceeded("connect timed out");
+      }
+      timeout = remaining > static_cast<uint64_t>(
+                                std::numeric_limits<int>::max())
+                    ? std::numeric_limits<int>::max()
+                    : static_cast<int>(remaining);
+    }
+    int rc = ::poll(&pfd, 1, timeout);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("poll failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    if (rc == 0) return Status::DeadlineExceeded("connect timed out");
+    break;
+  }
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+    return Status::IOError("getsockopt(SO_ERROR) failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  if (err != 0) {
+    return Status::IOError("connect failed: " +
+                           std::string(std::strerror(err)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
 Channel::~Channel() = default;
 
-Status LoopbackChannel::Call(std::string_view request_frame,
-                             Frame* response) {
+Status LoopbackChannel::Call(std::string_view request_frame, Frame* response,
+                             const Deadline& deadline) {
+  if (deadline.Expired()) {
+    return Status::DeadlineExceeded("deadline expired before dispatch");
+  }
   bool close_connection = false;
   std::string response_frame =
       handler_->HandleFrame(request_frame, &close_connection);
@@ -48,16 +110,16 @@ Status ParseHostPort(const std::string& address, std::string* host,
 }
 
 StatusOr<std::unique_ptr<TcpChannel>> TcpChannel::ConnectAddress(
-    const std::string& address) {
+    const std::string& address, const TcpChannelOptions& options) {
   std::string host;
   uint16_t port = 0;
   Status s = ParseHostPort(address, &host, &port);
   if (!s.ok()) return s;
-  return Connect(host, port);
+  return Connect(host, port, options);
 }
 
 StatusOr<std::unique_ptr<TcpChannel>> TcpChannel::Connect(
-    const std::string& host, uint16_t port) {
+    const std::string& host, uint16_t port, const TcpChannelOptions& options) {
   addrinfo hints{};
   hints.ai_family = AF_INET;
   hints.ai_socktype = SOCK_STREAM;
@@ -76,23 +138,53 @@ StatusOr<std::unique_ptr<TcpChannel>> TcpChannel::Connect(
                              std::string(std::strerror(errno)));
       continue;
     }
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
-      ::freeaddrinfo(result);
-      return std::unique_ptr<TcpChannel>(new TcpChannel(fd));
+    Status s = SetNonBlocking(fd);
+    if (s.ok()) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      Deadline connect_deadline =
+          options.connect_timeout_ms > 0
+              ? Deadline::AfterMs(options.connect_timeout_ms)
+              : Deadline();
+      if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+        // Connected instantly (loopback).
+      } else if (errno == EINPROGRESS) {
+        s = AwaitConnect(fd, connect_deadline);
+      } else {
+        s = Status::IOError("cannot connect: " +
+                            std::string(std::strerror(errno)));
+      }
     }
-    last = Status::IOError("cannot connect to " + host + ":" + port_str +
-                           ": " + std::strerror(errno));
+    if (s.ok()) {
+      ::freeaddrinfo(result);
+      return std::unique_ptr<TcpChannel>(new TcpChannel(fd, options));
+    }
+    std::string msg =
+        "cannot connect to " + host + ":" + port_str + ": " + s.message();
+    last = s.code() == Status::Code::kDeadlineExceeded
+               ? Status::DeadlineExceeded(std::move(msg))
+               : Status::IOError(std::move(msg));
     ::close(fd);
   }
   ::freeaddrinfo(result);
   return last;
 }
 
-Status TcpChannel::Call(std::string_view request_frame, Frame* response) {
+Status TcpChannel::Call(std::string_view request_frame, Frame* response,
+                        const Deadline& deadline) {
+  Deadline effective = deadline;
+  if (options_.io_timeout_ms > 0) {
+    effective =
+        Deadline::Min(effective, Deadline::AfterMs(options_.io_timeout_ms));
+  }
+  if (effective.Expired()) {
+    return Status::DeadlineExceeded("deadline expired before send");
+  }
   std::lock_guard<std::mutex> lock(mu_);
-  Status s = WriteAllBytes(fd_, request_frame.data(), request_frame.size());
+  Status s = WriteAllBytes(fd_, request_frame.data(), request_frame.size(),
+                           effective);
   if (!s.ok()) return s;
-  auto frame = ReadFrame(fd_);
+  auto frame = ReadFrame(fd_, effective);
   if (!frame.ok()) return frame.status();
   *response = std::move(frame).value();
   return Status::Ok();
@@ -100,8 +192,12 @@ Status TcpChannel::Call(std::string_view request_frame, Frame* response) {
 
 StatusOr<Frame> AdsClient::Call(MessageType type, std::string payload,
                                 MessageType expected_response) {
+  if (deadline_.Expired()) {
+    return Status::DeadlineExceeded("client deadline expired before send");
+  }
   Frame frame;
-  Status s = channel_->Call(EncodeFrame(type, payload), &frame);
+  Status s = channel_->Call(
+      EncodeFrame(type, payload, deadline_.ToWireMs()), &frame, deadline_);
   if (!s.ok()) return s;
   if (frame.type == MessageType::kError) {
     return DecodeError(frame.payload);
@@ -134,8 +230,9 @@ StatusOr<SweepResponseMsg> AdsClient::Sweep(const SweepRequestMsg& request) {
 
 Status ExecuteRemoteSweep(Channel& channel, const SweepRequestMsg& request,
                           uint64_t total_nodes,
-                          const std::vector<SweepCollector*>& collectors) {
-  AdsClient client(&channel);
+                          const std::vector<SweepCollector*>& collectors,
+                          const Deadline& deadline) {
+  AdsClient client(&channel, deadline);
   auto response = client.Sweep(request);
   if (!response.ok()) return response.status();
   if (response.value().begin != 0 || response.value().end != total_nodes) {

@@ -34,11 +34,19 @@ namespace hipads {
 /// in the transport, so big sweep partials are never re-copied or
 /// re-hashed on the client side. Call is safe from multiple threads
 /// (requests are serialized per channel, keeping request/response pairing
-/// intact).
+/// intact). `deadline` bounds the whole exchange; transports that can
+/// block (TCP) poll against it and fail with DeadlineExceeded instead of
+/// hanging on a stalled peer.
 class Channel {
  public:
   virtual ~Channel();
-  virtual Status Call(std::string_view request_frame, Frame* response) = 0;
+  virtual Status Call(std::string_view request_frame, Frame* response,
+                      const Deadline& deadline) = 0;
+
+  /// Deadline-free convenience (blocks as long as the transport does).
+  Status Call(std::string_view request_frame, Frame* response) {
+    return Call(request_frame, response, Deadline());
+  }
 };
 
 /// In-process transport: dispatches straight into a FrameHandler (an
@@ -50,14 +58,28 @@ class LoopbackChannel : public Channel {
  public:
   explicit LoopbackChannel(FrameHandler* handler) : handler_(handler) {}
 
-  Status Call(std::string_view request_frame, Frame* response) override;
+  using Channel::Call;
+  Status Call(std::string_view request_frame, Frame* response,
+              const Deadline& deadline) override;
 
  private:
   FrameHandler* handler_;
 };
 
+/// Socket-level robustness knobs of a TcpChannel.
+struct TcpChannelOptions {
+  /// Bound on connection establishment (DNS excluded). 0 = block forever.
+  uint64_t connect_timeout_ms = 5000;
+  /// Per-call I/O bound applied even when the request carries no
+  /// deadline; the effective deadline of a call is the earlier of the two.
+  /// 0 = none.
+  uint64_t io_timeout_ms = 0;
+};
+
 /// TCP transport. Connect resolves "host:port" style addresses (numeric or
-/// named hosts).
+/// named hosts). The socket is kept in non-blocking mode and every
+/// transfer polls, so call deadlines cut off mid-connect, mid-write and
+/// mid-read — a stalled or half-dead peer costs bounded time.
 class TcpChannel : public Channel {
  public:
   ~TcpChannel() override;
@@ -65,17 +87,22 @@ class TcpChannel : public Channel {
   TcpChannel& operator=(const TcpChannel&) = delete;
 
   static StatusOr<std::unique_ptr<TcpChannel>> Connect(
-      const std::string& host, uint16_t port);
+      const std::string& host, uint16_t port,
+      const TcpChannelOptions& options = {});
   /// Connects to an "host:port" address string.
   static StatusOr<std::unique_ptr<TcpChannel>> ConnectAddress(
-      const std::string& address);
+      const std::string& address, const TcpChannelOptions& options = {});
 
-  Status Call(std::string_view request_frame, Frame* response) override;
+  using Channel::Call;
+  Status Call(std::string_view request_frame, Frame* response,
+              const Deadline& deadline) override;
 
  private:
-  explicit TcpChannel(int fd) : fd_(fd) {}
+  TcpChannel(int fd, const TcpChannelOptions& options)
+      : fd_(fd), options_(options) {}
 
   int fd_;
+  TcpChannelOptions options_;
   std::mutex mu_;  // serializes write+read pairs on the shared socket
 };
 
@@ -84,10 +111,14 @@ Status ParseHostPort(const std::string& address, std::string* host,
                      uint16_t* port);
 
 /// Typed request helpers over a borrowed Channel. An error frame from the
-/// peer comes back as its decoded Status.
+/// peer comes back as its decoded Status. When constructed with a
+/// deadline, every call carries the remaining budget on the wire (so the
+/// server can shed it once expired) and bounds the transport exchange;
+/// an already-expired deadline fails fast without touching the network.
 class AdsClient {
  public:
-  explicit AdsClient(Channel* channel) : channel_(channel) {}
+  explicit AdsClient(Channel* channel, Deadline deadline = Deadline())
+      : channel_(channel), deadline_(deadline) {}
 
   StatusOr<ServerInfoMsg> Info();
   StatusOr<PointResponseMsg> Point(const PointRequestMsg& request);
@@ -98,17 +129,20 @@ class AdsClient {
                        MessageType expected_response);
 
   Channel* channel_;
+  Deadline deadline_;
 };
 
 /// Executes `request` on the endpoint behind `channel` — which must serve
 /// the full node range [0, total_nodes): a whole-set server or a fleet
 /// router — and absorbs the returned partials into `collectors`, which the
 /// caller built from the same spec (BuildPlanFromSpec) and whose Begin
-/// this function calls. On any failure the collectors are left partially
-/// filled and must be discarded, never read.
+/// this function calls. `deadline` bounds the whole exchange. On any
+/// failure the collectors are left partially filled and must be
+/// discarded, never read.
 Status ExecuteRemoteSweep(Channel& channel, const SweepRequestMsg& request,
                           uint64_t total_nodes,
-                          const std::vector<SweepCollector*>& collectors);
+                          const std::vector<SweepCollector*>& collectors,
+                          const Deadline& deadline = Deadline());
 
 }  // namespace hipads
 

@@ -1,0 +1,117 @@
+// Fault injection for the serving stack.
+//
+// Robustness code that is only exercised by real network failures is
+// untested code. This harness wraps the two seams every request crosses —
+// the client-side Channel and the server-side FrameHandler — with
+// deterministic, scriptable failure modes, so tests can assert that every
+// degradation path (dropped connections, stalls, truncated or corrupted
+// responses, shed requests) ends in a clean error or a correct
+// retried/hedged result, never a hang and never silent corruption.
+//
+// Faults are matched by call index (0-based, counted per wrapper), so a
+// script like "fail calls 0 and 1, succeed from 2" is one rule — exactly
+// the shape retry tests need. All state is seeded/deterministic: the same
+// test run injects the same faults.
+
+#ifndef HIPADS_SERVE_FAULT_H_
+#define HIPADS_SERVE_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "util/status.h"
+
+namespace hipads {
+
+/// What an injected fault does to the call it fires on.
+enum class FaultKind : uint32_t {
+  /// Fail with IOError without delivering the request ("connection died").
+  kDrop = 1,
+  /// Deliver normally, but only after param_ms of latency.
+  kDelay = 2,
+  /// Hold the call until its deadline expires, then fail with
+  /// DeadlineExceeded — a wedged peer under a working TCP connection.
+  /// Calls without a deadline stall for param_ms, then fail with IOError
+  /// (the harness never hangs a test forever).
+  kStall = 3,
+  /// Deliver the request, then lose the response: the caller sees IOError
+  /// ("connection closed mid-response"). Side effects DID happen on the
+  /// server — the mode that flushes out non-idempotent handling.
+  kCloseMidResponse = 4,
+  /// Deliver the request, then flip one byte of the response frame. The
+  /// checksum must turn this into a clean Corruption error downstream.
+  kCorrupt = 5,
+  /// Answer with an injected error status (kUnavailable), as a shedding
+  /// server would.
+  kShed = 6,
+};
+
+/// One scripted fault: fires on calls with first_call <= index <
+/// first_call + count.
+struct FaultRule {
+  FaultKind kind = FaultKind::kDrop;
+  /// First call index the rule applies to.
+  uint64_t first_call = 0;
+  /// How many consecutive calls it applies to (UINT64_MAX = forever).
+  uint64_t count = 1;
+  /// kDelay / kStall: milliseconds.
+  uint64_t param_ms = 0;
+};
+
+/// A Channel decorator injecting faults on the client side of the wire.
+/// Thread-safe; the call counter is shared across threads (each Call
+/// claims the next index atomically).
+class FaultInjectionChannel : public Channel {
+ public:
+  /// Borrows `inner`, which must outlive this wrapper.
+  FaultInjectionChannel(Channel* inner, std::vector<FaultRule> rules)
+      : inner_(inner), rules_(std::move(rules)) {}
+
+  using Channel::Call;
+  Status Call(std::string_view request_frame, Frame* response,
+              const Deadline& deadline) override;
+
+  /// Calls attempted so far (fired or passed through).
+  uint64_t calls() const { return calls_.load(); }
+
+ private:
+  Channel* inner_;
+  std::vector<FaultRule> rules_;
+  std::atomic<uint64_t> calls_{0};
+};
+
+/// A FrameHandler decorator injecting faults on the server side, so TCP
+/// and loopback transports alike can be made to misbehave underneath a
+/// healthy connection: stalled handlers, corrupted response bytes,
+/// truncated responses (kCloseMidResponse returns a prefix of the frame
+/// and asks the transport to drop the connection).
+class FlakyFrameHandler : public FrameHandler {
+ public:
+  FlakyFrameHandler(FrameHandler* inner, std::vector<FaultRule> rules)
+      : inner_(inner), rules_(std::move(rules)) {}
+
+  std::string HandleFrame(std::string_view request,
+                          bool* close_connection) override;
+
+  uint64_t calls() const { return calls_.load(); }
+
+ private:
+  FrameHandler* inner_;
+  std::vector<FaultRule> rules_;
+  std::atomic<uint64_t> calls_{0};
+};
+
+/// The rule (if any) firing on call `index`; nullptr when the call should
+/// pass through clean. First matching rule wins.
+const FaultRule* MatchFault(const std::vector<FaultRule>& rules,
+                            uint64_t index);
+
+}  // namespace hipads
+
+#endif  // HIPADS_SERVE_FAULT_H_

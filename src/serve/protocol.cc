@@ -1,12 +1,15 @@
 #include "serve/protocol.h"
 
 #include <bit>
+#include <cassert>
 #include <cmath>
+#include <cstddef>
 #include <cstring>
 #include <limits>
 #include <type_traits>
 
 #include <errno.h>
+#include <poll.h>
 #include <unistd.h>
 
 #include "util/hash.h"
@@ -15,7 +18,10 @@ namespace hipads {
 
 namespace {
 
-// Frame header layout on the wire (little-endian, like hipads-ads-v2).
+// Frame header prefix layout on the wire (little-endian, like
+// hipads-ads-v2). Version 2 frames append an 8-byte deadline extension
+// (remaining milliseconds, 0 = none) after this prefix; the checksum
+// covers prefix + extension + payload with this field zeroed.
 struct RawFrameHeader {
   char magic[8];
   uint32_t version;
@@ -30,15 +36,27 @@ static_assert(std::endian::native == std::endian::little,
               "the hipads wire format is little-endian; big-endian hosts "
               "need byte swapping");
 
-uint64_t FrameChecksum(RawFrameHeader h, std::string_view payload) {
-  h.checksum = 0;
-  uint64_t sum = Fnv1a(reinterpret_cast<const char*>(&h), sizeof(h),
-                       kFnv1aOffsetBasis);
+// Byte offset of the checksum field inside the header prefix.
+constexpr size_t kChecksumOffset = offsetof(RawFrameHeader, checksum);
+
+// Checksum over the whole raw header (any version, checksum field zeroed)
+// followed by the payload.
+uint64_t FrameChecksum(const char* raw, size_t header_bytes,
+                       std::string_view payload) {
+  char scratch[kMaxFrameHeaderBytes];
+  std::memcpy(scratch, raw, header_bytes);
+  std::memset(scratch + kChecksumOffset, 0, sizeof(uint64_t));
+  uint64_t sum = Fnv1a(scratch, header_bytes, kFnv1aOffsetBasis);
   return Fnv1a(payload.data(), payload.size(), sum);
 }
 
 bool KnownMessageType(uint32_t type) {
   return type <= static_cast<uint32_t>(MessageType::kSweepResponse);
+}
+
+size_t HeaderBytesFor(uint32_t version) {
+  return version == kWireVersionLegacy ? kFrameHeaderBytes
+                                       : kMaxFrameHeaderBytes;
 }
 
 }  // namespace
@@ -47,21 +65,33 @@ bool KnownMessageType(uint32_t type) {
 // Frames
 // ---------------------------------------------------------------------------
 
-std::string EncodeFrame(MessageType type, std::string_view payload) {
+std::string EncodeFrame(MessageType type, std::string_view payload,
+                        uint64_t deadline_ms, uint32_t version) {
+  assert(version == kWireVersion || version == kWireVersionLegacy);
+  if (version == kWireVersionLegacy) deadline_ms = 0;  // v1 cannot carry one
   RawFrameHeader h;
   std::memcpy(h.magic, kWireMagic, sizeof(h.magic));
-  h.version = kWireVersion;
+  h.version = version;
   h.type = static_cast<uint32_t>(type);
   h.payload_bytes = payload.size();
-  h.checksum = FrameChecksum(h, payload);
+  h.checksum = 0;
+  char raw[kMaxFrameHeaderBytes];
+  size_t header_bytes = HeaderBytesFor(version);
+  std::memcpy(raw, &h, sizeof(h));
+  if (header_bytes > kFrameHeaderBytes) {
+    std::memcpy(raw + kFrameHeaderBytes, &deadline_ms, sizeof(deadline_ms));
+  }
+  uint64_t checksum = FrameChecksum(raw, header_bytes, payload);
+  std::memcpy(raw + kChecksumOffset, &checksum, sizeof(checksum));
   std::string frame;
-  frame.reserve(sizeof(h) + payload.size());
-  frame.append(reinterpret_cast<const char*>(&h), sizeof(h));
+  frame.reserve(header_bytes + payload.size());
+  frame.append(raw, header_bytes);
   frame.append(payload.data(), payload.size());
   return frame;
 }
 
-Status DecodeFrameHeader(const char* data, size_t size, FrameHeader* out) {
+Status DecodeFrameHeaderPrefix(const char* data, size_t size,
+                               FrameHeader* out) {
   if (size < kFrameHeaderBytes) {
     return Status::Corruption("truncated frame header");
   }
@@ -70,7 +100,7 @@ Status DecodeFrameHeader(const char* data, size_t size, FrameHeader* out) {
   if (std::memcmp(h.magic, kWireMagic, sizeof(h.magic)) != 0) {
     return Status::Corruption("missing hipads wire magic");
   }
-  if (h.version != kWireVersion) {
+  if (h.version != kWireVersion && h.version != kWireVersionLegacy) {
     return Status::Corruption("unsupported wire version " +
                               std::to_string(h.version));
   }
@@ -86,8 +116,32 @@ Status DecodeFrameHeader(const char* data, size_t size, FrameHeader* out) {
   out->type = static_cast<MessageType>(h.type);
   out->payload_bytes = h.payload_bytes;
   out->checksum = h.checksum;
+  out->version = h.version;
+  out->deadline_ms = 0;
+  out->header_bytes = HeaderBytesFor(h.version);
   std::memcpy(out->raw, data, kFrameHeaderBytes);
   return Status::Ok();
+}
+
+Status DecodeFrameHeaderExt(const char* data, size_t size, FrameHeader* out) {
+  size_t ext = out->header_bytes - kFrameHeaderBytes;
+  if (size != ext) {
+    return Status::Corruption("frame header extension size mismatch");
+  }
+  if (ext == 0) return Status::Ok();
+  std::memcpy(&out->deadline_ms, data, sizeof(out->deadline_ms));
+  std::memcpy(out->raw + kFrameHeaderBytes, data, ext);
+  return Status::Ok();
+}
+
+Status DecodeFrameHeader(const char* data, size_t size, FrameHeader* out) {
+  Status s = DecodeFrameHeaderPrefix(data, size, out);
+  if (!s.ok()) return s;
+  if (size < out->header_bytes) {
+    return Status::Corruption("truncated frame header extension");
+  }
+  return DecodeFrameHeaderExt(data + kFrameHeaderBytes,
+                              out->header_bytes - kFrameHeaderBytes, out);
 }
 
 Status VerifyFramePayload(const FrameHeader& header,
@@ -95,9 +149,8 @@ Status VerifyFramePayload(const FrameHeader& header,
   if (payload.size() != header.payload_bytes) {
     return Status::Corruption("frame payload size mismatch");
   }
-  RawFrameHeader h;
-  std::memcpy(&h, header.raw, sizeof(h));
-  if (FrameChecksum(h, payload) != header.checksum) {
+  if (FrameChecksum(header.raw, header.header_bytes, payload) !=
+      header.checksum) {
     return Status::Corruption("frame checksum mismatch");
   }
   return Status::Ok();
@@ -107,21 +160,57 @@ StatusOr<Frame> DecodeFrame(std::string_view data) {
   FrameHeader header;
   Status s = DecodeFrameHeader(data.data(), data.size(), &header);
   if (!s.ok()) return s;
-  if (data.size() != kFrameHeaderBytes + header.payload_bytes) {
+  if (data.size() != header.header_bytes + header.payload_bytes) {
     return Status::Corruption("frame length does not match its header");
   }
-  std::string_view payload = data.substr(kFrameHeaderBytes);
+  std::string_view payload = data.substr(header.header_bytes);
   s = VerifyFramePayload(header, payload);
   if (!s.ok()) return s;
   Frame frame;
   frame.type = header.type;
   frame.payload.assign(payload.data(), payload.size());
+  frame.version = header.version;
+  frame.deadline_ms = header.deadline_ms;
   return frame;
 }
 
 namespace {
 
-Status ReadExact(int fd, char* buf, size_t n) {
+// Blocks (via poll) until fd is ready for `events` or the deadline runs
+// out. With no deadline this polls forever — matching the blocking-fd
+// behavior the deadline-free entry points always had.
+Status WaitFd(int fd, short events, const Deadline& deadline) {
+  for (;;) {
+    int timeout_ms = -1;
+    if (deadline.has_deadline()) {
+      uint64_t remaining = deadline.RemainingMs();
+      if (remaining == 0) {
+        return Status::DeadlineExceeded("socket wait deadline exceeded");
+      }
+      timeout_ms = remaining > static_cast<uint64_t>(
+                                   std::numeric_limits<int>::max())
+                       ? std::numeric_limits<int>::max()
+                       : static_cast<int>(remaining);
+    }
+    struct pollfd p = {fd, events, 0};
+    int n = ::poll(&p, 1, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("poll failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    if (n == 0) {
+      if (!deadline.has_deadline()) continue;
+      if (deadline.Expired()) {
+        return Status::DeadlineExceeded("socket wait deadline exceeded");
+      }
+      continue;  // clamped timeout; keep waiting
+    }
+    return Status::Ok();
+  }
+}
+
+Status ReadExact(int fd, char* buf, size_t n, const Deadline& deadline) {
   size_t done = 0;
   while (done < n) {
     ssize_t got = ::read(fd, buf + done, n - done);
@@ -130,6 +219,11 @@ Status ReadExact(int fd, char* buf, size_t n) {
     }
     if (got < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        Status s = WaitFd(fd, POLLIN, deadline);
+        if (!s.ok()) return s;
+        continue;
+      }
       return Status::IOError("read failed: " +
                              std::string(std::strerror(errno)));
     }
@@ -140,12 +234,18 @@ Status ReadExact(int fd, char* buf, size_t n) {
 
 }  // namespace
 
-Status WriteAllBytes(int fd, const char* data, size_t size) {
+Status WriteAllBytes(int fd, const char* data, size_t size,
+                     const Deadline& deadline) {
   size_t done = 0;
   while (done < size) {
     ssize_t put = ::write(fd, data + done, size - done);
     if (put < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        Status s = WaitFd(fd, POLLOUT, deadline);
+        if (!s.ok()) return s;
+        continue;
+      }
       return Status::IOError("write failed: " +
                              std::string(std::strerror(errno)));
     }
@@ -154,21 +254,32 @@ Status WriteAllBytes(int fd, const char* data, size_t size) {
   return Status::Ok();
 }
 
+Status WriteAllBytes(int fd, const char* data, size_t size) {
+  return WriteAllBytes(fd, data, size, Deadline());
+}
+
 Status WriteFrame(int fd, MessageType type, std::string_view payload) {
   std::string frame = EncodeFrame(type, payload);
   return WriteAllBytes(fd, frame.data(), frame.size());
 }
 
-StatusOr<Frame> ReadFrame(int fd) {
-  char raw[kFrameHeaderBytes];
-  Status s = ReadExact(fd, raw, sizeof(raw));
+StatusOr<Frame> ReadFrame(int fd, const Deadline& deadline) {
+  char raw[kMaxFrameHeaderBytes];
+  Status s = ReadExact(fd, raw, kFrameHeaderBytes, deadline);
   if (!s.ok()) return s;
   FrameHeader header;
-  s = DecodeFrameHeader(raw, sizeof(raw), &header);
+  s = DecodeFrameHeaderPrefix(raw, kFrameHeaderBytes, &header);
   if (!s.ok()) return s;
+  size_t ext = header.header_bytes - kFrameHeaderBytes;
+  if (ext > 0) {
+    s = ReadExact(fd, raw + kFrameHeaderBytes, ext, deadline);
+    if (!s.ok()) return s;
+    s = DecodeFrameHeaderExt(raw + kFrameHeaderBytes, ext, &header);
+    if (!s.ok()) return s;
+  }
   std::string payload(header.payload_bytes, '\0');
   if (!payload.empty()) {
-    s = ReadExact(fd, payload.data(), payload.size());
+    s = ReadExact(fd, payload.data(), payload.size(), deadline);
     if (!s.ok()) return s;
   }
   s = VerifyFramePayload(header, payload);
@@ -176,8 +287,12 @@ StatusOr<Frame> ReadFrame(int fd) {
   Frame frame;
   frame.type = header.type;
   frame.payload = std::move(payload);
+  frame.version = header.version;
+  frame.deadline_ms = header.deadline_ms;
   return frame;
 }
+
+StatusOr<Frame> ReadFrame(int fd) { return ReadFrame(fd, Deadline()); }
 
 // ---------------------------------------------------------------------------
 // Payload readers/writers
@@ -445,6 +560,10 @@ Status DecodeError(std::string_view payload) {
       return Status::IOError(std::move(message));
     case Status::Code::kCorruption:
       return Status::Corruption(std::move(message));
+    case Status::Code::kDeadlineExceeded:
+      return Status::DeadlineExceeded(std::move(message));
+    case Status::Code::kUnavailable:
+      return Status::Unavailable(std::move(message));
   }
   return Status::Corruption("error frame with unknown status code");
 }
@@ -480,18 +599,14 @@ std::function<double(NodeId, double)> QgFn(QgKind kind, double param) {
 }  // namespace
 
 StatusOr<std::vector<SweepCollector*>> BuildPlanFromSpec(
-    const std::vector<CollectorSpec>& spec, SweepPlan* plan,
-    bool capture_partials) {
+    const std::vector<CollectorSpec>& spec, SweepPlan* plan) {
   std::vector<SweepCollector*> built;
   built.reserve(spec.size());
   for (const CollectorSpec& c : spec) {
     switch (c.kind) {
-      case CollectorKind::kDistanceHistogram: {
-        auto* hist = plan->Emplace<DistanceHistogramCollector>();
-        if (capture_partials) hist->EnableCapture();
-        built.push_back(hist);
+      case CollectorKind::kDistanceHistogram:
+        built.push_back(plan->Emplace<DistanceHistogramCollector>());
         break;
-      }
       case CollectorKind::kDistanceSum:
         built.push_back(plan->Emplace<DistanceSumCollector>());
         break;
@@ -538,6 +653,18 @@ StatusOr<std::vector<SweepCollector*>> BuildPlanFromSpec(
     }
   }
   return built;
+}
+
+std::string SweepSpecCacheKey(const std::vector<CollectorSpec>& spec) {
+  WireWriter w;
+  w.U64(spec.size());
+  for (const CollectorSpec& c : spec) {
+    w.U32(static_cast<uint32_t>(c.kind));
+    w.U32(c.aux);
+    w.U32(c.count);
+    w.F64(c.param);
+  }
+  return w.Take();
 }
 
 Status AbsorbSweepResponse(const SweepResponseMsg& response,

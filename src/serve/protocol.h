@@ -32,6 +32,7 @@
 #ifndef HIPADS_SERVE_PROTOCOL_H_
 #define HIPADS_SERVE_PROTOCOL_H_
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -44,15 +45,94 @@
 namespace hipads {
 
 // ---------------------------------------------------------------------------
+// Deadlines
+// ---------------------------------------------------------------------------
+
+/// An absolute point in time a request must complete by, or "none".
+/// Deadlines are carried on the wire as *remaining milliseconds* (absolute
+/// clocks do not agree across machines): the sender re-anchors the
+/// remaining budget at encode time, the receiver re-anchors it at frame
+/// arrival. Each hop therefore inherits (budget - elapsed-so-far), which
+/// is exactly the propagation a scatter/gather tree needs.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// No deadline: never expires, encodes as 0 on the wire.
+  Deadline() = default;
+
+  static Deadline At(Clock::time_point at) { return Deadline(at, true); }
+  static Deadline AfterMs(uint64_t ms, Clock::time_point now = Clock::now()) {
+    return At(now + std::chrono::milliseconds(ms));
+  }
+  /// Decodes a wire value (0 = none) relative to the receiver's clock.
+  static Deadline FromWireMs(uint64_t ms,
+                             Clock::time_point now = Clock::now()) {
+    return ms == 0 ? Deadline() : AfterMs(ms, now);
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+  Clock::time_point at() const { return at_; }
+
+  bool Expired(Clock::time_point now = Clock::now()) const {
+    return has_deadline_ && now >= at_;
+  }
+
+  /// Remaining budget in ms, clamped to >= 1 while unexpired so an
+  /// in-flight request never accidentally encodes the "no deadline" 0;
+  /// 0 once expired. Meaningless without a deadline (callers check).
+  uint64_t RemainingMs(Clock::time_point now = Clock::now()) const {
+    if (!has_deadline_) return 0;
+    if (now >= at_) return 0;
+    auto ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(at_ - now)
+            .count();
+    return ms < 1 ? 1 : static_cast<uint64_t>(ms);
+  }
+
+  /// The wire form: remaining ms (>= 1) with a deadline, 0 without.
+  uint64_t ToWireMs(Clock::time_point now = Clock::now()) const {
+    if (!has_deadline_) return 0;
+    uint64_t ms = RemainingMs(now);
+    return ms == 0 ? 1 : ms;  // expired still encodes a deadline
+  }
+
+  /// The earlier of two deadlines ("none" is latest possible).
+  static Deadline Min(const Deadline& a, const Deadline& b) {
+    if (!a.has_deadline_) return b;
+    if (!b.has_deadline_) return a;
+    return a.at_ <= b.at_ ? a : b;
+  }
+
+ private:
+  Deadline(Clock::time_point at, bool has) : at_(at), has_deadline_(has) {}
+
+  Clock::time_point at_{};
+  bool has_deadline_ = false;
+};
+
+// ---------------------------------------------------------------------------
 // Frames
 // ---------------------------------------------------------------------------
 
 /// Leading magic of every hipads wire frame ("hipadsr1": rpc format 1).
 inline constexpr char kWireMagic[8] = {'h', 'i', 'p', 'a', 'd', 's', 'r', '1'};
-inline constexpr uint32_t kWireVersion = 1;
 
-/// Fixed byte size of the frame header on the wire.
+/// Current wire version. Version 2 appends an 8-byte deadline extension
+/// (remaining milliseconds, 0 = none) to the fixed header, covered by the
+/// frame checksum. Version 1 frames (no extension) are still decoded —
+/// the fleet can be upgraded one process at a time — and responses to a
+/// v1 request are encoded as v1 so old clients keep working.
+inline constexpr uint32_t kWireVersion = 2;
+inline constexpr uint32_t kWireVersionLegacy = 1;
+
+/// Fixed byte size of the common frame header prefix on the wire.
 inline constexpr size_t kFrameHeaderBytes = 32;
+/// Size of the v2 deadline extension that follows the prefix.
+inline constexpr size_t kFrameExtBytes = 8;
+/// Largest whole header across versions (prefix + v2 extension).
+inline constexpr size_t kMaxFrameHeaderBytes =
+    kFrameHeaderBytes + kFrameExtBytes;
 
 /// Hard cap on a frame's payload. A length-prefixed protocol must bound the
 /// prefix before allocating, or a corrupt/hostile 8-byte length field turns
@@ -72,27 +152,52 @@ enum class MessageType : uint32_t {
   kSweepResponse = 6,
 };
 
-/// One decoded frame: the message type plus its raw payload bytes.
+/// One decoded frame: the message type plus its raw payload bytes, the
+/// wire version it arrived in (responses are encoded back in kind), and —
+/// v2 frames only — the deadline budget it carried (0 = none).
 struct Frame {
   MessageType type = MessageType::kError;
   std::string payload;
+  uint32_t version = kWireVersion;
+  uint64_t deadline_ms = 0;
 };
 
 /// Encodes a complete frame: header (magic, version, type, payload length,
-/// FNV-1a checksum over header-with-zeroed-checksum + payload) + payload.
-std::string EncodeFrame(MessageType type, std::string_view payload);
+/// FNV-1a checksum over header-with-zeroed-checksum + payload), the v2
+/// deadline extension, then the payload. `version` must be kWireVersion or
+/// kWireVersionLegacy; a legacy frame cannot carry a deadline (silently
+/// dropped — the legacy receiver could not honor it anyway).
+std::string EncodeFrame(MessageType type, std::string_view payload,
+                        uint64_t deadline_ms = 0,
+                        uint32_t version = kWireVersion);
 
 /// Validated frame header, plus the raw header bytes the checksum needs.
 struct FrameHeader {
   MessageType type = MessageType::kError;
   uint64_t payload_bytes = 0;
   uint64_t checksum = 0;
-  char raw[kFrameHeaderBytes] = {};
+  uint32_t version = kWireVersion;
+  uint64_t deadline_ms = 0;       // v2 extension; 0 on v1 frames
+  size_t header_bytes = kFrameHeaderBytes;  // whole header for this version
+  char raw[kMaxFrameHeaderBytes] = {};      // first header_bytes are valid
 };
 
-/// Validates the fixed 32-byte header of a frame: magic, version, known
-/// message type, payload length within kMaxFramePayload. This is what a
-/// streaming receiver runs before allocating or reading the payload.
+/// Validates the fixed 32-byte header prefix of a frame: magic, supported
+/// version, known message type, payload length within kMaxFramePayload.
+/// This is what a streaming receiver runs before allocating or reading
+/// anything further; on success out->header_bytes says how many total
+/// header bytes this frame's version carries (32 for v1, 40 for v2), and
+/// the receiver feeds the bytes past the prefix to DecodeFrameHeaderExt.
+Status DecodeFrameHeaderPrefix(const char* data, size_t size,
+                               FrameHeader* out);
+
+/// Consumes the extension bytes of a prefix-validated header (a no-op for
+/// v1). `data`/`size` must hold exactly header_bytes - kFrameHeaderBytes
+/// bytes.
+Status DecodeFrameHeaderExt(const char* data, size_t size, FrameHeader* out);
+
+/// Prefix + extension in one step, for buffers that already hold the whole
+/// header.
 Status DecodeFrameHeader(const char* data, size_t size, FrameHeader* out);
 
 /// Verifies the whole-frame checksum of `payload` against a validated
@@ -107,13 +212,19 @@ StatusOr<Frame> DecodeFrame(std::string_view data);
 
 // Blocking frame I/O over a connected socket / pipe fd. ReadFrame rejects
 // malformed headers before reading the payload; both fail with IOError on
-// EOF / socket errors.
+// EOF / socket errors. The Deadline overloads poll the fd and fail with
+// DeadlineExceeded when the budget runs out mid-transfer; enforcing a
+// finite deadline requires the fd to be in non-blocking mode (TcpChannel
+// sets it).
 Status WriteFrame(int fd, MessageType type, std::string_view payload);
 StatusOr<Frame> ReadFrame(int fd);
+StatusOr<Frame> ReadFrame(int fd, const Deadline& deadline);
 
 /// Writes all of `data` to `fd`, retrying partial writes and EINTR — the
 /// one short-write loop every frame producer shares.
 Status WriteAllBytes(int fd, const char* data, size_t size);
+Status WriteAllBytes(int fd, const char* data, size_t size,
+                     const Deadline& deadline);
 
 // ---------------------------------------------------------------------------
 // Bounds-checked payload readers/writers
@@ -289,12 +400,16 @@ Status DecodeError(std::string_view payload);
 /// Builds the collector objects a spec list names into `plan` (owned by the
 /// plan) and returns them in spec order. Both endpoints of a sweep RPC run
 /// this on the same spec, so the serving sweep and the gathering merge use
-/// identical collector configurations. `capture_partials` enables the
-/// histogram collectors' replay-stream capture and must be set on any
-/// process that will EncodePartial the result (range servers, routers).
+/// identical collector configurations.
 StatusOr<std::vector<SweepCollector*>> BuildPlanFromSpec(
-    const std::vector<CollectorSpec>& spec, SweepPlan* plan,
-    bool capture_partials);
+    const std::vector<CollectorSpec>& spec, SweepPlan* plan);
+
+/// Canonical cache key of a plan spec: the spec list's encoding with the
+/// resource-hint fields (num_threads) excluded, so two requests for the
+/// same statistics hit the same cached result whatever thread counts the
+/// clients asked for. Immutable-backend servers key their sweep-response
+/// cache on this.
+std::string SweepSpecCacheKey(const std::vector<CollectorSpec>& spec);
 
 /// Absorbs a sweep response into collectors built from the same spec
 /// (helper shared by the router's gather and the remote-query client).

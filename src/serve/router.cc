@@ -1,14 +1,52 @@
 #include "serve/router.h"
 
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <fstream>
 #include <sstream>
 #include <thread>
 #include <utility>
 
 #include "ads/similarity.h"
+#include "util/hash.h"
 
 namespace hipads {
+
+namespace {
+
+// Backoff jitter uses the deterministic Mix64 mixer (util/hash.h): same
+// seed, server and attempt always back off the same amount, so fault
+// tests are reproducible, while distinct servers/attempts decorrelate.
+
+// Transport-shaped failures worth retrying: dead/broken connections and
+// explicit shed responses. Semantic errors (bad request, missing node)
+// and expired deadlines are final.
+bool Retryable(const Status& s) {
+  return s.code() == Status::Code::kIOError ||
+         s.code() == Status::Code::kUnavailable;
+}
+
+// Rebuilds `s` with a new message, preserving the code for the codes the
+// retry policy keys on (Status constructors are factory-only).
+Status WithMessage(const Status& s, std::string msg) {
+  switch (s.code()) {
+    case Status::Code::kDeadlineExceeded:
+      return Status::DeadlineExceeded(std::move(msg));
+    case Status::Code::kUnavailable:
+      return Status::Unavailable(std::move(msg));
+    case Status::Code::kCorruption:
+      return Status::Corruption(std::move(msg));
+    case Status::Code::kNotFound:
+      return Status::NotFound(std::move(msg));
+    case Status::Code::kInvalidArgument:
+      return Status::InvalidArgument(std::move(msg));
+    default:
+      return Status::IOError(std::move(msg));
+  }
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Fleet manifest
@@ -104,9 +142,13 @@ Status ValidateFleetManifest(const FleetManifest& manifest) {
 }
 
 ChannelFactory TcpChannelFactory() {
-  return [](const std::string& address)
+  return TcpChannelFactory(TcpChannelOptions{});
+}
+
+ChannelFactory TcpChannelFactory(const TcpChannelOptions& options) {
+  return [options](const std::string& address)
              -> StatusOr<std::unique_ptr<Channel>> {
-    auto channel = TcpChannel::ConnectAddress(address);
+    auto channel = TcpChannel::ConnectAddress(address, options);
     if (!channel.ok()) return channel.status();
     return std::unique_ptr<Channel>(std::move(channel).value());
   };
@@ -117,12 +159,16 @@ ChannelFactory TcpChannelFactory() {
 // ---------------------------------------------------------------------------
 
 StatusOr<FleetRouter> FleetRouter::Connect(FleetManifest manifest,
-                                           const ChannelFactory& factory) {
+                                           const ChannelFactory& factory,
+                                           const RouterOptions& options) {
   Status s = ValidateFleetManifest(manifest);
   if (!s.ok()) return s;
   FleetRouter router;
   router.manifest_ = std::move(manifest);
-  router.channels_.reserve(router.manifest_.servers.size());
+  router.factory_ = factory;
+  router.options_ = options;
+  router.slots_.reserve(router.manifest_.servers.size());
+  Deadline handshake_deadline = router.EffectiveDeadline(Deadline());
   for (size_t i = 0; i < router.manifest_.servers.size(); ++i) {
     const FleetEntry& entry = router.manifest_.servers[i];
     auto channel = factory(entry.address);
@@ -131,7 +177,9 @@ StatusOr<FleetRouter> FleetRouter::Connect(FleetManifest manifest,
                              " is unreachable: " +
                              channel.status().ToString());
     }
-    AdsClient client(channel.value().get());
+    auto slot = std::make_unique<ServerSlot>();
+    slot->channel = std::shared_ptr<Channel>(std::move(channel).value());
+    AdsClient client(slot->channel.get(), handshake_deadline);
     auto info = client.Info();
     if (!info.ok()) {
       return Status::IOError("fleet server " + entry.address +
@@ -160,9 +208,162 @@ StatusOr<FleetRouter> FleetRouter::Connect(FleetManifest manifest,
           " disagrees on sketch parameters (k/flavor/rank sup)");
     }
     router.total_entries_ += reported.total_entries;
-    router.channels_.push_back(std::move(channel).value());
+    router.slots_.push_back(std::move(slot));
   }
   return router;
+}
+
+Deadline FleetRouter::EffectiveDeadline(const Deadline& deadline) const {
+  if (options_.timeout_ms == 0) return deadline;
+  return Deadline::Min(deadline, Deadline::AfterMs(options_.timeout_ms));
+}
+
+StatusOr<std::shared_ptr<Channel>> FleetRouter::ChannelFor(size_t idx) {
+  ServerSlot& slot = *slots_[idx];
+  std::lock_guard<std::mutex> lock(slot.mu);
+  if (!slot.channel) {
+    auto created = factory_(manifest_.servers[idx].address);
+    if (!created.ok()) {
+      return WithMessage(created.status(),
+                         "cannot reconnect to fleet server " +
+                             manifest_.servers[idx].address + ": " +
+                             created.status().message());
+    }
+    slot.channel = std::shared_ptr<Channel>(std::move(created).value());
+  }
+  return slot.channel;
+}
+
+void FleetRouter::InvalidateChannel(size_t idx,
+                                    const std::shared_ptr<Channel>& bad) {
+  ServerSlot& slot = *slots_[idx];
+  std::lock_guard<std::mutex> lock(slot.mu);
+  if (slot.channel == bad) slot.channel.reset();
+}
+
+StatusOr<Frame> FleetRouter::CallServer(size_t idx, MessageType type,
+                                        const std::string& payload,
+                                        MessageType expected_response,
+                                        const Deadline& deadline) {
+  const std::string& address = manifest_.servers[idx].address;
+  Status last = Status::Unavailable("no attempt made");
+  const uint32_t attempts = options_.retries + 1;
+  for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      // Jittered exponential backoff, never sleeping past the deadline.
+      uint64_t shift = attempt - 1;
+      uint64_t backoff = shift >= 63
+                             ? options_.backoff_max_ms
+                             : options_.backoff_base_ms << shift;
+      if (backoff > options_.backoff_max_ms) backoff = options_.backoff_max_ms;
+      uint64_t h = Mix64(options_.backoff_seed ^
+                         (idx * 0x100000001b3ull) ^ attempt);
+      uint64_t sleep_ms = backoff / 2 + (backoff ? h % (backoff / 2 + 1) : 0);
+      if (deadline.has_deadline() && deadline.RemainingMs() <= sleep_ms) {
+        return Status::DeadlineExceeded(
+            "fleet server " + address + ": deadline expired after " +
+            std::to_string(attempt) + " attempt(s): " + last.message());
+      }
+      if (sleep_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      }
+    }
+    if (deadline.Expired()) {
+      return Status::DeadlineExceeded(
+          "fleet server " + address + ": deadline expired after " +
+          std::to_string(attempt) + " attempt(s): " + last.message());
+    }
+    auto channel = ChannelFor(idx);
+    if (!channel.ok()) {
+      last = channel.status();
+      if (Retryable(last)) continue;
+      return last;
+    }
+    Frame frame;
+    Status s = channel.value()->Call(
+        EncodeFrame(type, payload, deadline.ToWireMs()), &frame, deadline);
+    if (!s.ok()) {
+      // The connection is suspect (half-written frame, dead socket):
+      // drop it so the next attempt starts on a fresh one.
+      InvalidateChannel(idx, channel.value());
+      last = s;
+      if (Retryable(s)) continue;
+      return WithMessage(s, "fleet server " + address + ": " + s.message());
+    }
+    if (frame.type == MessageType::kError) {
+      Status err = DecodeError(frame.payload);
+      if (Retryable(err)) {  // e.g. a shed point lookup: retry after backoff
+        last = err;
+        continue;
+      }
+      return err;  // semantic errors pass through as the server sent them
+    }
+    if (frame.type != expected_response) {
+      InvalidateChannel(idx, channel.value());
+      return Status::Corruption("fleet server " + address +
+                                ": unexpected response frame type");
+    }
+    return frame;
+  }
+  return WithMessage(last, "fleet server " + address + " failed after " +
+                               std::to_string(attempts) +
+                               " attempt(s): " + last.message());
+}
+
+StatusOr<Frame> FleetRouter::HedgeAttempt(size_t idx,
+                                          const std::string& payload,
+                                          const Deadline& deadline) {
+  // Deliberately NOT the slot channel: the point of the hedge is to route
+  // around whatever is wrong with the established connection.
+  auto channel = factory_(manifest_.servers[idx].address);
+  if (!channel.ok()) return channel.status();
+  Frame frame;
+  Status s = channel.value()->Call(
+      EncodeFrame(MessageType::kPointRequest, payload, deadline.ToWireMs()),
+      &frame, deadline);
+  if (!s.ok()) return s;
+  if (frame.type == MessageType::kError) return DecodeError(frame.payload);
+  if (frame.type != MessageType::kPointResponse) {
+    return Status::Corruption("unexpected response frame type");
+  }
+  return frame;
+}
+
+StatusOr<Frame> FleetRouter::CallPoint(size_t idx, const std::string& payload,
+                                       const Deadline& deadline) {
+  if (!options_.hedge) {
+    return CallServer(idx, MessageType::kPointRequest, payload,
+                      MessageType::kPointResponse, deadline);
+  }
+  // Hedged: the primary call (full retry policy) races a delayed fresh-
+  // connection attempt. Both compute identical bytes, so whichever
+  // succeeds is THE answer; the loser is joined (its cost is bounded by
+  // the deadline) and discarded.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool primary_done = false;
+  StatusOr<Frame> primary_result = Status::Unavailable("pending");
+  std::thread primary([&] {
+    auto result = CallServer(idx, MessageType::kPointRequest, payload,
+                             MessageType::kPointResponse, deadline);
+    std::lock_guard<std::mutex> lock(mu);
+    primary_result = std::move(result);
+    primary_done = true;
+    cv.notify_all();
+  });
+  bool fire_hedge = false;
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait_for(lock, std::chrono::milliseconds(options_.hedge_delay_ms),
+                [&] { return primary_done; });
+    fire_hedge = !primary_done;
+  }
+  StatusOr<Frame> hedge_result = Status::Unavailable("hedge not fired");
+  if (fire_hedge) hedge_result = HedgeAttempt(idx, payload, deadline);
+  primary.join();
+  if (hedge_result.ok()) return hedge_result;
+  if (primary_result.ok()) return primary_result;
+  return primary_result;  // primary error: it carries the server's address
 }
 
 StatusOr<size_t> FleetRouter::OwnerOf(uint64_t v) const {
@@ -185,19 +386,23 @@ StatusOr<size_t> FleetRouter::OwnerOf(uint64_t v) const {
   return lo;
 }
 
-StatusOr<std::vector<AdsEntry>> FleetRouter::FetchSketch(uint64_t node) {
+StatusOr<std::vector<AdsEntry>> FleetRouter::FetchSketch(
+    uint64_t node, const Deadline& deadline) {
   auto owner = OwnerOf(node);
   if (!owner.ok()) return owner.status();
-  AdsClient client(channels_[owner.value()].get());
   PointRequestMsg fetch;
   fetch.kind = PointKind::kFetchSketch;
   fetch.node = node;
-  auto response = client.Point(fetch);
+  auto frame = CallPoint(owner.value(), EncodePointRequest(fetch), deadline);
+  if (!frame.ok()) return frame.status();
+  auto response = DecodePointResponse(frame.value().payload);
   if (!response.ok()) return response.status();
   return std::move(response).value().entries;
 }
 
-StatusOr<PointResponseMsg> FleetRouter::Point(const PointRequestMsg& request) {
+StatusOr<PointResponseMsg> FleetRouter::Point(const PointRequestMsg& request,
+                                              const Deadline& deadline_in) {
+  Deadline deadline = EffectiveDeadline(deadline_in);
   auto owner = OwnerOf(request.node);
   if (!owner.ok()) return owner.status();
   if (request.kind == PointKind::kJaccard) {
@@ -207,9 +412,9 @@ StatusOr<PointResponseMsg> FleetRouter::Point(const PointRequestMsg& request) {
       // The pair spans two servers: fetch both raw sketches and run the
       // same similarity estimator the servers run, router-side. Same
       // inputs, same function — same result to the last bit.
-      auto u = FetchSketch(request.node);
+      auto u = FetchSketch(request.node, deadline);
       if (!u.ok()) return u.status();
-      auto v = FetchSketch(request.other);
+      auto v = FetchSketch(request.other, deadline);
       if (!v.ok()) return v.status();
       AdsView u_view{std::span<const AdsEntry>(u.value())};
       AdsView v_view{std::span<const AdsEntry>(v.value())};
@@ -220,28 +425,39 @@ StatusOr<PointResponseMsg> FleetRouter::Point(const PointRequestMsg& request) {
       return response;
     }
   }
-  AdsClient client(channels_[owner.value()].get());
-  return client.Point(request);
+  auto frame =
+      CallPoint(owner.value(), EncodePointRequest(request), deadline);
+  if (!frame.ok()) return frame.status();
+  return DecodePointResponse(frame.value().payload);
 }
 
 Status FleetRouter::ExecuteSweep(
     const SweepRequestMsg& request,
-    const std::vector<SweepCollector*>& collectors) {
-  size_t n = channels_.size();
+    const std::vector<SweepCollector*>& collectors,
+    const Deadline& deadline_in) {
+  Deadline deadline = EffectiveDeadline(deadline_in);
+  size_t n = slots_.size();
   std::vector<Status> statuses(n, Status::Ok());
   std::vector<SweepResponseMsg> responses(n);
-  // Scatter: every range server sweeps concurrently. Results land in
-  // per-server slots; nothing depends on completion order.
+  const std::string payload = EncodeSweepRequest(request);
+  // Scatter: every range server sweeps concurrently, each call carrying
+  // the remaining deadline budget and the full retry policy. Results land
+  // in per-server slots; nothing depends on completion order.
   std::vector<std::thread> calls;
   calls.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    calls.emplace_back([this, i, &request, &statuses, &responses] {
-      AdsClient client(channels_[i].get());
-      auto response = client.Sweep(request);
-      if (!response.ok()) {
-        statuses[i] = response.status();
+    calls.emplace_back([this, i, &payload, &deadline, &statuses, &responses] {
+      auto frame = CallServer(i, MessageType::kSweepRequest, payload,
+                              MessageType::kSweepResponse, deadline);
+      if (!frame.ok()) {
+        statuses[i] = frame.status();
+        return;
+      }
+      auto decoded = DecodeSweepResponse(frame.value().payload);
+      if (!decoded.ok()) {
+        statuses[i] = decoded.status();
       } else {
-        responses[i] = std::move(response).value();
+        responses[i] = std::move(decoded).value();
       }
     });
   }
@@ -253,8 +469,9 @@ Status FleetRouter::ExecuteSweep(
   for (size_t i = 0; i < n; ++i) {
     const FleetEntry& entry = manifest_.servers[i];
     if (!statuses[i].ok()) {
-      return Status::IOError("sweep failed on fleet server " +
-                             entry.address + ": " + statuses[i].ToString());
+      return WithMessage(statuses[i],
+                         "sweep failed on fleet server " + entry.address +
+                             ": " + statuses[i].ToString());
     }
     if (responses[i].begin != entry.begin || responses[i].end != entry.end) {
       return Status::Corruption("fleet server " + entry.address +
@@ -281,14 +498,23 @@ std::string RouterCore::HandleFrame(std::string_view request,
     *close_connection = true;
     return EncodeFrame(MessageType::kError, EncodeError(frame.status()));
   }
-  auto response = Dispatch(frame.value());
+  // Respond in the request's wire version; re-anchor its deadline budget.
+  const uint32_t version = frame.value().version;
+  Deadline deadline = Deadline::FromWireMs(frame.value().deadline_ms);
+  auto response = Dispatch(frame.value(), deadline);
   if (!response.ok()) {
-    return EncodeFrame(MessageType::kError, EncodeError(response.status()));
+    return EncodeFrame(MessageType::kError, EncodeError(response.status()),
+                       /*deadline_ms=*/0, version);
   }
-  return EncodeFrame(response.value().type, response.value().payload);
+  return EncodeFrame(response.value().type, response.value().payload,
+                     /*deadline_ms=*/0, version);
 }
 
-StatusOr<Frame> RouterCore::Dispatch(const Frame& request) {
+StatusOr<Frame> RouterCore::Dispatch(const Frame& request,
+                                     const Deadline& deadline) {
+  if (deadline.Expired()) {
+    return Status::DeadlineExceeded("request deadline expired; shed");
+  }
   switch (request.type) {
     case MessageType::kInfoRequest: {
       if (!request.payload.empty()) {
@@ -306,7 +532,7 @@ StatusOr<Frame> RouterCore::Dispatch(const Frame& request) {
     case MessageType::kPointRequest: {
       auto msg = DecodePointRequest(request.payload);
       if (!msg.ok()) return msg.status();
-      auto response = router_->Point(msg.value());
+      auto response = router_->Point(msg.value(), deadline);
       if (!response.ok()) return response.status();
       return Frame{MessageType::kPointResponse,
                    EncodePointResponse(response.value())};
@@ -314,13 +540,11 @@ StatusOr<Frame> RouterCore::Dispatch(const Frame& request) {
     case MessageType::kSweepRequest: {
       auto msg = DecodeSweepRequest(request.payload);
       if (!msg.ok()) return msg.status();
-      // Capture stays on through the gather, so the merged state can be
-      // re-encoded losslessly for this router's own client.
       SweepPlan plan;
-      auto collectors = BuildPlanFromSpec(msg.value().collectors, &plan,
-                                          /*capture_partials=*/true);
+      auto collectors = BuildPlanFromSpec(msg.value().collectors, &plan);
       if (!collectors.ok()) return collectors.status();
-      Status swept = router_->ExecuteSweep(msg.value(), collectors.value());
+      Status swept =
+          router_->ExecuteSweep(msg.value(), collectors.value(), deadline);
       if (!swept.ok()) return swept;
       SweepResponseMsg response;
       response.begin = router_->node_begin();

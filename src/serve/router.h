@@ -45,6 +45,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -85,6 +86,39 @@ Status ValidateFleetManifest(const FleetManifest& manifest);
 using ChannelFactory =
     std::function<StatusOr<std::unique_ptr<Channel>>(const std::string&)>;
 ChannelFactory TcpChannelFactory();
+/// A TCP factory whose channels carry the given socket options (connect /
+/// per-call I/O timeouts).
+ChannelFactory TcpChannelFactory(const TcpChannelOptions& options);
+
+/// Robustness policy of a FleetRouter. Defaults are production-shaped:
+/// one retry, no hedging, no implicit deadline.
+struct RouterOptions {
+  /// Default per-request deadline applied when the caller passes none
+  /// (and an upper bound when it does). 0 = none.
+  uint64_t timeout_ms = 0;
+  /// Transport-failure retry budget per request: total attempts are
+  /// retries + 1. Only transport-shaped failures (IOError, Unavailable —
+  /// dead connections, shed lookups) are retried; semantic errors and
+  /// expired deadlines never are. Each retry reconnects the server's
+  /// channel.
+  uint32_t retries = 1;
+  /// Hedge point requests: if the owner has not answered within
+  /// hedge_delay_ms, race a second attempt over a FRESH connection to the
+  /// same server and take whichever succeeds first. Ranges tile the node
+  /// space uniquely, so the hedge targets the same owner — it defeats a
+  /// stalled connection or a wedged worker thread, not a dead process.
+  /// Both attempts compute the same bytes, so the winner is
+  /// indistinguishable from an unhedged call.
+  bool hedge = false;
+  uint64_t hedge_delay_ms = 50;
+  /// Jittered exponential backoff between retries: attempt a sleeps a
+  /// deterministic value in [b/2, b] where b = min(backoff_base_ms << a,
+  /// backoff_max_ms), seeded per (server, attempt) so a fleet-wide
+  /// failure does not resynchronize every client into a retry stampede.
+  uint64_t backoff_base_ms = 10;
+  uint64_t backoff_max_ms = 1000;
+  uint64_t backoff_seed = 0;
+};
 
 /// A connected fleet. Movable, not copyable.
 class FleetRouter {
@@ -95,9 +129,12 @@ class FleetRouter {
   /// Connects to every manifest entry and validates the fleet: each
   /// server's reported range must equal its manifest range, and every
   /// server must agree on k, flavor and rank sup. A dead or mismatched
-  /// server fails the whole fleet here, before any query runs.
+  /// server fails the whole fleet here, before any query runs. The
+  /// factory is retained for reconnects: a channel that fails a request
+  /// is dropped and re-opened (with backoff) on the next attempt.
   static StatusOr<FleetRouter> Connect(FleetManifest manifest,
-                                       const ChannelFactory& factory);
+                                       const ChannelFactory& factory,
+                                       const RouterOptions& options = {});
 
   /// Exclusive end of the served global range (== the global node count
   /// for a root fleet).
@@ -115,23 +152,62 @@ class FleetRouter {
   /// Scatters `request` to every range server, gathers the partial states
   /// and absorbs them into `collectors` (built by the caller from the same
   /// spec; Begin is called here). Bitwise identical to a single-process
-  /// RunSweep over the same sketches. On failure — a dead server, a
-  /// malformed partial, a range mismatch — the collectors are left
+  /// RunSweep over the same sketches. `deadline` bounds the whole
+  /// scatter/gather (each hop receives the remaining budget); per-server
+  /// failures are retried within the retry budget, and the final error
+  /// names the failing server. On failure the collectors are left
   /// partially filled and must be discarded, never read.
   Status ExecuteSweep(const SweepRequestMsg& request,
-                      const std::vector<SweepCollector*>& collectors);
+                      const std::vector<SweepCollector*>& collectors,
+                      const Deadline& deadline = Deadline());
 
-  /// Routes a point request to the owning range server. Cross-server
+  /// Routes a point request to the owning range server (retried, and —
+  /// when options.hedge is set — hedged; see RouterOptions). Cross-server
   /// Jaccard pairs are computed router-side from fetched sketches.
-  StatusOr<PointResponseMsg> Point(const PointRequestMsg& request);
+  StatusOr<PointResponseMsg> Point(const PointRequestMsg& request,
+                                   const Deadline& deadline = Deadline());
 
  private:
+  /// A fleet member's mutable connection state. The channel is held as a
+  /// shared_ptr snapshot: requests copy the pointer under the slot mutex
+  /// and call outside it, so one slow request never blocks another from
+  /// reconnecting — it just ends up talking on a channel that has already
+  /// been replaced (harmless: the call fails or succeeds on its own).
+  struct ServerSlot {
+    std::mutex mu;
+    std::shared_ptr<Channel> channel;
+  };
+
   /// Index of the fleet entry owning global node v, or an error.
   StatusOr<size_t> OwnerOf(uint64_t v) const;
-  StatusOr<std::vector<AdsEntry>> FetchSketch(uint64_t node);
+  StatusOr<std::vector<AdsEntry>> FetchSketch(uint64_t node,
+                                              const Deadline& deadline);
+
+  /// The caller's deadline tightened by the router's default timeout.
+  Deadline EffectiveDeadline(const Deadline& deadline) const;
+  /// Current (or freshly reconnected) channel of server `idx`.
+  StatusOr<std::shared_ptr<Channel>> ChannelFor(size_t idx);
+  /// Drops a failed channel so the next attempt reconnects — only if the
+  /// slot still holds this exact channel (a racing request may already
+  /// have replaced it).
+  void InvalidateChannel(size_t idx, const std::shared_ptr<Channel>& bad);
+  /// One request to server `idx` with the full retry/backoff/reconnect
+  /// policy. Transport errors come back naming the server's address.
+  StatusOr<Frame> CallServer(size_t idx, MessageType type,
+                             const std::string& payload,
+                             MessageType expected_response,
+                             const Deadline& deadline);
+  /// A point call with the hedging race layered on top of CallServer.
+  StatusOr<Frame> CallPoint(size_t idx, const std::string& payload,
+                            const Deadline& deadline);
+  /// The single-shot fresh-connection attempt a hedge runs.
+  StatusOr<Frame> HedgeAttempt(size_t idx, const std::string& payload,
+                               const Deadline& deadline);
 
   FleetManifest manifest_;
-  std::vector<std::unique_ptr<Channel>> channels_;  // parallel to servers
+  std::vector<std::unique_ptr<ServerSlot>> slots_;  // parallel to servers
+  ChannelFactory factory_;
+  RouterOptions options_;
   uint64_t total_entries_ = 0;
   uint32_t k_ = 0;
   uint32_t flavor_ = 0;
@@ -140,9 +216,10 @@ class FleetRouter {
 
 /// The wire surface of a router process: info reports the whole fleet's
 /// [0, N); sweeps scatter/gather and respond with the merged state as a
-/// single [0, N) partial (histogram collectors keep their replay streams
-/// alive through the merge, so the re-encoded partial stays losslessly
-/// replayable by the next hop).
+/// single [0, N) partial (collector partial states are partition-
+/// independent, so the re-encoded merge is exactly what a single server
+/// covering the whole range would have sent). Request deadlines are
+/// re-anchored and propagated to the fleet; expired requests are shed.
 class RouterCore : public FrameHandler {
  public:
   explicit RouterCore(FleetRouter* router) : router_(router) {}
@@ -151,7 +228,7 @@ class RouterCore : public FrameHandler {
                           bool* close_connection) override;
 
  private:
-  StatusOr<Frame> Dispatch(const Frame& request);
+  StatusOr<Frame> Dispatch(const Frame& request, const Deadline& deadline);
 
   FleetRouter* router_;
 };

@@ -22,12 +22,50 @@ namespace hipads {
 FrameHandler::~FrameHandler() = default;
 
 // ---------------------------------------------------------------------------
+// ResponseCache
+// ---------------------------------------------------------------------------
+
+bool ResponseCache::Get(const std::string& key, std::string* value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *value = it->second->second;
+  return true;
+}
+
+void ResponseCache::Put(const std::string& key, std::string value) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(value));
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+// ---------------------------------------------------------------------------
 // AdsServerCore
 // ---------------------------------------------------------------------------
 
 AdsServerCore::AdsServerCore(const AdsBackend* backend,
                              const ServerOptions& options)
-    : backend_(backend), options_(options) {}
+    : backend_(backend),
+      options_(options),
+      lock_free_(backend->ImmutableReads()),
+      point_cache_(options.point_cache_entries),
+      sweep_cache_(options.sweep_cache_entries) {}
+
+Deadline::Clock::time_point AdsServerCore::Now() const {
+  return options_.clock ? options_.clock() : Deadline::Clock::now();
+}
 
 ServerInfoMsg AdsServerCore::Info() const {
   ServerInfoMsg info;
@@ -50,14 +88,25 @@ std::string AdsServerCore::HandleFrame(std::string_view request,
     *close_connection = true;
     return EncodeFrame(MessageType::kError, EncodeError(frame.status()));
   }
-  auto response = Dispatch(frame.value());
+  // Responses are encoded in the request's wire version, so a legacy (v1)
+  // client talking to an upgraded server keeps decoding them.
+  const uint32_t version = frame.value().version;
+  Deadline deadline = Deadline::FromWireMs(frame.value().deadline_ms, Now());
+  auto response = Dispatch(frame.value(), deadline);
   if (!response.ok()) {
-    return EncodeFrame(MessageType::kError, EncodeError(response.status()));
+    return EncodeFrame(MessageType::kError, EncodeError(response.status()),
+                       /*deadline_ms=*/0, version);
   }
-  return EncodeFrame(response.value().type, response.value().payload);
+  return EncodeFrame(response.value().type, response.value().payload,
+                     /*deadline_ms=*/0, version);
 }
 
-StatusOr<Frame> AdsServerCore::Dispatch(const Frame& request) {
+StatusOr<Frame> AdsServerCore::Dispatch(const Frame& request,
+                                        const Deadline& deadline) {
+  if (deadline.Expired(Now())) {
+    // Nobody is waiting for this answer anymore: shed before any compute.
+    return Status::DeadlineExceeded("request deadline expired; shed");
+  }
   switch (request.type) {
     case MessageType::kInfoRequest:
       if (!request.payload.empty()) {
@@ -67,20 +116,47 @@ StatusOr<Frame> AdsServerCore::Dispatch(const Frame& request) {
     case MessageType::kPointRequest: {
       auto msg = DecodePointRequest(request.payload);
       if (!msg.ok()) return msg.status();
-      return HandlePoint(msg.value());
+      return HandlePoint(msg.value(), request.payload);
     }
     case MessageType::kSweepRequest: {
       auto msg = DecodeSweepRequest(request.payload);
       if (!msg.ok()) return msg.status();
-      return HandleSweep(msg.value());
+      return HandleSweep(msg.value(), deadline);
     }
     default:
       return Status::InvalidArgument("frame type is not a request");
   }
 }
 
-StatusOr<Frame> AdsServerCore::HandlePoint(const PointRequestMsg& msg) {
-  std::lock_guard<std::mutex> lock(mu_);
+StatusOr<Frame> AdsServerCore::HandlePoint(const PointRequestMsg& msg,
+                                           const std::string& payload) {
+  // The request payload is a canonical encoding of the question, so it is
+  // the cache key; a hit bypasses backend and locks entirely.
+  std::string cached;
+  if (options_.point_cache_entries > 0 && point_cache_.Get(payload, &cached)) {
+    return Frame{MessageType::kPointResponse, std::move(cached)};
+  }
+  StatusOr<std::string> result = [&]() -> StatusOr<std::string> {
+    if (lock_free_) return ComputePoint(msg);
+    if (active_sweeps_.load(std::memory_order_acquire) > 0) {
+      // A sweep owns the serialized backend for what may be minutes.
+      // Queueing a microsecond lookup behind it inverts every latency
+      // goal — shed instead and let the caller's retry budget absorb it.
+      return Status::Unavailable(
+          "backend busy with a sweep; point lookup shed, retry");
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    return ComputePoint(msg);
+  }();
+  if (!result.ok()) return result.status();
+  if (options_.point_cache_entries > 0) {
+    point_cache_.Put(payload, result.value());
+  }
+  return Frame{MessageType::kPointResponse, std::move(result).value()};
+}
+
+StatusOr<std::string> AdsServerCore::ComputePoint(
+    const PointRequestMsg& msg) const {
   uint64_t begin = options_.node_begin;
   uint64_t end = begin + backend_->num_nodes();
   if (msg.node < begin || msg.node >= end) {
@@ -147,14 +223,20 @@ StatusOr<Frame> AdsServerCore::HandlePoint(const PointRequestMsg& msg) {
       break;
     }
   }
-  return Frame{MessageType::kPointResponse, EncodePointResponse(response)};
+  return EncodePointResponse(response);
 }
 
-StatusOr<Frame> AdsServerCore::HandleSweep(const SweepRequestMsg& msg) {
-  std::lock_guard<std::mutex> lock(mu_);
+StatusOr<Frame> AdsServerCore::HandleSweep(const SweepRequestMsg& msg,
+                                           const Deadline& deadline) {
+  // Sweep results depend only on the spec (thread counts are bitwise
+  // neutral), so the canonical spec encoding keys the response cache.
+  const std::string cache_key = SweepSpecCacheKey(msg.collectors);
+  std::string cached;
+  if (options_.sweep_cache_entries > 0 && sweep_cache_.Get(cache_key, &cached)) {
+    return Frame{MessageType::kSweepResponse, std::move(cached)};
+  }
   SweepPlan plan;
-  auto collectors =
-      BuildPlanFromSpec(msg.collectors, &plan, /*capture_partials=*/true);
+  auto collectors = BuildPlanFromSpec(msg.collectors, &plan);
   if (!collectors.ok()) return collectors.status();
   // The thread count is wire-controlled: clamp it to this host's hardware
   // so a hostile request cannot drive ThreadPool into spawning billions of
@@ -163,7 +245,28 @@ StatusOr<Frame> AdsServerCore::HandleSweep(const SweepRequestMsg& msg) {
   uint32_t threads =
       msg.num_threads != 0 ? msg.num_threads : options_.num_threads;
   threads = std::min(threads, HardwareThreads());
-  Status swept = RunSweep(*backend_, plan, threads);
+  // Between node ranges the sweep polls its request's deadline: once it
+  // passes, the remaining compute would produce an answer nobody awaits.
+  std::function<Status()> checkpoint;
+  if (deadline.has_deadline()) {
+    checkpoint = [this, deadline] {
+      return deadline.Expired(Now())
+                 ? Status::DeadlineExceeded(
+                       "sweep aborted: request deadline expired")
+                 : Status::Ok();
+    };
+  }
+  Status swept;
+  if (lock_free_) {
+    swept = RunSweep(*backend_, plan, threads, checkpoint);
+  } else {
+    active_sweeps_.fetch_add(1, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      swept = RunSweep(*backend_, plan, threads, checkpoint);
+    }
+    active_sweeps_.fetch_sub(1, std::memory_order_release);
+  }
   if (!swept.ok()) return swept;
 
   SweepResponseMsg response;
@@ -177,7 +280,11 @@ StatusOr<Frame> AdsServerCore::HandleSweep(const SweepRequestMsg& msg) {
         &response.partials[i]);
     if (!s.ok()) return s;
   }
-  return Frame{MessageType::kSweepResponse, EncodeSweepResponse(response)};
+  std::string encoded = EncodeSweepResponse(response);
+  if (options_.sweep_cache_entries > 0) {
+    sweep_cache_.Put(cache_key, encoded);
+  }
+  return Frame{MessageType::kSweepResponse, std::move(encoded)};
 }
 
 // ---------------------------------------------------------------------------
@@ -270,73 +377,118 @@ void TcpServer::WorkerLoop() {
       }
       return;
     }
+    // Non-blocking connection fd: reads poll first, and response writes
+    // can be bounded by the mid-frame deadline instead of parking in the
+    // kernel against a stalled peer.
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
     ServeConnection(fd);
     ::close(fd);
   }
 }
 
-bool TcpServer::WaitReadable(int fd) {
-  // Blocks until `fd` has data (or EOF) — or until Stop signals, so a
-  // worker parked on an idle connection never wedges shutdown.
+bool TcpServer::WaitReadable(int fd, const Deadline& deadline) {
+  // Blocks until `fd` has data (or EOF) — or until Stop signals or the
+  // deadline passes, so a worker parked on an idle connection never
+  // wedges shutdown and a mid-frame stall costs bounded time.
   for (;;) {
+    int timeout = -1;
+    if (deadline.has_deadline()) {
+      uint64_t remaining = deadline.RemainingMs();
+      if (remaining == 0) return false;  // stalled mid-frame: drop it
+      timeout = remaining > static_cast<uint64_t>(
+                                std::numeric_limits<int>::max())
+                    ? std::numeric_limits<int>::max()
+                    : static_cast<int>(remaining);
+    }
     pollfd fds[2];
     fds[0] = {fd, POLLIN, 0};
     fds[1] = {stop_pipe_[0], POLLIN, 0};
-    if (::poll(fds, 2, -1) < 0) {
+    int rc = ::poll(fds, 2, timeout);
+    if (rc < 0) {
       if (errno == EINTR) continue;
       return false;
     }
+    if (rc == 0) continue;  // timeout: loop re-checks the deadline
     if (fds[1].revents != 0) return false;  // stop requested
     if (fds[0].revents != 0) return true;   // readable (or hup -> read 0)
   }
 }
 
 void TcpServer::ServeConnection(int fd) {
-  // Frame-by-frame pump. A handler-reported framing loss or any socket
-  // error ends the connection; the next client simply reconnects.
-  for (;;) {
-    char raw[kFrameHeaderBytes];
+  // Frame-by-frame pump. A handler-reported framing loss, any socket
+  // error, or a mid-frame stall past idle_timeout_ms ends the connection;
+  // the next client simply reconnects.
+  //
+  // Returns 1 when exactly n bytes were read, 0 on clean EOF at a frame
+  // boundary (nothing read yet), -1 on error / stop / deadline. Arms the
+  // per-frame deadline when the frame's first byte arrives.
+  auto read_exact = [&](char* buf, size_t n, Deadline* frame_deadline,
+                        bool at_frame_start) -> int {
     size_t done = 0;
-    while (done < sizeof(raw)) {
-      if (!WaitReadable(fd)) return;
-      ssize_t got = ::read(fd, raw + done, sizeof(raw) - done);
-      if (got == 0) return;  // clean EOF between frames
+    while (done < n) {
+      if (!WaitReadable(fd, *frame_deadline)) return -1;
+      ssize_t got = ::read(fd, buf + done, n - done);
+      if (got == 0) return (at_frame_start && done == 0) ? 0 : -1;
       if (got < 0) {
-        if (errno == EINTR) continue;
-        return;
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+          continue;
+        }
+        return -1;
+      }
+      if (at_frame_start && done == 0 && options_.idle_timeout_ms > 0) {
+        *frame_deadline = Deadline::AfterMs(options_.idle_timeout_ms);
       }
       done += static_cast<size_t>(got);
     }
+    return 1;
+  };
+
+  for (;;) {
+    char raw[kMaxFrameHeaderBytes];
+    Deadline frame_deadline;  // armed once the frame's first byte arrives
+    int rc = read_exact(raw, kFrameHeaderBytes, &frame_deadline,
+                        /*at_frame_start=*/true);
+    if (rc <= 0) return;  // clean EOF between frames, or failure
+
     FrameHeader header;
     std::string request;
-    Status s = DecodeFrameHeader(raw, sizeof(raw), &header);
+    size_t header_bytes = kFrameHeaderBytes;
+    Status s = DecodeFrameHeaderPrefix(raw, kFrameHeaderBytes, &header);
+    if (s.ok() && header.header_bytes > kFrameHeaderBytes) {
+      // v2 frame: the prefix promises extension bytes (the deadline).
+      size_t ext = header.header_bytes - kFrameHeaderBytes;
+      if (read_exact(raw + kFrameHeaderBytes, ext, &frame_deadline,
+                     /*at_frame_start=*/false) != 1) {
+        return;
+      }
+      header_bytes = header.header_bytes;
+      s = DecodeFrameHeaderExt(raw + kFrameHeaderBytes, ext, &header);
+    }
     if (s.ok()) {
       // Header is sane: the payload length can be trusted enough to read.
       std::string payload(header.payload_bytes, '\0');
-      size_t got_total = 0;
-      bool io_ok = true;
-      while (got_total < payload.size()) {
-        if (!WaitReadable(fd)) return;
-        ssize_t got = ::read(fd, payload.data() + got_total,
-                             payload.size() - got_total);
-        if (got <= 0) {
-          if (got < 0 && errno == EINTR) continue;
-          io_ok = false;
-          break;
-        }
-        got_total += static_cast<size_t>(got);
+      if (!payload.empty() &&
+          read_exact(payload.data(), payload.size(), &frame_deadline,
+                     /*at_frame_start=*/false) != 1) {
+        return;
       }
-      if (!io_ok) return;
-      request.assign(raw, sizeof(raw));
+      request.assign(raw, header_bytes);
       request.append(payload);
     } else {
       // Bad header: hand the raw bytes to the handler so the client gets
       // the precise rejection, then close (framing is lost).
-      request.assign(raw, sizeof(raw));
+      request.assign(raw, header_bytes);
     }
     bool close_connection = false;
     std::string response = handler_->HandleFrame(request, &close_connection);
-    if (!WriteAllBytes(fd, response.data(), response.size()).ok()) return;
+    Deadline write_deadline = options_.idle_timeout_ms > 0
+                                  ? Deadline::AfterMs(options_.idle_timeout_ms)
+                                  : Deadline();
+    if (!WriteAllBytes(fd, response.data(), response.size(), write_deadline)
+             .ok()) {
+      return;
+    }
     if (close_connection) return;
   }
 }

@@ -13,6 +13,17 @@
 //   TcpServer      a thread-pooled TCP front end: N worker threads accept
 //                  connections and pump frames through a FrameHandler.
 //
+// Concurrency: when the backend reports ImmutableReads() — flat arenas and
+// mmap sets — the core runs LOCK-FREE: any number of point lookups and
+// whole-range sweeps execute concurrently with no serialization at all
+// (results are bitwise deterministic either way, so overlap is invisible).
+// Serialized engines (ShardedAdsSet's lazy residency) keep a mutex, and
+// point lookups arriving while a sweep holds the backend are SHED with
+// Unavailable instead of queueing behind minutes of compute — the caller's
+// retry policy (serve/router.h) turns that into bounded extra latency.
+// Both modes sit behind small LRU response caches, so repeated cheap
+// lookups never touch the backend at all.
+//
 // The node-id split: a range server launched with node_begin B serves
 // global nodes [B, B + backend.num_nodes()). Shard files written by
 // WriteShardedAdsSet are complete, independently loadable ADS files whose
@@ -25,12 +36,17 @@
 #ifndef HIPADS_SERVE_SERVER_H_
 #define HIPADS_SERVE_SERVER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "ads/backend.h"
@@ -56,20 +72,55 @@ class FrameHandler {
                                   bool* close_connection) = 0;
 };
 
+/// Bounded, thread-safe LRU mapping request bytes to response bytes.
+/// Every answer a serving backend can give is immutable (sketches never
+/// change once loaded), so cached responses never go stale; the cache
+/// exists so a repeated cheap lookup is served without touching the
+/// backend — including while a whole-graph sweep holds a serialized
+/// backend busy. Capacity 0 disables it.
+class ResponseCache {
+ public:
+  explicit ResponseCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Copies the cached response into *value and refreshes recency.
+  bool Get(const std::string& key, std::string* value);
+  void Put(const std::string& key, std::string value);
+
+ private:
+  using Entry = std::pair<std::string, std::string>;  // key, response
+
+  std::mutex mu_;
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+};
+
 /// Serving options for AdsServerCore.
 struct ServerOptions {
   /// Global node id of the backend's local node 0.
   NodeId node_begin = 0;
   /// Threads per sweep (0 = hardware count). Bitwise-neutral.
   uint32_t num_threads = 1;
+  /// Entries in the point-result LRU, keyed by exact request payload
+  /// bytes (0 disables).
+  uint32_t point_cache_entries = 1024;
+  /// Entries in the sweep-response LRU, keyed by the canonical spec
+  /// encoding (SweepSpecCacheKey, thread-count excluded; 0 disables).
+  uint32_t sweep_cache_entries = 4;
+  /// Time source for deadline evaluation. Null = the real steady clock;
+  /// tests inject a fake to exercise expired-deadline shedding
+  /// deterministically.
+  std::function<Deadline::Clock::time_point()> clock;
 };
 
 /// The request dispatcher of a range server. Borrows the backend, which
-/// must outlive the core. Backend access is serialized internally (the
-/// AdsBackend contract leaves lazily-loading engines externally
-/// serialized); sweep parallelism comes from the sweep executor's own
-/// pool, so concurrent connections queue on the backend, not on compute
-/// slots inside it.
+/// must outlive the core. Immutable-read backends are served lock-free;
+/// serialized backends are guarded by an internal mutex with point-
+/// lookup shedding (see the file comment). Requests carrying an expired
+/// deadline are shed with DeadlineExceeded before touching the backend,
+/// and an in-flight sweep aborts between node ranges once its request's
+/// deadline passes — a fleet under deadline pressure sheds load instead
+/// of computing answers nobody is waiting for.
 class AdsServerCore : public FrameHandler {
  public:
   AdsServerCore(const AdsBackend* backend, const ServerOptions& options);
@@ -81,13 +132,22 @@ class AdsServerCore : public FrameHandler {
   ServerInfoMsg Info() const;
 
  private:
-  StatusOr<Frame> Dispatch(const Frame& request);
-  StatusOr<Frame> HandlePoint(const PointRequestMsg& msg);
-  StatusOr<Frame> HandleSweep(const SweepRequestMsg& msg);
+  StatusOr<Frame> Dispatch(const Frame& request, const Deadline& deadline);
+  StatusOr<Frame> HandlePoint(const PointRequestMsg& msg,
+                              const std::string& payload);
+  StatusOr<Frame> HandleSweep(const SweepRequestMsg& msg,
+                              const Deadline& deadline);
+  /// The actual point computation (lock, if any, held by the caller).
+  StatusOr<std::string> ComputePoint(const PointRequestMsg& msg) const;
+  Deadline::Clock::time_point Now() const;
 
   const AdsBackend* backend_;
   ServerOptions options_;
-  mutable std::mutex mu_;  // serializes backend access across connections
+  const bool lock_free_;  // backend_->ImmutableReads()
+  mutable std::mutex mu_;  // serializes backend access (serialized engines)
+  std::atomic<uint32_t> active_sweeps_{0};  // admission signal for shedding
+  ResponseCache point_cache_;
+  ResponseCache sweep_cache_;
 };
 
 /// Options for TcpServer.
@@ -97,6 +157,12 @@ struct TcpServerOptions {
   /// Concurrent connections served (worker threads accepting on the shared
   /// listening socket); further connections wait in the listen backlog.
   uint32_t num_workers = 4;
+  /// Mid-frame stall bound: once the first byte of a frame has arrived,
+  /// the rest of it (and the response write) must complete within this
+  /// budget or the connection is dropped — a client stalled mid-frame
+  /// (or a slow-loris) cannot pin a worker forever. Idle time BETWEEN
+  /// frames stays unbounded. 0 = no bound.
+  uint64_t idle_timeout_ms = 0;
 };
 
 /// Thread-pooled TCP transport around a FrameHandler. Start() binds and
@@ -120,7 +186,8 @@ class TcpServer {
  private:
   void WorkerLoop();
   void ServeConnection(int fd);
-  bool WaitReadable(int fd);  // false once Stop is signaled
+  /// False once Stop is signaled or the deadline passes.
+  bool WaitReadable(int fd, const Deadline& deadline);
 
   FrameHandler* handler_;
   TcpServerOptions options_;

@@ -15,6 +15,10 @@ const char* CodeName(Status::Code code) {
       return "IO_ERROR";
     case Status::Code::kCorruption:
       return "CORRUPTION";
+    case Status::Code::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case Status::Code::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

@@ -20,6 +20,8 @@ class Status {
     kNotFound,
     kIOError,
     kCorruption,
+    kDeadlineExceeded,
+    kUnavailable,
   };
 
   Status() : code_(Code::kOk) {}
@@ -36,6 +38,12 @@ class Status {
   }
   static Status Corruption(std::string msg) {
     return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

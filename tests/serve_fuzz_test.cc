@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
 #include <random>
 #include <string>
@@ -104,8 +105,8 @@ TEST(ServeFuzzTest, BadMagicVersionAndTypeAreRejected) {
     EXPECT_FALSE(DecodeFrame(bad).ok()) << "magic byte " << i;
     ExpectCleanRejection(fx.core, bad, "magic byte " + std::to_string(i));
   }
-  // Version: every value but the supported one.
-  for (uint32_t version : {0u, 2u, 7u, 0xffffffffu}) {
+  // Version: every value but the supported ones (1 and 2).
+  for (uint32_t version : {0u, 3u, 7u, 0xffffffffu}) {
     std::string bad = frame;
     std::memcpy(bad.data() + 8, &version, sizeof(version));
     EXPECT_FALSE(DecodeFrame(bad).ok()) << "version " << version;
@@ -118,6 +119,41 @@ TEST(ServeFuzzTest, BadMagicVersionAndTypeAreRejected) {
     EXPECT_FALSE(DecodeFrame(bad).ok()) << "type " << type;
     ExpectCleanRejection(fx.core, bad, "type " + std::to_string(type));
   }
+}
+
+TEST(ServeFuzzTest, Version1FramesStillServedAndAnsweredInVersion1) {
+  // Wire v2 added the deadline extension; a v1 client (32-byte header, no
+  // deadline) must keep working against a v2 server, and the server must
+  // answer in the client's version so the old decoder can read it.
+  Fixture fx;
+  std::string v1 =
+      EncodeFrame(MessageType::kInfoRequest, "", /*deadline_ms=*/0,
+                  /*version=*/1);
+  EXPECT_EQ(v1.size(), size_t{kFrameHeaderBytes});  // no ext on the wire
+  auto request = DecodeFrame(v1);
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request.value().version, 1u);
+  EXPECT_EQ(request.value().deadline_ms, 0u);
+  bool close_connection = false;
+  std::string response = fx.core.HandleFrame(v1, &close_connection);
+  auto decoded = DecodeFrame(response);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().version, 1u);
+  EXPECT_EQ(decoded.value().type, MessageType::kInfoResponse);
+  // The deadline rides only in the v2 extension: v1 frames carry none
+  // (EncodeFrame zeroes it), v2 frames round-trip it.
+  std::string v1_deadline =
+      EncodeFrame(MessageType::kInfoRequest, "", /*deadline_ms=*/250,
+                  /*version=*/1);
+  auto no_deadline = DecodeFrame(v1_deadline);
+  ASSERT_TRUE(no_deadline.ok());
+  EXPECT_EQ(no_deadline.value().deadline_ms, 0u);
+  std::string v2 =
+      EncodeFrame(MessageType::kInfoRequest, "", /*deadline_ms=*/250);
+  EXPECT_EQ(v2.size(), size_t{kFrameHeaderBytes + kFrameExtBytes});
+  auto with_deadline = DecodeFrame(v2);
+  ASSERT_TRUE(with_deadline.ok());
+  EXPECT_EQ(with_deadline.value().deadline_ms, 250u);
 }
 
 TEST(ServeFuzzTest, OversizedLengthPrefixesAreRejectedBeforeAllocation) {
@@ -237,23 +273,90 @@ TEST(ServeFuzzTest, MalformedSweepPartialsAreRejectedByTheGather) {
       {CollectorKind::kDistanceHistogram, 0, 0, 0.0},
       {CollectorKind::kHarmonic, 0, 0, 0.0}};
   SweepPlan plan;
-  auto built = BuildPlanFromSpec(spec, &plan, /*capture_partials=*/true);
+  auto built = BuildPlanFromSpec(spec, &plan);
   ASSERT_TRUE(built.ok());
   for (SweepCollector* c : built.value()) c->Begin(10);
+
+  // The histogram partial is ExactSum-encoded: u64 distance count, then
+  // per distance a f64 dist plus the superaccumulator's digit window
+  // (u32 lo, u32 count, count u32 digits). Each structural invariant must
+  // be enforced on network bytes.
+  const std::string harmonic_ok(80, '\0');  // 10 nodes * f64, all zero
+  auto u32 = [](std::string* out, uint32_t v) {
+    out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  auto u64 = [](std::string* out, uint64_t v) {
+    out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  auto f64 = [](std::string* out, double v) {
+    out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
 
   SweepResponseMsg response;
   response.begin = 0;
   response.end = 10;
-  response.partials = {"", ""};  // harmonic partial: 0 doubles for 10 nodes
+  response.partials = {"", ""};  // histogram shorter than its u64 header
   EXPECT_FALSE(AbsorbSweepResponse(response, built.value()).ok());
 
-  response.partials = {std::string(24, '\0'),  // not a multiple of 16
-                       std::string(80, '\0')};
-  EXPECT_FALSE(AbsorbSweepResponse(response, built.value()).ok());
-
-  response.partials = {std::string(16, '\0'),  // (dist=0, w=0): out of domain
-                       std::string(80, '\0')};
-  EXPECT_FALSE(AbsorbSweepResponse(response, built.value()).ok());
+  // Count promising more entries than the payload can hold: rejected from
+  // the header, before any allocation.
+  {
+    std::string h;
+    u64(&h, uint64_t{1} << 60);
+    response.partials = {h, harmonic_ok};
+    EXPECT_FALSE(AbsorbSweepResponse(response, built.value()).ok());
+  }
+  // Distance out of domain (0, negative, NaN) and non-increasing order.
+  for (double bad_dist : {0.0, -1.0, std::nan("")}) {
+    std::string h;
+    u64(&h, 1);
+    f64(&h, bad_dist);
+    u32(&h, 0);  // lo
+    u32(&h, 0);  // empty digit window
+    response.partials = {h, harmonic_ok};
+    EXPECT_FALSE(AbsorbSweepResponse(response, built.value()).ok());
+  }
+  {
+    std::string h;
+    u64(&h, 2);
+    f64(&h, 2.0);
+    u32(&h, 0);
+    u32(&h, 0);
+    f64(&h, 1.0);  // distances must be strictly increasing
+    u32(&h, 0);
+    u32(&h, 0);
+    response.partials = {h, harmonic_ok};
+    EXPECT_FALSE(AbsorbSweepResponse(response, built.value()).ok());
+  }
+  // Accumulator window outside the digit range, and one promising more
+  // digits than the payload carries.
+  {
+    std::string h;
+    u64(&h, 1);
+    f64(&h, 1.0);
+    u32(&h, 0xffffffffu);  // lo far past kDigits
+    u32(&h, 1);
+    u32(&h, 7);
+    response.partials = {h, harmonic_ok};
+    EXPECT_FALSE(AbsorbSweepResponse(response, built.value()).ok());
+  }
+  {
+    std::string h;
+    u64(&h, 1);
+    f64(&h, 1.0);
+    u32(&h, 0);
+    u32(&h, 10);  // 10 digits promised, none present
+    response.partials = {h, harmonic_ok};
+    EXPECT_FALSE(AbsorbSweepResponse(response, built.value()).ok());
+  }
+  // Trailing bytes after the last entry.
+  {
+    std::string h;
+    u64(&h, 0);
+    h.append(4, '\x7f');
+    response.partials = {h, harmonic_ok};
+    EXPECT_FALSE(AbsorbSweepResponse(response, built.value()).ok());
+  }
 
   // Range outside the collected node space.
   response.begin = 5;

@@ -223,7 +223,7 @@ struct Reference {
 
 void RunReference(const FlatAdsSet& full, const std::vector<CollectorSpec>& spec,
                   Reference* ref) {
-  auto built = BuildPlanFromSpec(spec, &ref->plan, /*capture_partials=*/false);
+  auto built = BuildPlanFromSpec(spec, &ref->plan);
   ASSERT_TRUE(built.ok()) << built.status().ToString();
   ref->collectors = built.value();
   FlatAdsBackend backend(&full);
@@ -267,7 +267,7 @@ TEST(ServeTest, RouterMatchesSingleProcessBitwise) {
       EXPECT_EQ(router.value().total_entries(), full.TotalEntries());
 
       SweepPlan plan;
-      auto built = BuildPlanFromSpec(spec, &plan, /*capture_partials=*/false);
+      auto built = BuildPlanFromSpec(spec, &plan);
       ASSERT_TRUE(built.ok());
       SweepRequestMsg request;
       request.collectors = spec;
@@ -302,7 +302,7 @@ TEST(ServeTest, RouterCoreServesMergedSweepsAndStacks) {
   // Client side: same spec, remote execution through the router core.
   {
     SweepPlan plan;
-    auto built = BuildPlanFromSpec(spec, &plan, /*capture_partials=*/false);
+    auto built = BuildPlanFromSpec(spec, &plan);
     ASSERT_TRUE(built.ok());
     SweepRequestMsg request;
     request.collectors = spec;
@@ -329,7 +329,7 @@ TEST(ServeTest, RouterCoreServesMergedSweepsAndStacks) {
     auto outer_router = FleetRouter::Connect(outer, factory);
     ASSERT_TRUE(outer_router.ok()) << outer_router.status().ToString();
     SweepPlan plan;
-    auto built = BuildPlanFromSpec(spec, &plan, /*capture_partials=*/false);
+    auto built = BuildPlanFromSpec(spec, &plan);
     ASSERT_TRUE(built.ok());
     SweepRequestMsg request;
     request.collectors = spec;
@@ -388,7 +388,7 @@ TEST(ServeTest, TwoLevelRouterTreeMatchesSingleProcessBitwise) {
   ASSERT_TRUE(outer_router.ok()) << outer_router.status().ToString();
 
   SweepPlan plan;
-  auto built = BuildPlanFromSpec(spec, &plan, /*capture_partials=*/false);
+  auto built = BuildPlanFromSpec(spec, &plan);
   ASSERT_TRUE(built.ok());
   SweepRequestMsg request;
   request.collectors = spec;
@@ -481,12 +481,14 @@ TEST(ServeTest, PointRequestsRouteToOwningServers) {
 class DyingChannel : public Channel {
  public:
   explicit DyingChannel(FrameHandler* handler) : inner_(handler) {}
-  Status Call(std::string_view request, Frame* response) override {
+  using Channel::Call;
+  Status Call(std::string_view request, Frame* response,
+              const Deadline& deadline) override {
     auto frame = DecodeFrame(request);
     if (frame.ok() && frame.value().type == MessageType::kSweepRequest) {
       return Status::IOError("server died mid-sweep");
     }
-    return inner_.Call(request, response);
+    return inner_.Call(request, response, deadline);
   }
 
  private:
@@ -528,7 +530,7 @@ TEST(ServeTest, DeadOrMissingServerFailsClosed) {
     ASSERT_TRUE(router.ok()) << router.status().ToString();
     std::vector<CollectorSpec> spec = FullSpec();
     SweepPlan plan;
-    auto built = BuildPlanFromSpec(spec, &plan, false);
+    auto built = BuildPlanFromSpec(spec, &plan);
     ASSERT_TRUE(built.ok());
     SweepRequestMsg request;
     request.collectors = spec;
@@ -616,7 +618,7 @@ TEST(ServeTest, TcpFleetEndToEnd) {
   ASSERT_TRUE(router.ok()) << router.status().ToString();
 
   SweepPlan plan;
-  auto built = BuildPlanFromSpec(spec, &plan, false);
+  auto built = BuildPlanFromSpec(spec, &plan);
   ASSERT_TRUE(built.ok());
   SweepRequestMsg request;
   request.collectors = spec;

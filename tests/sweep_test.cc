@@ -334,8 +334,8 @@ TEST(SweepTest, QuantileAndQgCollectorsMatchPerNodeEstimators) {
 // The distributed partial-state seam at the collector level: sweeping a
 // node-range split separately, encoding each range's partial and absorbing
 // them in node order reproduces the single-process sweep bitwise —
-// including the order-sensitive histogram fold (whose partial is a replay
-// stream, not a summed map).
+// including the histogram fold, whose partial is the O(distinct distances)
+// exact per-distance superaccumulator state merged without rounding.
 TEST(SweepTest, EncodedPartialsReplayToTheSingleProcessResultBitwise) {
   FlatAdsSet set = BuildFlat(170, 37, 8);
   size_t n = set.num_nodes();
@@ -364,7 +364,6 @@ TEST(SweepTest, EncodedPartialsReplayToTheSingleProcessResultBitwise) {
       }
       SweepPlan range_plan;
       auto* hist = range_plan.Emplace<DistanceHistogramCollector>();
-      hist->EnableCapture();
       auto* harmonic = range_plan.Emplace<HarmonicCentralityCollector>();
       RunSweep(slice, range_plan, 2);
 
@@ -385,15 +384,35 @@ TEST(SweepTest, EncodedPartialsReplayToTheSingleProcessResultBitwise) {
     EXPECT_EQ(merged_harmonic.values(), full_harmonic->values());
   }
 
-  // Without capture the histogram has no replayable partial — encoding
-  // must fail rather than ship a lossy summary.
-  std::string ignored;
-  EXPECT_FALSE(
-      full_hist->EncodePartial(0, static_cast<NodeId>(n), &ignored).ok());
+  // The superaccumulator partial is compact: its size is bounded by the
+  // number of distinct distances, not by the number of HIP entries folded.
+  std::string full_partial;
+  ASSERT_TRUE(
+      full_hist->EncodePartial(0, static_cast<NodeId>(n), &full_partial).ok());
+  size_t distinct = full_hist->Distribution().size();
+  EXPECT_LE(full_partial.size(),
+            sizeof(uint64_t) + distinct * (sizeof(double) + 8 + 70 * 4));
+
   // A per-node slice outside the collected range must be rejected.
+  std::string ignored;
   EXPECT_FALSE(full_harmonic
                    ->EncodePartial(0, static_cast<NodeId>(n + 1), &ignored)
                    .ok());
+
+  // Malformed histogram partials fail cleanly and leave the collector's
+  // state untouched (the bytes arrive from the network).
+  DistanceHistogramCollector absorber;
+  absorber.Begin(n);
+  ASSERT_TRUE(
+      absorber.AbsorbPartial(0, static_cast<NodeId>(n), full_partial).ok());
+  auto before = absorber.Distribution();
+  std::string truncated = full_partial.substr(0, full_partial.size() - 3);
+  EXPECT_FALSE(
+      absorber.AbsorbPartial(0, static_cast<NodeId>(n), truncated).ok());
+  std::string trailing = full_partial + "xx";
+  EXPECT_FALSE(
+      absorber.AbsorbPartial(0, static_cast<NodeId>(n), trailing).ok());
+  EXPECT_EQ(absorber.Distribution(), before);
 }
 
 // Borrowed collectors (Add) and owned collectors (Emplace) behave

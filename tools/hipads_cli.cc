@@ -20,6 +20,15 @@
 // makes them indistinguishable. Any failure (dead server, malformed frame,
 // node out of range) exits nonzero before printing any result.
 //
+// Robustness flags: every remote-speaking command (`query`/`stats`
+// `--remote`, `route`) accepts `--timeout-ms N` (overall request deadline,
+// propagated hop by hop on the wire; 0 = none), `--retries N` (transport-
+// failure retry budget with jittered backoff; attempts = N + 1) and
+// `--hedge 1` (race a second fresh connection for point requests after
+// 50 ms of silence). `serve` and `route` accept `--timeout-ms N` as the
+// per-frame read stall bound on their listening sockets. Failures fail
+// closed with an exit status and an error naming the failing server.
+//
 // `query` and `stats` accept a plain ADS file (v1 or v2, auto-detected) or
 // a shard directory / manifest written by `shard`; every input is served
 // through the unified AdsBackend storage layer. `--backend=copy` (default)
@@ -138,6 +147,69 @@ class Args {
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+// Shared robustness knobs of every remote-speaking command:
+//   --timeout-ms N   overall request deadline (and connect timeout); 0 = none
+//   --retries N      transport-failure retry budget (attempts = N + 1)
+//   --hedge 1        hedge point requests over a second fresh connection
+struct RemoteOptions {
+  uint64_t timeout_ms = 0;
+  uint32_t retries = 1;
+  bool hedge = false;
+};
+
+RemoteOptions GetRemoteOptions(const Args& args) {
+  RemoteOptions remote;
+  remote.timeout_ms = args.GetInt("timeout-ms", 0);
+  remote.retries = static_cast<uint32_t>(args.GetInt("retries", 1));
+  remote.hedge = args.GetInt("hedge", 0) != 0;
+  return remote;
+}
+
+Deadline RemoteDeadline(const RemoteOptions& remote) {
+  return remote.timeout_ms > 0 ? Deadline::AfterMs(remote.timeout_ms)
+                               : Deadline();
+}
+
+TcpChannelOptions RemoteChannelOptions(const RemoteOptions& remote) {
+  TcpChannelOptions options;
+  if (remote.timeout_ms > 0) options.connect_timeout_ms = remote.timeout_ms;
+  return options;
+}
+
+// Opens `--remote ADDRESS` as a single-server fleet, which buys every
+// remote command the router's whole robustness stack — deadlines on each
+// hop, reconnect-with-backoff retries, optional hedging — and failure
+// messages that name the failing server.
+StatusOr<FleetRouter> ConnectSingleServerFleet(const std::string& address,
+                                               const RemoteOptions& remote) {
+  TcpChannelOptions channel_options = RemoteChannelOptions(remote);
+  auto channel = TcpChannel::ConnectAddress(address, channel_options);
+  if (!channel.ok()) {
+    return Status::IOError("remote " + address + ": " +
+                           channel.status().ToString());
+  }
+  AdsClient client(channel.value().get(), RemoteDeadline(remote));
+  auto info = client.Info();
+  if (!info.ok()) {
+    return Status::IOError("remote " + address + ": " +
+                           info.status().ToString());
+  }
+  FleetManifest manifest;
+  manifest.num_nodes = info.value().node_end;
+  FleetEntry entry;
+  entry.address = address;
+  entry.begin = static_cast<NodeId>(info.value().node_begin);
+  entry.end = static_cast<NodeId>(info.value().node_end);
+  manifest.servers.push_back(std::move(entry));
+  RouterOptions router_options;
+  router_options.timeout_ms = remote.timeout_ms;
+  router_options.retries = remote.retries;
+  router_options.hedge = remote.hedge;
+  return FleetRouter::Connect(std::move(manifest),
+                              TcpChannelFactory(channel_options),
+                              router_options);
 }
 
 bool ParseFormatFlag(const std::string& name, AdsFileFormat* out) {
@@ -386,25 +458,31 @@ struct SweepOutcome {
 int ExecuteSpec(const Args& args, const std::vector<CollectorSpec>& spec,
                 SweepPlan* plan, std::unique_ptr<AdsBackend>* backend,
                 SweepOutcome* out) {
-  auto built = BuildPlanFromSpec(spec, plan, /*capture_partials=*/false);
+  auto built = BuildPlanFromSpec(spec, plan);
   if (!built.ok()) return Fail(built.status());
   out->collectors = built.value();
   uint32_t threads = static_cast<uint32_t>(args.GetInt("threads", 0));
   if (args.Has("remote")) {
-    auto channel = TcpChannel::ConnectAddress(args.Get("remote", ""));
-    if (!channel.ok()) return Fail(channel.status());
-    AdsClient client(channel.value().get());
-    auto info = client.Info();
-    if (!info.ok()) return Fail(info.status());
+    RemoteOptions remote = GetRemoteOptions(args);
+    auto connected =
+        ConnectSingleServerFleet(args.Get("remote", ""), remote);
+    if (!connected.ok()) return Fail(connected.status());
+    FleetRouter router = std::move(connected).value();
+    if (router.node_begin() != 0) {
+      return Fail(Status::InvalidArgument(
+          "endpoint serves nodes [" + std::to_string(router.node_begin()) +
+          ", " + std::to_string(router.num_nodes()) +
+          "), not the full set — run sweeps through a fleet router"));
+    }
     SweepRequestMsg request;
     request.collectors = spec;
     request.num_threads = threads;
-    Status s = ExecuteRemoteSweep(*channel.value(), request,
-                                  info.value().node_end, out->collectors);
+    Status s = router.ExecuteSweep(request, out->collectors,
+                                   RemoteDeadline(remote));
     if (!s.ok()) return Fail(s);
-    out->num_nodes = info.value().node_end;
-    out->k = info.value().k;
-    out->total_entries = info.value().total_entries;
+    out->num_nodes = router.num_nodes();
+    out->k = router.k();
+    out->total_entries = router.total_entries();
     return 0;
   }
   auto opened = OpenServingBackend(args);
@@ -419,11 +497,18 @@ int ExecuteSpec(const Args& args, const std::vector<CollectorSpec>& spec,
 }
 
 // `query --remote`: point requests answered by a range server or fleet
-// router; the output format matches the local paths line for line.
+// router; the output format matches the local paths line for line. The
+// call goes through the single-server fleet wrapper, so --timeout-ms,
+// --retries and --hedge all apply.
 int RemotePointQuery(const Args& args, uint64_t node) {
-  auto channel = TcpChannel::ConnectAddress(args.Get("remote", ""));
-  if (!channel.ok()) return Fail(channel.status());
-  AdsClient client(channel.value().get());
+  RemoteOptions remote = GetRemoteOptions(args);
+  auto connected = ConnectSingleServerFleet(args.Get("remote", ""), remote);
+  if (!connected.ok()) return Fail(connected.status());
+  FleetRouter router = std::move(connected).value();
+  Deadline deadline = RemoteDeadline(remote);
+  auto point = [&](const PointRequestMsg& request) {
+    return router.Point(request, deadline);
+  };
   constexpr double kInf = std::numeric_limits<double>::infinity();
 
   if (args.Has("lookup")) {
@@ -437,7 +522,7 @@ int RemotePointQuery(const Args& args, uint64_t node) {
     request.kind = PointKind::kLookup;
     request.node = node;
     request.targets.assign(targets->begin(), targets->end());
-    auto response = client.Point(request);
+    auto response = point(request);
     if (!response.ok()) return Fail(response.status());
     if (response.value().values.size() != targets->size()) {
       return Fail(Status::Corruption("lookup response size mismatch"));
@@ -463,7 +548,7 @@ int RemotePointQuery(const Args& args, uint64_t node) {
     request.node = node;
     request.other = args.GetInt("jaccard", 0);
     request.d = args.GetDouble("distance", kInf);
-    auto response = client.Point(request);
+    auto response = point(request);
     if (!response.ok()) return Fail(response.status());
     if (response.value().values.size() != 2) {
       return Fail(Status::Corruption("jaccard response size mismatch"));
@@ -481,7 +566,7 @@ int RemotePointQuery(const Args& args, uint64_t node) {
   request.kind = PointKind::kNodeStats;
   request.node = node;
   request.d = args.Has("distance") ? args.GetDouble("distance", 1.0) : kInf;
-  auto response = client.Point(request);
+  auto response = point(request);
   if (!response.ok()) return Fail(response.status());
   const std::vector<double>& values = response.value().values;
   // The server dispatches on whether d is infinite (the triple vs the
@@ -706,6 +791,9 @@ int CmdServe(const Args& args) {
   TcpServerOptions tcp;
   tcp.port = static_cast<uint16_t>(args.GetInt("port", 7470));
   tcp.num_workers = static_cast<uint32_t>(args.GetInt("workers", 4));
+  // --timeout-ms bounds how long a connection may dribble one frame in
+  // (slow-loris defense); idle connections between frames are unbounded.
+  tcp.idle_timeout_ms = args.GetInt("timeout-ms", 0);
   TcpServer server(&core, tcp);
   Status started = server.Start();
   if (!started.ok()) return Fail(started);
@@ -725,14 +813,21 @@ int CmdServe(const Args& args) {
 int CmdRoute(const Args& args) {
   auto manifest = ReadFleetManifestFile(args.Get("fleet", "fleet.txt"));
   if (!manifest.ok()) return Fail(manifest.status());
-  auto connected =
-      FleetRouter::Connect(std::move(manifest).value(), TcpChannelFactory());
+  RemoteOptions remote = GetRemoteOptions(args);
+  RouterOptions router_options;
+  router_options.timeout_ms = remote.timeout_ms;
+  router_options.retries = remote.retries;
+  router_options.hedge = remote.hedge;
+  auto connected = FleetRouter::Connect(
+      std::move(manifest).value(),
+      TcpChannelFactory(RemoteChannelOptions(remote)), router_options);
   if (!connected.ok()) return Fail(connected.status());
   FleetRouter router = std::move(connected).value();
   RouterCore core(&router);
   TcpServerOptions tcp;
   tcp.port = static_cast<uint16_t>(args.GetInt("port", 7480));
   tcp.num_workers = static_cast<uint32_t>(args.GetInt("workers", 4));
+  tcp.idle_timeout_ms = args.GetInt("timeout-ms", 0);
   TcpServer server(&core, tcp);
   Status started = server.Start();
   if (!started.ok()) return Fail(started);
