@@ -2,17 +2,18 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdio>
 #include <deque>
 #include <filesystem>
 #include <fstream>
 #include <limits>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <sstream>
 #include <thread>
+
+#include "util/annotations.h"
+#include "util/mutex.h"
 
 namespace hipads {
 
@@ -96,10 +97,10 @@ class ShardedAdsSet::Prefetcher {
 
   ~Prefetcher() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stop_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     worker_.join();
   }
 
@@ -109,7 +110,7 @@ class ShardedAdsSet::Prefetcher {
   // them — so staged memory never exceeds the window size.
   void Request(const std::vector<uint32_t>& wanted) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       auto in_wanted = [&](uint32_t s) {
         return std::find(wanted.begin(), wanted.end(), s) != wanted.end();
       };
@@ -123,20 +124,20 @@ class ShardedAdsSet::Prefetcher {
         }
       }
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
   // Hands over shard s if this prefetcher was asked for it: waits for an
   // in-flight load of s, cancels a not-yet-started request. Returns
   // nullopt when s was never requested (caller loads synchronously).
   std::optional<StatusOr<std::unique_ptr<AdsBackend>>> Take(uint32_t s) {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto queued = std::find(queue_.begin(), queue_.end(), s);
     if (queued != queue_.end()) {
       queue_.erase(queued);
       return std::nullopt;
     }
-    cv_.wait(lock, [&] { return loading_ != s; });
+    while (loading_ == s) cv_.Wait(mu_);
     auto staged = staged_.find(s);
     if (staged != staged_.end()) {
       auto result = std::move(staged->second);
@@ -147,30 +148,38 @@ class ShardedAdsSet::Prefetcher {
   }
 
  private:
+  // Alternates between holding mu_ (queue/stage bookkeeping) and dropping
+  // it around the disk load. Written with explicit Lock/Unlock sections —
+  // consistent at every loop boundary — so the thread-safety analysis can
+  // verify the guarded accesses instead of giving up on a juggled
+  // std::unique_lock.
   void Loop() {
-    std::unique_lock<std::mutex> lock(mu_);
+    mu_.Lock();
     for (;;) {
-      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
-      if (stop_) return;
+      while (!stop_ && queue_.empty()) cv_.Wait(mu_);
+      if (stop_) break;
       uint32_t s = queue_.front();
       queue_.pop_front();
       loading_ = s;
-      lock.unlock();
-      auto loaded = ctx_->Load(s);
-      lock.lock();
+      mu_.Unlock();
+      auto loaded = ctx_->Load(s);  // unlocked: the slow part
+      mu_.Lock();
       loading_ = kNoShard;
       staged_.emplace(s, std::move(loaded));
-      cv_.notify_all();
+      cv_.NotifyAll();
     }
+    mu_.Unlock();
   }
 
   std::shared_ptr<const LoadContext> ctx_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-  std::deque<uint32_t> queue_;  // pending, in consumption order
-  uint32_t loading_ = kNoShard;
-  std::map<uint32_t, StatusOr<std::unique_ptr<AdsBackend>>> staged_;
+  Mutex mu_;
+  CondVar cv_;
+  bool stop_ HIPADS_GUARDED_BY(mu_) = false;
+  // Pending loads, in consumption order.
+  std::deque<uint32_t> queue_ HIPADS_GUARDED_BY(mu_);
+  uint32_t loading_ HIPADS_GUARDED_BY(mu_) = kNoShard;
+  std::map<uint32_t, StatusOr<std::unique_ptr<AdsBackend>>> staged_
+      HIPADS_GUARDED_BY(mu_);
   std::thread worker_;  // last member: starts after all state above exists
 };
 

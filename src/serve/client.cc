@@ -180,7 +180,7 @@ Status TcpChannel::Call(std::string_view request_frame, Frame* response,
   if (effective.Expired()) {
     return Status::DeadlineExceeded("deadline expired before send");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Status s = WriteAllBytes(fd_, request_frame.data(), request_frame.size(),
                            effective);
   if (!s.ok()) return s;

@@ -18,13 +18,14 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "serve/protocol.h"
 #include "serve/server.h"
+#include "util/annotations.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace hipads {
@@ -101,9 +102,9 @@ class TcpChannel : public Channel {
   TcpChannel(int fd, const TcpChannelOptions& options)
       : fd_(fd), options_(options) {}
 
-  int fd_;
+  const int fd_;  // owned; immutable until the destructor closes it
   TcpChannelOptions options_;
-  std::mutex mu_;  // serializes write+read pairs on the shared socket
+  Mutex mu_;  // serializes write+read pairs on the shared socket
 };
 
 /// Splits "host:port"; fails on missing / non-numeric / out-of-range port.

@@ -2,7 +2,6 @@
 
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <fstream>
 #include <sstream>
 #include <thread>
@@ -10,6 +9,7 @@
 
 #include "ads/similarity.h"
 #include "util/hash.h"
+#include "util/mutex.h"
 
 namespace hipads {
 
@@ -178,8 +178,17 @@ StatusOr<FleetRouter> FleetRouter::Connect(FleetManifest manifest,
                              channel.status().ToString());
     }
     auto slot = std::make_unique<ServerSlot>();
-    slot->channel = std::shared_ptr<Channel>(std::move(channel).value());
-    AdsClient client(slot->channel.get(), handshake_deadline);
+    // slot->channel is guarded by slot->mu. Connect used to write it bare
+    // — benign only while nothing serves during construction, a latent
+    // race once fleets reconnect concurrently (and a -Wthread-safety
+    // error either way). Hold the lock for the install + handshake.
+    std::shared_ptr<Channel> handshake_channel;
+    {
+      MutexLock lock(slot->mu);
+      slot->channel = std::shared_ptr<Channel>(std::move(channel).value());
+      handshake_channel = slot->channel;
+    }
+    AdsClient client(handshake_channel.get(), handshake_deadline);
     auto info = client.Info();
     if (!info.ok()) {
       return Status::IOError("fleet server " + entry.address +
@@ -220,7 +229,7 @@ Deadline FleetRouter::EffectiveDeadline(const Deadline& deadline) const {
 
 StatusOr<std::shared_ptr<Channel>> FleetRouter::ChannelFor(size_t idx) {
   ServerSlot& slot = *slots_[idx];
-  std::lock_guard<std::mutex> lock(slot.mu);
+  MutexLock lock(slot.mu);
   if (!slot.channel) {
     auto created = factory_(manifest_.servers[idx].address);
     if (!created.ok()) {
@@ -237,7 +246,7 @@ StatusOr<std::shared_ptr<Channel>> FleetRouter::ChannelFor(size_t idx) {
 void FleetRouter::InvalidateChannel(size_t idx,
                                     const std::shared_ptr<Channel>& bad) {
   ServerSlot& slot = *slots_[idx];
-  std::lock_guard<std::mutex> lock(slot.mu);
+  MutexLock lock(slot.mu);
   if (slot.channel == bad) slot.channel.reset();
 }
 
@@ -339,23 +348,26 @@ StatusOr<Frame> FleetRouter::CallPoint(size_t idx, const std::string& payload,
   // connection attempt. Both compute identical bytes, so whichever
   // succeeds is THE answer; the loser is joined (its cost is bounded by
   // the deadline) and discarded.
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   bool primary_done = false;
   StatusOr<Frame> primary_result = Status::Unavailable("pending");
   std::thread primary([&] {
     auto result = CallServer(idx, MessageType::kPointRequest, payload,
                              MessageType::kPointResponse, deadline);
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     primary_result = std::move(result);
     primary_done = true;
-    cv.notify_all();
+    cv.NotifyAll();
   });
   bool fire_hedge = false;
   {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait_for(lock, std::chrono::milliseconds(options_.hedge_delay_ms),
-                [&] { return primary_done; });
+    auto hedge_at = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(options_.hedge_delay_ms);
+    MutexLock lock(mu);
+    while (!primary_done) {
+      if (cv.WaitUntil(mu, hedge_at) == std::cv_status::timeout) break;
+    }
     fire_hedge = !primary_done;
   }
   StatusOr<Frame> hedge_result = Status::Unavailable("hedge not fired");

@@ -45,13 +45,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "serve/client.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
+#include "util/annotations.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace hipads {
@@ -174,8 +175,8 @@ class FleetRouter {
   /// reconnecting — it just ends up talking on a channel that has already
   /// been replaced (harmless: the call fails or succeeds on its own).
   struct ServerSlot {
-    std::mutex mu;
-    std::shared_ptr<Channel> channel;
+    Mutex mu;
+    std::shared_ptr<Channel> channel HIPADS_GUARDED_BY(mu);
   };
 
   /// Index of the fleet entry owning global node v, or an error.

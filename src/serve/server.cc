@@ -26,7 +26,7 @@ FrameHandler::~FrameHandler() = default;
 // ---------------------------------------------------------------------------
 
 bool ResponseCache::Get(const std::string& key, std::string* value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) return false;
   lru_.splice(lru_.begin(), lru_, it->second);
@@ -35,8 +35,8 @@ bool ResponseCache::Get(const std::string& key, std::string* value) {
 }
 
 void ResponseCache::Put(const std::string& key, std::string value) {
-  if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ == 0) return;  // capacity_ is const: lock-free fast path
+  MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->second = std::move(value);
@@ -145,7 +145,7 @@ StatusOr<Frame> AdsServerCore::HandlePoint(const PointRequestMsg& msg,
       return Status::Unavailable(
           "backend busy with a sweep; point lookup shed, retry");
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return ComputePoint(msg);
   }();
   if (!result.ok()) return result.status();
@@ -262,7 +262,7 @@ StatusOr<Frame> AdsServerCore::HandleSweep(const SweepRequestMsg& msg,
   } else {
     active_sweeps_.fetch_add(1, std::memory_order_release);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       swept = RunSweep(*backend_, plan, threads, checkpoint);
     }
     active_sweeps_.fetch_sub(1, std::memory_order_release);

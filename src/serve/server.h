@@ -41,7 +41,6 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -51,6 +50,8 @@
 
 #include "ads/backend.h"
 #include "serve/protocol.h"
+#include "util/annotations.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace hipads {
@@ -89,10 +90,14 @@ class ResponseCache {
  private:
   using Entry = std::pair<std::string, std::string>;  // key, response
 
-  std::mutex mu_;
-  size_t capacity_;
-  std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  Mutex mu_;
+  // Immutable after construction: Put reads it before taking mu_ for its
+  // capacity-0 fast path, which is only race-free because nothing ever
+  // writes it again (const makes that a compiler guarantee, not a habit).
+  const size_t capacity_;
+  std::list<Entry> lru_ HIPADS_GUARDED_BY(mu_);  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+      HIPADS_GUARDED_BY(mu_);
 };
 
 /// Serving options for AdsServerCore.
@@ -144,7 +149,11 @@ class AdsServerCore : public FrameHandler {
   const AdsBackend* backend_;
   ServerOptions options_;
   const bool lock_free_;  // backend_->ImmutableReads()
-  mutable std::mutex mu_;  // serializes backend access (serialized engines)
+  // Serializes backend access on serialized engines. It guards the
+  // *pointee* of backend_ — and only when !lock_free_, a runtime property
+  // — so the guarded relation is enforced by the Dispatch call structure
+  // (and the tsan lane), not by a GUARDED_BY the analysis could check.
+  mutable Mutex mu_;
   std::atomic<uint32_t> active_sweeps_{0};  // admission signal for shedding
   ResponseCache point_cache_;
   ResponseCache sweep_cache_;

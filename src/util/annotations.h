@@ -1,0 +1,72 @@
+// Clang thread-safety analysis annotations.
+//
+// The repo's core contract — every HIP statistic is bitwise identical
+// across backends, thread counts, shards and fleet topologies — rests on
+// locking discipline that used to be enforced only dynamically (the tsan
+// CI lane). These macros move it to compile time: every mutex-guarded
+// field and lock-requiring method in the tree is annotated, and the clang
+// CI lane builds with -Wthread-safety -Werror=thread-safety, so an
+// unguarded access or a lock held across the wrong boundary is a build
+// break, not a flaky race.
+//
+// The macros expand to clang's capability attributes
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) under clang and
+// to nothing everywhere else, so gcc builds are unaffected. Use them
+// through the annotated wrapper types in util/mutex.h (hipads::Mutex,
+// MutexLock, CondVar) — hipads-lint rule HL005 bans raw std::mutex
+// outside that wrapper precisely so the analysis sees every lock.
+
+#ifndef HIPADS_UTIL_ANNOTATIONS_H_
+#define HIPADS_UTIL_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define HIPADS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define HIPADS_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+/// Declares a class to be a capability (a lock): hipads::Mutex.
+#define HIPADS_CAPABILITY(x) HIPADS_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor
+/// and releases it in its destructor: hipads::MutexLock.
+#define HIPADS_SCOPED_CAPABILITY HIPADS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Marks a data member as readable/writable only while `x` is held.
+#define HIPADS_GUARDED_BY(x) HIPADS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Marks a pointer member whose pointee is guarded by `x` (the pointer
+/// itself may be read freely).
+#define HIPADS_PT_GUARDED_BY(x) HIPADS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The function acquires the capability and does not release it.
+#define HIPADS_ACQUIRE(...) \
+  HIPADS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases a held capability.
+#define HIPADS_RELEASE(...) \
+  HIPADS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability if and only if it returns `ret`.
+#define HIPADS_TRY_ACQUIRE(ret, ...) \
+  HIPADS_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Callers must hold the capability before calling, and still hold it
+/// after the call returns.
+#define HIPADS_REQUIRES(...) \
+  HIPADS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Callers must NOT hold the capability (the function acquires it itself;
+/// guards against self-deadlock on non-reentrant locks).
+#define HIPADS_EXCLUDES(...) HIPADS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to the given capability.
+#define HIPADS_RETURN_CAPABILITY(x) HIPADS_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function intentionally bypasses the analysis
+/// (single-threaded setup/teardown the analysis cannot see). Every use
+/// must carry a comment justifying it.
+#define HIPADS_NO_THREAD_SAFETY_ANALYSIS \
+  HIPADS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // HIPADS_UTIL_ANNOTATIONS_H_

@@ -1,0 +1,99 @@
+// The annotated locking primitives every lock in hipads goes through.
+//
+// hipads::Mutex is std::mutex wearing clang's capability attributes
+// (util/annotations.h): fields can be HIPADS_GUARDED_BY(mu_), methods can
+// HIPADS_REQUIRES(mu_), and the clang CI lane proves the discipline at
+// compile time with -Werror=thread-safety. MutexLock is the scoped
+// acquire; CondVar pairs with Mutex the way std::condition_variable pairs
+// with std::mutex (it borrows the Mutex's underlying std::mutex via the
+// adopt/release trick, so there is no condition_variable_any overhead).
+//
+// Raw std::mutex / std::lock_guard / std::condition_variable are banned
+// everywhere else in src/ by hipads-lint rule HL005 — a lock the analysis
+// cannot see is a lock it cannot check. This file is the single sanctioned
+// home of the raw primitives, each use allowlisted inline.
+
+#ifndef HIPADS_UTIL_MUTEX_H_
+#define HIPADS_UTIL_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>  // hipads-lint: allow(HL005)
+#include <mutex>               // hipads-lint: allow(HL005)
+
+#include "util/annotations.h"
+
+namespace hipads {
+
+/// An annotated exclusive lock. Same cost as the std::mutex it wraps.
+class HIPADS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() HIPADS_ACQUIRE() { mu_.lock(); }
+  void Unlock() HIPADS_RELEASE() { mu_.unlock(); }
+  bool TryLock() HIPADS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;  // hipads-lint: allow(HL005) — the primitive being wrapped
+};
+
+/// Scoped acquisition: locks in the constructor, unlocks in the
+/// destructor. The annotated replacement for std::lock_guard.
+class HIPADS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) HIPADS_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() HIPADS_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with hipads::Mutex. Waits require the mutex
+/// held (and the analysis checks it); use explicit predicate loops at the
+/// call site — `while (!pred) cv.Wait(mu);` — which the analysis can see
+/// through, rather than predicate-lambda overloads, which it cannot.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, waits, and reacquires it before returning.
+  void Wait(Mutex& mu) HIPADS_REQUIRES(mu) {
+    // Borrow the already-held raw mutex for the wait, then detach again so
+    // ownership stays with the caller's scope (adopt/release never
+    // double-locks or double-unlocks).
+    std::unique_lock<std::mutex> lock(mu.mu_,  // hipads-lint: allow(HL005)
+                                      std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  /// As Wait, but gives up at `deadline`; returns std::cv_status::timeout
+  /// when the deadline passed (the mutex is reacquired either way).
+  std::cv_status WaitUntil(Mutex& mu,
+                           std::chrono::steady_clock::time_point deadline)
+      HIPADS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_,  // hipads-lint: allow(HL005)
+                                      std::adopt_lock);
+    std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;  // hipads-lint: allow(HL005)
+};
+
+}  // namespace hipads
+
+#endif  // HIPADS_UTIL_MUTEX_H_

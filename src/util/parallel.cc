@@ -18,10 +18,10 @@ ThreadPool::ThreadPool(uint32_t num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -39,8 +39,8 @@ void ThreadPool::Drain(Batch& batch) {
   if (done == batch.count) {
     // Taking the lock before notifying guarantees the waiter is either not
     // yet checking its predicate or already inside wait().
-    std::lock_guard<std::mutex> lock(mu_);
-    done_cv_.notify_all();
+    MutexLock lock(mu_);
+    done_cv_.NotifyAll();
   }
 }
 
@@ -49,10 +49,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::shared_ptr<Batch> batch;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&]() {
-        return stop_ || generation_ != seen_generation;
-      });
+      MutexLock lock(mu_);
+      while (!stop_ && generation_ == seen_generation) work_cv_.Wait(mu_);
       if (stop_) return;
       seen_generation = generation_;
       batch = batch_;
@@ -72,17 +70,17 @@ void ThreadPool::RunTasks(size_t count,
   batch->task = &task;
   batch->count = count;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     batch_ = batch;
     ++generation_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   Drain(*batch);  // the caller participates
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&]() {
-      return batch->done.load(std::memory_order_acquire) == batch->count;
-    });
+    MutexLock lock(mu_);
+    while (batch->done.load(std::memory_order_acquire) != batch->count) {
+      done_cv_.Wait(mu_);
+    }
     batch_.reset();
   }
 }

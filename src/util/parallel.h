@@ -13,13 +13,14 @@
 #define HIPADS_UTIL_PARALLEL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.h"
+#include "util/mutex.h"
 
 namespace hipads {
 
@@ -80,15 +81,15 @@ class ThreadPool {
   void WorkerLoop();
   void Drain(Batch& batch);
 
-  uint32_t num_threads_;
+  const uint32_t num_threads_;  // immutable after construction
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // workers wait for a new batch
-  std::condition_variable done_cv_;  // RunTasks waits for completion
-  uint64_t generation_ = 0;          // batch sequence number, guarded by mu_
-  bool stop_ = false;                // guarded by mu_
-  std::shared_ptr<Batch> batch_;     // guarded by mu_
+  Mutex mu_;
+  CondVar work_cv_;  // workers wait for a new batch
+  CondVar done_cv_;  // RunTasks waits for completion
+  uint64_t generation_ HIPADS_GUARDED_BY(mu_) = 0;  // batch sequence number
+  bool stop_ HIPADS_GUARDED_BY(mu_) = false;
+  std::shared_ptr<Batch> batch_ HIPADS_GUARDED_BY(mu_);
 };
 
 }  // namespace hipads

@@ -98,12 +98,12 @@ INSTANTIATE_TEST_SUITE_P(
                       BuilderCase{SketchFlavor::kKMins, 4},
                       BuilderCase{SketchFlavor::kKPartition, 2},
                       BuilderCase{SketchFlavor::kKPartition, 4}),
-    [](const ::testing::TestParamInfo<BuilderCase>& info) {
+    [](const ::testing::TestParamInfo<BuilderCase>& test_param) {
       std::string flavor =
-          info.param.flavor == SketchFlavor::kBottomK     ? "BottomK"
-          : info.param.flavor == SketchFlavor::kKMins     ? "KMins"
-                                                          : "KPartition";
-      return flavor + "_k" + std::to_string(info.param.k);
+          test_param.param.flavor == SketchFlavor::kBottomK ? "BottomK"
+          : test_param.param.flavor == SketchFlavor::kKMins ? "KMins"
+                                                            : "KPartition";
+      return flavor + "_k" + std::to_string(test_param.param.k);
     });
 
 TEST(BuilderTest, PathGraphBottom1AdsIsPrefixMinima) {

@@ -141,10 +141,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(FlavorCase{SketchFlavor::kBottomK, "bottom-k"},
                       FlavorCase{SketchFlavor::kKMins, "k-mins"},
                       FlavorCase{SketchFlavor::kKPartition, "k-partition"}),
-    [](const ::testing::TestParamInfo<FlavorCase>& info) {
-      return std::string(info.param.name) == "bottom-k"   ? "BottomK"
-             : std::string(info.param.name) == "k-mins"   ? "KMins"
-                                                          : "KPartition";
+    [](const ::testing::TestParamInfo<FlavorCase>& test_param) {
+      return std::string(test_param.param.name) == "bottom-k" ? "BottomK"
+             : std::string(test_param.param.name) == "k-mins" ? "KMins"
+                                                              : "KPartition";
     });
 
 TEST(HipTest, CvWithinTheoreticalBound) {

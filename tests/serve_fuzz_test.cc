@@ -13,6 +13,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <random>
 #include <string>
 #include <vector>
@@ -51,23 +52,62 @@ void ExpectCleanRejection(AdsServerCore& core, const std::string& frame,
   EXPECT_FALSE(DecodeError(decoded.value().payload).ok()) << label;
 }
 
+// The corpus deliberately spans the whole wire surface — every
+// MessageType request, every PointKind, every CollectorKind, every
+// ScoreKind and QgKind — so the damage loops below mutate frames of
+// every shape the protocol can carry (hipads-lint rule HL004 enforces
+// the coverage).
 std::vector<std::string> ValidRequestFrames() {
   std::vector<std::string> frames;
   frames.push_back(EncodeFrame(MessageType::kInfoRequest, ""));
-  PointRequestMsg point;
-  point.kind = PointKind::kLookup;
-  point.node = 3;
-  point.targets = {1, 2, 3};
-  frames.push_back(
-      EncodeFrame(MessageType::kPointRequest, EncodePointRequest(point)));
+  auto point_frame = [&frames](const PointRequestMsg& msg) {
+    frames.push_back(
+        EncodeFrame(MessageType::kPointRequest, EncodePointRequest(msg)));
+  };
+  PointRequestMsg lookup;
+  lookup.kind = PointKind::kLookup;
+  lookup.node = 3;
+  lookup.targets = {1, 2, 3};
+  point_frame(lookup);
+  PointRequestMsg stats;
+  stats.kind = PointKind::kNodeStats;
+  stats.node = 5;
+  stats.d = std::numeric_limits<double>::infinity();
+  point_frame(stats);
+  PointRequestMsg jaccard;
+  jaccard.kind = PointKind::kJaccard;
+  jaccard.node = 7;
+  jaccard.other = 9;
+  jaccard.d = std::numeric_limits<double>::infinity();
+  point_frame(jaccard);
+  PointRequestMsg fetch;
+  fetch.kind = PointKind::kFetchSketch;
+  fetch.node = 11;
+  point_frame(fetch);
   SweepRequestMsg sweep;
   sweep.collectors = {
       {CollectorKind::kDistanceHistogram, 0, 0, 0.0},
+      {CollectorKind::kDistanceSum, 0, 0, 0.0},
       {CollectorKind::kHarmonic, 0, 0, 0.0},
+      {CollectorKind::kNeighborhoodSize, 0, 0, 2.0},
+      {CollectorKind::kReachableCount, 0, 0, 0.0},
       {CollectorKind::kTopK, static_cast<uint32_t>(ScoreKind::kHarmonic), 3,
-       0.0}};
+       0.0},
+      {CollectorKind::kDistanceQuantile, 0, 0, 0.5},
+      {CollectorKind::kQg, static_cast<uint32_t>(QgKind::kExpDecay), 0,
+       0.5}};
   frames.push_back(
       EncodeFrame(MessageType::kSweepRequest, EncodeSweepRequest(sweep)));
+  SweepRequestMsg ranked;
+  ranked.collectors = {
+      {CollectorKind::kTopK, static_cast<uint32_t>(ScoreKind::kDistanceSum),
+       2, 0.0},
+      {CollectorKind::kTopK, static_cast<uint32_t>(ScoreKind::kReachable), 2,
+       0.0},
+      {CollectorKind::kQg, static_cast<uint32_t>(QgKind::kInverseSquare), 0,
+       0.0}};
+  frames.push_back(
+      EncodeFrame(MessageType::kSweepRequest, EncodeSweepRequest(ranked)));
   return frames;
 }
 
@@ -78,7 +118,24 @@ TEST(ServeFuzzTest, ValidFramesAreAccepted) {
     std::string response = fx.core.HandleFrame(frame, &close_connection);
     auto decoded = DecodeFrame(response);
     ASSERT_TRUE(decoded.ok());
-    EXPECT_NE(decoded.value().type, MessageType::kError);
+    auto request = DecodeFrame(frame);
+    ASSERT_TRUE(request.ok());
+    // Each request type must come back as its own response type.
+    switch (request.value().type) {
+      case MessageType::kInfoRequest:
+        EXPECT_EQ(decoded.value().type, MessageType::kInfoResponse);
+        break;
+      case MessageType::kPointRequest:
+        EXPECT_EQ(decoded.value().type, MessageType::kPointResponse);
+        EXPECT_TRUE(
+            DecodePointResponse(decoded.value().payload).ok());
+        break;
+      case MessageType::kSweepRequest:
+        EXPECT_EQ(decoded.value().type, MessageType::kSweepResponse);
+        break;
+      default:
+        FAIL() << "corpus contains a non-request frame";
+    }
     EXPECT_FALSE(close_connection);
   }
 }

@@ -1,0 +1,22 @@
+// hipads-lint driver: `hipads_lint [repo-root]` (default "."). Prints
+// every finding as `file:line: rule-id: message` and exits nonzero when
+// any rule fired, so it slots into ctest and CI unchanged.
+
+#include <cstdio>
+
+#include "tools/hipads_lint.h"
+
+int main(int argc, char** argv) {
+  const char* root = argc > 1 ? argv[1] : ".";
+  std::vector<hipads::lint::Finding> findings =
+      hipads::lint::LintTree(root);
+  for (const auto& f : findings) {
+    std::fprintf(stderr, "%s\n", hipads::lint::FormatFinding(f).c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "hipads-lint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  std::printf("hipads-lint: clean\n");
+  return 0;
+}
