@@ -1,5 +1,6 @@
 #include "serve/client.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
@@ -140,8 +141,10 @@ StatusOr<std::unique_ptr<TcpChannel>> TcpChannel::Connect(
     }
     Status s = SetNonBlocking(fd);
     if (s.ok()) {
-      int one = 1;
-      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      if (options.nodelay) {
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      }
       Deadline connect_deadline =
           options.connect_timeout_ms > 0
               ? Deadline::AfterMs(options.connect_timeout_ms)
@@ -170,6 +173,21 @@ StatusOr<std::unique_ptr<TcpChannel>> TcpChannel::Connect(
   return last;
 }
 
+namespace {
+
+// Header length of a locally-encoded frame: the version field sits at
+// byte 8 of every header prefix, and v1 is the only 32-byte layout.
+size_t EncodedHeaderBytes(std::string_view frame) {
+  if (frame.size() < kFrameHeaderBytes) return frame.size();
+  uint32_t version = 0;
+  std::memcpy(&version, frame.data() + sizeof(kWireMagic), sizeof(version));
+  size_t header =
+      version == kWireVersionLegacy ? kFrameHeaderBytes : kMaxFrameHeaderBytes;
+  return header > frame.size() ? frame.size() : header;
+}
+
+}  // namespace
+
 Status TcpChannel::Call(std::string_view request_frame, Frame* response,
                         const Deadline& deadline) {
   Deadline effective = deadline;
@@ -180,6 +198,9 @@ Status TcpChannel::Call(std::string_view request_frame, Frame* response,
   if (effective.Expired()) {
     return Status::DeadlineExceeded("deadline expired before send");
   }
+  if (options_.pipeline) {
+    return CallPipelined(request_frame, response, effective);
+  }
   MutexLock lock(mu_);
   Status s = WriteAllBytes(fd_, request_frame.data(), request_frame.size(),
                            effective);
@@ -187,6 +208,69 @@ Status TcpChannel::Call(std::string_view request_frame, Frame* response,
   auto frame = ReadFrame(fd_, effective);
   if (!frame.ok()) return frame.status();
   *response = std::move(frame).value();
+  return Status::Ok();
+}
+
+Status TcpChannel::CallPipelined(std::string_view request_frame,
+                                 Frame* response, const Deadline& deadline) {
+  uint64_t ticket = 0;
+  {
+    // Claim a ticket and put the frame on the wire; write order is ticket
+    // order, which is the order the server will answer in.
+    MutexLock lock(write_mu_);
+    if (broken_.load(std::memory_order_acquire)) {
+      return Status::IOError(
+          "pipelined channel broken by an earlier failure; reconnect");
+    }
+    ticket = next_ticket_++;
+    size_t header = EncodedHeaderBytes(request_frame);
+    Status s = WriteFrameVectored(fd_, request_frame.substr(0, header),
+                                  request_frame.substr(header), deadline);
+    if (!s.ok()) {
+      // The peer may have seen a partial frame; nothing sent after this
+      // point can be paired up reliably.
+      broken_.store(true, std::memory_order_release);
+      MutexLock waiters(read_mu_);
+      read_cv_.NotifyAll();
+      return s;
+    }
+  }
+  MutexLock lock(read_mu_);
+  while (read_turn_ != ticket && !broken_.load(std::memory_order_acquire)) {
+    if (!deadline.has_deadline()) {
+      read_cv_.Wait(read_mu_);
+      continue;
+    }
+    if (read_cv_.WaitUntil(read_mu_, deadline.at()) ==
+            std::cv_status::timeout &&
+        read_turn_ != ticket) {
+      // The request is already on the wire and its response slot cannot
+      // be skipped (every later response would pair with the wrong
+      // caller), so an abandoned turn poisons the whole connection.
+      broken_.store(true, std::memory_order_release);
+      read_cv_.NotifyAll();
+      return Status::DeadlineExceeded(
+          "deadline expired awaiting the pipelined response turn");
+    }
+  }
+  if (broken_.load(std::memory_order_acquire)) {
+    return Status::IOError(
+        "pipelined channel broken by an earlier failure; reconnect");
+  }
+  Status s = ReadFrameInto(fd_, deadline, &read_frame_);
+  if (!s.ok()) {
+    broken_.store(true, std::memory_order_release);
+    read_cv_.NotifyAll();
+    return s;
+  }
+  response->type = read_frame_.type;
+  response->version = read_frame_.version;
+  response->deadline_ms = read_frame_.deadline_ms;
+  // Copy (not move) out of the connection-owned buffer, so its capacity
+  // keeps amortizing socket reads across calls.
+  response->payload = read_frame_.payload;
+  ++read_turn_;
+  read_cv_.NotifyAll();
   return Status::Ok();
 }
 
@@ -219,6 +303,38 @@ StatusOr<PointResponseMsg> AdsClient::Point(const PointRequestMsg& request) {
                     MessageType::kPointResponse);
   if (!frame.ok()) return frame.status();
   return DecodePointResponse(frame.value().payload);
+}
+
+StatusOr<std::vector<PointBatchResponseEntry>> AdsClient::PointBatch(
+    const std::vector<PointRequestMsg>& requests) {
+  std::vector<PointBatchResponseEntry> entries;
+  entries.reserve(requests.size());
+  // Frames are bounded at kMaxPointBatchEntries; larger batches split into
+  // consecutive frames over the same channel. An empty request list still
+  // round-trips one empty frame, so the caller learns the endpoint speaks
+  // v3 rather than silently succeeding.
+  size_t begin = 0;
+  do {
+    size_t count = std::min(kMaxPointBatchEntries, requests.size() - begin);
+    PointBatchRequestMsg chunk;
+    chunk.entries.assign(requests.begin() + begin,
+                         requests.begin() + begin + count);
+    auto frame = Call(MessageType::kPointBatchRequest,
+                      EncodePointBatchRequest(chunk),
+                      MessageType::kPointBatchResponse);
+    if (!frame.ok()) return frame.status();
+    auto decoded = DecodePointBatchResponse(frame.value().payload);
+    if (!decoded.ok()) return decoded.status();
+    if (decoded.value().entries.size() != count) {
+      return Status::Corruption(
+          "batch response entry count does not match the request");
+    }
+    for (PointBatchResponseEntry& e : decoded.value().entries) {
+      entries.push_back(std::move(e));
+    }
+    begin += count;
+  } while (begin < requests.size());
+  return entries;
 }
 
 StatusOr<SweepResponseMsg> AdsClient::Sweep(const SweepRequestMsg& request) {

@@ -10,6 +10,7 @@
 
 #include <errno.h>
 #include <poll.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include "util/hash.h"
@@ -51,7 +52,18 @@ uint64_t FrameChecksum(const char* raw, size_t header_bytes,
 }
 
 bool KnownMessageType(uint32_t type) {
-  return type <= static_cast<uint32_t>(MessageType::kSweepResponse);
+  return type <= static_cast<uint32_t>(MessageType::kPointBatchResponse);
+}
+
+bool SupportedWireVersion(uint32_t version) {
+  return version == kWireVersion || version == kWireVersionDeadline ||
+         version == kWireVersionLegacy;
+}
+
+// The batch frame pair entered the protocol in v3; an older frame naming
+// one is structurally impossible output of a real peer, i.e. corruption.
+bool TypeRequiresV3(uint32_t type) {
+  return type >= static_cast<uint32_t>(MessageType::kPointBatchRequest);
 }
 
 size_t HeaderBytesFor(uint32_t version) {
@@ -65,9 +77,11 @@ size_t HeaderBytesFor(uint32_t version) {
 // Frames
 // ---------------------------------------------------------------------------
 
-std::string EncodeFrame(MessageType type, std::string_view payload,
-                        uint64_t deadline_ms, uint32_t version) {
-  assert(version == kWireVersion || version == kWireVersionLegacy);
+std::string EncodeFrameHeader(MessageType type, std::string_view payload,
+                              uint64_t deadline_ms, uint32_t version) {
+  assert(SupportedWireVersion(version));
+  assert(!TypeRequiresV3(static_cast<uint32_t>(type)) ||
+         version == kWireVersion);
   if (version == kWireVersionLegacy) deadline_ms = 0;  // v1 cannot carry one
   RawFrameHeader h;
   std::memcpy(h.magic, kWireMagic, sizeof(h.magic));
@@ -83,9 +97,13 @@ std::string EncodeFrame(MessageType type, std::string_view payload,
   }
   uint64_t checksum = FrameChecksum(raw, header_bytes, payload);
   std::memcpy(raw + kChecksumOffset, &checksum, sizeof(checksum));
-  std::string frame;
-  frame.reserve(header_bytes + payload.size());
-  frame.append(raw, header_bytes);
+  return std::string(raw, header_bytes);
+}
+
+std::string EncodeFrame(MessageType type, std::string_view payload,
+                        uint64_t deadline_ms, uint32_t version) {
+  std::string frame = EncodeFrameHeader(type, payload, deadline_ms, version);
+  frame.reserve(frame.size() + payload.size());
   frame.append(payload.data(), payload.size());
   return frame;
 }
@@ -100,13 +118,17 @@ Status DecodeFrameHeaderPrefix(const char* data, size_t size,
   if (std::memcmp(h.magic, kWireMagic, sizeof(h.magic)) != 0) {
     return Status::Corruption("missing hipads wire magic");
   }
-  if (h.version != kWireVersion && h.version != kWireVersionLegacy) {
+  if (!SupportedWireVersion(h.version)) {
     return Status::Corruption("unsupported wire version " +
                               std::to_string(h.version));
   }
   if (!KnownMessageType(h.type)) {
     return Status::Corruption("unknown message type " +
                               std::to_string(h.type));
+  }
+  if (TypeRequiresV3(h.type) && h.version != kWireVersion) {
+    return Status::Corruption("message type " + std::to_string(h.type) +
+                              " requires wire version 3");
   }
   if (h.payload_bytes > kMaxFramePayload) {
     return Status::Corruption("frame payload length " +
@@ -263,7 +285,45 @@ Status WriteFrame(int fd, MessageType type, std::string_view payload) {
   return WriteAllBytes(fd, frame.data(), frame.size());
 }
 
-StatusOr<Frame> ReadFrame(int fd, const Deadline& deadline) {
+Status WriteFrameVectored(int fd, std::string_view header,
+                          std::string_view payload, const Deadline& deadline) {
+  size_t done = 0;
+  const size_t total = header.size() + payload.size();
+  while (done < total) {
+    struct iovec iov[2];
+    int iovcnt = 0;
+    if (done < header.size()) {
+      iov[iovcnt].iov_base = const_cast<char*>(header.data() + done);
+      iov[iovcnt].iov_len = header.size() - done;
+      ++iovcnt;
+      if (!payload.empty()) {
+        iov[iovcnt].iov_base = const_cast<char*>(payload.data());
+        iov[iovcnt].iov_len = payload.size();
+        ++iovcnt;
+      }
+    } else {
+      size_t off = done - header.size();
+      iov[iovcnt].iov_base = const_cast<char*>(payload.data() + off);
+      iov[iovcnt].iov_len = payload.size() - off;
+      ++iovcnt;
+    }
+    ssize_t put = ::writev(fd, iov, iovcnt);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        Status s = WaitFd(fd, POLLOUT, deadline);
+        if (!s.ok()) return s;
+        continue;
+      }
+      return Status::IOError("writev failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    done += static_cast<size_t>(put);
+  }
+  return Status::Ok();
+}
+
+Status ReadFrameInto(int fd, const Deadline& deadline, Frame* out) {
   char raw[kMaxFrameHeaderBytes];
   Status s = ReadExact(fd, raw, kFrameHeaderBytes, deadline);
   if (!s.ok()) return s;
@@ -277,18 +337,25 @@ StatusOr<Frame> ReadFrame(int fd, const Deadline& deadline) {
     s = DecodeFrameHeaderExt(raw + kFrameHeaderBytes, ext, &header);
     if (!s.ok()) return s;
   }
-  std::string payload(header.payload_bytes, '\0');
-  if (!payload.empty()) {
-    s = ReadExact(fd, payload.data(), payload.size(), deadline);
+  // resize() keeps the string's capacity: a long-lived Frame amortizes its
+  // receive buffer across calls instead of allocating per response.
+  out->payload.resize(header.payload_bytes);
+  if (!out->payload.empty()) {
+    s = ReadExact(fd, out->payload.data(), out->payload.size(), deadline);
     if (!s.ok()) return s;
   }
-  s = VerifyFramePayload(header, payload);
+  s = VerifyFramePayload(header, out->payload);
   if (!s.ok()) return s;
+  out->type = header.type;
+  out->version = header.version;
+  out->deadline_ms = header.deadline_ms;
+  return Status::Ok();
+}
+
+StatusOr<Frame> ReadFrame(int fd, const Deadline& deadline) {
   Frame frame;
-  frame.type = header.type;
-  frame.payload = std::move(payload);
-  frame.version = header.version;
-  frame.deadline_ms = header.deadline_ms;
+  Status s = ReadFrameInto(fd, deadline, &frame);
+  if (!s.ok()) return s;
   return frame;
 }
 
@@ -462,6 +529,137 @@ StatusOr<PointResponseMsg> DecodePointResponse(std::string_view payload) {
   return msg;
 }
 
+namespace {
+
+// Rebuilds a Status from a wire (code, message) pair; false when the code
+// names no known Status::Code. kOk yields Status::Ok() — callers decide
+// whether an Ok is legal in their context (error frames say no, batch
+// response entries say yes).
+bool StatusFromWire(uint32_t code, std::string message, Status* out) {
+  switch (static_cast<Status::Code>(code)) {
+    case Status::Code::kOk:
+      *out = Status::Ok();
+      return true;
+    case Status::Code::kInvalidArgument:
+      *out = Status::InvalidArgument(std::move(message));
+      return true;
+    case Status::Code::kNotFound:
+      *out = Status::NotFound(std::move(message));
+      return true;
+    case Status::Code::kIOError:
+      *out = Status::IOError(std::move(message));
+      return true;
+    case Status::Code::kCorruption:
+      *out = Status::Corruption(std::move(message));
+      return true;
+    case Status::Code::kDeadlineExceeded:
+      *out = Status::DeadlineExceeded(std::move(message));
+      return true;
+    case Status::Code::kUnavailable:
+      *out = Status::Unavailable(std::move(message));
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string EncodePointBatchRequestRaw(
+    const std::vector<std::string>& encoded_entries) {
+  WireWriter w;
+  w.U64(encoded_entries.size());
+  for (const std::string& e : encoded_entries) w.Bytes(e);
+  return w.Take();
+}
+
+std::string EncodePointBatchRequest(const PointBatchRequestMsg& msg) {
+  WireWriter w;
+  w.U64(msg.entries.size());
+  for (const PointRequestMsg& e : msg.entries) w.Bytes(EncodePointRequest(e));
+  return w.Take();
+}
+
+StatusOr<PointBatchRequestMsg> DecodePointBatchRequest(
+    std::string_view payload) {
+  PointBatchRequestMsg msg;
+  WireReader r(payload);
+  Status s;
+  uint64_t count = 0;
+  if (!(s = r.U64(&count)).ok()) return s;
+  if (count > kMaxPointBatchEntries) {
+    return Status::Corruption(
+        "point batch entry count exceeds the protocol bound");
+  }
+  if (count > payload.size() / sizeof(uint64_t)) {
+    return Status::Corruption("point batch entry count exceeds payload");
+  }
+  msg.entries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string entry;
+    if (!(s = r.Bytes(&entry)).ok()) return s;
+    StatusOr<PointRequestMsg> decoded = DecodePointRequest(entry);
+    if (!decoded.ok()) return decoded.status();
+    msg.entries.push_back(std::move(decoded).value());
+  }
+  if (!(s = r.ExpectDone()).ok()) return s;
+  return msg;
+}
+
+std::string EncodePointBatchResponse(const PointBatchResponseMsg& msg) {
+  WireWriter w;
+  w.U64(msg.entries.size());
+  for (const PointBatchResponseEntry& e : msg.entries) {
+    w.U32(static_cast<uint32_t>(e.status.code()));
+    w.Bytes(e.status.message());
+    w.Bytes(e.status.ok() ? std::string_view(e.payload) : std::string_view());
+  }
+  return w.Take();
+}
+
+StatusOr<PointBatchResponseMsg> DecodePointBatchResponse(
+    std::string_view payload) {
+  PointBatchResponseMsg msg;
+  WireReader r(payload);
+  Status s;
+  uint64_t count = 0;
+  if (!(s = r.U64(&count)).ok()) return s;
+  if (count > kMaxPointBatchEntries) {
+    return Status::Corruption(
+        "point batch entry count exceeds the protocol bound");
+  }
+  if (count > payload.size() / 20) {  // 1 u32 + 2 length prefixes per entry
+    return Status::Corruption("point batch entry count exceeds payload");
+  }
+  msg.entries.resize(count);
+  for (PointBatchResponseEntry& e : msg.entries) {
+    uint32_t code = 0;
+    std::string message;
+    std::string body;
+    if (!(s = r.U32(&code)).ok()) return s;
+    if (!(s = r.Bytes(&message)).ok()) return s;
+    if (!(s = r.Bytes(&body)).ok()) return s;
+    if (code == static_cast<uint32_t>(Status::Code::kOk) && !message.empty()) {
+      return Status::Corruption("ok batch entry carries an error message");
+    }
+    if (code != static_cast<uint32_t>(Status::Code::kOk) && !body.empty()) {
+      return Status::Corruption(
+          "failed batch entry carries a response payload");
+    }
+    if (!StatusFromWire(code, std::move(message), &e.status)) {
+      return Status::Corruption("batch entry names an unknown status code");
+    }
+    if (e.status.ok()) {
+      // Validate the inner payload now — consumers forward these bytes as
+      // single-response payloads and must be able to trust them.
+      StatusOr<PointResponseMsg> decoded = DecodePointResponse(body);
+      if (!decoded.ok()) return decoded.status();
+      e.payload = std::move(body);
+    }
+  }
+  if (!(s = r.ExpectDone()).ok()) return s;
+  return msg;
+}
+
 std::string EncodeSweepRequest(const SweepRequestMsg& msg) {
   WireWriter w;
   w.U32(msg.num_threads);
@@ -548,24 +746,15 @@ Status DecodeError(std::string_view payload) {
   if (!(s = r.U32(&code)).ok()) return s;
   if (!(s = r.Bytes(&message)).ok()) return s;
   if (!(s = r.ExpectDone()).ok()) return s;
-  switch (static_cast<Status::Code>(code)) {
-    case Status::Code::kOk:
-      // An error frame must carry an error; treat Ok as tampering.
-      return Status::Corruption("error frame with Ok status");
-    case Status::Code::kInvalidArgument:
-      return Status::InvalidArgument(std::move(message));
-    case Status::Code::kNotFound:
-      return Status::NotFound(std::move(message));
-    case Status::Code::kIOError:
-      return Status::IOError(std::move(message));
-    case Status::Code::kCorruption:
-      return Status::Corruption(std::move(message));
-    case Status::Code::kDeadlineExceeded:
-      return Status::DeadlineExceeded(std::move(message));
-    case Status::Code::kUnavailable:
-      return Status::Unavailable(std::move(message));
+  Status decoded;
+  if (!StatusFromWire(code, std::move(message), &decoded)) {
+    return Status::Corruption("error frame with unknown status code");
   }
-  return Status::Corruption("error frame with unknown status code");
+  if (decoded.ok()) {
+    // An error frame must carry an error; treat Ok as tampering.
+    return Status::Corruption("error frame with Ok status");
+  }
+  return decoded;
 }
 
 // ---------------------------------------------------------------------------

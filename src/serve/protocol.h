@@ -118,12 +118,18 @@ class Deadline {
 /// Leading magic of every hipads wire frame ("hipadsr1": rpc format 1).
 inline constexpr char kWireMagic[8] = {'h', 'i', 'p', 'a', 'd', 's', 'r', '1'};
 
-/// Current wire version. Version 2 appends an 8-byte deadline extension
-/// (remaining milliseconds, 0 = none) to the fixed header, covered by the
-/// frame checksum. Version 1 frames (no extension) are still decoded —
-/// the fleet can be upgraded one process at a time — and responses to a
-/// v1 request are encoded as v1 so old clients keep working.
-inline constexpr uint32_t kWireVersion = 2;
+/// Current wire version. Version 3 adds the point-batch frame pair
+/// (kPointBatchRequest / kPointBatchResponse); its header layout is
+/// identical to version 2 (32-byte prefix + 8-byte deadline extension).
+/// Version 2 appended the deadline extension (remaining milliseconds,
+/// 0 = none) to the version-1 header, covered by the frame checksum.
+/// All three versions are still decoded — the fleet can be upgraded one
+/// process at a time — and responses are encoded back in the requester's
+/// version, so v1/v2 clients keep getting byte-identical answers. The
+/// batch message types are only legal inside v3 frames: a v1/v2 frame
+/// naming them is rejected as corruption at header validation.
+inline constexpr uint32_t kWireVersion = 3;
+inline constexpr uint32_t kWireVersionDeadline = 2;
 inline constexpr uint32_t kWireVersionLegacy = 1;
 
 /// Fixed byte size of the common frame header prefix on the wire.
@@ -150,6 +156,9 @@ enum class MessageType : uint32_t {
   kPointResponse = 4,
   kSweepRequest = 5,
   kSweepResponse = 6,
+  // v3: N point requests in one checksummed frame, per-entry status back.
+  kPointBatchRequest = 7,
+  kPointBatchResponse = 8,
 };
 
 /// One decoded frame: the message type plus its raw payload bytes, the
@@ -163,13 +172,22 @@ struct Frame {
 };
 
 /// Encodes a complete frame: header (magic, version, type, payload length,
-/// FNV-1a checksum over header-with-zeroed-checksum + payload), the v2
-/// deadline extension, then the payload. `version` must be kWireVersion or
-/// kWireVersionLegacy; a legacy frame cannot carry a deadline (silently
-/// dropped — the legacy receiver could not honor it anyway).
+/// FNV-1a checksum over header-with-zeroed-checksum + payload), the v2/v3
+/// deadline extension, then the payload. `version` must be a supported
+/// wire version (1, 2 or 3); a legacy frame cannot carry a deadline
+/// (silently dropped — the legacy receiver could not honor it anyway).
 std::string EncodeFrame(MessageType type, std::string_view payload,
                         uint64_t deadline_ms = 0,
                         uint32_t version = kWireVersion);
+
+/// Encodes just the frame header (prefix + deadline extension) for a
+/// payload that will be written separately. The checksum still covers the
+/// payload, so the caller must write exactly `payload` after these bytes —
+/// this is the writev seam: a pipelined channel scatter-writes header and
+/// payload without concatenating them into a fresh buffer first.
+std::string EncodeFrameHeader(MessageType type, std::string_view payload,
+                              uint64_t deadline_ms = 0,
+                              uint32_t version = kWireVersion);
 
 /// Validated frame header, plus the raw header bytes the checksum needs.
 struct FrameHeader {
@@ -219,6 +237,17 @@ StatusOr<Frame> DecodeFrame(std::string_view data);
 Status WriteFrame(int fd, MessageType type, std::string_view payload);
 StatusOr<Frame> ReadFrame(int fd);
 StatusOr<Frame> ReadFrame(int fd, const Deadline& deadline);
+
+/// ReadFrame into a caller-owned Frame, reusing out->payload's capacity
+/// across calls — the receive-buffer reuse a pipelined channel needs to
+/// avoid one allocation per in-flight response.
+Status ReadFrameInto(int fd, const Deadline& deadline, Frame* out);
+
+/// Vectored (writev) write of a frame split as header + payload, retrying
+/// partial writes and EINTR under the deadline. `header` must have been
+/// produced by EncodeFrameHeader over this exact payload.
+Status WriteFrameVectored(int fd, std::string_view header,
+                          std::string_view payload, const Deadline& deadline);
 
 /// Writes all of `data` to `fd`, retrying partial writes and EINTR — the
 /// one short-write loop every frame producer shares.
@@ -324,6 +353,50 @@ struct PointResponseMsg {
 
 std::string EncodePointResponse(const PointResponseMsg& msg);
 StatusOr<PointResponseMsg> DecodePointResponse(std::string_view payload);
+
+/// Hard cap on entries per point-batch frame. Bounded so a hostile count
+/// cannot amplify into unbounded per-entry work, and small enough that the
+/// byte-level fuzz loops (truncation at every offset) stay tractable.
+/// Clients split larger batches across multiple frames.
+inline constexpr size_t kMaxPointBatchEntries = 256;
+
+/// kPointBatchRequest (wire v3): N point requests — mixed kinds allowed —
+/// in one checksummed frame. Each entry is carried as the canonical
+/// EncodePointRequest bytes, so a server can key its point-response cache
+/// per entry on exactly the payload a lone kPointRequest for the same
+/// lookup would have: batches warm the cache single calls read, and vice
+/// versa.
+struct PointBatchRequestMsg {
+  std::vector<PointRequestMsg> entries;
+};
+
+std::string EncodePointBatchRequest(const PointBatchRequestMsg& msg);
+/// Same frame payload built from already-encoded single-request payloads
+/// (the router coalesces pre-encoded requests without a decode/re-encode
+/// round trip).
+std::string EncodePointBatchRequestRaw(
+    const std::vector<std::string>& encoded_entries);
+StatusOr<PointBatchRequestMsg> DecodePointBatchRequest(
+    std::string_view payload);
+
+/// One entry of a kPointBatchResponse, in request order. Entries carry
+/// their own status so one bad node doesn't poison the batch: an Ok entry
+/// holds the encoded PointResponseMsg payload (exactly the bytes a lone
+/// kPointResponse would carry — a batching router hands them back to each
+/// caller unmodified, which is what makes batch answers bitwise-identical
+/// to single calls), a failed entry holds the status and no payload.
+struct PointBatchResponseEntry {
+  Status status;
+  std::string payload;  // encoded PointResponseMsg; empty unless ok
+};
+
+struct PointBatchResponseMsg {
+  std::vector<PointBatchResponseEntry> entries;
+};
+
+std::string EncodePointBatchResponse(const PointBatchResponseMsg& msg);
+StatusOr<PointBatchResponseMsg> DecodePointBatchResponse(
+    std::string_view payload);
 
 /// Wire-expressible collector kinds (the serializable subset of the
 /// ads/sweep.h collector library).

@@ -1,7 +1,9 @@
 #include "serve/router.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <thread>
@@ -167,7 +169,23 @@ StatusOr<FleetRouter> FleetRouter::Connect(FleetManifest manifest,
   router.manifest_ = std::move(manifest);
   router.factory_ = factory;
   router.options_ = options;
+  if (router.options_.coalesce_window_us == 0) {
+    // CI's tsan lane (and operators chasing tail latency) force the
+    // coalescing path on without recompiling anything.
+    const char* env = std::getenv("HIPADS_COALESCE_WINDOW_US");
+    if (env != nullptr && *env != '\0') {
+      router.options_.coalesce_window_us = std::strtoull(env, nullptr, 10);
+    }
+  }
+  if (router.options_.coalesce_max_batch == 0) {
+    router.options_.coalesce_max_batch = 1;
+  }
+  if (router.options_.coalesce_max_batch > kMaxPointBatchEntries) {
+    router.options_.coalesce_max_batch =
+        static_cast<uint32_t>(kMaxPointBatchEntries);
+  }
   router.slots_.reserve(router.manifest_.servers.size());
+  router.batchers_.reserve(router.manifest_.servers.size());
   Deadline handshake_deadline = router.EffectiveDeadline(Deadline());
   for (size_t i = 0; i < router.manifest_.servers.size(); ++i) {
     const FleetEntry& entry = router.manifest_.servers[i];
@@ -218,6 +236,7 @@ StatusOr<FleetRouter> FleetRouter::Connect(FleetManifest manifest,
     }
     router.total_entries_ += reported.total_entries;
     router.slots_.push_back(std::move(slot));
+    router.batchers_.push_back(std::make_unique<PointBatcher>());
   }
   return router;
 }
@@ -338,9 +357,133 @@ StatusOr<Frame> FleetRouter::HedgeAttempt(size_t idx,
   return frame;
 }
 
+void FleetRouter::ExecuteCoalescedBatch(
+    size_t idx, const std::vector<PendingPoint*>& batch) {
+  PointBatcher& batcher = *batchers_[idx];
+  if (batch.size() == 1) {
+    // No follower showed up inside the window: exactly the plain single
+    // call, no batch frame on the wire.
+    auto result =
+        CallServer(idx, MessageType::kPointRequest, *batch[0]->payload,
+                   MessageType::kPointResponse, batch[0]->deadline);
+    MutexLock lock(batcher.mu);
+    batch[0]->result = std::move(result);
+    batch[0]->done = true;
+    batcher.cv.NotifyAll();
+    return;
+  }
+  // The batch is bounded by the tightest member deadline; a member whose
+  // own budget is looser falls back to a single call if that tight bound
+  // fails the whole frame.
+  Deadline batch_deadline;
+  std::vector<std::string> encoded;
+  encoded.reserve(batch.size());
+  for (const PendingPoint* p : batch) {
+    batch_deadline = Deadline::Min(batch_deadline, p->deadline);
+    encoded.push_back(*p->payload);
+  }
+  auto frame =
+      CallServer(idx, MessageType::kPointBatchRequest,
+                 EncodePointBatchRequestRaw(encoded),
+                 MessageType::kPointBatchResponse, batch_deadline);
+  StatusOr<PointBatchResponseMsg> decoded =
+      frame.ok() ? DecodePointBatchResponse(frame.value().payload)
+                 : frame.status();
+  MutexLock lock(batcher.mu);
+  if (!decoded.ok() || decoded.value().entries.size() != batch.size()) {
+    // Whole-batch failure (transport, protocol, count mismatch): every
+    // member re-runs its own single call — the batch was an optimization,
+    // never a change to any caller's contract.
+    Status failure =
+        decoded.ok()
+            ? Status::Corruption(
+                  "batch response entry count does not match the request")
+            : decoded.status();
+    for (PendingPoint* p : batch) {
+      p->result = failure;
+      p->retry_single = true;
+      p->done = true;
+    }
+  } else {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      PointBatchResponseEntry& entry = decoded.value().entries[i];
+      if (entry.status.ok()) {
+        batch[i]->result =
+            Frame{MessageType::kPointResponse, std::move(entry.payload)};
+      } else {
+        // A shed/retryable entry goes back through the caller's own
+        // single-request retry policy; semantic errors are final and
+        // byte-identical to the unbatched answer.
+        batch[i]->result = entry.status;
+        batch[i]->retry_single = Retryable(entry.status);
+      }
+      batch[i]->done = true;
+    }
+  }
+  batcher.cv.NotifyAll();
+}
+
+StatusOr<Frame> FleetRouter::CallPointCoalesced(size_t idx,
+                                                const std::string& payload,
+                                                const Deadline& deadline) {
+  PointBatcher& batcher = *batchers_[idx];
+  const size_t batch_limit = options_.coalesce_max_batch;
+  PendingPoint me;
+  me.payload = &payload;
+  me.deadline = deadline;
+  bool leader = false;
+  std::vector<PendingPoint*> batch;
+  {
+    MutexLock lock(batcher.mu);
+    if (!batcher.leader_active) {
+      batcher.leader_active = true;
+      leader = true;
+    }
+    batcher.queue.push_back(&me);
+    if (leader) {
+      // Collect followers for the flush window — or until the batch is
+      // full, whichever comes first.
+      auto flush_at =
+          Deadline::Clock::now() +
+          std::chrono::microseconds(options_.coalesce_window_us);
+      while (batcher.queue.size() < batch_limit) {
+        if (batcher.cv.WaitUntil(batcher.mu, flush_at) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
+      batch = std::move(batcher.queue);
+      batcher.queue.clear();
+      // Release leadership at swap time: the next arrival starts a new
+      // batch while this one is on the wire.
+      batcher.leader_active = false;
+    } else {
+      if (batcher.queue.size() >= batch_limit) batcher.cv.NotifyAll();
+      // Safe to wait unboundedly: the leader always distributes — its
+      // batch call is bounded by the members' minimum deadline, which
+      // includes ours.
+      while (!me.done) batcher.cv.Wait(batcher.mu);
+    }
+  }
+  if (leader) {
+    ExecuteCoalescedBatch(idx, batch);
+    MutexLock lock(batcher.mu);  // me.result was written under it
+    if (!me.retry_single) return std::move(me.result);
+  } else if (!me.retry_single) {
+    return std::move(me.result);
+  }
+  // Fallback: the caller's own single-request call, full retry policy —
+  // semantics identical to never having coalesced.
+  return CallServer(idx, MessageType::kPointRequest, payload,
+                    MessageType::kPointResponse, deadline);
+}
+
 StatusOr<Frame> FleetRouter::CallPoint(size_t idx, const std::string& payload,
                                        const Deadline& deadline) {
   if (!options_.hedge) {
+    if (options_.coalesce_window_us > 0) {
+      return CallPointCoalesced(idx, payload, deadline);
+    }
     return CallServer(idx, MessageType::kPointRequest, payload,
                       MessageType::kPointResponse, deadline);
   }
@@ -441,6 +584,80 @@ StatusOr<PointResponseMsg> FleetRouter::Point(const PointRequestMsg& request,
       CallPoint(owner.value(), EncodePointRequest(request), deadline);
   if (!frame.ok()) return frame.status();
   return DecodePointResponse(frame.value().payload);
+}
+
+std::vector<PointBatchResponseEntry> FleetRouter::PointBatch(
+    const std::vector<PointRequestMsg>& requests,
+    const Deadline& deadline_in) {
+  Deadline deadline = EffectiveDeadline(deadline_in);
+  std::vector<PointBatchResponseEntry> entries(requests.size());
+  // Any entry the batched wire path cannot answer identically goes
+  // through the single-request Point path — which is also the fallback
+  // whenever a batched answer comes back retryable, so every entry's
+  // bytes equal a lone Point call's.
+  auto fill_single = [&](size_t i) {
+    auto response = Point(requests[i], deadline_in);
+    if (response.ok()) {
+      entries[i].payload = EncodePointResponse(response.value());
+    } else {
+      entries[i].status = response.status();
+    }
+  };
+  std::vector<std::vector<size_t>> groups(slots_.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const PointRequestMsg& request = requests[i];
+    auto owner = OwnerOf(request.node);
+    if (!owner.ok()) {
+      entries[i].status = owner.status();
+      continue;
+    }
+    if (request.kind == PointKind::kJaccard) {
+      auto other_owner = OwnerOf(request.other);
+      if (!other_owner.ok()) {
+        entries[i].status = other_owner.status();
+        continue;
+      }
+      if (other_owner.value() != owner.value()) {
+        fill_single(i);  // cross-server pair: router-side similarity
+        continue;
+      }
+    }
+    groups[owner.value()].push_back(i);
+  }
+  for (size_t s = 0; s < groups.size(); ++s) {
+    const std::vector<size_t>& group = groups[s];
+    for (size_t begin = 0; begin < group.size();
+         begin += kMaxPointBatchEntries) {
+      size_t count = std::min(kMaxPointBatchEntries, group.size() - begin);
+      std::vector<std::string> encoded;
+      encoded.reserve(count);
+      for (size_t j = 0; j < count; ++j) {
+        encoded.push_back(EncodePointRequest(requests[group[begin + j]]));
+      }
+      auto frame = CallServer(s, MessageType::kPointBatchRequest,
+                              EncodePointBatchRequestRaw(encoded),
+                              MessageType::kPointBatchResponse, deadline);
+      StatusOr<PointBatchResponseMsg> decoded =
+          frame.ok() ? DecodePointBatchResponse(frame.value().payload)
+                     : frame.status();
+      if (!decoded.ok() || decoded.value().entries.size() != count) {
+        for (size_t j = 0; j < count; ++j) fill_single(group[begin + j]);
+        continue;
+      }
+      for (size_t j = 0; j < count; ++j) {
+        PointBatchResponseEntry& entry = decoded.value().entries[j];
+        size_t i = group[begin + j];
+        if (entry.status.ok()) {
+          entries[i].payload = std::move(entry.payload);
+        } else if (Retryable(entry.status)) {
+          fill_single(i);
+        } else {
+          entries[i].status = entry.status;
+        }
+      }
+    }
+  }
+  return entries;
 }
 
 Status FleetRouter::ExecuteSweep(
@@ -548,6 +765,14 @@ StatusOr<Frame> RouterCore::Dispatch(const Frame& request,
       if (!response.ok()) return response.status();
       return Frame{MessageType::kPointResponse,
                    EncodePointResponse(response.value())};
+    }
+    case MessageType::kPointBatchRequest: {
+      auto msg = DecodePointBatchRequest(request.payload);
+      if (!msg.ok()) return msg.status();
+      PointBatchResponseMsg response;
+      response.entries = router_->PointBatch(msg.value().entries, deadline);
+      return Frame{MessageType::kPointBatchResponse,
+                   EncodePointBatchResponse(response)};
     }
     case MessageType::kSweepRequest: {
       auto msg = DecodeSweepRequest(request.payload);

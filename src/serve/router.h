@@ -119,6 +119,21 @@ struct RouterOptions {
   uint64_t backoff_base_ms = 10;
   uint64_t backoff_max_ms = 1000;
   uint64_t backoff_seed = 0;
+  /// Same-server point-request coalescing across concurrent callers: with
+  /// a window > 0 (and hedging off — the two policies are mutually
+  /// exclusive), the first caller bound for a server becomes the batch
+  /// leader, collects followers for up to this many microseconds (or until
+  /// the batch is full), and sends ONE kPointBatchRequest; per-entry
+  /// results are handed back to each caller in arrival order. Answers are
+  /// bitwise identical to uncoalesced calls; a caller whose entry comes
+  /// back shed/failed falls back to its own single-request call, so the
+  /// retry contract is unchanged. 0 disables coalescing. When 0, the
+  /// HIPADS_COALESCE_WINDOW_US environment variable (read at Connect)
+  /// supplies the window — CI forces the flush path on with it.
+  uint64_t coalesce_window_us = 0;
+  /// Entries per coalesced batch frame (clamped to
+  /// kMaxPointBatchEntries); a full batch flushes before the window ends.
+  uint32_t coalesce_max_batch = 64;
 };
 
 /// A connected fleet. Movable, not copyable.
@@ -168,6 +183,18 @@ class FleetRouter {
   StatusOr<PointResponseMsg> Point(const PointRequestMsg& request,
                                    const Deadline& deadline = Deadline());
 
+  /// N point requests in as few downstream frames as possible: grouped by
+  /// owning server, each group sent as kPointBatchRequest frames (split at
+  /// kMaxPointBatchEntries). Returns one entry per request in request
+  /// order. Entries a batch frame cannot express — cross-server Jaccard
+  /// pairs — and entries whose batched answer came back retryable take the
+  /// single-request Point path instead, so every entry's bytes match what
+  /// a lone Point call would have produced. The call itself never fails;
+  /// per-request errors live in the entry statuses.
+  std::vector<PointBatchResponseEntry> PointBatch(
+      const std::vector<PointRequestMsg>& requests,
+      const Deadline& deadline = Deadline());
+
  private:
   /// A fleet member's mutable connection state. The channel is held as a
   /// shared_ptr snapshot: requests copy the pointer under the slot mutex
@@ -177,6 +204,32 @@ class FleetRouter {
   struct ServerSlot {
     Mutex mu;
     std::shared_ptr<Channel> channel HIPADS_GUARDED_BY(mu);
+  };
+
+  /// One caller's parked request inside a coalescing batch. Lives on the
+  /// caller's stack; the leader writes result/done under the batcher mutex
+  /// and the caller reads them back under it, so no field outlives its
+  /// caller's wait.
+  struct PendingPoint {
+    const std::string* payload = nullptr;  // encoded single point request
+    Deadline deadline;
+    StatusOr<Frame> result{Status::Unavailable("coalesced call pending")};
+    bool done = false;
+    /// Set when the batched answer was transport-shaped (whole-batch
+    /// failure or a retryable per-entry status): the caller re-runs its
+    /// own single-request CallServer, preserving the uncoalesced retry
+    /// contract exactly.
+    bool retry_single = false;
+  };
+
+  /// Per-server coalescing state (leader/follower): the first caller to
+  /// find no active leader becomes one, collects the queue for the flush
+  /// window, and carries everyone's requests in one batch frame.
+  struct PointBatcher {
+    Mutex mu;
+    CondVar cv;
+    std::vector<PendingPoint*> queue HIPADS_GUARDED_BY(mu);
+    bool leader_active HIPADS_GUARDED_BY(mu) = false;
   };
 
   /// Index of the fleet entry owning global node v, or an error.
@@ -204,9 +257,19 @@ class FleetRouter {
   /// The single-shot fresh-connection attempt a hedge runs.
   StatusOr<Frame> HedgeAttempt(size_t idx, const std::string& payload,
                                const Deadline& deadline);
+  /// The coalescing point path (coalesce_window_us > 0, hedge off): joins
+  /// or leads the server's batch, then waits for its entry's answer.
+  StatusOr<Frame> CallPointCoalesced(size_t idx, const std::string& payload,
+                                     const Deadline& deadline);
+  /// Leader side: sends one batch frame carrying every queued request
+  /// (deadline = the members' minimum) and distributes per-entry results.
+  /// A one-entry batch degenerates to the plain single-request call.
+  void ExecuteCoalescedBatch(size_t idx,
+                             const std::vector<PendingPoint*>& batch);
 
   FleetManifest manifest_;
   std::vector<std::unique_ptr<ServerSlot>> slots_;  // parallel to servers
+  std::vector<std::unique_ptr<PointBatcher>> batchers_;  // parallel to servers
   ChannelFactory factory_;
   RouterOptions options_;
   uint64_t total_entries_ = 0;

@@ -9,6 +9,7 @@
 #include <errno.h>
 #include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -31,6 +32,7 @@ bool ResponseCache::Get(const std::string& key, std::string* value) {
   if (it == index_.end()) return false;
   lru_.splice(lru_.begin(), lru_, it->second);
   *value = it->second->second;
+  hits_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -118,6 +120,11 @@ StatusOr<Frame> AdsServerCore::Dispatch(const Frame& request,
       if (!msg.ok()) return msg.status();
       return HandlePoint(msg.value(), request.payload);
     }
+    case MessageType::kPointBatchRequest: {
+      auto msg = DecodePointBatchRequest(request.payload);
+      if (!msg.ok()) return msg.status();
+      return HandlePointBatch(msg.value());
+    }
     case MessageType::kSweepRequest: {
       auto msg = DecodeSweepRequest(request.payload);
       if (!msg.ok()) return msg.status();
@@ -155,34 +162,50 @@ StatusOr<Frame> AdsServerCore::HandlePoint(const PointRequestMsg& msg,
   return Frame{MessageType::kPointResponse, std::move(result).value()};
 }
 
-StatusOr<std::string> AdsServerCore::ComputePoint(
-    const PointRequestMsg& msg) const {
+StatusOr<NodeId> AdsServerCore::LocalIdOf(uint64_t node) const {
   uint64_t begin = options_.node_begin;
   uint64_t end = begin + backend_->num_nodes();
-  if (msg.node < begin || msg.node >= end) {
-    return Status::NotFound("node " + std::to_string(msg.node) +
+  if (node < begin || node >= end) {
+    return Status::NotFound("node " + std::to_string(node) +
                             " is outside the served range");
   }
-  NodeId local = static_cast<NodeId>(msg.node - begin);
-  auto view = backend_->ViewOf(local);
-  if (!view.ok()) return view.status();
+  return static_cast<NodeId>(node - begin);
+}
 
+StatusOr<std::string> AdsServerCore::ComputePoint(
+    const PointRequestMsg& msg) const {
+  auto local = LocalIdOf(msg.node);
+  if (!local.ok()) return local.status();
+  auto view = backend_->ViewOf(local.value());
+  if (!view.ok()) return view.status();
+  std::optional<HipEstimator> est;
+  return ComputePointWithView(msg, view.value(), &est);
+}
+
+StatusOr<std::string> AdsServerCore::ComputePointWithView(
+    const PointRequestMsg& msg, const AdsView& view,
+    std::optional<HipEstimator>* est) const {
+  uint64_t begin = options_.node_begin;
+  uint64_t end = begin + backend_->num_nodes();
   PointResponseMsg response;
   switch (msg.kind) {
     case PointKind::kNodeStats: {
-      HipEstimator est(view.value(), backend_->k(), backend_->flavor(),
-                       backend_->ranks());
+      if (!est->has_value()) {
+        est->emplace(view, backend_->k(), backend_->flavor(),
+                     backend_->ranks());
+      }
       if (std::isinf(msg.d)) {
-        response.values = {est.ReachableCount(), est.HarmonicCentrality(),
-                           est.DistanceSum()};
+        response.values = {(*est)->ReachableCount(),
+                           (*est)->HarmonicCentrality(),
+                           (*est)->DistanceSum()};
       } else {
-        response.values = {est.NeighborhoodCardinality(msg.d)};
+        response.values = {(*est)->NeighborhoodCardinality(msg.d)};
       }
       break;
     }
     case PointKind::kLookup: {
       // Entry target ids are global, so lookups need no translation.
-      AdsNodeIndex index(view.value());
+      AdsNodeIndex index(view);
       response.values.reserve(msg.targets.size());
       for (uint64_t target : msg.targets) {
         if (target > std::numeric_limits<NodeId>::max()) {
@@ -203,8 +226,8 @@ StatusOr<std::string> AdsServerCore::ComputePoint(
       }
       // Fetching the second view may evict the shard backing the first
       // (bounded residency), so pin a copy of the first sketch.
-      std::vector<AdsEntry> pinned(view.value().entries().begin(),
-                                   view.value().entries().end());
+      std::vector<AdsEntry> pinned(view.entries().begin(),
+                                   view.entries().end());
       AdsView u_view{std::span<const AdsEntry>(pinned)};
       auto other_view =
           backend_->ViewOf(static_cast<NodeId>(msg.other - begin));
@@ -218,12 +241,140 @@ StatusOr<std::string> AdsServerCore::ComputePoint(
       break;
     }
     case PointKind::kFetchSketch: {
-      response.entries.assign(view.value().entries().begin(),
-                              view.value().entries().end());
+      response.entries.assign(view.entries().begin(), view.entries().end());
       break;
     }
   }
   return EncodePointResponse(response);
+}
+
+namespace {
+
+// Exact request equality — the dedup guard for reusing a computed batch
+// entry. `d` compares with operator== (NaN never equals, so a NaN entry is
+// simply recomputed; ±0.0 compare equal and yield identical responses since
+// the payload never echoes d and every distance comparison treats them
+// alike).
+bool SamePointRequest(const PointRequestMsg& a, const PointRequestMsg& b) {
+  return a.kind == b.kind && a.node == b.node && a.other == b.other &&
+         a.d == b.d && a.targets == b.targets;
+}
+
+}  // namespace
+
+void AdsServerCore::ComputeBatchEntries(const PointBatchRequestMsg& msg,
+                                        const std::vector<size_t>& order,
+                                        bool share_scans,
+                                        PointBatchResponseMsg* response) const {
+  uint64_t current_node = 0;
+  bool have_node = false;
+  std::optional<AdsView> view;
+  Status view_status;
+  std::optional<HipEstimator> est;
+  // Hot working sets repeat whole requests, not just nodes: after the
+  // node-order sort, identical entries are adjacent, and responses are
+  // deterministic, so the previous entry's result (payload or status) IS
+  // this entry's result — one copy instead of a recomputed scan.
+  size_t prev_idx = 0;
+  bool have_prev = false;
+  for (size_t idx : order) {
+    const PointRequestMsg& entry = msg.entries[idx];
+    PointBatchResponseEntry& out = response->entries[idx];
+    if (share_scans && have_prev &&
+        SamePointRequest(entry, msg.entries[prev_idx])) {
+      out = response->entries[prev_idx];
+      continue;
+    }
+    prev_idx = idx;
+    have_prev = true;
+    auto local = LocalIdOf(entry.node);
+    if (!local.ok()) {
+      out.status = local.status();
+      continue;
+    }
+    if (!share_scans || !have_node || entry.node != current_node) {
+      est.reset();
+      view.reset();
+      auto fetched = backend_->ViewOf(local.value());
+      if (fetched.ok()) {
+        view = fetched.value();
+        view_status = Status::Ok();
+      } else {
+        view_status = fetched.status();
+      }
+      current_node = entry.node;
+      have_node = true;
+    }
+    if (!view.has_value()) {
+      out.status = view_status;
+      continue;
+    }
+    auto result = ComputePointWithView(entry, *view, &est);
+    if (result.ok()) {
+      out.payload = std::move(result).value();
+    } else {
+      out.status = result.status();
+    }
+  }
+}
+
+StatusOr<Frame> AdsServerCore::HandlePointBatch(
+    const PointBatchRequestMsg& msg) {
+  const size_t n = msg.entries.size();
+  PointBatchResponseMsg response;
+  response.entries.resize(n);
+  // Per-entry cache keys are the canonical single-request bytes: a batch
+  // reads and fills exactly the cache lone kPointRequests use, so either
+  // shape warms the other. With the cache disabled the keys are never
+  // consulted, so skip the per-entry re-encode entirely.
+  const bool use_cache = options_.point_cache_entries > 0;
+  std::vector<std::string> keys;
+  if (use_cache) keys.resize(n);
+  std::vector<size_t> misses;
+  misses.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (use_cache) {
+      keys[i] = EncodePointRequest(msg.entries[i]);
+      if (point_cache_.Get(keys[i], &response.entries[i].payload)) {
+        continue;  // entry status defaults to Ok
+      }
+    }
+    misses.push_back(i);
+  }
+  if (!misses.empty()) {
+    if (lock_free_) {
+      // One pass in node order: consecutive same-node entries share one
+      // backend fetch and one estimator materialization. stable_sort keeps
+      // equal-node entries in request order; results land by original
+      // index either way, so the reorder is invisible on the wire.
+      std::stable_sort(misses.begin(), misses.end(),
+                       [&msg](size_t a, size_t b) {
+                         return msg.entries[a].node < msg.entries[b].node;
+                       });
+      ComputeBatchEntries(msg, misses, /*share_scans=*/true, &response);
+    } else if (active_sweeps_.load(std::memory_order_acquire) > 0) {
+      // Same shedding contract as single lookups, applied per entry.
+      for (size_t i : misses) {
+        response.entries[i].status = Status::Unavailable(
+            "backend busy with a sweep; point lookup shed, retry");
+      }
+    } else {
+      // Serialized engine: ONE lock acquisition for the whole batch, but
+      // per-entry fetches — a shared view could be evicted by a kJaccard
+      // entry's second fetch under bounded shard residency.
+      MutexLock lock(mu_);
+      ComputeBatchEntries(msg, misses, /*share_scans=*/false, &response);
+    }
+    if (use_cache) {
+      for (size_t i : misses) {
+        if (response.entries[i].status.ok()) {
+          point_cache_.Put(keys[i], response.entries[i].payload);
+        }
+      }
+    }
+  }
+  return Frame{MessageType::kPointBatchResponse,
+               EncodePointBatchResponse(response)};
 }
 
 StatusOr<Frame> AdsServerCore::HandleSweep(const SweepRequestMsg& msg,
@@ -382,6 +533,12 @@ void TcpServer::WorkerLoop() {
     // kernel against a stalled peer.
     int flags = ::fcntl(fd, F_GETFL, 0);
     ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    if (options_.nodelay) {
+      // Responses are single complete frames; without this, Nagle holds
+      // the final short segment hostage to the peer's delayed ACK.
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
     ServeConnection(fd);
     ::close(fd);
   }

@@ -41,6 +41,7 @@
 #include <functional>
 #include <list>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -49,6 +50,7 @@
 #include <vector>
 
 #include "ads/backend.h"
+#include "ads/estimators.h"
 #include "serve/protocol.h"
 #include "util/annotations.h"
 #include "util/mutex.h"
@@ -87,10 +89,15 @@ class ResponseCache {
   bool Get(const std::string& key, std::string* value);
   void Put(const std::string& key, std::string value);
 
+  /// Lifetime hit count — observability for tests asserting that batched
+  /// and single-request paths share one cache.
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+
  private:
   using Entry = std::pair<std::string, std::string>;  // key, response
 
   Mutex mu_;
+  std::atomic<uint64_t> hits_{0};
   // Immutable after construction: Put reads it before taking mu_ for its
   // capacity-0 fast path, which is only race-free because nothing ever
   // writes it again (const makes that a compiler guarantee, not a habit).
@@ -136,14 +143,39 @@ class AdsServerCore : public FrameHandler {
   /// The info this server reports (also used by fleet validation).
   ServerInfoMsg Info() const;
 
+  /// Lifetime point-cache hit count (batched and single requests share the
+  /// same cache; tests assert cross-shape hits through this).
+  uint64_t point_cache_hits() const { return point_cache_.hits(); }
+
  private:
   StatusOr<Frame> Dispatch(const Frame& request, const Deadline& deadline);
   StatusOr<Frame> HandlePoint(const PointRequestMsg& msg,
                               const std::string& payload);
+  StatusOr<Frame> HandlePointBatch(const PointBatchRequestMsg& msg);
   StatusOr<Frame> HandleSweep(const SweepRequestMsg& msg,
                               const Deadline& deadline);
+  /// Maps a global node id into the served range (the NotFound here is THE
+  /// out-of-range answer — single and batched paths must fail with
+  /// identical bytes).
+  StatusOr<NodeId> LocalIdOf(uint64_t node) const;
   /// The actual point computation (lock, if any, held by the caller).
   StatusOr<std::string> ComputePoint(const PointRequestMsg& msg) const;
+  /// Point computation against an already-fetched view. `est` caches the
+  /// node's HipEstimator across consecutive same-node entries of a sorted
+  /// batch (one materialization per distinct node).
+  StatusOr<std::string> ComputePointWithView(
+      const PointRequestMsg& msg, const AdsView& view,
+      std::optional<HipEstimator>* est) const;
+  /// Computes the `order`-listed entries of a batch (lock, if any, held by
+  /// the caller). With share_scans set, `order` must be sorted by node:
+  /// consecutive same-node entries then share one backend fetch and one
+  /// estimator materialization, and consecutive *identical* entries reuse
+  /// the previous result outright (responses are deterministic, so the
+  /// copy is bitwise-equal to a recompute) — only safe on immutable-read
+  /// backends, where a view survives fetching another node's.
+  void ComputeBatchEntries(const PointBatchRequestMsg& msg,
+                           const std::vector<size_t>& order, bool share_scans,
+                           PointBatchResponseMsg* response) const;
   Deadline::Clock::time_point Now() const;
 
   const AdsBackend* backend_;
@@ -172,6 +204,11 @@ struct TcpServerOptions {
   /// (or a slow-loris) cannot pin a worker forever. Idle time BETWEEN
   /// frames stays unbounded. 0 = no bound.
   uint64_t idle_timeout_ms = 0;
+  /// TCP_NODELAY on accepted connections. Responses are single complete
+  /// frames — Nagle only adds a stall before the final short segment — so
+  /// this defaults on; the toggle exists for latency tests to pin either
+  /// behavior.
+  bool nodelay = true;
 };
 
 /// Thread-pooled TCP transport around a FrameHandler. Start() binds and

@@ -327,6 +327,196 @@ TEST(ServeFaultTest, EveryDegradationYieldsCleanErrorOrIdenticalResult) {
   }
 }
 
+// Batch frames under every scripted degradation: the faulted call either
+// fails cleanly or returns bytes identical to the healthy batch response
+// — one entry is deliberately out of range, so a per-entry error rides
+// through every fault too — and the call after the window is healthy.
+TEST(ServeFaultTest, PointBatchDegradationsYieldCleanErrorOrIdenticalResult) {
+  FlatAdsSet set = BuildFlat(40, 59, 4);
+  FlatAdsBackend backend(&set);
+  AdsServerCore core(&backend, ServerOptions{});
+  LoopbackChannel healthy(&core);
+
+  PointBatchRequestMsg batch;
+  for (uint64_t node : {1ull, 17ull, 39ull, 1000ull}) {  // 1000: entry error
+    PointRequestMsg r;
+    r.kind = PointKind::kNodeStats;
+    r.node = node;
+    batch.entries.push_back(r);
+  }
+  const std::string request = EncodeFrame(MessageType::kPointBatchRequest,
+                                          EncodePointBatchRequest(batch));
+  Frame reference;
+  ASSERT_TRUE(healthy.Call(request, &reference).ok());
+  ASSERT_EQ(reference.type, MessageType::kPointBatchResponse);
+
+  for (FaultKind kind :
+       {FaultKind::kDrop, FaultKind::kDelay, FaultKind::kStall,
+        FaultKind::kCloseMidResponse, FaultKind::kCorrupt, FaultKind::kShed}) {
+    LoopbackChannel inner(&core);
+    FaultInjectionChannel channel(&inner, {{kind, 0, 1, 20}});
+    Frame response;
+    Status s = channel.Call(request, &response, Deadline::AfterMs(100));
+    if (s.ok()) {
+      EXPECT_EQ(response.payload, reference.payload)
+          << "fault kind " << static_cast<int>(kind)
+          << ": success with different bytes";
+    }
+    Frame after;
+    ASSERT_TRUE(channel.Call(request, &after, Deadline::AfterMs(5000)).ok())
+        << "fault kind " << static_cast<int>(kind);
+    EXPECT_EQ(after.payload, reference.payload);
+  }
+}
+
+// Whole-batch transport faults inside the retry budget: the router
+// retries the batch frame itself and every entry comes back identical to
+// the healthy run.
+TEST(ServeFaultTest, DroppedBatchFramesAreRetriedToIdenticalEntries) {
+  FaultyFleet fleet({{FaultKind::kDrop, 1, 2, 0}});
+  RouterOptions options;
+  options.retries = 2;
+  options.backoff_base_ms = 1;
+  options.backoff_max_ms = 2;
+  auto router =
+      FleetRouter::Connect(fleet.manifest, fleet.Factory(), options);
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+  FaultyFleet healthy({});
+  auto healthy_router =
+      FleetRouter::Connect(healthy.manifest, healthy.Factory());
+  ASSERT_TRUE(healthy_router.ok());
+
+  std::vector<PointRequestMsg> requests(6);
+  for (int i = 0; i < 6; ++i) {
+    requests[i].kind = PointKind::kNodeStats;
+    requests[i].node = static_cast<NodeId>(60 + i * 9);  // the faulty range
+  }
+  std::vector<PointBatchResponseEntry> faulted =
+      router.value().PointBatch(requests);
+  std::vector<PointBatchResponseEntry> reference =
+      healthy_router.value().PointBatch(requests);
+  ASSERT_EQ(faulted.size(), reference.size());
+  for (size_t i = 0; i < faulted.size(); ++i) {
+    ASSERT_TRUE(faulted[i].status.ok()) << faulted[i].status.ToString();
+    EXPECT_EQ(faulted[i].payload, reference[i].payload) << "entry " << i;
+  }
+  EXPECT_GE(fleet.faulty->calls(), 3u);  // the drops actually fired
+}
+
+// A handler shedding every entry of the first batch frames — the
+// serialized-backend-busy answer, mid-batch.
+class BatchSheddingHandler : public FrameHandler {
+ public:
+  BatchSheddingHandler(FrameHandler* inner, int shed_batches)
+      : inner_(inner), remaining_(shed_batches) {}
+
+  std::string HandleFrame(std::string_view request,
+                          bool* close_connection) override {
+    auto frame = DecodeFrame(request);
+    if (frame.ok() &&
+        frame.value().type == MessageType::kPointBatchRequest &&
+        remaining_.fetch_sub(1) > 0) {
+      auto msg = DecodePointBatchRequest(frame.value().payload);
+      PointBatchResponseMsg response;
+      response.entries.resize(msg.value().entries.size());
+      for (PointBatchResponseEntry& entry : response.entries) {
+        entry.status = Status::Unavailable(
+            "backend busy with a sweep; point lookup shed, retry");
+      }
+      sheds_.fetch_add(1);
+      *close_connection = false;
+      return EncodeFrame(MessageType::kPointBatchResponse,
+                         EncodePointBatchResponse(response),
+                         /*deadline_ms=*/0, frame.value().version);
+    }
+    return inner_->HandleFrame(request, close_connection);
+  }
+
+  int sheds() const { return sheds_.load(); }
+
+ private:
+  FrameHandler* inner_;
+  std::atomic<int> remaining_;
+  std::atomic<int> sheds_{0};
+};
+
+// Per-entry sheds inside an otherwise successful batch response: every
+// affected caller falls back to its own single-request call — through
+// the PointBatch API and through the coalescing path — and ends with
+// bytes identical to the healthy answer.
+TEST(ServeFaultTest, ShedBatchEntriesFallBackToIdenticalSingleCalls) {
+  FlatAdsSet set = BuildFlat(80, 61, 4);
+  FlatAdsBackend backend(&set);
+  AdsServerCore core(&backend, ServerOptions{});
+  BatchSheddingHandler shedding(&core, 2);
+
+  FleetManifest manifest;
+  manifest.num_nodes = 80;
+  manifest.servers = {{"loop:0", 0, 80}};
+  auto factory = [&shedding](const std::string&)
+      -> StatusOr<std::unique_ptr<Channel>> {
+    return std::unique_ptr<Channel>(
+        std::make_unique<LoopbackChannel>(&shedding));
+  };
+  LoopbackChannel direct(&core);
+  AdsClient reference(&direct);
+
+  std::vector<PointRequestMsg> requests(4);
+  for (int i = 0; i < 4; ++i) {
+    requests[i].kind = PointKind::kNodeStats;
+    requests[i].node = static_cast<NodeId>((i * 19) % 80);
+  }
+
+  // PointBatch: its first batch frame is shed per entry.
+  {
+    RouterOptions options;
+    options.backoff_base_ms = 1;
+    options.backoff_max_ms = 2;
+    auto router = FleetRouter::Connect(manifest, factory, options);
+    ASSERT_TRUE(router.ok()) << router.status().ToString();
+    std::vector<PointBatchResponseEntry> entries =
+        router.value().PointBatch(requests);
+    ASSERT_EQ(entries.size(), requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      ASSERT_TRUE(entries[i].status.ok()) << entries[i].status.ToString();
+      auto expected = reference.Point(requests[i]);
+      ASSERT_TRUE(expected.ok());
+      EXPECT_EQ(entries[i].payload, EncodePointResponse(expected.value()))
+          << "entry " << i;
+    }
+    EXPECT_GE(shedding.sheds(), 1);
+  }
+
+  // Coalesced concurrent callers: their shared batch is shed per entry;
+  // each caller retries alone and still gets the healthy bytes.
+  {
+    RouterOptions options;
+    options.coalesce_window_us = 200000;
+    options.backoff_base_ms = 1;
+    options.backoff_max_ms = 2;
+    auto router = FleetRouter::Connect(manifest, factory, options);
+    ASSERT_TRUE(router.ok()) << router.status().ToString();
+    std::vector<StatusOr<PointResponseMsg>> got(
+        requests.size(),
+        StatusOr<PointResponseMsg>(Status::Unavailable("pending")));
+    std::vector<std::thread> threads;
+    threads.reserve(requests.size());
+    for (size_t t = 0; t < requests.size(); ++t) {
+      threads.emplace_back(
+          [&, t] { got[t] = router.value().Point(requests[t]); });
+    }
+    for (std::thread& th : threads) th.join();
+    for (size_t t = 0; t < requests.size(); ++t) {
+      ASSERT_TRUE(got[t].ok()) << got[t].status().ToString();
+      auto expected = reference.Point(requests[t]);
+      ASSERT_TRUE(expected.ok());
+      EXPECT_EQ(EncodePointResponse(got[t].value()),
+                EncodePointResponse(expected.value()))
+          << "caller " << t;
+    }
+  }
+}
+
 // Hedging defeats a stalled primary connection: the delayed second
 // attempt runs over a fresh channel and its answer — identical bytes by
 // construction — is returned well before the primary's deadline stall

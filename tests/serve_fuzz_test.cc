@@ -84,6 +84,32 @@ std::vector<std::string> ValidRequestFrames() {
   fetch.kind = PointKind::kFetchSketch;
   fetch.node = 11;
   point_frame(fetch);
+  // Wire-v3 batch frames: empty (the cheapest v3 probe), one entry, and
+  // one at the kMaxPointBatchEntries bound — the truncation loop below
+  // then cuts the full batch at every byte, which includes every entry
+  // boundary.
+  {
+    PointBatchRequestMsg batch;
+    frames.push_back(EncodeFrame(MessageType::kPointBatchRequest,
+                                 EncodePointBatchRequest(batch)));
+    PointRequestMsg one;
+    one.kind = PointKind::kNodeStats;
+    one.node = 5;
+    one.d = std::numeric_limits<double>::infinity();
+    batch.entries.push_back(one);
+    frames.push_back(EncodeFrame(MessageType::kPointBatchRequest,
+                                 EncodePointBatchRequest(batch)));
+    PointBatchRequestMsg maxed;
+    for (size_t i = 0; i < kMaxPointBatchEntries; ++i) {
+      PointRequestMsg entry;
+      entry.kind = PointKind::kLookup;
+      entry.node = i % 60;
+      entry.targets = {i};
+      maxed.entries.push_back(entry);
+    }
+    frames.push_back(EncodeFrame(MessageType::kPointBatchRequest,
+                                 EncodePointBatchRequest(maxed)));
+  }
   SweepRequestMsg sweep;
   sweep.collectors = {
       {CollectorKind::kDistanceHistogram, 0, 0, 0.0},
@@ -130,6 +156,16 @@ TEST(ServeFuzzTest, ValidFramesAreAccepted) {
         EXPECT_TRUE(
             DecodePointResponse(decoded.value().payload).ok());
         break;
+      case MessageType::kPointBatchRequest: {
+        EXPECT_EQ(decoded.value().type, MessageType::kPointBatchResponse);
+        auto entries = DecodePointBatchResponse(decoded.value().payload);
+        ASSERT_TRUE(entries.ok()) << entries.status().ToString();
+        auto sent = DecodePointBatchRequest(request.value().payload);
+        ASSERT_TRUE(sent.ok());
+        EXPECT_EQ(entries.value().entries.size(),
+                  sent.value().entries.size());
+        break;
+      }
       case MessageType::kSweepRequest:
         EXPECT_EQ(decoded.value().type, MessageType::kSweepResponse);
         break;
@@ -162,19 +198,33 @@ TEST(ServeFuzzTest, BadMagicVersionAndTypeAreRejected) {
     EXPECT_FALSE(DecodeFrame(bad).ok()) << "magic byte " << i;
     ExpectCleanRejection(fx.core, bad, "magic byte " + std::to_string(i));
   }
-  // Version: every value but the supported ones (1 and 2).
-  for (uint32_t version : {0u, 3u, 7u, 0xffffffffu}) {
+  // Version: every value but the supported ones (1, 2 and 3).
+  for (uint32_t version : {0u, 4u, 7u, 0xffffffffu}) {
     std::string bad = frame;
     std::memcpy(bad.data() + 8, &version, sizeof(version));
     EXPECT_FALSE(DecodeFrame(bad).ok()) << "version " << version;
     ExpectCleanRejection(fx.core, bad, "version " + std::to_string(version));
   }
-  // Type: outside the known range.
-  for (uint32_t type : {7u, 100u, 0xffffffffu}) {
+  // Type: outside the known range (9 = first value past the batch pair).
+  for (uint32_t type : {9u, 100u, 0xffffffffu}) {
     std::string bad = frame;
     std::memcpy(bad.data() + 12, &type, sizeof(type));
     EXPECT_FALSE(DecodeFrame(bad).ok()) << "type " << type;
     ExpectCleanRejection(fx.core, bad, "type " + std::to_string(type));
+  }
+  // Batch message types are only legal in v3 frames: a v2 frame claiming
+  // one is rejected from the header, before the checksum is even tried.
+  {
+    std::string bad = EncodeFrame(MessageType::kPointBatchRequest,
+                                  EncodePointBatchRequest({}));
+    uint32_t v2 = 2;
+    std::memcpy(bad.data() + 8, &v2, sizeof(v2));
+    auto decoded = DecodeFrame(bad);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_NE(decoded.status().message().find("requires wire version 3"),
+              std::string::npos)
+        << decoded.status().ToString();
+    ExpectCleanRejection(fx.core, bad, "batch type in a v2 frame");
   }
 }
 
@@ -292,6 +342,42 @@ TEST(ServeFuzzTest, MalformedPayloadsInsideValidFramesAreRejected) {
       w.U64(uint64_t{1} << 59);
       list.emplace_back(MessageType::kSweepRequest, w.Take());
     }
+    // Batch request promising more entries than the protocol bound.
+    {
+      WireWriter w;
+      w.U64(kMaxPointBatchEntries + 1);
+      list.emplace_back(MessageType::kPointBatchRequest, w.Take());
+    }
+    // Batch request whose count promises more than the payload can hold.
+    {
+      WireWriter w;
+      w.U64(uint64_t{1} << 60);
+      list.emplace_back(MessageType::kPointBatchRequest, w.Take());
+    }
+    // Batch with one entry, truncated inside the entry bytes.
+    {
+      PointBatchRequestMsg batch;
+      PointRequestMsg entry;
+      entry.kind = PointKind::kLookup;
+      entry.targets = {1, 2};
+      batch.entries.push_back(entry);
+      std::string encoded = EncodePointBatchRequest(batch);
+      list.emplace_back(MessageType::kPointBatchRequest,
+                        encoded.substr(0, encoded.size() - 5));
+    }
+    // Batch whose entry is itself a malformed point request.
+    {
+      WireWriter w;
+      w.U64(1);
+      WireWriter inner;
+      inner.U32(999);  // unknown point kind
+      inner.U64(0);
+      inner.U64(0);
+      inner.F64(0.0);
+      inner.U64(0);
+      w.Bytes(inner.Take());
+      list.emplace_back(MessageType::kPointBatchRequest, w.Take());
+    }
     // Trailing garbage after a valid message.
     list.emplace_back(MessageType::kInfoRequest, std::string("tail"));
     SweepRequestMsg sweep;
@@ -303,6 +389,63 @@ TEST(ServeFuzzTest, MalformedPayloadsInsideValidFramesAreRejected) {
   for (size_t i = 0; i < cases.size(); ++i) {
     std::string frame = EncodeFrame(cases[i].first, cases[i].second);
     ExpectCleanRejection(fx.core, frame, "payload case " + std::to_string(i));
+  }
+}
+
+// The batch response codec carries a per-entry status channel; its
+// invariants — ok entries carry a payload and no message, failed entries
+// the reverse, codes must be known — are enforced on network bytes.
+TEST(ServeFuzzTest, PointBatchResponsePerEntryStatusesAreValidated) {
+  // A mixed success/failure response round-trips exactly: one bad node
+  // never poisons the batch, and the failure text survives the wire.
+  PointResponseMsg ok_response;
+  ok_response.values = {1.5, 2.5};
+  PointBatchResponseMsg mixed;
+  PointBatchResponseEntry ok_entry;
+  ok_entry.payload = EncodePointResponse(ok_response);
+  mixed.entries.push_back(ok_entry);
+  PointBatchResponseEntry failed;
+  failed.status = Status::NotFound("node 99 is outside the served range");
+  mixed.entries.push_back(failed);
+  auto decoded = DecodePointBatchResponse(EncodePointBatchResponse(mixed));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().entries.size(), 2u);
+  EXPECT_TRUE(decoded.value().entries[0].status.ok());
+  EXPECT_EQ(decoded.value().entries[0].payload, ok_entry.payload);
+  EXPECT_EQ(decoded.value().entries[1].status.ToString(),
+            failed.status.ToString());
+  EXPECT_TRUE(decoded.value().entries[1].payload.empty());
+
+  // Hand-built malformed responses: each violated invariant is rejected.
+  auto entry_bytes = [](uint32_t code, const std::string& message,
+                        const std::string& payload) {
+    WireWriter w;
+    w.U64(1);
+    w.U32(code);
+    w.Bytes(message);
+    w.Bytes(payload);
+    return w.Take();
+  };
+  // An ok entry carrying an error message.
+  EXPECT_FALSE(
+      DecodePointBatchResponse(entry_bytes(0, "spurious", ok_entry.payload))
+          .ok());
+  // A failed entry carrying a response payload.
+  EXPECT_FALSE(
+      DecodePointBatchResponse(entry_bytes(2, "gone", ok_entry.payload))
+          .ok());
+  // An unknown status code.
+  EXPECT_FALSE(DecodePointBatchResponse(entry_bytes(99, "what", "")).ok());
+  // An ok entry whose payload is not a decodable point response.
+  EXPECT_FALSE(DecodePointBatchResponse(entry_bytes(0, "", "junk")).ok());
+  // A count promising more entries than the payload carries.
+  {
+    WireWriter w;
+    w.U64(3);
+    w.U32(0);
+    w.Bytes("");
+    w.Bytes(ok_entry.payload);
+    EXPECT_FALSE(DecodePointBatchResponse(w.Take()).ok());
   }
 }
 

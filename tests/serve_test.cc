@@ -18,6 +18,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -25,6 +26,8 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "ads/backend.h"
@@ -474,6 +477,313 @@ TEST(ServeTest, PointRequestsRouteToOwningServers) {
   bad.kind = PointKind::kNodeStats;
   bad.node = 5000;
   EXPECT_FALSE(router.value().Point(bad).ok());
+}
+
+// Wire-v3 batches: N mixed-kind point requests in one frame answer
+// byte-identically to N lone calls — through the fleet router (owner
+// grouping, cross-server Jaccard fallback, per-entry errors) and through
+// a single server core via AdsClient::PointBatch.
+TEST(ServeTest, PointBatchMatchesSingleCallsBitwise) {
+  FlatAdsSet full = BuildFlat(180, 19, 8);
+  ScratchDir dir("hipads_serve_test_batch");
+  LoopbackFleet fleet =
+      MakeFleet(full, {0, 60, 120, 180},
+                {Engine::kCopy, Engine::kMmap, Engine::kSharded}, dir, 1);
+  auto router = FleetRouter::Connect(fleet.manifest, fleet.Factory());
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  // Stats across every server, a lookup, a raw fetch, same-server and
+  // cross-server Jaccard pairs, and an out-of-range node (a per-entry
+  // error — one bad entry never poisons the batch).
+  std::vector<PointRequestMsg> requests;
+  for (NodeId v : {0u, 17u, 59u, 60u, 119u, 120u, 179u}) {
+    PointRequestMsg r;
+    r.kind = PointKind::kNodeStats;
+    r.node = v;
+    r.d = std::numeric_limits<double>::infinity();
+    requests.push_back(r);
+  }
+  {
+    PointRequestMsg r;
+    r.kind = PointKind::kLookup;
+    r.node = 30;
+    r.targets = {0, 5, 91, 170};
+    requests.push_back(r);
+    r = PointRequestMsg{};
+    r.kind = PointKind::kFetchSketch;
+    r.node = 130;
+    requests.push_back(r);
+    r = PointRequestMsg{};
+    r.kind = PointKind::kJaccard;
+    r.node = 3;
+    r.other = 40;  // same server
+    r.d = 3.0;
+    requests.push_back(r);
+    r.node = 17;
+    r.other = 140;  // spans two servers: the router-side similarity path
+    requests.push_back(r);
+    r = PointRequestMsg{};
+    r.kind = PointKind::kNodeStats;
+    r.node = 5000;  // out of range
+    requests.push_back(r);
+  }
+
+  std::vector<PointBatchResponseEntry> batched =
+      router.value().PointBatch(requests);
+  ASSERT_EQ(batched.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    auto single = router.value().Point(requests[i]);
+    if (single.ok()) {
+      ASSERT_TRUE(batched[i].status.ok())
+          << "entry " << i << ": " << batched[i].status.ToString();
+      EXPECT_EQ(batched[i].payload, EncodePointResponse(single.value()))
+          << "entry " << i;
+    } else {
+      EXPECT_FALSE(batched[i].status.ok()) << "entry " << i;
+      EXPECT_EQ(batched[i].status.ToString(), single.status().ToString())
+          << "entry " << i;
+      EXPECT_TRUE(batched[i].payload.empty()) << "entry " << i;
+    }
+  }
+
+  // The same contract straight against one server core: entries whose
+  // nodes it serves answer with the bytes its lone responses carry.
+  LoopbackChannel channel(fleet.servers[0].core.get());
+  AdsClient client(&channel);
+  std::vector<PointRequestMsg> local;
+  for (const PointRequestMsg& r : requests) {
+    bool served = r.node < 60 || r.node == 5000;  // 5000: per-entry error
+    if (r.kind == PointKind::kJaccard && r.other >= 60) served = false;
+    if (served) local.push_back(r);
+  }
+  ASSERT_GE(local.size(), 5u);
+  auto client_batch = client.PointBatch(local);
+  ASSERT_TRUE(client_batch.ok()) << client_batch.status().ToString();
+  ASSERT_EQ(client_batch.value().size(), local.size());
+  for (size_t i = 0; i < local.size(); ++i) {
+    const PointBatchResponseEntry& entry = client_batch.value()[i];
+    auto single = client.Point(local[i]);
+    if (single.ok()) {
+      ASSERT_TRUE(entry.status.ok()) << entry.status.ToString();
+      EXPECT_EQ(entry.payload, EncodePointResponse(single.value()))
+          << "entry " << i;
+    } else {
+      EXPECT_EQ(entry.status.ToString(), single.status().ToString())
+          << "entry " << i;
+    }
+  }
+
+  // An empty batch round-trips cleanly (the cheapest v3-support probe).
+  auto empty = client.PointBatch({});
+  ASSERT_TRUE(empty.ok()) << empty.status().ToString();
+  EXPECT_TRUE(empty.value().empty());
+}
+
+// Batched and single requests share ONE response cache: a batch entry is
+// keyed on the canonical single-request bytes, so a batch warms exactly
+// the entries lone calls then hit — and vice versa.
+TEST(ServeTest, PointBatchSharesTheSingleRequestCache) {
+  FlatAdsSet full = BuildFlat(120, 23, 8);
+  FlatAdsBackend backend(&full);
+  AdsServerCore core(&backend, ServerOptions{});
+  LoopbackChannel channel(&core);
+  AdsClient client(&channel);
+
+  PointRequestMsg a;
+  a.kind = PointKind::kNodeStats;
+  a.node = 7;
+  a.d = std::numeric_limits<double>::infinity();
+  PointRequestMsg b = a;
+  b.node = 8;
+
+  // Batch fills; the lone call for the same request bytes hits.
+  ASSERT_TRUE(client.PointBatch({a}).ok());
+  EXPECT_EQ(core.point_cache_hits(), 0u);
+  ASSERT_TRUE(client.Point(a).ok());
+  EXPECT_EQ(core.point_cache_hits(), 1u);
+
+  // Lone call fills; the batch carrying the same request hits — both
+  // entries of this batch are already cached.
+  ASSERT_TRUE(client.Point(b).ok());
+  EXPECT_EQ(core.point_cache_hits(), 1u);
+  ASSERT_TRUE(client.PointBatch({b, a}).ok());
+  EXPECT_EQ(core.point_cache_hits(), 3u);
+}
+
+// A channel wrapper counting batch request frames — how the coalescing
+// tests observe that concurrent calls actually traveled batched.
+class BatchCountingChannel : public Channel {
+ public:
+  BatchCountingChannel(std::unique_ptr<Channel> inner,
+                       std::atomic<uint64_t>* batch_frames)
+      : inner_(std::move(inner)), batch_frames_(batch_frames) {}
+  using Channel::Call;
+  Status Call(std::string_view request, Frame* response,
+              const Deadline& deadline) override {
+    auto frame = DecodeFrame(request);
+    if (frame.ok() &&
+        frame.value().type == MessageType::kPointBatchRequest) {
+      batch_frames_->fetch_add(1, std::memory_order_relaxed);
+    }
+    return inner_->Call(request, response, deadline);
+  }
+
+ private:
+  std::unique_ptr<Channel> inner_;
+  std::atomic<uint64_t>* batch_frames_;
+};
+
+// Runs `n` concurrent Point calls through `router` and asserts every
+// response is byte-identical to the uncoalesced `plain` router's answer.
+void ExpectConcurrentPointsMatch(FleetRouter& router, FleetRouter& plain,
+                                 int n) {
+  std::vector<PointRequestMsg> requests(n);
+  for (int t = 0; t < n; ++t) {
+    requests[t].kind = PointKind::kNodeStats;
+    requests[t].node = static_cast<NodeId>((t * 13) % 80);
+    requests[t].d = std::numeric_limits<double>::infinity();
+  }
+  std::vector<StatusOr<PointResponseMsg>> got(
+      n, StatusOr<PointResponseMsg>(Status::Unavailable("pending")));
+  std::vector<std::thread> threads;
+  threads.reserve(requests.size());
+  for (int t = 0; t < n; ++t) {
+    threads.emplace_back([&router, &requests, &got, t] {
+      got[t] = router.Point(requests[t]);
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 0; t < n; ++t) {
+    ASSERT_TRUE(got[t].ok()) << "call " << t << ": "
+                             << got[t].status().ToString();
+    auto expected = plain.Point(requests[t]);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(EncodePointResponse(got[t].value()),
+              EncodePointResponse(expected.value()))
+        << "call " << t;
+  }
+}
+
+// Concurrent callers through a coalescing router get exactly the bytes
+// their lone calls would have, and at least some of them travel in one
+// batch frame (the 200 ms window dwarfs thread spawn time, so the first
+// caller leads and the rest join its batch).
+TEST(ServeTest, CoalescedPointsMatchSingleCallsBitwise) {
+  FlatAdsSet full = BuildFlat(160, 29, 8);
+  ScratchDir dir("hipads_serve_test_coalesce");
+  LoopbackFleet fleet = MakeFleet(full, {0, 80, 160},
+                                  {Engine::kCopy, Engine::kCopy}, dir, 1);
+  std::atomic<uint64_t> batch_frames{0};
+  ChannelFactory factory = fleet.Factory();
+  ChannelFactory counting =
+      [&factory, &batch_frames](const std::string& address)
+      -> StatusOr<std::unique_ptr<Channel>> {
+    auto inner = factory(address);
+    if (!inner.ok()) return inner.status();
+    return std::unique_ptr<Channel>(std::make_unique<BatchCountingChannel>(
+        std::move(inner).value(), &batch_frames));
+  };
+  RouterOptions options;
+  options.coalesce_window_us = 200000;
+  auto router = FleetRouter::Connect(fleet.manifest, counting, options);
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+  auto plain = FleetRouter::Connect(fleet.manifest, fleet.Factory());
+  ASSERT_TRUE(plain.ok());
+
+  ExpectConcurrentPointsMatch(router.value(), plain.value(), 6);
+  EXPECT_GE(batch_frames.load(), 1u) << "no call was coalesced";
+}
+
+// The HIPADS_COALESCE_WINDOW_US environment knob (how CI's tsan lane
+// forces this path on) turns coalescing on when the option is unset.
+TEST(ServeTest, CoalesceWindowEnvKnobForcesTheBatchPath) {
+  FlatAdsSet full = BuildFlat(160, 37, 8);
+  ScratchDir dir("hipads_serve_test_coalesce_env");
+  LoopbackFleet fleet = MakeFleet(full, {0, 80, 160},
+                                  {Engine::kCopy, Engine::kCopy}, dir, 1);
+  std::atomic<uint64_t> batch_frames{0};
+  ChannelFactory factory = fleet.Factory();
+  ChannelFactory counting =
+      [&factory, &batch_frames](const std::string& address)
+      -> StatusOr<std::unique_ptr<Channel>> {
+    auto inner = factory(address);
+    if (!inner.ok()) return inner.status();
+    return std::unique_ptr<Channel>(std::make_unique<BatchCountingChannel>(
+        std::move(inner).value(), &batch_frames));
+  };
+  ASSERT_EQ(setenv("HIPADS_COALESCE_WINDOW_US", "200000", 1), 0);
+  auto router = FleetRouter::Connect(fleet.manifest, counting);
+  unsetenv("HIPADS_COALESCE_WINDOW_US");
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+  auto plain = FleetRouter::Connect(fleet.manifest, fleet.Factory());
+  ASSERT_TRUE(plain.ok());
+
+  ExpectConcurrentPointsMatch(router.value(), plain.value(), 6);
+  EXPECT_GE(batch_frames.load(), 1u) << "env knob did not enable coalescing";
+}
+
+// Pipelined TCP: concurrent callers keep multiple frames in flight on ONE
+// socket; ticket/turn pairing hands every response back to its caller
+// (each response is checked against an independently computed answer, so
+// any cross-matched pair would fail loudly).
+TEST(ServeTest, PipelinedTcpChannelCorrelatesConcurrentCalls) {
+  FlatAdsSet full = BuildFlat(120, 31, 8);
+  FlatAdsBackend backend(&full);
+  AdsServerCore core(&backend, ServerOptions{});
+  TcpServer server(&core, TcpServerOptions{0, 1});  // one worker, one pump
+  ASSERT_TRUE(server.Start().ok());
+
+  TcpChannelOptions options;
+  options.pipeline = true;
+  auto channel = TcpChannel::Connect("127.0.0.1", server.port(), options);
+  ASSERT_TRUE(channel.ok()) << channel.status().ToString();
+  AdsClient client(channel.value().get());
+
+  constexpr int kThreads = 8;
+  constexpr int kCallsPerThread = 25;
+  std::vector<Status> failures(kThreads, Status::Ok());
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&full, &client, &failures, t] {
+      for (int c = 0; c < kCallsPerThread; ++c) {
+        NodeId node = static_cast<NodeId>((t * kCallsPerThread + c) % 120);
+        PointRequestMsg request;
+        request.kind = PointKind::kLookup;
+        request.node = node;
+        request.targets = {0, 5, static_cast<uint64_t>(t), 60};
+        auto response = client.Point(request);
+        if (!response.ok()) {
+          failures[t] = response.status();
+          return;
+        }
+        AdsNodeIndex index(full.of(node));
+        for (size_t i = 0; i < request.targets.size(); ++i) {
+          if (response.value().values[i] !=
+              index.DistanceOf(static_cast<NodeId>(request.targets[i]))) {
+            failures[t] = Status::Corruption(
+                "response paired to the wrong request");
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(failures[t].ok())
+        << "thread " << t << ": " << failures[t].ToString();
+  }
+
+  // Once the peer goes away the pairing is lost for good: the first call
+  // fails however the read fails, every later one fails fast as broken.
+  server.Stop();
+  PointRequestMsg request;
+  request.kind = PointKind::kNodeStats;
+  request.node = 1;
+  request.d = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(client.Point(request).ok());
+  EXPECT_FALSE(client.Point(request).ok());
 }
 
 // A channel whose sweep calls fail (the wire analog of a server dying
