@@ -28,15 +28,23 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <limits>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "ads/backend.h"
 #include "ads/builders.h"
 #include "ads/flat_ads.h"
+#include "ads/hip.h"
 #include "ads/queries.h"
 #include "ads/serialize.h"
 #include "ads/shard.h"
@@ -264,6 +272,104 @@ void BM_SweepHipSoa(benchmark::State& state) {
 }
 BENCHMARK(BM_SweepHipSoa)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// CLAIM-HIP-RESIDENT: the per-node HIP estimator cost, per entry, for the
+// three ways of obtaining the adjusted weights — a fresh allocating scan
+// (what the estimator did before HipScratch), the allocation-free scan
+// into a reusable scratch, and wrapping precomputed storage-resident
+// arrays (tentpole: no scan at all, just pointer arithmetic). All three
+// produce bitwise identical statistics; the recorded baseline quantifies
+// what precomputation saves per query.
+// ---------------------------------------------------------------------------
+
+const FlatAdsSet& SharedHipSet(uint32_t n) {
+  static std::map<uint32_t, FlatAdsSet> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    FlatAdsSet set = SharedSet(n);  // copy, then attach the weights
+    PrecomputeHipWeights(&set, 0);
+    it = cache.emplace(n, std::move(set)).first;
+  }
+  return it->second;
+}
+
+void BM_HipScanOwned(benchmark::State& state) {
+  const FlatAdsSet& set = SharedSet(4000);
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (NodeId v = 0; v < set.num_nodes(); ++v) {
+      HipEstimator est(set.of(v), set.k, set.flavor, set.ranks);
+      sum += est.HarmonicCentrality();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(set.TotalEntries()));
+}
+BENCHMARK(BM_HipScanOwned)->Unit(benchmark::kMillisecond);
+
+void BM_HipScanScratch(benchmark::State& state) {
+  const FlatAdsSet& set = SharedSet(4000);
+  HipScratch scratch;
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (NodeId v = 0; v < set.num_nodes(); ++v) {
+      HipEstimator est(set.of(v), set.k, set.flavor, set.ranks, &scratch);
+      sum += est.HarmonicCentrality();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(set.TotalEntries()));
+}
+BENCHMARK(BM_HipScanScratch)->Unit(benchmark::kMillisecond);
+
+void BM_HipPrecomputed(benchmark::State& state) {
+  const FlatAdsSet& set = SharedHipSet(4000);
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (NodeId v = 0; v < set.num_nodes(); ++v) {
+      const uint64_t off = set.offsets[v];
+      HipEstimator est(set.of(v), set.hip_tau.data() + off,
+                       set.hip_weight.data() + off);
+      sum += est.HarmonicCentrality();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(set.TotalEntries()));
+}
+BENCHMARK(BM_HipPrecomputed)->Unit(benchmark::kMillisecond);
+
+// The fused battery again, over the same sharded layout but with the HIP
+// section resident in every shard file: the sweep consumes the stored
+// weights instead of re-scanning each node per collector pass.
+const ShardedAdsSet& SharedShardedHipSet() {
+  static ShardedAdsSet* set = [] {
+    std::string dir = TempPath("bench_serve_fusion_hip_shards");
+    WriteShardedAdsSet(SharedHipSet(4000), dir, 8);
+    ShardedOptions options;
+    options.max_resident = 1;
+    auto opened = ShardedAdsSet::Open(dir, options);
+    return new ShardedAdsSet(std::move(opened).value());
+  }();
+  return *set;
+}
+
+void BM_MultiStatFusedHip(benchmark::State& state) {
+  const ShardedAdsSet& set = SharedShardedHipSet();
+  for (auto _ : state) {
+    SweepPlan plan;
+    AddCollectors(plan, state.range(0));
+    Status swept = RunSweep(set, plan, 1);
+    benchmark::DoNotOptimize(swept.ok());
+  }
+  state.counters["stats"] =
+      benchmark::Counter(static_cast<double>(state.range(0)));
+}
+BENCHMARK(BM_MultiStatFusedHip)->Arg(1)->Arg(2)->Arg(4)->Arg(6)->Unit(
+    benchmark::kMillisecond);
+
 // Point lookups: the (dist, node) canonical order forces AdsView into a
 // linear scan per probe; AdsNodeIndex answers by binary search.
 void BM_PointLookupLinear(benchmark::State& state) {
@@ -297,12 +403,108 @@ void BM_PointLookupIndexed(benchmark::State& state) {
 }
 BENCHMARK(BM_PointLookupIndexed);
 
+// ---------------------------------------------------------------------------
+// --perf-smoke <baseline.json>: the CI regression guard. Times the fused
+// K=1 and K=6 sweeps (scan and hip-resident) directly — seconds, not the
+// full benchmark run — and compares the K=6/K=1 CPU *ratios* against the
+// recorded baseline's. Ratios cancel out absolute machine speed, so the
+// check is safe on a slow 1-core CI box; a >30% ratio regression means the
+// per-statistic sweep cost genuinely grew and the step fails.
+// ---------------------------------------------------------------------------
+
+double TimeFusedSweepMs(const ShardedAdsSet& set, int64_t stats) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 3; ++rep) {
+    SweepPlan plan;
+    AddCollectors(plan, stats);
+    auto start = std::chrono::steady_clock::now();
+    Status swept = RunSweep(set, plan, 1);
+    auto stop = std::chrono::steady_clock::now();
+    if (!swept.ok()) return -1.0;
+    best = std::min(
+        best,
+        std::chrono::duration<double, std::milli>(stop - start).count());
+  }
+  return best;
+}
+
+// Minimal extraction from google-benchmark's JSON output: the cpu_time
+// (already in ms; every bench here records with kMillisecond) of the named
+// benchmark, or a negative value when absent.
+double BaselineCpuMs(const std::string& json, const std::string& name) {
+  size_t pos = json.find("\"name\": \"" + name + "\"");
+  if (pos == std::string::npos) return -1.0;
+  size_t cpu = json.find("\"cpu_time\":", pos);
+  if (cpu == std::string::npos) return -1.0;
+  return std::strtod(json.c_str() + cpu + std::strlen("\"cpu_time\":"),
+                     nullptr);
+}
+
+int PerfSmoke(const char* baseline_path) {
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::fprintf(stderr, "perf-smoke: cannot read baseline %s\n",
+                 baseline_path);
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  const double b1 = BaselineCpuMs(json, "BM_MultiStatFused/1");
+  const double b6 = BaselineCpuMs(json, "BM_MultiStatFused/6");
+  const double bh6 = BaselineCpuMs(json, "BM_MultiStatFusedHip/6");
+  if (b1 <= 0.0 || b6 <= 0.0 || bh6 <= 0.0) {
+    std::fprintf(stderr,
+                 "perf-smoke: baseline %s lacks BM_MultiStatFused/"
+                 "BM_MultiStatFusedHip entries\n",
+                 baseline_path);
+    return 2;
+  }
+
+  const ShardedAdsSet& scan = SharedShardedSet();
+  const ShardedAdsSet& hip = SharedShardedHipSet();
+  TimeFusedSweepMs(scan, 1);  // warm the page cache and shard arenas
+  TimeFusedSweepMs(hip, 1);
+  const double t1 = TimeFusedSweepMs(scan, 1);
+  const double t6 = TimeFusedSweepMs(scan, 6);
+  const double th6 = TimeFusedSweepMs(hip, 6);
+  if (t1 <= 0.0 || t6 <= 0.0 || th6 <= 0.0) {
+    std::fprintf(stderr, "perf-smoke: fused sweep failed\n");
+    return 2;
+  }
+
+  constexpr double kTolerance = 1.30;  // fail past a 30% ratio regression
+  int failures = 0;
+  struct Check {
+    const char* name;
+    double measured;
+    double baseline;
+  };
+  const Check checks[] = {
+      {"fused6/fused1", t6 / t1, b6 / b1},
+      {"fusedhip6/fused1", th6 / t1, bh6 / b1},
+  };
+  for (const Check& c : checks) {
+    const bool ok = c.measured <= c.baseline * kTolerance;
+    std::printf("perf-smoke: %-18s measured %.3f baseline %.3f  %s\n",
+                c.name, c.measured, c.baseline, ok ? "ok" : "REGRESSION");
+    if (!ok) ++failures;
+  }
+  std::printf(
+      "perf-smoke: fused1 %.2fms fused6 %.2fms fusedhip6 %.2fms (wall)\n",
+      t1, t6, th6);
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace hipads
 
 // Records a machine-readable baseline next to the working directory unless
 // the caller passes its own --benchmark_out.
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--perf-smoke") == 0) {
+    return hipads::PerfSmoke(argc >= 3 ? argv[2] : "BENCH_serve.json");
+  }
   hipads::BenchArgs args(argc, argv, "BENCH_serve.json");
   benchmark::Initialize(&args.argc, args.argv());
   if (benchmark::ReportUnrecognizedArguments(args.argc, args.argv())) {

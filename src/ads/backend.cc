@@ -38,6 +38,10 @@ StatusOr<AdsArenaView> FlatAdsBackend::Range(uint32_t r) const {
   view.end = static_cast<NodeId>(s.num_nodes());
   view.offsets = s.offsets.data();
   view.entries = s.entries.data();
+  if (s.has_hip()) {
+    view.hip_tau = s.hip_tau.data();
+    view.hip_weight = s.hip_weight.data();
+  }
   return view;
 }
 
@@ -48,6 +52,17 @@ StatusOr<AdsView> FlatAdsBackend::ViewOf(NodeId v) const {
                                    " out of range");
   }
   return s.of(v);
+}
+
+StatusOr<HipView> FlatAdsBackend::HipOf(NodeId v) const {
+  const FlatAdsSet& s = set();
+  if (v >= s.num_nodes()) {
+    return Status::InvalidArgument("node " + std::to_string(v) +
+                                   " out of range");
+  }
+  if (!s.has_hip()) return HipView{};
+  return HipView{s.hip_tau.data() + s.offsets[v],
+                 s.hip_weight.data() + s.offsets[v]};
 }
 
 // ---------------------------------------------------------------------------
@@ -75,6 +90,8 @@ MmapAdsSet& MmapAdsSet::operator=(MmapAdsSet&& other) noexcept {
   fallback_ = std::move(other.fallback_);
   offsets_ = other.offsets_;
   entries_ = other.entries_;
+  hip_tau_ = other.hip_tau_;
+  hip_weight_ = other.hip_weight_;
   other.map_ = nullptr;
   other.map_len_ = 0;
   other.AdoptFallback();  // leaves `other` as a valid empty set
@@ -99,6 +116,8 @@ void MmapAdsSet::AdoptFallback() {
   num_entries_ = fallback_.entries.size();
   offsets_ = fallback_.offsets.data();
   entries_ = fallback_.entries.data();
+  hip_tau_ = fallback_.has_hip() ? fallback_.hip_tau.data() : nullptr;
+  hip_weight_ = fallback_.has_hip() ? fallback_.hip_weight.data() : nullptr;
 }
 
 StatusOr<MmapAdsSet> MmapAdsSet::OpenFallback(
@@ -177,6 +196,8 @@ StatusOr<MmapAdsSet> MmapAdsSet::Open(const std::string& path,
   set.num_entries_ = v.num_entries;
   set.offsets_ = v.offsets;
   set.entries_ = v.entries;
+  set.hip_tau_ = v.hip_tau;        // null when the file has no HIP section
+  set.hip_weight_ = v.hip_weight;
   return set;
 #else
   return OpenFallback(path, std::move(beta));
@@ -193,6 +214,8 @@ StatusOr<AdsArenaView> MmapAdsSet::Range(uint32_t r) const {
   view.end = static_cast<NodeId>(num_nodes_);
   view.offsets = offsets_;
   view.entries = entries_;
+  view.hip_tau = hip_tau_;
+  view.hip_weight = hip_weight_;
   return view;
 }
 
@@ -202,6 +225,15 @@ StatusOr<AdsView> MmapAdsSet::ViewOf(NodeId v) const {
                                    " out of range");
   }
   return AdsView({entries_ + offsets_[v], entries_ + offsets_[v + 1]});
+}
+
+StatusOr<HipView> MmapAdsSet::HipOf(NodeId v) const {
+  if (v >= num_nodes_) {
+    return Status::InvalidArgument("node " + std::to_string(v) +
+                                   " out of range");
+  }
+  if (hip_tau_ == nullptr) return HipView{};
+  return HipView{hip_tau_ + offsets_[v], hip_weight_ + offsets_[v]};
 }
 
 // ---------------------------------------------------------------------------

@@ -36,6 +36,18 @@
 
 namespace hipads {
 
+/// Pointers to one node's precomputed HIP weights: tau[i]/weight[i] belong
+/// to entry i of the node's AdsView (hip.h's aligned layout, including the
+/// k-mins zero-slot convention). present() is false when the backing store
+/// carries no HIP section — callers then fall back to the scan. Pointer
+/// validity follows the producing backend's residency rules.
+struct HipView {
+  const double* tau = nullptr;
+  const double* weight = nullptr;
+
+  bool present() const { return tau != nullptr; }
+};
+
 /// Non-owning CSR view of one contiguous node range's sketches: local node
 /// i (global node begin + i) owns entries [offsets[i], offsets[i+1]) of the
 /// entries array, in canonical (dist, node, part) order. offsets[0] == 0.
@@ -45,9 +57,14 @@ struct AdsArenaView {
   NodeId end = 0;  // exclusive
   const uint64_t* offsets = nullptr;  // end - begin + 1 values
   const AdsEntry* entries = nullptr;
+  // Precomputed HIP weight arrays aligned with `entries` (same indexing),
+  // or null when the range's store has no HIP section.
+  const double* hip_tau = nullptr;
+  const double* hip_weight = nullptr;
 
   size_t num_nodes() const { return end - begin; }
   uint64_t num_entries() const { return offsets[end - begin]; }
+  bool has_hip() const { return hip_tau != nullptr; }
 
   /// View of the range-local node i's ADS.
   AdsView of_local(size_t i) const {
@@ -55,6 +72,11 @@ struct AdsArenaView {
   }
   /// View of global node v's ADS (begin <= v < end).
   AdsView of_global(NodeId v) const { return of_local(v - begin); }
+  /// Precomputed weights of the range-local node i (absent when !has_hip).
+  HipView hip_of_local(size_t i) const {
+    if (hip_tau == nullptr) return HipView{};
+    return HipView{hip_tau + offsets[i], hip_weight + offsets[i]};
+  }
 };
 
 /// Abstract read surface over the ADSs of a whole graph. Implementations
@@ -85,6 +107,18 @@ class AdsBackend {
 
   /// View of ADS(v), loading whatever range owns v on demand.
   virtual StatusOr<AdsView> ViewOf(NodeId v) const = 0;
+
+  /// Precomputed HIP weights of node v, aligned with ViewOf(v)'s entries.
+  /// Absent (present() == false) when the backing store carries no HIP
+  /// section — the caller scans instead; both paths are bitwise identical.
+  /// The default is the conservative "absent". Same residency/validity
+  /// rules as ViewOf.
+  virtual StatusOr<HipView> HipOf(NodeId /*v*/) const { return HipView{}; }
+
+  /// True when EVERY node of the backend serves precomputed HIP weights
+  /// (HipOf never falls back to the scan). Observability for operators
+  /// (`stats`/`serve` report hip=resident|scan); never affects results.
+  virtual bool HipResident() const { return false; }
 
   /// Residency hint: a sweep consuming ranges in order will need range r
   /// next. Backends may start loading it in the background; the default is
@@ -122,6 +156,8 @@ class FlatAdsBackend : public AdsBackend {
   uint32_t NumRanges() const override { return 1; }
   StatusOr<AdsArenaView> Range(uint32_t r) const override;
   StatusOr<AdsView> ViewOf(NodeId v) const override;
+  StatusOr<HipView> HipOf(NodeId v) const override;
+  bool HipResident() const override { return set().has_hip(); }
   bool ImmutableReads() const override { return true; }
 
  private:
@@ -165,6 +201,8 @@ class MmapAdsSet : public AdsBackend {
   uint32_t NumRanges() const override { return 1; }
   StatusOr<AdsArenaView> Range(uint32_t r) const override;
   StatusOr<AdsView> ViewOf(NodeId v) const override;
+  StatusOr<HipView> HipOf(NodeId v) const override;
+  bool HipResident() const override { return hip_tau_ != nullptr; }
   bool ImmutableReads() const override { return true; }
 
  private:
@@ -184,6 +222,11 @@ class MmapAdsSet : public AdsBackend {
   uint64_t num_entries_ = 0;
   const uint64_t* offsets_ = nullptr;
   const AdsEntry* entries_ = nullptr;
+  // Precomputed HIP weights when the file carries the optional section
+  // (mapped in place, or aliasing the fallback arena's arrays); null when
+  // the file has none and point/sweep paths scan instead.
+  const double* hip_tau_ = nullptr;
+  const double* hip_weight_ = nullptr;
   FlatAdsSet fallback_;  // storage when !zero_copy()
 };
 

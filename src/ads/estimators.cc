@@ -8,41 +8,72 @@
 
 namespace hipads {
 
-HipEstimator::HipEstimator(std::vector<HipEntry> entries)
-    : entries_(std::move(entries)) {
-  cumulative_.reserve(entries_.size());
-  double sum = 0.0;
-  for (const HipEntry& e : entries_) {
-    sum += e.weight;
-    cumulative_.push_back(sum);
-  }
-}
-
 HipEstimator::HipEstimator(AdsView ads, uint32_t k, SketchFlavor flavor,
                            const RankAssignment& ranks)
-    : HipEstimator(ComputeHipWeights(ads, k, flavor, ranks)) {}
+    : owned_(ComputeHipWeights(ads, k, flavor, ranks)) {}
 
 HipEstimator::HipEstimator(const SoaAdsView& ads, uint32_t k,
                            SketchFlavor flavor, const RankAssignment& ranks)
-    : HipEstimator(ComputeHipWeights(ads, k, flavor, ranks)) {}
+    : owned_(ComputeHipWeights(ads, k, flavor, ranks)) {}
+
+HipEstimator::HipEstimator(AdsView ads, uint32_t k, SketchFlavor flavor,
+                           const RankAssignment& ranks, HipScratch* scratch)
+    : borrowed_(ComputeHipWeightsInto(ads, k, flavor, ranks, scratch)) {}
+
+HipEstimator::HipEstimator(AdsView ads, const double* tau,
+                           const double* weight)
+    : pre_entries_(ads.entries().data()),
+      pre_tau_(tau),
+      pre_weight_(weight),
+      pre_size_(ads.entries().size()) {}
+
+size_t HipEstimator::NumEntries() const {
+  size_t n = 0;
+  ForEachUntil([&n](const HipEntry&) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+std::vector<HipEntry> HipEstimator::CopyEntries() const {
+  std::vector<HipEntry> out;
+  ForEachUntil([&out](const HipEntry& e) {
+    out.push_back(e);
+    return true;
+  });
+  return out;
+}
 
 double HipEstimator::NeighborhoodCardinality(double d) const {
-  // Last entry with dist <= d.
-  auto it = std::upper_bound(
-      entries_.begin(), entries_.end(), d,
-      [](double value, const HipEntry& e) { return value < e.dist; });
-  if (it == entries_.begin()) return 0.0;
-  return cumulative_[static_cast<size_t>(it - entries_.begin()) - 1];
+  // Ordered fold over entries with dist <= d: the additions happen in the
+  // exact sequence the scan emits weights, so the partial sum equals the
+  // old prefix-sum lookup bit for bit.
+  double sum = 0.0;
+  ForEachUntil([&sum, d](const HipEntry& e) {
+    if (e.dist > d) return false;
+    sum += e.weight;
+    return true;
+  });
+  return sum;
 }
 
 double HipEstimator::ReachableCount() const {
-  return cumulative_.empty() ? 0.0 : cumulative_.back();
+  double sum = 0.0;
+  ForEachUntil([&sum](const HipEntry& e) {
+    sum += e.weight;
+    return true;
+  });
+  return sum;
 }
 
 double HipEstimator::Qg(
     const std::function<double(NodeId, double)>& g) const {
   double sum = 0.0;
-  for (const HipEntry& e : entries_) sum += e.weight * g(e.node, e.dist);
+  ForEachUntil([&sum, &g](const HipEntry& e) {
+    sum += e.weight * g(e.node, e.dist);
+    return true;
+  });
   return sum;
 }
 
@@ -65,22 +96,29 @@ double HipEstimator::HarmonicCentrality() const {
 double HipEstimator::NeighborhoodWeight(
     double d, const std::function<double(NodeId)>& beta) const {
   double sum = 0.0;
-  for (const HipEntry& e : entries_) {
-    if (e.dist > d) break;
+  ForEachUntil([&sum, &beta, d](const HipEntry& e) {
+    if (e.dist > d) return false;
     sum += e.weight * beta(e.node);
-  }
+    return true;
+  });
   return sum;
 }
 
 double HipEstimator::DistanceQuantile(double q) const {
   assert(q > 0.0 && q <= 1.0);
-  if (cumulative_.empty()) return 0.0;
-  double target = q * cumulative_.back();
-  auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(),
-                             target - 1e-12);
-  size_t idx = static_cast<size_t>(it - cumulative_.begin());
-  if (idx >= entries_.size()) idx = entries_.size() - 1;
-  return entries_[idx].dist;
+  // First pass: total adjusted weight (the old cumulative_.back()). Second
+  // pass: the first entry whose running sum clears the target — and when
+  // none does (the old end-clamp), the last entry visited IS the answer,
+  // so one tracked distance covers both cases. 0 for an empty sketch.
+  double target = q * ReachableCount();
+  double dist = 0.0;
+  double running = 0.0;
+  ForEachUntil([&](const HipEntry& e) {
+    dist = e.dist;
+    running += e.weight;
+    return running < target - 1e-12;
+  });
+  return dist;
 }
 
 double AdsBasicCardinality(AdsView ads, double d, uint32_t k,

@@ -18,15 +18,35 @@
 #define HIPADS_ADS_ESTIMATORS_H_
 
 #include <functional>
+#include <span>
 
 #include "ads/ads.h"
 #include "ads/hip.h"
 
 namespace hipads {
 
-/// HIP estimates over one ADS. Construction performs the single
-/// increasing-distance scan; queries are O(log |ADS|) (cardinality) or
-/// O(|ADS|) (general statistics).
+/// HIP estimates over one ADS. Three construction modes share one query
+/// surface and produce bitwise-identical estimates:
+///
+///   * scan (owning)     — runs the increasing-distance scan and owns the
+///                         resulting HipEntry vector (the original API).
+///   * scan (scratch)    — the same scan into a caller-owned HipScratch;
+///                         allocation-free in the steady state. The
+///                         estimator borrows the scratch's entries, so it
+///                         is valid only until the scratch's next scan.
+///   * precomputed       — wraps per-entry tau/weight arrays aligned with
+///                         the ADS entries (a file's HIP section or
+///                         PrecomputeHipWeights output): no scan, no
+///                         allocation, construction is three pointer
+///                         assignments. Iteration skips tau == 0 sentinel
+///                         slots (non-first members of a k-mins run), which
+///                         reproduces the scan's grouped entry sequence
+///                         exactly.
+///
+/// Queries are one ordered pass over the adjusted weights (cardinalities
+/// early-exit at the distance bound). Every query folds weights in the
+/// same order the scan emits them, so switching modes never changes a
+/// single bit of any estimate.
 class HipEstimator {
  public:
   /// An empty estimator (every estimate 0) — the state the sweep
@@ -47,6 +67,21 @@ class HipEstimator {
   /// the AdsView overload on the same sketch.
   HipEstimator(const SoaAdsView& ads, uint32_t k, SketchFlavor flavor,
                const RankAssignment& ranks);
+
+  /// Scratch-scan mode: the identical scan, written into `scratch` instead
+  /// of a fresh allocation. The estimator (and its copies) borrows
+  /// scratch->entries — valid until the scratch is scanned again or
+  /// destroyed.
+  HipEstimator(AdsView ads, uint32_t k, SketchFlavor flavor,
+               const RankAssignment& ranks, HipScratch* scratch);
+
+  /// Precomputed mode: adopts per-entry tau/weight arrays aligned with
+  /// `ads`'s entries (hip.h's aligned layout). No scan runs; the arrays
+  /// and the view's entries must stay valid for the estimator's lifetime
+  /// (they do for mmap'd sections and FlatAdsSet arrays). The arrays must
+  /// have been produced by ComputeHipWeightsAligned for the SAME build
+  /// parameters — estimates are then bitwise equal to a fresh scan.
+  HipEstimator(AdsView ads, const double* tau, const double* weight);
 
   /// Estimate of the d-neighborhood cardinality n_d = |N_d(v)| — the sum of
   /// adjusted weights of sketched nodes within distance d (Section 5).
@@ -82,15 +117,57 @@ class HipEstimator {
   /// 0 for an empty sketch; requires 0 < q <= 1.
   double DistanceQuantile(double q) const;
 
-  const std::vector<HipEntry>& entries() const { return entries_; }
+  /// Applies fn(const HipEntry&) to every adjusted weight in increasing
+  /// distance order — the one iteration surface all modes share (the
+  /// precomputed walk synthesizes the grouped entries on the fly, so there
+  /// is no stored vector to hand out).
+  template <typename Fn>
+  void ForEachEntry(Fn&& fn) const {
+    ForEachUntil([&fn](const HipEntry& e) {
+      fn(e);
+      return true;
+    });
+  }
+
+  /// Number of adjusted weights (grouped entries, not raw ADS entries).
+  size_t NumEntries() const;
+
+  /// Materializes the grouped entry sequence (test/debug convenience; the
+  /// query paths never need it).
+  std::vector<HipEntry> CopyEntries() const;
 
  private:
-  /// Shared tail of every layout-specific constructor: adopts the HIP
-  /// entries and builds the prefix sums one query path binary-searches.
-  explicit HipEstimator(std::vector<HipEntry> entries);
+  /// Ordered walk with early exit: fn returns false to stop. Precomputed
+  /// mode skips tau == 0 slots; the other modes iterate the grouped
+  /// vector/span directly.
+  template <typename Fn>
+  void ForEachUntil(Fn&& fn) const {
+    if (pre_tau_ != nullptr) {
+      for (size_t i = 0; i < pre_size_; ++i) {
+        if (pre_tau_[i] == 0.0) continue;
+        if (!fn(HipEntry{pre_entries_[i].node, pre_entries_[i].dist,
+                         pre_tau_[i], pre_weight_[i]})) {
+          return;
+        }
+      }
+      return;
+    }
+    std::span<const HipEntry> entries =
+        borrowed_.data() != nullptr ? borrowed_
+                                    : std::span<const HipEntry>(owned_);
+    for (const HipEntry& e : entries) {
+      if (!fn(e)) return;
+    }
+  }
 
-  std::vector<HipEntry> entries_;       // increasing distance
-  std::vector<double> cumulative_;      // prefix sums of adjusted weights
+  // Scan modes: the grouped entries, owned or borrowed from a HipScratch.
+  std::vector<HipEntry> owned_;          // increasing distance
+  std::span<const HipEntry> borrowed_;   // non-null data() = scratch mode
+  // Precomputed mode: entry arena + aligned weight arrays (borrowed).
+  const AdsEntry* pre_entries_ = nullptr;
+  const double* pre_tau_ = nullptr;      // non-null = precomputed mode
+  const double* pre_weight_ = nullptr;
+  size_t pre_size_ = 0;
 };
 
 /// Basic (pre-HIP) neighborhood cardinality estimate: the Section 4

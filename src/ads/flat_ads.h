@@ -32,9 +32,17 @@ struct FlatAdsSet {
   RankAssignment ranks = RankAssignment::Uniform(0);
   std::vector<uint64_t> offsets{0};  // size num_nodes + 1
   std::vector<AdsEntry> entries;     // canonical order per node, contiguous
+  // Optional precomputed HIP weights, aligned with `entries` (tau[i] /
+  // weight[i] belong to entries[i]; k-mins runs store the group weight at
+  // the first member, zeros at the rest — see hip.h). Either both empty or
+  // both entries.size(); filled by PrecomputeHipWeights or loaded from a
+  // file's HIP section, and serialized back out when present.
+  std::vector<double> hip_tau;
+  std::vector<double> hip_weight;
 
   size_t num_nodes() const { return offsets.size() - 1; }
   uint64_t TotalEntries() const { return entries.size(); }
+  bool has_hip() const { return !hip_tau.empty(); }
 
   /// View of ADS(v).
   AdsView of(NodeId v) const {

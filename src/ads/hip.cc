@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/parallel.h"
+
 namespace hipads {
 
 namespace {
@@ -37,6 +39,14 @@ double InclusionProbability(double tau, double beta, RankKind kind) {
 // FlatAdsSet slice) or by per-field arrays (SoA — SoaAdsArena slice). Both
 // instantiations execute the identical arithmetic in the identical order,
 // so the adjusted weights agree bitwise across layouts.
+//
+// They are also templates over the output `Sink`, called once per adjusted
+// weight as sink(first, end, node, dist, tau, weight) where [first, end) is
+// the run of entry indices the weight covers — a single entry for bottom-k
+// and k-partition, the same-(dist, node) run for k-mins. One sink appends
+// grouped HipEntry records (the scan API), the other writes the per-entry
+// aligned arrays the binary format stores; both see the identical call
+// sequence, which is what makes precomputed == scanned a bitwise identity.
 struct AosEntries {
   std::span<const AdsEntry> e;
   size_t size() const { return e.size(); }
@@ -55,87 +65,92 @@ struct SoaEntries {
   double dist(size_t i) const { return v.dist[i]; }
 };
 
-template <typename E>
-std::vector<HipEntry> BottomKHip(const E& ads, uint32_t k,
-                                 const RankAssignment& ranks) {
-  std::vector<HipEntry> result;
-  result.reserve(ads.size());
-  BottomKSketch closer(k, ranks.sup());  // ranks of nodes scanned so far
+// Appends one grouped HipEntry per weight.
+struct EntrySink {
+  std::vector<HipEntry>* out;
+  void operator()(size_t first, size_t end, NodeId node, double dist,
+                  double tau, double weight) const {
+    (void)first;
+    (void)end;
+    out->push_back(HipEntry{node, dist, tau, weight});
+  }
+};
+
+// Writes per-entry arrays aligned with the entry sequence: the weight at
+// the run's first index, explicit zeros at the remaining members (k-mins
+// only; other flavors always get single-entry runs).
+struct AlignedSink {
+  double* tau;
+  double* weight;
+  void operator()(size_t first, size_t end, NodeId node, double dist,
+                  double t, double w) const {
+    (void)node;
+    (void)dist;
+    tau[first] = t;
+    weight[first] = w;
+    for (size_t i = first + 1; i < end; ++i) {
+      tau[i] = 0.0;
+      weight[i] = 0.0;
+    }
+  }
+};
+
+template <typename E, typename Sink>
+void BottomKHip(const E& ads, const RankAssignment& ranks,
+                BottomKSketch* closer, Sink&& sink) {
+  // closer holds the ranks of nodes scanned so far.
   for (size_t i = 0; i < ads.size(); ++i) {
-    double tau = closer.Threshold();
+    double tau = closer->Threshold();
     double p = InclusionProbability(tau, ranks.beta(ads.node(i)),
                                     ranks.kind());
     assert(p > 0.0);
-    result.push_back(HipEntry{ads.node(i), ads.dist(i), p, 1.0 / p});
-    closer.Update(ads.rank(i));
+    sink(i, i + 1, ads.node(i), ads.dist(i), p, 1.0 / p);
+    closer->Update(ads.rank(i));
   }
-  return result;
 }
 
-template <typename E>
-std::vector<HipEntry> KMinsHip(const E& ads, uint32_t k,
-                               const RankAssignment& ranks) {
-  // Group same-node entries (one per permutation) so each node gets a single
-  // adjusted weight; nodes are processed in order of their first (lowest
-  // rank) entry, which fixes the tie-broken "closer" order.
-  struct Group {
-    NodeId node;
-    double dist;
-    std::vector<size_t> members;  // entry indices
-  };
-  std::vector<Group> groups;
-  for (size_t i = 0; i < ads.size(); ++i) {
-    int64_t gi = -1;
-    for (size_t gidx = groups.size(); gidx-- > 0;) {
-      // Same-node entries share a distance, so only groups at this distance
-      // (the tail of the list) can match.
-      if (groups[gidx].dist != ads.dist(i)) break;
-      if (groups[gidx].node == ads.node(i)) {
-        gi = static_cast<int64_t>(gidx);
-        break;
-      }
+template <typename E, typename Sink>
+void KMinsHip(const E& ads, uint32_t k, const RankAssignment& ranks,
+              std::vector<double>& mins, Sink&& sink) {
+  // Same-node entries (one per permutation) share a single adjusted weight.
+  // In canonical (dist, node, part) order — the invariant every storage
+  // layout maintains — a node's entries form one contiguous run (they all
+  // sit at the node's distance), so runs ARE the groups and the scan needs
+  // no group-membership bookkeeping at all.
+  size_t i = 0;
+  while (i < ads.size()) {
+    size_t j = i + 1;
+    while (j < ads.size() && ads.dist(j) == ads.dist(i) &&
+           ads.node(j) == ads.node(i)) {
+      ++j;
     }
-    if (gi < 0) {
-      groups.push_back(Group{ads.node(i), ads.dist(i), {}});
-      gi = static_cast<int64_t>(groups.size()) - 1;
-    }
-    groups[static_cast<size_t>(gi)].members.push_back(i);
-  }
-
-  std::vector<HipEntry> result;
-  result.reserve(groups.size());
-  std::vector<double> mins(k, ranks.sup());
-  for (const Group& group : groups) {
     // Eq. (7): the node enters the ADS iff it beats the running minimum in
     // at least one permutation. With no closer node in permutation h the
     // miss factor (1 - P(beat)) is 0, so tau = 1.
-    double beta = ranks.beta(group.node);
+    double beta = ranks.beta(ads.node(i));
     double prod = 1.0;
     for (uint32_t h = 0; h < k; ++h) {
       prod *= 1.0 - InclusionProbability(mins[h], beta, ranks.kind());
     }
     double tau = 1.0 - prod;
     assert(tau > 0.0);
-    result.push_back(HipEntry{group.node, group.dist, tau, 1.0 / tau});
-    for (size_t idx : group.members) {
+    sink(i, j, ads.node(i), ads.dist(i), tau, 1.0 / tau);
+    for (size_t idx = i; idx < j; ++idx) {
       mins[ads.part(idx)] = std::min(mins[ads.part(idx)], ads.rank(idx));
     }
+    i = j;
   }
-  return result;
 }
 
-template <typename E>
-std::vector<HipEntry> KPartitionHip(const E& ads, uint32_t k,
-                                    const RankAssignment& ranks) {
-  std::vector<HipEntry> result;
-  result.reserve(ads.size());
+template <typename E, typename Sink>
+void KPartitionHip(const E& ads, uint32_t k, const RankAssignment& ranks,
+                   std::vector<double>& mins, Sink&& sink) {
   const bool weighted = ranks.kind() == RankKind::kExponential ||
                         ranks.kind() == RankKind::kPriority;
   // Eq. (8): tau = (1/k) sum_h P(rank beats bucket-h minimum); an empty
   // bucket is beaten with probability 1. For unweighted ranks P(beat m) =
   // min(m, 1) is node-independent, so we maintain the sum incrementally;
   // weighted ranks recompute the per-node sum.
-  std::vector<double> mins(k, ranks.sup());
   double uniform_sum = static_cast<double>(k);
   for (size_t i = 0; i < ads.size(); ++i) {
     double tau;
@@ -150,7 +165,7 @@ std::vector<HipEntry> KPartitionHip(const E& ads, uint32_t k,
       tau = uniform_sum / static_cast<double>(k);
     }
     assert(tau > 0.0);
-    result.push_back(HipEntry{ads.node(i), ads.dist(i), tau, 1.0 / tau});
+    sink(i, i + 1, ads.node(i), ads.dist(i), tau, 1.0 / tau);
     if (ads.rank(i) < mins[ads.part(i)]) {
       if (!weighted) {
         uniform_sum -= std::min(mins[ads.part(i)], 1.0) - ads.rank(i);
@@ -158,23 +173,39 @@ std::vector<HipEntry> KPartitionHip(const E& ads, uint32_t k,
       mins[ads.part(i)] = ads.rank(i);
     }
   }
-  return result;
 }
 
-template <typename E>
-std::vector<HipEntry> ComputeHipWeightsT(const E& ads, uint32_t k,
-                                         SketchFlavor flavor,
-                                         const RankAssignment& ranks) {
+template <typename E, typename Sink>
+void HipScanT(const E& ads, uint32_t k, SketchFlavor flavor,
+              const RankAssignment& ranks, HipScratch* scratch, Sink&& sink) {
   assert(ranks.kind() != RankKind::kPermutation);
   switch (flavor) {
     case SketchFlavor::kBottomK:
-      return BottomKHip(ads, k, ranks);
+      scratch->closer.Reset(k, ranks.sup());
+      BottomKHip(ads, ranks, &scratch->closer, sink);
+      return;
     case SketchFlavor::kKMins:
-      return KMinsHip(ads, k, ranks);
+      scratch->mins.assign(k, ranks.sup());
+      KMinsHip(ads, k, ranks, scratch->mins, sink);
+      return;
     case SketchFlavor::kKPartition:
-      return KPartitionHip(ads, k, ranks);
+      scratch->mins.assign(k, ranks.sup());
+      KPartitionHip(ads, k, ranks, scratch->mins, sink);
+      return;
   }
-  return {};
+}
+
+template <typename E>
+std::span<const HipEntry> ComputeHipWeightsIntoT(const E& ads, uint32_t k,
+                                                 SketchFlavor flavor,
+                                                 const RankAssignment& ranks,
+                                                 HipScratch* scratch) {
+  scratch->entries.clear();
+  if (scratch->entries.capacity() < ads.size()) {
+    scratch->entries.reserve(ads.size());
+  }
+  HipScanT(ads, k, flavor, ranks, scratch, EntrySink{&scratch->entries});
+  return std::span<const HipEntry>(scratch->entries);
 }
 
 }  // namespace
@@ -182,13 +213,61 @@ std::vector<HipEntry> ComputeHipWeightsT(const E& ads, uint32_t k,
 std::vector<HipEntry> ComputeHipWeights(AdsView ads, uint32_t k,
                                         SketchFlavor flavor,
                                         const RankAssignment& ranks) {
-  return ComputeHipWeightsT(AosEntries{ads.entries()}, k, flavor, ranks);
+  HipScratch scratch;
+  ComputeHipWeightsIntoT(AosEntries{ads.entries()}, k, flavor, ranks,
+                         &scratch);
+  return std::move(scratch.entries);
 }
 
 std::vector<HipEntry> ComputeHipWeights(const SoaAdsView& ads, uint32_t k,
                                         SketchFlavor flavor,
                                         const RankAssignment& ranks) {
-  return ComputeHipWeightsT(SoaEntries{ads}, k, flavor, ranks);
+  HipScratch scratch;
+  ComputeHipWeightsIntoT(SoaEntries{ads}, k, flavor, ranks, &scratch);
+  return std::move(scratch.entries);
+}
+
+std::span<const HipEntry> ComputeHipWeightsInto(AdsView ads, uint32_t k,
+                                                SketchFlavor flavor,
+                                                const RankAssignment& ranks,
+                                                HipScratch* scratch) {
+  return ComputeHipWeightsIntoT(AosEntries{ads.entries()}, k, flavor, ranks,
+                                scratch);
+}
+
+std::span<const HipEntry> ComputeHipWeightsInto(const SoaAdsView& ads,
+                                                uint32_t k,
+                                                SketchFlavor flavor,
+                                                const RankAssignment& ranks,
+                                                HipScratch* scratch) {
+  return ComputeHipWeightsIntoT(SoaEntries{ads}, k, flavor, ranks, scratch);
+}
+
+void ComputeHipWeightsAligned(AdsView ads, uint32_t k, SketchFlavor flavor,
+                              const RankAssignment& ranks, HipScratch* scratch,
+                              double* tau, double* weight) {
+  HipScanT(AosEntries{ads.entries()}, k, flavor, ranks, scratch,
+           AlignedSink{tau, weight});
+}
+
+void PrecomputeHipWeights(FlatAdsSet* set, uint32_t num_threads) {
+  set->hip_tau.resize(set->entries.size());
+  set->hip_weight.resize(set->entries.size());
+  if (set->num_nodes() == 0) return;
+  ThreadPool pool(num_threads);
+  std::vector<HipScratch> scratches(pool.num_threads());
+  pool.ParallelFor(set->num_nodes(),
+                   [&](size_t begin, size_t end, size_t chunk) {
+                     HipScratch& scratch = scratches[chunk];
+                     for (size_t v = begin; v < end; ++v) {
+                       uint64_t off = set->offsets[v];
+                       ComputeHipWeightsAligned(
+                           set->of(static_cast<NodeId>(v)), set->k,
+                           set->flavor, set->ranks, &scratch,
+                           set->hip_tau.data() + off,
+                           set->hip_weight.data() + off);
+                     }
+                   });
 }
 
 std::vector<HipEntry> ComputeModifiedHipWeights(AdsView ads, uint32_t k,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cassert>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -54,11 +55,38 @@ static_assert(std::endian::native == std::endian::little,
 // then the payload sections (util/hash.h Fnv1a, shared with the wire
 // protocol's frame checksum). Covering the header means any single
 // corrupted parameter byte (flavor, k, seed, ...) is caught even when it
-// would still parse as a structurally valid file.
+// would still parse as a structurally valid file. The optional HIP section
+// is NOT covered — it carries its own checksum — so the base image of a
+// file is bit-identical whether or not the section follows it.
 uint64_t V2Checksum(V2Header h, const char* payload, size_t payload_size) {
   h.checksum = 0;
   uint64_t sum = Fnv1a(reinterpret_cast<const char*>(&h), sizeof(V2Header),
                        kFnv1aOffsetBasis);
+  return Fnv1a(payload, payload_size, sum);
+}
+
+// Optional HIP section, appended after the entry arena: this header, then
+// tau[num_entries] + weight[num_entries] doubles (hip.h's aligned layout).
+// Every preceding section is a multiple of 8 bytes, so the double arrays
+// stay 8-byte aligned in any mapping of the file.
+constexpr char kMagicHip[8] = {'h', 'i', 'p', 'a', 'd', 's', 'h', 'w'};
+constexpr uint32_t kHipSectionVersion = 1;
+
+struct HipSectionHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t reserved;     // must be zero
+  uint64_t num_entries;  // must equal the main header's num_entries
+  uint64_t checksum;     // FNV-1a over this header (field zeroed) + arrays
+};
+static_assert(sizeof(HipSectionHeader) == kAdsHipSectionHeaderBytes,
+              "HIP section header layout drifted");
+
+uint64_t HipSectionChecksum(HipSectionHeader h, const char* payload,
+                            size_t payload_size) {
+  h.checksum = 0;
+  uint64_t sum = Fnv1a(reinterpret_cast<const char*>(&h),
+                       sizeof(HipSectionHeader), kFnv1aOffsetBasis);
   return Fnv1a(payload, payload_size, sum);
 }
 
@@ -289,12 +317,30 @@ std::string SerializeAdsSetBinary(const FlatAdsSet& set) {
   h.entries_bytes = set.entries.size() * sizeof(AdsEntry);
 
   std::string out;
-  out.resize(sizeof(V2Header) + h.offsets_bytes + h.entries_bytes);
+  const size_t base_size = sizeof(V2Header) + h.offsets_bytes +
+                           h.entries_bytes;
+  out.resize(base_size);
   char* p = out.data() + sizeof(V2Header);
   std::memcpy(p, set.offsets.data(), h.offsets_bytes);
   std::memcpy(p + h.offsets_bytes, set.entries.data(), h.entries_bytes);
   h.checksum = V2Checksum(h, p, h.offsets_bytes + h.entries_bytes);
   std::memcpy(out.data(), &h, sizeof(V2Header));
+
+  if (set.has_hip()) {
+    assert(set.hip_tau.size() == set.entries.size() &&
+           set.hip_weight.size() == set.entries.size());
+    HipSectionHeader sh{};
+    std::memcpy(sh.magic, kMagicHip, sizeof(sh.magic));
+    sh.version = kHipSectionVersion;
+    sh.num_entries = set.entries.size();
+    const uint64_t array_bytes = sh.num_entries * sizeof(double);
+    out.resize(base_size + sizeof(HipSectionHeader) + 2 * array_bytes);
+    char* s = out.data() + base_size + sizeof(HipSectionHeader);
+    std::memcpy(s, set.hip_tau.data(), array_bytes);
+    std::memcpy(s + array_bytes, set.hip_weight.data(), array_bytes);
+    sh.checksum = HipSectionChecksum(sh, s, 2 * array_bytes);
+    std::memcpy(out.data() + base_size, &sh, sizeof(HipSectionHeader));
+  }
   return out;
 }
 
@@ -310,6 +356,10 @@ bool IsBinaryAdsData(const std::string& data) {
 uint64_t AdsBinaryFileSize(uint64_t num_nodes, uint64_t num_entries) {
   return sizeof(V2Header) + (num_nodes + 1) * sizeof(uint64_t) +
          num_entries * sizeof(AdsEntry);
+}
+
+uint64_t AdsHipSectionBytes(uint64_t num_entries) {
+  return sizeof(HipSectionHeader) + 2 * num_entries * sizeof(double);
 }
 
 StatusOr<AdsBinaryView> ValidateAdsSetBinary(const char* data, size_t size) {
@@ -347,8 +397,17 @@ StatusOr<AdsBinaryView> ValidateAdsSetBinary(const char* data, size_t size) {
   if (h.entries_bytes != h.num_entries * sizeof(AdsEntry)) {
     return Status::Corruption("entries section length mismatch");
   }
-  if (size != sizeof(V2Header) + h.offsets_bytes + h.entries_bytes) {
-    return Status::Corruption("file length does not match header sections");
+  // Exactly two lengths are valid: the base sections alone, or base plus
+  // the optional HIP section. Anything else — including truncation at any
+  // byte of the section — is corruption.
+  const uint64_t base_size =
+      sizeof(V2Header) + h.offsets_bytes + h.entries_bytes;
+  bool has_hip = false;
+  if (size != base_size) {
+    if (size != base_size + AdsHipSectionBytes(h.num_entries)) {
+      return Status::Corruption("file length does not match header sections");
+    }
+    has_hip = true;
   }
   const char* payload = data + sizeof(V2Header);
   if (V2Checksum(h, payload, h.offsets_bytes + h.entries_bytes) !=
@@ -389,6 +448,46 @@ StatusOr<AdsBinaryView> ValidateAdsSetBinary(const char* data, size_t size) {
                                           view.entries + view.offsets[v + 1],
                                           AdsEntryCloser);
   }
+  if (has_hip) {
+    const char* sec = data + base_size;
+    HipSectionHeader sh;
+    std::memcpy(&sh, sec, sizeof(HipSectionHeader));
+    if (std::memcmp(sh.magic, kMagicHip, sizeof(sh.magic)) != 0) {
+      return Status::Corruption("missing HIP section magic");
+    }
+    if (sh.version != kHipSectionVersion) {
+      return Status::Corruption("unsupported HIP section version " +
+                                std::to_string(sh.version));
+    }
+    if (sh.reserved != 0) {
+      return Status::Corruption("bad HIP section reserved field");
+    }
+    if (sh.num_entries != h.num_entries) {
+      return Status::Corruption("HIP section entry count mismatch");
+    }
+    const char* sec_payload = sec + sizeof(HipSectionHeader);
+    const uint64_t array_bytes = h.num_entries * sizeof(double);
+    if (HipSectionChecksum(sh, sec_payload, 2 * array_bytes) != sh.checksum) {
+      return Status::Corruption("HIP section checksum mismatch");
+    }
+    const double* tau = reinterpret_cast<const double*>(sec_payload);
+    const double* weight =
+        reinterpret_cast<const double*>(sec_payload + array_bytes);
+    // Per-entry integrity: a slot is either a k-mins run filler (both
+    // zero) or a probability in (0, 1] with weight exactly its inverse.
+    // NaNs fail every comparison, so they are rejected too.
+    for (uint64_t i = 0; i < h.num_entries; ++i) {
+      const bool filler = tau[i] == 0.0 && weight[i] == 0.0;
+      const bool valid =
+          tau[i] > 0.0 && tau[i] <= 1.0 && weight[i] == 1.0 / tau[i];
+      if (!filler && !valid) {
+        return Status::Corruption("invalid HIP weight at index " +
+                                  std::to_string(i));
+      }
+    }
+    view.hip_tau = tau;
+    view.hip_weight = weight;
+  }
   return view;
 }
 
@@ -417,6 +516,14 @@ StatusOr<FlatAdsSet> ParseFlatAdsSetBinary(
                     static_cast<int64_t>(set.offsets[node + 1]),
                 AdsEntryCloser);
     }
+  }
+  // Adopt the HIP section only when the entries kept their stored order:
+  // the arrays are positionally aligned with the arena, so a re-sort above
+  // would desynchronize them. Dropping them is safe — they are pure
+  // derived data the scan fallback recomputes.
+  if (v.has_hip() && v.canonical_order) {
+    set.hip_tau.assign(v.hip_tau, v.hip_tau + v.num_entries);
+    set.hip_weight.assign(v.hip_weight, v.hip_weight + v.num_entries);
   }
   return set;
 }

@@ -87,10 +87,24 @@ StatusOr<FlatAdsSet> ParseFlatAdsSetBinary(
 /// Fixed byte size of the hipads-ads-v2 header.
 inline constexpr size_t kAdsBinaryHeaderBytes = 88;
 
+/// Fixed byte size of the optional HIP section's header.
+inline constexpr size_t kAdsHipSectionHeaderBytes = 32;
+
 /// Exact byte size of a v2 file holding `num_nodes` nodes and `num_entries`
-/// entries. Manifest-driven integrity checks (sharded serving) use this to
-/// detect missing or truncated shard files without opening them.
+/// entries, WITHOUT the optional HIP section. Manifest-driven integrity
+/// checks (sharded serving) use this to detect missing or truncated shard
+/// files without opening them; a file with the HIP section is exactly
+/// AdsHipSectionBytes(num_entries) longer — no other size is valid.
 uint64_t AdsBinaryFileSize(uint64_t num_nodes, uint64_t num_entries);
+
+/// Byte size of the optional HIP section for `num_entries` entries: a
+/// 32-byte header ("hipadshw" magic, version, entry count, FNV-1a checksum
+/// of the section) followed by tau[num_entries] then weight[num_entries]
+/// doubles — +16 bytes per entry, aligned with the entry arena (see hip.h
+/// for the k-mins zero-slot convention). The main v2 checksum does NOT
+/// cover the section (so base files are bit-identical with or without it);
+/// the section carries its own.
+uint64_t AdsHipSectionBytes(uint64_t num_entries);
 
 /// Non-owning view of a fully validated hipads-ads-v2 image. `offsets` and
 /// `entries` alias the caller's buffer, which must be 8-byte aligned (heap
@@ -110,6 +124,13 @@ struct AdsBinaryView {
   /// consumer cannot re-sort, so it must fall back to the copying loader
   /// when this is false.
   bool canonical_order = false;
+  /// Precomputed HIP weights when the file carries the optional HIP
+  /// section (validated: magic, count, checksum, per-entry integrity);
+  /// null otherwise. Aligned with `entries`.
+  const double* hip_tau = nullptr;
+  const double* hip_weight = nullptr;
+
+  bool has_hip() const { return hip_tau != nullptr; }
 };
 
 /// Validates a v2 image in place — header, whole-file checksum, section

@@ -267,6 +267,18 @@ Status WriteShardedAdsSet(const FlatAdsSet& set, const std::string& dir,
     slice.entries.assign(
         set.entries.begin() + static_cast<int64_t>(base),
         set.entries.begin() + static_cast<int64_t>(set.offsets[info.end]));
+    if (set.has_hip()) {
+      // Slice the aligned HIP arrays along with the entry arena, so every
+      // shard file carries its nodes' section (entries and weights use the
+      // same CSR offsets).
+      slice.hip_tau.assign(
+          set.hip_tau.begin() + static_cast<int64_t>(base),
+          set.hip_tau.begin() + static_cast<int64_t>(set.offsets[info.end]));
+      slice.hip_weight.assign(
+          set.hip_weight.begin() + static_cast<int64_t>(base),
+          set.hip_weight.begin() +
+              static_cast<int64_t>(set.offsets[info.end]));
+    }
     info.num_entries = slice.entries.size();
 
     Status st = WriteAdsSetFile(slice, JoinPath(dir, info.file),
@@ -404,14 +416,38 @@ Status ShardedAdsSet::ValidateFiles() const {
     }
     uint64_t expected =
         AdsBinaryFileSize(info.end - info.begin, info.num_entries);
-    if (actual != expected) {
+    // Exactly two sizes are valid per shard: the base v2 image or base +
+    // the optional HIP section (shards may mix — the section is per-file).
+    uint64_t expected_hip = expected + AdsHipSectionBytes(info.num_entries);
+    if (actual != expected && actual != expected_hip) {
       return Status::Corruption(
           "shard file " + path + " is " + std::to_string(actual) +
-          " bytes; manifest implies " + std::to_string(expected) +
+          " bytes; manifest implies " + std::to_string(expected) + " or " +
+          std::to_string(expected_hip) +
           (actual < expected ? " (truncated?)" : " (trailing data?)"));
     }
   }
   return Status::Ok();
+}
+
+bool ShardedAdsSet::HipResident() const {
+  if (hip_resident_ < 0) {
+    bool all = !shards_.empty();
+    for (const ShardInfo& info : shards_) {
+      std::error_code ec;
+      uint64_t actual =
+          std::filesystem::file_size(JoinPath(dir_, info.file), ec);
+      if (ec ||
+          actual != AdsBinaryFileSize(info.end - info.begin,
+                                      info.num_entries) +
+                        AdsHipSectionBytes(info.num_entries)) {
+        all = false;
+        break;
+      }
+    }
+    hip_resident_ = all ? 1 : 0;
+  }
+  return hip_resident_ == 1;
 }
 
 void ShardedAdsSet::EvictFor(uint32_t installing) const {
@@ -472,6 +508,16 @@ StatusOr<AdsView> ShardedAdsSet::ViewOf(NodeId v) const {
   auto range = Range(ShardOf(v));
   if (!range.ok()) return range.status();
   return range.value().of_global(v);
+}
+
+StatusOr<HipView> ShardedAdsSet::HipOf(NodeId v) const {
+  if (v >= num_nodes_) {
+    return Status::InvalidArgument("node " + std::to_string(v) +
+                                   " out of range");
+  }
+  auto range = Range(ShardOf(v));
+  if (!range.ok()) return range.status();
+  return range.value().hip_of_local(v - range.value().begin);
 }
 
 void ShardedAdsSet::Prefetch(uint32_t r) const {

@@ -20,6 +20,16 @@ constexpr size_t kSweepBlock = 4096;
 AdsView ViewOf(const AdsSet& set, NodeId v) { return set.of(v).view(); }
 AdsView ViewOf(const FlatAdsSet& set, NodeId v) { return set.of(v); }
 
+// Precomputed HIP weights of node v, when the set's storage carries them
+// (absent HipView = run the scan). Only the flat arena and backend ranges
+// can hold the aligned arrays; per-node-vector AdsSets never do.
+HipView HipViewOf(const AdsSet& /*set*/, NodeId /*v*/) { return HipView{}; }
+HipView HipViewOf(const FlatAdsSet& set, NodeId v) {
+  if (!set.has_hip()) return HipView{};
+  return HipView{set.hip_tau.data() + set.offsets[v],
+                 set.hip_weight.data() + set.offsets[v]};
+}
+
 // Adapter presenting one backend range to the executor with the same
 // member surface as AdsSet/FlatAdsSet (k/flavor/ranks + per-node views,
 // node ids local to the range). Sharing the executor template is what
@@ -32,6 +42,33 @@ struct ArenaSet {
   size_t num_nodes() const { return arena.num_nodes(); }
 };
 AdsView ViewOf(const ArenaSet& set, NodeId v) { return set.arena.of_local(v); }
+HipView HipViewOf(const ArenaSet& set, NodeId v) {
+  return set.arena.hip_of_local(v);
+}
+
+// One node's estimator, cheapest mode first: wrap the storage-resident
+// weights when present (no scan, no allocation), otherwise scan into the
+// caller's reusable scratch (no allocation after warm-up). Both modes are
+// bitwise identical to each other and to the old allocating constructor.
+template <typename SetT>
+HipEstimator MakeEstimator(const SetT& set, NodeId local,
+                           HipScratch* scratch) {
+  HipView hip = HipViewOf(set, local);
+  if (hip.present()) {
+    return HipEstimator(ViewOf(set, local), hip.tau, hip.weight);
+  }
+  return HipEstimator(ViewOf(set, local), set.k, set.flavor, set.ranks,
+                      scratch);
+}
+
+// Reusable executor state, alive across the ranges of a backend sweep:
+// the reduce path's block of estimators plus the per-slot scratches that
+// back their scan fallback, and the no-reduce path's per-chunk scratches.
+struct SweepBuffers {
+  std::vector<HipEstimator> block;
+  std::vector<HipScratch> block_scratch;  // parallel to `block`
+  std::vector<HipScratch> chunk_scratch;  // indexed by ParallelFor chunk
+};
 
 bool AnyNeedsReduce(const SweepPlan& plan) {
   for (SweepCollector* c : plan.collectors()) {
@@ -51,28 +88,41 @@ bool AnyNeedsReduce(const SweepPlan& plan) {
 // seamlessly.
 template <typename SetT>
 void SweepArena(const SetT& set, NodeId global_begin, SweepPlan& plan,
-                ThreadPool& pool, std::vector<HipEstimator>& block) {
+                ThreadPool& pool, SweepBuffers& buffers) {
   size_t n = set.num_nodes();
   if (!AnyNeedsReduce(plan)) {
-    pool.ParallelFor(n, [&](size_t begin, size_t end, uint32_t) {
+    // Each chunk reuses one scratch: the estimator is consumed by the Map
+    // calls before the next node's scan overwrites the scratch. Chunk
+    // decomposition is static, so scratch reuse cannot change results.
+    if (buffers.chunk_scratch.size() < pool.num_threads()) {
+      buffers.chunk_scratch.resize(pool.num_threads());
+    }
+    pool.ParallelFor(n, [&](size_t begin, size_t end, uint32_t chunk) {
+      HipScratch& scratch = buffers.chunk_scratch[chunk];
       for (size_t i = begin; i < end; ++i) {
         NodeId local = static_cast<NodeId>(i);
         NodeId v = global_begin + local;
-        HipEstimator est(ViewOf(set, local), set.k, set.flavor, set.ranks);
+        HipEstimator est = MakeEstimator(set, local, &scratch);
         for (SweepCollector* c : plan.collectors()) c->Map(v, est);
       }
     });
     return;
   }
+  std::vector<HipEstimator>& block = buffers.block;
   for (size_t block_begin = 0; block_begin < n; block_begin += kSweepBlock) {
     size_t count = std::min(n - block_begin, kSweepBlock);
     if (block.size() < count) block.resize(count);
+    if (buffers.block_scratch.size() < count) {
+      buffers.block_scratch.resize(count);
+    }
     pool.ParallelFor(count, [&](size_t begin, size_t end, uint32_t) {
       for (size_t i = begin; i < end; ++i) {
         NodeId local = static_cast<NodeId>(block_begin + i);
         NodeId v = global_begin + local;
-        block[i] = HipEstimator(ViewOf(set, local), set.k, set.flavor,
-                                set.ranks);
+        // A block's estimators stay live until Reduce, so each slot needs
+        // its own scratch (reused across blocks — allocation-free once
+        // warm). Slots are block-indexed, never thread-indexed.
+        block[i] = MakeEstimator(set, local, &buffers.block_scratch[i]);
         for (SweepCollector* c : plan.collectors()) c->Map(v, block[i]);
       }
     });
@@ -89,8 +139,8 @@ void RunSweepSingleArena(const SetT& set, SweepPlan& plan,
   for (SweepCollector* c : plan.collectors()) c->Begin(set.num_nodes());
   if (plan.empty()) return;
   ThreadPool pool(num_threads);
-  std::vector<HipEstimator> block;
-  SweepArena(set, /*global_begin=*/0, plan, pool, block);
+  SweepBuffers buffers;
+  SweepArena(set, /*global_begin=*/0, plan, pool, buffers);
 }
 
 }  // namespace
@@ -220,9 +270,9 @@ void DistanceHistogramCollector::Reduce(NodeId /*first*/,
   // the order is immaterial to results; keeping the fold in the
   // sequential Reduce phase is what makes the shared acc_ map safe.
   for (const HipEstimator& est : ests) {
-    for (const HipEntry& e : est.entries()) {
+    est.ForEachEntry([this](const HipEntry& e) {
       if (e.dist > 0.0) Fold(e.dist, e.weight);
-    }
+    });
   }
 }
 
@@ -340,7 +390,7 @@ Status RunSweep(const AdsBackend& set, SweepPlan& plan, uint32_t num_threads,
   for (SweepCollector* c : plan.collectors()) c->Begin(set.num_nodes());
   if (plan.empty()) return Status::Ok();
   ThreadPool pool(num_threads);
-  std::vector<HipEstimator> block;
+  SweepBuffers buffers;
   for (uint32_t r = 0; r < set.NumRanges(); ++r) {
     if (checkpoint) {
       Status abort = checkpoint();
@@ -350,7 +400,7 @@ Status RunSweep(const AdsBackend& set, SweepPlan& plan, uint32_t num_threads,
     if (!range.ok()) return range.status();
     if (r + 1 < set.NumRanges()) set.Prefetch(r + 1);
     ArenaSet arena{range.value(), set.flavor(), set.k(), set.ranks()};
-    SweepArena(arena, range.value().begin, plan, pool, block);
+    SweepArena(arena, range.value().begin, plan, pool, buffers);
   }
   return Status::Ok();
 }

@@ -178,12 +178,16 @@ StatusOr<std::string> AdsServerCore::ComputePoint(
   if (!local.ok()) return local.status();
   auto view = backend_->ViewOf(local.value());
   if (!view.ok()) return view.status();
+  // A HipOf failure is served by the scan fallback instead of erroring:
+  // precomputed weights are an optimization, never an answer change.
+  auto hip_or = backend_->HipOf(local.value());
+  HipView hip = hip_or.ok() ? hip_or.value() : HipView{};
   std::optional<HipEstimator> est;
-  return ComputePointWithView(msg, view.value(), &est);
+  return ComputePointWithView(msg, view.value(), hip, &est);
 }
 
 StatusOr<std::string> AdsServerCore::ComputePointWithView(
-    const PointRequestMsg& msg, const AdsView& view,
+    const PointRequestMsg& msg, const AdsView& view, const HipView& hip,
     std::optional<HipEstimator>* est) const {
   uint64_t begin = options_.node_begin;
   uint64_t end = begin + backend_->num_nodes();
@@ -191,8 +195,19 @@ StatusOr<std::string> AdsServerCore::ComputePointWithView(
   switch (msg.kind) {
     case PointKind::kNodeStats: {
       if (!est->has_value()) {
-        est->emplace(view, backend_->k(), backend_->flavor(),
-                     backend_->ranks());
+        if (hip.present()) {
+          // Storage-resident weights: materialization is a pointer wrap.
+          est->emplace(view, hip.tau, hip.weight);
+        } else {
+          // Scan fallback into a per-thread arena — allocation-free once
+          // warm. The estimator borrows the scratch, which is safe for
+          // both request paths: a request's estimator never outlives the
+          // dispatch call that created it, and the batch path resets the
+          // cached estimator before the scratch is scanned again.
+          thread_local HipScratch scratch;
+          est->emplace(view, backend_->k(), backend_->flavor(),
+                       backend_->ranks(), &scratch);
+        }
       }
       if (std::isinf(msg.d)) {
         response.values = {(*est)->ReachableCount(),
@@ -269,6 +284,7 @@ void AdsServerCore::ComputeBatchEntries(const PointBatchRequestMsg& msg,
   uint64_t current_node = 0;
   bool have_node = false;
   std::optional<AdsView> view;
+  HipView hip;
   Status view_status;
   std::optional<HipEstimator> est;
   // Hot working sets repeat whole requests, not just nodes: after the
@@ -295,10 +311,13 @@ void AdsServerCore::ComputeBatchEntries(const PointBatchRequestMsg& msg,
     if (!share_scans || !have_node || entry.node != current_node) {
       est.reset();
       view.reset();
+      hip = HipView{};
       auto fetched = backend_->ViewOf(local.value());
       if (fetched.ok()) {
         view = fetched.value();
         view_status = Status::Ok();
+        auto hip_or = backend_->HipOf(local.value());
+        if (hip_or.ok()) hip = hip_or.value();
       } else {
         view_status = fetched.status();
       }
@@ -309,7 +328,7 @@ void AdsServerCore::ComputeBatchEntries(const PointBatchRequestMsg& msg,
       out.status = view_status;
       continue;
     }
-    auto result = ComputePointWithView(entry, *view, &est);
+    auto result = ComputePointWithView(entry, *view, hip, &est);
     if (result.ok()) {
       out.payload = std::move(result).value();
     } else {

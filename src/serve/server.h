@@ -160,11 +160,15 @@ class AdsServerCore : public FrameHandler {
   StatusOr<NodeId> LocalIdOf(uint64_t node) const;
   /// The actual point computation (lock, if any, held by the caller).
   StatusOr<std::string> ComputePoint(const PointRequestMsg& msg) const;
-  /// Point computation against an already-fetched view. `est` caches the
-  /// node's HipEstimator across consecutive same-node entries of a sorted
-  /// batch (one materialization per distinct node).
+  /// Point computation against an already-fetched view. `hip` carries the
+  /// node's storage-resident HIP weights when the backend has them
+  /// (estimator materialization is then a pointer wrap); when absent the
+  /// scan fallback runs into a per-thread scratch — both produce byte-
+  /// identical responses. `est` caches the node's HipEstimator across
+  /// consecutive same-node entries of a sorted batch (one materialization
+  /// per distinct node).
   StatusOr<std::string> ComputePointWithView(
-      const PointRequestMsg& msg, const AdsView& view,
+      const PointRequestMsg& msg, const AdsView& view, const HipView& hip,
       std::optional<HipEstimator>* est) const;
   /// Computes the `order`-listed entries of a batch (lock, if any, held by
   /// the caller). With share_scans set, `order` must be sorted by node:

@@ -16,6 +16,7 @@
 
 #include "ads/builders.h"
 #include "ads/estimators.h"
+#include "ads/hip.h"
 #include "ads/queries.h"
 #include "ads/shard.h"
 #include "ads/similarity.h"
@@ -347,6 +348,151 @@ TEST(BackendTest, NodeIndexMatchesLinearLookups) {
       EXPECT_EQ(index.DistanceOf(probe), view.DistanceOf(probe)) << probe;
     }
   }
+}
+
+// --- storage-resident HIP weights through the backend surface --------------
+
+// Every node's HipOf must hand back exactly the reference set's aligned
+// arrays, and an estimator wrapped around them must answer every query
+// bitwise identically to a fresh scan of the same view.
+void ExpectHipMatchesReference(const AdsBackend& backend,
+                               const FlatAdsSet& reference) {
+  ASSERT_TRUE(reference.has_hip());
+  for (NodeId v = 0; v < reference.num_nodes(); ++v) {
+    auto hip = backend.HipOf(v);
+    ASSERT_TRUE(hip.ok()) << hip.status().ToString();
+    ASSERT_TRUE(hip.value().present()) << "node " << v;
+    auto view = backend.ViewOf(v);
+    ASSERT_TRUE(view.ok());
+    const uint64_t off = reference.offsets[v];
+    for (size_t i = 0; i < view.value().size(); ++i) {
+      EXPECT_EQ(hip.value().tau[i], reference.hip_tau[off + i])
+          << "node " << v;
+      EXPECT_EQ(hip.value().weight[i], reference.hip_weight[off + i])
+          << "node " << v;
+    }
+    HipEstimator pre(view.value(), hip.value().tau, hip.value().weight);
+    HipEstimator scan(view.value(), backend.k(), backend.flavor(),
+                      backend.ranks());
+    EXPECT_EQ(pre.ReachableCount(), scan.ReachableCount()) << "node " << v;
+    EXPECT_EQ(pre.HarmonicCentrality(), scan.HarmonicCentrality());
+    EXPECT_EQ(pre.NeighborhoodCardinality(2.0),
+              scan.NeighborhoodCardinality(2.0));
+    EXPECT_EQ(pre.DistanceQuantile(0.5), scan.DistanceQuantile(0.5));
+  }
+}
+
+TEST(BackendTest, HipAbsentWithoutStoredSection) {
+  FlatAdsSet set = BuildFlat(90, 43, 4);
+  ScratchDir dir("hipads_backend_test_hip_absent");
+  std::string path = dir.file("set.ads2");
+  std::string shard_dir = dir.file("shards");
+  ASSERT_TRUE(WriteAdsSetFile(set, path, AdsFileFormat::kBinaryV2).ok());
+  ASSERT_TRUE(WriteShardedAdsSet(set, shard_dir, 3).ok());
+
+  FlatAdsBackend flat(&set);
+  auto mapped = MmapAdsSet::Open(path);
+  ASSERT_TRUE(mapped.ok());
+  auto sharded = ShardedAdsSet::Open(shard_dir, ShardedOptions{});
+  ASSERT_TRUE(sharded.ok());
+  for (const AdsBackend* backend :
+       {static_cast<const AdsBackend*>(&flat),
+        static_cast<const AdsBackend*>(&mapped.value()),
+        static_cast<const AdsBackend*>(&sharded.value())}) {
+    EXPECT_FALSE(backend->HipResident());
+    auto hip = backend->HipOf(0);
+    ASSERT_TRUE(hip.ok());
+    EXPECT_FALSE(hip.value().present());
+    auto range = backend->Range(0);
+    ASSERT_TRUE(range.ok());
+    EXPECT_FALSE(range.value().has_hip());
+    EXPECT_FALSE(range.value().hip_of_local(0).present());
+  }
+}
+
+TEST(BackendTest, EveryEngineServesStoredHipWeights) {
+  FlatAdsSet set = BuildFlat(180, 47, 8);
+  PrecomputeHipWeights(&set, 1);
+  ScratchDir dir("hipads_backend_test_hip_matrix");
+  std::string path = dir.file("set.ads2");
+  std::string shard_dir = dir.file("shards");
+  ASSERT_TRUE(WriteAdsSetFile(set, path, AdsFileFormat::kBinaryV2).ok());
+  ASSERT_TRUE(WriteShardedAdsSet(set, shard_dir, 4).ok());
+
+  FlatAdsBackend flat(&set);
+  EXPECT_TRUE(flat.HipResident());
+  ExpectHipMatchesReference(flat, set);
+
+  auto mapped = MmapAdsSet::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_TRUE(mapped.value().zero_copy());  // hip section mmap-served
+  EXPECT_TRUE(mapped.value().HipResident());
+  ExpectHipMatchesReference(mapped.value(), set);
+
+  for (bool use_mmap : {false, true}) {
+    ShardedOptions options;
+    options.use_mmap = use_mmap;
+    auto sharded = ShardedAdsSet::Open(shard_dir, options);
+    ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+    EXPECT_TRUE(sharded.value().ValidateFiles().ok());  // hip-sized shards
+    EXPECT_TRUE(sharded.value().HipResident()) << "mmap=" << use_mmap;
+    ExpectHipMatchesReference(sharded.value(), set);
+    // Range views carry the hip arrays with range-local indexing.
+    auto range = sharded.value().Range(1);
+    ASSERT_TRUE(range.ok());
+    ASSERT_TRUE(range.value().has_hip());
+    const NodeId begin = range.value().begin;
+    HipView local = range.value().hip_of_local(1);
+    EXPECT_EQ(local.tau[0], set.hip_tau[set.offsets[begin + 1]]);
+  }
+}
+
+TEST(BackendTest, MixedShardedSetServesResidentShardsAndScansTheRest) {
+  FlatAdsSet set = BuildFlat(160, 53, 4);
+  PrecomputeHipWeights(&set, 1);
+  ScratchDir dir("hipads_backend_test_hip_mixed");
+  std::string shard_dir = dir.file("shards");
+  ASSERT_TRUE(WriteShardedAdsSet(set, shard_dir, 4).ok());
+  // Strip the HIP section off shard 1: read, clear, rewrite. The resulting
+  // directory is valid — each shard file stands alone — just mixed.
+  std::string victim =
+      (std::filesystem::path(shard_dir) / "shard-00001.ads2").string();
+  auto loaded = ReadFlatAdsSetFile(victim);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded.value().has_hip());
+  loaded.value().hip_tau.clear();
+  loaded.value().hip_weight.clear();
+  ASSERT_TRUE(
+      WriteAdsSetFile(loaded.value(), victim, AdsFileFormat::kBinaryV2).ok());
+
+  ShardedOptions options;
+  options.max_resident = 2;
+  auto opened = ShardedAdsSet::Open(shard_dir, options);
+  ASSERT_TRUE(opened.ok());
+  const ShardedAdsSet& sharded = opened.value();
+  EXPECT_TRUE(sharded.ValidateFiles().ok());  // both sizes are legal
+  EXPECT_FALSE(sharded.HipResident());        // not EVERY shard has it
+  uint32_t present = 0, absent = 0;
+  for (NodeId v = 0; v < set.num_nodes(); ++v) {
+    auto hip = sharded.HipOf(v);
+    ASSERT_TRUE(hip.ok());
+    if (!hip.value().present()) {
+      EXPECT_EQ(sharded.ShardOf(v), 1u) << "node " << v;
+      ++absent;
+      continue;
+    }
+    ++present;
+    auto view = sharded.ViewOf(v);
+    ASSERT_TRUE(view.ok());
+    const uint64_t off = set.offsets[v];
+    for (size_t i = 0; i < view.value().size(); ++i) {
+      EXPECT_EQ(hip.value().tau[i], set.hip_tau[off + i]) << "node " << v;
+    }
+  }
+  EXPECT_GT(present, 0u);
+  EXPECT_GT(absent, 0u);
+  // Whole-graph answers are unaffected by the mix.
+  ExpectBitwiseEqualQueries(sharded, set);
 }
 
 TEST(BackendTest, SimilarityOverBackendViewsMatchesAdsOverloads) {

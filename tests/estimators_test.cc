@@ -52,7 +52,7 @@ TEST(HipEstimatorTest, QgMatchesManualSum) {
   Ads ads = StreamAds(80, k, ranks);
   HipEstimator est(ads, k, SketchFlavor::kBottomK, ranks);
   double manual = 0.0;
-  for (const HipEntry& e : est.entries()) {
+  for (const HipEntry& e : est.CopyEntries()) {
     manual += e.weight * std::exp(-e.dist);
   }
   EXPECT_DOUBLE_EQ(
@@ -103,7 +103,7 @@ TEST(HipEstimatorTest, DistanceQuantileOnStream) {
   EXPECT_LT(median, 700.0);
   // Quantiles are monotone and the 1.0 quantile is the farthest entry.
   EXPECT_LE(est.DistanceQuantile(0.25), est.DistanceQuantile(0.75));
-  EXPECT_EQ(est.DistanceQuantile(1.0), est.entries().back().dist);
+  EXPECT_EQ(est.DistanceQuantile(1.0), est.CopyEntries().back().dist);
 }
 
 TEST(HipEstimatorTest, DistanceQuantileExactBelowK) {

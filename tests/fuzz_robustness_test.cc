@@ -8,6 +8,7 @@
 #include <string>
 
 #include "ads/builders.h"
+#include "ads/hip.h"
 #include "ads/serialize.h"
 #include "graph/generators.h"
 #include "graph/io.h"
@@ -92,6 +93,61 @@ TEST(FuzzTest, TruncationsAlwaysFailCleanly) {
   for (size_t len = 0; len < valid.size(); len += 37) {
     auto result = ParseAdsSet(valid.substr(0, len));
     EXPECT_FALSE(result.ok()) << "truncation at " << len << " parsed";
+  }
+}
+
+TEST(FuzzTest, BinaryHipTruncationsFailCleanlyOrDropTheSection) {
+  // v2 image carrying the optional HIP section: any truncation either
+  // fails with a Status or — at exactly the base-image length, where the
+  // file is a complete hip-less v2 image — parses with the section absent.
+  // Never a crash, never a partially adopted section.
+  Graph g = ErdosRenyi(25, 75, true, 7);
+  FlatAdsSet set = FlatAdsSet::FromAdsSet(BuildAdsPrunedDijkstra(
+      g, 3, SketchFlavor::kBottomK, RankAssignment::Uniform(9)));
+  PrecomputeHipWeights(&set, 1);
+  std::string with_hip = SerializeAdsSetBinary(set);
+  const size_t base = with_hip.size() - AdsHipSectionBytes(set.TotalEntries());
+  for (size_t len = 0; len <= with_hip.size(); ++len) {
+    auto result = ParseFlatAdsSetBinary(with_hip.substr(0, len));
+    if (len == with_hip.size()) {
+      ASSERT_TRUE(result.ok());
+      EXPECT_TRUE(result.value().has_hip());
+    } else if (len == base) {
+      ASSERT_TRUE(result.ok());
+      EXPECT_FALSE(result.value().has_hip());
+    } else {
+      EXPECT_FALSE(result.ok()) << "truncation at " << len << " parsed";
+    }
+  }
+}
+
+TEST(FuzzTest, BinaryHipMutationsNeverCrashOrCorruptStructure) {
+  Graph g = ErdosRenyi(30, 90, true, 11);
+  FlatAdsSet set = FlatAdsSet::FromAdsSet(BuildAdsPrunedDijkstra(
+      g, 4, SketchFlavor::kBottomK, RankAssignment::Uniform(13)));
+  PrecomputeHipWeights(&set, 1);
+  std::string valid = SerializeAdsSetBinary(set);
+  const size_t base = valid.size() - AdsHipSectionBytes(set.TotalEntries());
+  Rng rng(17);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = valid;
+    int flips = 1 + static_cast<int>(rng.NextBounded(4));
+    for (int f = 0; f < flips; ++f) {
+      // Half the flips land inside the HIP section, half anywhere.
+      size_t pos = trial % 2 == 0
+                       ? base + rng.NextBounded(mutated.size() - base)
+                       : rng.NextBounded(mutated.size());
+      mutated[pos] = static_cast<char>(mutated[pos] ^
+                                       (1u << rng.NextBounded(8)));
+    }
+    auto result = ParseFlatAdsSetBinary(mutated);
+    if (result.ok()) {
+      const FlatAdsSet& s = result.value();
+      if (s.has_hip()) {
+        ASSERT_EQ(s.hip_tau.size(), s.TotalEntries());
+        ASSERT_EQ(s.hip_weight.size(), s.TotalEntries());
+      }
+    }
   }
 }
 

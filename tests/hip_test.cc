@@ -6,9 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
 
 #include "ads/ads.h"
+#include "ads/flat_ads.h"
 #include "sketch/cardinality.h"
 #include "util/hash.h"
 #include "util/stats.h"
@@ -298,6 +300,115 @@ TEST(HipTest, EmptyAdsYieldsNoEntries) {
   auto ranks = RankAssignment::Uniform(1);
   EXPECT_TRUE(
       ComputeHipWeights(empty, 4, SketchFlavor::kBottomK, ranks).empty());
+}
+
+// --- Scratch and precomputed (aligned) variants: all bitwise identical ---
+
+// Field-by-field bitwise equality (memcmp over whole HipEntry records would
+// also compare the struct's padding bytes, which are indeterminate).
+bool SameHipEntries(std::span<const HipEntry> a, std::span<const HipEntry> b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].node != b[i].node ||
+        std::bit_cast<uint64_t>(a[i].dist) !=
+            std::bit_cast<uint64_t>(b[i].dist) ||
+        std::bit_cast<uint64_t>(a[i].tau) !=
+            std::bit_cast<uint64_t>(b[i].tau) ||
+        std::bit_cast<uint64_t>(a[i].weight) !=
+            std::bit_cast<uint64_t>(b[i].weight)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(HipVariantsTest, ScratchScanBitwiseEqualsAllocatingScan) {
+  const uint32_t k = 6;
+  HipScratch scratch;  // deliberately shared across flavors and nodes
+  for (SketchFlavor flavor : {SketchFlavor::kBottomK, SketchFlavor::kKMins,
+                              SketchFlavor::kKPartition}) {
+    for (uint64_t n : {0ull, 3ull, 50ull, 400ull}) {
+      auto ranks = RankAssignment::Uniform(HashCombine(71, n));
+      Ads ads = StreamAds(n, k, ranks, flavor);
+      auto owned = ComputeHipWeights(ads, k, flavor, ranks);
+      auto borrowed =
+          ComputeHipWeightsInto(ads.view(), k, flavor, ranks, &scratch);
+      EXPECT_TRUE(SameHipEntries(owned, borrowed))
+          << "flavor " << static_cast<int>(flavor) << " n " << n;
+    }
+  }
+}
+
+TEST(HipVariantsTest, AlignedLayoutReproducesGroupedScan) {
+  // Skipping tau == 0 slots of the aligned arrays must reproduce the
+  // grouped HipEntry sequence bitwise — including for k-mins, where a node
+  // sketched under several permutations spans a same-(dist, node) run that
+  // carries its weight at the first member and zeros at the rest.
+  const uint32_t k = 5;
+  HipScratch scratch;
+  for (SketchFlavor flavor : {SketchFlavor::kBottomK, SketchFlavor::kKMins,
+                              SketchFlavor::kKPartition}) {
+    auto ranks = RankAssignment::Uniform(17);
+    Ads ads = StreamAds(300, k, ranks, flavor);
+    auto grouped = ComputeHipWeights(ads, k, flavor, ranks);
+    std::vector<double> tau(ads.size()), weight(ads.size());
+    ComputeHipWeightsAligned(ads.view(), k, flavor, ranks, &scratch,
+                             tau.data(), weight.data());
+    std::vector<HipEntry> rebuilt;
+    for (size_t i = 0; i < ads.size(); ++i) {
+      if (tau[i] == 0.0) {
+        EXPECT_EQ(weight[i], 0.0);
+        continue;
+      }
+      rebuilt.push_back(HipEntry{ads.entries()[i].node, ads.entries()[i].dist,
+                                 tau[i], weight[i]});
+    }
+    EXPECT_TRUE(SameHipEntries(grouped, rebuilt))
+        << "flavor " << static_cast<int>(flavor);
+    if (flavor == SketchFlavor::kKMins) {
+      // The zero-slot convention must actually trigger: a 300-node k-mins
+      // stream has nodes sketched under more than one permutation.
+      EXPECT_LT(rebuilt.size(), ads.size());
+    }
+  }
+}
+
+TEST(HipVariantsTest, PrecomputeMatchesFreshScansForAnyThreadCount) {
+  const uint32_t k = 4;
+  auto ranks = RankAssignment::Uniform(23);
+  for (SketchFlavor flavor : {SketchFlavor::kBottomK, SketchFlavor::kKMins,
+                              SketchFlavor::kKPartition}) {
+    FlatAdsSet set;
+    set.flavor = flavor;
+    set.k = k;
+    set.ranks = ranks;
+    for (uint64_t n : {40ull, 0ull, 120ull, 7ull}) {
+      Ads ads = StreamAds(n, k, ranks, flavor);
+      set.AppendNode(std::vector<AdsEntry>(ads.entries().begin(),
+                                           ads.entries().end()));
+    }
+
+    FlatAdsSet single = set, multi = set;
+    PrecomputeHipWeights(&single, 1);
+    PrecomputeHipWeights(&multi, 4);
+    ASSERT_EQ(single.hip_tau.size(), set.entries.size());
+    ASSERT_EQ(single.hip_weight.size(), set.entries.size());
+    EXPECT_EQ(single.hip_tau, multi.hip_tau);
+    EXPECT_EQ(single.hip_weight, multi.hip_weight);
+
+    HipScratch scratch;
+    for (NodeId v = 0; v < set.num_nodes(); ++v) {
+      const size_t sz = set.of(v).size();
+      std::vector<double> tau(sz), weight(sz);
+      ComputeHipWeightsAligned(set.of(v), k, flavor, ranks, &scratch,
+                               tau.data(), weight.data());
+      const uint64_t off = set.offsets[v];
+      for (size_t i = 0; i < sz; ++i) {
+        EXPECT_EQ(single.hip_tau[off + i], tau[i]) << "node " << v;
+        EXPECT_EQ(single.hip_weight[off + i], weight[i]) << "node " << v;
+      }
+    }
+  }
 }
 
 // --- Appendix A: HIP weights for the modified (no tie breaking) ADS ---

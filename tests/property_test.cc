@@ -7,10 +7,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
+#include <string>
+#include <vector>
 
+#include "ads/backend.h"
 #include "ads/builders.h"
 #include "ads/estimators.h"
 #include "ads/hip.h"
+#include "ads/shard.h"
 #include "graph/generators.h"
 #include "graph/traversal.h"
 
@@ -21,6 +26,20 @@ struct PropertyCase {
   int graph_kind;  // 0 ER, 1 BA, 2 grid, 3 directed RMAT, 4 weighted ER
   uint32_t k;
   uint64_t seed;
+};
+
+// Unique scratch dir per test; removed on destruction.
+struct ScratchDir {
+  explicit ScratchDir(const std::string& name)
+      : path((std::filesystem::temp_directory_path() / name).string()) {
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(path); }
+  std::string file(const std::string& name) const {
+    return (std::filesystem::path(path) / name).string();
+  }
+  std::string path;
 };
 
 Graph MakeGraph(const PropertyCase& c) {
@@ -278,6 +297,91 @@ TEST_P(AdsPropertyTest, IsolatedNodesSketchOnlyThemselves) {
   for (NodeId v = g.num_nodes(); v < with_isolated.num_nodes(); ++v) {
     ASSERT_EQ(set.of(v).size(), 1u);
     EXPECT_EQ(set.of(v).entries()[0].node, v);
+  }
+}
+
+TEST_P(AdsPropertyTest, ResidentHipSurvivesStorageBitwiseForEveryRankKind) {
+  // The storage contract of the precomputed HIP section, across random
+  // sketches and every servable rank kind (including the weighted
+  // exponential/priority ranks, whose beta must round-trip consistently):
+  // weights written once, mmapped back and served — from a plain file and
+  // from a sharded directory with a hip-less shard mixed in — are bitwise
+  // equal to a fresh per-node scan of the same sketch.
+  const PropertyCase& c = GetParam();
+  Graph g = MakeGraph(c);
+  auto beta = [](uint64_t v) { return 0.5 + static_cast<double>(v % 5) * 0.4; };
+  struct RankCase {
+    const char* name;
+    RankAssignment ranks;
+  };
+  const RankCase rank_cases[] = {
+      {"uniform", RankAssignment::Uniform(c.seed)},
+      {"exponential", RankAssignment::Exponential(c.seed, beta)},
+      {"priority", RankAssignment::Priority(c.seed, beta)},
+  };
+  for (const RankCase& rc : rank_cases) {
+    FlatAdsSet set = FlatAdsSet::FromAdsSet(
+        BuildAdsPrunedDijkstra(g, c.k, SketchFlavor::kBottomK, rc.ranks));
+    PrecomputeHipWeights(&set, 2);
+
+    ScratchDir dir(std::string("hipads_property_test_hip_") + rc.name + "_" +
+                   std::to_string(c.seed) + "_" + std::to_string(c.graph_kind));
+    std::string path = dir.file("set.ads2");
+    std::string shard_dir = dir.file("shards");
+    ASSERT_TRUE(WriteAdsSetFile(set, path, AdsFileFormat::kBinaryV2).ok());
+    ASSERT_TRUE(WriteShardedAdsSet(set, shard_dir, 3).ok());
+    // Strip one shard's section: the mixed set must still serve the rest.
+    std::string victim =
+        (std::filesystem::path(shard_dir) / "shard-00002.ads2").string();
+    auto loaded = ReadFlatAdsSetFile(victim, beta);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    loaded.value().hip_tau.clear();
+    loaded.value().hip_weight.clear();
+    ASSERT_TRUE(
+        WriteAdsSetFile(loaded.value(), victim, AdsFileFormat::kBinaryV2)
+            .ok());
+
+    auto mapped = MmapAdsSet::Open(path, beta);
+    ASSERT_TRUE(mapped.ok()) << rc.name << ": " << mapped.status().ToString();
+    ASSERT_TRUE(mapped.value().HipResident()) << rc.name;
+    ShardedOptions options;
+    options.beta = beta;
+    options.max_resident = 2;
+    options.use_mmap = true;
+    auto sharded = ShardedAdsSet::Open(shard_dir, options);
+    ASSERT_TRUE(sharded.ok()) << rc.name << ": "
+                              << sharded.status().ToString();
+    EXPECT_FALSE(sharded.value().HipResident()) << rc.name;  // mixed
+
+    HipScratch scratch;
+    std::vector<double> tau, weight;
+    for (NodeId v = 0; v < set.num_nodes(); ++v) {
+      AdsView ads = set.of(v);
+      tau.assign(ads.size(), -1.0);
+      weight.assign(ads.size(), -1.0);
+      ComputeHipWeightsAligned(ads, c.k, SketchFlavor::kBottomK, rc.ranks,
+                               &scratch, tau.data(), weight.data());
+      auto from_map = mapped.value().HipOf(v);
+      ASSERT_TRUE(from_map.ok());
+      ASSERT_TRUE(from_map.value().present()) << rc.name << " v=" << v;
+      auto from_shards = sharded.value().HipOf(v);
+      ASSERT_TRUE(from_shards.ok());
+      const bool stripped = sharded.value().ShardOf(v) == 2;
+      EXPECT_EQ(from_shards.value().present(), !stripped)
+          << rc.name << " v=" << v;
+      for (size_t i = 0; i < ads.size(); ++i) {
+        EXPECT_EQ(from_map.value().tau[i], tau[i])
+            << rc.name << " v=" << v << " i=" << i;
+        EXPECT_EQ(from_map.value().weight[i], weight[i])
+            << rc.name << " v=" << v << " i=" << i;
+        if (!stripped) {
+          EXPECT_EQ(from_shards.value().tau[i], tau[i])
+              << rc.name << " v=" << v << " i=" << i;
+          EXPECT_EQ(from_shards.value().weight[i], weight[i])
+              << rc.name << " v=" << v << " i=" << i;
+        }
+      }
+    }
   }
 }
 

@@ -9,10 +9,13 @@
 
 #include <cstdio>
 #include <cstring>
+#include <limits>
 
 #include "ads/builders.h"
 #include "ads/estimators.h"
+#include "ads/hip.h"
 #include "graph/generators.h"
+#include "util/hash.h"
 #include "util/random.h"
 
 namespace hipads {
@@ -211,6 +214,163 @@ TEST(SerializeBinaryTest, FuzzRandomMutationsNeverCrash) {
       // A mutation may survive (e.g. flipping a rank bit and its checksum
       // compensating is astronomically unlikely, but flipping nothing
       // semantic is possible when the byte lands back on itself).
+      EXPECT_EQ(result.value().num_nodes(), 40u);
+    }
+  }
+}
+
+// --- the optional HIP section ----------------------------------------------
+
+TEST(SerializeBinaryTest, HipSectionRoundTripsBitIdentical) {
+  for (SketchFlavor flavor : {SketchFlavor::kBottomK, SketchFlavor::kKMins,
+                              SketchFlavor::kKPartition}) {
+    FlatAdsSet set =
+        BuildFlat(70, 13, 4, flavor, RankAssignment::Uniform(19));
+    PrecomputeHipWeights(&set, 1);
+    std::string bytes = SerializeAdsSetBinary(set);
+    EXPECT_EQ(bytes.size(),
+              AdsBinaryFileSize(set.num_nodes(), set.TotalEntries()) +
+                  AdsHipSectionBytes(set.TotalEntries()));
+    auto back = ParseFlatAdsSetBinary(bytes);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    ExpectBitIdentical(set, back.value());
+    ASSERT_TRUE(back.value().has_hip());
+    EXPECT_EQ(set.hip_tau, back.value().hip_tau);
+    EXPECT_EQ(set.hip_weight, back.value().hip_weight);
+  }
+}
+
+TEST(SerializeBinaryTest, HipSectionLeavesBaseImageBitIdentical) {
+  // The main checksum excludes the section, so a file is the SAME bytes
+  // with the section appended — stripping is a truncation, and files
+  // without the section load exactly as before the section existed.
+  FlatAdsSet set = BuildFlat(50, 17, 8, SketchFlavor::kBottomK,
+                             RankAssignment::Uniform(23));
+  std::string base = SerializeAdsSetBinary(set);
+  PrecomputeHipWeights(&set, 1);
+  std::string with_hip = SerializeAdsSetBinary(set);
+  ASSERT_GT(with_hip.size(), base.size());
+  EXPECT_EQ(with_hip.substr(0, base.size()), base);
+  // +16 bytes per entry plus the 32-byte section header.
+  EXPECT_EQ(with_hip.size() - base.size(),
+            kAdsHipSectionHeaderBytes + 16 * set.TotalEntries());
+  // Truncating the section off yields a valid hip-less file again.
+  auto stripped = ParseFlatAdsSetBinary(with_hip.substr(0, base.size()));
+  ASSERT_TRUE(stripped.ok()) << stripped.status().ToString();
+  EXPECT_FALSE(stripped.value().has_hip());
+}
+
+std::string HipBytes() {
+  static const std::string bytes = [] {
+    FlatAdsSet set = BuildFlat(40, 7, 4, SketchFlavor::kBottomK,
+                               RankAssignment::Uniform(3));
+    PrecomputeHipWeights(&set, 1);
+    return SerializeAdsSetBinary(set);
+  }();
+  return bytes;
+}
+
+TEST(SerializeBinaryTest, HipSectionRejectsTruncationAtEveryBoundary) {
+  std::string bytes = HipBytes();
+  const size_t base = ValidBytes().size();
+  // Every structural boundary of the section, plus off-by-one around each:
+  // inside the header, at the header end, inside tau[], at the tau/weight
+  // seam, inside weight[], one short of complete.
+  const size_t header_end = base + kAdsHipSectionHeaderBytes;
+  const size_t seam = header_end + (bytes.size() - header_end) / 2;
+  for (size_t len :
+       {base + 1, base + kAdsHipSectionHeaderBytes / 2, header_end - 1,
+        header_end, header_end + 1, seam - 1, seam, seam + 1,
+        bytes.size() - 8, bytes.size() - 1}) {
+    ExpectCorruption(bytes.substr(0, len), "truncated HIP section");
+  }
+  ExpectCorruption(bytes + "x", "trailing byte after HIP section");
+}
+
+TEST(SerializeBinaryTest, HipSectionRejectsHeaderAndPayloadCorruption) {
+  const size_t base = ValidBytes().size();
+  {
+    std::string bytes = HipBytes();
+    bytes[base] ^= 0x1;  // section magic
+    ExpectCorruption(bytes, "HIP section magic");
+  }
+  {
+    std::string bytes = HipBytes();
+    bytes[base + 8] = 9;  // section version
+    ExpectCorruption(bytes, "HIP section version");
+  }
+  {
+    std::string bytes = HipBytes();
+    bytes[base + 12] = 1;  // reserved field
+    ExpectCorruption(bytes, "HIP section reserved");
+  }
+  {
+    std::string bytes = HipBytes();
+    bytes[base + 16] ^= 0x1;  // section entry count
+    ExpectCorruption(bytes, "HIP section entry count");
+  }
+  {
+    std::string bytes = HipBytes();
+    bytes[base + 24] ^= 0x1;  // section checksum itself
+    ExpectCorruption(bytes, "HIP section checksum field");
+  }
+  {
+    std::string bytes = HipBytes();
+    bytes[bytes.size() - 3] ^= 0x40;  // a weight[] payload bit
+    ExpectCorruption(bytes, "HIP payload bit flip");
+  }
+}
+
+TEST(SerializeBinaryTest, HipSectionRejectsInconsistentWeights) {
+  // A section that passes its checksum but stores tau/weight pairs
+  // violating weight == 1/tau (or tau outside (0, 1]) must be rejected:
+  // serving trusts these values blindly on the hot path. Corrupt the
+  // doubles, then re-stamp the section checksum so only the per-entry
+  // validation can catch it. The checksum field lives at section + 24.
+  auto corrupt_first_tau = [](double tau, double weight) {
+    std::string bytes = HipBytes();
+    const size_t base = ValidBytes().size();
+    const size_t tau_at = base + kAdsHipSectionHeaderBytes;
+    const uint64_t n = (bytes.size() - tau_at) / (2 * sizeof(double));
+    std::memcpy(bytes.data() + tau_at, &tau, sizeof(double));
+    std::memcpy(bytes.data() + tau_at + n * sizeof(double), &weight,
+                sizeof(double));
+    // Recompute the section checksum the same way the writer does: header
+    // with the field zeroed, then both arrays.
+    std::string header(bytes, base, kAdsHipSectionHeaderBytes);
+    std::memset(header.data() + 24, 0, 8);
+    uint64_t sum = Fnv1a(header.data(), header.size(), kFnv1aOffsetBasis);
+    sum = Fnv1a(bytes.data() + tau_at, bytes.size() - tau_at, sum);
+    std::memcpy(bytes.data() + base + 24, &sum, sizeof(uint64_t));
+    return bytes;
+  };
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  ExpectCorruption(corrupt_first_tau(0.5, 3.0), "weight != 1/tau");
+  ExpectCorruption(corrupt_first_tau(1.5, 1.0 / 1.5), "tau > 1");
+  ExpectCorruption(corrupt_first_tau(-0.5, -2.0), "tau < 0");
+  ExpectCorruption(corrupt_first_tau(0.0, 1.0), "zero tau, nonzero weight");
+  ExpectCorruption(corrupt_first_tau(nan, nan), "NaN pair");
+  // Sanity: the re-stamping helper itself round-trips a legal pair.
+  auto untouched = ParseFlatAdsSetBinary(corrupt_first_tau(1.0, 1.0));
+  EXPECT_TRUE(untouched.ok()) << untouched.status().ToString();
+}
+
+TEST(SerializeBinaryTest, HipSectionFuzzRandomMutationsNeverCrash) {
+  std::string valid = HipBytes();
+  const size_t base = ValidBytes().size();
+  Rng rng(4242);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string bytes = valid;
+    int flips = 1 + static_cast<int>(rng.NextBounded(8));
+    for (int f = 0; f < flips; ++f) {
+      // Bias half the flips into the section so its validators get hit.
+      size_t pos = f % 2 == 0
+                       ? base + rng.NextBounded(bytes.size() - base)
+                       : rng.NextBounded(bytes.size());
+      bytes[pos] = static_cast<char>(rng.Next());
+    }
+    auto result = ParseFlatAdsSetBinary(bytes);  // must not crash
+    if (result.ok()) {
       EXPECT_EQ(result.value().num_nodes(), 40u);
     }
   }

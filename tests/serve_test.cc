@@ -33,6 +33,7 @@
 #include "ads/backend.h"
 #include "ads/builders.h"
 #include "ads/estimators.h"
+#include "ads/hip.h"
 #include "ads/shard.h"
 #include "ads/similarity.h"
 #include "graph/generators.h"
@@ -143,9 +144,11 @@ struct RangeServer {
 
 RangeServer MakeRangeServer(const FlatAdsSet& full, NodeId begin, NodeId end,
                             Engine engine, const ScratchDir& dir,
-                            const std::string& name, uint32_t threads) {
+                            const std::string& name, uint32_t threads,
+                            bool hip = false) {
   RangeServer server;
   FlatAdsSet slice = SliceSet(full, begin, end);
+  if (hip) PrecomputeHipWeights(&slice, 1);
   switch (engine) {
     case Engine::kCopy:
       server.backend = std::make_unique<FlatAdsBackend>(std::move(slice));
@@ -204,14 +207,16 @@ struct LoopbackFleet {
 LoopbackFleet MakeFleet(const FlatAdsSet& full,
                         const std::vector<NodeId>& splits,
                         const std::vector<Engine>& engines,
-                        const ScratchDir& dir, uint32_t threads) {
+                        const ScratchDir& dir, uint32_t threads,
+                        bool hip = false) {
   LoopbackFleet fleet;
   fleet.manifest.num_nodes = full.num_nodes();
   for (size_t i = 0; i + 1 < splits.size(); ++i) {
     std::string name =
         "rs" + std::to_string(i) + "-" + EngineName(engines[i]);
     fleet.servers.push_back(MakeRangeServer(full, splits[i], splits[i + 1],
-                                            engines[i], dir, name, threads));
+                                            engines[i], dir, name, threads,
+                                            hip));
     fleet.manifest.servers.push_back(
         FleetEntry{"loop:" + std::to_string(i), splits[i], splits[i + 1]});
   }
@@ -577,6 +582,85 @@ TEST(ServeTest, PointBatchMatchesSingleCallsBitwise) {
   auto empty = client.PointBatch({});
   ASSERT_TRUE(empty.ok()) << empty.status().ToString();
   EXPECT_TRUE(empty.value().empty());
+}
+
+// HIP-resident storage is invisible on the wire: a fleet whose every
+// server carries the precomputed section answers sweeps, lone points and
+// batches with bytes identical to a fleet that scans every estimator.
+TEST(ServeTest, ResidentHipFleetMatchesScanFleetByteForByte) {
+  FlatAdsSet full = BuildFlat(180, 29, 8);
+  const std::vector<NodeId> splits = {0, 60, 120, 180};
+  const std::vector<Engine> engines = {Engine::kCopy, Engine::kMmap,
+                                       Engine::kSharded};
+  ScratchDir scan_dir("hipads_serve_test_hip_scan");
+  ScratchDir hip_dir("hipads_serve_test_hip_resident");
+  LoopbackFleet scan = MakeFleet(full, splits, engines, scan_dir, 2, false);
+  LoopbackFleet hip = MakeFleet(full, splits, engines, hip_dir, 2, true);
+  for (const RangeServer& server : hip.servers) {
+    EXPECT_TRUE(server.backend->HipResident());
+  }
+  for (const RangeServer& server : scan.servers) {
+    EXPECT_FALSE(server.backend->HipResident());
+  }
+  auto scan_router = FleetRouter::Connect(scan.manifest, scan.Factory());
+  auto hip_router = FleetRouter::Connect(hip.manifest, hip.Factory());
+  ASSERT_TRUE(scan_router.ok());
+  ASSERT_TRUE(hip_router.ok());
+
+  // Sweep: every wire-expressible collector, merged across the three
+  // engines, bitwise equal to the single-process scan reference.
+  std::vector<CollectorSpec> spec = FullSpec();
+  Reference ref;
+  RunReference(full, spec, &ref);
+  SweepPlan plan;
+  auto built = BuildPlanFromSpec(spec, &plan);
+  ASSERT_TRUE(built.ok());
+  SweepRequestMsg sweep;
+  sweep.collectors = spec;
+  sweep.num_threads = 2;
+  ASSERT_TRUE(hip_router.value().ExecuteSweep(sweep, built.value()).ok());
+  ExpectCollectorsIdentical(spec, ref.collectors, built.value(), "hip sweep");
+
+  // Lone points and one mixed batch: identical payload bytes.
+  std::vector<PointRequestMsg> requests;
+  for (NodeId v : {0u, 59u, 60u, 119u, 120u, 179u}) {
+    PointRequestMsg r;
+    r.kind = PointKind::kNodeStats;
+    r.node = v;
+    r.d = std::numeric_limits<double>::infinity();
+    requests.push_back(r);
+  }
+  {
+    PointRequestMsg r;
+    r.kind = PointKind::kLookup;
+    r.node = 65;
+    r.targets = {0, 5, 91, 170};
+    requests.push_back(r);
+    r = PointRequestMsg{};
+    r.kind = PointKind::kJaccard;
+    r.node = 17;
+    r.other = 140;  // spans two servers
+    r.d = 3.0;
+    requests.push_back(r);
+  }
+  for (const PointRequestMsg& r : requests) {
+    auto a = scan_router.value().Point(r);
+    auto b = hip_router.value().Point(r);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_EQ(EncodePointResponse(a.value()), EncodePointResponse(b.value()))
+        << "node " << r.node;
+  }
+  std::vector<PointBatchResponseEntry> scan_batch =
+      scan_router.value().PointBatch(requests);
+  std::vector<PointBatchResponseEntry> hip_batch =
+      hip_router.value().PointBatch(requests);
+  ASSERT_EQ(scan_batch.size(), hip_batch.size());
+  for (size_t i = 0; i < scan_batch.size(); ++i) {
+    ASSERT_TRUE(scan_batch[i].status.ok()) << "entry " << i;
+    ASSERT_TRUE(hip_batch[i].status.ok()) << "entry " << i;
+    EXPECT_EQ(scan_batch[i].payload, hip_batch[i].payload) << "entry " << i;
+  }
 }
 
 // Batched and single requests share ONE response cache: a batch entry is

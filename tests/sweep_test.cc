@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "ads/builders.h"
+#include "ads/hip.h"
 #include "ads/queries.h"
 #include "ads/shard.h"
 #include "graph/generators.h"
@@ -146,6 +147,51 @@ TEST(SweepTest, FusedPlanBitwiseIdenticalAcrossBackends) {
         fused.ExpectMatchesStandalone(set);
         EXPECT_LE(sharded.value().NumResident(), 1u);
       }
+    }
+  }
+}
+
+// Storage-resident HIP weights feed the same fused plan: every engine
+// serving the precomputed section, at every thread count, stays bitwise
+// identical to the standalone scan-path queries on the hip-less reference.
+TEST(SweepTest, FusedPlanBitwiseIdenticalWithResidentHipWeights) {
+  FlatAdsSet reference = BuildFlat(230, 7, 8);  // same set as the matrix test
+  FlatAdsSet with_hip = BuildFlat(230, 7, 8);
+  PrecomputeHipWeights(&with_hip, 2);
+  ScratchDir dir("hipads_sweep_test_hip");
+  std::string file_path = dir.file("set.ads2");
+  std::string shard_dir = dir.file("shards");
+  ASSERT_TRUE(
+      WriteAdsSetFile(with_hip, file_path, AdsFileFormat::kBinaryV2).ok());
+  ASSERT_TRUE(WriteShardedAdsSet(with_hip, shard_dir, 5).ok());
+
+  for (uint32_t threads : {1u, 2u, 4u}) {
+    {
+      FlatAdsBackend flat(&with_hip);
+      ASSERT_TRUE(flat.HipResident());
+      SixStatPlan fused;
+      ASSERT_TRUE(RunSweep(flat, fused.plan, threads).ok());
+      fused.ExpectMatchesStandalone(reference);
+    }
+    {
+      auto mapped = MmapAdsSet::Open(file_path);
+      ASSERT_TRUE(mapped.ok());
+      ASSERT_TRUE(mapped.value().HipResident());
+      SixStatPlan fused;
+      ASSERT_TRUE(RunSweep(mapped.value(), fused.plan, threads).ok());
+      fused.ExpectMatchesStandalone(reference);
+    }
+    for (bool use_mmap : {false, true}) {
+      ShardedOptions options;
+      options.max_resident = 1;
+      options.use_mmap = use_mmap;
+      auto sharded = ShardedAdsSet::Open(shard_dir, options);
+      ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+      ASSERT_TRUE(sharded.value().HipResident());
+      SixStatPlan fused;
+      ASSERT_TRUE(RunSweep(sharded.value(), fused.plan, threads).ok())
+          << "mmap=" << use_mmap;
+      fused.ExpectMatchesStandalone(reference);
     }
   }
 }
