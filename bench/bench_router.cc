@@ -25,6 +25,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <limits>
 #include <map>
 #include <memory>
@@ -42,6 +44,7 @@
 #include "serve/protocol.h"
 #include "serve/router.h"
 #include "serve/server.h"
+#include "util/metrics.h"
 
 namespace hipads {
 namespace {
@@ -373,12 +376,107 @@ BENCHMARK(BM_PointLatencyMixedLoad)
     ->Unit(benchmark::kMicrosecond)
     ->UseRealTime();
 
+// CLAIM-SERVE-METRICS: the observability tax. The same loopback point
+// workload as BM_PointLoopbackRouter, with the metrics registry recording
+// (arg 0 = 1, the production default) vs the SetMetricsEnabled(false) kill
+// switch (arg 0 = 0). The record path is a relaxed atomic add per
+// instrument, so the two rows must be within noise of each other — that
+// closeness IS the claim, and --perf-smoke below guards it in CI.
+void BM_PointMetricsOverhead(benchmark::State& state) {
+  const FlatAdsSet& set = SharedSet(4000);
+  Fleet fleet(set, 2);
+  auto router = FleetRouter::Connect(fleet.manifest, fleet.Factory());
+  if (!router.ok()) {
+    state.SkipWithError(router.status().ToString().c_str());
+    return;
+  }
+  SetMetricsEnabled(state.range(0) == 1);
+  PointRequestMsg request;
+  request.kind = PointKind::kNodeStats;
+  request.d = std::numeric_limits<double>::infinity();
+  uint64_t v = 0;
+  for (auto _ : state) {
+    request.node = v;
+    benchmark::DoNotOptimize(router.value().Point(request).ok());
+    v = (v + 1) % set.num_nodes();
+  }
+  SetMetricsEnabled(true);
+}
+BENCHMARK(BM_PointMetricsOverhead)->Arg(0)->Arg(1);
+
+// ---------------------------------------------------------------------------
+// --perf-smoke: the CI guard on the observability tax. Times the routed
+// point workload with metrics disabled and enabled (best-of-3, seconds,
+// not the full benchmark run) and fails if recording costs more than 30%.
+// The check is a self-relative ratio measured back to back on the same
+// box, so no baseline file is needed and absolute machine speed cancels
+// out — safe on a slow 1-core CI runner.
+// ---------------------------------------------------------------------------
+
+double TimeRoutedPointsMs(FleetRouter& router, uint64_t num_nodes,
+                          bool metrics_on) {
+  constexpr uint64_t kQueries = 400;
+  SetMetricsEnabled(metrics_on);
+  PointRequestMsg request;
+  request.kind = PointKind::kNodeStats;
+  request.d = std::numeric_limits<double>::infinity();
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 3; ++rep) {
+    auto start = std::chrono::steady_clock::now();
+    for (uint64_t i = 0; i < kQueries; ++i) {
+      request.node = i % num_nodes;
+      if (!router.Point(request).ok()) {
+        SetMetricsEnabled(true);
+        return -1.0;
+      }
+    }
+    auto stop = std::chrono::steady_clock::now();
+    best = std::min(
+        best,
+        std::chrono::duration<double, std::milli>(stop - start).count());
+  }
+  SetMetricsEnabled(true);
+  return best;
+}
+
+int PerfSmoke() {
+  const FlatAdsSet& set = SharedSet(4000);
+  Fleet fleet(set, 2);
+  auto router = FleetRouter::Connect(fleet.manifest, fleet.Factory());
+  if (!router.ok()) {
+    std::fprintf(stderr, "perf-smoke: fleet connect failed: %s\n",
+                 router.status().ToString().c_str());
+    return 2;
+  }
+  // Caches are off (Fleet disables them), so every query pays real
+  // estimator compute — the honest denominator for the overhead ratio.
+  TimeRoutedPointsMs(router.value(), set.num_nodes(), false);  // warm up
+  const double off_ms =
+      TimeRoutedPointsMs(router.value(), set.num_nodes(), false);
+  const double on_ms =
+      TimeRoutedPointsMs(router.value(), set.num_nodes(), true);
+  if (off_ms <= 0.0 || on_ms <= 0.0) {
+    std::fprintf(stderr, "perf-smoke: routed point workload failed\n");
+    return 2;
+  }
+  constexpr double kTolerance = 1.30;  // fail past a 30% overhead
+  const double ratio = on_ms / off_ms;
+  const bool ok = ratio <= kTolerance;
+  std::printf(
+      "perf-smoke: metrics-on/off ratio %.3f (on %.2fms off %.2fms)  %s\n",
+      ratio, on_ms, off_ms, ok ? "ok" : "REGRESSION");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace hipads
 
 // Records a machine-readable baseline next to the working directory unless
 // the caller passes its own --benchmark_out.
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--perf-smoke") == 0) {
+    return hipads::PerfSmoke();
+  }
   hipads::BenchArgs args(argc, argv, "BENCH_router.json");
   benchmark::Initialize(&args.argc, args.argv());
   if (benchmark::ReportUnrecognizedArguments(args.argc, args.argv())) {

@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "util/annotations.h"
+#include "util/metrics.h"
 #include "util/mutex.h"
 
 namespace hipads {
@@ -50,16 +51,19 @@ struct ShardedAdsSet::LoadContext {
   std::function<double(uint64_t)> beta;
 
   // Shard-file loads performed through this context, whichever thread did
-  // them (metrics; lets tests observe that a K-statistic fused sweep costs
-  // exactly one load per shard).
-  mutable std::atomic<uint64_t> num_loads{0};
+  // them. Per-context so tests can observe that a K-statistic fused sweep
+  // costs exactly one load per shard; registered so scrapes see the
+  // process total under "ads.shard.loads". The context is heap-owned
+  // behind a shared_ptr, so the instrument address stays stable across
+  // ShardedAdsSet moves.
+  mutable RegisteredCounter num_loads{"ads.shard.loads"};
 
   // Loads shard s (copying or mmap per use_mmap) and verifies it against
   // its manifest entry. Pure function of the context (the load counter
   // aside): safe to call from the prefetch worker and the consumer
   // concurrently (for different s).
   StatusOr<std::unique_ptr<AdsBackend>> Load(uint32_t s) const {
-    num_loads.fetch_add(1, std::memory_order_relaxed);
+    num_loads.Add();
     const ShardInfo& info = shards[s];
     std::string path = JoinPath(dir, info.file);
     std::unique_ptr<AdsBackend> arena;
@@ -467,6 +471,9 @@ void ShardedAdsSet::EvictFor(uint32_t installing) const {
       }
     }
     if (victim == kNoShard) return;  // only the installing arena is live
+    static MetricCounter* evictions =
+        MetricsRegistry::Get().Counter("ads.shard.evictions");
+    evictions->Add();
     resident_[victim].reset();
   }
 }
@@ -476,7 +483,14 @@ StatusOr<const AdsBackend*> ShardedAdsSet::Resident(uint32_t s) const {
   if (resident_[s] != nullptr) return resident_[s].get();
 
   std::optional<StatusOr<std::unique_ptr<AdsBackend>>> staged;
-  if (prefetcher_ != nullptr) staged = prefetcher_->Take(s);
+  if (prefetcher_ != nullptr) {
+    staged = prefetcher_->Take(s);
+    static MetricCounter* hits =
+        MetricsRegistry::Get().Counter("ads.shard.prefetch_hits");
+    static MetricCounter* misses =
+        MetricsRegistry::Get().Counter("ads.shard.prefetch_misses");
+    (staged.has_value() ? hits : misses)->Add();
+  }
   StatusOr<std::unique_ptr<AdsBackend>> loaded =
       staged.has_value() ? std::move(*staged) : load_ctx_->Load(s);
   if (!loaded.ok()) return loaded.status();
@@ -534,9 +548,7 @@ void ShardedAdsSet::Prefetch(uint32_t r) const {
 }
 
 uint64_t ShardedAdsSet::NumShardLoads() const {
-  return load_ctx_ == nullptr
-             ? 0
-             : load_ctx_->num_loads.load(std::memory_order_relaxed);
+  return load_ctx_ == nullptr ? 0 : load_ctx_->num_loads.value();
 }
 
 uint32_t ShardedAdsSet::NumResident() const {

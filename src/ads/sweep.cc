@@ -4,11 +4,26 @@
 #include <cmath>
 #include <cstring>
 
+#include "util/metrics.h"
 #include "util/parallel.h"
 
 namespace hipads {
 
 namespace {
+
+// Sweep volume counters (counts only — HL001/HL006 keep wall-clock
+// instruments out of src/ads). Totals are thread-count invariant: nodes
+// is added once per arena, entries accumulate per chunk but sum to the
+// same per-node total under any chunk decomposition.
+struct SweepCounters {
+  MetricCounter* nodes;
+  MetricCounter* entries;
+};
+SweepCounters& Counters() {
+  static SweepCounters c{MetricsRegistry::Get().Counter("ads.sweep.nodes"),
+                         MetricsRegistry::Get().Counter("ads.sweep.entries")};
+  return c;
+}
 
 // Nodes per executor block: large enough to amortize pool scheduling,
 // small enough to bound the block's live HipEstimator buffers (a block's
@@ -90,6 +105,7 @@ template <typename SetT>
 void SweepArena(const SetT& set, NodeId global_begin, SweepPlan& plan,
                 ThreadPool& pool, SweepBuffers& buffers) {
   size_t n = set.num_nodes();
+  Counters().nodes->Add(n);
   if (!AnyNeedsReduce(plan)) {
     // Each chunk reuses one scratch: the estimator is consumed by the Map
     // calls before the next node's scan overwrites the scratch. Chunk
@@ -99,12 +115,15 @@ void SweepArena(const SetT& set, NodeId global_begin, SweepPlan& plan,
     }
     pool.ParallelFor(n, [&](size_t begin, size_t end, uint32_t chunk) {
       HipScratch& scratch = buffers.chunk_scratch[chunk];
+      uint64_t chunk_entries = 0;
       for (size_t i = begin; i < end; ++i) {
         NodeId local = static_cast<NodeId>(i);
         NodeId v = global_begin + local;
+        chunk_entries += ViewOf(set, local).size();
         HipEstimator est = MakeEstimator(set, local, &scratch);
         for (SweepCollector* c : plan.collectors()) c->Map(v, est);
       }
+      Counters().entries->Add(chunk_entries);
     });
     return;
   }
@@ -116,15 +135,18 @@ void SweepArena(const SetT& set, NodeId global_begin, SweepPlan& plan,
       buffers.block_scratch.resize(count);
     }
     pool.ParallelFor(count, [&](size_t begin, size_t end, uint32_t) {
+      uint64_t chunk_entries = 0;
       for (size_t i = begin; i < end; ++i) {
         NodeId local = static_cast<NodeId>(block_begin + i);
         NodeId v = global_begin + local;
+        chunk_entries += ViewOf(set, local).size();
         // A block's estimators stay live until Reduce, so each slot needs
         // its own scratch (reused across blocks — allocation-free once
         // warm). Slots are block-indexed, never thread-indexed.
         block[i] = MakeEstimator(set, local, &buffers.block_scratch[i]);
         for (SweepCollector* c : plan.collectors()) c->Map(v, block[i]);
       }
+      Counters().entries->Add(chunk_entries);
     });
     std::span<const HipEstimator> ests(block.data(), count);
     for (SweepCollector* c : plan.collectors()) {

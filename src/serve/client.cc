@@ -14,6 +14,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "serve/trace.h"
+#include "util/metrics.h"
+
 namespace hipads {
 
 namespace {
@@ -160,6 +163,9 @@ StatusOr<std::unique_ptr<TcpChannel>> TcpChannel::Connect(
     }
     if (s.ok()) {
       ::freeaddrinfo(result);
+      static MetricCounter* connects =
+          MetricsRegistry::Get().Counter("client.tcp.connects");
+      connects->Add();
       return std::unique_ptr<TcpChannel>(new TcpChannel(fd, options));
     }
     std::string msg =
@@ -176,13 +182,12 @@ StatusOr<std::unique_ptr<TcpChannel>> TcpChannel::Connect(
 namespace {
 
 // Header length of a locally-encoded frame: the version field sits at
-// byte 8 of every header prefix, and v1 is the only 32-byte layout.
+// byte 8 of every header prefix and decides which extensions follow.
 size_t EncodedHeaderBytes(std::string_view frame) {
   if (frame.size() < kFrameHeaderBytes) return frame.size();
   uint32_t version = 0;
   std::memcpy(&version, frame.data() + sizeof(kWireMagic), sizeof(version));
-  size_t header =
-      version == kWireVersionLegacy ? kFrameHeaderBytes : kMaxFrameHeaderBytes;
+  size_t header = FrameHeaderBytesForVersion(version);
   return header > frame.size() ? frame.size() : header;
 }
 
@@ -213,6 +218,17 @@ Status TcpChannel::Call(std::string_view request_frame, Frame* response,
 
 Status TcpChannel::CallPipelined(std::string_view request_frame,
                                  Frame* response, const Deadline& deadline) {
+  // In-flight depth of the pipeline, scraped as a gauge: incremented once
+  // the frame is on the wire, decremented when its turn resolves (response
+  // read, error, or abandoned turn — the RAII guard covers every exit).
+  static MetricGauge* in_flight =
+      MetricsRegistry::Get().Gauge("client.tcp.pipelined_in_flight");
+  struct InFlightGuard {
+    MetricGauge* gauge = nullptr;
+    ~InFlightGuard() {
+      if (gauge != nullptr) gauge->Add(-1);
+    }
+  } guard;
   uint64_t ticket = 0;
   {
     // Claim a ticket and put the frame on the wire; write order is ticket
@@ -234,6 +250,8 @@ Status TcpChannel::CallPipelined(std::string_view request_frame,
       read_cv_.NotifyAll();
       return s;
     }
+    in_flight->Add(1);
+    guard.gauge = in_flight;
   }
   MutexLock lock(read_mu_);
   while (read_turn_ != ticket && !broken_.load(std::memory_order_acquire)) {
@@ -266,6 +284,8 @@ Status TcpChannel::CallPipelined(std::string_view request_frame,
   response->type = read_frame_.type;
   response->version = read_frame_.version;
   response->deadline_ms = read_frame_.deadline_ms;
+  response->trace_hi = read_frame_.trace_hi;
+  response->trace_lo = read_frame_.trace_lo;
   // Copy (not move) out of the connection-owned buffer, so its capacity
   // keeps amortizing socket reads across calls.
   response->payload = read_frame_.payload;
@@ -279,9 +299,15 @@ StatusOr<Frame> AdsClient::Call(MessageType type, std::string payload,
   if (deadline_.Expired()) {
     return Status::DeadlineExceeded("client deadline expired before send");
   }
+  // A thread handling a traced request propagates its trace id to every
+  // downstream hop by lifting the frame to wire v4; untraced calls stay on
+  // v3 so their bytes are identical to a build with tracing compiled away.
+  const TraceId trace = CurrentTraceId();
+  const uint32_t version = trace.active() ? kWireVersionTrace : kWireVersion;
   Frame frame;
-  Status s = channel_->Call(
-      EncodeFrame(type, payload, deadline_.ToWireMs()), &frame, deadline_);
+  Status s = channel_->Call(EncodeFrame(type, payload, deadline_.ToWireMs(),
+                                        version, trace.hi, trace.lo),
+                            &frame, deadline_);
   if (!s.ok()) return s;
   if (frame.type == MessageType::kError) {
     return DecodeError(frame.payload);
@@ -342,6 +368,15 @@ StatusOr<SweepResponseMsg> AdsClient::Sweep(const SweepRequestMsg& request) {
                     MessageType::kSweepResponse);
   if (!frame.ok()) return frame.status();
   return DecodeSweepResponse(frame.value().payload);
+}
+
+StatusOr<StatsResponseMsg> AdsClient::Stats(uint32_t flags) {
+  StatsRequestMsg request;
+  request.flags = flags;
+  auto frame = Call(MessageType::kStatsRequest, EncodeStatsRequest(request),
+                    MessageType::kStatsResponse);
+  if (!frame.ok()) return frame.status();
+  return DecodeStatsResponse(frame.value().payload);
 }
 
 Status ExecuteRemoteSweep(Channel& channel, const SweepRequestMsg& request,

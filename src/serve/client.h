@@ -167,6 +167,9 @@ class AdsClient {
   StatusOr<std::vector<PointBatchResponseEntry>> PointBatch(
       const std::vector<PointRequestMsg>& requests);
   StatusOr<SweepResponseMsg> Sweep(const SweepRequestMsg& request);
+  /// Scrapes the endpoint's metrics registry (kStatsRequest). Pass
+  /// kStatsFlagTraceSpans in `flags` to also drain its trace buffer.
+  StatusOr<StatsResponseMsg> Stats(uint32_t flags = 0);
 
  private:
   StatusOr<Frame> Call(MessageType type, std::string payload,

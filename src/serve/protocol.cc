@@ -52,36 +52,44 @@ uint64_t FrameChecksum(const char* raw, size_t header_bytes,
 }
 
 bool KnownMessageType(uint32_t type) {
-  return type <= static_cast<uint32_t>(MessageType::kPointBatchResponse);
+  return type <= static_cast<uint32_t>(MessageType::kStatsResponse);
 }
 
 bool SupportedWireVersion(uint32_t version) {
   return version == kWireVersion || version == kWireVersionDeadline ||
-         version == kWireVersionLegacy;
+         version == kWireVersionLegacy || version == kWireVersionTrace;
 }
 
-// The batch frame pair entered the protocol in v3; an older frame naming
-// one is structurally impossible output of a real peer, i.e. corruption.
+// The batch and stats frame pairs entered the protocol in v3; an older
+// frame naming one is structurally impossible output of a real peer,
+// i.e. corruption.
 bool TypeRequiresV3(uint32_t type) {
   return type >= static_cast<uint32_t>(MessageType::kPointBatchRequest);
 }
 
-size_t HeaderBytesFor(uint32_t version) {
-  return version == kWireVersionLegacy ? kFrameHeaderBytes
-                                       : kMaxFrameHeaderBytes;
-}
-
 }  // namespace
+
+size_t FrameHeaderBytesForVersion(uint32_t version) {
+  switch (version) {
+    case kWireVersionLegacy:
+      return kFrameHeaderBytes;
+    case kWireVersionTrace:
+      return kFrameHeaderBytes + kFrameExtBytes + kFrameTraceExtBytes;
+    default:
+      return kFrameHeaderBytes + kFrameExtBytes;
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Frames
 // ---------------------------------------------------------------------------
 
 std::string EncodeFrameHeader(MessageType type, std::string_view payload,
-                              uint64_t deadline_ms, uint32_t version) {
+                              uint64_t deadline_ms, uint32_t version,
+                              uint64_t trace_hi, uint64_t trace_lo) {
   assert(SupportedWireVersion(version));
   assert(!TypeRequiresV3(static_cast<uint32_t>(type)) ||
-         version == kWireVersion);
+         version >= kWireVersion);
   if (version == kWireVersionLegacy) deadline_ms = 0;  // v1 cannot carry one
   RawFrameHeader h;
   std::memcpy(h.magic, kWireMagic, sizeof(h.magic));
@@ -90,10 +98,16 @@ std::string EncodeFrameHeader(MessageType type, std::string_view payload,
   h.payload_bytes = payload.size();
   h.checksum = 0;
   char raw[kMaxFrameHeaderBytes];
-  size_t header_bytes = HeaderBytesFor(version);
+  size_t header_bytes = FrameHeaderBytesForVersion(version);
   std::memcpy(raw, &h, sizeof(h));
   if (header_bytes > kFrameHeaderBytes) {
     std::memcpy(raw + kFrameHeaderBytes, &deadline_ms, sizeof(deadline_ms));
+  }
+  if (version == kWireVersionTrace) {
+    std::memcpy(raw + kFrameHeaderBytes + kFrameExtBytes, &trace_hi,
+                sizeof(trace_hi));
+    std::memcpy(raw + kFrameHeaderBytes + kFrameExtBytes + sizeof(trace_hi),
+                &trace_lo, sizeof(trace_lo));
   }
   uint64_t checksum = FrameChecksum(raw, header_bytes, payload);
   std::memcpy(raw + kChecksumOffset, &checksum, sizeof(checksum));
@@ -101,8 +115,10 @@ std::string EncodeFrameHeader(MessageType type, std::string_view payload,
 }
 
 std::string EncodeFrame(MessageType type, std::string_view payload,
-                        uint64_t deadline_ms, uint32_t version) {
-  std::string frame = EncodeFrameHeader(type, payload, deadline_ms, version);
+                        uint64_t deadline_ms, uint32_t version,
+                        uint64_t trace_hi, uint64_t trace_lo) {
+  std::string frame = EncodeFrameHeader(type, payload, deadline_ms, version,
+                                        trace_hi, trace_lo);
   frame.reserve(frame.size() + payload.size());
   frame.append(payload.data(), payload.size());
   return frame;
@@ -126,7 +142,7 @@ Status DecodeFrameHeaderPrefix(const char* data, size_t size,
     return Status::Corruption("unknown message type " +
                               std::to_string(h.type));
   }
-  if (TypeRequiresV3(h.type) && h.version != kWireVersion) {
+  if (TypeRequiresV3(h.type) && h.version < kWireVersion) {
     return Status::Corruption("message type " + std::to_string(h.type) +
                               " requires wire version 3");
   }
@@ -140,7 +156,9 @@ Status DecodeFrameHeaderPrefix(const char* data, size_t size,
   out->checksum = h.checksum;
   out->version = h.version;
   out->deadline_ms = 0;
-  out->header_bytes = HeaderBytesFor(h.version);
+  out->trace_hi = 0;
+  out->trace_lo = 0;
+  out->header_bytes = FrameHeaderBytesForVersion(h.version);
   std::memcpy(out->raw, data, kFrameHeaderBytes);
   return Status::Ok();
 }
@@ -152,6 +170,12 @@ Status DecodeFrameHeaderExt(const char* data, size_t size, FrameHeader* out) {
   }
   if (ext == 0) return Status::Ok();
   std::memcpy(&out->deadline_ms, data, sizeof(out->deadline_ms));
+  if (ext > kFrameExtBytes) {
+    std::memcpy(&out->trace_hi, data + kFrameExtBytes, sizeof(out->trace_hi));
+    std::memcpy(&out->trace_lo,
+                data + kFrameExtBytes + sizeof(out->trace_hi),
+                sizeof(out->trace_lo));
+  }
   std::memcpy(out->raw + kFrameHeaderBytes, data, ext);
   return Status::Ok();
 }
@@ -193,6 +217,8 @@ StatusOr<Frame> DecodeFrame(std::string_view data) {
   frame.payload.assign(payload.data(), payload.size());
   frame.version = header.version;
   frame.deadline_ms = header.deadline_ms;
+  frame.trace_hi = header.trace_hi;
+  frame.trace_lo = header.trace_lo;
   return frame;
 }
 
@@ -349,6 +375,8 @@ Status ReadFrameInto(int fd, const Deadline& deadline, Frame* out) {
   out->type = header.type;
   out->version = header.version;
   out->deadline_ms = header.deadline_ms;
+  out->trace_hi = header.trace_hi;
+  out->trace_lo = header.trace_lo;
   return Status::Ok();
 }
 
@@ -755,6 +783,147 @@ Status DecodeError(std::string_view payload) {
     return Status::Corruption("error frame with Ok status");
   }
   return decoded;
+}
+
+std::string EncodeStatsRequest(const StatsRequestMsg& msg) {
+  WireWriter w;
+  w.U32(msg.flags);
+  return w.Take();
+}
+
+StatusOr<StatsRequestMsg> DecodeStatsRequest(std::string_view payload) {
+  StatsRequestMsg msg;
+  WireReader r(payload);
+  Status s;
+  if (!(s = r.U32(&msg.flags)).ok()) return s;
+  if (!(s = r.ExpectDone()).ok()) return s;
+  if ((msg.flags & ~kStatsFlagTraceSpans) != 0) {
+    return Status::Corruption("stats request carries unknown flags");
+  }
+  return msg;
+}
+
+namespace {
+
+void EncodeMetricsSnapshot(const MetricsSnapshot& snap, WireWriter* w) {
+  w->U64(snap.counters.size());
+  for (const MetricsSnapshot::CounterValue& c : snap.counters) {
+    w->Bytes(c.name);
+    w->U64(c.value);
+  }
+  w->U64(snap.gauges.size());
+  for (const MetricsSnapshot::GaugeValue& g : snap.gauges) {
+    w->Bytes(g.name);
+    w->U64(static_cast<uint64_t>(g.value));
+  }
+  w->U64(snap.histograms.size());
+  for (const MetricsSnapshot::HistogramValue& h : snap.histograms) {
+    w->Bytes(h.name);
+    w->U64(h.count);
+    w->U64(h.sum);
+    w->U64(h.buckets.size());
+    for (uint64_t b : h.buckets) w->U64(b);
+  }
+}
+
+Status DecodeMetricsSnapshot(std::string_view payload, WireReader* r,
+                             MetricsSnapshot* out) {
+  Status s;
+  uint64_t count = 0;
+  if (!(s = r->U64(&count)).ok()) return s;
+  if (count > payload.size() / 16) {  // length prefix + value per counter
+    return Status::Corruption("stats counter count exceeds payload");
+  }
+  out->counters.resize(count);
+  for (MetricsSnapshot::CounterValue& c : out->counters) {
+    if (!(s = r->Bytes(&c.name)).ok()) return s;
+    if (!(s = r->U64(&c.value)).ok()) return s;
+  }
+  if (!(s = r->U64(&count)).ok()) return s;
+  if (count > payload.size() / 16) {
+    return Status::Corruption("stats gauge count exceeds payload");
+  }
+  out->gauges.resize(count);
+  for (MetricsSnapshot::GaugeValue& g : out->gauges) {
+    uint64_t bits = 0;
+    if (!(s = r->Bytes(&g.name)).ok()) return s;
+    if (!(s = r->U64(&bits)).ok()) return s;
+    g.value = static_cast<int64_t>(bits);
+  }
+  if (!(s = r->U64(&count)).ok()) return s;
+  if (count > payload.size() / 32) {  // prefix + count + sum + bucket count
+    return Status::Corruption("stats histogram count exceeds payload");
+  }
+  out->histograms.resize(count);
+  for (MetricsSnapshot::HistogramValue& h : out->histograms) {
+    if (!(s = r->Bytes(&h.name)).ok()) return s;
+    if (!(s = r->U64(&h.count)).ok()) return s;
+    if (!(s = r->U64(&h.sum)).ok()) return s;
+    uint64_t buckets = 0;
+    if (!(s = r->U64(&buckets)).ok()) return s;
+    if (buckets > payload.size() / sizeof(uint64_t)) {
+      return Status::Corruption("stats bucket count exceeds payload");
+    }
+    h.buckets.resize(buckets);
+    for (uint64_t& b : h.buckets) {
+      if (!(s = r->U64(&b)).ok()) return s;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string EncodeStatsResponse(const StatsResponseMsg& msg) {
+  WireWriter w;
+  w.U64(msg.snapshots.size());
+  for (const StatsSnapshotMsg& snap : msg.snapshots) {
+    w.Bytes(snap.label);
+    EncodeMetricsSnapshot(snap.metrics, &w);
+  }
+  w.U64(msg.spans.size());
+  for (const TraceSpanMsg& span : msg.spans) {
+    w.Bytes(span.label);
+    w.Bytes(span.name);
+    w.U64(span.trace_hi);
+    w.U64(span.trace_lo);
+    w.U64(span.start_us);
+    w.U64(span.dur_us);
+  }
+  return w.Take();
+}
+
+StatusOr<StatsResponseMsg> DecodeStatsResponse(std::string_view payload) {
+  StatsResponseMsg msg;
+  WireReader r(payload);
+  Status s;
+  uint64_t count = 0;
+  if (!(s = r.U64(&count)).ok()) return s;
+  if (count > payload.size() / 32) {  // label + three instrument counts
+    return Status::Corruption("stats snapshot count exceeds payload");
+  }
+  msg.snapshots.resize(count);
+  for (StatsSnapshotMsg& snap : msg.snapshots) {
+    if (!(s = r.Bytes(&snap.label)).ok()) return s;
+    if (!(s = DecodeMetricsSnapshot(payload, &r, &snap.metrics)).ok()) {
+      return s;
+    }
+  }
+  if (!(s = r.U64(&count)).ok()) return s;
+  if (count > payload.size() / 48) {  // two length prefixes + four u64s
+    return Status::Corruption("stats span count exceeds payload");
+  }
+  msg.spans.resize(count);
+  for (TraceSpanMsg& span : msg.spans) {
+    if (!(s = r.Bytes(&span.label)).ok()) return s;
+    if (!(s = r.Bytes(&span.name)).ok()) return s;
+    if (!(s = r.U64(&span.trace_hi)).ok()) return s;
+    if (!(s = r.U64(&span.trace_lo)).ok()) return s;
+    if (!(s = r.U64(&span.start_us)).ok()) return s;
+    if (!(s = r.U64(&span.dur_us)).ok()) return s;
+  }
+  if (!(s = r.ExpectDone()).ok()) return s;
+  return msg;
 }
 
 // ---------------------------------------------------------------------------

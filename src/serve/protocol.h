@@ -40,6 +40,7 @@
 
 #include "ads/ads.h"
 #include "ads/sweep.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace hipads {
@@ -123,11 +124,16 @@ inline constexpr char kWireMagic[8] = {'h', 'i', 'p', 'a', 'd', 's', 'r', '1'};
 /// identical to version 2 (32-byte prefix + 8-byte deadline extension).
 /// Version 2 appended the deadline extension (remaining milliseconds,
 /// 0 = none) to the version-1 header, covered by the frame checksum.
-/// All three versions are still decoded — the fleet can be upgraded one
-/// process at a time — and responses are encoded back in the requester's
-/// version, so v1/v2 clients keep getting byte-identical answers. The
-/// batch message types are only legal inside v3 frames: a v1/v2 frame
-/// naming them is rejected as corruption at header validation.
+/// Version 4 appends a 16-byte trace-id extension (hi/lo words of a
+/// random per-request id, 0 = untraced) after the deadline extension;
+/// encoders only emit v4 when a request actually carries a trace id, so
+/// untraced traffic stays byte-identical to v3. All versions are still
+/// decoded — the fleet can be upgraded one process at a time — and
+/// responses are encoded back in the requester's version, so older
+/// clients keep getting byte-identical answers. The batch and stats
+/// message types are only legal inside v3+ frames: a v1/v2 frame naming
+/// them is rejected as corruption at header validation.
+inline constexpr uint32_t kWireVersionTrace = 4;
 inline constexpr uint32_t kWireVersion = 3;
 inline constexpr uint32_t kWireVersionDeadline = 2;
 inline constexpr uint32_t kWireVersionLegacy = 1;
@@ -136,9 +142,14 @@ inline constexpr uint32_t kWireVersionLegacy = 1;
 inline constexpr size_t kFrameHeaderBytes = 32;
 /// Size of the v2 deadline extension that follows the prefix.
 inline constexpr size_t kFrameExtBytes = 8;
-/// Largest whole header across versions (prefix + v2 extension).
+/// Size of the v4 trace-id extension that follows the deadline extension.
+inline constexpr size_t kFrameTraceExtBytes = 16;
+/// Largest whole header across versions (prefix + both extensions).
 inline constexpr size_t kMaxFrameHeaderBytes =
-    kFrameHeaderBytes + kFrameExtBytes;
+    kFrameHeaderBytes + kFrameExtBytes + kFrameTraceExtBytes;
+
+/// Whole header size (prefix + extensions) of a supported wire version.
+size_t FrameHeaderBytesForVersion(uint32_t version);
 
 /// Hard cap on a frame's payload. A length-prefixed protocol must bound the
 /// prefix before allocating, or a corrupt/hostile 8-byte length field turns
@@ -159,35 +170,45 @@ enum class MessageType : uint32_t {
   // v3: N point requests in one checksummed frame, per-entry status back.
   kPointBatchRequest = 7,
   kPointBatchResponse = 8,
+  // v3: scrape of the serving process's metrics registry (a router
+  // answers with its own snapshot plus every range server's).
+  kStatsRequest = 9,
+  kStatsResponse = 10,
 };
 
 /// One decoded frame: the message type plus its raw payload bytes, the
-/// wire version it arrived in (responses are encoded back in kind), and —
-/// v2 frames only — the deadline budget it carried (0 = none).
+/// wire version it arrived in (responses are encoded back in kind), the
+/// deadline budget it carried (v2+; 0 = none) and its trace id (v4;
+/// zero = untraced).
 struct Frame {
   MessageType type = MessageType::kError;
   std::string payload;
   uint32_t version = kWireVersion;
   uint64_t deadline_ms = 0;
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
 };
 
 /// Encodes a complete frame: header (magic, version, type, payload length,
-/// FNV-1a checksum over header-with-zeroed-checksum + payload), the v2/v3
-/// deadline extension, then the payload. `version` must be a supported
-/// wire version (1, 2 or 3); a legacy frame cannot carry a deadline
-/// (silently dropped — the legacy receiver could not honor it anyway).
+/// FNV-1a checksum over header-with-zeroed-checksum + payload), the
+/// version's extensions (deadline; trace id on v4), then the payload.
+/// `version` must be a supported wire version (1..4); a legacy frame
+/// cannot carry a deadline and a pre-v4 frame cannot carry a trace id
+/// (both silently dropped — the receiver could not honor them anyway).
 std::string EncodeFrame(MessageType type, std::string_view payload,
                         uint64_t deadline_ms = 0,
-                        uint32_t version = kWireVersion);
+                        uint32_t version = kWireVersion,
+                        uint64_t trace_hi = 0, uint64_t trace_lo = 0);
 
-/// Encodes just the frame header (prefix + deadline extension) for a
-/// payload that will be written separately. The checksum still covers the
+/// Encodes just the frame header (prefix + extensions) for a payload
+/// that will be written separately. The checksum still covers the
 /// payload, so the caller must write exactly `payload` after these bytes —
 /// this is the writev seam: a pipelined channel scatter-writes header and
 /// payload without concatenating them into a fresh buffer first.
 std::string EncodeFrameHeader(MessageType type, std::string_view payload,
                               uint64_t deadline_ms = 0,
-                              uint32_t version = kWireVersion);
+                              uint32_t version = kWireVersion,
+                              uint64_t trace_hi = 0, uint64_t trace_lo = 0);
 
 /// Validated frame header, plus the raw header bytes the checksum needs.
 struct FrameHeader {
@@ -196,6 +217,8 @@ struct FrameHeader {
   uint64_t checksum = 0;
   uint32_t version = kWireVersion;
   uint64_t deadline_ms = 0;       // v2 extension; 0 on v1 frames
+  uint64_t trace_hi = 0;          // v4 extension; 0 on pre-v4 frames
+  uint64_t trace_lo = 0;
   size_t header_bytes = kFrameHeaderBytes;  // whole header for this version
   char raw[kMaxFrameHeaderBytes] = {};      // first header_bytes are valid
 };
@@ -397,6 +420,47 @@ struct PointBatchResponseMsg {
 std::string EncodePointBatchResponse(const PointBatchResponseMsg& msg);
 StatusOr<PointBatchResponseMsg> DecodePointBatchResponse(
     std::string_view payload);
+
+/// kStatsRequest flag: also ship the server's buffered trace spans in
+/// the response (serve/trace.h) so `hipads trace-dump` can render them.
+inline constexpr uint32_t kStatsFlagTraceSpans = 1;
+
+/// kStatsRequest (wire v3): scrape the serving process's metrics.
+struct StatsRequestMsg {
+  uint32_t flags = 0;  // kStatsFlag* bits
+};
+
+std::string EncodeStatsRequest(const StatsRequestMsg& msg);
+StatusOr<StatsRequestMsg> DecodeStatsRequest(std::string_view payload);
+
+/// One labeled registry snapshot inside a kStatsResponse. A range
+/// server answers with a single snapshot labeled "server"; a router
+/// prepends its own ("router") and relabels each gathered server
+/// snapshot with that server's fleet address, so a scrape of the front
+/// door sees the whole fleet's counters at once.
+struct StatsSnapshotMsg {
+  std::string label;
+  MetricsSnapshot metrics;
+};
+
+/// One trace span inside a kStatsResponse (kStatsFlagTraceSpans), with
+/// the label of the process that recorded it.
+struct TraceSpanMsg {
+  std::string label;
+  std::string name;
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
+  uint64_t start_us = 0;
+  uint64_t dur_us = 0;
+};
+
+struct StatsResponseMsg {
+  std::vector<StatsSnapshotMsg> snapshots;
+  std::vector<TraceSpanMsg> spans;
+};
+
+std::string EncodeStatsResponse(const StatsResponseMsg& msg);
+StatusOr<StatsResponseMsg> DecodeStatsResponse(std::string_view payload);
 
 /// Wire-expressible collector kinds (the serializable subset of the
 /// ads/sweep.h collector library).

@@ -10,12 +10,58 @@
 #include <utility>
 
 #include "ads/similarity.h"
+#include "serve/trace.h"
 #include "util/hash.h"
+#include "util/metrics.h"
 #include "util/mutex.h"
 
 namespace hipads {
 
 namespace {
+
+// Instrument pointers resolved once (the registry lookup takes a mutex);
+// per-server error counters are looked up on the failure path, where the
+// lookup cost is noise.
+struct RouterMetrics {
+  MetricCounter* scatter_fanout;
+  MetricCounter* retries;
+  MetricCounter* hedge_fired;
+  MetricCounter* hedge_won;
+  MetricHistogram* coalesce_batch_fill;
+  MetricHistogram* coalesce_flush_wait_us;
+};
+
+RouterMetrics& Metrics() {
+  static RouterMetrics* m = [] {
+    auto* mm = new RouterMetrics();
+    MetricsRegistry& reg = MetricsRegistry::Get();
+    mm->scatter_fanout = reg.Counter("router.scatter.fanout");
+    mm->retries = reg.Counter("router.retries");
+    mm->hedge_fired = reg.Counter("router.hedge.fired");
+    mm->hedge_won = reg.Counter("router.hedge.won");
+    mm->coalesce_batch_fill = reg.Histogram("router.coalesce.batch_fill");
+    mm->coalesce_flush_wait_us =
+        reg.Histogram("router.coalesce.flush_wait_us");
+    return mm;
+  }();
+  return *m;
+}
+
+void CountServerError(const std::string& address) {
+  MetricsRegistry::Get().Counter("router.server_errors." + address)->Add();
+}
+
+// Encodes a downstream request frame, lifting it to wire v4 when the
+// handling thread carries a trace id — the hop that propagates a traced
+// request's id across the fleet.
+std::string EncodeDownstreamFrame(MessageType type, const std::string& payload,
+                                  const Deadline& deadline) {
+  const TraceId trace = CurrentTraceId();
+  const uint32_t version =
+      trace.active() ? kWireVersionTrace : kWireVersion;
+  return EncodeFrame(type, payload, deadline.ToWireMs(), version, trace.hi,
+                     trace.lo);
+}
 
 // Backoff jitter uses the deterministic Mix64 mixer (util/hash.h): same
 // seed, server and attempt always back off the same amount, so fault
@@ -278,6 +324,7 @@ StatusOr<Frame> FleetRouter::CallServer(size_t idx, MessageType type,
   const uint32_t attempts = options_.retries + 1;
   for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
+      Metrics().retries->Add();
       // Jittered exponential backoff, never sleeping past the deadline.
       uint64_t shift = attempt - 1;
       uint64_t backoff = shift >= 63
@@ -303,17 +350,19 @@ StatusOr<Frame> FleetRouter::CallServer(size_t idx, MessageType type,
     }
     auto channel = ChannelFor(idx);
     if (!channel.ok()) {
+      CountServerError(address);
       last = channel.status();
       if (Retryable(last)) continue;
       return last;
     }
     Frame frame;
     Status s = channel.value()->Call(
-        EncodeFrame(type, payload, deadline.ToWireMs()), &frame, deadline);
+        EncodeDownstreamFrame(type, payload, deadline), &frame, deadline);
     if (!s.ok()) {
       // The connection is suspect (half-written frame, dead socket):
       // drop it so the next attempt starts on a fresh one.
       InvalidateChannel(idx, channel.value());
+      CountServerError(address);
       last = s;
       if (Retryable(s)) continue;
       return WithMessage(s, "fleet server " + address + ": " + s.message());
@@ -321,6 +370,7 @@ StatusOr<Frame> FleetRouter::CallServer(size_t idx, MessageType type,
     if (frame.type == MessageType::kError) {
       Status err = DecodeError(frame.payload);
       if (Retryable(err)) {  // e.g. a shed point lookup: retry after backoff
+        CountServerError(address);
         last = err;
         continue;
       }
@@ -328,6 +378,7 @@ StatusOr<Frame> FleetRouter::CallServer(size_t idx, MessageType type,
     }
     if (frame.type != expected_response) {
       InvalidateChannel(idx, channel.value());
+      CountServerError(address);
       return Status::Corruption("fleet server " + address +
                                 ": unexpected response frame type");
     }
@@ -347,7 +398,7 @@ StatusOr<Frame> FleetRouter::HedgeAttempt(size_t idx,
   if (!channel.ok()) return channel.status();
   Frame frame;
   Status s = channel.value()->Call(
-      EncodeFrame(MessageType::kPointRequest, payload, deadline.ToWireMs()),
+      EncodeDownstreamFrame(MessageType::kPointRequest, payload, deadline),
       &frame, deadline);
   if (!s.ok()) return s;
   if (frame.type == MessageType::kError) return DecodeError(frame.payload);
@@ -360,6 +411,7 @@ StatusOr<Frame> FleetRouter::HedgeAttempt(size_t idx,
 void FleetRouter::ExecuteCoalescedBatch(
     size_t idx, const std::vector<PendingPoint*>& batch) {
   PointBatcher& batcher = *batchers_[idx];
+  Metrics().coalesce_batch_fill->Record(batch.size());
   if (batch.size() == 1) {
     // No follower showed up inside the window: exactly the plain single
     // call, no batch frame on the wire.
@@ -446,10 +498,13 @@ StatusOr<Frame> FleetRouter::CallPointCoalesced(size_t idx,
       auto flush_at =
           Deadline::Clock::now() +
           std::chrono::microseconds(options_.coalesce_window_us);
-      while (batcher.queue.size() < batch_limit) {
-        if (batcher.cv.WaitUntil(batcher.mu, flush_at) ==
-            std::cv_status::timeout) {
-          break;
+      {
+        ScopedLatencyTimer wait_timer(Metrics().coalesce_flush_wait_us);
+        while (batcher.queue.size() < batch_limit) {
+          if (batcher.cv.WaitUntil(batcher.mu, flush_at) ==
+              std::cv_status::timeout) {
+            break;
+          }
         }
       }
       batch = std::move(batcher.queue);
@@ -514,9 +569,15 @@ StatusOr<Frame> FleetRouter::CallPoint(size_t idx, const std::string& payload,
     fire_hedge = !primary_done;
   }
   StatusOr<Frame> hedge_result = Status::Unavailable("hedge not fired");
-  if (fire_hedge) hedge_result = HedgeAttempt(idx, payload, deadline);
+  if (fire_hedge) {
+    Metrics().hedge_fired->Add();
+    hedge_result = HedgeAttempt(idx, payload, deadline);
+  }
   primary.join();
-  if (hedge_result.ok()) return hedge_result;
+  if (hedge_result.ok()) {
+    Metrics().hedge_won->Add();
+    return hedge_result;
+  }
   if (primary_result.ok()) return primary_result;
   return primary_result;  // primary error: it carries the server's address
 }
@@ -666,6 +727,7 @@ Status FleetRouter::ExecuteSweep(
     const Deadline& deadline_in) {
   Deadline deadline = EffectiveDeadline(deadline_in);
   size_t n = slots_.size();
+  Metrics().scatter_fanout->Add(n);
   std::vector<Status> statuses(n, Status::Ok());
   std::vector<SweepResponseMsg> responses(n);
   const std::string payload = EncodeSweepRequest(request);
@@ -674,8 +736,14 @@ Status FleetRouter::ExecuteSweep(
   // in per-server slots; nothing depends on completion order.
   std::vector<std::thread> calls;
   calls.reserve(n);
+  // Scatter threads inherit the caller's trace id explicitly — the trace
+  // context is thread-local, so a traced sweep's fan-out hops would
+  // otherwise go out untraced.
+  const TraceId trace = CurrentTraceId();
   for (size_t i = 0; i < n; ++i) {
-    calls.emplace_back([this, i, &payload, &deadline, &statuses, &responses] {
+    calls.emplace_back([this, i, &payload, &deadline, &statuses, &responses,
+                        trace] {
+      ScopedTraceContext trace_context(trace.hi, trace.lo);
       auto frame = CallServer(i, MessageType::kSweepRequest, payload,
                               MessageType::kSweepResponse, deadline);
       if (!frame.ok()) {
@@ -715,6 +783,55 @@ Status FleetRouter::ExecuteSweep(
   return Status::Ok();
 }
 
+StatusOr<StatsResponseMsg> FleetRouter::Stats(uint32_t flags,
+                                              const Deadline& deadline_in) {
+  Deadline deadline = EffectiveDeadline(deadline_in);
+  StatsResponseMsg result;
+  StatsSnapshotMsg own;
+  own.label = "router";
+  own.metrics = MetricsRegistry::Get().Snapshot();
+  result.snapshots.push_back(std::move(own));
+  if ((flags & kStatsFlagTraceSpans) != 0) {
+    for (TraceSpan& span : TraceBuffer::Get().Snapshot()) {
+      TraceSpanMsg out;
+      out.label = "router";
+      out.name = std::move(span.name);
+      out.trace_hi = span.trace_hi;
+      out.trace_lo = span.trace_lo;
+      out.start_us = span.start_us;
+      out.dur_us = span.dur_us;
+      result.spans.push_back(std::move(out));
+    }
+  }
+  const std::string payload = EncodeStatsRequest(StatsRequestMsg{flags});
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    const std::string& address = manifest_.servers[i].address;
+    auto frame = CallServer(i, MessageType::kStatsRequest, payload,
+                            MessageType::kStatsResponse, deadline);
+    if (!frame.ok()) return frame.status();
+    auto decoded = DecodeStatsResponse(frame.value().payload);
+    if (!decoded.ok()) {
+      return Status::Corruption("bad stats response from fleet server " +
+                                address + ": " +
+                                decoded.status().ToString());
+    }
+    // A plain server answers one "server" snapshot: relabel it with the
+    // address it came from. A nested router answers several; keep its
+    // labels as a suffix so a stacked tree's scrape stays unambiguous.
+    for (StatsSnapshotMsg& snap : decoded.value().snapshots) {
+      snap.label = snap.label == "server" ? address
+                                          : address + "/" + snap.label;
+      result.snapshots.push_back(std::move(snap));
+    }
+    for (TraceSpanMsg& span : decoded.value().spans) {
+      span.label = span.label == "server" ? address
+                                          : address + "/" + span.label;
+      result.spans.push_back(std::move(span));
+    }
+  }
+  return result;
+}
+
 // ---------------------------------------------------------------------------
 // RouterCore
 // ---------------------------------------------------------------------------
@@ -728,15 +845,23 @@ std::string RouterCore::HandleFrame(std::string_view request,
     return EncodeFrame(MessageType::kError, EncodeError(frame.status()));
   }
   // Respond in the request's wire version; re-anchor its deadline budget.
+  // A v4 frame's trace id is installed for the handling thread (every
+  // downstream hop then propagates it) and echoed on the response.
   const uint32_t version = frame.value().version;
+  const uint64_t trace_hi = frame.value().trace_hi;
+  const uint64_t trace_lo = frame.value().trace_lo;
+  ScopedTraceContext trace_context(trace_hi, trace_lo);
   Deadline deadline = Deadline::FromWireMs(frame.value().deadline_ms);
-  auto response = Dispatch(frame.value(), deadline);
+  StatusOr<Frame> response = [&] {
+    ScopedTraceSpan span("router.dispatch");
+    return Dispatch(frame.value(), deadline);
+  }();
   if (!response.ok()) {
     return EncodeFrame(MessageType::kError, EncodeError(response.status()),
-                       /*deadline_ms=*/0, version);
+                       /*deadline_ms=*/0, version, trace_hi, trace_lo);
   }
   return EncodeFrame(response.value().type, response.value().payload,
-                     /*deadline_ms=*/0, version);
+                     /*deadline_ms=*/0, version, trace_hi, trace_lo);
 }
 
 StatusOr<Frame> RouterCore::Dispatch(const Frame& request,
@@ -799,6 +924,14 @@ StatusOr<Frame> RouterCore::Dispatch(const Frame& request,
       }
       return Frame{MessageType::kSweepResponse,
                    EncodeSweepResponse(response)};
+    }
+    case MessageType::kStatsRequest: {
+      auto msg = DecodeStatsRequest(request.payload);
+      if (!msg.ok()) return msg.status();
+      auto stats = router_->Stats(msg.value().flags, deadline);
+      if (!stats.ok()) return stats.status();
+      return Frame{MessageType::kStatsResponse,
+                   EncodeStatsResponse(stats.value())};
     }
     default:
       return Status::InvalidArgument("frame type is not a request");

@@ -195,6 +195,17 @@ class FleetRouter {
       const std::vector<PointRequestMsg>& requests,
       const Deadline& deadline = Deadline());
 
+  /// Scrapes the whole fleet: this process's registry snapshot (labeled
+  /// "router") followed by every server's, gathered over the wire and
+  /// relabeled with the server's manifest address (nested routers keep
+  /// their own labels as an "address/label" suffix, so a stacked tree
+  /// scrape stays unambiguous). Pass kStatsFlagTraceSpans to also drain
+  /// every process's trace buffer. An unreachable server fails the
+  /// scrape — a fleet operator must never mistake a partial snapshot for
+  /// the whole fleet.
+  StatusOr<StatsResponseMsg> Stats(uint32_t flags,
+                                   const Deadline& deadline = Deadline());
+
  private:
   /// A fleet member's mutable connection state. The channel is held as a
   /// shared_ptr snapshot: requests copy the pointer under the slot mutex

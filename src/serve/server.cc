@@ -16,11 +16,88 @@
 
 #include "ads/estimators.h"
 #include "ads/similarity.h"
+#include "serve/trace.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
 
 namespace hipads {
 
 FrameHandler::~FrameHandler() = default;
+
+namespace {
+
+// Request kinds with dedicated request/latency instruments.
+enum ServeReqKind {
+  kReqInfo,
+  kReqPoint,
+  kReqBatch,
+  kReqSweep,
+  kReqStats,
+  kReqOther,
+  kNumReqKinds,
+};
+
+ServeReqKind ReqKindOf(MessageType type) {
+  switch (type) {
+    case MessageType::kInfoRequest:
+      return kReqInfo;
+    case MessageType::kPointRequest:
+      return kReqPoint;
+    case MessageType::kPointBatchRequest:
+      return kReqBatch;
+    case MessageType::kSweepRequest:
+      return kReqSweep;
+    case MessageType::kStatsRequest:
+      return kReqStats;
+    default:
+      return kReqOther;
+  }
+}
+
+// Instrument pointers resolved once: the registry lookup takes a mutex,
+// so hot paths record through cached raw pointers (the registry owns the
+// instruments and never frees them).
+struct ServeMetrics {
+  MetricCounter* requests[kNumReqKinds];
+  MetricHistogram* latency_us[kNumReqKinds];
+  MetricCounter* bytes_in;
+  MetricCounter* bytes_out;
+  MetricCounter* undecodable;
+  MetricCounter* shed_deadline;
+  MetricCounter* shed_busy;
+  MetricCounter* hip_resident;
+  MetricCounter* hip_scan;
+  MetricHistogram* batch_entries;
+  MetricCounter* tcp_accepted;
+};
+
+ServeMetrics& Metrics() {
+  static ServeMetrics* m = [] {
+    static const char* const kNames[kNumReqKinds] = {
+        "info", "point", "point_batch", "sweep", "stats", "other"};
+    auto* mm = new ServeMetrics();
+    MetricsRegistry& reg = MetricsRegistry::Get();
+    for (int i = 0; i < kNumReqKinds; ++i) {
+      mm->requests[i] =
+          reg.Counter(std::string("serve.requests.") + kNames[i]);
+      mm->latency_us[i] =
+          reg.Histogram(std::string("serve.latency_us.") + kNames[i]);
+    }
+    mm->bytes_in = reg.Counter("serve.bytes_in");
+    mm->bytes_out = reg.Counter("serve.bytes_out");
+    mm->undecodable = reg.Counter("serve.undecodable_frames");
+    mm->shed_deadline = reg.Counter("serve.shed.deadline");
+    mm->shed_busy = reg.Counter("serve.shed.busy");
+    mm->hip_resident = reg.Counter("serve.point.hip_resident");
+    mm->hip_scan = reg.Counter("serve.point.hip_scan");
+    mm->batch_entries = reg.Histogram("serve.batch.entries");
+    mm->tcp_accepted = reg.Counter("serve.tcp.accepted");
+    return mm;
+  }();
+  return *m;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // ResponseCache
@@ -29,10 +106,13 @@ FrameHandler::~FrameHandler() = default;
 bool ResponseCache::Get(const std::string& key, std::string* value) {
   MutexLock lock(mu_);
   auto it = index_.find(key);
-  if (it == index_.end()) return false;
+  if (it == index_.end()) {
+    misses_.Add();
+    return false;
+  }
   lru_.splice(lru_.begin(), lru_, it->second);
   *value = it->second->second;
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  hits_.Add();
   return true;
 }
 
@@ -62,8 +142,8 @@ AdsServerCore::AdsServerCore(const AdsBackend* backend,
     : backend_(backend),
       options_(options),
       lock_free_(backend->ImmutableReads()),
-      point_cache_(options.point_cache_entries),
-      sweep_cache_(options.sweep_cache_entries) {}
+      point_cache_(options.point_cache_entries, "serve.cache.point"),
+      sweep_cache_(options.sweep_cache_entries, "serve.cache.sweep") {}
 
 Deadline::Clock::time_point AdsServerCore::Now() const {
   return options_.clock ? options_.clock() : Deadline::Clock::now();
@@ -82,31 +162,58 @@ ServerInfoMsg AdsServerCore::Info() const {
 
 std::string AdsServerCore::HandleFrame(std::string_view request,
                                        bool* close_connection) {
+  ServeMetrics& metrics = Metrics();
+  metrics.bytes_in->Add(request.size());
   *close_connection = false;
   auto frame = DecodeFrame(request);
   if (!frame.ok()) {
     // Undecodable bytes: answer with the reason, then drop the stream —
     // after a framing failure there is no trustworthy record boundary.
     *close_connection = true;
-    return EncodeFrame(MessageType::kError, EncodeError(frame.status()));
+    metrics.undecodable->Add();
+    std::string err =
+        EncodeFrame(MessageType::kError, EncodeError(frame.status()));
+    metrics.bytes_out->Add(err.size());
+    return err;
   }
   // Responses are encoded in the request's wire version, so a legacy (v1)
-  // client talking to an upgraded server keeps decoding them.
+  // client talking to an upgraded server keeps decoding them. A v4 frame's
+  // trace id is echoed back and installed for the handling thread, so the
+  // instrumented sections below Dispatch record spans against it.
   const uint32_t version = frame.value().version;
+  const uint64_t trace_hi = frame.value().trace_hi;
+  const uint64_t trace_lo = frame.value().trace_lo;
+  ScopedTraceContext trace_context(trace_hi, trace_lo);
+  const ServeReqKind kind = ReqKindOf(frame.value().type);
+  metrics.requests[kind]->Add();
   Deadline deadline = Deadline::FromWireMs(frame.value().deadline_ms, Now());
-  auto response = Dispatch(frame.value(), deadline);
-  if (!response.ok()) {
-    return EncodeFrame(MessageType::kError, EncodeError(response.status()),
-                       /*deadline_ms=*/0, version);
+  StatusOr<Frame> response = [&] {
+    ScopedLatencyTimer timer(metrics.latency_us[kind]);
+    ScopedTraceSpan span("server.dispatch");
+    return Dispatch(frame.value(), deadline);
+  }();
+  std::string encoded;
+  {
+    ScopedTraceSpan span("server.encode");
+    encoded = response.ok()
+                  ? EncodeFrame(response.value().type,
+                                response.value().payload,
+                                /*deadline_ms=*/0, version, trace_hi,
+                                trace_lo)
+                  : EncodeFrame(MessageType::kError,
+                                EncodeError(response.status()),
+                                /*deadline_ms=*/0, version, trace_hi,
+                                trace_lo);
   }
-  return EncodeFrame(response.value().type, response.value().payload,
-                     /*deadline_ms=*/0, version);
+  metrics.bytes_out->Add(encoded.size());
+  return encoded;
 }
 
 StatusOr<Frame> AdsServerCore::Dispatch(const Frame& request,
                                         const Deadline& deadline) {
   if (deadline.Expired(Now())) {
     // Nobody is waiting for this answer anymore: shed before any compute.
+    Metrics().shed_deadline->Add();
     return Status::DeadlineExceeded("request deadline expired; shed");
   }
   switch (request.type) {
@@ -130,9 +237,35 @@ StatusOr<Frame> AdsServerCore::Dispatch(const Frame& request,
       if (!msg.ok()) return msg.status();
       return HandleSweep(msg.value(), deadline);
     }
+    case MessageType::kStatsRequest: {
+      auto msg = DecodeStatsRequest(request.payload);
+      if (!msg.ok()) return msg.status();
+      return HandleStats(msg.value());
+    }
     default:
       return Status::InvalidArgument("frame type is not a request");
   }
+}
+
+StatusOr<Frame> AdsServerCore::HandleStats(const StatsRequestMsg& msg) const {
+  StatsResponseMsg response;
+  StatsSnapshotMsg snap;
+  snap.label = "server";
+  snap.metrics = MetricsRegistry::Get().Snapshot();
+  response.snapshots.push_back(std::move(snap));
+  if ((msg.flags & kStatsFlagTraceSpans) != 0) {
+    for (TraceSpan& span : TraceBuffer::Get().Snapshot()) {
+      TraceSpanMsg out;
+      out.label = "server";
+      out.name = std::move(span.name);
+      out.trace_hi = span.trace_hi;
+      out.trace_lo = span.trace_lo;
+      out.start_us = span.start_us;
+      out.dur_us = span.dur_us;
+      response.spans.push_back(std::move(out));
+    }
+  }
+  return Frame{MessageType::kStatsResponse, EncodeStatsResponse(response)};
 }
 
 StatusOr<Frame> AdsServerCore::HandlePoint(const PointRequestMsg& msg,
@@ -145,10 +278,11 @@ StatusOr<Frame> AdsServerCore::HandlePoint(const PointRequestMsg& msg,
   }
   StatusOr<std::string> result = [&]() -> StatusOr<std::string> {
     if (lock_free_) return ComputePoint(msg);
-    if (active_sweeps_.load(std::memory_order_acquire) > 0) {
+    if (active_sweeps_.value() > 0) {
       // A sweep owns the serialized backend for what may be minutes.
       // Queueing a microsecond lookup behind it inverts every latency
       // goal — shed instead and let the caller's retry budget absorb it.
+      Metrics().shed_busy->Add();
       return Status::Unavailable(
           "backend busy with a sweep; point lookup shed, retry");
     }
@@ -176,7 +310,10 @@ StatusOr<std::string> AdsServerCore::ComputePoint(
     const PointRequestMsg& msg) const {
   auto local = LocalIdOf(msg.node);
   if (!local.ok()) return local.status();
-  auto view = backend_->ViewOf(local.value());
+  auto view = [&] {
+    ScopedTraceSpan span("server.backend_fetch");
+    return backend_->ViewOf(local.value());
+  }();
   if (!view.ok()) return view.status();
   // A HipOf failure is served by the scan fallback instead of erroring:
   // precomputed weights are an optimization, never an answer change.
@@ -195,10 +332,13 @@ StatusOr<std::string> AdsServerCore::ComputePointWithView(
   switch (msg.kind) {
     case PointKind::kNodeStats: {
       if (!est->has_value()) {
+        ScopedTraceSpan estimator_span("server.estimator");
         if (hip.present()) {
           // Storage-resident weights: materialization is a pointer wrap.
+          Metrics().hip_resident->Add();
           est->emplace(view, hip.tau, hip.weight);
         } else {
+          Metrics().hip_scan->Add();
           // Scan fallback into a per-thread arena — allocation-free once
           // warm. The estimator borrows the scratch, which is safe for
           // both request paths: a request's estimator never outlives the
@@ -340,6 +480,7 @@ void AdsServerCore::ComputeBatchEntries(const PointBatchRequestMsg& msg,
 StatusOr<Frame> AdsServerCore::HandlePointBatch(
     const PointBatchRequestMsg& msg) {
   const size_t n = msg.entries.size();
+  Metrics().batch_entries->Record(n);
   PointBatchResponseMsg response;
   response.entries.resize(n);
   // Per-entry cache keys are the canonical single-request bytes: a batch
@@ -371,8 +512,9 @@ StatusOr<Frame> AdsServerCore::HandlePointBatch(
                          return msg.entries[a].node < msg.entries[b].node;
                        });
       ComputeBatchEntries(msg, misses, /*share_scans=*/true, &response);
-    } else if (active_sweeps_.load(std::memory_order_acquire) > 0) {
+    } else if (active_sweeps_.value() > 0) {
       // Same shedding contract as single lookups, applied per entry.
+      Metrics().shed_busy->Add(misses.size());
       for (size_t i : misses) {
         response.entries[i].status = Status::Unavailable(
             "backend busy with a sweep; point lookup shed, retry");
@@ -430,12 +572,12 @@ StatusOr<Frame> AdsServerCore::HandleSweep(const SweepRequestMsg& msg,
   if (lock_free_) {
     swept = RunSweep(*backend_, plan, threads, checkpoint);
   } else {
-    active_sweeps_.fetch_add(1, std::memory_order_release);
+    active_sweeps_.Add(1);
     {
       MutexLock lock(mu_);
       swept = RunSweep(*backend_, plan, threads, checkpoint);
     }
-    active_sweeps_.fetch_sub(1, std::memory_order_release);
+    active_sweeps_.Add(-1);
   }
   if (!swept.ok()) return swept;
 
@@ -547,6 +689,7 @@ void TcpServer::WorkerLoop() {
       }
       return;
     }
+    Metrics().tcp_accepted->Add();
     // Non-blocking connection fd: reads poll first, and response writes
     // can be bounded by the mid-frame deadline instead of parking in the
     // kernel against a stalled peer.

@@ -53,6 +53,7 @@
 #include "ads/estimators.h"
 #include "serve/protocol.h"
 #include "util/annotations.h"
+#include "util/metrics.h"
 #include "util/mutex.h"
 #include "util/status.h"
 
@@ -83,21 +84,28 @@ class FrameHandler {
 /// backend busy. Capacity 0 disables it.
 class ResponseCache {
  public:
-  explicit ResponseCache(size_t capacity) : capacity_(capacity) {}
+  /// `metric_prefix` names this cache in the metrics registry: hits and
+  /// misses surface as `<prefix>.hits` / `<prefix>.misses` in scrapes.
+  ResponseCache(size_t capacity, std::string metric_prefix)
+      : hits_(metric_prefix + ".hits"),
+        misses_(metric_prefix + ".misses"),
+        capacity_(capacity) {}
 
   /// Copies the cached response into *value and refreshes recency.
   bool Get(const std::string& key, std::string* value);
   void Put(const std::string& key, std::string value);
 
   /// Lifetime hit count — observability for tests asserting that batched
-  /// and single-request paths share one cache.
-  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  /// and single-request paths share one cache. Backed by the registry
+  /// counter, so a wire scrape and this accessor can never disagree.
+  uint64_t hits() const { return hits_.value(); }
 
  private:
   using Entry = std::pair<std::string, std::string>;  // key, response
 
   Mutex mu_;
-  std::atomic<uint64_t> hits_{0};
+  RegisteredCounter hits_;
+  RegisteredCounter misses_;
   // Immutable after construction: Put reads it before taking mu_ for its
   // capacity-0 fast path, which is only race-free because nothing ever
   // writes it again (const makes that a compiler guarantee, not a habit).
@@ -154,6 +162,9 @@ class AdsServerCore : public FrameHandler {
   StatusOr<Frame> HandlePointBatch(const PointBatchRequestMsg& msg);
   StatusOr<Frame> HandleSweep(const SweepRequestMsg& msg,
                               const Deadline& deadline);
+  /// Answers a kStatsRequest with this process's registry snapshot
+  /// (labeled "server") and, when asked, the buffered trace spans.
+  StatusOr<Frame> HandleStats(const StatsRequestMsg& msg) const;
   /// Maps a global node id into the served range (the NotFound here is THE
   /// out-of-range answer — single and batched paths must fail with
   /// identical bytes).
@@ -190,7 +201,10 @@ class AdsServerCore : public FrameHandler {
   // — so the guarded relation is enforced by the Dispatch call structure
   // (and the tsan lane), not by a GUARDED_BY the analysis could check.
   mutable Mutex mu_;
-  std::atomic<uint32_t> active_sweeps_{0};  // admission signal for shedding
+  // Admission signal for shedding; a registry gauge ("serve.active_sweeps")
+  // so a scrape sees in-flight sweeps. NEVER gated on MetricsEnabled —
+  // shedding decisions read it, so it is control flow, not telemetry.
+  RegisteredGauge active_sweeps_{"serve.active_sweeps"};
   ResponseCache point_cache_;
   ResponseCache sweep_cache_;
 };

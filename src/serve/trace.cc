@@ -1,0 +1,90 @@
+#include "serve/trace.h"
+
+#include <chrono>
+#include <utility>
+
+namespace hipads {
+
+namespace {
+thread_local TraceId t_current_trace;
+}  // namespace
+
+uint64_t TraceNowMicros() {
+  static const std::chrono::steady_clock::time_point process_start =
+      std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - process_start)
+          .count());
+}
+
+TraceBuffer& TraceBuffer::Get() {
+  static TraceBuffer* buffer = new TraceBuffer();  // leaked: outlive statics
+  return *buffer;
+}
+
+void TraceBuffer::Record(TraceSpan span) {
+  MutexLock lock(mu_);
+  if (ring_.size() < kCapacity) {
+    ring_.push_back(std::move(span));
+  } else {
+    ring_[next_ % kCapacity] = std::move(span);
+    ++dropped_;
+  }
+  next_ = (next_ + 1) % kCapacity;
+}
+
+std::vector<TraceSpan> TraceBuffer::Snapshot() const {
+  MutexLock lock(mu_);
+  std::vector<TraceSpan> out;
+  out.reserve(ring_.size());
+  // Oldest first: once the ring has wrapped, next_ points at the oldest
+  // surviving span.
+  if (ring_.size() < kCapacity) {
+    out.assign(ring_.begin(), ring_.end());
+  } else {
+    for (size_t i = 0; i < kCapacity; ++i) {
+      out.push_back(ring_[(next_ + i) % kCapacity]);
+    }
+  }
+  return out;
+}
+
+void TraceBuffer::Clear() {
+  MutexLock lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  dropped_ = 0;
+}
+
+uint64_t TraceBuffer::dropped() const {
+  MutexLock lock(mu_);
+  return dropped_;
+}
+
+TraceId CurrentTraceId() { return t_current_trace; }
+
+ScopedTraceContext::ScopedTraceContext(uint64_t hi, uint64_t lo)
+    : prev_(t_current_trace) {
+  t_current_trace = TraceId{hi, lo};
+}
+
+ScopedTraceContext::~ScopedTraceContext() { t_current_trace = prev_; }
+
+ScopedTraceSpan::ScopedTraceSpan(const char* name)
+    : name_(name), id_(t_current_trace) {
+  if (id_.active()) start_us_ = TraceNowMicros();
+}
+
+ScopedTraceSpan::~ScopedTraceSpan() {
+  if (!id_.active()) return;
+  TraceSpan span;
+  span.trace_hi = id_.hi;
+  span.trace_lo = id_.lo;
+  span.name = name_;
+  span.start_us = start_us_;
+  span.dur_us = TraceNowMicros() - start_us_;
+  TraceBuffer::Get().Record(std::move(span));
+}
+
+}  // namespace hipads

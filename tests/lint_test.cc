@@ -230,6 +230,58 @@ TEST(LintTest, HL005SilentOnWrapperUseAndOutsideSrc) {
   EXPECT_TRUE(LintOne("tests/some_test.cc", "std::mutex mu;\n").empty());
 }
 
+// ---------------------------------------------------------------------
+// HL006 — wall-clock metric instruments outside the serving layer.
+// ---------------------------------------------------------------------
+
+TEST(LintTest, HL006FiresOnHistogramUseInDeterministicTrees) {
+  auto findings = LintOne(
+      "src/ads/hot_path.cc",
+      "#include \"util/metrics.h\"\n"
+      "MetricHistogram* h = MetricsRegistry::Get().Histogram(\"x\");\n"
+      "void F(MetricHistogram* hist) { ScopedLatencyTimer t(hist); }\n");
+  auto hl006 = FindingsFor("HL006", findings);
+  ASSERT_EQ(hl006.size(), 2u);
+  EXPECT_EQ(hl006[0].line, 2u);
+  EXPECT_EQ(hl006[1].line, 3u);
+}
+
+TEST(LintTest, HL006SilentOnCountersAndInsideServingLayer) {
+  // Counters and gauges are count instruments — allowed anywhere.
+  EXPECT_TRUE(
+      FindingsFor(
+          "HL006",
+          LintOne("src/ads/shard.cc",
+                  "#include \"util/metrics.h\"\n"
+                  "RegisteredCounter loads{\"ads.shard.loads\"};\n"
+                  "MetricCounter* c = MetricsRegistry::Get().Counter(\"x\");\n"
+                  "MetricGauge* g = MetricsRegistry::Get().Gauge(\"y\");\n"))
+          .empty());
+  // Snapshot plumbing is not an instrument.
+  EXPECT_TRUE(
+      FindingsFor("HL006", LintOne("src/ads/snap.cc",
+                                   "MetricsSnapshot::HistogramValue v;\n"))
+          .empty());
+  // The serving layer, the metrics implementation itself, and tools /
+  // tests are unrestricted.
+  EXPECT_TRUE(FindingsFor("HL006", LintOne("src/serve/server.cc",
+                                           "ScopedLatencyTimer t(h);\n"))
+                  .empty());
+  EXPECT_TRUE(FindingsFor("HL006", LintOne("src/util/metrics.h",
+                                           "class MetricHistogram {};\n"))
+                  .empty());
+  EXPECT_TRUE(
+      FindingsFor("HL006", LintOne("tools/bench.cc", "MetricHistogram h;\n"))
+          .empty());
+  // The inline allow works for HL006 like every other rule.
+  EXPECT_TRUE(
+      FindingsFor(
+          "HL006",
+          LintOne("src/ads/x.cc",
+                  "ScopedLatencyTimer t(h);  // hipads-lint: allow(HL006)\n"))
+          .empty());
+}
+
 TEST(LintTest, InlineAllowSuppressesExactlyThatRuleOnThatLine) {
   const std::string body =
       "std::mutex mu_;  // hipads-lint: allow(HL005) — wrapped primitive\n"

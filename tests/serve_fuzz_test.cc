@@ -134,6 +134,13 @@ std::vector<std::string> ValidRequestFrames() {
        0.0}};
   frames.push_back(
       EncodeFrame(MessageType::kSweepRequest, EncodeSweepRequest(ranked)));
+  // Metrics scrapes, with and without the trace-span flag.
+  frames.push_back(
+      EncodeFrame(MessageType::kStatsRequest, EncodeStatsRequest({})));
+  StatsRequestMsg spans;
+  spans.flags = kStatsFlagTraceSpans;
+  frames.push_back(
+      EncodeFrame(MessageType::kStatsRequest, EncodeStatsRequest(spans)));
   return frames;
 }
 
@@ -169,6 +176,14 @@ TEST(ServeFuzzTest, ValidFramesAreAccepted) {
       case MessageType::kSweepRequest:
         EXPECT_EQ(decoded.value().type, MessageType::kSweepResponse);
         break;
+      case MessageType::kStatsRequest: {
+        EXPECT_EQ(decoded.value().type, MessageType::kStatsResponse);
+        auto stats = DecodeStatsResponse(decoded.value().payload);
+        ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+        ASSERT_EQ(stats.value().snapshots.size(), 1u);
+        EXPECT_EQ(stats.value().snapshots[0].label, "server");
+        break;
+      }
       default:
         FAIL() << "corpus contains a non-request frame";
     }
@@ -198,15 +213,15 @@ TEST(ServeFuzzTest, BadMagicVersionAndTypeAreRejected) {
     EXPECT_FALSE(DecodeFrame(bad).ok()) << "magic byte " << i;
     ExpectCleanRejection(fx.core, bad, "magic byte " + std::to_string(i));
   }
-  // Version: every value but the supported ones (1, 2 and 3).
-  for (uint32_t version : {0u, 4u, 7u, 0xffffffffu}) {
+  // Version: every value but the supported ones (1, 2, 3 and 4).
+  for (uint32_t version : {0u, 5u, 7u, 0xffffffffu}) {
     std::string bad = frame;
     std::memcpy(bad.data() + 8, &version, sizeof(version));
     EXPECT_FALSE(DecodeFrame(bad).ok()) << "version " << version;
     ExpectCleanRejection(fx.core, bad, "version " + std::to_string(version));
   }
-  // Type: outside the known range (9 = first value past the batch pair).
-  for (uint32_t type : {9u, 100u, 0xffffffffu}) {
+  // Type: outside the known range (11 = first value past the stats pair).
+  for (uint32_t type : {11u, 100u, 0xffffffffu}) {
     std::string bad = frame;
     std::memcpy(bad.data() + 12, &type, sizeof(type));
     EXPECT_FALSE(DecodeFrame(bad).ok()) << "type " << type;
@@ -225,6 +240,57 @@ TEST(ServeFuzzTest, BadMagicVersionAndTypeAreRejected) {
               std::string::npos)
         << decoded.status().ToString();
     ExpectCleanRejection(fx.core, bad, "batch type in a v2 frame");
+  }
+  // The stats pair is v3+ surface too: a v2 frame claiming a stats type
+  // is rejected the same way.
+  {
+    std::string bad =
+        EncodeFrame(MessageType::kStatsRequest, EncodeStatsRequest({}));
+    uint32_t v2 = 2;
+    std::memcpy(bad.data() + 8, &v2, sizeof(v2));
+    auto decoded = DecodeFrame(bad);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_NE(decoded.status().message().find("requires wire version 3"),
+              std::string::npos)
+        << decoded.status().ToString();
+    ExpectCleanRejection(fx.core, bad, "stats type in a v2 frame");
+  }
+}
+
+TEST(ServeFuzzTest, Version4TraceIdsRoundTripAndAreEchoed) {
+  // Wire v4 appends a 16-byte trace id after the deadline extension.
+  Fixture fx;
+  std::string v4 =
+      EncodeFrame(MessageType::kInfoRequest, "", /*deadline_ms=*/250,
+                  /*version=*/kWireVersionTrace, /*trace_hi=*/0x1122334455667788ull,
+                  /*trace_lo=*/0x99aabbccddeeff00ull);
+  EXPECT_EQ(v4.size(), size_t{kFrameHeaderBytes + kFrameExtBytes +
+                              kFrameTraceExtBytes});
+  auto request = DecodeFrame(v4);
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request.value().version, kWireVersionTrace);
+  EXPECT_EQ(request.value().deadline_ms, 250u);
+  EXPECT_EQ(request.value().trace_hi, 0x1122334455667788ull);
+  EXPECT_EQ(request.value().trace_lo, 0x99aabbccddeeff00ull);
+  // The server answers in the requester's version, echoing the trace id.
+  bool close_connection = false;
+  std::string response = fx.core.HandleFrame(v4, &close_connection);
+  auto decoded = DecodeFrame(response);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().type, MessageType::kInfoResponse);
+  EXPECT_EQ(decoded.value().version, kWireVersionTrace);
+  EXPECT_EQ(decoded.value().trace_hi, 0x1122334455667788ull);
+  EXPECT_EQ(decoded.value().trace_lo, 0x99aabbccddeeff00ull);
+  // A v3 frame carries no trace extension and decodes with a zero id.
+  std::string v3 = EncodeFrame(MessageType::kInfoRequest, "");
+  EXPECT_EQ(v3.size(), size_t{kFrameHeaderBytes + kFrameExtBytes});
+  auto untraced = DecodeFrame(v3);
+  ASSERT_TRUE(untraced.ok());
+  EXPECT_EQ(untraced.value().trace_hi, 0u);
+  EXPECT_EQ(untraced.value().trace_lo, 0u);
+  // Truncating the trace extension off a v4 frame must not decode.
+  for (size_t cut = 1; cut <= kFrameTraceExtBytes; ++cut) {
+    EXPECT_FALSE(DecodeFrame(v4.substr(0, v4.size() - cut)).ok()) << cut;
   }
 }
 
@@ -378,6 +444,17 @@ TEST(ServeFuzzTest, MalformedPayloadsInsideValidFramesAreRejected) {
       w.Bytes(inner.Take());
       list.emplace_back(MessageType::kPointBatchRequest, w.Take());
     }
+    // Stats request: truncated (flags missing), unknown flag bits, and
+    // trailing garbage.
+    list.emplace_back(MessageType::kStatsRequest, std::string());
+    list.emplace_back(MessageType::kStatsRequest, std::string(2, '\0'));
+    {
+      WireWriter w;
+      w.U32(0xfffffffeu);  // every bit but the trace flag is unknown
+      list.emplace_back(MessageType::kStatsRequest, w.Take());
+    }
+    list.emplace_back(MessageType::kStatsRequest,
+                      EncodeStatsRequest({}) + std::string(1, '\0'));
     // Trailing garbage after a valid message.
     list.emplace_back(MessageType::kInfoRequest, std::string("tail"));
     SweepRequestMsg sweep;
@@ -389,6 +466,95 @@ TEST(ServeFuzzTest, MalformedPayloadsInsideValidFramesAreRejected) {
   for (size_t i = 0; i < cases.size(); ++i) {
     std::string frame = EncodeFrame(cases[i].first, cases[i].second);
     ExpectCleanRejection(fx.core, frame, "payload case " + std::to_string(i));
+  }
+}
+
+// The stats response codec is a network consumer on the router's gather
+// path: a hostile range server must not be able to crash the scrape.
+TEST(ServeFuzzTest, StatsResponseCodecRejectsMalformedPayloads) {
+  // A nontrivial response round-trips exactly.
+  StatsResponseMsg msg;
+  StatsSnapshotMsg snap;
+  snap.label = "server";
+  snap.metrics.counters = {{"serve.requests.point", 41},
+                           {"serve.tcp.accepted", 3}};
+  snap.metrics.gauges = {{"serve.active_sweeps", -1}};
+  MetricsSnapshot::HistogramValue hist;
+  hist.name = "serve.latency_us.point";
+  hist.count = 2;
+  hist.sum = 300;
+  hist.buckets = {0, 1, 1};
+  snap.metrics.histograms = {hist};
+  msg.snapshots.push_back(snap);
+  TraceSpanMsg span;
+  span.label = "server";
+  span.name = "server.dispatch";
+  span.trace_hi = 7;
+  span.trace_lo = 9;
+  span.start_us = 100;
+  span.dur_us = 40;
+  msg.spans.push_back(span);
+  std::string encoded = EncodeStatsResponse(msg);
+  auto decoded = DecodeStatsResponse(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().snapshots.size(), 1u);
+  EXPECT_EQ(decoded.value().snapshots[0].label, "server");
+  ASSERT_EQ(decoded.value().snapshots[0].metrics.counters.size(), 2u);
+  EXPECT_EQ(decoded.value().snapshots[0].metrics.counters[0].value, 41u);
+  ASSERT_EQ(decoded.value().snapshots[0].metrics.gauges.size(), 1u);
+  EXPECT_EQ(decoded.value().snapshots[0].metrics.gauges[0].value, -1);
+  ASSERT_EQ(decoded.value().snapshots[0].metrics.histograms.size(), 1u);
+  EXPECT_EQ(decoded.value().snapshots[0].metrics.histograms[0].buckets,
+            (std::vector<uint64_t>{0, 1, 1}));
+  ASSERT_EQ(decoded.value().spans.size(), 1u);
+  EXPECT_EQ(decoded.value().spans[0].name, "server.dispatch");
+  EXPECT_EQ(decoded.value().spans[0].dur_us, 40u);
+  EXPECT_EQ(EncodeStatsResponse(decoded.value()), encoded);
+
+  // Truncation at every byte boundary must be rejected, never crash.
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    EXPECT_FALSE(DecodeStatsResponse(encoded.substr(0, len)).ok())
+        << "length " << len;
+  }
+  // Trailing garbage after the last span.
+  EXPECT_FALSE(DecodeStatsResponse(encoded + std::string(1, '\0')).ok());
+
+  // Hostile counts must be rejected from the header, before allocation.
+  auto one_count = [](uint64_t count) {
+    WireWriter w;
+    w.U64(count);
+    return w.Take();
+  };
+  // 2^60 snapshots promised in an 8-byte payload.
+  EXPECT_FALSE(DecodeStatsResponse(one_count(uint64_t{1} << 60)).ok());
+  {
+    // One snapshot promising 2^60 counters.
+    WireWriter w;
+    w.U64(1);            // one snapshot
+    w.Bytes("server");   // label
+    w.U64(uint64_t{1} << 60);
+    EXPECT_FALSE(DecodeStatsResponse(w.Take()).ok());
+  }
+  {
+    // One histogram promising 2^60 buckets.
+    WireWriter w;
+    w.U64(1);           // one snapshot
+    w.Bytes("server");  // label
+    w.U64(0);           // counters
+    w.U64(0);           // gauges
+    w.U64(1);           // one histogram
+    w.Bytes("h");
+    w.U64(0);  // count
+    w.U64(0);  // sum
+    w.U64(uint64_t{1} << 60);
+    EXPECT_FALSE(DecodeStatsResponse(w.Take()).ok());
+  }
+  {
+    // 2^60 spans promised after an empty snapshot list.
+    WireWriter w;
+    w.U64(0);  // snapshots
+    w.U64(uint64_t{1} << 60);
+    EXPECT_FALSE(DecodeStatsResponse(w.Take()).ok());
   }
 }
 

@@ -9,6 +9,8 @@
 //   stats      whole-graph statistics from a stored ADS set
 //   serve      expose a stored ADS set over the wire protocol (TCP)
 //   route      scatter/gather front end over a fleet of range servers
+//   stats-scrape  scrape an endpoint's metrics registry over the wire
+//   trace-dump    drain an endpoint's trace buffer as Chrome trace JSON
 //
 // Distributed serving: `serve` answers point and fused-sweep requests over
 // the node range its backend holds (`--node-begin B` maps local node 0 to
@@ -58,6 +60,20 @@
 // bitwise interchangeable with `--remote` runs). Answers are bitwise
 // identical either way.
 //
+// Observability: every process keeps a registry of named counters, gauges
+// and latency histograms (util/metrics.h). `stats-scrape --remote ADDR`
+// asks the endpoint for a wire snapshot (kStatsRequest) — against a
+// router it returns the router's own metrics plus one snapshot per range
+// server, labeled by address. `--watch N` re-scrapes every N seconds.
+// `serve`/`route --metrics-interval-s N` dump the local registry to
+// stderr every N seconds. `query ... --trace 1` stamps its remote
+// requests with a fresh 16-byte trace id (wire v4); every hop appends
+// timed spans to an in-process ring that `trace-dump --remote ADDR`
+// drains and renders as Chrome trace-event JSON (load in
+// chrome://tracing or https://ui.perfetto.dev). Metrics and traces never
+// change response bytes — answers are bitwise identical with metrics on,
+// off or mid-scrape.
+//
 // Examples:
 //   hipads_cli generate --model ba --nodes 100000 --out graph.txt
 //   hipads_cli sketch --graph graph.txt --k 32 --format binary --out s.ads2
@@ -77,7 +93,11 @@
 //   hipads_cli route --fleet fleet.txt --port 7480
 //   hipads_cli stats --remote 127.0.0.1:7480 --top 10
 //   hipads_cli query --remote 127.0.0.1:7480 --node 17 --jaccard 23
+//   hipads_cli stats-scrape --remote 127.0.0.1:7480 --watch 5
+//   hipads_cli query --remote 127.0.0.1:7480 --node 17 --distance 3 --trace 1
+//   hipads_cli trace-dump --remote 127.0.0.1:7480 --out trace.json
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -107,6 +127,8 @@
 #include "serve/protocol.h"
 #include "serve/router.h"
 #include "serve/server.h"
+#include "serve/trace.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/table.h"
 
@@ -196,6 +218,26 @@ TcpChannelOptions RemoteChannelOptions(const RemoteOptions& remote) {
   TcpChannelOptions options;
   if (remote.timeout_ms > 0) options.connect_timeout_ms = remote.timeout_ms;
   return options;
+}
+
+// With `--trace 1`, installs a fresh nonzero trace id on this thread (so
+// every remote call below goes out as a wire-v4 traced frame) and prints
+// the id on stderr for correlation with a later `trace-dump`. Id
+// uniqueness only needs to hold across concurrent CLI runs: wall-clock
+// entropy mixed with the pid is plenty (tools may read clocks — the
+// HL001 determinism ban covers the library trees, not this binary).
+void MaybeStartTrace(const Args& args,
+                     std::optional<ScopedTraceContext>* scope) {
+  if (args.GetInt("trace", 0) == 0) return;
+  uint64_t t = static_cast<uint64_t>(
+      std::chrono::system_clock::now().time_since_epoch().count());
+  uint64_t hi = t * 0x9e3779b97f4a7c15ull + 0x2545f4914f6cdd1dull;
+  uint64_t lo = (static_cast<uint64_t>(getpid()) << 32) ^ t;
+  if ((hi | lo) == 0) lo = 1;
+  scope->emplace(hi, lo);
+  std::fprintf(stderr, "trace id %016llx%016llx\n",
+               static_cast<unsigned long long>(hi),
+               static_cast<unsigned long long>(lo));
 }
 
 // Opens `--remote ADDRESS` as a single-server fleet, which buys every
@@ -527,6 +569,8 @@ int ExecuteSpec(const Args& args, const std::vector<CollectorSpec>& spec,
   uint32_t threads = static_cast<uint32_t>(args.GetInt("threads", 0));
   if (args.Has("remote")) {
     RemoteOptions remote = GetRemoteOptions(args);
+    std::optional<ScopedTraceContext> trace_scope;
+    MaybeStartTrace(args, &trace_scope);
     auto connected =
         ConnectSingleServerFleet(args.Get("remote", ""), remote);
     if (!connected.ok()) return Fail(connected.status());
@@ -565,6 +609,8 @@ int ExecuteSpec(const Args& args, const std::vector<CollectorSpec>& spec,
 // --retries and --hedge all apply.
 int RemotePointQuery(const Args& args, uint64_t node) {
   RemoteOptions remote = GetRemoteOptions(args);
+  std::optional<ScopedTraceContext> trace_scope;
+  MaybeStartTrace(args, &trace_scope);
   auto connected = ConnectSingleServerFleet(args.Get("remote", ""), remote);
   if (!connected.ok()) return Fail(connected.status());
   FleetRouter router = std::move(connected).value();
@@ -853,6 +899,136 @@ int CmdStats(const Args& args) {
   return 0;
 }
 
+// Scrapes the endpoint once and prints every snapshot it returned — one
+// "== label ==" block per process (a server answers with one block named
+// "server"; a router prepends its own "router" block and labels each
+// range server's block with its address).
+Status ScrapeOnce(Channel* channel, const Deadline& deadline) {
+  AdsClient client(channel, deadline);
+  auto response = client.Stats();
+  if (!response.ok()) return response.status();
+  for (const StatsSnapshotMsg& snap : response.value().snapshots) {
+    std::printf("== %s ==\n%s", snap.label.c_str(),
+                snap.metrics.ToText().c_str());
+  }
+  std::fflush(stdout);
+  return Status::Ok();
+}
+
+// `stats-scrape --remote ADDR [--watch N] [--timeout-ms T]`: wire-scrape
+// an endpoint's metrics registry; --watch re-scrapes every N seconds
+// until interrupted.
+int CmdStatsScrape(const Args& args) {
+  RemoteOptions remote = GetRemoteOptions(args);
+  std::string address = args.Get("remote", "");
+  auto channel =
+      TcpChannel::ConnectAddress(address, RemoteChannelOptions(remote));
+  if (!channel.ok()) return Fail(channel.status());
+  uint64_t watch_s = args.GetInt("watch", 0);
+  for (;;) {
+    Status s = ScrapeOnce(channel.value().get(), RemoteDeadline(remote));
+    if (!s.ok()) return Fail(s);
+    if (watch_s == 0) return 0;
+    std::printf("\n");
+    sleep(static_cast<unsigned>(watch_s));
+  }
+}
+
+void AppendJsonEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+}
+
+// `trace-dump --remote ADDR [--out FILE]`: drains the endpoint's span
+// buffer (routers gather every range server's buffer too) and renders
+// Chrome trace-event JSON — one "process" per source label, one "thread"
+// per distinct trace id, so chrome://tracing lays concurrent traces out
+// on separate rows. Span timestamps are per-process steady-clock micros:
+// ordering is meaningful within one source row, not across machines.
+int CmdTraceDump(const Args& args) {
+  RemoteOptions remote = GetRemoteOptions(args);
+  std::string address = args.Get("remote", "");
+  auto channel =
+      TcpChannel::ConnectAddress(address, RemoteChannelOptions(remote));
+  if (!channel.ok()) return Fail(channel.status());
+  AdsClient client(channel.value().get(), RemoteDeadline(remote));
+  auto response = client.Stats(kStatsFlagTraceSpans);
+  if (!response.ok()) return Fail(response.status());
+  const std::vector<TraceSpanMsg>& spans = response.value().spans;
+
+  std::map<std::string, int> pids;       // source label -> pid
+  std::map<std::string, int> tids;       // trace id -> tid (per label)
+  std::string json = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceSpanMsg& span : spans) {
+    auto [pid_it, inserted] =
+        pids.emplace(span.label, static_cast<int>(pids.size()) + 1);
+    if (inserted) {
+      if (!first) json.push_back(',');
+      first = false;
+      json += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+              std::to_string(pid_it->second) + ",\"args\":{\"name\":\"";
+      AppendJsonEscaped(span.label, &json);
+      json += "\"}}";
+    }
+    char trace_id[48];
+    std::snprintf(trace_id, sizeof(trace_id), "%016llx%016llx",
+                  static_cast<unsigned long long>(span.trace_hi),
+                  static_cast<unsigned long long>(span.trace_lo));
+    auto [tid_it, unused] = tids.emplace(span.label + "/" + trace_id,
+                                         static_cast<int>(tids.size()) + 1);
+    if (!first) json.push_back(',');
+    first = false;
+    json += "{\"name\":\"";
+    AppendJsonEscaped(span.name, &json);
+    json += "\",\"cat\":\"hipads\",\"ph\":\"X\",\"ts\":" +
+            std::to_string(span.start_us) +
+            ",\"dur\":" + std::to_string(span.dur_us) +
+            ",\"pid\":" + std::to_string(pid_it->second) +
+            ",\"tid\":" + std::to_string(tid_it->second) +
+            ",\"args\":{\"trace\":\"" + trace_id + "\"}}";
+  }
+  json += "]}\n";
+
+  std::string out_path = args.Get("out", "");
+  if (out_path.empty()) {
+    std::fwrite(json.data(), 1, json.size(), stdout);
+  } else {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      return Fail(Status::IOError("cannot write " + out_path));
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+  }
+  std::fprintf(stderr, "%zu spans from %zu sources\n", spans.size(),
+               pids.size());
+  if (spans.empty()) {
+    std::fprintf(stderr,
+                 "hint: traced requests fill the buffer — run e.g. "
+                 "`hipads_cli query --remote %s ... --trace 1` first\n",
+                 address.c_str());
+  }
+  return 0;
+}
+
+// Blocks under a serving loop forever; with an interval, dumps the local
+// metrics registry to stderr every `metrics_interval_s` seconds in the
+// scrape text format.
+[[noreturn]] void ServeForever(uint64_t metrics_interval_s) {
+  if (metrics_interval_s == 0) {
+    for (;;) pause();
+  }
+  for (;;) {
+    sleep(static_cast<unsigned>(metrics_interval_s));
+    std::string text = MetricsRegistry::Get().Snapshot().ToText();
+    std::fprintf(stderr, "-- metrics --\n%s", text.c_str());
+    std::fflush(stderr);
+  }
+}
+
 // `serve`: expose one backend — any engine, any node range — over TCP.
 int CmdServe(const Args& args) {
   auto opened = OpenServingBackend(args);
@@ -878,7 +1054,7 @@ int CmdServe(const Args& args) {
       static_cast<unsigned long long>(info.total_entries),
       opened.value()->HipResident() ? "resident" : "scan", server.port());
   std::fflush(stdout);
-  for (;;) pause();
+  ServeForever(args.GetInt("metrics-interval-s", 0));
 }
 
 // `route`: the scatter/gather front end over a fleet manifest. Connects
@@ -911,14 +1087,14 @@ int CmdRoute(const Args& args) {
               static_cast<unsigned long long>(router.num_nodes()), router.k(),
               server.port());
   std::fflush(stdout);
-  for (;;) pause();
+  ServeForever(args.GetInt("metrics-interval-s", 0));
 }
 
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: hipads_cli {generate|sketch|convert|shard|query|"
-                 "stats|serve|route} "
+                 "stats|serve|route|stats-scrape|trace-dump} "
                  "[--flag value]...\n");
     return 2;
   }
@@ -932,6 +1108,8 @@ int Main(int argc, char** argv) {
   if (cmd == "stats") return CmdStats(args);
   if (cmd == "serve") return CmdServe(args);
   if (cmd == "route") return CmdRoute(args);
+  if (cmd == "stats-scrape") return CmdStatsScrape(args);
+  if (cmd == "trace-dump") return CmdTraceDump(args);
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return 2;
 }

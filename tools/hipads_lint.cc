@@ -431,6 +431,35 @@ void RunHL005(const FileView& f, std::vector<Finding>* out) {
   }
 }
 
+// ---------------------------------------------------------------------
+// HL006 — wall-clock metric instruments outside the serving layer.
+// ---------------------------------------------------------------------
+
+void RunHL006(const FileView& f, std::vector<Finding>* out) {
+  const std::string& path = f.input->path;
+  if (!StartsWith(path, "src/")) return;
+  if (StartsWith(path, "src/serve/")) return;
+  if (StartsWith(path, "src/util/metrics.")) return;
+  // "Histogram" word-bounded catches MetricsRegistry::Get().Histogram(...)
+  // without firing on MetricHistogram (matched separately) or
+  // HistogramValue (identifier continues).
+  static const char* kBanned[] = {"MetricHistogram", "ScopedLatencyTimer",
+                                  "Histogram"};
+  for (size_t i = 0; i < f.stripped_lines.size(); ++i) {
+    const std::string& line = f.stripped_lines[i];
+    for (const char* token : kBanned) {
+      if (ContainsToken(line, token)) {
+        Report(out, f, i + 1, "HL006",
+               std::string("wall-clock metric instrument '") + token +
+                   "' outside src/serve — latency histograms read clocks; "
+                   "the deterministic trees may record counters and "
+                   "gauges only");
+        break;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::string StripCommentsAndStrings(const std::string& text) {
@@ -526,6 +555,7 @@ std::vector<Finding> RunLint(const std::vector<FileInput>& files) {
     RunHL002(v, &findings);
     RunHL003(v, &findings);
     RunHL005(v, &findings);
+    RunHL006(v, &findings);
   }
   RunHL004(views, &findings);
   std::sort(findings.begin(), findings.end(),

@@ -25,6 +25,13 @@
 //          condition_variable outside src/util/mutex.h. All locking
 //          goes through the annotated hipads::Mutex wrapper so clang's
 //          -Wthread-safety can prove lock discipline.
+//   HL006  no wall-clock metric instruments (MetricHistogram,
+//          ScopedLatencyTimer, registry Histogram lookups) in the
+//          library trees outside src/serve (src/util/metrics.* itself
+//          excepted; tools/ and tests/ are unrestricted). Counters and
+//          gauges are fine anywhere — counts are thread-count
+//          invariant — but a latency histogram smuggles a clock read
+//          into paths HL001 keeps deterministic.
 //
 // Suppression: append `// hipads-lint: allow(HLxxx)` to the offending
 // line. Allows are per-line and per-rule; there is no file-level or
@@ -43,7 +50,7 @@ namespace lint {
 struct Finding {
   std::string file;  // repo-relative, forward slashes
   size_t line = 0;   // 1-based
-  std::string rule;  // "HL001" .. "HL005", or "IO" for unreadable files
+  std::string rule;  // "HL001" .. "HL006", or "IO" for unreadable files
   std::string message;
 };
 
